@@ -1,0 +1,99 @@
+// Ablation: ADVERTISE flooding (the "preliminary approach") versus the
+// refined initiation policy — the paper claims the refinement
+// "significantly reduces the number of overhead messages".
+//
+// Scenario: a chain of transit links carrying local demand-limited
+// connections plus one long connection; the entry bottleneck link's
+// capacity changes. Flooding re-advertises every connection at every
+// switch an ADVERTISE packet visits; the refined policy only initiates for
+// connections whose allocation could actually change.
+#include <iostream>
+
+#include "maxmin/problem.h"
+#include "maxmin/protocol.h"
+#include "maxmin/waterfill.h"
+#include "sim/simulator.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using namespace imrm::maxmin;
+
+namespace {
+
+Problem chain_problem(std::size_t transit_links, int locals_per_link) {
+  Problem p;
+  p.links.push_back({8.0});  // bottleneck that will be upgraded
+  ProblemConnection longest;
+  longest.path.push_back(0);
+  for (std::size_t i = 1; i <= transit_links; ++i) {
+    p.links.push_back({100.0});
+    longest.path.push_back(i);
+    for (int c = 0; c < locals_per_link; ++c) {
+      p.connections.push_back({{i}, 2.0});
+    }
+  }
+  p.connections.push_back(longest);
+  p.connections.push_back({{0}, kInfiniteDemand});
+  return p;
+}
+
+struct Cost {
+  std::uint64_t messages;
+  std::uint64_t rounds;
+  double deviation;
+};
+
+Cost run(InitiationPolicy policy, std::size_t transit, int locals) {
+  const Problem problem = chain_problem(transit, locals);
+  sim::Simulator simulator;
+  DistributedProtocol::Config config;
+  config.policy = policy;
+  DistributedProtocol protocol(simulator, problem, config);
+  protocol.start_all();
+  protocol.run_to_quiescence();
+
+  const auto before_msgs = protocol.messages_sent();
+  const auto before_rounds = protocol.rounds_run();
+  protocol.set_link_excess_capacity(0, 14.0);
+  protocol.run_to_quiescence();
+
+  Problem upgraded = problem;
+  upgraded.links[0].excess_capacity = 14.0;
+  const auto optimum = waterfill(upgraded);
+  double dev = 0.0;
+  for (std::size_t i = 0; i < optimum.rates.size(); ++i) {
+    dev = std::max(dev, std::abs(protocol.rates()[i] - optimum.rates[i]));
+  }
+  return {protocol.messages_sent() - before_msgs,
+          protocol.rounds_run() - before_rounds, dev};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation: flooding vs bottleneck-set initiation (Section 5.3.1) ==\n";
+  std::cout << "event: the shared bottleneck link is upgraded 8 -> 14 after "
+               "convergence\n\n";
+
+  stats::Table table({"transit links", "locals/link", "flood msgs", "refined msgs",
+                      "reduction", "flood rounds", "refined rounds", "max dev (both)"});
+  for (std::size_t transit : {4u, 8u, 16u}) {
+    for (int locals : {2, 4, 8}) {
+      const Cost flood = run(InitiationPolicy::kFlooding, transit, locals);
+      const Cost refined = run(InitiationPolicy::kBottleneckSets, transit, locals);
+      table.add_row(
+          {std::to_string(transit), std::to_string(locals),
+           std::to_string(flood.messages), std::to_string(refined.messages),
+           stats::fmt(100.0 * (1.0 - double(refined.messages) /
+                                         double(std::max<std::uint64_t>(flood.messages, 1))),
+                      1) + "%",
+           std::to_string(flood.rounds), std::to_string(refined.rounds),
+           stats::fmt(std::max(flood.deviation, refined.deviation), 6)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth policies land on the same max-min allocation; the refined\n"
+               "policy skips the futile re-advertisements of connections that are\n"
+               "already at their bottleneck rates.\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation: multicast warm-up to neighboring cells (Section 4).
+//
+// The backbone pre-installs multicast branches toward every neighbor base
+// station so a handoff finds warm state. The benefit is the fraction of
+// handoffs that land on a warm branch (no end-to-end setup transient); the
+// cost is wired bandwidth held by branch reservations. We run a random-walk
+// population over the full backbone with multicast on and off.
+#include <iostream>
+#include <memory>
+
+#include "core/network_environment.h"
+#include "mobility/floorplan.h"
+#include "mobility/movement.h"
+#include "sim/random.h"
+#include "stats/table.h"
+#include "stats/timeseries.h"
+
+using namespace imrm;
+using core::BackboneConfig;
+using core::NetworkEnvironment;
+
+namespace {
+
+struct Outcome {
+  double warm_fraction = 0.0;
+  std::size_t drops = 0;
+  std::size_t handoffs = 0;
+  std::size_t branches = 0;
+  double wired_overhead_kbps = 0.0;  // branch reservations on the server uplink
+};
+
+Outcome run(bool multicast, int users, std::uint64_t seed) {
+  sim::Simulator simulator;
+  BackboneConfig config;
+  config.enable_multicast = multicast;
+  NetworkEnvironment env(mobility::fig4_environment(), simulator, config);
+  const auto cells = mobility::fig4_cells(env.map());
+
+  sim::Rng rng(seed);
+  const mobility::TransitionTable table =
+      mobility::fig4_transition_table(env.map(), mobility::fig4_student_weights());
+
+  qos::QosRequest request;
+  request.bandwidth = {qos::kbps(32), qos::kbps(128)};
+  request.delay_bound = 10.0;
+  request.jitter_bound = 10.0;
+  request.loss_bound = 0.05;
+  request.traffic = {8000.0, 8000.0};
+
+  std::vector<net::PortableId> population;
+  for (int i = 0; i < users; ++i) {
+    const auto p = env.add_portable(cells.c);
+    env.open_connection(p, request);
+    population.push_back(p);
+  }
+
+  const sim::SimTime horizon = sim::SimTime::hours(2);
+  struct Walker {
+    NetworkEnvironment* env;
+    const mobility::TransitionTable* table;
+    sim::Rng rng;
+    sim::SimTime horizon;
+    void step(net::PortableId p) {
+      auto& simulator = env->mobility().simulator();
+      const auto at =
+          simulator.now() + sim::Duration::minutes(rng.exponential_mean(3.0));
+      if (at > horizon) return;
+      simulator.at(at, [this, p] {
+        const auto& me = env->mobility().portable(p);
+        const auto next =
+            table->sample(env->map(), me.previous_cell, me.current_cell, rng);
+        env->handoff(p, next);
+        step(p);
+      });
+    }
+  };
+  auto walker = std::make_shared<Walker>(Walker{&env, &table, rng.fork(), horizon});
+  for (auto p : population) walker->step(p);
+
+  // Sample the wired overhead (sum of b_min of multicast reservations on the
+  // server's uplink, approximated by connections beyond the live sessions).
+  stats::Summary overhead;
+  simulator.every(sim::Duration::minutes(5), horizon, [&] {
+    const auto& uplink = env.network().link(net::LinkId{0});  // server -> core
+    double live = 0.0;
+    for (auto p : population) {
+      if (env.has_connection(p)) live += qos::kbps(32);
+    }
+    overhead.add((uplink.sum_b_min() - live) / 1e3);
+  });
+
+  simulator.run();
+
+  Outcome out;
+  const auto& s = env.stats();
+  out.handoffs = s.handoffs;
+  out.warm_fraction = s.handoffs ? double(s.warm_handoffs) / double(s.handoffs) : 0.0;
+  out.drops = s.handoff_drops;
+  out.branches = s.multicast_branches_admitted;
+  out.wired_overhead_kbps = overhead.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation: multicast warm-up to neighbor cells (Section 4) ==\n";
+  std::cout << "random-walk population on the Figure 4 backbone, 2 h\n\n";
+
+  stats::Table table({"users", "multicast", "handoffs", "warm handoffs", "drops",
+                      "branches set up", "wired overhead (kbps)"});
+  for (int users : {8, 16, 32}) {
+    for (bool multicast : {true, false}) {
+      const Outcome o = run(multicast, users, 23);
+      table.add_row({std::to_string(users), multicast ? "on" : "off",
+                     std::to_string(o.handoffs),
+                     stats::fmt(o.warm_fraction * 100.0, 1) + "%",
+                     std::to_string(o.drops), std::to_string(o.branches),
+                     stats::fmt(o.wired_overhead_kbps, 0)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWith multicast on, nearly every handoff lands on a warm branch\n"
+               "(the data already flows to the new base station's buffers); the\n"
+               "cost is the wired bandwidth the branches reserve. The paper keeps\n"
+               "branch admission non-fatal precisely because this is an\n"
+               "optimization, not a correctness requirement.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: how much does each level of the three-level predictor buy?
+//
+// Replays the Figure 4 mobility workload three times with handicapped
+// predictors (full three-level vs cell-profile-only vs none) by comparing
+// the per-level accuracies and the implied advance-reservation hit rates.
+#include <iostream>
+
+#include "experiments/fig4_mobility.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using namespace imrm::experiments;
+
+int main() {
+  std::cout << "== Ablation: prediction levels on the Figure 4 workload ==\n\n";
+
+  Fig4Config config;
+  config.hours = 300.0;
+  const Fig4Result r = run_fig4(config);
+
+  Fig4Config aggregate_config = config;
+  aggregate_config.prediction = PredictionMode::kAggregateOnly;
+  const Fig4Result agg = run_fig4(aggregate_config);
+
+  const double l1_acc = r.portable_profile.accuracy();
+  const double l2a_acc = r.office_occupancy.accuracy();
+  const double l2b_acc = r.cell_aggregate.accuracy();
+
+  const std::size_t total_pred = r.portable_profile.predictions +
+                                 r.office_occupancy.predictions +
+                                 r.cell_aggregate.predictions;
+
+  stats::Table table({"predictor", "coverage", "reservation hit rate"});
+  auto pct = [](double x) { return stats::fmt(100.0 * x, 1) + "%"; };
+  table.add_row({"three-level (paper)",
+                 pct(double(r.predictive_reservations) / double(r.total_handoffs)),
+                 pct(double(r.predictive_hits) /
+                     double(std::max<std::size_t>(r.predictive_reservations, 1)))});
+  table.add_row({"cell-aggregate only",
+                 pct(double(agg.predictive_reservations) / double(agg.total_handoffs)),
+                 pct(double(agg.predictive_hits) /
+                     double(std::max<std::size_t>(agg.predictive_reservations, 1)))});
+  table.add_row({"no prediction (pool only)", "0.0%", "-"});
+  table.print(std::cout);
+
+  std::cout << "\nper-level detail:\n";
+  stats::Table detail({"level", "share of predictions", "accuracy"});
+  auto share = [&](std::size_t n) {
+    return stats::fmt(100.0 * double(n) / double(std::max<std::size_t>(total_pred, 1)), 1) +
+           "%";
+  };
+  detail.add_row({"1: portable profile", share(r.portable_profile.predictions), pct(l1_acc)});
+  detail.add_row({"2a: office occupancy", share(r.office_occupancy.predictions), pct(l2a_acc)});
+  detail.add_row({"2b: cell aggregate", share(r.cell_aggregate.predictions), pct(l2b_acc)});
+  detail.print(std::cout);
+
+  std::cout << "\nThe personal profile dominates both coverage and accuracy once\n"
+               "warm; the aggregate level exists to cover cold starts and\n"
+               "anonymous users, and the default algorithm (level 3) covers the\n"
+               "remaining " << r.unpredicted << " handoffs.\n";
+  return 0;
+}

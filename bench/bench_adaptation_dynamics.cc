@@ -1,0 +1,104 @@
+// Adaptation dynamics under wireless channel error (Sections 2.1, 5.3).
+//
+// A Gilbert-Elliott channel modulates a cell's effective capacity while
+// three adaptive connections share it. The distributed protocol re-divides
+// the excess after every transition. We report: time-weighted utilization
+// of the instantaneous capacity, control messages per channel transition,
+// renegotiation signals during deep fades, and the allocation trace around
+// one fade for inspection.
+#include <iostream>
+
+#include "maxmin/problem.h"
+#include "maxmin/protocol.h"
+#include "sim/simulator.h"
+#include "stats/table.h"
+#include "stats/timeseries.h"
+#include "workload/channel.h"
+
+using namespace imrm;
+using namespace imrm::maxmin;
+
+int main() {
+  std::cout << "== Adaptation dynamics under channel error ==\n";
+  std::cout << "3 connections, minima 100 kbps each, unlimited demand;\n";
+  std::cout << "channel: good 1600 kbps (mean 5 min) / bad state sweep (mean 30 s)\n\n";
+
+  stats::Table table({"bad-state capacity", "transitions", "msgs/transition",
+                      "mean utilization", "renegotiation signals"});
+
+  for (double bad_kbps : {800.0, 400.0, 250.0}) {
+    sim::Simulator simulator;
+    const double sum_min = 300.0;
+
+    Problem problem;
+    problem.links = {{1600.0 - sum_min}};
+    for (int i = 0; i < 3; ++i) problem.connections.push_back({{0}, kInfiniteDemand});
+
+    DistributedProtocol::Config config;
+    config.delta = 5.0;
+    DistributedProtocol protocol(simulator, problem, config);
+    protocol.start_all();
+    protocol.run_to_quiescence();
+
+    workload::GilbertElliottChannel::Config channel_config;
+    channel_config.good_capacity = 1600.0;  // work in kbps units directly
+    channel_config.bad_capacity = bad_kbps;
+    workload::GilbertElliottChannel channel(
+        simulator, channel_config, sim::Rng(21),
+        [&](double capacity) { protocol.set_link_excess_capacity(0, capacity - sum_min); });
+
+    const sim::SimTime horizon = sim::SimTime::hours(4);
+    channel.start(horizon);
+
+    // Sample utilization every simulated second.
+    stats::Summary utilization;
+    simulator.every(sim::Duration::seconds(1), horizon, [&] {
+      double used = sum_min;
+      for (double r : protocol.rates()) used += r;
+      const double capacity = channel.current_capacity();
+      utilization.add(std::min(used / capacity, 1.0));
+    });
+
+    simulator.run();
+
+    table.add_row({stats::fmt(bad_kbps, 0) + " kbps",
+                   std::to_string(channel.transitions()),
+                   stats::fmt(double(protocol.messages_sent()) /
+                                  double(std::max<std::size_t>(channel.transitions(), 1)),
+                              1),
+                   stats::fmt(utilization.mean() * 100.0, 1) + "%",
+                   std::to_string(protocol.renegotiation_requests().size())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nallocation trace around one fade (bad state = 400 kbps):\n";
+  {
+    sim::Simulator simulator;
+    Problem problem;
+    problem.links = {{1300.0}};
+    for (int i = 0; i < 3; ++i) problem.connections.push_back({{0}, kInfiniteDemand});
+    DistributedProtocol protocol(simulator, problem, {});
+    protocol.start_all();
+    protocol.run_to_quiescence();
+
+    stats::Table trace({"t", "capacity", "conn rates (kbps, incl. 100 min)"});
+    auto snap = [&](const char* t, double cap) {
+      std::string rates;
+      for (double r : protocol.rates()) rates += stats::fmt(100.0 + r, 0) + " ";
+      trace.add_row({t, stats::fmt(cap, 0), rates});
+    };
+    snap("t0 (good)", 1600);
+    protocol.set_link_excess_capacity(0, 400.0 - 300.0);
+    protocol.run_to_quiescence();
+    snap("t1 (fade)", 400);
+    protocol.set_link_excess_capacity(0, 1600.0 - 300.0);
+    protocol.run_to_quiescence();
+    snap("t2 (recovered)", 1600);
+    trace.print(std::cout);
+  }
+
+  std::cout << "\nUtilization stays high because every transition re-runs the\n"
+               "max-min division; deep fades (capacity below the guaranteed\n"
+               "minima) raise renegotiation signals instead of starving silently.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// The combination experiment (paper abstract: "a combination of the above
+// approaches provide the framework for resource management").
+//
+// A campus day with a 40-person meeting and opportunistic bulk "squatters"
+// camped in the meeting room. Each advance-reservation approach — none,
+// static guard band, brute force, aggregate, and the full Section 6.4
+// dispatcher — trades squatter blocking against attendee drops. The
+// dispatcher (booking calendar + profiles + per-class policies) protects
+// the meeting best.
+#include <iostream>
+
+#include "experiments/campus_day.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using namespace imrm::experiments;
+
+int main() {
+  std::cout << "== Combination experiment: reservation policies on a campus day ==\n";
+  std::cout << "40-person meeting at t=[90,140) min; 10 bulk squatters (96 kbps)\n";
+  std::cout << "keep retrying in the room; room capacity 1.6 Mbps\n\n";
+
+  stats::Table table({"policy", "attendee drops", "squatter blocks",
+                      "squatter admits", "room peak (kbps)"});
+  for (CampusPolicy policy :
+       {CampusPolicy::kNone, CampusPolicy::kStatic, CampusPolicy::kBruteForce,
+        CampusPolicy::kAggregate, CampusPolicy::kDispatcher}) {
+    CampusDayConfig config;
+    config.policy = policy;
+    const CampusDayResult r = run_campus_day(config);
+    table.add_row({r.policy, std::to_string(r.attendee_drops),
+                   std::to_string(r.squatter_blocks), std::to_string(r.squatter_admits),
+                   stats::fmt(r.room_peak_allocated / 1e3, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: with no reservations the squatters win the race and\n"
+               "arriving attendees are dropped; the Section 6.4 dispatcher books\n"
+               "the meeting ahead of time, blocks bulk traffic while the window\n"
+               "is open, and keeps attendee drops minimal. Static guard bands\n"
+               "sit in between: they block squatters all day but reserve too\n"
+               "little for the actual burst. (Drops that remain under the\n"
+               "dispatcher stem from squatters admitted before the booking\n"
+               "window opened — reservations cannot evict fixed-bound\n"
+               "connections, only pre-empt new ones.)\n";
+  return 0;
+}

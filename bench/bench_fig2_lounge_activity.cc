@@ -1,0 +1,49 @@
+// Figure 2 reproduction: handoff activity in a lounge.
+//
+// The figure illustrates the meeting-room lounge signature — bursts of
+// handoffs at the start and conclusion of meetings with little in between.
+// We run the classroom workload over a full "day" of two back-to-back
+// classes and plot the room's handoff activity per minute.
+#include <iostream>
+
+#include "experiments/classroom.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using namespace imrm::experiments;
+
+int main() {
+  std::cout << "== Figure 2: handoff activity in a lounge (meeting room) ==\n";
+  ClassroomConfig config;
+  config.class_size = 40;
+  config.meeting = {sim::SimTime::minutes(60), sim::SimTime::minutes(110), 40};
+  config.policy = PolicyKind::kMeetingRoom;
+  config.seed = 11;
+  const ClassroomResult result = run_classroom(config);
+
+  // Total room activity = handoffs in + handoffs out, per minute.
+  const std::size_t bins =
+      std::max(result.into_room.bin_count(), result.out_of_room.bin_count());
+  std::vector<double> activity(bins, 0.0);
+  for (std::size_t i = 0; i < result.into_room.bin_count(); ++i) {
+    activity[i] += result.into_room.bin_value(i);
+  }
+  for (std::size_t i = 0; i < result.out_of_room.bin_count(); ++i) {
+    activity[i] += result.out_of_room.bin_value(i);
+  }
+
+  std::cout << "meeting from t=60 to t=110 min; handoffs in+out of the room:\n\n";
+  std::vector<double> values;
+  std::vector<std::string> labels;
+  for (std::size_t m = 45; m < bins && m <= 125; m += 2) {
+    double v = activity[m];
+    if (m + 1 < bins) v += activity[m + 1];
+    values.push_back(v);
+    labels.push_back("t=" + std::to_string(m) + "-" + std::to_string(m + 2));
+  }
+  stats::print_ascii_bars(std::cout, values, labels, 50);
+
+  std::cout << "\nThe spike structure (burst at the start, quiet during, burst at the\n"
+               "end) is what motivates the booking-calendar reservation policy.\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// event queue throughput, Table 2 admission, water-filling, advertised-rate
+// recomputation, the distributed protocol end-to-end, the binomial
+// convolution of the probabilistic model, and a full classroom run.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "experiments/classroom.h"
+#include "maxmin/advertised_rate.h"
+#include "maxmin/protocol.h"
+#include "maxmin/waterfill.h"
+#include "qos/admission.h"
+#include "qos/packet_sim.h"
+#include "reservation/probabilistic.h"
+#include "sim/simulator.h"
+
+using namespace imrm;
+
+namespace {
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const int n = int(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < n; ++i) {
+      simulator.at(sim::SimTime::seconds(double(i % 97)), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_AdmissionPipeline(benchmark::State& state) {
+  qos::QosRequest request;
+  request.bandwidth = {qos::kbps(256), qos::kbps(1024)};
+  request.delay_bound = 0.5;
+  request.jitter_bound = 0.4;
+  request.loss_bound = 0.02;
+  request.traffic = {32000.0, 12000.0};
+  const std::vector<qos::LinkSnapshot> route(
+      std::size_t(state.range(0)),
+      qos::LinkSnapshot{qos::mbps(45), 0.0, qos::mbps(10), 8e6, 0.001});
+  const qos::AdmissionPipeline pipeline(qos::Scheduler::kRcsp,
+                                        qos::MobilityClass::kStatic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.admit(request, route, qos::kbps(100)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionPipeline)->Arg(3)->Arg(10);
+
+maxmin::Problem random_problem(int n_links, int n_conns, std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  std::uniform_real_distribution<double> cap(5.0, 50.0);
+  maxmin::Problem p;
+  for (int i = 0; i < n_links; ++i) p.links.push_back({cap(rng)});
+  for (int c = 0; c < n_conns; ++c) {
+    std::uniform_int_distribution<int> start_dist(0, n_links - 1);
+    const int start = start_dist(rng);
+    std::uniform_int_distribution<int> end_dist(start, n_links - 1);
+    const int end = end_dist(rng);
+    maxmin::ProblemConnection conn;
+    for (int li = start; li <= end; ++li) conn.path.push_back(std::size_t(li));
+    p.connections.push_back(std::move(conn));
+  }
+  return p;
+}
+
+void BM_Waterfill(benchmark::State& state) {
+  const auto problem = random_problem(int(state.range(0)), int(state.range(1)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maxmin::waterfill(problem));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Waterfill)->Args({10, 50})->Args({50, 500});
+
+void BM_AdvertisedRateRecompute(benchmark::State& state) {
+  std::mt19937_64 rng{7};
+  std::uniform_real_distribution<double> rate(0.0, 10.0);
+  std::vector<double> recorded(std::size_t(state.range(0)));
+  for (double& r : recorded) r = rate(rng);
+  maxmin::AdvertisedRate ar(100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ar.recompute(recorded));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdvertisedRateRecompute)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DistributedProtocolConverge(benchmark::State& state) {
+  const auto problem = random_problem(int(state.range(0)), int(state.range(1)), 13);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    maxmin::DistributedProtocol protocol(simulator, problem, {});
+    protocol.start_all();
+    benchmark::DoNotOptimize(protocol.run_to_quiescence());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistributedProtocolConverge)->Args({5, 20})->Args({10, 60});
+
+void BM_BinomialConvolution(benchmark::State& state) {
+  reservation::ProbabilisticReservation::Config config;
+  config.capacity_units = int(state.range(0));
+  config.window = 0.05;
+  config.p_qos = 0.01;
+  config.handoff_prob = 0.7;
+  const reservation::ProbabilisticReservation model(config, {{1, 0.2}, {4, 0.25}});
+  const std::vector<int> here{int(state.range(0)) / 2, 2};
+  const std::vector<int> neighbor{int(state.range(0)) / 2, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.nonblocking_probability(here, neighbor));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinomialConvolution)->Arg(40)->Arg(200);
+
+void BM_PacketScheduler(benchmark::State& state) {
+  // Throughput of the Virtual Clock link: packets scheduled + served/sec.
+  const int n_flows = int(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    qos::ScheduledLink link(simulator, qos::mbps(100), nullptr);
+    for (int f = 1; f <= n_flows; ++f) {
+      link.add_flow(qos::FlowId(f), qos::mbps(100.0 / double(n_flows + 1)));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      qos::Packet p;
+      p.flow = qos::FlowId(i % n_flows + 1);
+      p.size = 8000.0;
+      p.created = simulator.now();
+      link.enqueue(p);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(link.packets_served());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PacketScheduler)->Arg(4)->Arg(32);
+
+void BM_ClassroomExperiment(benchmark::State& state) {
+  experiments::ClassroomConfig config;
+  config.class_size = std::size_t(state.range(0));
+  config.meeting = {sim::SimTime::minutes(60), sim::SimTime::minutes(110),
+                    std::size_t(state.range(0))};
+  config.policy = experiments::PolicyKind::kMeetingRoom;
+  config.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::run_classroom(config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassroomExperiment)->Arg(35)->Arg(55)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Section 7.2 closing claim: "our reservation algorithm outperforms the
+// static reservation algorithm in all scenarios we have simulated".
+//
+// Same two-cell workload as Figure 6. The static baseline holds back a
+// fixed guard fraction of capacity from new connections; the probabilistic
+// algorithm adapts the implicit reservation to the current occupancy of
+// both cells. We sweep both policies across their knobs and report the
+// (P_b, P_d) operating points; the probabilistic frontier should dominate.
+#include <iostream>
+
+#include "experiments/twocell.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using namespace imrm::experiments;
+
+namespace {
+
+TwoCellConfig base_config() {
+  TwoCellConfig config;
+  config.duration = 2000.0;
+  config.warmup = 50.0;
+  config.seed = 5;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Static guard-band vs probabilistic reservation ==\n\n";
+
+  stats::Table table({"policy", "knob", "P_b", "P_d"});
+
+  for (double guard : {0.0, 0.05, 0.10, 0.15, 0.20, 0.30}) {
+    TwoCellConfig config = base_config();
+    config.rule = AdmissionRule::kStaticGuard;
+    config.guard_fraction = guard;
+    const auto r = run_twocell(config);
+    table.add_row({"static", "guard=" + stats::fmt(guard, 2),
+                   stats::fmt(r.p_block(), 4), stats::fmt(r.p_drop(), 4)});
+  }
+  for (double p_qos : {0.001, 0.005, 0.01, 0.05, 0.2, 0.9}) {
+    TwoCellConfig config = base_config();
+    config.rule = AdmissionRule::kProbabilistic;
+    config.window = 0.05;
+    config.p_qos = p_qos;
+    const auto r = run_twocell(config);
+    table.add_row({"probabilistic", "P_QOS=" + stats::fmt(p_qos, 3),
+                   stats::fmt(r.p_block(), 4), stats::fmt(r.p_drop(), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: for any static operating point, some probabilistic\n"
+               "point achieves no-worse P_d at lower P_b (or vice versa) — the\n"
+               "adaptive reservation tracks actual occupancy instead of holding\n"
+               "back a fixed slice.\n";
+  return 0;
+}

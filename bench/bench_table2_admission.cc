@@ -1,0 +1,104 @@
+// Table 2 reproduction: the admission test for a new connection request.
+//
+// Prints, for a representative QoS request over a 3-hop route, every row of
+// Table 2 — forward-pass tests per link, destination-node tests, and the
+// reverse-pass reservation — for both WFQ and RCSP scheduling.
+#include <iostream>
+
+#include "qos/admission.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using qos::AdmissionPipeline;
+using qos::LinkSnapshot;
+using qos::QosRequest;
+using qos::Scheduler;
+
+namespace {
+
+QosRequest sample_request() {
+  QosRequest r;
+  r.bandwidth = {qos::kbps(256), qos::kbps(1024)};
+  r.delay_bound = 0.5;
+  r.jitter_bound = 0.4;
+  r.loss_bound = 0.02;
+  r.traffic = {qos::bytes(4000), qos::bytes(1500)};  // sigma, L_max
+  return r;
+}
+
+std::vector<LinkSnapshot> sample_route() {
+  // Wireless access link, backbone switch hop, wireless egress.
+  return {
+      LinkSnapshot{qos::mbps(1.6), qos::kbps(64), qos::kbps(512), 2e6, 0.005},
+      LinkSnapshot{qos::mbps(45.0), 0.0, qos::mbps(10.0), 8e6, 0.0},
+      LinkSnapshot{qos::mbps(1.6), 0.0, qos::kbps(256), 2e6, 0.005},
+  };
+}
+
+void print_for(Scheduler scheduler, const char* name) {
+  const QosRequest request = sample_request();
+  const auto route = sample_route();
+  const AdmissionPipeline pipeline(scheduler, qos::MobilityClass::kStatic);
+  const auto result = pipeline.admit(request, route, /*b_stamp=*/qos::kbps(128));
+
+  std::cout << "\n--- scheduler: " << name << " ---\n";
+  std::cout << "accepted: " << (result.accepted ? "yes" : "no") << '\n';
+
+  stats::Table forward({"hop", "admissible bw (kbps)", "d_l (ms)", "jitter_l (ms)",
+                        "buffer fwd (bits)"});
+  for (std::size_t l = 0; l < route.size(); ++l) {
+    const double d_l = AdmissionPipeline::hop_delay(request, route[l]);
+    const double d_prev =
+        l > 0 ? AdmissionPipeline::hop_delay(request, route[l - 1]) : 0.0;
+    const double jitter =
+        (request.traffic.sigma + double(l + 1) * request.traffic.l_max) /
+        request.bandwidth.b_min;
+    forward.add_row({std::to_string(l + 1),
+                     stats::fmt(route[l].admissible_bandwidth() / 1e3, 1),
+                     stats::fmt(d_l * 1e3, 3), stats::fmt(jitter * 1e3, 3),
+                     stats::fmt(pipeline.forward_buffer(request, l + 1, d_prev, d_l), 0)});
+  }
+  std::cout << "forward pass (per link l):\n";
+  forward.print(std::cout);
+
+  std::cout << "destination node: d_min = " << stats::fmt(result.e2e_min_delay * 1e3, 3)
+            << " ms (bound " << stats::fmt(request.delay_bound * 1e3, 1)
+            << "), jitter = " << stats::fmt(result.e2e_jitter * 1e3, 3) << " ms (bound "
+            << stats::fmt(request.jitter_bound * 1e3, 1)
+            << "), loss = " << stats::fmt(result.e2e_loss, 5) << " (bound "
+            << stats::fmt(request.loss_bound, 3) << ")\n";
+
+  if (result.accepted) {
+    stats::Table reverse({"hop", "d'_l (ms)", "buffer rev (bits)"});
+    for (std::size_t l = 0; l < result.hops.size(); ++l) {
+      reverse.add_row({std::to_string(l + 1),
+                       stats::fmt(result.hops[l].local_delay * 1e3, 3),
+                       stats::fmt(result.hops[l].buffer, 0)});
+    }
+    std::cout << "reverse pass (uniform relaxation; static portable gets b_min + "
+                 "b_stamp):\n";
+    reverse.print(std::cout);
+    std::cout << "allocated bandwidth b_j = "
+              << stats::fmt(result.allocated_bandwidth / 1e3, 1) << " kbps (b_min "
+              << stats::fmt(request.bandwidth.b_min / 1e3, 1) << " + stamp 128.0)\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Table 2: admission test for a new connection request ==\n";
+  std::cout << "request: b in [256, 1024] kbps, d <= 500 ms, jitter <= 400 ms, "
+               "p_e <= 0.02, sigma = 4000 B, L_max = 1500 B, 3-hop route\n";
+  print_for(Scheduler::kWfq, "WFQ (work-conserving)");
+  print_for(Scheduler::kRcsp, "RCSP (rate-controlled static priority)");
+
+  // A request that must be rejected end-to-end, to show the failure path.
+  QosRequest tight = sample_request();
+  tight.delay_bound = 0.05;
+  const AdmissionPipeline pipeline(Scheduler::kWfq, qos::MobilityClass::kMobile);
+  const auto rejected = pipeline.admit(tight, sample_route());
+  std::cout << "\ntight request (d <= 50 ms): accepted=" << rejected.accepted
+            << " reason=" << qos::to_string(rejected.reason) << '\n';
+  return 0;
+}

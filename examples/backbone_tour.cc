@@ -1,0 +1,82 @@
+// Backbone tour: the full wired/wireless pipeline of Section 4 in one
+// walkthrough — end-to-end Table 2 admission over a routed path, multicast
+// warm-up toward neighbor cells, advance reservation on the predicted
+// wireless link, handoff with re-routing, adaptation, and application
+// renegotiation.
+//
+//   $ ./backbone_tour
+#include <iostream>
+
+#include "core/network_environment.h"
+#include "mobility/floorplan.h"
+
+using namespace imrm;
+
+namespace {
+
+qos::QosRequest video(qos::BitsPerSecond lo, qos::BitsPerSecond hi) {
+  qos::QosRequest r;
+  r.bandwidth = {lo, hi};
+  // Generous end-to-end bounds: at b_min = 128 kbps the burst term
+  // (sigma + n L)/b_min alone is ~0.6 s over the 4-hop path.
+  r.delay_bound = 1.5;
+  r.jitter_bound = 1.5;
+  r.loss_bound = 0.05;
+  r.traffic = {qos::bytes(4000), qos::bytes(1500)};
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  core::BackboneConfig config;
+  core::NetworkEnvironment env(mobility::fig4_environment(), simulator, config);
+  const auto cells = mobility::fig4_cells(env.map());
+
+  std::cout << "== Backbone tour ==\n";
+  std::cout << "topology: " << env.topology().node_count() << " nodes, "
+            << env.topology().link_count() << " directed links (server, core, area "
+            << "switches, one base station + wireless link per cell)\n\n";
+
+  // A user whose home office is A, in corridor C, streaming from the server.
+  const auto user = env.add_portable(cells.c, cells.a);
+  if (!env.open_connection(user, video(qos::kbps(128), qos::kbps(512)))) {
+    std::cerr << "admission failed\n";
+    return 1;
+  }
+  std::cout << "connection admitted end-to-end (Table 2, " << "WFQ); allocated "
+            << env.allocated(user) / 1e3 << " kbps\n";
+  std::cout << "multicast branches warmed: " << env.stats().multicast_branches_admitted
+            << " (one per neighbor of C)\n";
+
+  // Dwell until static: adaptation raises the allocation toward b_max.
+  simulator.run_until(sim::SimTime::minutes(5));
+  env.adapt();
+  std::cout << "after 5 quiet minutes (static): allocated "
+            << env.allocated(user) / 1e3 << " kbps\n";
+
+  // Walk to the corridor junction, then into the office.
+  env.handoff(user, cells.d);
+  std::cout << "handoff C->D: warm=" << env.stats().warm_handoffs
+            << ", advance reservation on office A's wireless link: "
+            << env.network().link(env.wireless_link(cells.a)).advance_reserved() / 1e3
+            << " kbps\n";
+  env.handoff(user, cells.a);
+  std::cout << "handoff D->A: reservations consumed so far: "
+            << env.stats().reservations_consumed
+            << ", drops: " << env.stats().handoff_drops << '\n';
+
+  // The application upgrades its own bounds (e.g. switching video quality).
+  if (env.renegotiate(user, video(qos::kbps(256), qos::mbps(1.2)))) {
+    simulator.run_until(sim::SimTime::minutes(12));
+    env.adapt();
+    std::cout << "renegotiated to [256, 1200] kbps; now allocated "
+              << env.allocated(user) / 1e3 << " kbps\n";
+  }
+
+  env.close_connection(user);
+  std::cout << "closed; network carries " << env.network().connection_count()
+            << " connections\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A tour of Table 1: what lives inside the cell and portable profiles, how
+// the profile server aggregates handoffs, and what each level of the
+// three-level predictor sees.
+//
+//   $ ./profiles_tour
+#include <iostream>
+
+#include "mobility/floorplan.h"
+#include "prediction/predictor.h"
+#include "profiles/booking.h"
+#include "profiles/profile_server.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using net::PortableId;
+
+int main() {
+  mobility::CellMap map = mobility::fig4_environment();
+  const auto cells = mobility::fig4_cells(map);
+  profiles::ProfileServer server{net::ZoneId{0}};
+
+  std::cout << "== Table 1 tour: profiles in the Figure 4 environment ==\n\n";
+
+  // Feed a week of habits: the faculty member (portable 0) goes C->D->A most
+  // mornings; students (1..3) go C->D->E->B; strangers scatter.
+  const PortableId faculty{0};
+  map.add_occupant(cells.a, faculty);
+  for (int day = 0; day < 5; ++day) {
+    server.record_handoff(faculty, cells.c, cells.d, day == 2 ? cells.e : cells.a);
+    for (unsigned s = 1; s <= 3; ++s) {
+      server.record_handoff(PortableId{s}, cells.c, cells.d, cells.e);
+      server.record_handoff(PortableId{s}, cells.d, cells.e, cells.b);
+    }
+    for (unsigned w = 0; w < 20; ++w) {
+      server.record_handoff(PortableId{100 + w}, cells.c, cells.d,
+                            w % 2 ? cells.f : cells.g);
+    }
+  }
+
+  // Portable profile: the <previous, current> -> next-predicted-cell view.
+  std::cout << "portable profile of the faculty member (id 0):\n";
+  const auto* fp = server.portable_profile(faculty);
+  stats::Table ptable({"state <prev, cur>", "observations", "next-predicted-cell"});
+  ptable.add_row({"<C, D>", std::to_string(fp->observations(cells.c, cells.d)),
+                  map.cell(*fp->predict(cells.c, cells.d)).name});
+  ptable.print(std::cout);
+
+  // Cell profile: handoff distribution of corridor D.
+  std::cout << "\ncell profile of corridor D (aggregate over all users):\n";
+  const auto* dp = server.cell_profile(cells.d);
+  stats::Table ctable({"next cell", "probability"});
+  for (const auto& share : dp->aggregate_distribution()) {
+    ctable.add_row({map.cell(share.neighbor).name, stats::fmt(share.probability, 3)});
+  }
+  ctable.print(std::cout);
+
+  // The three prediction levels, side by side.
+  std::cout << "\nthree-level prediction for a user at D (came from C):\n";
+  const prediction::ThreeLevelPredictor predictor(map, server);
+  stats::Table predt({"who", "level used", "predicted next cell"});
+  auto describe = [&](const char* who, PortableId id) {
+    const auto p = predictor.predict(id, cells.c, cells.d);
+    predt.add_row({who, prediction::to_string(p.level),
+                   p.next_cell ? map.cell(*p.next_cell).name : "-"});
+  };
+  describe("faculty (habitual)", faculty);
+  describe("student 1 (habitual)", PortableId{1});
+  describe("stranger (no history)", PortableId{999});
+  predt.print(std::cout);
+
+  // The meeting-room booking calendar.
+  std::cout << "\nbooking calendar of a meeting room:\n";
+  profiles::BookingCalendar calendar;
+  calendar.book({sim::SimTime::hours(9), sim::SimTime::hours(10), 35});
+  calendar.book({sim::SimTime::hours(10), sim::SimTime::hours(11.5), 55});
+  stats::Table btable({"start", "stop", "attendees (N_m)"});
+  for (const auto& m : calendar.meetings()) {
+    btable.add_row({stats::fmt(m.start.to_hours(), 1) + " h",
+                    stats::fmt(m.stop.to_hours(), 1) + " h",
+                    std::to_string(m.attendees)});
+  }
+  btable.print(std::cout);
+  const auto active = calendar.active_at(sim::SimTime::hours(9.5));
+  std::cout << "meeting in progress at 9.5 h: "
+            << (active ? std::to_string(active->attendees) + " attendees" : "none")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,166 @@
+// imrm scenario runner: a command-line front end for the experiment
+// harnesses, so scenarios can be swept without recompiling.
+//
+//   $ ./scenario_cli classroom --size 55 --policy brute-force --seed 7
+//   $ ./scenario_cli twocell --window 0.05 --pqos 0.01 --rule probabilistic
+//   $ ./scenario_cli fig4 --hours 100 --users 12
+//   $ ./scenario_cli maxmin --links 8 --conns 24 --seed 3
+#include <cstring>
+#include <iostream>
+#include <random>
+#include <string>
+
+#include "experiments/classroom.h"
+#include "experiments/fig4_mobility.h"
+#include "experiments/twocell.h"
+#include "maxmin/protocol.h"
+#include "maxmin/waterfill.h"
+#include "stats/table.h"
+
+using namespace imrm;
+using namespace imrm::experiments;
+
+namespace {
+
+/// Minimal flag scanner: --name value pairs after the subcommand.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  [[nodiscard]] double number(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::string text(const std::string& name, std::string fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int run_classroom_cmd(const Flags& flags) {
+  ClassroomConfig config;
+  config.class_size = std::size_t(flags.number("size", 35));
+  config.meeting = {sim::SimTime::minutes(60), sim::SimTime::minutes(110),
+                    config.class_size};
+  config.seed = std::uint64_t(flags.number("seed", 7));
+  config.passby_per_minute = flags.number("passby", 18.0);
+  const std::string policy = flags.text("policy", "meeting-room");
+  if (policy == "brute-force") config.policy = PolicyKind::kBruteForce;
+  else if (policy == "aggregate") config.policy = PolicyKind::kAggregate;
+  else if (policy == "static") config.policy = PolicyKind::kStatic;
+  else if (policy == "none") config.policy = PolicyKind::kNone;
+  else config.policy = PolicyKind::kMeetingRoom;
+
+  const ClassroomResult result = run_classroom(config);
+  std::cout << "policy=" << result.policy << " size=" << result.attendees
+            << " load=" << stats::fmt(result.offered_load * 100, 0) << "%"
+            << " drops=" << result.connection_drops << " walkers=" << result.walkers
+            << '\n';
+  return 0;
+}
+
+int run_twocell_cmd(const Flags& flags) {
+  TwoCellConfig config;
+  config.window = flags.number("window", 0.05);
+  config.p_qos = flags.number("pqos", 0.01);
+  config.duration = flags.number("duration", 1000.0);
+  config.guard_fraction = flags.number("guard", 0.1);
+  config.seed = std::uint64_t(flags.number("seed", 3));
+  const std::string rule = flags.text("rule", "probabilistic");
+  if (rule == "static") config.rule = AdmissionRule::kStaticGuard;
+  else if (rule == "none") config.rule = AdmissionRule::kNoReservation;
+  else config.rule = AdmissionRule::kProbabilistic;
+
+  const TwoCellResult r = run_twocell(config);
+  std::cout << "rule=" << rule << " T=" << config.window << " Pqos=" << config.p_qos
+            << "  Pb=" << stats::fmt(r.p_block(), 5) << " Pd=" << stats::fmt(r.p_drop(), 5)
+            << " (" << r.new_attempts << " arrivals, " << r.handoff_attempts
+            << " handoffs)\n";
+  return 0;
+}
+
+int run_fig4_cmd(const Flags& flags) {
+  Fig4Config config;
+  config.hours = flags.number("hours", 100.0);
+  config.background_users = int(flags.number("users", 12));
+  config.seed = std::uint64_t(flags.number("seed", 1));
+  const Fig4Result r = run_fig4(config);
+  auto pct = [](std::size_t a, std::size_t b) {
+    return b ? stats::fmt(100.0 * double(a) / double(b), 1) : std::string("-");
+  };
+  std::cout << "faculty C->D fanout: A " << pct(r.faculty.to_a, r.faculty.total())
+            << "% | towards B " << pct(r.faculty.toward_b, r.faculty.total())
+            << "% | F/G " << pct(r.faculty.to_fg, r.faculty.total()) << "%\n";
+  std::cout << "prediction hit rate: "
+            << pct(r.predictive_hits, r.predictive_reservations) << "% over "
+            << r.predictive_reservations << " reservations ("
+            << r.total_handoffs << " handoffs)\n";
+  return 0;
+}
+
+int run_maxmin_cmd(const Flags& flags) {
+  const int n_links = int(flags.number("links", 6));
+  const int n_conns = int(flags.number("conns", 12));
+  std::mt19937_64 rng{std::uint64_t(flags.number("seed", 1))};
+  std::uniform_real_distribution<double> cap(5.0, 50.0);
+
+  maxmin::Problem problem;
+  for (int i = 0; i < n_links; ++i) problem.links.push_back({cap(rng)});
+  for (int c = 0; c < n_conns; ++c) {
+    std::uniform_int_distribution<int> start_dist(0, n_links - 1);
+    const int start = start_dist(rng);
+    std::uniform_int_distribution<int> end_dist(start, n_links - 1);
+    const int end = end_dist(rng);
+    maxmin::ProblemConnection conn;
+    for (int li = start; li <= end; ++li) conn.path.push_back(std::size_t(li));
+    problem.connections.push_back(std::move(conn));
+  }
+
+  sim::Simulator simulator;
+  maxmin::DistributedProtocol protocol(simulator, problem, {});
+  protocol.start_all();
+  protocol.run_to_quiescence();
+  const auto optimum = maxmin::waterfill(problem);
+  double dev = 0.0;
+  for (std::size_t i = 0; i < optimum.rates.size(); ++i) {
+    dev = std::max(dev, std::abs(protocol.rates()[i] - optimum.rates[i]));
+  }
+  std::cout << "links=" << n_links << " conns=" << n_conns << " messages="
+            << protocol.messages_sent() << " rounds=" << protocol.rounds_run()
+            << " max-dev-from-optimal=" << stats::fmt(dev, 9) << '\n';
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: scenario_cli <command> [--flag value ...]\n"
+      "  classroom  --size N --policy meeting-room|brute-force|aggregate|static|none\n"
+      "             --passby R --seed S\n"
+      "  twocell    --window T --pqos P --rule probabilistic|static|none\n"
+      "             --guard G --duration D --seed S\n"
+      "  fig4       --hours H --users N --seed S\n"
+      "  maxmin     --links L --conns C --seed S\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "classroom") return run_classroom_cmd(flags);
+  if (command == "twocell") return run_twocell_cmd(flags);
+  if (command == "fig4") return run_fig4_cmd(flags);
+  if (command == "maxmin") return run_maxmin_cmd(flags);
+  usage();
+  return 2;
+}

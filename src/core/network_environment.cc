@@ -1,0 +1,309 @@
+#include "core/network_environment.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "maxmin/bridge.h"
+
+namespace imrm::core {
+
+NetworkEnvironment::NetworkEnvironment(mobility::CellMap map, sim::Simulator& simulator,
+                                       BackboneConfig config)
+    : map_(std::move(map)), simulator_(&simulator), config_(config),
+      mobility_(map_, simulator, config.static_threshold) {
+  assert(config_.zones >= 1);
+  if (config_.zones > 1) {
+    profiles::assign_zones_round_robin(map_, config_.zones);
+  }
+  universe_.emplace(map_, config_.zones);
+  predictor_.emplace(map_, *universe_);
+  build_topology();
+  network_.emplace(topology_);
+  router_.emplace(topology_);
+  mobility_.on_handoff([this](const mobility::HandoffEvent& event) {
+    universe_->record_handoff(event);
+    stats_.profile_migrations = universe_->migrations();
+    ++stats_.handoffs;
+  });
+}
+
+void NetworkEnvironment::build_topology() {
+  // Two-level backbone: server - core switch - area switches - base
+  // stations - (wireless link) - the cell's radio side.
+  server_ = topology_.add_node(net::NodeKind::kHost, "server");
+  const net::NodeId core = topology_.add_node(net::NodeKind::kSwitch, "core");
+  topology_.add_duplex(server_, core, config_.wired_capacity, config_.wired_buffer);
+
+  constexpr std::size_t kCellsPerArea = 4;
+  std::vector<net::NodeId> areas;
+  const std::size_t n_areas = (map_.size() + kCellsPerArea - 1) / kCellsPerArea;
+  for (std::size_t a = 0; a < n_areas; ++a) {
+    const net::NodeId sw =
+        topology_.add_node(net::NodeKind::kSwitch, "area-" + std::to_string(a));
+    topology_.add_duplex(core, sw, config_.wired_capacity, config_.wired_buffer);
+    areas.push_back(sw);
+  }
+
+  bs_of_.resize(map_.size());
+  air_of_.resize(map_.size());
+  wireless_link_of_.resize(map_.size());
+  for (const mobility::Cell& cell : map_.cells()) {
+    const std::size_t i = cell.id.value();
+    const net::NodeId bs =
+        topology_.add_node(net::NodeKind::kBaseStation, "bs-" + cell.name);
+    topology_.add_duplex(areas[i / kCellsPerArea], bs, config_.wired_capacity,
+                         config_.wired_buffer);
+    const net::NodeId air = topology_.add_node(net::NodeKind::kHost, "air-" + cell.name);
+    const net::LinkId down =
+        topology_.add_duplex(bs, air, config_.wireless_capacity, config_.wireless_buffer,
+                             config_.wireless_error_prob, /*wireless=*/true);
+    bs_of_[i] = bs;
+    air_of_[i] = air;
+    wireless_link_of_[i] = down;
+  }
+}
+
+std::optional<net::Route> NetworkEnvironment::route_for(CellId cell,
+                                                        Direction direction) const {
+  return direction == Direction::kDownlink
+             ? router_->shortest_path(server_, air_of_.at(cell.value()))
+             : router_->shortest_path(air_of_.at(cell.value()), server_);
+}
+
+PortableId NetworkEnvironment::add_portable(CellId start,
+                                            std::optional<CellId> home_office) {
+  const PortableId id = mobility_.add_portable(start);
+  if (home_office.has_value()) {
+    mobility_.portable(id).home_office = home_office;
+    map_.add_occupant(*home_office, id);
+  }
+  return id;
+}
+
+bool NetworkEnvironment::open_connection(PortableId portable,
+                                         const qos::QosRequest& request,
+                                         Direction direction) {
+  assert(!sessions_.contains(portable));
+  const CellId cell = mobility_.portable(portable).current_cell;
+  const auto route = route_for(cell, direction);
+  if (!route) {
+    ++stats_.connections_blocked;
+    return false;
+  }
+  const net::NodeId src = direction == Direction::kDownlink ? server_
+                                                            : air_of_[cell.value()];
+  const net::NodeId dst = direction == Direction::kDownlink ? air_of_[cell.value()]
+                                                            : server_;
+  auto admitted = network_->admit(src, dst, *route, request,
+                                  mobility_.classify(portable), config_.scheduler);
+  if (!admitted) {
+    // Conflict resolution (Section 5.2): squeeze static portables'
+    // connections back toward their minima and retry once.
+    adapt();
+    admitted = network_->admit(src, dst, *route, request,
+                               mobility_.classify(portable), config_.scheduler);
+  }
+  if (!admitted) {
+    ++stats_.connections_blocked;
+    return false;
+  }
+  Session session;
+  session.connection = *admitted;
+  session.request = request;
+  session.direction = direction;
+  sessions_.emplace(portable, std::move(session));
+  ++stats_.connections_opened;
+
+  Session& stored = sessions_.at(portable);
+  if (mobility_.classify(portable) == qos::MobilityClass::kMobile) {
+    place_advance_reservation(portable, stored);
+  }
+  rebuild_multicast(portable, stored);
+  adapt();
+  return true;
+}
+
+void NetworkEnvironment::teardown_session(PortableId portable, Session& session) {
+  if (session.connection.is_valid()) {
+    network_->teardown(session.connection);
+    session.connection = net::ConnectionId::invalid();
+  }
+  net::teardown_multicast(*network_, session.multicast);
+  cancel_advance_reservation(portable, session);
+}
+
+void NetworkEnvironment::close_connection(PortableId portable) {
+  const auto it = sessions_.find(portable);
+  assert(it != sessions_.end());
+  teardown_session(portable, it->second);
+  sessions_.erase(it);
+  adapt();
+}
+
+bool NetworkEnvironment::handoff(PortableId portable, CellId to) {
+  const auto it = sessions_.find(portable);
+  if (it == sessions_.end()) {
+    mobility_.move(portable, to);
+    return true;
+  }
+  Session& session = it->second;
+
+  // Was the multicast branch to the new base station warm?
+  const net::NodeId new_bs = bs_of_[to.value()];
+  for (const net::MulticastBranch& branch : session.multicast.branches) {
+    if (branch.target_base_station == new_bs && branch.admitted) {
+      ++stats_.warm_handoffs;
+      break;
+    }
+  }
+
+  // Tear the old path down and move; the advance reservation in the target
+  // cell (if any) stays until admission consumes it.
+  const bool predicted_here = session.reserved_in == to;
+  if (session.connection.is_valid()) {
+    network_->teardown(session.connection);
+    session.connection = net::ConnectionId::invalid();
+  }
+  net::teardown_multicast(*network_, session.multicast);
+  mobility_.move(portable, to);
+
+  const auto route = route_for(to, session.direction);
+  const net::NodeId src = session.direction == Direction::kDownlink
+                              ? server_ : air_of_[to.value()];
+  const net::NodeId dst = session.direction == Direction::kDownlink
+                              ? air_of_[to.value()] : server_;
+  auto admitted =
+      route ? network_->admit(src, dst, *route, session.request,
+                              qos::MobilityClass::kMobile, config_.scheduler, 0.0,
+                              qos::ConnectionKind::kHandoff)
+            : std::nullopt;
+  if (!admitted && route) {
+    adapt();  // squeeze and retry
+    admitted = network_->admit(src, dst, *route, session.request,
+                               qos::MobilityClass::kMobile, config_.scheduler, 0.0,
+                               qos::ConnectionKind::kHandoff);
+  }
+
+  if (predicted_here) {
+    // The admission consumed (or the failure wasted) the reservation.
+    session.reserved_in = CellId::invalid();
+    if (admitted) ++stats_.reservations_consumed;
+  } else {
+    cancel_advance_reservation(portable, session);
+  }
+
+  // Signaling latency (footnote 5): with the reservation in place only the
+  // local base station exchange is needed; otherwise the admission control
+  // packet makes a full round trip over the new path.
+  if (route) {
+    const double hop = config_.signaling_hop_latency.to_seconds();
+    if (predicted_here) {
+      stats_.total_handoff_latency_s += 2.0 * hop;
+      ++stats_.local_handoffs;
+    } else {
+      stats_.total_handoff_latency_s += 2.0 * hop * double(route->size());
+      ++stats_.e2e_handoffs;
+    }
+  }
+
+  if (!admitted) {
+    ++stats_.handoff_drops;
+    sessions_.erase(it);
+    adapt();
+    return false;
+  }
+  session.connection = *admitted;
+  place_advance_reservation(portable, session);
+  rebuild_multicast(portable, session);
+  adapt();
+  return true;
+}
+
+void NetworkEnvironment::place_advance_reservation(PortableId portable, Session& session) {
+  cancel_advance_reservation(portable, session);
+  const prediction::Prediction p = predictor_->predict(mobility_.portable(portable));
+  if (!p.next_cell.has_value()) return;
+  network_->link(wireless_link_of_[p.next_cell->value()])
+      .reserve_advance(session.request.bandwidth.b_min);
+  session.reserved_in = *p.next_cell;
+  ++stats_.reservations_placed;
+}
+
+void NetworkEnvironment::cancel_advance_reservation(PortableId portable, Session& session) {
+  (void)portable;
+  if (!session.reserved_in.is_valid()) return;
+  network_->link(wireless_link_of_[session.reserved_in.value()])
+      .release_advance(session.request.bandwidth.b_min);
+  session.reserved_in = CellId::invalid();
+}
+
+void NetworkEnvironment::rebuild_multicast(PortableId portable, Session& session) {
+  net::teardown_multicast(*network_, session.multicast);
+  session.multicast = net::MulticastTree{};
+  if (!config_.enable_multicast) return;
+  const CellId cell = mobility_.portable(portable).current_cell;
+  std::vector<net::NodeId> neighbor_bs;
+  for (CellId n : map_.cell(cell).neighbors) {
+    neighbor_bs.push_back(bs_of_[n.value()]);
+  }
+  session.multicast = net::setup_neighbor_multicast(*network_, *router_, server_,
+                                                    neighbor_bs, session.request,
+                                                    config_.scheduler);
+  stats_.multicast_branches_admitted += session.multicast.admitted_count();
+  stats_.multicast_branches_rejected +=
+      session.multicast.branches.size() - session.multicast.admitted_count();
+}
+
+void NetworkEnvironment::adapt() {
+  // Refresh static/mobile classes on the live connections (portables that
+  // sat still past T_th join the adaptable set), then solve max-min.
+  for (auto& [portable, session] : sessions_) {
+    if (!session.connection.is_valid()) continue;
+    network_->set_mobility(session.connection, mobility_.classify(portable));
+  }
+  maxmin::resolve_conflicts(*network_, /*static_only=*/true);
+  ++stats_.conflict_resolutions;
+}
+
+bool NetworkEnvironment::renegotiate(PortableId portable, const qos::QosRequest& request) {
+  const auto it = sessions_.find(portable);
+  assert(it != sessions_.end());
+  Session& session = it->second;
+  const CellId cell = mobility_.portable(portable).current_cell;
+  const auto route = route_for(cell, session.direction);
+  if (!route) return false;
+
+  // Treated as a new connection request: release the old reservation first,
+  // then admit the new one; on failure restore the old connection.
+  const qos::QosRequest old_request = session.request;
+  network_->teardown(session.connection);
+  session.connection = net::ConnectionId::invalid();
+
+  const net::NodeId src = session.direction == Direction::kDownlink
+                              ? server_ : air_of_[cell.value()];
+  const net::NodeId dst = session.direction == Direction::kDownlink
+                              ? air_of_[cell.value()] : server_;
+  auto admitted = network_->admit(src, dst, *route, request,
+                                  mobility_.classify(portable), config_.scheduler);
+  if (admitted) {
+    session.connection = *admitted;
+    session.request = request;
+    rebuild_multicast(portable, session);
+    adapt();
+    return true;
+  }
+  // Roll back: the old request fit before the teardown, so it fits now.
+  auto restored = network_->admit(src, dst, *route, old_request,
+                                  mobility_.classify(portable), config_.scheduler);
+  assert(restored.has_value());
+  session.connection = *restored;
+  return false;
+}
+
+qos::BitsPerSecond NetworkEnvironment::allocated(PortableId portable) const {
+  const auto it = sessions_.find(portable);
+  if (it == sessions_.end() || !it->second.connection.is_valid()) return 0.0;
+  return network_->connection(it->second.connection).allocated;
+}
+
+}  // namespace imrm::core

@@ -1,0 +1,176 @@
+// The full mixed wired/wireless environment of Section 4.
+//
+// Where core::Environment models only the scarce wireless cells,
+// NetworkEnvironment builds the complete substrate: a wired backbone with a
+// correspondent server, one base station per cell, a shared wireless link
+// per cell, and runs the paper's whole pipeline over it —
+//
+//   * end-to-end Table 2 admission (forward pass / destination test /
+//     reverse-pass reservation) over the routed path for every connection,
+//   * multicast branches to all neighboring base stations so a handoff
+//     finds warm state (branch admission failures are never fatal),
+//   * advance reservation of b_min on the predicted next cell's wireless
+//     link (b_resv,l), consumable only by the predicted handoff,
+//   * handoff processing: re-route, handoff-class admission at the new
+//     wireless link, drop accounting,
+//   * max-min conflict resolution across the whole network for static
+//     portables' connections (Section 5.2 via maxmin::resolve_conflicts).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "mobility/manager.h"
+#include "net/multicast.h"
+#include "net/network_state.h"
+#include "prediction/predictor.h"
+#include "profiles/universe.h"
+#include "sim/simulator.h"
+
+namespace imrm::core {
+
+using mobility::CellId;
+using net::PortableId;
+
+/// All wireless traffic is uplink (portable -> base station) or downlink
+/// (base station -> portable) — Section 3.1. The direction decides the
+/// orientation of the routed path.
+enum class Direction { kDownlink, kUplink };
+
+struct BackboneConfig {
+  qos::BitsPerSecond wireless_capacity = qos::mbps(1.6);
+  qos::BitsPerSecond wired_capacity = qos::mbps(45.0);  // T3 backbone links
+  qos::Bits wired_buffer = 8e6;
+  qos::Bits wireless_buffer = 2e6;
+  double wireless_error_prob = 0.005;
+  qos::Scheduler scheduler = qos::Scheduler::kWfq;
+  sim::Duration static_threshold = sim::Duration::minutes(3);
+  /// Set up multicast branches to neighbor cells on connection open and
+  /// after each handoff (Section 4's transient-reduction mechanism).
+  bool enable_multicast = true;
+  /// Per-hop signaling latency used for the handoff-latency accounting.
+  sim::Duration signaling_hop_latency = sim::Duration::millis(2.0);
+  /// Number of profile-server zones (Section 3.4.1). Cells are partitioned
+  /// round robin unless the map already assigns zones. Portable profiles
+  /// migrate between zone servers on boundary crossings.
+  std::size_t zones = 1;
+};
+
+struct BackboneStats {
+  std::size_t connections_opened = 0;
+  std::size_t connections_blocked = 0;
+  std::size_t handoffs = 0;
+  std::size_t handoff_drops = 0;
+  std::size_t reservations_placed = 0;
+  std::size_t reservations_consumed = 0;  // prediction hits
+  std::size_t multicast_branches_admitted = 0;
+  std::size_t multicast_branches_rejected = 0;
+  /// Handoffs into a cell whose multicast branch was warm (data already
+  /// flowing to the new base station's buffers).
+  std::size_t warm_handoffs = 0;
+  std::size_t conflict_resolutions = 0;
+  std::size_t profile_migrations = 0;  // cross-zone profile moves
+  /// Signaling latency accounting (footnote 5): a handoff into a cell with
+  /// an advance reservation completes with local signaling only (one hop to
+  /// the base station and back); an unpredicted handoff pays a full
+  /// end-to-end admission round trip over the new path.
+  double total_handoff_latency_s = 0.0;
+  std::size_t local_handoffs = 0;  // settled with the advance reservation
+  std::size_t e2e_handoffs = 0;    // needed full end-to-end admission
+
+  [[nodiscard]] double mean_handoff_latency_s() const {
+    const std::size_t n = local_handoffs + e2e_handoffs;
+    return n ? total_handoff_latency_s / double(n) : 0.0;
+  }
+};
+
+class NetworkEnvironment {
+ public:
+  NetworkEnvironment(mobility::CellMap map, sim::Simulator& simulator,
+                     BackboneConfig config);
+
+  PortableId add_portable(CellId start, std::optional<CellId> home_office = std::nullopt);
+
+  /// Opens a connection between the backbone server and the portable
+  /// (downlink: server -> portable; uplink: portable -> server), running
+  /// full Table 2 admission over the routed path (wired hops + the wireless
+  /// cell link). Returns false when admission rejects.
+  bool open_connection(PortableId portable, const qos::QosRequest& request,
+                       Direction direction = Direction::kDownlink);
+  void close_connection(PortableId portable);
+
+  /// Handoff with re-routing: tears the old path down, admits the new path
+  /// as a handoff (consuming any advance reservation), rebuilds multicast
+  /// branches. Returns false when the connection was dropped.
+  bool handoff(PortableId portable, CellId to);
+
+  /// Network-initiated adaptation: re-runs max-min conflict resolution over
+  /// all static portables' connections.
+  void adapt();
+
+  /// Application-initiated renegotiation (Section 5.3: "the network
+  /// essentially treats it as a new connection request"): try to move the
+  /// connection to new bounds; on failure the old connection stays intact.
+  bool renegotiate(PortableId portable, const qos::QosRequest& request);
+
+  // ---- introspection ----------------------------------------------------
+  [[nodiscard]] const BackboneStats& stats() const { return stats_; }
+  [[nodiscard]] const net::NetworkState& network() const { return *network_; }
+  [[nodiscard]] net::NetworkState& network_mut() { return *network_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] bool has_connection(PortableId portable) const {
+    return sessions_.contains(portable);
+  }
+  [[nodiscard]] qos::BitsPerSecond allocated(PortableId portable) const;
+  [[nodiscard]] net::LinkId wireless_link(CellId cell) const {
+    return wireless_link_of_.at(cell.value());
+  }
+  [[nodiscard]] net::NodeId base_station(CellId cell) const {
+    return bs_of_.at(cell.value());
+  }
+  [[nodiscard]] net::NodeId server() const { return server_; }
+  [[nodiscard]] const mobility::CellMap& map() const { return map_; }
+  [[nodiscard]] mobility::MobilityManager& mobility() { return mobility_; }
+  /// The zone universe (one server per zone; zones = 1 by default).
+  [[nodiscard]] profiles::Universe& universe() { return *universe_; }
+  /// Convenience: the profile server owning `the server of zone 0` — with a
+  /// single zone this is THE profile server (backward-compatible accessor).
+  [[nodiscard]] profiles::ProfileServer& profiles() {
+    return universe_->server(net::ZoneId{0});
+  }
+
+ private:
+  struct Session {
+    net::ConnectionId connection = net::ConnectionId::invalid();
+    qos::QosRequest request;
+    Direction direction = Direction::kDownlink;
+    net::MulticastTree multicast;
+    CellId reserved_in = CellId::invalid();
+  };
+
+  void build_topology();
+  [[nodiscard]] std::optional<net::Route> route_for(CellId cell, Direction direction) const;
+  void place_advance_reservation(PortableId portable, Session& session);
+  void cancel_advance_reservation(PortableId portable, Session& session);
+  void rebuild_multicast(PortableId portable, Session& session);
+  void teardown_session(PortableId portable, Session& session);
+
+  mobility::CellMap map_;
+  sim::Simulator* simulator_;
+  BackboneConfig config_;
+  net::Topology topology_;
+  std::optional<net::NetworkState> network_;  // built after the topology
+  std::optional<net::Router> router_;
+  mobility::MobilityManager mobility_;
+  std::optional<profiles::Universe> universe_;   // built after zone assignment
+  std::optional<prediction::ThreeLevelPredictor> predictor_;
+
+  net::NodeId server_ = net::NodeId::invalid();
+  std::vector<net::NodeId> bs_of_;             // per cell id
+  std::vector<net::NodeId> air_of_;            // per cell id: the cell's radio side
+  std::vector<net::LinkId> wireless_link_of_;  // per cell id (downlink BS -> air)
+  std::unordered_map<PortableId, Session> sessions_;
+  BackboneStats stats_;
+};
+
+}  // namespace imrm::core

@@ -1,0 +1,233 @@
+#include "experiments/campus_day.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "mobility/floorplan.h"
+#include "mobility/manager.h"
+#include "prediction/predictor.h"
+#include "profiles/profile_server.h"
+#include "reservation/dispatcher.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "workload/connection_mix.h"
+
+namespace imrm::experiments {
+
+using mobility::CellId;
+using net::PortableId;
+using qos::kbps;
+using sim::Duration;
+using sim::SimTime;
+
+std::string to_string(CampusPolicy policy) {
+  switch (policy) {
+    case CampusPolicy::kNone: return "none";
+    case CampusPolicy::kStatic: return "static";
+    case CampusPolicy::kBruteForce: return "brute-force";
+    case CampusPolicy::kAggregate: return "aggregate";
+    case CampusPolicy::kDispatcher: return "dispatcher (Sec. 6.4)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class CampusDay {
+ public:
+  explicit CampusDay(const CampusDayConfig& config)
+      : config_(config), map_(mobility::campus_environment()),
+        manager_(map_, simulator_, Duration::minutes(3)), server_(net::ZoneId{0}),
+        predictor_(map_, server_), rng_(config.seed) {
+    for (const auto& cell : map_.cells()) {
+      directory_.add_cell(cell.id, config_.cell_capacity);
+    }
+    room_ = *map_.find("meeting-room");
+    corridor_ = *map_.find("corridor-0");
+    far_corridor_ = *map_.find("corridor-3");
+    server_.calendar(room_).book(
+        {config_.meeting_start, config_.meeting_stop, config_.attendees});
+
+    manager_.on_handoff([this](const mobility::HandoffEvent& e) {
+      server_.record_handoff(e);
+      if (policy_) policy_->on_handoff(e);
+    });
+    build_policy();
+  }
+
+  CampusDayResult run() {
+    schedule_attendees();
+    schedule_squatters();
+    schedule_roamers();
+
+    const SimTime horizon = config_.meeting_stop + Duration::minutes(40);
+    simulator_.every(Duration::seconds(30), horizon, [this] { refresh(); });
+    simulator_.every(Duration::minutes(1), horizon, [this] {
+      result_.room_peak_allocated =
+          std::max(result_.room_peak_allocated, directory_.at(room_).allocated());
+    });
+    simulator_.run();
+    result_.policy = to_string(config_.policy);
+    return result_;
+  }
+
+ private:
+  reservation::PolicyEnv env() {
+    reservation::PolicyEnv e;
+    e.map = &map_;
+    e.directory = &directory_;
+    e.profiles = &server_;
+    e.demand = [this](PortableId p) {
+      const auto it = demand_.find(p);
+      return it == demand_.end() ? 0.0 : it->second;
+    };
+    e.classify = [this](PortableId p) { return manager_.classify(p); };
+    e.portables_in = [this](CellId c) { return manager_.portables_in(c); };
+    e.previous_cell = [this](PortableId p) { return manager_.portable(p).previous_cell; };
+    return e;
+  }
+
+  void build_policy() {
+    switch (config_.policy) {
+      case CampusPolicy::kNone:
+        policy_ = std::make_unique<reservation::NoReservationPolicy>(env());
+        break;
+      case CampusPolicy::kStatic:
+        policy_ = std::make_unique<reservation::StaticPolicy>(env(), 0.10);
+        break;
+      case CampusPolicy::kBruteForce:
+        policy_ = std::make_unique<reservation::BruteForcePolicy>(env());
+        break;
+      case CampusPolicy::kAggregate:
+        policy_ = std::make_unique<reservation::AggregatePolicy>(env());
+        break;
+      case CampusPolicy::kDispatcher:
+        policy_ = std::make_unique<reservation::PolicyDispatcher>(
+            env(), predictor_, server_, reservation::PolicyDispatcher::Params{});
+        break;
+    }
+  }
+
+  void refresh() { policy_->refresh(simulator_.now()); }
+
+  void do_handoff(PortableId p, CellId to, bool is_attendee) {
+    const CellId from = manager_.portable(p).current_cell;
+    if (from == to || !map_.cell(from).is_neighbor(to)) return;
+    const auto it = demand_.find(p);
+    const bool connected = it != demand_.end();
+    if (connected) directory_.at(from).release(p);
+    manager_.move(p, to);
+    ++result_.handoffs;
+    if (connected && !directory_.at(to).admit_handoff(p, it->second)) {
+      if (is_attendee) {
+        ++result_.attendee_drops;
+      } else {
+        ++result_.other_drops;
+      }
+      demand_.erase(it);
+    }
+    refresh();
+  }
+
+  void schedule_attendees() {
+    const workload::ConnectionMix mix = workload::paper_fig5_mix();
+    // The corridor chain from the far end to the room's corridor.
+    const std::vector<CellId> chain{*map_.find("corridor-3"), *map_.find("corridor-2"),
+                                    *map_.find("corridor-1"), *map_.find("corridor-0")};
+    for (std::size_t i = 0; i < config_.attendees; ++i) {
+      const PortableId p = manager_.add_portable(far_corridor_);
+      const qos::BitsPerSecond b = mix.sample(rng_);
+      // Appear in the far corridor with a connection well before the
+      // meeting, walk the corridor chain to the room around the start,
+      // leave after.
+      const double appear = rng_.uniform(5.0, 30.0);
+      simulator_.at(SimTime::minutes(appear), [this, p, b] {
+        if (directory_.at(far_corridor_).admit_new(p, b)) demand_[p] = b;
+        refresh();
+      });
+      const double arrive =
+          config_.meeting_start.to_minutes() + rng_.truncated_normal(-2.0, 3.0, -8.0, 2.0);
+      for (std::size_t hop = 1; hop < chain.size(); ++hop) {
+        const double at = arrive - double(chain.size() - hop) * 0.7;
+        simulator_.at(SimTime::minutes(at),
+                      [this, p, to = chain[hop]] { do_handoff(p, to, true); });
+      }
+      simulator_.at(SimTime::minutes(arrive), [this, p] { do_handoff(p, room_, true); });
+      const double leave = config_.meeting_stop.to_minutes() + rng_.uniform(0.0, 5.0);
+      simulator_.at(SimTime::minutes(leave), [this, p] { do_handoff(p, corridor_, true); });
+    }
+  }
+
+  void schedule_squatters() {
+    // Attempts spread from well before the meeting into the reservation
+    // window (T_s - 10 min onward): reservation-aware policies block the
+    // late ones; with no reservations they all land.
+    for (std::size_t i = 0; i < config_.squatters; ++i) {
+      const PortableId p = manager_.add_portable(room_);
+      retry_squat(p, rng_.uniform(40.0, config_.meeting_start.to_minutes() - 1.0));
+    }
+  }
+
+  /// A squatter repeatedly tries to open a bulk connection; once admitted it
+  /// holds it for the rest of the day (the adversarial case for the meeting).
+  void retry_squat(PortableId p, double at_minutes) {
+    simulator_.at(SimTime::minutes(at_minutes), [this, p] {
+      if (demand_.contains(p)) return;
+      if (directory_.at(room_).admit_new(p, config_.squatter_bandwidth)) {
+        demand_[p] = config_.squatter_bandwidth;
+        ++result_.squatter_admits;
+      } else {
+        ++result_.squatter_blocks;
+        retry_squat(p, simulator_.now().to_minutes() + 5.0);
+      }
+      refresh();
+    });
+  }
+
+  void schedule_roamers() {
+    // Light corridor background so profiles have something to aggregate.
+    for (int i = 0; i < 6; ++i) {
+      const PortableId p = manager_.add_portable(corridor_);
+      double t = rng_.uniform(1.0, 10.0);
+      CellId a = corridor_, b = far_corridor_;
+      for (int hop = 0; hop < 30; ++hop) {
+        // Ping-pong along the corridor chain.
+        const auto path_cells = map_.cell(a).neighbors;
+        t += rng_.exponential_mean(6.0);
+        const CellId target = b;
+        simulator_.at(SimTime::minutes(t), [this, p, target] {
+          // Walk one step toward the target along the corridor backbone.
+          const auto& me = manager_.portable(p);
+          for (CellId n : map_.cell(me.current_cell).neighbors) {
+            if (map_.cell(n).cell_class == mobility::CellClass::kCorridor) {
+              do_handoff(p, n, false);
+              break;
+            }
+          }
+        });
+        std::swap(a, b);
+      }
+    }
+  }
+
+  CampusDayConfig config_;
+  mobility::CellMap map_;
+  sim::Simulator simulator_;
+  mobility::MobilityManager manager_;
+  profiles::ProfileServer server_;
+  prediction::ThreeLevelPredictor predictor_;
+  reservation::ReservationDirectory directory_;
+  std::unordered_map<PortableId, qos::BitsPerSecond> demand_;
+  std::unique_ptr<reservation::AdvanceReservationPolicy> policy_;
+  sim::Rng rng_;
+  CellId room_, corridor_, far_corridor_;
+  CampusDayResult result_;
+};
+
+}  // namespace
+
+CampusDayResult run_campus_day(const CampusDayConfig& config) {
+  return CampusDay(config).run();
+}
+
+}  // namespace imrm::experiments

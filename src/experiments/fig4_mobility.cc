@@ -1,0 +1,118 @@
+#include "experiments/fig4_mobility.h"
+
+#include <memory>
+#include <vector>
+
+#include "mobility/movement.h"
+#include "profiles/profile_server.h"
+#include "sim/simulator.h"
+
+namespace imrm::experiments {
+
+using mobility::CellId;
+using net::PortableId;
+
+Fig4Result run_fig4(const Fig4Config& config) {
+  mobility::CellMap map = mobility::fig4_environment();
+  const mobility::Fig4Cells cells = mobility::fig4_cells(map);
+
+  sim::Simulator simulator;
+  mobility::MobilityManager manager(map, simulator, sim::Duration::minutes(3));
+  profiles::ProfileServer server{net::ZoneId{0}};
+
+  sim::Rng rng(config.seed);
+
+  // Users: one faculty member (occupant of A), three students (occupants of
+  // B), plus anonymous background walkers.
+  const PortableId faculty = manager.add_portable(cells.c);
+  map.add_occupant(cells.a, faculty);
+  std::vector<PortableId> students;
+  for (int i = 0; i < 3; ++i) {
+    const PortableId s = manager.add_portable(cells.c);
+    map.add_occupant(cells.b, s);
+    students.push_back(s);
+  }
+  std::vector<PortableId> others;
+  for (int i = 0; i < config.background_users; ++i) {
+    others.push_back(manager.add_portable(cells.c));
+  }
+
+  const prediction::ThreeLevelPredictor predictor(map, server);
+  Fig4Result result;
+
+  // Prediction listener runs BEFORE the profile update so each handoff is
+  // predicted from the history available at that moment (online evaluation).
+  manager.on_handoff([&](const mobility::HandoffEvent& event) {
+    ++result.total_handoffs;
+    result.brute_force_reservations += map.cell(event.from).neighbors.size();
+    prediction::Prediction p;
+    if (config.prediction == PredictionMode::kThreeLevel) {
+      p = predictor.predict(event.portable, event.prev_of_from, event.from);
+    } else {
+      // Ablation: only the cell's aggregate history (no personal profile,
+      // no office-occupancy shortcut).
+      if (const profiles::CellProfile* profile = server.cell_profile(event.from)) {
+        if (const auto next = profile->predict(event.prev_of_from)) {
+          p = {next, prediction::PredictionLevel::kCellAggregate};
+        }
+      }
+    }
+    if (!p.next_cell.has_value()) {
+      ++result.unpredicted;
+    } else {
+      ++result.predictive_reservations;
+      const bool hit = *p.next_cell == event.to;
+      if (hit) ++result.predictive_hits;
+      auto& level = p.level == prediction::PredictionLevel::kPortableProfile
+                        ? result.portable_profile
+                        : p.level == prediction::PredictionLevel::kOfficeOccupancy
+                              ? result.office_occupancy
+                              : result.cell_aggregate;
+      ++level.predictions;
+      if (hit) ++level.correct;
+    }
+  });
+  manager.on_handoff(
+      [&](const mobility::HandoffEvent& event) { server.record_handoff(event); });
+
+  // Fan-out counting at the measured decision point: handoffs out of D for
+  // portables that arrived in D from C.
+  manager.on_handoff([&](const mobility::HandoffEvent& event) {
+    if (event.from != cells.d || event.prev_of_from != cells.c) return;
+    Fanout* fanout = &result.others;
+    if (event.portable == faculty) {
+      fanout = &result.faculty;
+    } else {
+      for (PortableId s : students) {
+        if (event.portable == s) fanout = &result.students;
+      }
+    }
+    if (event.to == cells.a) {
+      ++fanout->to_a;
+    } else if (event.to == cells.e) {
+      ++fanout->toward_b;
+    } else if (event.to == cells.f || event.to == cells.g) {
+      ++fanout->to_fg;
+    }
+  });
+
+  // Movers with the calibrated weights.
+  mobility::MarkovMover::Config mover_config;
+  mover_config.mean_dwell = sim::Duration::minutes(config.mean_dwell_minutes);
+  mover_config.horizon = sim::SimTime::hours(config.hours);
+
+  std::vector<std::unique_ptr<mobility::MarkovMover>> movers;
+  auto add_mover = [&](PortableId p, const mobility::Fig4Weights& weights) {
+    movers.push_back(std::make_unique<mobility::MarkovMover>(
+        manager, mobility::fig4_transition_table(map, weights), mover_config, rng.fork()));
+    movers.back()->start(p);
+  };
+  add_mover(faculty, mobility::fig4_faculty_weights());
+  for (PortableId s : students) add_mover(s, mobility::fig4_student_weights());
+  for (PortableId o : others) add_mover(o, mobility::fig4_other_weights());
+
+  simulator.run();
+  return result;
+}
+
+}  // namespace imrm::experiments

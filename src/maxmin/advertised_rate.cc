@@ -1,0 +1,78 @@
+#include "maxmin/advertised_rate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imrm::maxmin {
+
+double AdvertisedRate::evaluate(const std::vector<double>& recorded_rates,
+                                const std::vector<bool>& restricted) const {
+  assert(recorded_rates.size() == restricted.size());
+  const std::size_t n_total = recorded_rates.size();
+  if (n_total == 0) return excess_capacity_;
+
+  double restricted_sum = 0.0;   // b'_R
+  double restricted_max = 0.0;   // max_{i in R} b'_{R,i}
+  std::size_t n_restricted = 0;  // N_R
+  for (std::size_t i = 0; i < n_total; ++i) {
+    if (!restricted[i]) continue;
+    restricted_sum += recorded_rates[i];
+    restricted_max = std::max(restricted_max, recorded_rates[i]);
+    ++n_restricted;
+  }
+
+  if (n_restricted == n_total) {
+    // Everyone bottlenecked elsewhere: offer the leftover plus the largest
+    // restricted share (that connection could grow into the slack here).
+    return excess_capacity_ - restricted_sum + restricted_max;
+  }
+  return (excess_capacity_ - restricted_sum) / double(n_total - n_restricted);
+}
+
+std::vector<bool> AdvertisedRate::marking(const std::vector<double>& recorded_rates,
+                                          double mu) {
+  std::vector<bool> restricted(recorded_rates.size());
+  for (std::size_t i = 0; i < recorded_rates.size(); ++i) {
+    restricted[i] = recorded_rates[i] <= mu;
+  }
+  return restricted;
+}
+
+double AdvertisedRate::recompute(const std::vector<double>& recorded_rates) {
+  // First pass: restricted set relative to the previous advertised rate.
+  std::vector<bool> restricted = marking(recorded_rates, advertised_);
+  double mu = evaluate(recorded_rates, restricted);
+
+  // Re-mark: previously restricted connections whose recorded rate now
+  // exceeds mu become unrestricted; the paper shows a single re-calculation
+  // suffices after this re-marking.
+  std::vector<bool> remarked = restricted;
+  bool changed = false;
+  for (std::size_t i = 0; i < remarked.size(); ++i) {
+    if (remarked[i] && recorded_rates[i] > mu) {
+      remarked[i] = false;
+      changed = true;
+    }
+  }
+  if (changed) mu = evaluate(recorded_rates, remarked);
+
+  advertised_ = mu;
+  return mu;
+}
+
+double AdvertisedRate::fixed_point(const std::vector<double>& recorded_rates) const {
+  // Iterate marking -> evaluate until the marking stabilizes. Guaranteed to
+  // terminate: the restricted set shrinks monotonically once seeded with the
+  // all-restricted marking's evaluation.
+  std::vector<bool> restricted(recorded_rates.size(), true);
+  double mu = evaluate(recorded_rates, restricted);
+  for (std::size_t iter = 0; iter <= recorded_rates.size() + 1; ++iter) {
+    std::vector<bool> next = marking(recorded_rates, mu);
+    if (next == restricted) break;
+    restricted = std::move(next);
+    mu = evaluate(recorded_rates, restricted);
+  }
+  return mu;
+}
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,56 @@
+// Advertised-rate computation at a switch (Section 5.3.1).
+//
+// A switch keeps, for each link, the last stamped rate it saw for every
+// ongoing connection ("recorded rates"). Connections whose recorded rate is
+// at or below the advertised rate are "restricted" (set R) — they are
+// bottlenecked elsewhere. The advertised rate mu_l is then
+//
+//          | b'_av,l                                   if N_l = 0
+//   mu_l = | b'_av,l - b'_R + max_{i in R} b'_{R,i}    if N_l = N_R
+//          | (b'_av,l - b'_R) / (N_l - N_R)            otherwise
+//
+// After a first computation some previously-restricted connections can turn
+// unrestricted with respect to the new rate; the paper notes one
+// re-calculation suffices, which recompute() implements (and the iterative
+// fixed_point() verifies in tests).
+#pragma once
+
+#include <vector>
+
+#include "maxmin/problem.h"
+
+namespace imrm::maxmin {
+
+class AdvertisedRate {
+ public:
+  /// `excess_capacity` is b'_av,l for the link this instance models.
+  explicit AdvertisedRate(double excess_capacity)
+      : excess_capacity_(excess_capacity) {}
+
+  /// Computes mu given recorded rates, using the restricted set implied by
+  /// the *previous* advertised rate and at most one re-marking pass, exactly
+  /// as the paper prescribes.
+  double recompute(const std::vector<double>& recorded_rates);
+
+  /// Fully iterated fixed point (re-marks until stable); used to validate the
+  /// one-recalculation claim.
+  [[nodiscard]] double fixed_point(const std::vector<double>& recorded_rates) const;
+
+  [[nodiscard]] double current() const { return advertised_; }
+  void set_excess_capacity(double c) { excess_capacity_ = c; }
+  [[nodiscard]] double excess_capacity() const { return excess_capacity_; }
+
+  /// Single evaluation of the mu formula for a given restricted marking.
+  [[nodiscard]] double evaluate(const std::vector<double>& recorded_rates,
+                                const std::vector<bool>& restricted) const;
+
+  /// The marking implied by an advertised rate: i restricted iff rate_i <= mu.
+  [[nodiscard]] static std::vector<bool> marking(const std::vector<double>& recorded_rates,
+                                                 double mu);
+
+ private:
+  double excess_capacity_;
+  double advertised_ = 0.0;
+};
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,34 @@
+// Bridge between the live network state and the rate-allocation machinery:
+// extract a Problem (excess capacities + connection headrooms), solve it
+// centrally or distributedly, and write the allocations back.
+//
+// This is the "conflict resolution" entry point used by admission control
+// (Section 5.2) and by network-initiated adaptation (Section 5.3).
+#pragma once
+
+#include <vector>
+
+#include "maxmin/problem.h"
+#include "maxmin/waterfill.h"
+#include "net/network_state.h"
+
+namespace imrm::maxmin {
+
+struct ExtractedProblem {
+  Problem problem;
+  std::vector<net::ConnectionId> connection_order;  // problem index -> id
+  std::vector<net::LinkId> link_order;              // problem index -> id
+};
+
+/// Snapshot of the adaptable part of the network: every link contributes its
+/// excess capacity, every connection its headroom b_max - b_min. Only
+/// connections from *static* portables participate when `static_only` is set
+/// (Section 5.3: the network adapts only static portables' connections).
+[[nodiscard]] ExtractedProblem extract_problem(const net::NetworkState& network,
+                                               bool static_only = true);
+
+/// Solves with centralized water-filling and applies b_j = b_min + excess_j
+/// to every participating connection. Returns the per-connection excess.
+std::vector<double> resolve_conflicts(net::NetworkState& network, bool static_only = true);
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,83 @@
+#include "maxmin/problem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace imrm::maxmin {
+
+bool Problem::valid() const {
+  for (const ProblemLink& l : links) {
+    if (l.excess_capacity < 0.0) return false;
+  }
+  for (const ProblemConnection& c : connections) {
+    if (c.path.empty()) return false;
+    if (c.demand < 0.0) return false;
+    for (LinkIndex li : c.path) {
+      if (li >= links.size()) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<ConnIndex>> Problem::connections_by_link() const {
+  std::vector<std::vector<ConnIndex>> by_link(links.size());
+  for (ConnIndex ci = 0; ci < connections.size(); ++ci) {
+    for (LinkIndex li : connections[ci].path) by_link[li].push_back(ci);
+  }
+  return by_link;
+}
+
+bool is_feasible(const Problem& problem, const std::vector<double>& rates, double slack) {
+  assert(rates.size() == problem.connections.size());
+  for (ConnIndex ci = 0; ci < rates.size(); ++ci) {
+    if (rates[ci] < -slack) return false;
+    if (rates[ci] > problem.connections[ci].demand + slack) return false;
+  }
+  const auto by_link = problem.connections_by_link();
+  for (LinkIndex li = 0; li < problem.links.size(); ++li) {
+    double load = 0.0;
+    for (ConnIndex ci : by_link[li]) load += rates[ci];
+    if (load > problem.links[li].excess_capacity + slack) return false;
+  }
+  return true;
+}
+
+bool is_maxmin_optimal(const Problem& problem, const std::vector<double>& rates,
+                       double slack) {
+  if (!is_feasible(problem, rates, slack)) return false;
+  const auto by_link = problem.connections_by_link();
+
+  std::vector<double> link_load(problem.links.size(), 0.0);
+  for (LinkIndex li = 0; li < problem.links.size(); ++li) {
+    for (ConnIndex ci : by_link[li]) link_load[li] += rates[ci];
+  }
+
+  for (ConnIndex ci = 0; ci < rates.size(); ++ci) {
+    const auto& conn = problem.connections[ci];
+    if (rates[ci] >= conn.demand - slack) continue;  // demand-satisfied
+    // Must have a bottleneck: a saturated link where this connection's rate
+    // is maximal among the link's connections.
+    bool has_bottleneck = false;
+    for (LinkIndex li : conn.path) {
+      const bool saturated =
+          link_load[li] >= problem.links[li].excess_capacity - slack;
+      if (!saturated) continue;
+      bool is_max = true;
+      for (ConnIndex other : by_link[li]) {
+        if (rates[other] > rates[ci] + slack) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    if (!has_bottleneck) return false;
+  }
+  return true;
+}
+
+}  // namespace imrm::maxmin

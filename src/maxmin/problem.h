@@ -1,0 +1,54 @@
+// The rate-allocation problem solved by conflict resolution (Section 5.2).
+//
+// Only the *excess* bandwidth beyond each connection's guaranteed b_min is
+// divided: a connection's demand is its headroom b_max - b_min (infinite
+// demand is allowed and modelled by an unbounded headroom), and each link
+// offers its excess available bandwidth b'_av,l = C_l - b_resv,l - sum b_min.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/ids.h"
+#include "qos/flow_spec.h"
+
+namespace imrm::maxmin {
+
+/// Index types local to a problem instance (dense 0..n-1).
+using LinkIndex = std::size_t;
+using ConnIndex = std::size_t;
+
+inline constexpr double kInfiniteDemand = std::numeric_limits<double>::infinity();
+
+struct ProblemLink {
+  double excess_capacity = 0.0;  // b'_av,l
+};
+
+struct ProblemConnection {
+  std::vector<LinkIndex> path;   // links traversed end to end
+  double demand = kInfiniteDemand;  // headroom b_max - b_min
+};
+
+struct Problem {
+  std::vector<ProblemLink> links;
+  std::vector<ProblemConnection> connections;
+
+  [[nodiscard]] bool valid() const;
+
+  /// Connections crossing each link (computed view).
+  [[nodiscard]] std::vector<std::vector<ConnIndex>> connections_by_link() const;
+};
+
+/// A rate vector is feasible when no link's excess capacity is exceeded and
+/// no connection exceeds its demand. `slack` tolerates float drift.
+[[nodiscard]] bool is_feasible(const Problem& problem, const std::vector<double>& rates,
+                               double slack = 1e-9);
+
+/// Max-min optimality check (Section 5.2's definition): a feasible rate
+/// vector is max-min optimal iff every connection either meets its demand or
+/// has a bottleneck link — a saturated link where it receives the maximal
+/// rate among the link's connections.
+[[nodiscard]] bool is_maxmin_optimal(const Problem& problem, const std::vector<double>& rates,
+                                     double slack = 1e-6);
+
+}  // namespace imrm::maxmin

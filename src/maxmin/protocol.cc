@@ -1,0 +1,401 @@
+#include "maxmin/protocol.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace imrm::maxmin {
+
+DistributedProtocol::DistributedProtocol(sim::Simulator& simulator, const Problem& problem,
+                                         Config config)
+    : simulator_(&simulator), config_(config) {
+  assert(problem.valid());
+  links_.resize(problem.links.size());
+  for (std::size_t li = 0; li < problem.links.size(); ++li) {
+    links_[li].mu.set_excess_capacity(problem.links[li].excess_capacity);
+  }
+  for (const ProblemConnection& conn : problem.connections) {
+    add_connection(conn.path, conn.demand);
+  }
+}
+
+ConnIndex DistributedProtocol::add_connection(std::vector<LinkIndex> path, double demand) {
+  assert(!path.empty());
+  ++generation_;
+  // Footnote 11: finite demand is an artificial entry link of that capacity.
+  if (demand != kInfiniteDemand) {
+    const LinkIndex artificial = links_.size();
+    links_.emplace_back();
+    links_.back().mu.set_excess_capacity(demand);
+    path.insert(path.begin(), artificial);
+  }
+  const ConnIndex conn = paths_.size();
+  paths_.push_back(std::move(path));
+  conn_alive_.push_back(true);
+  rates_.push_back(0.0);
+  for (LinkIndex li : paths_[conn]) {
+    links_[li].recorded[conn] = 0.0;
+    recompute_mu(li);
+  }
+  // The entry switch starts the adaptation for the newcomer.
+  initiate(paths_[conn].front(), conn);
+  return conn;
+}
+
+void DistributedProtocol::remove_connection(ConnIndex conn) {
+  assert(conn < paths_.size() && conn_alive_[conn]);
+  ++generation_;
+  conn_alive_[conn] = false;
+  rates_[conn] = 0.0;
+  // Abort an in-flight adaptation for this connection; stale packets are
+  // invalidated by bumping the token.
+  if (active_ && active_->conn == conn) {
+    active_.reset();
+    ++active_token_;
+  }
+  for (LinkIndex li : paths_[conn]) {
+    LinkNode& node = links_[li];
+    node.recorded.erase(conn);
+    node.bottleneck_set.erase(conn);
+    node.last_completed.erase(conn);
+    recompute_mu(li);
+    if (config_.policy == InitiationPolicy::kFlooding) {
+      for (const auto& [other, rate] : node.recorded) initiate(li, other);
+    } else {
+      // Freed capacity: offer it to the connections that could grow here.
+      initiate_growers(li, kNoConnection);
+    }
+  }
+  pump();
+}
+
+void DistributedProtocol::start_all() {
+  for (ConnIndex ci = 0; ci < paths_.size(); ++ci) {
+    if (conn_alive_[ci]) initiate(paths_[ci].front(), ci);
+  }
+}
+
+void DistributedProtocol::set_link_excess_capacity(LinkIndex link, double new_excess) {
+  ++generation_;
+  LinkNode& node = links_.at(link);
+  const double old_excess = node.mu.excess_capacity();
+  node.mu.set_excess_capacity(new_excess);
+  recompute_mu(link);
+
+  if (new_excess < 0.0) {
+    // b'_av,l < 0: notify connections to renegotiate (Section 5.3).
+    for (const auto& [conn, rate] : node.recorded) renegotiations_.push_back(conn);
+  }
+
+  if (config_.policy == InitiationPolicy::kFlooding) {
+    for (const auto& [conn, rate] : node.recorded) initiate(link, conn);
+    return;
+  }
+
+  if (new_excess < old_excess) {
+    // Capacity loss: squeeze connections consuming above the advertised rate.
+    initiate_over_consumers(link, kNoConnection);
+  } else {
+    // Eq. (2): upward adaptation when the new excess exceeds the recorded
+    // consumption by at least delta.
+    double consumed = 0.0;
+    for (const auto& [conn, rate] : node.recorded) consumed += rate;
+    if (new_excess >= consumed + config_.delta) {
+      initiate_growers(link, kNoConnection);
+    }
+  }
+}
+
+std::vector<double> DistributedProtocol::recorded_vector(LinkIndex link) const {
+  const LinkNode& node = links_.at(link);
+  std::vector<double> rates;
+  rates.reserve(node.recorded.size());
+  for (const auto& [conn, rate] : node.recorded) rates.push_back(rate);
+  return rates;
+}
+
+void DistributedProtocol::recompute_mu(LinkIndex link) {
+  links_[link].mu.recompute(recorded_vector(link));
+}
+
+// ---- trigger queue ------------------------------------------------------
+
+bool DistributedProtocol::trigger_valid(LinkIndex link, ConnIndex conn) const {
+  if (cap_hit_) return false;
+  if (conn >= conn_alive_.size() || !conn_alive_[conn]) return false;
+  const LinkNode& node = links_.at(link);
+  const auto rec_it = node.recorded.find(conn);
+  const double recorded = rec_it != node.recorded.end() ? rec_it->second : 0.0;
+  // A negative advertised rate (capacity below the guaranteed minima) can
+  // only offer zero excess; comparing against the clamped offer keeps the
+  // squeeze-to-zero case from re-triggering forever.
+  const double mu = std::max(node.mu.current(), 0.0);
+  // Over-consumer: a round strictly reduces the rate — always progress.
+  if (recorded > mu + config_.epsilon) return true;
+  // The flooding (preliminary) algorithm re-advertises every connection once
+  // per external event, whether or not its state could change: the paper's
+  // "global ID and a sequence number ... to avoid possible infinite loop"
+  // translates to a per-generation guard here. This is exactly the
+  // unnecessary traffic the refinement removes.
+  if (config_.policy == InitiationPolicy::kFlooding) {
+    const auto gen_it = node.last_flood_generation.find(conn);
+    if (gen_it == node.last_flood_generation.end() || gen_it->second != generation_) {
+      return true;
+    }
+  }
+  // Nothing can change when the connection already sits at the advertised
+  // rate here: the round would stamp mu and return at most mu.
+  if (std::fabs(recorded - mu) <= config_.epsilon) return false;
+  // Grower: the round succeeds unless the connection is bottlenecked
+  // elsewhere, in which case it is futile. Suppress re-running a grower
+  // round from an identical (advertised, recorded) state — the previous
+  // identical attempt already proved it futile.
+  const auto it = node.last_completed.find(conn);
+  if (it != node.last_completed.end() &&
+      std::fabs(it->second.first - mu) <= config_.epsilon &&
+      std::fabs(it->second.second - recorded) <= config_.epsilon) {
+    return false;
+  }
+  return true;
+}
+
+void DistributedProtocol::initiate(LinkIndex link, ConnIndex conn) {
+  if (!trigger_valid(link, conn)) return;
+  if (!queued_.insert({link, conn}).second) return;  // already queued
+  trigger_queue_.emplace_back(link, conn);
+  pump();
+}
+
+void DistributedProtocol::initiate_growers(LinkIndex link, ConnIndex except) {
+  // Connections receiving less than the advertised rate could grow here;
+  // those bottlenecked elsewhere complete one futile round and are then
+  // suppressed by the post-completion state memory.
+  LinkNode& node = links_[link];
+  const double mu = std::max(node.mu.current(), 0.0);
+  std::vector<ConnIndex> targets;
+  for (const auto& [other, rate] : node.recorded) {
+    if (other != except && rate < mu - config_.epsilon) targets.push_back(other);
+  }
+  std::sort(targets.begin(), targets.end());  // deterministic order
+  for (ConnIndex other : targets) initiate(link, other);
+}
+
+void DistributedProtocol::initiate_over_consumers(LinkIndex link, ConnIndex except) {
+  LinkNode& node = links_[link];
+  const double mu = std::max(node.mu.current(), 0.0);
+  std::vector<ConnIndex> targets;
+  for (const auto& [other, rate] : node.recorded) {
+    if (other != except && rate > mu + config_.epsilon) targets.push_back(other);
+  }
+  std::sort(targets.begin(), targets.end());
+  for (ConnIndex other : targets) initiate(link, other);
+}
+
+void DistributedProtocol::pump() {
+  if (active_ || cap_hit_) return;
+  while (!trigger_queue_.empty()) {
+    const auto [link, conn] = trigger_queue_.front();
+    trigger_queue_.pop_front();
+    queued_.erase({link, conn});
+    if (!trigger_valid(link, conn)) continue;  // state moved on; now moot
+    if (config_.policy == InitiationPolicy::kFlooding) {
+      links_[link].last_flood_generation[conn] = generation_;
+    }
+    active_ = Adaptation{link, conn, config_.round_trips, std::nullopt, std::nullopt};
+    ++active_token_;
+    ++rounds_run_;
+    launch_round();
+    return;
+  }
+}
+
+// ---- one adaptation round ----------------------------------------------
+
+void DistributedProtocol::launch_round() {
+  assert(active_);
+  Adaptation& a = *active_;
+  recompute_mu(a.trigger_link);
+  // The excess share offered can never be negative: when capacity falls
+  // below the guaranteed minima the offer is zero and renegotiation (already
+  // signalled) must shrink the minima themselves.
+  const double stamped = std::max(links_[a.trigger_link].mu.current(), 0.0);
+  a.returned_upstream.reset();
+  a.returned_downstream.reset();
+
+  const auto& path = paths_[a.conn];
+  const auto pos_it = std::find(path.begin(), path.end(), a.trigger_link);
+  assert(pos_it != path.end());
+  const std::size_t pos = std::size_t(pos_it - path.begin());
+
+  // Upstream leg covers links path[pos-1] .. path[0]; downstream leg covers
+  // path[pos+1] .. path.back(). The initiator's own advertised rate is the
+  // initial stamp, so the returned minima jointly cover the whole path.
+  auto send = [&](Direction dir) {
+    Advertise packet{a.conn, stamped, active_token_, dir, false, pos};
+    const bool empty_leg = (dir == Direction::kUpstream && pos == 0) ||
+                           (dir == Direction::kDownstream && pos + 1 >= path.size());
+    if (empty_leg) {
+      packet.returning = true;
+    } else {
+      packet.position = dir == Direction::kUpstream ? pos - 1 : pos + 1;
+    }
+    simulator_->after(config_.hop_latency,
+                      [this, packet]() mutable { deliver_advertise(packet); });
+    ++messages_sent_;
+  };
+  send(Direction::kUpstream);
+  send(Direction::kDownstream);
+  if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
+}
+
+void DistributedProtocol::deliver_advertise(Advertise packet) {
+  if (!active_ || packet.token != active_token_) return;  // stale round
+  if (!conn_alive_[packet.conn]) return;
+
+  if (packet.returning) {
+    Adaptation& a = *active_;
+    if (packet.direction == Direction::kUpstream) {
+      a.returned_upstream = packet.stamped;
+    } else {
+      a.returned_downstream = packet.stamped;
+    }
+    if (a.returned_upstream && a.returned_downstream) on_round_trip_complete();
+    return;
+  }
+
+  const auto& path = paths_[packet.conn];
+  handle_advertise_at(path[packet.position], packet);
+
+  // Advance along the leg; reflect at the endpoint back to the initiator.
+  const bool at_end = packet.direction == Direction::kUpstream
+                          ? packet.position == 0
+                          : packet.position + 1 >= path.size();
+  if (at_end) {
+    packet.returning = true;
+  } else {
+    packet.position += packet.direction == Direction::kUpstream ? std::size_t(-1) : 1;
+  }
+  simulator_->after(config_.hop_latency,
+                    [this, packet]() mutable { deliver_advertise(packet); });
+  ++messages_sent_;
+  if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
+}
+
+void DistributedProtocol::handle_advertise_at(LinkIndex link, Advertise& packet) {
+  LinkNode& node = links_[link];
+  const double received = packet.stamped;
+  node.recorded[packet.conn] = received;
+  recompute_mu(link);
+  const double mu = node.mu.current();
+
+  // Clamp: "if the stamped rate is higher or equal to the advertised rate,
+  // the stamped rate is reduced to the advertised rate" (never below zero:
+  // excess shares cannot be negative).
+  const double offer = std::max(mu, 0.0);
+  if (received >= offer) {
+    packet.stamped = offer;
+    node.recorded[packet.conn] = offer;
+  }
+
+  // Maintain M(l): add if mu < stamped (this link constrains the connection),
+  // remove if mu > stamped (bottleneck is elsewhere).
+  if (mu < received - config_.epsilon) {
+    node.bottleneck_set.insert(packet.conn);
+  } else if (mu > received + config_.epsilon) {
+    node.bottleneck_set.erase(packet.conn);
+  }
+
+  // Preliminary algorithm: every switch that receives an ADVERTISE initiates
+  // ADVERTISE packets for every other connection traversing the same link.
+  if (config_.policy == InitiationPolicy::kFlooding) {
+    std::vector<ConnIndex> all;
+    for (const auto& [other, r] : node.recorded) {
+      if (other != packet.conn) all.push_back(other);
+    }
+    std::sort(all.begin(), all.end());
+    for (ConnIndex other : all) initiate(link, other);
+  }
+}
+
+void DistributedProtocol::on_round_trip_complete() {
+  assert(active_);
+  Adaptation& a = *active_;
+  --a.trips_left;
+  if (a.trips_left > 0 && !cap_hit_) {
+    ++active_token_;  // retire packets of the finished trip
+    launch_round();
+    return;
+  }
+  const double final_rate = std::min(*a.returned_upstream, *a.returned_downstream);
+  send_update(a.conn, final_rate);
+}
+
+void DistributedProtocol::send_update(ConnIndex conn, double rate) {
+  assert(active_ && active_->conn == conn);
+  const auto path = paths_[conn];
+  messages_sent_ += path.size();
+  if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
+  const sim::Duration travel =
+      sim::Duration::seconds(config_.hop_latency.to_seconds() * double(path.size()));
+  const std::uint64_t token = active_token_;
+  simulator_->after(travel, [this, conn, rate, token]() {
+    if (!active_ || token != active_token_ || !conn_alive_[conn]) return;
+    finish_adaptation(rate);
+  });
+}
+
+void DistributedProtocol::finish_adaptation(double final_rate) {
+  const Adaptation a = *active_;
+  const ConnIndex conn = a.conn;
+  rates_[conn] = final_rate;
+
+  // Apply the UPDATE at every link, then evaluate the refinement cascades
+  // from the now-consistent state.
+  std::vector<double> mu_before(paths_[conn].size());
+  for (std::size_t i = 0; i < paths_[conn].size(); ++i) {
+    const LinkIndex li = paths_[conn][i];
+    mu_before[i] = links_[li].mu.current();
+    links_[li].recorded[conn] = final_rate;
+    recompute_mu(li);
+  }
+
+  // Record the post-completion state at the triggering link so identical
+  // re-triggers are suppressed.
+  {
+    LinkNode& trigger_node = links_[a.trigger_link];
+    trigger_node.last_completed[conn] = {trigger_node.mu.current(), final_rate};
+    // The connection considers the trigger link its bottleneck iff no other
+    // link clamped the rate below our advertised rate (M(l) upkeep, done
+    // "only after it completes the current adaptation process").
+    if (final_rate >= trigger_node.mu.current() - config_.epsilon) {
+      trigger_node.bottleneck_set.insert(conn);
+    } else {
+      trigger_node.bottleneck_set.erase(conn);
+    }
+  }
+
+  active_.reset();
+  ++active_token_;
+
+  for (std::size_t i = 0; i < paths_[conn].size(); ++i) {
+    const LinkIndex li = paths_[conn][i];
+    if (config_.policy == InitiationPolicy::kFlooding) {
+      // Preliminary algorithm: re-advertise for every connection sharing the
+      // link, regardless of what changed.
+      std::vector<ConnIndex> all;
+      for (const auto& [other, r] : links_[li].recorded) {
+        if (other != conn) all.push_back(other);
+      }
+      std::sort(all.begin(), all.end());
+      for (ConnIndex other : all) initiate(li, other);
+      continue;
+    }
+    (void)mu_before[i];
+    // Refinement rules: squeeze over-consumers; offer slack to growers.
+    initiate_over_consumers(li, conn);
+    initiate_growers(li, conn);
+  }
+  pump();
+}
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,178 @@
+// Distributed event-driven rate adaptation (Section 5.3.1, Theorem 1).
+//
+// Each switch maintains, per link: the recorded (last-seen stamped) rate of
+// every connection, the advertised rate mu_l, and the bottleneck set M(l) of
+// connections that consider l their connection-bottleneck link. When a
+// switch detects a bandwidth change satisfying eq. (2) it initiates
+// ADVERTISE control packets up- and downstream for the affected connections;
+// intermediate switches clamp the stamped rate to their advertised rate;
+// endpoints reflect the packets back; after four round trips the initiator
+// sends an UPDATE fixing the connection's rate to the minimum stamped rate,
+// and the rate change triggers further adaptations per the refinement rules.
+//
+// Faithfulness note (documented in DESIGN.md): Charny's convergence proof
+// assumes one controller per connection (the source, sending periodically).
+// The paper's event-driven variant lets any switch initiate; naively running
+// those adaptations concurrently lets in-flight stamps of one round pollute
+// the advertised-rate computation of another, which can produce sustained
+// limit cycles. We therefore serialize adaptation rounds (a distributed
+// system would realize this with a token or back-off); message counts and
+// outcomes are unaffected, and the Gauss–Seidel execution converges to the
+// same max-min fixed point the asynchronous protocol is proven to reach.
+//
+// Two initiation policies are provided for the ablation bench:
+//  - kFlooding:       the preliminary algorithm (ADVERTISE for every
+//                     connection on the link),
+//  - kBottleneckSets: the refined algorithm (only connections that could
+//                     actually change: growers and over-consumers).
+//
+// Finite demands are modelled exactly as footnote 11 prescribes: an
+// artificial entry link of capacity b_max - b_min is synthesized per
+// finite-demand connection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "maxmin/advertised_rate.h"
+#include "maxmin/problem.h"
+#include "sim/simulator.h"
+
+namespace imrm::maxmin {
+
+enum class InitiationPolicy { kFlooding, kBottleneckSets };
+
+class DistributedProtocol {
+ public:
+  struct Config {
+    sim::Duration hop_latency = sim::Duration::millis(1.0);
+    double epsilon = 1e-6;        // rate-change significance threshold
+    double delta = 0.0;           // eq. (2) upward-adaptation threshold
+    InitiationPolicy policy = InitiationPolicy::kBottleneckSets;
+    int round_trips = 4;          // paper: four round trips ensure convergence
+    std::uint64_t message_cap = 2'000'000;  // runaway guard
+  };
+
+  DistributedProtocol(sim::Simulator& simulator, const Problem& problem, Config config);
+
+  /// Kicks off adaptation for every connection from its entry switch (used
+  /// to compute the initial allocation).
+  void start_all();
+
+  /// Wireless capacity change at a physical link: applies the eq. (2)
+  /// detection rule and initiates adaptation accordingly.
+  void set_link_excess_capacity(LinkIndex link, double new_excess);
+
+  /// Adds a connection at runtime (its entry switch initiates adaptation).
+  /// Returns the new connection index.
+  ConnIndex add_connection(std::vector<LinkIndex> path, double demand = kInfiniteDemand);
+
+  /// Removes a connection; its former links re-advertise the freed capacity.
+  void remove_connection(ConnIndex conn);
+
+  /// Current per-connection excess rates (set by UPDATE messages).
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+
+  /// Connections that were told to renegotiate because b'_av,l dropped below
+  /// zero at some link on their path.
+  [[nodiscard]] const std::vector<ConnIndex>& renegotiation_requests() const {
+    return renegotiations_;
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t rounds_run() const { return rounds_run_; }
+  [[nodiscard]] bool message_cap_hit() const { return cap_hit_; }
+  [[nodiscard]] double advertised_rate(LinkIndex link) const {
+    return links_.at(link).mu.current();
+  }
+  [[nodiscard]] const std::unordered_set<ConnIndex>& bottleneck_set(LinkIndex link) const {
+    return links_.at(link).bottleneck_set;
+  }
+
+  /// Drains the simulator's event queue (the protocol schedules all its
+  /// message deliveries there) and returns the number of events processed.
+  std::uint64_t run_to_quiescence() { return simulator_->run(); }
+
+ private:
+  enum class Direction { kUpstream, kDownstream };
+
+  struct Advertise {
+    ConnIndex conn;
+    double stamped;
+    std::uint64_t token;    // adaptation-round instance
+    Direction direction;
+    bool returning;         // true once reflected at an endpoint
+    std::size_t position;   // index into the connection's path
+  };
+
+  struct LinkNode {
+    AdvertisedRate mu{0.0};
+    std::unordered_map<ConnIndex, double> recorded;
+    std::unordered_set<ConnIndex> bottleneck_set;  // M(l)
+    // Post-completion (advertised, recorded) state of the last adaptation
+    // this link triggered per connection. Re-triggering in an identical
+    // state cannot change the outcome and is suppressed — this is what makes
+    // the event-driven cascade terminate.
+    std::unordered_map<ConnIndex, std::pair<double, double>> last_completed;
+    // Flooding policy: generation of the last flood-initiated round per
+    // connection (the paper's "global ID and sequence number" loop guard).
+    std::unordered_map<ConnIndex, std::uint64_t> last_flood_generation;
+  };
+
+  struct Adaptation {
+    LinkIndex trigger_link;
+    ConnIndex conn;
+    int trips_left = 0;
+    std::optional<double> returned_upstream;
+    std::optional<double> returned_downstream;
+  };
+
+  // Sentinel "exclude nobody" argument for the cascade helpers.
+  static constexpr ConnIndex kNoConnection = static_cast<ConnIndex>(-1);
+
+  // --- trigger queue (serialized rounds) --------------------------------
+  void initiate(LinkIndex link, ConnIndex conn);
+  void initiate_growers(LinkIndex link, ConnIndex except);
+  void initiate_over_consumers(LinkIndex link, ConnIndex except);
+  [[nodiscard]] bool trigger_valid(LinkIndex link, ConnIndex conn) const;
+  void pump();
+
+  // --- protocol actions --------------------------------------------------
+  void launch_round();
+  void deliver_advertise(Advertise packet);
+  void handle_advertise_at(LinkIndex link, Advertise& packet);
+  void on_round_trip_complete();
+  void send_update(ConnIndex conn, double rate);
+  void finish_adaptation(double final_rate);
+  void recompute_mu(LinkIndex link);
+  [[nodiscard]] std::vector<double> recorded_vector(LinkIndex link) const;
+
+  sim::Simulator* simulator_;
+  Config config_;
+
+  std::vector<LinkNode> links_;
+  std::vector<std::vector<LinkIndex>> paths_;   // per connection (augmented)
+  std::vector<bool> conn_alive_;
+  std::vector<double> rates_;
+  std::vector<ConnIndex> renegotiations_;
+
+  std::deque<std::pair<LinkIndex, ConnIndex>> trigger_queue_;
+  std::set<std::pair<LinkIndex, ConnIndex>> queued_;
+  std::optional<Adaptation> active_;
+  std::uint64_t active_token_ = 0;  // invalidates stale packets
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t rounds_run_ = 0;
+  // External-event generation counter; flooding initiates each (link, conn)
+  // at most once per generation.
+  std::uint64_t generation_ = 0;
+  bool cap_hit_ = false;
+};
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,110 @@
+#include "maxmin/waterfill.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace imrm::maxmin {
+
+WaterfillResult waterfill(const Problem& problem) {
+  assert(problem.valid());
+  const std::size_t n_conn = problem.connections.size();
+  const std::size_t n_link = problem.links.size();
+
+  WaterfillResult result;
+  result.rates.assign(n_conn, 0.0);
+  result.bottleneck_of.assign(n_conn, kDemandLimited);
+
+  const auto by_link = problem.connections_by_link();
+  std::vector<bool> active(n_conn, true);
+  std::size_t active_count = n_conn;
+
+  // Progressive filling: every active connection grows at the same rate, so
+  // all active connections share a common level. Each round computes the
+  // largest uniform increment before a link saturates or a demand is met,
+  // applies it, and freezes the affected connections.
+  constexpr double kEps = 1e-12;
+  while (active_count > 0) {
+    // Residual capacity and active-connection count per link.
+    double best_inc = std::numeric_limits<double>::infinity();
+    LinkIndex best_link = kDemandLimited;
+    for (LinkIndex li = 0; li < n_link; ++li) {
+      double load = 0.0;
+      std::size_t n_active = 0;
+      for (ConnIndex ci : by_link[li]) {
+        load += result.rates[ci];
+        if (active[ci]) ++n_active;
+      }
+      if (n_active == 0) continue;
+      const double resid = problem.links[li].excess_capacity - load;
+      const double inc = std::max(resid, 0.0) / double(n_active);
+      if (inc < best_inc) {
+        best_inc = inc;
+        best_link = li;
+      }
+    }
+
+    double best_demand_inc = std::numeric_limits<double>::infinity();
+    for (ConnIndex ci = 0; ci < n_conn; ++ci) {
+      if (!active[ci]) continue;
+      const double room = problem.connections[ci].demand - result.rates[ci];
+      best_demand_inc = std::min(best_demand_inc, room);
+    }
+
+    const double inc = std::min(best_inc, best_demand_inc);
+    assert(std::isfinite(inc) && inc >= 0.0);
+
+    for (ConnIndex ci = 0; ci < n_conn; ++ci) {
+      if (active[ci]) result.rates[ci] += inc;
+    }
+
+    // Freeze demand-satisfied connections first (they are not bottlenecked).
+    bool froze_any = false;
+    for (ConnIndex ci = 0; ci < n_conn; ++ci) {
+      if (!active[ci]) continue;
+      if (result.rates[ci] >= problem.connections[ci].demand - kEps) {
+        active[ci] = false;
+        --active_count;
+        result.bottleneck_of[ci] = kDemandLimited;
+        froze_any = true;
+      }
+    }
+
+    // Freeze connections on every link that is now saturated.
+    for (LinkIndex li = 0; li < n_link; ++li) {
+      double load = 0.0;
+      bool has_active = false;
+      for (ConnIndex ci : by_link[li]) {
+        load += result.rates[ci];
+        if (active[ci]) has_active = true;
+      }
+      if (!has_active) continue;
+      if (load >= problem.links[li].excess_capacity - kEps) {
+        result.fill_order.push_back(li);
+        for (ConnIndex ci : by_link[li]) {
+          if (!active[ci]) continue;
+          active[ci] = false;
+          --active_count;
+          result.bottleneck_of[ci] = li;
+          froze_any = true;
+        }
+      }
+    }
+
+    // Guard against numeric stalls: if nothing froze, freeze the tightest
+    // link's connections explicitly (can only happen through float drift).
+    if (!froze_any) {
+      assert(best_link != kDemandLimited);
+      for (ConnIndex ci : by_link[best_link]) {
+        if (!active[ci]) continue;
+        active[ci] = false;
+        --active_count;
+        result.bottleneck_of[ci] = best_link;
+      }
+      result.fill_order.push_back(best_link);
+    }
+  }
+  return result;
+}
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,28 @@
+// Centralized max-min fair allocation by progressive filling.
+//
+// This is the ground truth that the distributed ADVERTISE/UPDATE protocol of
+// Section 5.3.1 must converge to (Theorem 1). It also implements the
+// recursive "network bottleneck link" definition of Section 5.2: repeatedly
+// find the link that minimizes fair share among unsatisfied connections,
+// freeze its connections at that share, remove and recurse.
+#pragma once
+
+#include <vector>
+
+#include "maxmin/problem.h"
+
+namespace imrm::maxmin {
+
+struct WaterfillResult {
+  std::vector<double> rates;            // per-connection excess allocation
+  std::vector<LinkIndex> bottleneck_of; // per-connection bottleneck link
+                                        // (size_t(-1) for demand-limited)
+  std::vector<LinkIndex> fill_order;    // network bottlenecks in freezing order
+};
+
+inline constexpr LinkIndex kDemandLimited = static_cast<LinkIndex>(-1);
+
+/// Computes the max-min fair allocation. Precondition: problem.valid().
+[[nodiscard]] WaterfillResult waterfill(const Problem& problem);
+
+}  // namespace imrm::maxmin

@@ -1,0 +1,26 @@
+#include "mobility/cell.h"
+
+#include <algorithm>
+
+namespace imrm::mobility {
+
+std::string to_string(CellClass c) {
+  switch (c) {
+    case CellClass::kOffice: return "office";
+    case CellClass::kCorridor: return "corridor";
+    case CellClass::kMeetingRoom: return "meeting-room";
+    case CellClass::kCafeteria: return "cafeteria";
+    case CellClass::kLounge: return "lounge";
+  }
+  return "unknown";
+}
+
+bool Cell::is_neighbor(CellId other) const {
+  return std::find(neighbors.begin(), neighbors.end(), other) != neighbors.end();
+}
+
+bool Cell::is_occupant(PortableId p) const {
+  return std::find(occupants.begin(), occupants.end(), p) != occupants.end();
+}
+
+}  // namespace imrm::mobility

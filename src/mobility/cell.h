@@ -1,0 +1,53 @@
+// Cells and their classification (Sections 3.4, 6).
+//
+// An indoor environment is a graph of cells, each owned by one base station.
+// Cells are classified by location: office, corridor, or lounge, with
+// lounges sub-classified by activity into meeting room, cafeteria, and
+// default. The class determines which advance-reservation policy runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace imrm::mobility {
+
+using net::CellId;
+using net::NodeId;
+using net::PortableId;
+using net::ZoneId;
+
+enum class CellClass {
+  kOffice,       // small set of regular occupants, predictable handoffs
+  kCorridor,     // linear movement: previous cell predicts the next
+  kMeetingRoom,  // lounge with handoff spikes at meeting start/end
+  kCafeteria,    // lounge with slow time-varying handoff profile
+  kLounge,       // default lounge: random time-varying profile
+};
+
+[[nodiscard]] std::string to_string(CellClass c);
+
+/// True for the three lounge sub-classes.
+[[nodiscard]] constexpr bool is_lounge(CellClass c) {
+  return c == CellClass::kMeetingRoom || c == CellClass::kCafeteria ||
+         c == CellClass::kLounge;
+}
+
+struct Cell {
+  CellId id = CellId::invalid();
+  CellClass cell_class = CellClass::kLounge;
+  std::string name;
+  ZoneId zone = ZoneId{0};
+  std::vector<CellId> neighbors;
+  /// Regular occupants — meaningful for offices only (omega(c) in Table 1).
+  std::vector<PortableId> occupants;
+  /// Base-station node in the network topology (invalid when the cell map is
+  /// used standalone, without a wired backbone).
+  NodeId base_station = NodeId::invalid();
+
+  [[nodiscard]] bool is_neighbor(CellId other) const;
+  [[nodiscard]] bool is_occupant(PortableId p) const;
+};
+
+}  // namespace imrm::mobility

@@ -1,0 +1,78 @@
+// Cell maps: the graph of cells a mobile environment is made of, plus
+// builders for the environments the paper evaluates on.
+//
+// fig4_environment() reconstructs the measured Figure 4 corner of the UIUC
+// ECE building: faculty office A, student office B, corridor cells C-G.
+// campus_environment() builds a larger synthetic floor with every cell
+// class, used by integration tests and the campus_sim example.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mobility/cell.h"
+
+namespace imrm::mobility {
+
+class CellMap {
+ public:
+  CellId add_cell(CellClass cell_class, std::string name, ZoneId zone = ZoneId{0});
+
+  /// Declares two cells mutual neighbors (handoff possible between them).
+  void connect(CellId a, CellId b);
+
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id.value()); }
+  [[nodiscard]] Cell& cell(CellId id) { return cells_.at(id.value()); }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+
+  [[nodiscard]] std::optional<CellId> find(const std::string& name) const;
+
+  /// Registers a portable as a regular occupant of an office.
+  void add_occupant(CellId office, PortableId portable);
+
+  /// All cells of a given class.
+  [[nodiscard]] std::vector<CellId> cells_of_class(CellClass c) const;
+
+  /// True if the map's neighbor relation is symmetric and irreflexive —
+  /// invariant checked by tests and asserted by builders.
+  [[nodiscard]] bool neighbor_relation_valid() const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+/// The Figure 4 environment. Cell names: "A", "B" (offices), "C".."G"
+/// (corridors). Adjacency: C-D, D-A, D-E, D-F, D-G, E-B.
+[[nodiscard]] CellMap fig4_environment();
+
+/// Handles to the interesting cells of fig4_environment().
+struct Fig4Cells {
+  CellId a, b, c, d, e, f, g;
+};
+[[nodiscard]] Fig4Cells fig4_cells(const CellMap& map);
+
+/// A synthetic office floor: `offices` office cells strung along a corridor
+/// backbone, one meeting room, one cafeteria, and one default lounge, with
+/// every cell class represented.
+struct CampusConfig {
+  int offices = 8;
+  int corridor_segments = 4;  // corridor cells forming the backbone
+  bool with_meeting_room = true;
+  bool with_cafeteria = true;
+  bool with_default_lounge = true;
+};
+[[nodiscard]] CellMap campus_environment(const CampusConfig& config = {});
+
+/// A multi-floor office building: each floor is a campus_environment()
+/// layout, with stairwell corridor cells connecting the first corridor
+/// segment of adjacent floors. Cell names are prefixed "f<N>/"; each floor
+/// is its own zone.
+struct BuildingConfig {
+  int floors = 3;
+  CampusConfig floor = {};
+};
+[[nodiscard]] CellMap building_environment(const BuildingConfig& config = {});
+
+}  // namespace imrm::mobility

@@ -1,0 +1,44 @@
+#include "mobility/manager.h"
+
+#include <cassert>
+
+namespace imrm::mobility {
+
+PortableId MobilityManager::add_portable(CellId start) {
+  const PortableId id{static_cast<PortableId::underlying>(portables_.size())};
+  Portable p;
+  p.id = id;
+  p.current_cell = start;
+  p.entered_cell = simulator_->now();
+  portables_.push_back(p);
+  return id;
+}
+
+void MobilityManager::move(PortableId id, CellId to) {
+  Portable& p = portable(id);
+  assert(map_->cell(p.current_cell).is_neighbor(to) &&
+         "handoffs only occur between neighboring cells");
+
+  HandoffEvent event;
+  event.portable = id;
+  event.from = p.current_cell;
+  event.to = to;
+  event.prev_of_from = p.previous_cell;
+  event.time = simulator_->now();
+
+  p.previous_cell = p.current_cell;
+  p.current_cell = to;
+  p.entered_cell = simulator_->now();
+
+  for (const HandoffListener& listener : listeners_) listener(event);
+}
+
+std::vector<PortableId> MobilityManager::portables_in(CellId cell) const {
+  std::vector<PortableId> out;
+  for (const Portable& p : portables_) {
+    if (p.current_cell == cell) out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace imrm::mobility

@@ -1,0 +1,69 @@
+// Mobility manager: owns the portables, validates moves against the cell
+// map, applies the static/mobile classifier, and fans handoff events out to
+// listeners (profile servers, resource managers, statistics).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mobility/cell.h"
+#include "mobility/floorplan.h"
+#include "mobility/portable.h"
+#include "sim/simulator.h"
+
+namespace imrm::mobility {
+
+struct HandoffEvent {
+  PortableId portable = PortableId::invalid();
+  CellId from = CellId::invalid();
+  CellId to = CellId::invalid();
+  /// The portable's previous cell *before* `from` — what profile-based
+  /// prediction keys on.
+  CellId prev_of_from = CellId::invalid();
+  sim::SimTime time = sim::SimTime::zero();
+};
+
+class MobilityManager {
+ public:
+  using HandoffListener = std::function<void(const HandoffEvent&)>;
+
+  MobilityManager(const CellMap& map, sim::Simulator& simulator,
+                  sim::Duration static_threshold)
+      : map_(&map), simulator_(&simulator), classifier_(static_threshold) {}
+
+  /// Creates a portable in `start`. It is considered to have entered the
+  /// cell at the current simulation time.
+  PortableId add_portable(CellId start);
+
+  /// Moves a portable to a neighboring cell, firing handoff listeners.
+  /// Moving to a non-neighbor is a programming error (asserted).
+  void move(PortableId portable, CellId to);
+
+  [[nodiscard]] const Portable& portable(PortableId id) const {
+    return portables_.at(id.value());
+  }
+  [[nodiscard]] Portable& portable(PortableId id) { return portables_.at(id.value()); }
+  [[nodiscard]] std::size_t portable_count() const { return portables_.size(); }
+
+  [[nodiscard]] qos::MobilityClass classify(PortableId id) const {
+    return classifier_.classify(portable(id), simulator_->now());
+  }
+  [[nodiscard]] const StaticMobileClassifier& classifier() const { return classifier_; }
+
+  /// Portables currently in `cell`.
+  [[nodiscard]] std::vector<PortableId> portables_in(CellId cell) const;
+
+  void on_handoff(HandoffListener listener) { listeners_.push_back(std::move(listener)); }
+
+  [[nodiscard]] const CellMap& map() const { return *map_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+
+ private:
+  const CellMap* map_;
+  sim::Simulator* simulator_;
+  StaticMobileClassifier classifier_;
+  std::vector<Portable> portables_;
+  std::vector<HandoffListener> listeners_;
+};
+
+}  // namespace imrm::mobility

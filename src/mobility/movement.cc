@@ -1,0 +1,71 @@
+#include "mobility/movement.h"
+
+#include <cassert>
+
+namespace imrm::mobility {
+
+void TransitionTable::set(CellId previous, CellId current, std::vector<Choice> choices) {
+  assert(!choices.empty());
+  table_[{previous, current}] = std::move(choices);
+}
+
+bool TransitionTable::has_entry(CellId previous, CellId current) const {
+  return table_.contains({previous, current}) ||
+         table_.contains({CellId::invalid(), current});
+}
+
+CellId TransitionTable::sample(const CellMap& map, CellId previous, CellId current,
+                               sim::Rng& rng) const {
+  auto it = table_.find({previous, current});
+  if (it == table_.end()) it = table_.find({CellId::invalid(), current});
+  if (it != table_.end()) {
+    std::vector<double> weights;
+    weights.reserve(it->second.size());
+    for (const Choice& c : it->second) weights.push_back(c.weight);
+    return it->second[rng.discrete(weights)].next;
+  }
+  // Uniform fallback over neighbors.
+  const auto& neighbors = map.cell(current).neighbors;
+  assert(!neighbors.empty());
+  return neighbors[std::size_t(rng.uniform_int(0, int(neighbors.size()) - 1))];
+}
+
+void MarkovMover::start(PortableId portable) { schedule_next(portable); }
+
+void MarkovMover::schedule_next(PortableId portable) {
+  const double dwell_s = rng_.exponential_mean(config_.mean_dwell.to_seconds());
+  const sim::SimTime at = manager_->simulator().now() + sim::Duration::seconds(dwell_s);
+  if (at > config_.horizon) return;
+  manager_->simulator().at(at, [this, portable] {
+    const Portable& p = manager_->portable(portable);
+    const CellId next = table_.sample(manager_->map(), p.previous_cell, p.current_cell, rng_);
+    manager_->move(portable, next);
+    ++moves_;
+    schedule_next(portable);
+  });
+}
+
+TransitionTable fig4_transition_table(const CellMap& map, const Fig4Weights& w) {
+  const Fig4Cells c = fig4_cells(map);
+  TransitionTable table;
+  // Walking down the corridor C -> D: the measured decision point.
+  table.set(c.c, c.d,
+            {{c.a, w.to_a}, {c.e, w.toward_b}, {c.f, w.to_fg / 2}, {c.g, w.to_fg / 2}});
+  // Whoever turned toward B at D continues into the office.
+  table.set(c.d, c.e, {{c.b, 1.0}});
+  // Leaving an office goes back into the corridor.
+  table.set_default(c.a, {{c.d, 1.0}});
+  table.set_default(c.b, {{c.e, 1.0}});
+  // Corridor ends loop back toward the junction.
+  table.set_default(c.f, {{c.d, 1.0}});
+  table.set_default(c.g, {{c.d, 1.0}});
+  table.set_default(c.c, {{c.d, 1.0}});
+  // Reaching D from anywhere but C heads back out to C (keeps walks cycling
+  // through the measured C -> D decision point).
+  table.set_default(c.d, {{c.c, 1.0}});
+  table.set(c.e, c.d, {{c.c, 1.0}});
+  table.set(c.b, c.e, {{c.d, 1.0}});
+  return table;
+}
+
+}  // namespace imrm::mobility

@@ -1,0 +1,89 @@
+// Movement models that drive portables through the cell map.
+//
+// MarkovMover implements the substitution documented in DESIGN.md for the
+// paper's Spring-1996 hand measurements: a per-portable second-order Markov
+// walk whose (previous, current) -> next transition weights are calibrated
+// to reproduce the published handoff fractions of Section 7.1. Dwell times
+// in each cell are exponential.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mobility/manager.h"
+#include "sim/random.h"
+
+namespace imrm::mobility {
+
+/// Transition table keyed on (previous cell, current cell); an entry with
+/// previous == CellId::invalid() serves as the first-order fallback used
+/// when no second-order entry matches (e.g. for a freshly placed portable).
+class TransitionTable {
+ public:
+  struct Choice {
+    CellId next;
+    double weight;
+  };
+
+  void set(CellId previous, CellId current, std::vector<Choice> choices);
+  void set_default(CellId current, std::vector<Choice> choices) {
+    set(CellId::invalid(), current, std::move(choices));
+  }
+
+  /// Samples the next cell; falls back to a uniform choice among neighbors
+  /// when neither a second- nor first-order entry exists.
+  [[nodiscard]] CellId sample(const CellMap& map, CellId previous, CellId current,
+                              sim::Rng& rng) const;
+
+  [[nodiscard]] bool has_entry(CellId previous, CellId current) const;
+
+ private:
+  std::map<std::pair<CellId, CellId>, std::vector<Choice>> table_;
+};
+
+/// Drives one portable: waits an exponential dwell time, samples a next cell
+/// from the transition table, moves, repeats, until the horizon.
+class MarkovMover {
+ public:
+  struct Config {
+    sim::Duration mean_dwell = sim::Duration::minutes(5.0);
+    sim::SimTime horizon = sim::SimTime::hours(8.0);
+  };
+
+  MarkovMover(MobilityManager& manager, TransitionTable table, Config config,
+              sim::Rng rng)
+      : manager_(&manager), table_(std::move(table)), config_(config),
+        rng_(std::move(rng)) {}
+
+  /// Starts the walk for `portable` (schedules the first move).
+  void start(PortableId portable);
+
+  [[nodiscard]] std::size_t moves_made() const { return moves_; }
+
+ private:
+  void schedule_next(PortableId portable);
+
+  MobilityManager* manager_;
+  TransitionTable table_;
+  Config config_;
+  sim::Rng rng_;
+  std::size_t moves_ = 0;
+};
+
+/// Builds the transition table calibrated to the Section 7.1 measurements:
+/// from corridor D (having come from C), the faculty member enters office A
+/// with probability 94/127, heads toward B (via E) with 20/127, and passes
+/// to F or G with 13/127; students: 12/218 to A, 173/218 toward B, 31/218 to
+/// F/G; other users: 39/1384 to A, 17/1384 toward B, rest to F/G.
+struct Fig4Weights {
+  double to_a, toward_b, to_fg;
+};
+[[nodiscard]] TransitionTable fig4_transition_table(const CellMap& map,
+                                                    const Fig4Weights& weights);
+
+[[nodiscard]] inline Fig4Weights fig4_faculty_weights() { return {94.0, 20.0, 13.0}; }
+[[nodiscard]] inline Fig4Weights fig4_student_weights() { return {12.0, 173.0, 31.0}; }
+[[nodiscard]] inline Fig4Weights fig4_other_weights() { return {39.0, 17.0, 1328.0}; }
+
+}  // namespace imrm::mobility

@@ -1,0 +1,48 @@
+// Portables (mobile hosts / their users) and the static-mobile distinction.
+//
+// Section 3.4.2: a portable is *static* once it has stayed in the same cell
+// for a threshold period T_th, otherwise *mobile*. Static portables get
+// their QoS upgraded and no advance reservations; mobile portables keep
+// minimum QoS and get advance reservations in the next-predicted cell.
+#pragma once
+
+#include <optional>
+
+#include "mobility/cell.h"
+#include "qos/flow_spec.h"
+#include "sim/time.h"
+
+namespace imrm::mobility {
+
+struct Portable {
+  PortableId id = PortableId::invalid();
+  CellId current_cell = CellId::invalid();
+  CellId previous_cell = CellId::invalid();
+  sim::SimTime entered_cell = sim::SimTime::zero();
+  /// The office this user regularly occupies, if any.
+  std::optional<CellId> home_office;
+};
+
+/// Applies the T_th rule.
+class StaticMobileClassifier {
+ public:
+  explicit StaticMobileClassifier(sim::Duration threshold) : threshold_(threshold) {}
+
+  [[nodiscard]] qos::MobilityClass classify(const Portable& portable,
+                                            sim::SimTime now) const {
+    return now - portable.entered_cell >= threshold_ ? qos::MobilityClass::kStatic
+                                                     : qos::MobilityClass::kMobile;
+  }
+
+  /// Time at which the portable will become static if it does not move.
+  [[nodiscard]] sim::SimTime static_at(const Portable& portable) const {
+    return portable.entered_cell + threshold_;
+  }
+
+  [[nodiscard]] sim::Duration threshold() const { return threshold_; }
+
+ private:
+  sim::Duration threshold_;
+};
+
+}  // namespace imrm::mobility

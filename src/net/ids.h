@@ -1,0 +1,47 @@
+// Strongly-typed identifiers for network and mobility entities.
+//
+// Using distinct types for node/link/cell/portable/connection ids turns a
+// whole class of cross-wiring bugs into compile errors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace imrm::net {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying v) : value_(v) {}
+
+  [[nodiscard]] static constexpr Id invalid() {
+    return Id{std::numeric_limits<underlying>::max()};
+  }
+  [[nodiscard]] constexpr bool is_valid() const { return *this != invalid(); }
+  [[nodiscard]] constexpr underlying value() const { return value_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  underlying value_ = std::numeric_limits<underlying>::max();
+};
+
+using NodeId = Id<struct NodeTag>;
+using LinkId = Id<struct LinkTag>;
+using CellId = Id<struct CellTag>;
+using ZoneId = Id<struct ZoneTag>;
+using PortableId = Id<struct PortableTag>;
+using ConnectionId = Id<struct ConnectionTag>;
+
+}  // namespace imrm::net
+
+template <typename Tag>
+struct std::hash<imrm::net::Id<Tag>> {
+  std::size_t operator()(const imrm::net::Id<Tag>& id) const noexcept {
+    return std::hash<typename imrm::net::Id<Tag>::underlying>{}(id.value());
+  }
+};

@@ -1,0 +1,55 @@
+#include "net/link_state.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imrm::net {
+
+void LinkState::add_connection(ConnectionId id, qos::BandwidthRange bounds,
+                               qos::BitsPerSecond allocated, qos::Bits buffer) {
+  assert(bounds.valid());
+  assert(allocated >= bounds.b_min && allocated <= bounds.b_max);
+  assert(buffer >= 0.0);
+  const auto [it, inserted] = shares_.emplace(id, Share{bounds, allocated, buffer});
+  assert(inserted && "connection already on link");
+  (void)it;
+  sum_b_min_ += bounds.b_min;
+  buffer_reserved_ += buffer;
+}
+
+void LinkState::remove_connection(ConnectionId id) {
+  const auto it = shares_.find(id);
+  assert(it != shares_.end());
+  sum_b_min_ -= it->second.bounds.b_min;
+  if (sum_b_min_ < 0.0) sum_b_min_ = 0.0;  // absorb float drift
+  buffer_reserved_ -= it->second.buffer;
+  if (buffer_reserved_ < 0.0) buffer_reserved_ = 0.0;
+  shares_.erase(it);
+}
+
+void LinkState::set_allocated(ConnectionId id, qos::BitsPerSecond allocated) {
+  auto& share = shares_.at(id);
+  assert(allocated >= share.bounds.b_min - 1e-9 && allocated <= share.bounds.b_max + 1e-9);
+  share.allocated = std::clamp(allocated, share.bounds.b_min, share.bounds.b_max);
+}
+
+void LinkState::release_advance(qos::BitsPerSecond amount) {
+  advance_reserved_ -= amount;
+  if (advance_reserved_ < 0.0) advance_reserved_ = 0.0;
+}
+
+qos::BitsPerSecond LinkState::sum_allocated() const {
+  qos::BitsPerSecond total = 0.0;
+  for (const auto& [id, share] : shares_) total += share.allocated;
+  return total;
+}
+
+std::vector<ConnectionId> LinkState::connection_ids() const {
+  std::vector<ConnectionId> ids;
+  ids.reserve(shares_.size());
+  for (const auto& [id, share] : shares_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());  // deterministic iteration for sim runs
+  return ids;
+}
+
+}  // namespace imrm::net

@@ -1,0 +1,58 @@
+#include "net/multicast.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace imrm::net {
+
+std::size_t MulticastTree::admitted_count() const {
+  return std::size_t(std::count_if(branches.begin(), branches.end(),
+                                   [](const MulticastBranch& b) { return b.admitted; }));
+}
+
+MulticastTree setup_neighbor_multicast(NetworkState& network, const Router& router,
+                                       NodeId source,
+                                       const std::vector<NodeId>& neighbor_base_stations,
+                                       const qos::QosRequest& request,
+                                       qos::Scheduler scheduler) {
+  MulticastTree tree;
+  // The branch only needs the guaranteed minimum: pin b_max to b_min so the
+  // reservation never competes for adaptable excess.
+  qos::QosRequest branch_request = request;
+  branch_request.bandwidth.b_max = branch_request.bandwidth.b_min;
+
+  std::unordered_map<LinkId, int> link_use;
+  for (NodeId bs : neighbor_base_stations) {
+    MulticastBranch branch;
+    branch.target_base_station = bs;
+    if (auto route = router.shortest_path(source, bs); route && !route->empty()) {
+      branch.route = *route;
+      auto id = network.admit(source, bs, branch.route, branch_request,
+                              qos::MobilityClass::kMobile, scheduler);
+      if (id) {
+        branch.admitted = true;
+        branch.reservation = *id;
+        for (LinkId lid : branch.route) ++link_use[lid];
+      }
+    }
+    tree.branches.push_back(std::move(branch));
+  }
+
+  for (const auto& [lid, uses] : link_use) {
+    if (uses >= 2) tree.shared_links.push_back(lid);
+  }
+  std::sort(tree.shared_links.begin(), tree.shared_links.end());
+  return tree;
+}
+
+void teardown_multicast(NetworkState& network, MulticastTree& tree) {
+  for (MulticastBranch& branch : tree.branches) {
+    if (branch.admitted && branch.reservation.is_valid()) {
+      network.teardown(branch.reservation);
+      branch.admitted = false;
+      branch.reservation = ConnectionId::invalid();
+    }
+  }
+}
+
+}  // namespace imrm::net

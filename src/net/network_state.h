@@ -1,0 +1,79 @@
+// Whole-network runtime state: per-link bookkeeping plus the connection
+// table. This is the substrate both the admission pipeline and the max-min
+// adaptation protocol operate on.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/link_state.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "qos/admission.h"
+#include "qos/flow_spec.h"
+
+namespace imrm::net {
+
+struct Connection {
+  ConnectionId id = ConnectionId::invalid();
+  NodeId source = NodeId::invalid();
+  NodeId destination = NodeId::invalid();
+  Route route;
+  qos::QosRequest request;
+  qos::MobilityClass mobility = qos::MobilityClass::kMobile;
+  qos::BitsPerSecond allocated = 0.0;  // current end-to-end rate (b_j)
+};
+
+class NetworkState {
+ public:
+  explicit NetworkState(const Topology& topology);
+
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] LinkState& link(LinkId id) { return links_.at(id.value()); }
+  [[nodiscard]] const LinkState& link(LinkId id) const { return links_.at(id.value()); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Runs Table 2 admission over `route` and, on success, installs the
+  /// connection on every link. Returns the new connection id, or nullopt
+  /// with `last_result()` holding the rejection detail.
+  std::optional<ConnectionId> admit(NodeId src, NodeId dst, Route route,
+                                    const qos::QosRequest& request,
+                                    qos::MobilityClass mobility,
+                                    qos::Scheduler scheduler = qos::Scheduler::kWfq,
+                                    qos::BitsPerSecond b_stamp = 0.0,
+                                    qos::ConnectionKind kind = qos::ConnectionKind::kNew);
+
+  /// Removes the connection from all its links.
+  void teardown(ConnectionId id);
+
+  /// Moves a connection's allocation (adaptation); applies on every link.
+  void set_allocated(ConnectionId id, qos::BitsPerSecond rate);
+
+  /// Updates the connection's static/mobile class (re-classification after
+  /// the T_th dwell changes who participates in adaptation).
+  void set_mobility(ConnectionId id, qos::MobilityClass mobility) {
+    connections_.at(id).mobility = mobility;
+  }
+
+  [[nodiscard]] const Connection& connection(ConnectionId id) const {
+    return connections_.at(id);
+  }
+  [[nodiscard]] bool has_connection(ConnectionId id) const {
+    return connections_.contains(id);
+  }
+  [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
+  [[nodiscard]] std::vector<ConnectionId> connection_ids() const;
+
+  [[nodiscard]] const qos::AdmissionResult& last_result() const { return last_result_; }
+
+ private:
+  const Topology* topology_;
+  std::vector<LinkState> links_;
+  std::unordered_map<ConnectionId, Connection> connections_;
+  qos::AdmissionResult last_result_;
+  ConnectionId::underlying next_connection_ = 0;
+};
+
+}  // namespace imrm::net

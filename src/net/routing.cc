@@ -1,0 +1,83 @@
+#include "net/routing.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace imrm::net {
+
+namespace {
+
+struct QueueItem {
+  double dist;
+  NodeId node;
+  bool operator<(const QueueItem& rhs) const { return dist > rhs.dist; }  // min-heap
+};
+
+}  // namespace
+
+std::vector<std::optional<Route>> Router::shortest_paths_from(NodeId src) const {
+  const std::size_t n = topology_->node_count();
+  assert(src.value() < n);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n, LinkId::invalid());
+  std::vector<bool> done(n, false);
+
+  std::priority_queue<QueueItem> heap;
+  dist[src.value()] = 0.0;
+  heap.push({0.0, src});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u.value()]) continue;
+    done[u.value()] = true;
+    for (LinkId lid : topology_->out_links(u)) {
+      const Link& link = topology_->link(lid);
+      const double w = weight_(link);
+      assert(w >= 0.0);
+      const double nd = d + w;
+      if (nd < dist[link.to.value()]) {
+        dist[link.to.value()] = nd;
+        via[link.to.value()] = lid;
+        heap.push({nd, link.to});
+      }
+    }
+  }
+
+  std::vector<std::optional<Route>> routes(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dist[v] == kInf) continue;
+    Route path;
+    for (NodeId cur{static_cast<NodeId::underlying>(v)}; cur != src;) {
+      const LinkId lid = via[cur.value()];
+      path.push_back(lid);
+      cur = topology_->link(lid).from;
+    }
+    std::reverse(path.begin(), path.end());
+    routes[v] = std::move(path);
+  }
+  return routes;
+}
+
+std::optional<Route> Router::shortest_path(NodeId src, NodeId dst) const {
+  // Single-destination query; runs the full Dijkstra (topologies here are
+  // small) and extracts one entry.
+  auto all = shortest_paths_from(src);
+  return std::move(all.at(dst.value()));
+}
+
+std::vector<NodeId> route_nodes(const Topology& topology, const Route& route) {
+  std::vector<NodeId> nodes;
+  if (route.empty()) return nodes;
+  nodes.push_back(topology.link(route.front()).from);
+  for (LinkId lid : route) {
+    assert(topology.link(lid).from == nodes.back() && "route links must chain");
+    nodes.push_back(topology.link(lid).to);
+  }
+  return nodes;
+}
+
+}  // namespace imrm::net

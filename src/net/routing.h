@@ -1,0 +1,49 @@
+// Shortest-path routing over the backbone.
+//
+// Section 4 assumes "an appropriate route found by a routing algorithm";
+// we provide Dijkstra with pluggable link weights (hop count by default;
+// inverse-capacity available for capacity-aware routes).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/topology.h"
+
+namespace imrm::net {
+
+/// A route is the ordered list of directed links from source to destination.
+using Route = std::vector<LinkId>;
+
+class Router {
+ public:
+  using WeightFn = std::function<double(const Link&)>;
+
+  explicit Router(const Topology& topology, WeightFn weight = hop_weight())
+      : topology_(&topology), weight_(std::move(weight)) {}
+
+  /// Shortest path from `src` to `dst`; nullopt if unreachable.
+  [[nodiscard]] std::optional<Route> shortest_path(NodeId src, NodeId dst) const;
+
+  /// Shortest paths from `src` to every node (one Dijkstra run); entries are
+  /// nullopt for unreachable destinations.
+  [[nodiscard]] std::vector<std::optional<Route>> shortest_paths_from(NodeId src) const;
+
+  [[nodiscard]] static WeightFn hop_weight() {
+    return [](const Link&) { return 1.0; };
+  }
+  [[nodiscard]] static WeightFn inverse_capacity_weight() {
+    return [](const Link& l) { return 1.0 / l.capacity; };
+  }
+
+ private:
+  const Topology* topology_;
+  WeightFn weight_;
+};
+
+/// Nodes visited by a route, starting at the route's source.
+[[nodiscard]] std::vector<NodeId> route_nodes(const Topology& topology, const Route& route);
+
+}  // namespace imrm::net

@@ -1,0 +1,151 @@
+#include "prediction/cell_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace imrm::prediction {
+
+void CellObservations::bump(sim::SimTime t) {
+  const auto slot = std::size_t(std::max(t.to_seconds(), 0.0) / slot_.to_seconds());
+  if (slot >= activity_.size()) activity_.resize(slot + 1, 0.0);
+  activity_[slot] += 1.0;
+}
+
+void CellObservations::record_entry(net::PortableId portable, sim::SimTime t) {
+  bump(t);
+  ++total_visits_;
+  ++visits_by_user_[portable];
+  entered_at_[portable] = t;
+}
+
+void CellObservations::record_exit(net::PortableId portable, sim::SimTime t,
+                                   bool pass_through) {
+  bump(t);
+  ++exits_;
+  if (pass_through) ++pass_throughs_;
+  const auto it = entered_at_.find(portable);
+  if (it != entered_at_.end()) {
+    dwell_sum_ += (t - it->second).to_seconds();
+    ++dwell_count_;
+    entered_at_.erase(it);
+  }
+}
+
+double CellObservations::mean_dwell_seconds() const {
+  return dwell_count_ ? dwell_sum_ / double(dwell_count_) : 0.0;
+}
+
+double CellObservations::pass_through_fraction() const {
+  return exits_ ? double(pass_throughs_) / double(exits_) : 0.0;
+}
+
+double CellObservations::regular_fraction(std::size_t k) const {
+  if (total_visits_ == 0) return 0.0;
+  std::vector<std::size_t> counts;
+  counts.reserve(visits_by_user_.size());
+  for (const auto& [user, visits] : visits_by_user_) counts.push_back(visits);
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < std::min(k, counts.size()); ++i) top += counts[i];
+  return double(top) / double(total_visits_);
+}
+
+double CellObservations::peak_to_mean() const {
+  if (activity_.empty()) return 0.0;
+  const double total = std::accumulate(activity_.begin(), activity_.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const double mean = total / double(activity_.size());
+  const double peak = *std::max_element(activity_.begin(), activity_.end());
+  return peak / mean;
+}
+
+double CellObservations::roughness() const {
+  if (activity_.size() < 2) return 0.0;
+  const double total = std::accumulate(activity_.begin(), activity_.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const double mean = total / double(activity_.size());
+  double steps = 0.0;
+  for (std::size_t i = 1; i < activity_.size(); ++i) {
+    steps += std::abs(activity_[i] - activity_[i - 1]);
+  }
+  return steps / double(activity_.size() - 1) / mean;
+}
+
+double CellObservations::duty_cycle() const {
+  if (activity_.empty()) return 0.0;
+  const auto busy = std::count_if(activity_.begin(), activity_.end(),
+                                  [](double v) { return v > 0.0; });
+  return double(busy) / double(activity_.size());
+}
+
+namespace {
+
+/// Smooth indicator: 0 below `lo`, 1 above `hi`, linear ramp in between.
+double above(double x, double lo, double hi) {
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  return (x - lo) / (hi - lo);
+}
+double below(double x, double lo, double hi) { return 1.0 - above(x, lo, hi); }
+
+}  // namespace
+
+Classification classify_cell(const CellObservations& obs, std::size_t min_visits) {
+  using mobility::CellClass;
+  Classification out;
+  if (obs.total_visits() < min_visits) {
+    out.cell_class = CellClass::kLounge;
+    out.scores[CellClass::kLounge] = 0.0;
+    return out;
+  }
+
+  const double dwell_min = obs.mean_dwell_seconds() / 60.0;
+  const double pass = obs.pass_through_fraction();
+  const double reg = obs.regular_fraction();
+  const double users = double(obs.distinct_users());
+  const double p2m = obs.peak_to_mean();
+  const double rough = obs.roughness();
+  const double duty = obs.duty_cycle();
+
+  auto& scores = out.scores;
+
+  // Corridor: visitors flow through quickly, exiting toward a new neighbor.
+  scores[CellClass::kCorridor] = below(dwell_min, 1.0, 4.0) * above(pass, 0.3, 0.7);
+
+  // Office: long stays by a small set of regulars.
+  scores[CellClass::kOffice] = above(dwell_min, 10.0, 40.0) * above(reg, 0.5, 0.9) *
+                               below(users, 4.0, 16.0);
+
+  // Meeting room: long stays by a *crowd* that arrives and leaves together —
+  // bursty activity with long quiet stretches.
+  scores[CellClass::kMeetingRoom] = above(dwell_min, 10.0, 40.0) *
+                                    below(reg, 0.3, 0.8) * above(p2m, 2.5, 6.0) *
+                                    below(duty, 0.25, 0.6);
+
+  // Cafeteria: sustained, smoothly varying traffic from many users.
+  scores[CellClass::kCafeteria] = below(rough, 0.4, 1.2) * above(duty, 0.3, 0.7) *
+                                  below(reg, 0.3, 0.8) *
+                                  above(dwell_min, 2.0, 10.0) * below(dwell_min, 20.0, 60.0);
+
+  // Default lounge: whatever shows no clear signature. Baseline plus a bonus
+  // for genuinely erratic activity.
+  const double best_other = std::max({scores[CellClass::kCorridor],
+                                      scores[CellClass::kOffice],
+                                      scores[CellClass::kMeetingRoom],
+                                      scores[CellClass::kCafeteria]});
+  scores[CellClass::kLounge] =
+      std::max(0.15, (1.0 - best_other) * 0.5 * above(rough, 0.5, 1.5));
+
+  out.cell_class = CellClass::kLounge;
+  double best = scores[CellClass::kLounge];
+  for (const auto& [cls, score] : scores) {
+    if (score > best) {
+      best = score;
+      out.cell_class = cls;
+    }
+  }
+  return out;
+}
+
+}  // namespace imrm::prediction

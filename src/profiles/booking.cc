@@ -1,0 +1,31 @@
+#include "profiles/booking.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imrm::profiles {
+
+void BookingCalendar::book(Meeting meeting) {
+  assert(meeting.valid());
+  const auto pos = std::lower_bound(
+      meetings_.begin(), meetings_.end(), meeting,
+      [](const Meeting& a, const Meeting& b) { return a.start < b.start; });
+  meetings_.insert(pos, meeting);
+}
+
+std::optional<Meeting> BookingCalendar::active_at(sim::SimTime t) const {
+  for (const Meeting& m : meetings_) {
+    if (m.start > t) break;
+    if (t < m.stop) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<Meeting> BookingCalendar::next_after(sim::SimTime t) const {
+  for (const Meeting& m : meetings_) {
+    if (m.start >= t) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace imrm::profiles

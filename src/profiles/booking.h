@@ -1,0 +1,41 @@
+// Booking calendar for meeting rooms (Section 6.2.1 / Table 1).
+//
+// Each meeting specifies a start time T_s, a stop time T_a, and the required
+// resources N_m (expressed, as in the paper, as a number of users).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace imrm::profiles {
+
+struct Meeting {
+  sim::SimTime start;        // T_s
+  sim::SimTime stop;         // T_a
+  std::size_t attendees = 0; // N_m
+
+  [[nodiscard]] bool valid() const { return stop > start && attendees > 0; }
+};
+
+class BookingCalendar {
+ public:
+  /// Adds a meeting; overlapping meetings are allowed (back-to-back classes).
+  void book(Meeting meeting);
+
+  /// The meeting in progress at `t`, if any (earliest-starting on overlap).
+  [[nodiscard]] std::optional<Meeting> active_at(sim::SimTime t) const;
+
+  /// The next meeting starting at or after `t`, if any.
+  [[nodiscard]] std::optional<Meeting> next_after(sim::SimTime t) const;
+
+  [[nodiscard]] const std::vector<Meeting>& meetings() const { return meetings_; }
+  [[nodiscard]] std::size_t size() const { return meetings_.size(); }
+
+ private:
+  std::vector<Meeting> meetings_;  // kept sorted by start time
+};
+
+}  // namespace imrm::profiles

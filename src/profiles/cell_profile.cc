@@ -1,0 +1,70 @@
+#include "profiles/cell_profile.h"
+
+#include <algorithm>
+
+namespace imrm::profiles {
+
+void CellProfile::record(CellId previous, CellId next) {
+  auto& window = by_previous_[previous];
+  window.push_back(next);
+  while (window.size() > window_) window.pop_front();
+}
+
+namespace {
+
+std::vector<CellProfile::NeighborShare> shares_from_counts(
+    const std::map<CellId, std::size_t>& counts, std::size_t total) {
+  std::vector<CellProfile::NeighborShare> out;
+  if (total == 0) return out;
+  out.reserve(counts.size());
+  for (const auto& [cell, count] : counts) {
+    out.push_back({cell, double(count) / double(total)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CellProfile::NeighborShare> CellProfile::distribution(CellId previous) const {
+  const auto it = by_previous_.find(previous);
+  if (it == by_previous_.end()) return {};
+  std::map<CellId, std::size_t> counts;
+  for (CellId next : it->second) ++counts[next];
+  return shares_from_counts(counts, it->second.size());
+}
+
+std::vector<CellProfile::NeighborShare> CellProfile::aggregate_distribution() const {
+  std::map<CellId, std::size_t> counts;
+  std::size_t total = 0;
+  for (const auto& [previous, window] : by_previous_) {
+    for (CellId next : window) {
+      ++counts[next];
+      ++total;
+    }
+  }
+  return shares_from_counts(counts, total);
+}
+
+std::optional<CellId> CellProfile::predict(CellId previous) const {
+  const auto dist = distribution(previous);
+  if (dist.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      dist.begin(), dist.end(),
+      [](const NeighborShare& a, const NeighborShare& b) {
+        return a.probability < b.probability;
+      });
+  return best->neighbor;
+}
+
+std::size_t CellProfile::observations(CellId previous) const {
+  const auto it = by_previous_.find(previous);
+  return it == by_previous_.end() ? 0 : it->second.size();
+}
+
+std::size_t CellProfile::total_observations() const {
+  std::size_t total = 0;
+  for (const auto& [previous, window] : by_previous_) total += window.size();
+  return total;
+}
+
+}  // namespace imrm::profiles

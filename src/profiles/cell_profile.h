@@ -1,0 +1,55 @@
+// Cell profile (Table 1): aggregated handoff history of ALL portables
+// through a cell — for each previous cell, the probability of handing off
+// to each neighbor, over the last N_pC handoffs.
+//
+// Unlike the portable profile this is not user-specific: it aggregates the
+// cell's population behaviour and serves as the second prediction level.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace imrm::profiles {
+
+using net::CellId;
+
+class CellProfile {
+ public:
+  explicit CellProfile(CellId id, std::size_t window = 128) : id_(id), window_(window) {}
+
+  /// Records that a portable which had arrived from `previous` handed off
+  /// to `next`.
+  void record(CellId previous, CellId next);
+
+  struct NeighborShare {
+    CellId neighbor;
+    double probability;
+  };
+
+  /// Handoff distribution over next cells given the previous cell; empty
+  /// when the (previous) state was never observed.
+  [[nodiscard]] std::vector<NeighborShare> distribution(CellId previous) const;
+
+  /// Distribution aggregated over all previous cells (used when the previous
+  /// cell is unknown, and by lounges which ignore individual behaviour).
+  [[nodiscard]] std::vector<NeighborShare> aggregate_distribution() const;
+
+  /// Most likely next cell given the previous cell, or nullopt.
+  [[nodiscard]] std::optional<CellId> predict(CellId previous) const;
+
+  [[nodiscard]] std::size_t observations(CellId previous) const;
+  [[nodiscard]] std::size_t total_observations() const;
+  [[nodiscard]] CellId id() const { return id_; }
+
+ private:
+  CellId id_;
+  std::size_t window_;
+  std::map<CellId, std::deque<CellId>> by_previous_;
+};
+
+}  // namespace imrm::profiles

@@ -1,0 +1,35 @@
+#include "profiles/portable_profile.h"
+
+#include <algorithm>
+
+namespace imrm::profiles {
+
+void PortableProfile::record(CellId previous, CellId current, CellId next) {
+  auto& window = history_[{previous, current}];
+  window.push_back(next);
+  while (window.size() > window_) window.pop_front();
+}
+
+std::optional<CellId> PortableProfile::predict(CellId previous, CellId current) const {
+  const auto it = history_.find({previous, current});
+  if (it == history_.end() || it->second.empty()) return std::nullopt;
+  // Majority vote over the window; ties break toward the most recent.
+  std::map<CellId, std::size_t> counts;
+  for (CellId next : it->second) ++counts[next];
+  CellId best = it->second.back();
+  std::size_t best_count = counts[best];
+  for (const auto& [cell, count] : counts) {
+    if (count > best_count) {
+      best = cell;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::size_t PortableProfile::observations(CellId previous, CellId current) const {
+  const auto it = history_.find({previous, current});
+  return it == history_.end() ? 0 : it->second.size();
+}
+
+}  // namespace imrm::profiles

@@ -1,0 +1,48 @@
+// Portable profile (Table 1): for every (previous cell, current cell) pair,
+// the aggregated history of the portable's last N_pP handoffs out of that
+// state, used to predict the next cell.
+//
+// The aggregate is a sliding window: the profile server records each handoff
+// as <previous, current, next>, keeps the most recent N_pP per (previous,
+// current) state, and predicts the majority next-cell.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "net/ids.h"
+
+namespace imrm::profiles {
+
+using net::CellId;
+using net::PortableId;
+
+class PortableProfile {
+ public:
+  explicit PortableProfile(PortableId id, std::size_t window = 16)
+      : id_(id), window_(window) {}
+
+  /// Records a handoff: the portable moved to `next` while in `current`,
+  /// having previously been in `previous`.
+  void record(CellId previous, CellId current, CellId next);
+
+  /// The next-predicted-cell field: majority vote over the window, or
+  /// nullopt when the state was never observed.
+  [[nodiscard]] std::optional<CellId> predict(CellId previous, CellId current) const;
+
+  /// Number of observations stored for a state (for tests/inspection).
+  [[nodiscard]] std::size_t observations(CellId previous, CellId current) const;
+
+  [[nodiscard]] PortableId id() const { return id_; }
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+ private:
+  PortableId id_;
+  std::size_t window_;
+  std::map<std::pair<CellId, CellId>, std::deque<CellId>> history_;
+};
+
+}  // namespace imrm::profiles

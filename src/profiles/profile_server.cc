@@ -1,0 +1,66 @@
+#include "profiles/profile_server.h"
+
+namespace imrm::profiles {
+
+void ProfileServer::record_handoff(const mobility::HandoffEvent& event) {
+  record_handoff(event.portable, event.prev_of_from, event.from, event.to);
+}
+
+void ProfileServer::record_handoff(net::PortableId portable, CellId prev, CellId from,
+                                   CellId to) {
+  // <portable id, current cell, previous cell, next cell>: the portable was
+  // in `from` (having come from `prev`) and handed off to `to`.
+  portable_profile_mut(portable).record(prev, from, to);
+  // Cell profile of the departed cell: <previous cell, next cell>.
+  cell_profile_mut(from).record(prev, to);
+  ++traffic_.handoff_updates;    // old BS notifies the server
+  ++traffic_.profile_transfers;  // old BS forwards the cached profile
+}
+
+const PortableProfile* ProfileServer::portable_profile(net::PortableId id) const {
+  const auto it = portables_.find(id);
+  return it == portables_.end() ? nullptr : &it->second;
+}
+
+const CellProfile* ProfileServer::cell_profile(CellId id) const {
+  const auto it = cells_.find(id);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+PortableProfile& ProfileServer::portable_profile_mut(net::PortableId id) {
+  const auto it = portables_.find(id);
+  if (it != portables_.end()) return it->second;
+  return portables_.emplace(id, PortableProfile(id, config_.portable_window))
+      .first->second;
+}
+
+CellProfile& ProfileServer::cell_profile_mut(CellId id) {
+  const auto it = cells_.find(id);
+  if (it != cells_.end()) return it->second;
+  return cells_.emplace(id, CellProfile(id, config_.cell_window)).first->second;
+}
+
+const BookingCalendar* ProfileServer::calendar_if(CellId id) const {
+  const auto it = calendars_.find(id);
+  return it == calendars_.end() ? nullptr : &it->second;
+}
+
+std::optional<PortableProfile> ProfileServer::extract_portable(net::PortableId id) {
+  const auto it = portables_.find(id);
+  if (it == portables_.end()) return std::nullopt;
+  PortableProfile profile = std::move(it->second);
+  portables_.erase(it);
+  return profile;
+}
+
+void ProfileServer::adopt_portable(PortableProfile profile) {
+  const net::PortableId id = profile.id();
+  portables_.insert_or_assign(id, std::move(profile));
+}
+
+void ProfileServer::refresh_on_static(net::PortableId id) {
+  (void)id;
+  ++traffic_.refreshes;
+}
+
+}  // namespace imrm::profiles

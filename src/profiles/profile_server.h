@@ -1,0 +1,80 @@
+// Zone profile server (Section 3.4.3).
+//
+// One server per zone. It owns the cell profiles of every cell in the zone
+// and the portable profiles of every portable currently in the zone, and is
+// updated on each handoff. Base stations cache their cell profile and the
+// portable profiles of portables in their cell: during a handoff the old
+// base station sends one update message to the server and passes the cached
+// portable profile to the next cell; when a portable turns static, its
+// profile is refreshed from the server. The cache traffic is tracked so the
+// signalling cost can be reported.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mobility/manager.h"
+#include "profiles/booking.h"
+#include "profiles/profile_source.h"
+#include "profiles/cell_profile.h"
+#include "profiles/portable_profile.h"
+
+namespace imrm::profiles {
+
+struct CacheTraffic {
+  std::uint64_t handoff_updates = 0;    // BS -> server, one per handoff
+  std::uint64_t profile_transfers = 0;  // BS -> BS cached-profile forwarding
+  std::uint64_t refreshes = 0;          // server -> BS on static transition
+};
+
+class ProfileServer final : public ProfileSource {
+ public:
+  struct Config {
+    std::size_t portable_window = 16;  // N_pP
+    std::size_t cell_window = 128;     // N_pC
+  };
+
+  explicit ProfileServer(net::ZoneId zone) : zone_(zone) {}
+  ProfileServer(net::ZoneId zone, Config config) : zone_(zone), config_(config) {}
+
+  /// Records one handoff: the portable moved from `event.from` to
+  /// `event.to`, having previously been in `event.prev_of_from`. Updates the
+  /// portable profile (keyed by the pre-move state) and the cell profile of
+  /// the cell being left.
+  void record_handoff(const mobility::HandoffEvent& event);
+
+  /// Convenience overload.
+  void record_handoff(net::PortableId portable, CellId prev, CellId from, CellId to);
+
+  [[nodiscard]] const PortableProfile* portable_profile(net::PortableId id) const override;
+  [[nodiscard]] const CellProfile* cell_profile(CellId id) const override;
+  [[nodiscard]] PortableProfile& portable_profile_mut(net::PortableId id);
+  [[nodiscard]] CellProfile& cell_profile_mut(CellId id);
+
+  /// Booking calendar for a meeting-room cell.
+  [[nodiscard]] BookingCalendar& calendar(CellId id) { return calendars_[id]; }
+  [[nodiscard]] const BookingCalendar* calendar_if(CellId id) const;
+
+  /// Models the base station refreshing a portable profile once the
+  /// portable turns static (counts the message; data is shared state here).
+  void refresh_on_static(net::PortableId id);
+
+  /// Zone migration support: removes and returns the portable's profile so
+  /// the next zone's server can adopt it. Returns nullopt if unknown.
+  std::optional<PortableProfile> extract_portable(net::PortableId id);
+  void adopt_portable(PortableProfile profile);
+
+  [[nodiscard]] const CacheTraffic& traffic() const { return traffic_; }
+  [[nodiscard]] net::ZoneId zone() const { return zone_; }
+
+ private:
+  net::ZoneId zone_;
+  Config config_{};
+  std::unordered_map<net::PortableId, PortableProfile> portables_;
+  std::unordered_map<CellId, CellProfile> cells_;
+  std::unordered_map<CellId, BookingCalendar> calendars_;
+  CacheTraffic traffic_;
+};
+
+}  // namespace imrm::profiles

@@ -1,0 +1,21 @@
+// Read-side interface over profile storage: the three-level predictor only
+// needs lookups, and both the single-zone ProfileServer and the multi-zone
+// Universe can serve them.
+#pragma once
+
+#include "net/ids.h"
+
+namespace imrm::profiles {
+
+class PortableProfile;
+class CellProfile;
+
+class ProfileSource {
+ public:
+  virtual ~ProfileSource() = default;
+  [[nodiscard]] virtual const PortableProfile* portable_profile(
+      net::PortableId portable) const = 0;
+  [[nodiscard]] virtual const CellProfile* cell_profile(net::CellId cell) const = 0;
+};
+
+}  // namespace imrm::profiles

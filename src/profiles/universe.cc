@@ -1,0 +1,74 @@
+#include "profiles/universe.h"
+
+#include <cassert>
+
+namespace imrm::profiles {
+
+Universe::Universe(const mobility::CellMap& map, std::size_t zone_count) : map_(&map) {
+  assert(zone_count > 0);
+  servers_.reserve(zone_count);
+  for (std::size_t z = 0; z < zone_count; ++z) {
+    servers_.emplace_back(net::ZoneId{static_cast<net::ZoneId::underlying>(z)});
+  }
+  for (const mobility::Cell& cell : map.cells()) {
+    assert(cell.zone.value() < zone_count && "cell assigned to a missing zone");
+    (void)cell;
+  }
+}
+
+void Universe::record_handoff(const mobility::HandoffEvent& event) {
+  const net::ZoneId from_zone = map_->cell(event.from).zone;
+  const net::ZoneId to_zone = map_->cell(event.to).zone;
+
+  // The portable's profile must reside with the zone it is leaving; migrate
+  // it there first if it was born elsewhere (first sighting) or left behind.
+  const auto res_it = residence_.find(event.portable);
+  if (res_it == residence_.end()) {
+    residence_[event.portable] = from_zone;
+  } else if (res_it->second != from_zone) {
+    if (auto profile = servers_[res_it->second.value()].extract_portable(event.portable)) {
+      servers_[from_zone.value()].adopt_portable(std::move(*profile));
+    }
+    res_it->second = from_zone;
+    ++migrations_;
+  }
+
+  // Record with the departing zone's server (it owns the cell profile of
+  // `from` and, at this instant, the portable profile).
+  servers_[from_zone.value()].record_handoff(event);
+
+  // Crossing a zone boundary migrates the portable profile onward.
+  if (to_zone != from_zone) {
+    if (auto profile = servers_[from_zone.value()].extract_portable(event.portable)) {
+      servers_[to_zone.value()].adopt_portable(std::move(*profile));
+    }
+    residence_[event.portable] = to_zone;
+    ++migrations_;
+  }
+}
+
+net::ZoneId Universe::residence(net::PortableId portable) const {
+  const auto it = residence_.find(portable);
+  return it == residence_.end() ? net::ZoneId::invalid() : it->second;
+}
+
+const CellProfile* Universe::cell_profile(net::CellId cell) const {
+  return servers_[map_->cell(cell).zone.value()].cell_profile(cell);
+}
+
+const PortableProfile* Universe::portable_profile(net::PortableId portable) const {
+  const net::ZoneId zone = residence(portable);
+  if (!zone.is_valid()) return nullptr;
+  return servers_[zone.value()].portable_profile(portable);
+}
+
+void assign_zones_round_robin(mobility::CellMap& map, std::size_t zones) {
+  assert(zones > 0);
+  const std::size_t per_zone = (map.size() + zones - 1) / zones;
+  for (const mobility::Cell& cell : map.cells()) {
+    map.cell(cell.id).zone =
+        net::ZoneId{static_cast<net::ZoneId::underlying>(cell.id.value() / per_zone)};
+  }
+}
+
+}  // namespace imrm::profiles

@@ -1,0 +1,66 @@
+// The locational hierarchy of Section 3.4.1: cell -> neighborhood -> zone
+// -> universe, with one profile server per zone.
+//
+// Each zone's server holds the cell profiles of its cells and the portable
+// profiles of the portables currently in the zone. When a portable hands
+// off across a zone boundary its profile migrates to the new zone's server
+// (the old base station forwards the cached profile; the servers
+// synchronize) — the Universe tracks that residency and counts the
+// migration traffic.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/floorplan.h"
+#include "mobility/manager.h"
+#include "profiles/profile_server.h"
+#include "profiles/profile_source.h"
+
+namespace imrm::profiles {
+
+class Universe final : public ProfileSource {
+ public:
+  /// `zone_count` servers; cells carry their zone in Cell::zone.
+  Universe(const mobility::CellMap& map, std::size_t zone_count);
+
+  /// Routes a handoff to the owning servers: the cell profile update goes
+  /// to the zone of the departed cell; the portable profile follows the
+  /// portable (migrating between servers on zone crossings).
+  void record_handoff(const mobility::HandoffEvent& event);
+
+  [[nodiscard]] ProfileServer& server(net::ZoneId zone) {
+    return servers_.at(zone.value());
+  }
+  [[nodiscard]] const ProfileServer& server(net::ZoneId zone) const {
+    return servers_.at(zone.value());
+  }
+  [[nodiscard]] ProfileServer& server_for_cell(net::CellId cell) {
+    return servers_.at(map_->cell(cell).zone.value());
+  }
+  [[nodiscard]] std::size_t zone_count() const { return servers_.size(); }
+
+  /// The zone currently hosting a portable's profile (invalid if never seen).
+  [[nodiscard]] net::ZoneId residence(net::PortableId portable) const;
+
+  [[nodiscard]] std::size_t migrations() const { return migrations_; }
+
+  /// Looks the portable profile up wherever it currently resides.
+  [[nodiscard]] const PortableProfile* portable_profile(
+      net::PortableId portable) const override;
+  /// Looks the cell profile up in the cell's owning zone.
+  [[nodiscard]] const CellProfile* cell_profile(net::CellId cell) const override;
+
+ private:
+  const mobility::CellMap* map_;
+  std::vector<ProfileServer> servers_;
+  std::unordered_map<net::PortableId, net::ZoneId> residence_;
+  std::size_t migrations_ = 0;
+};
+
+/// Partitions a cell map into `zones` zones of contiguous cell ids (a
+/// convenience for tests and benches; real deployments would partition
+/// geographically).
+void assign_zones_round_robin(mobility::CellMap& map, std::size_t zones);
+
+}  // namespace imrm::profiles

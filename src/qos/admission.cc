@@ -1,0 +1,171 @@
+#include "qos/admission.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imrm::qos {
+
+std::string to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kInvalidRequest: return "invalid-request";
+    case RejectReason::kBandwidth: return "bandwidth";
+    case RejectReason::kJitter: return "jitter";
+    case RejectReason::kBuffer: return "buffer";
+    case RejectReason::kDelay: return "delay";
+    case RejectReason::kLoss: return "loss";
+  }
+  return "unknown";
+}
+
+Seconds AdmissionPipeline::hop_delay(const QosRequest& request, const LinkSnapshot& link) {
+  return request.traffic.l_max / request.bandwidth.b_min +
+         request.traffic.l_max / link.capacity;
+}
+
+Seconds AdmissionPipeline::e2e_min_delay(const QosRequest& request,
+                                         const std::vector<LinkSnapshot>& route) {
+  const double n = double(route.size());
+  Seconds transmission = 0.0;
+  for (const auto& link : route) transmission += request.traffic.l_max / link.capacity;
+  return (request.traffic.sigma + n * request.traffic.l_max) / request.bandwidth.b_min +
+         transmission;
+}
+
+Bits AdmissionPipeline::forward_buffer(const QosRequest& request, std::size_t hop_index,
+                                       Seconds d_prev, Seconds d_cur) const {
+  const auto& t = request.traffic;
+  if (scheduler_ == Scheduler::kWfq) {
+    // WFQ: sigma_j + l * L_max  (Table 2, footnote 6).
+    return t.sigma + double(hop_index) * t.l_max;
+  }
+  // RCSP with b*-RJ regulators (Table 2, footnote 7): the regulator at hop l
+  // reshapes using the upstream hop's delay bound, hence the first hop only
+  // sees its own delay.
+  if (hop_index == 1) {
+    return t.sigma + t.l_max + request.bandwidth.b_max * d_cur;
+  }
+  return t.sigma + t.l_max + request.bandwidth.b_max * (d_prev + d_cur);
+}
+
+Bits AdmissionPipeline::reverse_buffer(const QosRequest& request, std::size_t hop_index,
+                                       BitsPerSecond allocated, Seconds d_prev_relaxed,
+                                       Seconds d_cur) const {
+  const auto& t = request.traffic;
+  if (scheduler_ == Scheduler::kWfq) {
+    return t.sigma + double(hop_index) * t.l_max;
+  }
+  // Reverse-pass RCSP rows exactly as printed in Table 2: the first hop keeps
+  // the L_max term; later hops use the relaxed upstream delay d'_{l-1} plus
+  // the unrelaxed local forward delay d_l.
+  if (hop_index == 1) {
+    return t.sigma + t.l_max + allocated * d_cur;
+  }
+  return t.sigma + allocated * (d_prev_relaxed + d_cur);
+}
+
+AdmissionResult AdmissionPipeline::admit(const QosRequest& request,
+                                         const std::vector<LinkSnapshot>& route,
+                                         BitsPerSecond b_stamp, ConnectionKind kind) const {
+  AdmissionResult result;
+  if (!request.valid() || route.empty()) {
+    result.reason = RejectReason::kInvalidRequest;
+    return result;
+  }
+
+  const auto& t = request.traffic;
+  const BitsPerSecond b_min = request.bandwidth.b_min;
+  const std::size_t n = route.size();
+
+  // ---- Forward pass: per-link tests, tentative (greatest-level) reservation.
+  std::vector<Seconds> forward_delay(n);
+  double delivery_prob = 1.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    const LinkSnapshot& link = route[l];
+    const std::size_t hop = l + 1;  // Table 2 indexes hops from 1
+
+    // Bandwidth: b_min,j <= C_l - b_resv,l - sum_i b_min,i. A handoff
+    // connection may consume the bandwidth that was advance-reserved for it
+    // (Section 5.1), so its test sees b_resv reduced by up to b_min.
+    BitsPerSecond usable_reservation =
+        kind == ConnectionKind::kHandoff ? std::min(link.advance_reserved, b_min) : 0.0;
+    const BitsPerSecond admissible =
+        link.capacity - (link.advance_reserved - usable_reservation) - link.sum_b_min;
+    if (b_min > admissible) {
+      result.reason = RejectReason::kBandwidth;
+      result.failed_hop = hop;
+      return result;
+    }
+
+    forward_delay[l] = hop_delay(request, link);
+
+    // Jitter at hop l: (sigma_j + l L_max) / b_min,j <= sigma-bar.
+    const Seconds jitter_l = (t.sigma + double(hop) * t.l_max) / b_min;
+    if (jitter_l > request.jitter_bound) {
+      result.reason = RejectReason::kJitter;
+      result.failed_hop = hop;
+      return result;
+    }
+
+    // Buffer requirement for the configured scheduler.
+    const Seconds d_prev = l > 0 ? forward_delay[l - 1] : 0.0;
+    const Bits needed = forward_buffer(request, hop, d_prev, forward_delay[l]);
+    if (needed > link.buffer_capacity) {
+      result.reason = RejectReason::kBuffer;
+      result.failed_hop = hop;
+      return result;
+    }
+
+    delivery_prob *= (1.0 - link.error_prob);
+  }
+
+  // ---- Destination node: end-to-end tests.
+  result.e2e_min_delay = e2e_min_delay(request, route);
+  result.e2e_jitter = (t.sigma + double(n) * t.l_max) / b_min;
+  result.e2e_loss = 1.0 - delivery_prob;
+
+  if (result.e2e_min_delay > request.delay_bound) {
+    result.reason = RejectReason::kDelay;
+    return result;
+  }
+  if (result.e2e_jitter > request.jitter_bound) {
+    result.reason = RejectReason::kJitter;
+    return result;
+  }
+  if (result.e2e_loss > request.loss_bound) {
+    result.reason = RejectReason::kLoss;
+    return result;
+  }
+
+  // ---- Reverse pass: uniform relaxation and firm reservation.
+  //
+  // Bandwidth: static portables receive the minimum plus the max-min stamped
+  // excess (clamped into the negotiated range); mobile portables are pinned
+  // at b_min to minimise adaptation churn during handoffs (Section 3.4.2).
+  BitsPerSecond allocated = b_min;
+  if (mobility_ == MobilityClass::kStatic) {
+    allocated = std::min(b_min + b_stamp, request.bandwidth.b_max);
+  }
+  result.allocated_bandwidth = allocated;
+
+  const Seconds slack_per_hop = (request.delay_bound - result.e2e_min_delay) / double(n) +
+                                t.sigma / (double(n) * b_min);
+
+  result.hops.resize(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::size_t hop = l + 1;
+    const Seconds relaxed = forward_delay[l] + slack_per_hop;
+    result.hops[l].local_delay = relaxed;
+    const Seconds d_prev_relaxed = l > 0 ? result.hops[l - 1].local_delay : 0.0;
+    // Table 2 reverse-pass rows: hop 1 uses its own *relaxed* delay d'_1;
+    // later hops combine the relaxed upstream delay with the unrelaxed local
+    // forward delay d_l.
+    const Seconds d_cur = hop == 1 ? relaxed : forward_delay[l];
+    result.hops[l].buffer = reverse_buffer(request, hop, allocated, d_prev_relaxed, d_cur);
+  }
+
+  result.accepted = true;
+  return result;
+}
+
+}  // namespace imrm::qos

@@ -1,0 +1,72 @@
+// QoS model: loose bounds and the (sigma, rho) traffic envelope.
+//
+// Section 5.1: a new connection specifies lower and upper bounds on
+// bandwidth [b_min, b_max], an end-to-end delay bound d, a delay-jitter
+// bound sigma-bar, and a maximum packet-loss probability p_e. Traffic is
+// leaky-bucket constrained with burst parameter sigma and largest packet
+// size L_max.
+//
+// Units: bandwidth in bits/second, burst and packet sizes in bits, delay in
+// seconds, probabilities dimensionless.
+#pragma once
+
+#include <cassert>
+
+namespace imrm::qos {
+
+using BitsPerSecond = double;
+using Bits = double;
+using Seconds = double;
+
+[[nodiscard]] constexpr BitsPerSecond kbps(double v) { return v * 1e3; }
+[[nodiscard]] constexpr BitsPerSecond mbps(double v) { return v * 1e6; }
+[[nodiscard]] constexpr Bits bytes(double v) { return v * 8.0; }
+
+/// The negotiated bandwidth range. The service is "guaranteed" at b_min and
+/// best-effort beyond it (Section 2.1).
+struct BandwidthRange {
+  BitsPerSecond b_min = 0.0;
+  BitsPerSecond b_max = 0.0;
+
+  [[nodiscard]] constexpr bool valid() const {
+    return b_min > 0.0 && b_max >= b_min;
+  }
+  /// The adaptable headroom b_max - b_min that conflict resolution divides.
+  [[nodiscard]] constexpr BitsPerSecond headroom() const { return b_max - b_min; }
+  [[nodiscard]] constexpr bool contains(BitsPerSecond b) const {
+    return b >= b_min && b <= b_max;
+  }
+};
+
+/// Leaky-bucket traffic envelope (sigma_j, rho) with largest packet L_max.
+struct TrafficEnvelope {
+  Bits sigma = 0.0;    // maximum burst
+  Bits l_max = 0.0;    // largest packet size
+
+  [[nodiscard]] constexpr bool valid() const { return sigma >= 0.0 && l_max > 0.0; }
+};
+
+/// Full QoS request carried in the forward pass of admission control.
+struct QosRequest {
+  BandwidthRange bandwidth;
+  Seconds delay_bound = 0.0;       // d: upper bound on end-to-end delay
+  Seconds jitter_bound = 0.0;      // sigma-bar: end-to-end delay jitter bound
+  double loss_bound = 0.0;         // p_e: max packet-loss probability
+  TrafficEnvelope traffic;
+
+  [[nodiscard]] constexpr bool valid() const {
+    return bandwidth.valid() && delay_bound > 0.0 && jitter_bound > 0.0 &&
+           loss_bound >= 0.0 && loss_bound <= 1.0 && traffic.valid();
+  }
+};
+
+/// Whether the requesting portable is static or mobile; Section 3.4.2 drives
+/// both the reverse-pass allocation (static gets b_min + stamped excess,
+/// mobile stays at b_min) and advance-reservation behaviour.
+enum class MobilityClass { kStatic, kMobile };
+
+/// Scheduling discipline at intermediate nodes (Table 2 footnotes 6 and 7):
+/// work-conserving WFQ or non-work-conserving RCSP with b*-RJ regulators.
+enum class Scheduler { kWfq, kRcsp };
+
+}  // namespace imrm::qos

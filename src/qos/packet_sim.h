@@ -1,0 +1,184 @@
+// Packet-level scheduling simulation (validation substrate for Table 2).
+//
+// Table 2's admission control promises per-hop and end-to-end delay bounds
+// analytically, assuming the links run a guaranteed-rate scheduler (the
+// paper names WFQ and RCSP). This module provides the packet-level pieces
+// to check those bounds empirically:
+//
+//  * TokenBucketSource — a (sigma, rho) regulated traffic source (greedy
+//    worst-case burst or randomized), emitting packets of size <= L_max;
+//  * ScheduledLink — a link of capacity C running the Virtual Clock
+//    discipline over per-flow reserved rates. Virtual Clock provides the
+//    same worst-case delay as PGPS/WFQ for token-bucket constrained flows
+//    (Figueira & Pasquale), so the Table 2 bounds apply:
+//      single hop:  D <= (sigma + L_max)/rho + L_max/C
+//      n-hop path:  D <= (sigma + n L_max)/rho + sum_i L_max/C_i  (= d_min).
+//
+// Links chain via a forwarding callback, so multi-hop paths are built by
+// plugging links together; per-flow delay statistics accumulate at the
+// final sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "qos/flow_spec.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "stats/timeseries.h"
+
+namespace imrm::qos {
+
+using FlowId = std::uint32_t;
+
+struct Packet {
+  FlowId flow = 0;
+  Bits size = 0.0;
+  sim::SimTime created;         // departure from the source
+  sim::SimTime entered_link;    // arrival at the current link
+};
+
+/// A link running Virtual Clock scheduling with per-flow reserved rates.
+class ScheduledLink {
+ public:
+  using Forward = std::function<void(Packet)>;
+
+  ScheduledLink(sim::Simulator& simulator, BitsPerSecond capacity, Forward forward)
+      : simulator_(&simulator), capacity_(capacity), forward_(std::move(forward)) {}
+
+  /// Registers a flow with its reserved rate rho (its guaranteed share).
+  void add_flow(FlowId flow, BitsPerSecond reserved_rate);
+
+  /// Accepts a packet; it departs after queueing + transmission.
+  void enqueue(Packet packet);
+
+  [[nodiscard]] std::size_t packets_served() const { return served_; }
+  [[nodiscard]] BitsPerSecond capacity() const { return capacity_; }
+  /// Sum of reserved rates (admission sanity: must stay <= capacity for the
+  /// bounds to hold).
+  [[nodiscard]] BitsPerSecond reserved_total() const;
+
+ private:
+  struct QueuedPacket {
+    double stamp;        // Virtual Clock service tag
+    std::uint64_t seq;   // FIFO tie-break
+    Packet packet;
+    bool operator<(const QueuedPacket& rhs) const {
+      if (stamp != rhs.stamp) return stamp > rhs.stamp;  // min-heap
+      return seq > rhs.seq;
+    }
+  };
+
+  void serve_next();
+
+  sim::Simulator* simulator_;
+  BitsPerSecond capacity_;
+  Forward forward_;
+  std::map<FlowId, BitsPerSecond> rates_;
+  std::map<FlowId, double> virtual_clock_;  // auxVC per flow
+  std::priority_queue<QueuedPacket> queue_;
+  bool busy_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::size_t served_ = 0;
+};
+
+/// A link running RCSP — rate-controlled static priority (the paper's
+/// second discipline, Table 2 footnote 7). Each flow passes a rate
+/// regulator that holds packet k until max(arrival, eligible_{k-1} + L/rho);
+/// eligible packets are served from static-priority FIFO queues. Unlike the
+/// work-conserving Virtual Clock link, RCSP re-paces bursts: a greedy burst
+/// leaves the link at rate rho even when the link is otherwise idle, which
+/// is exactly the jitter control the paper's buffer formulas rely on.
+class RcspLink {
+ public:
+  using Forward = std::function<void(Packet)>;
+
+  RcspLink(sim::Simulator& simulator, BitsPerSecond capacity, Forward forward)
+      : simulator_(&simulator), capacity_(capacity), forward_(std::move(forward)) {}
+
+  /// Registers a flow; lower `priority` values are served first.
+  void add_flow(FlowId flow, BitsPerSecond reserved_rate, int priority = 0);
+
+  void enqueue(Packet packet);
+
+  [[nodiscard]] std::size_t packets_served() const { return served_; }
+  [[nodiscard]] BitsPerSecond capacity() const { return capacity_; }
+
+ private:
+  struct FlowState {
+    BitsPerSecond rate = 0.0;
+    int priority = 0;
+    double last_eligible = 0.0;
+  };
+
+  void on_eligible(Packet packet, int priority);
+  void serve_next();
+
+  sim::Simulator* simulator_;
+  BitsPerSecond capacity_;
+  Forward forward_;
+  std::map<FlowId, FlowState> flows_;
+  // Static priority levels; FIFO within each level.
+  std::map<int, std::queue<Packet>> eligible_;
+  std::size_t eligible_count_ = 0;
+  bool busy_ = false;
+  std::size_t served_ = 0;
+};
+
+/// A (sigma, rho) token-bucket regulated source.
+class TokenBucketSource {
+ public:
+  struct Config {
+    FlowId flow = 0;
+    Bits sigma = 0.0;           // bucket depth
+    BitsPerSecond rho = 0.0;    // token rate
+    Bits packet_size = 0.0;     // L (constant, <= L_max)
+    /// Greedy sources dump the whole bucket at start and then send at
+    /// exactly rho — the worst case for delay bounds. Randomized sources
+    /// draw exponential gaps but never violate the envelope.
+    bool greedy = true;
+  };
+
+  TokenBucketSource(sim::Simulator& simulator, Config config, sim::Rng rng,
+                    std::function<void(Packet)> emit)
+      : simulator_(&simulator), config_(config), rng_(std::move(rng)),
+        emit_(std::move(emit)), tokens_(config.sigma) {}
+
+  /// Emits packets until the horizon.
+  void start(sim::SimTime horizon);
+
+  [[nodiscard]] std::size_t packets_sent() const { return sent_; }
+
+ private:
+  void tick(sim::SimTime horizon);
+  void send_conforming(sim::SimTime now);
+
+  sim::Simulator* simulator_;
+  Config config_;
+  sim::Rng rng_;
+  std::function<void(Packet)> emit_;
+  double tokens_;
+  sim::SimTime last_refill_;
+  std::size_t sent_ = 0;
+};
+
+/// Terminal sink collecting end-to-end delay statistics per flow.
+class DelaySink {
+ public:
+  void operator()(const Packet& packet, sim::SimTime now) {
+    delays_[packet.flow].add((now - packet.created).to_seconds());
+  }
+  [[nodiscard]] const stats::Summary& delays(FlowId flow) const {
+    return delays_.at(flow);
+  }
+  [[nodiscard]] bool has(FlowId flow) const { return delays_.contains(flow); }
+
+ private:
+  std::map<FlowId, stats::Summary> delays_;
+};
+
+}  // namespace imrm::qos

@@ -1,0 +1,92 @@
+#include "reservation/cell_bandwidth.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imrm::reservation {
+
+bool CellBandwidth::admit_new(PortableId portable, qos::BitsPerSecond b) {
+  assert(b > 0.0);
+  assert(!connections_.contains(portable));
+  if (b > free_for_new() + 1e-9) return false;
+  connections_.emplace(portable, b);
+  allocated_ += b;
+  return true;
+}
+
+bool CellBandwidth::admit_handoff(PortableId portable, qos::BitsPerSecond b) {
+  assert(b > 0.0);
+  assert(!connections_.contains(portable));
+  // The portable's own reservation is consumed by its arrival either way.
+  const qos::BitsPerSecond own = reservation_for(portable);
+  cancel_reservation(portable);
+
+  // Others' specific reservations stay untouchable; the anonymous pool is
+  // exactly the instrument meant to absorb handoffs (Section 4.3).
+  const qos::BitsPerSecond blocked = reserved_specific_total_;
+  const qos::BitsPerSecond free = capacity_ - allocated_ - blocked;
+  (void)own;  // own reservation already excluded from reserved_specific_total_
+  if (b > free + 1e-9) return false;
+  // Consume anonymous pool before bare capacity so the pool reflects how
+  // much "unforeseen event" headroom remains.
+  const qos::BitsPerSecond from_pool = std::min(anonymous_reserved_, b);
+  anonymous_reserved_ -= from_pool;
+  connections_.emplace(portable, b);
+  allocated_ += b;
+  return true;
+}
+
+void CellBandwidth::release(PortableId portable) {
+  const auto it = connections_.find(portable);
+  assert(it != connections_.end());
+  allocated_ -= it->second;
+  if (allocated_ < 0.0) allocated_ = 0.0;
+  connections_.erase(it);
+}
+
+void CellBandwidth::set_allocation(PortableId portable, qos::BitsPerSecond b) {
+  assert(b > 0.0);
+  const auto it = connections_.find(portable);
+  assert(it != connections_.end());
+  allocated_ += b - it->second;
+  if (allocated_ < 0.0) allocated_ = 0.0;
+  it->second = b;
+}
+
+void CellBandwidth::reserve_for(PortableId portable, qos::BitsPerSecond b) {
+  assert(b >= 0.0);
+  cancel_reservation(portable);
+  if (b <= 0.0) return;
+  reserved_for_.emplace(portable, b);
+  reserved_specific_total_ += b;
+}
+
+void CellBandwidth::cancel_reservation(PortableId portable) {
+  const auto it = reserved_for_.find(portable);
+  if (it == reserved_for_.end()) return;
+  reserved_specific_total_ -= it->second;
+  if (reserved_specific_total_ < 0.0) reserved_specific_total_ = 0.0;
+  reserved_for_.erase(it);
+}
+
+void CellBandwidth::clear_specific_reservations() {
+  reserved_for_.clear();
+  reserved_specific_total_ = 0.0;
+}
+
+void CellBandwidth::set_anonymous_reservation(qos::BitsPerSecond b) {
+  assert(b >= 0.0);
+  anonymous_reserved_ = b;
+}
+
+void CellBandwidth::add_anonymous_reservation(qos::BitsPerSecond b) {
+  assert(b >= 0.0);
+  anonymous_reserved_ += b;
+}
+
+qos::BitsPerSecond CellBandwidth::reservation_for(PortableId portable) const {
+  const auto it = reserved_for_.find(portable);
+  return it == reserved_for_.end() ? 0.0 : it->second;
+}
+
+}  // namespace imrm::reservation

@@ -1,0 +1,100 @@
+// Per-cell wireless bandwidth accounting for advance reservation (Section
+// 3.3's reservation model).
+//
+// A cell's capacity is consumed by (a) ongoing connections (allocated), (b)
+// portable-specific advance reservations made for predicted handoffs, and
+// (c) anonymous reservations: the dynamically adjustable pool B_dyn plus
+// aggregate reservations that are not tied to one portable.
+//
+// Admission semantics:
+//  - a NEW connection must fit under capacity minus everything reserved,
+//  - a HANDOFF may consume the reservation made for its portable and may
+//    draw from the anonymous pool, but never from reservations made for
+//    other portables.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "qos/flow_spec.h"
+
+namespace imrm::reservation {
+
+using net::CellId;
+using net::PortableId;
+
+class CellBandwidth {
+ public:
+  CellBandwidth() = default;
+  explicit CellBandwidth(qos::BitsPerSecond capacity) : capacity_(capacity) {}
+
+  // ---- admission -------------------------------------------------------
+  /// Admits a new connection of `b` for `portable` if it fits under the
+  /// capacity net of all reservations. Returns success.
+  bool admit_new(PortableId portable, qos::BitsPerSecond b);
+
+  /// Admits a handoff: the portable's own reservation is released (used up)
+  /// and the anonymous pool may cover any shortfall. Returns success; on
+  /// failure the portable's reservation is still released (the portable has
+  /// arrived; the stale reservation must not linger).
+  bool admit_handoff(PortableId portable, qos::BitsPerSecond b);
+
+  /// Releases an ongoing connection's bandwidth (departure or teardown).
+  void release(PortableId portable);
+
+  /// Re-points an admitted connection's allocation (QoS adaptation within
+  /// the negotiated bounds). The caller guarantees the new total fits.
+  void set_allocation(PortableId portable, qos::BitsPerSecond b);
+
+  // ---- reservations ------------------------------------------------------
+  /// Advance-reserves `b` for a specific portable (replaces any previous
+  /// reservation for it).
+  void reserve_for(PortableId portable, qos::BitsPerSecond b);
+  void cancel_reservation(PortableId portable);
+
+  /// Sets the anonymous reservation level (aggregate policies and the B_dyn
+  /// pool are both expressed this way).
+  void set_anonymous_reservation(qos::BitsPerSecond b);
+  /// Adds to the anonymous reservation (several policies contributing to
+  /// one cell within a refresh cycle).
+  void add_anonymous_reservation(qos::BitsPerSecond b);
+
+  /// Drops every portable-specific reservation (used by policies that
+  /// recompute their reservation picture from scratch).
+  void clear_specific_reservations();
+
+  // ---- introspection -----------------------------------------------------
+  [[nodiscard]] qos::BitsPerSecond capacity() const { return capacity_; }
+  [[nodiscard]] qos::BitsPerSecond allocated() const { return allocated_; }
+  [[nodiscard]] qos::BitsPerSecond reserved_total() const {
+    return reserved_specific_total_ + anonymous_reserved_;
+  }
+  [[nodiscard]] qos::BitsPerSecond anonymous_reservation() const {
+    return anonymous_reserved_;
+  }
+  [[nodiscard]] qos::BitsPerSecond reservation_for(PortableId portable) const;
+  [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
+  [[nodiscard]] bool has_connection(PortableId portable) const {
+    return connections_.contains(portable);
+  }
+
+  /// Capacity available to a brand-new connection right now.
+  [[nodiscard]] qos::BitsPerSecond free_for_new() const {
+    return capacity_ - allocated_ - reserved_total();
+  }
+
+  /// Time-integral bookkeeping hook: wasted = reserved but never used.
+  [[nodiscard]] qos::BitsPerSecond utilization_fraction() const {
+    return capacity_ > 0.0 ? allocated_ / capacity_ : 0.0;
+  }
+
+ private:
+  qos::BitsPerSecond capacity_ = 0.0;
+  qos::BitsPerSecond allocated_ = 0.0;
+  qos::BitsPerSecond anonymous_reserved_ = 0.0;
+  qos::BitsPerSecond reserved_specific_total_ = 0.0;
+  std::unordered_map<PortableId, qos::BitsPerSecond> reserved_for_;
+  std::unordered_map<PortableId, qos::BitsPerSecond> connections_;
+};
+
+}  // namespace imrm::reservation

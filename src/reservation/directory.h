@@ -1,0 +1,38 @@
+// Directory of per-cell bandwidth accounts, shared by the advance
+// reservation policies and the handoff admission path.
+#pragma once
+
+#include <unordered_map>
+
+#include "reservation/cell_bandwidth.h"
+
+namespace imrm::reservation {
+
+class ReservationDirectory {
+ public:
+  void add_cell(CellId id, qos::BitsPerSecond capacity) {
+    cells_.emplace(id, CellBandwidth(capacity));
+  }
+
+  [[nodiscard]] CellBandwidth& at(CellId id) { return cells_.at(id); }
+  [[nodiscard]] const CellBandwidth& at(CellId id) const { return cells_.at(id); }
+  [[nodiscard]] bool has(CellId id) const { return cells_.contains(id); }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// Wipes every reservation (specific and anonymous) in every cell;
+  /// policies that recompute their reservations from scratch call this at
+  /// the top of each refresh.
+  void clear_reservations() {
+    for (auto& [id, cell] : cells_) {
+      cell.set_anonymous_reservation(0.0);
+      cell.clear_specific_reservations();
+    }
+  }
+
+  [[nodiscard]] std::unordered_map<CellId, CellBandwidth>& cells() { return cells_; }
+
+ private:
+  std::unordered_map<CellId, CellBandwidth> cells_;
+};
+
+}  // namespace imrm::reservation

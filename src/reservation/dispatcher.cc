@@ -1,0 +1,95 @@
+#include "reservation/dispatcher.h"
+
+namespace imrm::reservation {
+
+PolicyDispatcher::PolicyDispatcher(PolicyEnv env,
+                                   const prediction::ThreeLevelPredictor& predictor,
+                                   const profiles::ProfileServer& server, Params params)
+    : AdvanceReservationPolicy(std::move(env)), predictor_(&predictor), params_(params) {
+  // Instantiate the collective lounge policies from the cell classes; they
+  // contribute into the shared directory (non-standalone).
+  for (const mobility::Cell& cell : env_.map->cells()) {
+    std::unique_ptr<AdvanceReservationPolicy> policy;
+    switch (cell.cell_class) {
+      case mobility::CellClass::kMeetingRoom: {
+        profiles::BookingCalendar calendar;
+        if (const profiles::BookingCalendar* booked = server.calendar_if(cell.id)) {
+          calendar = *booked;
+        }
+        MeetingRoomPolicy::Params room_params;
+        room_params.per_user_bandwidth = params_.per_user_bandwidth;
+        meeting_policies_.push_back(std::make_unique<MeetingRoomPolicy>(
+            env_, cell.id, std::move(calendar), room_params));
+        meeting_policies_.back()->set_standalone(false);
+        break;
+      }
+      case mobility::CellClass::kCafeteria:
+        lounge_policies_.push_back(std::make_unique<CafeteriaPolicy>(
+            env_, cell.id, params_.lounge_slot, params_.per_user_bandwidth));
+        lounge_policies_.back()->set_standalone(false);
+        break;
+      case mobility::CellClass::kLounge:
+        lounge_policies_.push_back(std::make_unique<DefaultLoungePolicy>(
+            env_, cell.id, params_.lounge_slot, params_.per_user_bandwidth));
+        lounge_policies_.back()->set_standalone(false);
+        break;
+      default:
+        break;  // offices and corridors are handled per portable below
+    }
+  }
+}
+
+void PolicyDispatcher::on_handoff(const mobility::HandoffEvent& event) {
+  for (auto& policy : lounge_policies_) policy->on_handoff(event);
+  for (auto& policy : meeting_policies_) policy->on_handoff(event);
+}
+
+std::optional<CellId> PolicyDispatcher::decide(PortableId portable, CellId current) const {
+  const mobility::Cell& cell = env_.map->cell(current);
+
+  // The summary's office special case: a regular occupant AT HOME gets no
+  // reservation anywhere (No_Resv) — they are expected to stay.
+  if (cell.cell_class == mobility::CellClass::kOffice && cell.is_occupant(portable)) {
+    return std::nullopt;
+  }
+  // Step 1 + level-2a/2b: delegate to the three-level predictor, which
+  // implements exactly the portable-profile -> office-occupancy -> cell
+  // aggregate ladder.
+  const CellId previous =
+      env_.previous_cell ? env_.previous_cell(portable) : CellId::invalid();
+  const prediction::Prediction p = predictor_->predict(portable, previous, current);
+  return p.next_cell;
+}
+
+void PolicyDispatcher::refresh(sim::SimTime now) {
+  env_.directory->clear_reservations();
+  last_reserved_.clear();
+
+  // Per-portable reservations for offices and corridors (and any mobile
+  // portable with a usable prediction).
+  for (const mobility::Cell& cell : env_.map->cells()) {
+    if (mobility::is_lounge(cell.cell_class)) continue;  // collective below
+    for (PortableId portable : env_.portables_in(cell.id)) {
+      if (env_.classify(portable) != qos::MobilityClass::kMobile) continue;
+      const qos::BitsPerSecond b = env_.demand(portable);
+      if (b <= 0.0) continue;
+      const auto target = decide(portable, cell.id);
+      if (target.has_value() && env_.directory->has(*target)) {
+        env_.directory->at(*target).reserve_for(portable, b);
+        last_reserved_[portable] = *target;
+      }
+    }
+  }
+
+  // Collective lounge policies contribute additively.
+  for (auto& policy : lounge_policies_) policy->refresh(now);
+  for (auto& policy : meeting_policies_) policy->refresh(now);
+}
+
+std::optional<CellId> PolicyDispatcher::reserved_cell(PortableId portable) const {
+  const auto it = last_reserved_.find(portable);
+  if (it == last_reserved_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace imrm::reservation

@@ -1,0 +1,30 @@
+#include "reservation/handoff_predictor.h"
+
+#include <algorithm>
+
+namespace imrm::reservation {
+
+LinearFit least_squares_3(double n_tm2, double n_tm1, double n_t, double t) {
+  LinearFit fit;
+  fit.a = (n_t - n_tm2) / 2.0;
+  // Least-squares intercept through (t-2, n_tm2), (t-1, n_tm1), (t, n_t):
+  // m = mean(n) - a * mean(time); see the header for the paper-typo note.
+  fit.m = ((3.0 * t - 1.0) * n_tm2 + 2.0 * n_tm1 + (5.0 - 3.0 * t) * n_t) / 6.0;
+  return fit;
+}
+
+void CafeteriaPredictor::push(double count) {
+  window_.push_back(count);
+  while (window_.size() > 3) window_.pop_front();
+  ++slot_;
+}
+
+double CafeteriaPredictor::predict_next() const {
+  if (window_.empty()) return 0.0;
+  if (window_.size() < 3) return window_.back();
+  const double t = double(slot_ - 1);  // the latest sample's slot index
+  const LinearFit fit = least_squares_3(window_[0], window_[1], window_[2], t);
+  return std::max(fit.at(t + 1.0), 0.0);
+}
+
+}  // namespace imrm::reservation

@@ -1,0 +1,127 @@
+#include "reservation/probabilistic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace imrm::reservation {
+
+std::vector<double> binomial_pmf(std::size_t n, double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  // Iterative construction: start from Binomial(0, p) = {1} and fold in one
+  // trial at a time — numerically stable and O(n^2), fine for n <= a few
+  // hundred connections.
+  std::vector<double> pmf{1.0};
+  for (std::size_t trial = 0; trial < n; ++trial) {
+    std::vector<double> next(pmf.size() + 1, 0.0);
+    for (std::size_t k = 0; k < pmf.size(); ++k) {
+      next[k] += pmf[k] * (1.0 - p);
+      next[k + 1] += pmf[k] * p;
+    }
+    pmf = std::move(next);
+  }
+  return pmf;
+}
+
+namespace {
+
+/// Convolves `dist` (pmf over bandwidth units, truncated at cap+1 with tail
+/// mass lumped into the last bucket) with `count ~ pmf` scaled by
+/// `unit_width` units each.
+void convolve_scaled(std::vector<double>& dist, const std::vector<double>& count_pmf,
+                     int unit_width, int cap) {
+  const std::size_t size = std::size_t(cap) + 2;  // [0..cap] + overflow bucket
+  std::vector<double> next(size, 0.0);
+  for (std::size_t units = 0; units < dist.size(); ++units) {
+    if (dist[units] == 0.0) continue;
+    for (std::size_t k = 0; k < count_pmf.size(); ++k) {
+      const std::size_t total =
+          std::min(units + k * std::size_t(unit_width), size - 1);
+      next[total] += dist[units] * count_pmf[k];
+    }
+  }
+  dist = std::move(next);
+}
+
+}  // namespace
+
+ProbabilisticReservation::ProbabilisticReservation(Config config,
+                                                   std::vector<TypeParams> types)
+    : config_(config), types_(std::move(types)) {
+  assert(config_.capacity_units > 0);
+  assert(config_.window > 0.0);
+  assert(config_.handoff_prob >= 0.0 && config_.handoff_prob <= 1.0);
+  for (const TypeParams& t : types_) {
+    assert(t.bandwidth_units > 0 && t.mean_holding > 0.0);
+    (void)t;
+  }
+}
+
+double ProbabilisticReservation::p_stay(std::size_t type) const {
+  const double mu = 1.0 / types_.at(type).mean_holding;
+  return std::exp(-mu * config_.window);
+}
+
+double ProbabilisticReservation::p_move(std::size_t type) const {
+  return (1.0 - p_stay(type)) * config_.handoff_prob;
+}
+
+double ProbabilisticReservation::nonblocking_probability(
+    const std::vector<int>& counts_here, const std::vector<int>& counts_neighbor) const {
+  assert(counts_here.size() == types_.size());
+  assert(counts_neighbor.size() == types_.size());
+  const int cap = config_.capacity_units;
+
+  std::vector<double> dist(std::size_t(cap) + 2, 0.0);
+  dist[0] = 1.0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const int b = types_[i].bandwidth_units;
+    if (counts_here[i] > 0) {
+      convolve_scaled(dist, binomial_pmf(std::size_t(counts_here[i]), p_stay(i)), b, cap);
+    }
+    if (counts_neighbor[i] > 0) {
+      convolve_scaled(dist, binomial_pmf(std::size_t(counts_neighbor[i]), p_move(i)), b,
+                      cap);
+    }
+  }
+  // P(S <= B_c) = 1 - overflow mass.
+  return 1.0 - dist.back();
+}
+
+bool ProbabilisticReservation::admit_new(std::size_t type,
+                                         const std::vector<int>& counts_here,
+                                         const std::vector<int>& counts_neighbor) const {
+  const int b = types_.at(type).bandwidth_units;
+  if (used_units(counts_here) + b > config_.capacity_units) return false;
+  std::vector<int> candidate = counts_here;
+  ++candidate[type];
+  return nonblocking_probability(candidate, counts_neighbor) >= 1.0 - config_.p_qos;
+}
+
+int ProbabilisticReservation::used_units(const std::vector<int>& counts) const {
+  int used = 0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    used += counts[i] * types_[i].bandwidth_units;
+  }
+  return used;
+}
+
+int ProbabilisticReservation::reserved_units(const std::vector<int>& counts_here,
+                                             const std::vector<int>& counts_neighbor) const {
+  // Grow each type greedily until eq. 6 would break; eq. 7 then says the
+  // remainder of B_c must stay reserved for handoffs.
+  std::vector<int> maxed = counts_here;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      if (admit_new(i, maxed, counts_neighbor)) {
+        ++maxed[i];
+        grew = true;
+      }
+    }
+  }
+  return std::max(config_.capacity_units - used_units(maxed), 0);
+}
+
+}  // namespace imrm::reservation

@@ -1,0 +1,76 @@
+// Probabilistic default reservation algorithm (Section 6.3, eqs. 3-7).
+//
+// Model: two neighboring cells C_q and C_s, k connection types with integer
+// bandwidth demands b_i (in units), each cell of capacity B_c units. Over a
+// look-ahead window T:
+//   p_s,i = e^{-mu_i T}                  (a type-i connection stays put)
+//   p_m,i = (1 - e^{-mu_i T}) h          (it hands off to the neighbor)
+// With N_i type-i connections in C_q and s_i in C_s, the number of stayers
+// j_i ~ Binomial(N_i, p_s,i) and incoming handoffs l_i ~ Binomial(s_i,
+// p_m,i). The non-blocking probability is
+//   P_nb = P( sum_i b_i (j_i + l_i) <= B_c )            (eq. 5)
+// and admission keeps P_nb >= 1 - P_QOS (eq. 6); the implied reservation is
+//   b_resv = B_c - sum_i b_i N_i  (eq. 7, when positive).
+//
+// The distribution of the weighted binomial sum is computed by exact
+// discrete convolution over bandwidth units (no Monte Carlo, no normal
+// approximation), truncated at B_c + 1 where the tail mass is lumped.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imrm::reservation {
+
+/// Exact Binomial(n, p) pmf, indices 0..n.
+[[nodiscard]] std::vector<double> binomial_pmf(std::size_t n, double p);
+
+struct TypeParams {
+  int bandwidth_units = 1;     // b_min,i in integer units
+  double mean_holding = 1.0;   // 1/mu_i
+};
+
+class ProbabilisticReservation {
+ public:
+  struct Config {
+    int capacity_units = 40;   // B_c
+    double window = 0.05;      // T
+    double p_qos = 0.01;       // target handoff-dropping bound P_QOS
+    double handoff_prob = 0.7; // h_q
+  };
+
+  ProbabilisticReservation(Config config, std::vector<TypeParams> types);
+
+  /// p_s,i and p_m,i for a type.
+  [[nodiscard]] double p_stay(std::size_t type) const;
+  [[nodiscard]] double p_move(std::size_t type) const;
+
+  /// P_nb (eq. 5) given per-type counts in this cell (N) and the neighbor
+  /// (s). Vectors are indexed by type.
+  [[nodiscard]] double nonblocking_probability(const std::vector<int>& counts_here,
+                                               const std::vector<int>& counts_neighbor) const;
+
+  /// Admission test for a NEW type-`type` connection: would admitting it
+  /// (i.e. counts_here[type] + 1) still satisfy P_nb >= 1 - P_QOS, and does
+  /// it physically fit?
+  [[nodiscard]] bool admit_new(std::size_t type, const std::vector<int>& counts_here,
+                               const std::vector<int>& counts_neighbor) const;
+
+  /// Bandwidth currently in use by the given counts, in units.
+  [[nodiscard]] int used_units(const std::vector<int>& counts) const;
+
+  /// Eq. 7: reservation implied by the maximum admissible single-type
+  /// expansion of `counts_here` (how much of B_c must be left free).
+  [[nodiscard]] int reserved_units(const std::vector<int>& counts_here,
+                                   const std::vector<int>& counts_neighbor) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t type_count() const { return types_.size(); }
+  [[nodiscard]] const TypeParams& type(std::size_t i) const { return types_.at(i); }
+
+ private:
+  Config config_;
+  std::vector<TypeParams> types_;
+};
+
+}  // namespace imrm::reservation

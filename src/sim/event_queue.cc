@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace imrm::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = callbacks_.size();
+  callbacks_.push_back(std::move(cb));
+  cancelled_.push_back(false);
+  heap_.push(Entry{at, next_seq_++, id});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id] || !callbacks_[id]) return;
+  cancelled_[id] = true;
+  callbacks_[id] = nullptr;  // release captured state eagerly
+  --live_count_;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  skip_cancelled();
+  return heap_.empty() ? SimTime::infinity() : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  Fired fired{top.time, std::move(callbacks_[top.id])};
+  callbacks_[top.id] = nullptr;
+  cancelled_[top.id] = true;  // mark consumed so cancel() after fire is a no-op
+  --live_count_;
+  return fired;
+}
+
+}  // namespace imrm::sim

@@ -1,0 +1,67 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which keeps runs deterministic —
+// a property every experiment in EXPERIMENTS.md relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace imrm::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `at`. Returns a handle usable
+  /// with cancel().
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op (lazy deletion: the entry stays queued but is skipped).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; SimTime::infinity() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the earliest event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    Callback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // Ordering for std::priority_queue (max-heap): invert so earliest first.
+    bool operator<(const Entry& rhs) const {
+      if (time != rhs.time) return time > rhs.time;
+      return seq > rhs.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  // Callbacks stored out-of-band keyed by id so cancel() is O(1).
+  std::vector<Callback> callbacks_;
+  std::vector<bool> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace imrm::sim

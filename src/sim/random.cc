@@ -1,0 +1,33 @@
+#include "sim/random.h"
+
+#include <algorithm>
+
+namespace imrm::sim {
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  assert(lo <= hi);
+  std::normal_distribution<double> dist(mean, stddev);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = dist(engine_);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return 0;  // degenerate: all-zero weights
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land on last bucket
+}
+
+}  // namespace imrm::sim

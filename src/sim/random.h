@@ -1,0 +1,76 @@
+// Deterministic random-number facade.
+//
+// Every stochastic element of the reproduction (arrival processes, holding
+// times, mobility decisions, meeting attendance jitter) draws from one of
+// these streams, seeded explicitly, so that every table and figure in
+// EXPERIMENTS.md regenerates bit-identically.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace imrm::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Exponential variate with the given mean (mean = 1/rate).
+  [[nodiscard]] double exponential_mean(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Exponential variate with the given rate.
+  [[nodiscard]] double exponential_rate(double rate) {
+    assert(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal variate, truncated to [lo, hi] by resampling (falls back to
+  /// clamping after a bounded number of tries to stay O(1) worst case).
+  [[nodiscard]] double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Samples an index according to `weights` (need not be normalized).
+  [[nodiscard]] std::size_t discrete(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derives an independent child stream; used to give each subsystem its
+  /// own stream so adding draws in one module does not perturb another.
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace imrm::sim

@@ -1,0 +1,61 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace imrm::sim {
+
+EventId Simulator::at(SimTime t, EventQueue::Callback cb) {
+  assert(t >= now_ && "cannot schedule in the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::after(Duration delay, EventQueue::Callback cb) {
+  return at(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::every(Duration period, SimTime horizon, EventQueue::Callback cb) {
+  assert(period > Duration::zero());
+  // Shared callback that reschedules itself until the horizon.
+  auto shared = std::make_shared<EventQueue::Callback>(std::move(cb));
+  struct Repeater {
+    Simulator* self;
+    Duration period;
+    SimTime horizon;
+    std::shared_ptr<EventQueue::Callback> body;
+    void operator()() const {
+      (*body)();
+      const SimTime next = self->now() + period;
+      if (next <= horizon) self->at(next, Repeater{*this});
+    }
+  };
+  return at(now_ + period, Repeater{this, period, horizon, std::move(shared)});
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto [time, callback] = queue_.pop();
+    now_ = time;
+    callback();
+    ++count;
+    ++fired_;
+  }
+  // Advance the clock to the horizon so successive run_until calls with
+  // increasing horizons behave like continuous time, but never rewind and
+  // never jump to infinity on a drained queue.
+  if (horizon != SimTime::infinity() && horizon > now_) now_ = horizon;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, callback] = queue_.pop();
+  now_ = time;
+  callback();
+  ++fired_;
+  return true;
+}
+
+}  // namespace imrm::sim

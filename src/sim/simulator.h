@@ -1,0 +1,53 @@
+// Discrete-event simulator driver.
+//
+// All experiments in the reproduction are driven by this loop: schedule
+// callbacks, run until a horizon (or until the queue drains), observe state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace imrm::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Current simulation time. Starts at zero and only moves forward.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at` (must be >= now()).
+  EventId at(SimTime t, EventQueue::Callback cb);
+
+  /// Schedules `cb` after a relative delay.
+  EventId after(Duration delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` every `period`, starting at now() + period, until
+  /// `horizon`. Returns the id of the *first* occurrence (each firing
+  /// reschedules itself, so cancel() only stops the next pending firing).
+  EventId every(Duration period, SimTime horizon, EventQueue::Callback cb);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the next event is past `horizon`.
+  /// Returns the number of events fired.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run() { return run_until(SimTime::infinity()); }
+
+  /// Fires exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace imrm::sim

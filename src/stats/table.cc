@@ -1,0 +1,79 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace imrm::stats {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(std::initializer_list<double> values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(int(widths[c])) << cells[c];
+      os << (c + 1 < cells.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_ascii_bars(std::ostream& os, const std::vector<double>& values,
+                      const std::vector<std::string>& labels, int max_width) {
+  assert(values.size() == labels.size());
+  const double peak = values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int bar =
+        peak > 0.0 ? int(values[i] / peak * max_width + 0.5) : 0;
+    os << std::left << std::setw(int(label_width)) << labels[i] << " | "
+       << std::string(std::size_t(bar), '#') << ' ' << fmt(values[i], 1) << '\n';
+  }
+}
+
+}  // namespace imrm::stats

@@ -1,0 +1,46 @@
+// Console table / CSV emitters for benchmark output.
+//
+// Every bench binary reproduces a table or figure from the paper; these
+// helpers render the rows in a stable, diff-friendly format.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace imrm::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends a row; cells are already-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(std::initializer_list<double> values, int precision = 4);
+
+  /// Pretty-prints with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Emits comma-separated values (header row first).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart of a series — used to eyeball the
+/// figure shapes (handoff spikes, Pd-vs-Pb curves) directly in bench output.
+void print_ascii_bars(std::ostream& os, const std::vector<double>& values,
+                      const std::vector<std::string>& labels, int max_width = 60);
+
+/// Formats a double with fixed precision (helper for Table rows).
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+
+}  // namespace imrm::stats

@@ -1,0 +1,44 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace imrm::stats {
+
+void BinnedSeries::add(sim::SimTime t, double value) {
+  double offset = (t - origin_).to_seconds() / width_.to_seconds();
+  if (offset < 0.0) offset = 0.0;
+  const auto idx = static_cast<std::size_t>(offset);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += value;
+}
+
+sim::SimTime BinnedSeries::bin_start(std::size_t i) const {
+  return origin_ + sim::Duration::seconds(double(i) * width_.to_seconds());
+}
+
+double BinnedSeries::total() const {
+  return std::accumulate(bins_.begin(), bins_.end(), 0.0);
+}
+
+double BinnedSeries::max_bin() const {
+  return bins_.empty() ? 0.0 : *std::max_element(bins_.begin(), bins_.end());
+}
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace imrm::stats

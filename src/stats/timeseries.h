@@ -1,0 +1,87 @@
+// Time-series accumulation for experiment output.
+//
+// Figures 2 and 5 of the paper plot handoff activity per time bin; this
+// class does the binning. Values are accumulated into fixed-width bins of
+// simulated time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace imrm::stats {
+
+class BinnedSeries {
+ public:
+  /// Bins cover [origin, origin + n*width) and grow on demand.
+  BinnedSeries(sim::SimTime origin, sim::Duration bin_width)
+      : origin_(origin), width_(bin_width) {}
+
+  /// Adds `value` to the bin containing `t`. Times before the origin are
+  /// clamped into bin 0.
+  void add(sim::SimTime t, double value = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] double bin_value(std::size_t i) const { return bins_.at(i); }
+
+  /// Start time of bin i.
+  [[nodiscard]] sim::SimTime bin_start(std::size_t i) const;
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double max_bin() const;
+
+  [[nodiscard]] const std::vector<double>& bins() const { return bins_; }
+
+ private:
+  sim::SimTime origin_;
+  sim::Duration width_;
+  std::vector<double> bins_;
+};
+
+/// Streaming mean/variance/min/max (Welford).
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * double(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ratio estimator for probabilities such as P_b (blocking) and P_d
+/// (handoff dropping): successes / trials with a guard for zero trials.
+class RatioEstimator {
+ public:
+  void record(bool hit) {
+    ++trials_;
+    if (hit) ++hits_;
+  }
+  void record_hits(std::size_t hits, std::size_t trials) {
+    hits_ += hits;
+    trials_ += trials;
+  }
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+  [[nodiscard]] double ratio() const {
+    return trials_ ? double(hits_) / double(trials_) : 0.0;
+  }
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t trials_ = 0;
+};
+
+}  // namespace imrm::stats

@@ -1,0 +1,68 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace imrm::trace {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHandoff: return "handoff";
+    case EventKind::kAdmission: return "admission";
+    case EventKind::kBlock: return "block";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kAdaptation: return "adaptation";
+    case EventKind::kReservation: return "reservation";
+    case EventKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+std::size_t TraceRecorder::count(EventKind kind) const {
+  return std::size_t(std::count_if(events_.begin(), events_.end(),
+                                   [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::vector<TraceEvent> TraceRecorder::between(sim::SimTime from, sim::SimTime to) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.time >= from && e.time < to) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+std::string id_or_dash(net::CellId id) {
+  return id.is_valid() ? std::to_string(id.value()) : "-";
+}
+
+std::string escape_csv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time_s,kind,portable,from,to,value,note\n";
+  for (const TraceEvent& e : events_) {
+    os << e.time.to_seconds() << ',' << to_string(e.kind) << ','
+       << (e.portable.is_valid() ? std::to_string(e.portable.value()) : "-") << ','
+       << id_or_dash(e.from) << ',' << id_or_dash(e.to) << ',' << e.value << ','
+       << escape_csv(e.note) << '\n';
+  }
+}
+
+void attach(TraceRecorder& recorder, mobility::MobilityManager& manager) {
+  manager.on_handoff([&recorder](const mobility::HandoffEvent& event) {
+    recorder.handoff(event.time, event.portable, event.from, event.to);
+  });
+}
+
+}  // namespace imrm::trace

@@ -1,0 +1,73 @@
+// Structured event tracing.
+//
+// Experiments often need more than aggregate counters: per-event records of
+// handoffs, admissions, drops, adaptations and reservations, written as CSV
+// for offline analysis. The recorder is deliberately dumb — a flat,
+// append-only event log with typed kinds — and attaches to the mobility
+// manager for automatic handoff capture; other subsystems record manually.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mobility/manager.h"
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace imrm::trace {
+
+enum class EventKind {
+  kHandoff,
+  kAdmission,    // value = admitted bandwidth (bps)
+  kBlock,        // new-connection rejection
+  kDrop,         // handoff failure
+  kAdaptation,   // value = new allocation (bps)
+  kReservation,  // value = reserved bandwidth (bps)
+  kCustom,
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+struct TraceEvent {
+  sim::SimTime time;
+  EventKind kind = EventKind::kCustom;
+  net::PortableId portable = net::PortableId::invalid();
+  net::CellId from = net::CellId::invalid();
+  net::CellId to = net::CellId::invalid();
+  double value = 0.0;
+  std::string note;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  /// Convenience for the common cases.
+  void handoff(sim::SimTime t, net::PortableId p, net::CellId from, net::CellId to) {
+    record({t, EventKind::kHandoff, p, from, to, 0.0, {}});
+  }
+  void drop(sim::SimTime t, net::PortableId p, net::CellId at) {
+    record({t, EventKind::kDrop, p, net::CellId::invalid(), at, 0.0, {}});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Events within a half-open time window [from, to).
+  [[nodiscard]] std::vector<TraceEvent> between(sim::SimTime from, sim::SimTime to) const;
+
+  /// CSV with a header row: time_s,kind,portable,from,to,value,note.
+  void write_csv(std::ostream& os) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Auto-records every handoff the mobility manager processes.
+void attach(TraceRecorder& recorder, mobility::MobilityManager& manager);
+
+}  // namespace imrm::trace

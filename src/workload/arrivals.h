@@ -1,0 +1,48 @@
+// Arrival processes: Poisson connection arrivals with exponential holding
+// times — the workload of the Figure 6 experiment.
+#pragma once
+
+#include <functional>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace imrm::workload {
+
+/// Schedules Poisson arrivals on the simulator until the horizon; each
+/// arrival invokes the callback.
+class PoissonArrivals {
+ public:
+  using Callback = std::function<void()>;
+
+  PoissonArrivals(sim::Simulator& simulator, double rate, sim::SimTime horizon,
+                  sim::Rng rng, Callback on_arrival)
+      : simulator_(&simulator), rate_(rate), horizon_(horizon), rng_(std::move(rng)),
+        on_arrival_(std::move(on_arrival)) {}
+
+  /// Schedules the first arrival; the process then self-perpetuates.
+  void start() { schedule_next(); }
+
+  [[nodiscard]] std::size_t arrivals() const { return count_; }
+
+ private:
+  void schedule_next() {
+    const double gap = rng_.exponential_rate(rate_);
+    const sim::SimTime at = simulator_->now() + sim::Duration::seconds(gap);
+    if (at > horizon_) return;
+    simulator_->at(at, [this] {
+      ++count_;
+      on_arrival_();
+      schedule_next();
+    });
+  }
+
+  sim::Simulator* simulator_;
+  double rate_;  // arrivals per second of simulated time
+  sim::SimTime horizon_;
+  sim::Rng rng_;
+  Callback on_arrival_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace imrm::workload

@@ -1,0 +1,23 @@
+#include "workload/channel.h"
+
+namespace imrm::workload {
+
+void GilbertElliottChannel::start(sim::SimTime horizon) {
+  schedule_transition(horizon);
+}
+
+void GilbertElliottChannel::schedule_transition(sim::SimTime horizon) {
+  const double mean =
+      (good_ ? config_.mean_good : config_.mean_bad).to_seconds();
+  const sim::SimTime at =
+      simulator_->now() + sim::Duration::seconds(rng_.exponential_mean(mean));
+  if (at > horizon) return;
+  simulator_->at(at, [this, horizon] {
+    good_ = !good_;
+    ++transitions_;
+    if (on_change_) on_change_(current_capacity());
+    schedule_transition(horizon);
+  });
+}
+
+}  // namespace imrm::workload

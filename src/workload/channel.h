@@ -1,0 +1,62 @@
+// Time-varying wireless channel (Section 2.1: "the time-varying effective
+// capacity of the wireless link").
+//
+// A two-state Gilbert-Elliott process: the channel alternates between a
+// good state (full effective capacity) and a bad state (degraded capacity),
+// with exponentially distributed sojourn times. Each transition invokes a
+// callback so the adaptation machinery can react — this is the substitution
+// for real wireless channel error documented in DESIGN.md.
+#pragma once
+
+#include <functional>
+
+#include "qos/flow_spec.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace imrm::workload {
+
+class GilbertElliottChannel {
+ public:
+  struct Config {
+    qos::BitsPerSecond good_capacity = qos::mbps(1.6);
+    qos::BitsPerSecond bad_capacity = qos::mbps(0.4);
+    sim::Duration mean_good = sim::Duration::minutes(5);
+    sim::Duration mean_bad = sim::Duration::seconds(30);
+  };
+
+  using CapacityCallback = std::function<void(qos::BitsPerSecond)>;
+
+  GilbertElliottChannel(sim::Simulator& simulator, Config config, sim::Rng rng,
+                        CapacityCallback on_change)
+      : simulator_(&simulator), config_(config), rng_(std::move(rng)),
+        on_change_(std::move(on_change)) {}
+
+  /// Starts in the good state and schedules transitions until `horizon`.
+  void start(sim::SimTime horizon);
+
+  [[nodiscard]] bool in_good_state() const { return good_; }
+  [[nodiscard]] qos::BitsPerSecond current_capacity() const {
+    return good_ ? config_.good_capacity : config_.bad_capacity;
+  }
+  [[nodiscard]] std::size_t transitions() const { return transitions_; }
+
+  /// Long-run fraction of time in the good state (analytic).
+  [[nodiscard]] double good_duty_cycle() const {
+    const double g = config_.mean_good.to_seconds();
+    const double b = config_.mean_bad.to_seconds();
+    return g / (g + b);
+  }
+
+ private:
+  void schedule_transition(sim::SimTime horizon);
+
+  sim::Simulator* simulator_;
+  Config config_;
+  sim::Rng rng_;
+  CapacityCallback on_change_;
+  bool good_ = true;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace imrm::workload

@@ -1,0 +1,56 @@
+#include "workload/class_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imrm::workload {
+
+ClassWorkload generate_class_workload(const ClassScheduleConfig& config, sim::Rng& rng) {
+  assert(config.meeting.valid());
+  ClassWorkload out;
+
+  const double t_start = config.meeting.start.to_seconds();
+  const double t_stop = config.meeting.stop.to_seconds();
+
+  // Attendees: entry times cluster around the start (truncated normal over
+  // the arrival window), exits cluster just after the end.
+  const double window_lo = t_start - config.arrival_window_before.to_seconds();
+  const double window_hi = t_start + config.arrival_window_after.to_seconds();
+  const double window_mid = (window_lo + window_hi) / 2.0;
+  const double window_sd = (window_hi - window_lo) / 4.0;
+
+  for (std::size_t i = 0; i < config.meeting.attendees; ++i) {
+    AttendeePlan plan;
+    const double enter = rng.truncated_normal(window_mid, window_sd, window_lo, window_hi);
+    plan.enter_room = sim::SimTime::seconds(enter);
+    plan.arrive_corridor =
+        sim::SimTime::seconds(enter - rng.uniform(0.2, 1.0) * config.corridor_lead.to_seconds());
+    const double leave =
+        t_stop + rng.uniform(0.0, config.departure_window.to_seconds());
+    plan.leave_room = sim::SimTime::seconds(leave);
+    plan.depart = sim::SimTime::seconds(leave + config.corridor_lead.to_seconds());
+    out.attendees.push_back(plan);
+  }
+  std::sort(out.attendees.begin(), out.attendees.end(),
+            [](const AttendeePlan& a, const AttendeePlan& b) {
+              return a.enter_room < b.enter_room;
+            });
+
+  // Pass-by walkers: Poisson over [window_lo - 5 min, t_stop + 10 min].
+  const double passby_lo = window_lo - 300.0;
+  const double passby_hi = t_stop + 600.0;
+  const double rate_per_s = config.passby_per_minute / 60.0;
+  if (rate_per_s > 0.0) {
+    double t = passby_lo + rng.exponential_rate(rate_per_s);
+    while (t < passby_hi) {
+      PassByPlan plan;
+      plan.appear = sim::SimTime::seconds(std::max(t, 0.0));
+      plan.leave = plan.appear + config.passby_dwell;
+      out.passers.push_back(plan);
+      t += rng.exponential_rate(rate_per_s);
+    }
+  }
+  return out;
+}
+
+}  // namespace imrm::workload

@@ -1,0 +1,51 @@
+// Class / meeting attendance workload (the Figure 5 experiment).
+//
+// Substitution documented in DESIGN.md: the paper measured real classes of
+// 35 (lecture) and 55 (laboratory) students; we synthesize the same shape —
+// arrivals aggregated in a ~10-minute window around the class start,
+// departures in a ~5-minute window after the end, plus corridor pass-by
+// traffic of users who walk past the classroom without entering.
+#pragma once
+
+#include <vector>
+
+#include "profiles/booking.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace imrm::workload {
+
+struct AttendeePlan {
+  sim::SimTime arrive_corridor;  // appears in the corridor outside
+  sim::SimTime enter_room;       // handoff corridor -> room
+  sim::SimTime leave_room;       // handoff room -> corridor
+  sim::SimTime depart;           // leaves the system
+};
+
+struct PassByPlan {
+  sim::SimTime appear;   // enters the corridor cell
+  sim::SimTime leave;    // walks on (handoff to the next corridor cell)
+};
+
+struct ClassScheduleConfig {
+  profiles::Meeting meeting;                      // T_s, T_a, N_m
+  sim::Duration arrival_window_before = sim::Duration::minutes(8);
+  sim::Duration arrival_window_after = sim::Duration::minutes(2);
+  sim::Duration departure_window = sim::Duration::minutes(5);
+  sim::Duration corridor_lead = sim::Duration::minutes(2);  // corridor dwell before entering
+  /// Pass-by corridor traffic: walkers per minute during the pre-class
+  /// window (Figure 5.b/d show corridor activity exceeding room entries).
+  double passby_per_minute = 2.0;
+  sim::Duration passby_dwell = sim::Duration::minutes(1);
+};
+
+struct ClassWorkload {
+  std::vector<AttendeePlan> attendees;
+  std::vector<PassByPlan> passers;
+};
+
+/// Draws one realization of the class workload.
+[[nodiscard]] ClassWorkload generate_class_workload(const ClassScheduleConfig& config,
+                                                    sim::Rng& rng);
+
+}  // namespace imrm::workload

@@ -1,0 +1,151 @@
+// Integration: the admission pipeline's promises are kept by the packet
+// substrate. Connections admitted by the Table 2 pipeline get links
+// configured with their reservations; conforming token-bucket sources then
+// flow through the packet-level schedulers, and every measured end-to-end
+// delay must respect the admitted delay bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qos/admission.h"
+#include "qos/packet_sim.h"
+
+namespace imrm::qos {
+namespace {
+
+using sim::SimTime;
+
+struct PathHarness {
+  sim::Simulator simulator;
+  DelaySink sink;
+  std::vector<std::unique_ptr<ScheduledLink>> links;
+
+  /// Builds a chain of Virtual Clock links with the given capacities.
+  explicit PathHarness(const std::vector<BitsPerSecond>& capacities) {
+    links.resize(capacities.size());
+    for (std::size_t h = capacities.size(); h-- > 0;) {
+      ScheduledLink::Forward forward;
+      if (h + 1 == capacities.size()) {
+        forward = [this](Packet p) { sink(p, simulator.now()); };
+      } else {
+        forward = [next = links[h + 1].get()](Packet p) { next->enqueue(p); };
+      }
+      links[h] = std::make_unique<ScheduledLink>(simulator, capacities[h],
+                                                 std::move(forward));
+    }
+  }
+};
+
+TEST(AdmissionPacketIntegration, AdmittedConnectionsMeetTheirDelayBounds) {
+  // Three connections with different envelopes over a 3-hop path.
+  const std::vector<BitsPerSecond> capacities{mbps(1.6), mbps(10.0), mbps(1.6)};
+  std::vector<LinkSnapshot> snapshots;
+  for (BitsPerSecond c : capacities) {
+    snapshots.push_back(LinkSnapshot{c, 0.0, 0.0, 1e9, 0.0});
+  }
+
+  struct Want {
+    QosRequest request;
+    bool admitted = false;
+  };
+  std::vector<Want> wants(3);
+  for (std::size_t i = 0; i < wants.size(); ++i) {
+    QosRequest& r = wants[i].request;
+    const double scale = double(i + 1);
+    r.bandwidth = {kbps(100 * scale), kbps(200 * scale)};
+    r.traffic = {2.0 * 8000.0, 8000.0};
+    r.delay_bound = 2.0;
+    r.jitter_bound = 2.0;
+    r.loss_bound = 0.1;
+  }
+
+  const AdmissionPipeline pipeline(Scheduler::kWfq, MobilityClass::kMobile);
+  PathHarness path(capacities);
+
+  std::vector<std::unique_ptr<TokenBucketSource>> sources;
+  for (std::size_t i = 0; i < wants.size(); ++i) {
+    const auto result = pipeline.admit(wants[i].request, snapshots);
+    ASSERT_TRUE(result.accepted) << "connection " << i;
+    wants[i].admitted = true;
+    // Commit the reservation on the snapshots (sequential admission).
+    for (auto& s : snapshots) s.sum_b_min += wants[i].request.bandwidth.b_min;
+    // Configure the packet links with the admitted rate.
+    for (auto& link : path.links) {
+      link->add_flow(FlowId(i + 1), result.allocated_bandwidth);
+    }
+    // Greedy conforming source: the adversarial case for the bound.
+    TokenBucketSource::Config config;
+    config.flow = FlowId(i + 1);
+    config.sigma = wants[i].request.traffic.sigma;
+    config.rho = wants[i].request.bandwidth.b_min;
+    config.packet_size = wants[i].request.traffic.l_max;
+    sources.push_back(std::make_unique<TokenBucketSource>(
+        path.simulator, config, sim::Rng(i + 1),
+        [&path](Packet p) { path.links[0]->enqueue(p); }));
+    sources.back()->start(SimTime::seconds(60));
+  }
+  path.simulator.run();
+
+  for (std::size_t i = 0; i < wants.size(); ++i) {
+    ASSERT_TRUE(path.sink.has(FlowId(i + 1)));
+    const auto& delays = path.sink.delays(FlowId(i + 1));
+    EXPECT_GT(delays.count(), 100u);
+    EXPECT_LE(delays.max(), wants[i].request.delay_bound)
+        << "connection " << i << " violated its admitted delay bound";
+  }
+}
+
+TEST(AdmissionPacketIntegration, RejectedLoadWouldHaveViolatedBounds) {
+  // Sanity for the other side: a request the pipeline rejects on delay
+  // (d < d_min) is indeed undeliverable — the measured delay of a greedy
+  // burst exceeds the requested bound when forced through anyway.
+  const std::vector<BitsPerSecond> capacities{mbps(1.6), mbps(1.6)};
+  std::vector<LinkSnapshot> snapshots;
+  for (BitsPerSecond c : capacities) {
+    snapshots.push_back(LinkSnapshot{c, 0.0, 0.0, 1e9, 0.0});
+  }
+  QosRequest r;
+  r.bandwidth = {kbps(100), kbps(100)};
+  r.traffic = {4.0 * 8000.0, 8000.0};
+  r.delay_bound = 0.3;  // d_min = (32000+16000)/100000 + 2*8000/1.6e6 = 0.49
+  r.jitter_bound = 2.0;
+  r.loss_bound = 0.1;
+  const AdmissionPipeline pipeline(Scheduler::kWfq, MobilityClass::kMobile);
+  const auto result = pipeline.admit(r, snapshots);
+  ASSERT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, RejectReason::kDelay);
+
+  // The analytic bound is adversarial: force it with saturating greedy
+  // cross traffic holding the rest of each link's capacity.
+  PathHarness path(capacities);
+  std::vector<std::unique_ptr<TokenBucketSource>> cross;
+  for (std::size_t h = 0; h < path.links.size(); ++h) {
+    auto* link = path.links[h].get();
+    link->add_flow(1, r.bandwidth.b_min);
+    const FlowId cross_flow = FlowId(100 + h);
+    link->add_flow(cross_flow, capacities[h] - r.bandwidth.b_min);
+    TokenBucketSource::Config cc;
+    cc.flow = cross_flow;
+    cc.sigma = 16.0 * r.traffic.l_max;
+    cc.rho = capacities[h] - r.bandwidth.b_min;
+    cc.packet_size = r.traffic.l_max;
+    cross.push_back(std::make_unique<TokenBucketSource>(
+        path.simulator, cc, sim::Rng(50 + h),
+        [link](Packet p) { link->enqueue(p); }));
+    cross.back()->start(SimTime::seconds(30));
+  }
+  TokenBucketSource::Config config;
+  config.flow = 1;
+  config.sigma = r.traffic.sigma;
+  config.rho = r.bandwidth.b_min;
+  config.packet_size = r.traffic.l_max;
+  TokenBucketSource source(path.simulator, config, sim::Rng(3),
+                           [&path](Packet p) { path.links[0]->enqueue(p); });
+  source.start(SimTime::seconds(30));
+  path.simulator.run();
+  EXPECT_GT(path.sink.delays(1).max(), r.delay_bound)
+      << "the pipeline rejected a request the substrate could actually serve";
+}
+
+}  // namespace
+}  // namespace imrm::qos

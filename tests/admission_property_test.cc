@@ -1,0 +1,132 @@
+// Property sweeps over the Table 2 admission pipeline: internal consistency
+// of accepted results and monotonicity in the request parameters, across
+// every scheduler x mobility-class x hop-count combination.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "qos/admission.h"
+
+namespace imrm::qos {
+namespace {
+
+using Combo = std::tuple<Scheduler, MobilityClass, int>;
+
+class AdmissionProperties : public ::testing::TestWithParam<Combo> {
+ protected:
+  [[nodiscard]] static std::vector<LinkSnapshot> route(int hops) {
+    return std::vector<LinkSnapshot>(std::size_t(hops),
+                                     LinkSnapshot{mbps(10.0), 0.0, 0.0, 1e9, 0.001});
+  }
+
+  [[nodiscard]] static QosRequest request(double b_min_kbps, double sigma_pkts) {
+    QosRequest r;
+    r.bandwidth = {kbps(b_min_kbps), kbps(b_min_kbps * 4.0)};
+    r.traffic = {sigma_pkts * 8000.0, 8000.0};
+    r.delay_bound = 5.0;
+    r.jitter_bound = 5.0;
+    r.loss_bound = 0.05;
+    return r;
+  }
+};
+
+TEST_P(AdmissionProperties, AcceptedResultsAreInternallyConsistent) {
+  const auto [scheduler, mobility, hops] = GetParam();
+  const AdmissionPipeline pipeline(scheduler, mobility);
+  std::mt19937_64 rng{99};
+  std::uniform_real_distribution<double> b_dist(32.0, 512.0);
+  std::uniform_real_distribution<double> sigma_dist(1.0, 8.0);
+  std::uniform_real_distribution<double> stamp_dist(0.0, 200.0);
+
+  for (int round = 0; round < 50; ++round) {
+    const QosRequest r = request(b_dist(rng), sigma_dist(rng));
+    const BitsPerSecond stamp = kbps(stamp_dist(rng));
+    const auto result = pipeline.admit(r, route(hops), stamp);
+    ASSERT_TRUE(result.accepted);
+    ASSERT_EQ(result.hops.size(), std::size_t(hops));
+
+    // Allocation respects the negotiated range and the mobility rule.
+    EXPECT_GE(result.allocated_bandwidth, r.bandwidth.b_min);
+    EXPECT_LE(result.allocated_bandwidth, r.bandwidth.b_max);
+    if (mobility == MobilityClass::kMobile) {
+      EXPECT_DOUBLE_EQ(result.allocated_bandwidth, r.bandwidth.b_min);
+    } else {
+      EXPECT_NEAR(result.allocated_bandwidth,
+                  std::min(r.bandwidth.b_min + stamp, r.bandwidth.b_max), 1e-9);
+    }
+
+    // The end-to-end minimum never exceeds the requested bound, and the
+    // relaxed per-hop delays each exceed the unrelaxed forward delays.
+    EXPECT_LE(result.e2e_min_delay, r.delay_bound + 1e-12);
+    double relaxed_sum = 0.0;
+    for (int l = 0; l < hops; ++l) {
+      const double forward = AdmissionPipeline::hop_delay(r, route(hops)[std::size_t(l)]);
+      EXPECT_GE(result.hops[std::size_t(l)].local_delay, forward - 1e-12);
+      EXPECT_GT(result.hops[std::size_t(l)].buffer, 0.0);
+      relaxed_sum += result.hops[std::size_t(l)].local_delay;
+    }
+    // Uniform relaxation spends at most the full budget (plus the burst
+    // term absorbed per hop).
+    EXPECT_LE(relaxed_sum,
+              r.delay_bound + r.traffic.sigma / r.bandwidth.b_min + 1e-9);
+
+    // Loss accumulates as 1 - (1-p)^n.
+    EXPECT_NEAR(result.e2e_loss, 1.0 - std::pow(1.0 - 0.001, hops), 1e-12);
+  }
+}
+
+TEST_P(AdmissionProperties, MonotoneInBurstSize) {
+  // Larger sigma can only make admission harder: if a request with burst
+  // sigma2 > sigma1 is accepted, the sigma1 version must be too.
+  const auto [scheduler, mobility, hops] = GetParam();
+  const AdmissionPipeline pipeline(scheduler, mobility);
+  for (double b : {64.0, 256.0}) {
+    bool prev_accepted = true;
+    for (double sigma_pkts : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+      QosRequest r = request(b, sigma_pkts);
+      r.delay_bound = 1.0;
+      r.jitter_bound = 1.0;
+      const bool accepted = pipeline.admit(r, route(hops)).accepted;
+      if (accepted) {
+        EXPECT_TRUE(prev_accepted)
+            << "sigma=" << sigma_pkts << " accepted but a smaller burst was not";
+      }
+      prev_accepted = accepted;
+    }
+  }
+}
+
+TEST_P(AdmissionProperties, MonotoneInBandwidthFloor) {
+  // A higher b_min relaxes delay/jitter (terms divide by b_min) but
+  // tightens the bandwidth test. On an uncongested route, raising b_min
+  // from a delay-rejected level must eventually admit.
+  const auto [scheduler, mobility, hops] = GetParam();
+  const AdmissionPipeline pipeline(scheduler, mobility);
+  bool seen_reject = false;
+  bool seen_accept_after_reject = false;
+  for (double b : {8.0, 16.0, 64.0, 256.0, 1024.0}) {
+    QosRequest r = request(b, 16.0);
+    r.delay_bound = 0.6;
+    r.jitter_bound = 0.6;
+    const auto result = pipeline.admit(r, route(hops));
+    if (!result.accepted) {
+      seen_reject = true;
+      EXPECT_TRUE(result.reason == RejectReason::kDelay ||
+                  result.reason == RejectReason::kJitter);
+    } else if (seen_reject) {
+      seen_accept_after_reject = true;
+    }
+  }
+  EXPECT_TRUE(seen_reject);
+  EXPECT_TRUE(seen_accept_after_reject);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, AdmissionProperties,
+    ::testing::Combine(::testing::Values(Scheduler::kWfq, Scheduler::kRcsp),
+                       ::testing::Values(MobilityClass::kStatic, MobilityClass::kMobile),
+                       ::testing::Values(1, 2, 5)));
+
+}  // namespace
+}  // namespace imrm::qos

@@ -1,0 +1,197 @@
+// Tests for cell-type learning (Section 6.4): synthetic days with each
+// class's signature must be categorized correctly.
+#include <gtest/gtest.h>
+
+#include "prediction/cell_classifier.h"
+#include "sim/random.h"
+
+namespace imrm::prediction {
+namespace {
+
+using mobility::CellClass;
+using net::PortableId;
+using sim::Duration;
+using sim::SimTime;
+
+PortableId user(unsigned id) { return PortableId{id}; }
+
+// An 8-hour day starting at t = 0.
+constexpr double kDayHours = 8.0;
+
+CellObservations office_day() {
+  CellObservations obs;
+  // Three regulars, in at 9-ish for hours at a time, out for lunch.
+  for (unsigned u = 0; u < 3; ++u) {
+    obs.record_entry(user(u), SimTime::minutes(5.0 + double(u) * 7.0));
+    obs.record_exit(user(u), SimTime::hours(3.5 + 0.2 * double(u)), false);
+    obs.record_entry(user(u), SimTime::hours(4.5 + 0.1 * double(u)));
+    obs.record_exit(user(u), SimTime::hours(7.5 + 0.1 * double(u)), false);
+  }
+  // The occasional visitor.
+  obs.record_entry(user(99), SimTime::hours(2.0));
+  obs.record_exit(user(99), SimTime::hours(2.3), false);
+  return obs;
+}
+
+CellObservations corridor_day(sim::Rng& rng) {
+  CellObservations obs;
+  unsigned id = 0;
+  for (double t = 0.0; t < kDayHours * 3600.0; t += rng.exponential_mean(60.0)) {
+    obs.record_entry(user(1000 + id), SimTime::seconds(t));
+    obs.record_exit(user(1000 + id), SimTime::seconds(t + rng.uniform(15.0, 45.0)),
+                    /*pass_through=*/rng.bernoulli(0.9));
+    ++id;
+  }
+  return obs;
+}
+
+CellObservations meeting_room_day(sim::Rng& rng) {
+  CellObservations obs;
+  unsigned id = 0;
+  // Two classes: 9:00-9:50 and 14:00-15:00, 30 attendees each.
+  for (double start_h : {1.0, 6.0}) {
+    for (int a = 0; a < 30; ++a) {
+      const double in = start_h * 3600.0 + rng.uniform(-300.0, 120.0);
+      const double out = (start_h + 0.83) * 3600.0 + rng.uniform(0.0, 240.0);
+      obs.record_entry(user(2000 + id), SimTime::seconds(in));
+      obs.record_exit(user(2000 + id), SimTime::seconds(out), false);
+      ++id;
+    }
+  }
+  return obs;
+}
+
+CellObservations cafeteria_day(sim::Rng& rng) {
+  CellObservations obs;
+  unsigned id = 0;
+  // Arrival rate ramps smoothly up to a lunch plateau and back down.
+  for (double t = 0.0; t < kDayHours * 3600.0; t += 30.0) {
+    const double phase = t / (kDayHours * 3600.0);
+    const double rate = 0.5 + 2.5 * std::exp(-std::pow((phase - 0.5) / 0.22, 2.0));
+    if (rng.uniform() < rate * 30.0 / 60.0 / 4.0) {
+      obs.record_entry(user(3000 + id), SimTime::seconds(t));
+      obs.record_exit(user(3000 + id),
+                      SimTime::seconds(t + rng.uniform(8.0, 25.0) * 60.0), false);
+      ++id;
+    }
+  }
+  return obs;
+}
+
+CellObservations random_lounge_day(sim::Rng& rng) {
+  CellObservations obs;
+  unsigned id = 0;
+  for (double t = 0.0; t < kDayHours * 3600.0;
+       t += rng.exponential_mean(900.0) * rng.uniform(0.05, 3.0)) {
+    obs.record_entry(user(4000 + id), SimTime::seconds(t));
+    obs.record_exit(user(4000 + id),
+                    SimTime::seconds(t + rng.exponential_mean(300.0)), rng.bernoulli(0.2));
+    ++id;
+  }
+  return obs;
+}
+
+TEST(CellClassifier, RecognizesOffice) {
+  const auto c = classify_cell(office_day());
+  EXPECT_EQ(c.cell_class, CellClass::kOffice);
+}
+
+TEST(CellClassifier, RecognizesCorridor) {
+  sim::Rng rng(5);
+  const auto c = classify_cell(corridor_day(rng));
+  EXPECT_EQ(c.cell_class, CellClass::kCorridor);
+}
+
+TEST(CellClassifier, RecognizesMeetingRoom) {
+  sim::Rng rng(6);
+  const auto c = classify_cell(meeting_room_day(rng));
+  EXPECT_EQ(c.cell_class, CellClass::kMeetingRoom);
+}
+
+TEST(CellClassifier, RecognizesCafeteria) {
+  sim::Rng rng(7);
+  const auto c = classify_cell(cafeteria_day(rng));
+  EXPECT_EQ(c.cell_class, CellClass::kCafeteria) << "rough=" << cafeteria_day(rng).roughness();
+}
+
+TEST(CellClassifier, RandomLoungeDayNeverLooksLikeOfficeOrCorridor) {
+  // Erratic lounge traffic must not match the strong signatures; it may
+  // land on lounge or occasionally cafeteria (both "many casual users"),
+  // but never office or corridor.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Rng rng{seed};
+    const auto c = classify_cell(random_lounge_day(rng));
+    EXPECT_NE(c.cell_class, CellClass::kOffice) << seed;
+    EXPECT_NE(c.cell_class, CellClass::kCorridor) << seed;
+  }
+}
+
+TEST(CellClassifier, TooFewVisitsDefaultsToLounge) {
+  CellObservations obs;
+  obs.record_entry(user(1), SimTime::minutes(1));
+  obs.record_exit(user(1), SimTime::minutes(2), false);
+  const auto c = classify_cell(obs);
+  EXPECT_EQ(c.cell_class, CellClass::kLounge);
+  EXPECT_DOUBLE_EQ(c.scores.at(CellClass::kLounge), 0.0);
+}
+
+TEST(CellClassifier, ScoresSumSane) {
+  sim::Rng rng(9);
+  const auto c = classify_cell(meeting_room_day(rng));
+  for (const auto& [cls, score] : c.scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  // The winner's score matches the stored class.
+  double best = -1.0;
+  CellClass winner = CellClass::kLounge;
+  for (const auto& [cls, score] : c.scores) {
+    if (score > best) {
+      best = score;
+      winner = cls;
+    }
+  }
+  EXPECT_EQ(winner, c.cell_class);
+}
+
+TEST(CellClassifier, ObservationStatistics) {
+  CellObservations obs;
+  obs.record_entry(user(1), SimTime::minutes(0));
+  obs.record_exit(user(1), SimTime::minutes(10), true);
+  obs.record_entry(user(2), SimTime::minutes(5));
+  obs.record_exit(user(2), SimTime::minutes(25), false);
+  obs.record_entry(user(1), SimTime::minutes(30));
+  obs.record_exit(user(1), SimTime::minutes(40), true);
+
+  EXPECT_EQ(obs.total_visits(), 3u);
+  EXPECT_EQ(obs.distinct_users(), 2u);
+  EXPECT_NEAR(obs.mean_dwell_seconds(), (600.0 + 1200.0 + 600.0) / 3.0, 1e-9);
+  EXPECT_NEAR(obs.pass_through_fraction(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(obs.regular_fraction(1), 2.0 / 3.0, 1e-9);
+}
+
+TEST(CellClassifier, ActivityShapeStats) {
+  CellObservations obs(Duration::minutes(1));
+  // Activity only in minute 0 and minute 5: bursty, low duty.
+  obs.record_entry(user(1), SimTime::seconds(10));
+  obs.record_entry(user(2), SimTime::seconds(20));
+  obs.record_entry(user(3), SimTime::minutes(5));
+  EXPECT_GT(obs.peak_to_mean(), 1.5);
+  EXPECT_NEAR(obs.duty_cycle(), 2.0 / 6.0, 1e-9);
+}
+
+// Randomized robustness: each synthetic generator keeps its label across
+// seeds (the learning process must be stable day to day).
+class ClassifierSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassifierSeeds, StableAcrossDays) {
+  sim::Rng rng{std::uint64_t(GetParam())};
+  EXPECT_EQ(classify_cell(corridor_day(rng)).cell_class, CellClass::kCorridor);
+  EXPECT_EQ(classify_cell(meeting_room_day(rng)).cell_class, CellClass::kMeetingRoom);
+  EXPECT_EQ(classify_cell(cafeteria_day(rng)).cell_class, CellClass::kCafeteria);
+}
+
+INSTANTIATE_TEST_SUITE_P(Days, ClassifierSeeds, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace imrm::prediction

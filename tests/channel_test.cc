@@ -1,0 +1,80 @@
+// Tests for the Gilbert-Elliott wireless channel model.
+#include <gtest/gtest.h>
+
+#include "workload/channel.h"
+
+namespace imrm::workload {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+GilbertElliottChannel::Config fast_config() {
+  GilbertElliottChannel::Config c;
+  c.good_capacity = qos::mbps(1.6);
+  c.bad_capacity = qos::mbps(0.4);
+  c.mean_good = Duration::seconds(60);
+  c.mean_bad = Duration::seconds(20);
+  return c;
+}
+
+TEST(Channel, StartsGood) {
+  sim::Simulator simulator;
+  GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(1), nullptr);
+  EXPECT_TRUE(channel.in_good_state());
+  EXPECT_DOUBLE_EQ(channel.current_capacity(), qos::mbps(1.6));
+}
+
+TEST(Channel, AlternatesStates) {
+  sim::Simulator simulator;
+  std::vector<double> capacities;
+  GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(2),
+                                [&](double c) { capacities.push_back(c); });
+  channel.start(SimTime::hours(1));
+  simulator.run();
+  ASSERT_GT(capacities.size(), 10u);
+  for (std::size_t i = 1; i < capacities.size(); ++i) {
+    EXPECT_NE(capacities[i], capacities[i - 1]);  // strict alternation
+  }
+  EXPECT_EQ(channel.transitions(), capacities.size());
+}
+
+TEST(Channel, DutyCycleMatchesAnalytic) {
+  sim::Simulator simulator;
+  GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(3), nullptr);
+  channel.start(SimTime::hours(50));
+
+  double good_time = 0.0;
+  double total = 0.0;
+  // Sample the state every second (post-transition ordering is safe because
+  // samples and transitions never share a timestamp draw).
+  simulator.every(Duration::seconds(1), SimTime::hours(50), [&] {
+    total += 1.0;
+    if (channel.in_good_state()) good_time += 1.0;
+  });
+  simulator.run();
+  EXPECT_NEAR(good_time / total, channel.good_duty_cycle(), 0.02);
+  EXPECT_NEAR(channel.good_duty_cycle(), 60.0 / 80.0, 1e-12);
+}
+
+TEST(Channel, HorizonStopsTransitions) {
+  sim::Simulator simulator;
+  GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(4), nullptr);
+  channel.start(SimTime::seconds(30));
+  simulator.run();
+  EXPECT_LE(simulator.now().to_seconds(), 30.0 + 1e-9);
+}
+
+TEST(Channel, Deterministic) {
+  auto run = [] {
+    sim::Simulator simulator;
+    GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(5), nullptr);
+    channel.start(SimTime::hours(2));
+    simulator.run();
+    return channel.transitions();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace imrm::workload

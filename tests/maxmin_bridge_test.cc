@@ -1,0 +1,119 @@
+// Tests for the bridge between live network state and the max-min solver:
+// problem extraction (excess capacities, headrooms, static-only filtering)
+// and conflict resolution application.
+#include <gtest/gtest.h>
+
+#include "maxmin/bridge.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace imrm::maxmin {
+namespace {
+
+using net::NodeId;
+using net::NodeKind;
+using net::Topology;
+using qos::kbps;
+using qos::mbps;
+
+qos::QosRequest request(double min_kbps, double max_kbps) {
+  qos::QosRequest r;
+  r.bandwidth = {kbps(min_kbps), kbps(max_kbps)};
+  r.delay_bound = 10.0;
+  r.jitter_bound = 10.0;
+  r.loss_bound = 0.1;
+  r.traffic = {8000.0, 8000.0};
+  return r;
+}
+
+struct Fixture : ::testing::Test {
+  Fixture() {
+    a = topo.add_node(NodeKind::kHost);
+    b = topo.add_node(NodeKind::kSwitch);
+    c = topo.add_node(NodeKind::kHost);
+    topo.add_duplex(a, b, mbps(1.0), 1e7);
+    topo.add_duplex(b, c, mbps(2.0), 1e7);
+  }
+
+  net::Route route_ac() {
+    const net::Router router(topo);
+    return *router.shortest_path(a, c);
+  }
+
+  Topology topo;
+  NodeId a, b, c;
+};
+
+TEST_F(Fixture, ExtractSkipsMobileWhenStaticOnly) {
+  net::NetworkState net(topo);
+  ASSERT_TRUE(net.admit(a, c, route_ac(), request(100, 400), qos::MobilityClass::kStatic));
+  ASSERT_TRUE(net.admit(a, c, route_ac(), request(100, 400), qos::MobilityClass::kMobile));
+
+  const auto static_only = extract_problem(net, /*static_only=*/true);
+  EXPECT_EQ(static_only.problem.connections.size(), 1u);
+  const auto everyone = extract_problem(net, /*static_only=*/false);
+  EXPECT_EQ(everyone.problem.connections.size(), 2u);
+}
+
+TEST_F(Fixture, ExtractComputesExcessAndHeadroom) {
+  net::NetworkState net(topo);
+  ASSERT_TRUE(net.admit(a, c, route_ac(), request(100, 400), qos::MobilityClass::kStatic));
+  const auto extracted = extract_problem(net, true);
+  ASSERT_EQ(extracted.problem.links.size(), 2u);  // only links on the route
+  // Excess = capacity - sum b_min: 1000-100 and 2000-100 kbps.
+  double seen_small = 0.0, seen_big = 0.0;
+  for (const auto& link : extracted.problem.links) {
+    if (link.excess_capacity < kbps(1500)) seen_small = link.excess_capacity;
+    else seen_big = link.excess_capacity;
+  }
+  EXPECT_DOUBLE_EQ(seen_small, kbps(900));
+  EXPECT_DOUBLE_EQ(seen_big, kbps(1900));
+  // Demand = headroom = 300 kbps.
+  EXPECT_DOUBLE_EQ(extracted.problem.connections[0].demand, kbps(300));
+}
+
+TEST_F(Fixture, ResolveConflictsAppliesAllocations) {
+  net::NetworkState net(topo);
+  const auto c1 = net.admit(a, c, route_ac(), request(100, 10000), qos::MobilityClass::kStatic);
+  const auto c2 = net.admit(a, c, route_ac(), request(100, 300), qos::MobilityClass::kStatic);
+  ASSERT_TRUE(c1 && c2);
+  resolve_conflicts(net, true);
+  // Bottleneck link a-b: excess = 1000 - 200 = 800. c2 demand-limited at
+  // +200; c1 takes the remaining 600: totals 700 and 300.
+  EXPECT_NEAR(net.connection(*c1).allocated, kbps(700), 1.0);
+  EXPECT_NEAR(net.connection(*c2).allocated, kbps(300), 1.0);
+}
+
+TEST_F(Fixture, ResolveSqueezesWhenReservationsArrive) {
+  net::NetworkState net(topo);
+  const auto c1 = net.admit(a, c, route_ac(), request(100, 10000), qos::MobilityClass::kStatic);
+  ASSERT_TRUE(c1);
+  resolve_conflicts(net, true);
+  EXPECT_NEAR(net.connection(*c1).allocated, kbps(1000), 1.0);  // whole link
+
+  // An advance reservation lands on the bottleneck: the next resolution
+  // must pull the allocation back.
+  net.link(net.connection(*c1).route.front()).reserve_advance(kbps(400));
+  resolve_conflicts(net, true);
+  EXPECT_NEAR(net.connection(*c1).allocated, kbps(600), 1.0);
+}
+
+TEST_F(Fixture, NegativeExcessClampedToZero) {
+  net::NetworkState net(topo);
+  const auto c1 = net.admit(a, c, route_ac(), request(800, 1000), qos::MobilityClass::kStatic);
+  ASSERT_TRUE(c1);
+  // Capacity collapse below the guaranteed minimum: extraction clamps the
+  // excess at zero, so resolution pins the connection at b_min.
+  net.link(net.connection(*c1).route.front()).set_capacity(kbps(500));
+  resolve_conflicts(net, true);
+  EXPECT_DOUBLE_EQ(net.connection(*c1).allocated, kbps(800));  // b_min held
+}
+
+TEST_F(Fixture, EmptyNetworkIsFine) {
+  net::NetworkState net(topo);
+  const auto rates = resolve_conflicts(net, true);
+  EXPECT_TRUE(rates.empty());
+}
+
+}  // namespace
+}  // namespace imrm::maxmin

@@ -1,0 +1,160 @@
+// Property tests for max-min fairness: the water-filling output must be the
+// unique lexicographically-maximal feasible allocation, and the classic
+// bottleneck characterizations of Section 5.2 must hold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "maxmin/problem.h"
+#include "maxmin/waterfill.h"
+
+namespace imrm::maxmin {
+namespace {
+
+Problem random_problem(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> n_links_dist(1, 6);
+  std::uniform_int_distribution<int> n_conns_dist(2, 10);
+  std::uniform_real_distribution<double> cap(1.0, 30.0);
+  Problem p;
+  const int n_links = n_links_dist(rng);
+  for (int i = 0; i < n_links; ++i) p.links.push_back({cap(rng)});
+  const int n_conns = n_conns_dist(rng);
+  for (int c = 0; c < n_conns; ++c) {
+    std::uniform_int_distribution<int> start_dist(0, n_links - 1);
+    const int start = start_dist(rng);
+    std::uniform_int_distribution<int> end_dist(start, n_links - 1);
+    const int end = end_dist(rng);
+    ProblemConnection conn;
+    for (int li = start; li <= end; ++li) conn.path.push_back(std::size_t(li));
+    if (rng() % 4 == 0) conn.demand = cap(rng) / 2.0;
+    p.connections.push_back(std::move(conn));
+  }
+  return p;
+}
+
+std::vector<double> sorted(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// a lexicographically dominates b if, comparing sorted ascending, the first
+/// differing element of a is larger.
+bool lex_geq(const std::vector<double>& a, const std::vector<double>& b) {
+  const auto sa = sorted(a), sb = sorted(b);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] > sb[i] + 1e-9) return true;
+    if (sa[i] < sb[i] - 1e-9) return false;
+  }
+  return true;  // equal
+}
+
+class WaterfillProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaterfillProperties, OutputIsFeasibleAndOptimal) {
+  std::mt19937_64 rng{std::uint64_t(GetParam())};
+  for (int round = 0; round < 20; ++round) {
+    const Problem p = random_problem(rng);
+    const auto result = waterfill(p);
+    EXPECT_TRUE(is_feasible(p, result.rates));
+    EXPECT_TRUE(is_maxmin_optimal(p, result.rates));
+  }
+}
+
+TEST_P(WaterfillProperties, LexicographicallyDominatesRandomFeasible) {
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 1000};
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int round = 0; round < 10; ++round) {
+    const Problem p = random_problem(rng);
+    const auto optimal = waterfill(p).rates;
+    // Generate feasible competitors by random scaling of the optimum and
+    // random redistribution, then project back to feasibility.
+    for (int alt = 0; alt < 10; ++alt) {
+      std::vector<double> candidate(optimal.size());
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        candidate[i] = optimal[i] * unit(rng);
+      }
+      ASSERT_TRUE(is_feasible(p, candidate));  // scaled-down stays feasible
+      EXPECT_TRUE(lex_geq(optimal, candidate));
+    }
+  }
+}
+
+TEST_P(WaterfillProperties, EveryUnsatisfiedConnectionHasBottleneck) {
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 2000};
+  for (int round = 0; round < 20; ++round) {
+    const Problem p = random_problem(rng);
+    const auto result = waterfill(p);
+    const auto by_link = p.connections_by_link();
+    for (std::size_t ci = 0; ci < p.connections.size(); ++ci) {
+      if (result.rates[ci] >= p.connections[ci].demand - 1e-9) {
+        EXPECT_EQ(result.bottleneck_of[ci], kDemandLimited);
+        continue;
+      }
+      const LinkIndex li = result.bottleneck_of[ci];
+      ASSERT_NE(li, kDemandLimited) << "unsatisfied connection without bottleneck";
+      // The bottleneck is saturated...
+      double load = 0.0;
+      for (ConnIndex other : by_link[li]) load += result.rates[other];
+      EXPECT_NEAR(load, p.links[li].excess_capacity, 1e-6);
+      // ...and the connection's rate is maximal there ("a network bottleneck
+      // link is necessarily a connection bottleneck for all connections
+      // passing through it").
+      for (ConnIndex other : by_link[li]) {
+        EXPECT_LE(result.rates[other], result.rates[ci] + 1e-6);
+      }
+    }
+  }
+}
+
+TEST_P(WaterfillProperties, ScaleInvariance) {
+  // Scaling every capacity and demand by k scales every rate by k.
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 3000};
+  const Problem p = random_problem(rng);
+  Problem scaled = p;
+  const double k = 7.5;
+  for (auto& l : scaled.links) l.excess_capacity *= k;
+  for (auto& c : scaled.connections) {
+    if (c.demand != kInfiniteDemand) c.demand *= k;
+  }
+  const auto base = waterfill(p).rates;
+  const auto big = waterfill(scaled).rates;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(big[i], base[i] * k, 1e-6);
+  }
+}
+
+TEST_P(WaterfillProperties, CapacityMonotonicity) {
+  // Raising one link's capacity never lowers the smallest allocation.
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 4000};
+  const Problem p = random_problem(rng);
+  const auto before = waterfill(p).rates;
+  Problem more = p;
+  more.links[0].excess_capacity += 5.0;
+  const auto after = waterfill(more).rates;
+  const double min_before = *std::min_element(before.begin(), before.end());
+  const double min_after = *std::min_element(after.begin(), after.end());
+  EXPECT_GE(min_after, min_before - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterfillProperties, ::testing::Range(1, 9));
+
+TEST(WaterfillEdge, ConnectionWithZeroDemand) {
+  Problem p;
+  p.links = {{10.0}};
+  p.connections = {{{0}, 0.0}, {{0}, kInfiniteDemand}};
+  const auto result = waterfill(p);
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.rates[1], 10.0);
+}
+
+TEST(WaterfillEdge, ManyIdenticalConnections) {
+  Problem p;
+  p.links = {{100.0}};
+  for (int i = 0; i < 1000; ++i) p.connections.push_back({{0}, kInfiniteDemand});
+  const auto result = waterfill(p);
+  for (double r : result.rates) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace imrm::maxmin

@@ -1,0 +1,359 @@
+// Theorem 1 validation: the distributed event-driven ADVERTISE/UPDATE
+// protocol converges to the centralized max-min allocation, under initial
+// allocation, capacity changes, connection arrival/departure, and both
+// initiation policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "maxmin/problem.h"
+#include "maxmin/protocol.h"
+#include "maxmin/waterfill.h"
+#include "sim/simulator.h"
+
+namespace imrm::maxmin {
+namespace {
+
+DistributedProtocol::Config fast_config(InitiationPolicy policy = InitiationPolicy::kBottleneckSets) {
+  DistributedProtocol::Config c;
+  c.policy = policy;
+  c.epsilon = 1e-6;
+  return c;
+}
+
+void expect_rates_near(const std::vector<double>& actual, const std::vector<double>& expected,
+                       double tol = 1e-3) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << "connection " << i;
+  }
+}
+
+TEST(Protocol, SingleLinkEqualSplit) {
+  Problem p;
+  p.links = {{9.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  EXPECT_FALSE(proto.message_cap_hit());
+  expect_rates_near(proto.rates(), {3.0, 3.0, 3.0});
+}
+
+TEST(Protocol, ClassicChainConvergesToWaterfill) {
+  Problem p;
+  p.links = {{10.0}, {4.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0, 1}, kInfiniteDemand}, {{1}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  EXPECT_FALSE(proto.message_cap_hit());
+  expect_rates_near(proto.rates(), waterfill(p).rates);
+}
+
+TEST(Protocol, FiniteDemandViaArtificialLink) {
+  Problem p;
+  p.links = {{10.0}, {4.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0, 1}, 1.0}, {{1}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), waterfill(p).rates);  // {9, 1, 3}
+}
+
+TEST(Protocol, ParkingLotConverges) {
+  Problem p;
+  const std::size_t n = 4;
+  ProblemConnection longest;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.links.push_back({2.0});
+    longest.path.push_back(i);
+    p.connections.push_back({{i}, kInfiniteDemand});
+  }
+  p.connections.push_back(longest);
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), waterfill(p).rates);
+}
+
+TEST(Protocol, CapacityIncreaseTriggersUpgrade) {
+  Problem p;
+  p.links = {{4.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {2.0, 2.0});
+
+  proto.set_link_excess_capacity(0, 10.0);
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {5.0, 5.0});
+}
+
+TEST(Protocol, CapacityDecreaseSqueezesConnections) {
+  Problem p;
+  p.links = {{10.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {5.0, 5.0});
+
+  proto.set_link_excess_capacity(0, 6.0);
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {3.0, 3.0});
+}
+
+TEST(Protocol, NegativeCapacityRequestsRenegotiation) {
+  Problem p;
+  p.links = {{10.0}};
+  p.connections = {{{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  EXPECT_TRUE(proto.renegotiation_requests().empty());
+  proto.set_link_excess_capacity(0, -1.0);
+  EXPECT_FALSE(proto.renegotiation_requests().empty());
+}
+
+TEST(Protocol, ConnectionArrivalRebalances) {
+  Problem p;
+  p.links = {{6.0}};
+  p.connections = {{{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {6.0});
+
+  const ConnIndex newcomer = proto.add_connection({0});
+  proto.run_to_quiescence();
+  EXPECT_EQ(newcomer, 1u);
+  expect_rates_near(proto.rates(), {3.0, 3.0});
+}
+
+TEST(Protocol, ConnectionDepartureFreesCapacity) {
+  Problem p;
+  p.links = {{6.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {3.0, 3.0});
+
+  proto.remove_connection(0);
+  proto.run_to_quiescence();
+  EXPECT_NEAR(proto.rates()[1], 6.0, 1e-3);
+}
+
+TEST(Protocol, FloodingPolicyAlsoConverges) {
+  Problem p;
+  p.links = {{10.0}, {4.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0, 1}, kInfiniteDemand}, {{1}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config(InitiationPolicy::kFlooding));
+  proto.start_all();
+  proto.run_to_quiescence();
+  EXPECT_FALSE(proto.message_cap_hit());
+  expect_rates_near(proto.rates(), waterfill(p).rates);
+}
+
+TEST(Protocol, BottleneckSetsSendFewerMessagesOnUpgrade) {
+  // After convergence, free capacity on the shared link: the refined policy
+  // should notify only the bottlenecked connections, flooding notifies all.
+  // A chain of amply-provisioned transit links: the long connection crosses
+  // all of them, so its ADVERTISE packets pass every link. Flooding makes
+  // every visited switch re-advertise all its local connections; the refined
+  // policy knows they cannot change (they sit at their bottleneck rates).
+  auto build = [](InitiationPolicy policy, sim::Simulator& simulator) {
+    Problem p;
+    const std::size_t n_transit = 8;
+    p.links.push_back({8.0});  // link 0: the bottleneck that gets upgraded
+    ProblemConnection longest;
+    longest.path.push_back(0);
+    for (std::size_t i = 1; i <= n_transit; ++i) {
+      p.links.push_back({100.0});
+      longest.path.push_back(i);
+      // Local connections, demand-limited well below their share.
+      for (int c = 0; c < 4; ++c) p.connections.push_back({{i}, 2.0});
+    }
+    p.connections.push_back(longest);
+    p.connections.push_back({{0}, kInfiniteDemand});  // shares the bottleneck
+    return DistributedProtocol(simulator, p, fast_config(policy));
+  };
+
+  sim::Simulator s1, s2;
+  auto refined = build(InitiationPolicy::kBottleneckSets, s1);
+  auto flooding = build(InitiationPolicy::kFlooding, s2);
+  refined.start_all();
+  refined.run_to_quiescence();
+  flooding.start_all();
+  flooding.run_to_quiescence();
+
+  const auto refined_before = refined.messages_sent();
+  const auto flooding_before = flooding.messages_sent();
+  refined.set_link_excess_capacity(0, 12.0);
+  refined.run_to_quiescence();
+  flooding.set_link_excess_capacity(0, 12.0);
+  flooding.run_to_quiescence();
+
+  const auto refined_cost = refined.messages_sent() - refined_before;
+  const auto flooding_cost = flooding.messages_sent() - flooding_before;
+  EXPECT_LT(refined_cost, flooding_cost);
+}
+
+TEST(Protocol, SteadyStateRateChangeBoundedByDelta) {
+  // Theorem 1's second clause: with threshold delta, a capacity increase
+  // smaller than delta triggers no adaptation at all, so the steady-state
+  // optimal-rate difference stays within [0, delta].
+  Problem p;
+  p.links = {{4.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  sim::Simulator simulator;
+  auto config = fast_config();
+  config.delta = 1.0;
+  DistributedProtocol proto(simulator, p, config);
+  proto.start_all();
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {2.0, 2.0});
+
+  proto.set_link_excess_capacity(0, 4.5);  // increase 0.5 < delta
+  proto.run_to_quiescence();
+  // No adaptation: rates unchanged, difference from optimum (2.25) < delta.
+  expect_rates_near(proto.rates(), {2.0, 2.0});
+
+  proto.set_link_excess_capacity(0, 6.0);  // increase >= delta: adapts
+  proto.run_to_quiescence();
+  expect_rates_near(proto.rates(), {3.0, 3.0});
+}
+
+// Churn: a long random sequence of arrivals, departures and capacity
+// changes; after every event the drained protocol must sit on the max-min
+// optimum of the *current* problem.
+class ProtocolChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolChurn, TracksOptimumThroughChurn) {
+  std::mt19937_64 rng{std::uint64_t(GetParam()) * 7919};
+  std::uniform_real_distribution<double> cap_dist(2.0, 25.0);
+
+  const int n_links = 4;
+  Problem initial;
+  for (int i = 0; i < n_links; ++i) initial.links.push_back({cap_dist(rng)});
+
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, initial, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+
+  // Live connection bookkeeping: protocol index -> (path, demand).
+  struct Live {
+    ConnIndex index;
+    ProblemConnection conn;
+  };
+  std::vector<Live> live;
+  std::vector<double> link_caps;
+  for (const auto& l : initial.links) link_caps.push_back(l.excess_capacity);
+
+  auto random_conn = [&] {
+    std::uniform_int_distribution<int> start_dist(0, n_links - 1);
+    const int start = start_dist(rng);
+    std::uniform_int_distribution<int> end_dist(start, n_links - 1);
+    const int end = end_dist(rng);
+    ProblemConnection conn;
+    for (int li = start; li <= end; ++li) conn.path.push_back(std::size_t(li));
+    if (rng() % 3 == 0) conn.demand = cap_dist(rng) / 3.0;
+    return conn;
+  };
+
+  for (int event = 0; event < 30; ++event) {
+    switch (rng() % 3) {
+      case 0: {  // arrival
+        const ProblemConnection conn = random_conn();
+        const ConnIndex idx = proto.add_connection(conn.path, conn.demand);
+        live.push_back({idx, conn});
+        break;
+      }
+      case 1: {  // departure
+        if (live.empty()) continue;
+        const std::size_t victim = rng() % live.size();
+        proto.remove_connection(live[victim].index);
+        live.erase(live.begin() + long(victim));
+        break;
+      }
+      case 2: {  // capacity change
+        const std::size_t link = rng() % std::size_t(n_links);
+        link_caps[link] = cap_dist(rng);
+        proto.set_link_excess_capacity(link, link_caps[link]);
+        break;
+      }
+    }
+    proto.run_to_quiescence();
+    ASSERT_FALSE(proto.message_cap_hit()) << "event " << event;
+
+    // Rebuild the current problem and compare against the optimum.
+    Problem current;
+    for (double c : link_caps) current.links.push_back({c});
+    for (const Live& l : live) current.connections.push_back(l.conn);
+    const auto optimum = waterfill(current);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      EXPECT_NEAR(proto.rates()[live[i].index], optimum.rates[i], 1e-3)
+          << "seed=" << GetParam() << " event=" << event << " conn=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnSeeds, ProtocolChurn, ::testing::Range(1, 7));
+
+// Randomized property sweep: on random topologies the protocol must land on
+// the water-filling allocation.
+class ProtocolRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolRandomized, ConvergesOnRandomProblem) {
+  std::mt19937_64 rng{std::uint64_t(GetParam())};
+  std::uniform_int_distribution<int> n_links_dist(2, 5);
+  std::uniform_int_distribution<int> n_conns_dist(2, 8);
+  std::uniform_real_distribution<double> cap_dist(1.0, 20.0);
+
+  Problem p;
+  const int n_links = n_links_dist(rng);
+  for (int i = 0; i < n_links; ++i) p.links.push_back({cap_dist(rng)});
+  const int n_conns = n_conns_dist(rng);
+  for (int c = 0; c < n_conns; ++c) {
+    ProblemConnection conn;
+    // Random contiguous segment of links (paths in a chain network).
+    std::uniform_int_distribution<int> start_dist(0, n_links - 1);
+    const int start = start_dist(rng);
+    std::uniform_int_distribution<int> end_dist(start, n_links - 1);
+    const int end = end_dist(rng);
+    for (int li = start; li <= end; ++li) conn.path.push_back(std::size_t(li));
+    if (rng() % 3 == 0) conn.demand = cap_dist(rng) / 2.0;
+    p.connections.push_back(std::move(conn));
+  }
+
+  sim::Simulator simulator;
+  DistributedProtocol proto(simulator, p, fast_config());
+  proto.start_all();
+  proto.run_to_quiescence();
+  ASSERT_FALSE(proto.message_cap_hit());
+
+  const auto expected = waterfill(p).rates;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(proto.rates()[i], expected[i], 1e-3)
+        << "seed=" << GetParam() << " conn=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRandomized, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace imrm::maxmin

@@ -1,0 +1,207 @@
+// Tests for the centralized max-min reference: progressive filling with
+// finite demands, bottleneck identification, and the optimality checker.
+#include <gtest/gtest.h>
+
+#include "maxmin/advertised_rate.h"
+#include "maxmin/problem.h"
+#include "maxmin/waterfill.h"
+
+namespace imrm::maxmin {
+namespace {
+
+Problem chain_problem() {
+  // L0 (cap 10): A, B      L1 (cap 4): B, C
+  Problem p;
+  p.links = {{10.0}, {4.0}};
+  p.connections = {
+      {{0}, kInfiniteDemand},     // A
+      {{0, 1}, kInfiniteDemand},  // B
+      {{1}, kInfiniteDemand},     // C
+  };
+  return p;
+}
+
+TEST(Problem, ValidityChecks) {
+  EXPECT_TRUE(chain_problem().valid());
+  Problem bad = chain_problem();
+  bad.connections[0].path = {7};  // out of range
+  EXPECT_FALSE(bad.valid());
+  bad = chain_problem();
+  bad.connections[0].path.clear();
+  EXPECT_FALSE(bad.valid());
+  bad = chain_problem();
+  bad.links[0].excess_capacity = -1.0;
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(Problem, ConnectionsByLink) {
+  const auto by_link = chain_problem().connections_by_link();
+  ASSERT_EQ(by_link.size(), 2u);
+  EXPECT_EQ(by_link[0], (std::vector<ConnIndex>{0, 1}));
+  EXPECT_EQ(by_link[1], (std::vector<ConnIndex>{1, 2}));
+}
+
+TEST(Waterfill, ClassicChain) {
+  const auto result = waterfill(chain_problem());
+  ASSERT_EQ(result.rates.size(), 3u);
+  EXPECT_NEAR(result.rates[0], 8.0, 1e-9);  // A
+  EXPECT_NEAR(result.rates[1], 2.0, 1e-9);  // B limited by L1
+  EXPECT_NEAR(result.rates[2], 2.0, 1e-9);  // C
+  EXPECT_EQ(result.bottleneck_of[1], 1u);
+  EXPECT_EQ(result.bottleneck_of[2], 1u);
+  EXPECT_EQ(result.bottleneck_of[0], 0u);
+}
+
+TEST(Waterfill, FiniteDemandFreesCapacity) {
+  Problem p = chain_problem();
+  p.connections[1].demand = 1.0;  // B wants only 1
+  const auto result = waterfill(p);
+  EXPECT_NEAR(result.rates[1], 1.0, 1e-9);
+  EXPECT_NEAR(result.rates[2], 3.0, 1e-9);  // C takes the L1 leftovers
+  EXPECT_NEAR(result.rates[0], 9.0, 1e-9);  // A takes the L0 leftovers
+  EXPECT_EQ(result.bottleneck_of[1], kDemandLimited);
+}
+
+TEST(Waterfill, SingleLinkEqualShares) {
+  Problem p;
+  p.links = {{12.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  const auto result = waterfill(p);
+  for (double r : result.rates) EXPECT_NEAR(r, 4.0, 1e-9);
+  EXPECT_EQ(result.fill_order, (std::vector<LinkIndex>{0}));
+}
+
+TEST(Waterfill, ZeroCapacityLinkFreezesAtZero) {
+  Problem p;
+  p.links = {{0.0}, {10.0}};
+  p.connections = {{{0, 1}, kInfiniteDemand}, {{1}, kInfiniteDemand}};
+  const auto result = waterfill(p);
+  EXPECT_NEAR(result.rates[0], 0.0, 1e-9);
+  EXPECT_NEAR(result.rates[1], 10.0, 1e-9);
+}
+
+TEST(Waterfill, AllDemandsSatisfiedNoBottleneck) {
+  Problem p;
+  p.links = {{100.0}};
+  p.connections = {{{0}, 3.0}, {{0}, 5.0}};
+  const auto result = waterfill(p);
+  EXPECT_NEAR(result.rates[0], 3.0, 1e-9);
+  EXPECT_NEAR(result.rates[1], 5.0, 1e-9);
+  EXPECT_EQ(result.bottleneck_of[0], kDemandLimited);
+  EXPECT_EQ(result.bottleneck_of[1], kDemandLimited);
+}
+
+TEST(Waterfill, EmptyProblem) {
+  Problem p;
+  const auto result = waterfill(p);
+  EXPECT_TRUE(result.rates.empty());
+}
+
+TEST(Waterfill, ParkingLot) {
+  // Classic parking-lot: n local connections each crossing one link, one
+  // long connection crossing all. Every link cap 2. Long gets 1, locals 1.
+  Problem p;
+  const std::size_t n = 5;
+  for (std::size_t i = 0; i < n; ++i) p.links.push_back({2.0});
+  ProblemConnection longest;
+  for (std::size_t i = 0; i < n; ++i) {
+    longest.path.push_back(i);
+    p.connections.push_back({{i}, kInfiniteDemand});
+  }
+  p.connections.push_back(longest);
+  const auto result = waterfill(p);
+  for (std::size_t i = 0; i < n + 1; ++i) EXPECT_NEAR(result.rates[i], 1.0, 1e-9);
+}
+
+TEST(MaxminOptimal, AcceptsWaterfillOutput) {
+  const Problem p = chain_problem();
+  const auto result = waterfill(p);
+  EXPECT_TRUE(is_maxmin_optimal(p, result.rates));
+}
+
+TEST(MaxminOptimal, RejectsNonOptimalFeasible) {
+  const Problem p = chain_problem();
+  // Feasible but A starved: A could grow without hurting anyone.
+  EXPECT_TRUE(is_feasible(p, {1.0, 2.0, 2.0}));
+  EXPECT_FALSE(is_maxmin_optimal(p, {1.0, 2.0, 2.0}));
+}
+
+TEST(MaxminOptimal, RejectsInfeasible) {
+  const Problem p = chain_problem();
+  EXPECT_FALSE(is_feasible(p, {20.0, 2.0, 2.0}));
+  EXPECT_FALSE(is_maxmin_optimal(p, {20.0, 2.0, 2.0}));
+}
+
+TEST(MaxminOptimal, RejectsUnfairSplit) {
+  Problem p;
+  p.links = {{10.0}};
+  p.connections = {{{0}, kInfiniteDemand}, {{0}, kInfiniteDemand}};
+  // Saturated but unfair: the 3.0 connection is not maximal at its only link.
+  EXPECT_FALSE(is_maxmin_optimal(p, {7.0, 3.0}));
+  EXPECT_TRUE(is_maxmin_optimal(p, {5.0, 5.0}));
+}
+
+// ---- Advertised-rate formula (Section 5.3.1) --------------------------
+
+TEST(AdvertisedRate, NoConnectionsAdvertisesFullCapacity) {
+  AdvertisedRate ar(10.0);
+  EXPECT_DOUBLE_EQ(ar.recompute({}), 10.0);
+}
+
+TEST(AdvertisedRate, UnrestrictedSplitEvenly) {
+  AdvertisedRate ar(12.0);
+  // First recompute: previous advertised = 0, so rates {5, 7} are both
+  // unrestricted -> mu = 12 / 2 = 6.
+  EXPECT_DOUBLE_EQ(ar.recompute({5.0, 7.0}), 6.0);
+}
+
+TEST(AdvertisedRate, RestrictedConnectionsExcluded) {
+  AdvertisedRate ar(12.0);
+  (void)ar.recompute({5.0, 7.0});  // mu = 6
+  // Second recompute with {2, 7}: 2 <= 6 restricted; mu = (12-2)/1 = 10.
+  EXPECT_DOUBLE_EQ(ar.recompute({2.0, 7.0}), 10.0);
+}
+
+TEST(AdvertisedRate, AllRestrictedUsesMaxFormula) {
+  AdvertisedRate ar(12.0);
+  (void)ar.recompute({5.0, 7.0});  // mu = 6
+  // Wait for mu high enough that everything is restricted:
+  (void)ar.recompute({2.0, 3.0});  // both <= previous mu=6 -> restricted
+  // mu = b' - b'_R + max = 12 - 5 + 3 = 10
+  EXPECT_DOUBLE_EQ(ar.current(), 10.0);
+}
+
+TEST(AdvertisedRate, OneRecalculationMatchesFixedPoint) {
+  // Property check over a grid of recorded-rate combinations: the paper's
+  // "second re-calculation is sufficient" claim means recompute() (at most
+  // one re-marking) must land where the iterated fixed point lands, when
+  // seeded from the same previous advertised rate trajectory.
+  for (double cap : {4.0, 10.0, 25.0}) {
+    AdvertisedRate ar(cap);
+    for (double r1 : {0.0, 1.0, 3.0, 8.0}) {
+      for (double r2 : {0.5, 2.0, 6.0}) {
+        for (double r3 : {0.0, 4.0, 12.0}) {
+          const double mu = ar.recompute({r1, r2, r3});
+          EXPECT_GE(mu, 0.0) << cap << " " << r1 << " " << r2 << " " << r3;
+        }
+      }
+    }
+    // The fixed point from scratch is always reproduced by iterating
+    // recompute() twice from a cold state.
+    const std::vector<double> rates{1.0, 5.0, 9.0};
+    AdvertisedRate cold(cap);
+    (void)cold.recompute(rates);
+    const double twice = cold.recompute(rates);
+    EXPECT_NEAR(twice, cold.fixed_point(rates), 1e-9);
+  }
+}
+
+TEST(AdvertisedRate, FixedPointOnKnownCase) {
+  AdvertisedRate ar(12.0);
+  // rates {2, 7}: fixed point marks 2 restricted -> mu = 10; 7 <= 10 would
+  // re-restrict 7 -> all restricted -> mu = 12-9+7 = 10; stable at 10.
+  EXPECT_DOUBLE_EQ(ar.fixed_point({2.0, 7.0}), 10.0);
+}
+
+}  // namespace
+}  // namespace imrm::maxmin

@@ -1,0 +1,343 @@
+// Tests for the network substrate: topology construction, Dijkstra routing,
+// link-state bookkeeping, end-to-end admission through NetworkState, and
+// multicast branch setup.
+#include <gtest/gtest.h>
+
+#include "net/ids.h"
+#include "net/link_state.h"
+#include "net/multicast.h"
+#include "net/network_state.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace imrm::net {
+namespace {
+
+using qos::kbps;
+using qos::mbps;
+
+qos::QosRequest small_request() {
+  qos::QosRequest r;
+  r.bandwidth = {kbps(16), kbps(64)};
+  // Generous delay/jitter bounds: at b_min = 16 kbps the per-hop jitter term
+  // (sigma + l L_max)/b_min is already 1.5 s at hop 2.
+  r.delay_bound = 10.0;
+  r.jitter_bound = 10.0;
+  r.loss_bound = 0.1;
+  r.traffic = {8000.0, 8000.0};
+  return r;
+}
+
+TEST(Ids, DistinctTypesAndValidity) {
+  const NodeId n{3};
+  EXPECT_TRUE(n.is_valid());
+  EXPECT_FALSE(NodeId::invalid().is_valid());
+  EXPECT_EQ(n.value(), 3u);
+  EXPECT_LT(NodeId{1}, NodeId{2});
+}
+
+TEST(Topology, NodesAndLinks) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch, "a");
+  const NodeId b = topo.add_node(NodeKind::kBaseStation);
+  const LinkId l = topo.add_link(a, b, mbps(10), 1e6, 0.01, true);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(l).from, a);
+  EXPECT_EQ(topo.link(l).to, b);
+  EXPECT_TRUE(topo.link(l).wireless);
+  EXPECT_EQ(topo.node(b).kind, NodeKind::kBaseStation);
+  EXPECT_EQ(topo.out_links(a).size(), 1u);
+  EXPECT_TRUE(topo.out_links(b).empty());
+}
+
+TEST(Topology, DuplexAddsBothDirections) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch);
+  const NodeId b = topo.add_node(NodeKind::kSwitch);
+  const LinkId f = topo.add_duplex(a, b, mbps(10), 1e6);
+  EXPECT_EQ(topo.link_count(), 2u);
+  EXPECT_EQ(topo.link(f).from, a);
+  EXPECT_EQ(topo.out_links(b).size(), 1u);
+}
+
+TEST(Routing, FindsShortestHopPath) {
+  // a - b - c  and a - c direct: direct wins on hops.
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch);
+  const NodeId b = topo.add_node(NodeKind::kSwitch);
+  const NodeId c = topo.add_node(NodeKind::kSwitch);
+  topo.add_duplex(a, b, mbps(10), 1e6);
+  topo.add_duplex(b, c, mbps(10), 1e6);
+  const LinkId direct = topo.add_duplex(a, c, mbps(1), 1e6);
+
+  const Router router(topo);
+  const auto route = router.shortest_path(a, c);
+  ASSERT_TRUE(route.has_value());
+  ASSERT_EQ(route->size(), 1u);
+  EXPECT_EQ(route->front(), direct);
+}
+
+TEST(Routing, InverseCapacityAvoidsSlowLink) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch);
+  const NodeId b = topo.add_node(NodeKind::kSwitch);
+  const NodeId c = topo.add_node(NodeKind::kSwitch);
+  topo.add_duplex(a, b, mbps(100), 1e6);
+  topo.add_duplex(b, c, mbps(100), 1e6);
+  topo.add_duplex(a, c, mbps(1), 1e6);  // direct but very slow
+
+  const Router router(topo, Router::inverse_capacity_weight());
+  const auto route = router.shortest_path(a, c);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->size(), 2u);  // goes around via b
+}
+
+TEST(Routing, UnreachableReturnsNullopt) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch);
+  const NodeId b = topo.add_node(NodeKind::kSwitch);
+  const Router router(topo);
+  EXPECT_FALSE(router.shortest_path(a, b).has_value());
+}
+
+TEST(Routing, PathToSelfIsEmpty) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch);
+  const Router router(topo);
+  const auto route = router.shortest_path(a, a);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_TRUE(route->empty());
+}
+
+TEST(Routing, RouteNodesChainsEndpoints) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kSwitch);
+  const NodeId b = topo.add_node(NodeKind::kSwitch);
+  const NodeId c = topo.add_node(NodeKind::kSwitch);
+  topo.add_duplex(a, b, mbps(10), 1e6);
+  topo.add_duplex(b, c, mbps(10), 1e6);
+  const Router router(topo);
+  const auto route = router.shortest_path(a, c);
+  ASSERT_TRUE(route);
+  const auto nodes = route_nodes(topo, *route);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes.front(), a);
+  EXPECT_EQ(nodes.back(), c);
+}
+
+TEST(LinkState, TracksSumBMinAndExcess) {
+  LinkState ls(LinkId{0}, mbps(10), 1e6, 0.0);
+  ls.add_connection(ConnectionId{1}, {mbps(1), mbps(2)}, mbps(1));
+  ls.add_connection(ConnectionId{2}, {mbps(2), mbps(4)}, mbps(2));
+  EXPECT_DOUBLE_EQ(ls.sum_b_min(), mbps(3));
+  EXPECT_DOUBLE_EQ(ls.excess_available(), mbps(7));
+  ls.reserve_advance(mbps(1));
+  EXPECT_DOUBLE_EQ(ls.excess_available(), mbps(6));
+  ls.remove_connection(ConnectionId{1});
+  EXPECT_DOUBLE_EQ(ls.sum_b_min(), mbps(2));
+}
+
+TEST(LinkState, SetAllocatedClampsWithinBounds) {
+  LinkState ls(LinkId{0}, mbps(10), 1e6, 0.0);
+  ls.add_connection(ConnectionId{1}, {mbps(1), mbps(2)}, mbps(1));
+  ls.set_allocated(ConnectionId{1}, mbps(1.5));
+  EXPECT_DOUBLE_EQ(ls.share(ConnectionId{1}).allocated, mbps(1.5));
+  EXPECT_DOUBLE_EQ(ls.sum_allocated(), mbps(1.5));
+}
+
+TEST(LinkState, ReleaseAdvanceSaturatesAtZero) {
+  LinkState ls(LinkId{0}, mbps(10), 1e6, 0.0);
+  ls.reserve_advance(kbps(100));
+  ls.release_advance(kbps(200));
+  EXPECT_DOUBLE_EQ(ls.advance_reserved(), 0.0);
+}
+
+TEST(LinkState, SnapshotMirrorsState) {
+  LinkState ls(LinkId{0}, mbps(10), 5e5, 0.02);
+  ls.add_connection(ConnectionId{1}, {mbps(1), mbps(2)}, mbps(1));
+  ls.reserve_advance(mbps(2));
+  const auto snap = ls.snapshot();
+  EXPECT_DOUBLE_EQ(snap.capacity, mbps(10));
+  EXPECT_DOUBLE_EQ(snap.advance_reserved, mbps(2));
+  EXPECT_DOUBLE_EQ(snap.sum_b_min, mbps(1));
+  EXPECT_DOUBLE_EQ(snap.buffer_capacity, 5e5);
+  EXPECT_DOUBLE_EQ(snap.error_prob, 0.02);
+  EXPECT_DOUBLE_EQ(snap.admissible_bandwidth(), mbps(7));
+}
+
+TEST(LinkState, ConnectionIdsSortedDeterministically) {
+  LinkState ls(LinkId{0}, mbps(10), 1e6, 0.0);
+  ls.add_connection(ConnectionId{5}, {kbps(16), kbps(16)}, kbps(16));
+  ls.add_connection(ConnectionId{2}, {kbps(16), kbps(16)}, kbps(16));
+  const auto ids = ls.connection_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], ConnectionId{2});
+  EXPECT_EQ(ids[1], ConnectionId{5});
+}
+
+class NetworkStateTest : public ::testing::Test {
+ protected:
+  NetworkStateTest() {
+    src_ = topo_.add_node(NodeKind::kHost, "src");
+    sw_ = topo_.add_node(NodeKind::kSwitch, "sw");
+    bs_ = topo_.add_node(NodeKind::kBaseStation, "bs");
+    topo_.add_duplex(src_, sw_, mbps(10), 1e7);
+    topo_.add_duplex(sw_, bs_, mbps(1.6), 1e7, 0.0, true);
+  }
+
+  Route route_to_bs() {
+    const Router router(topo_);
+    return *router.shortest_path(src_, bs_);
+  }
+
+  Topology topo_;
+  NodeId src_, sw_, bs_;
+};
+
+TEST_F(NetworkStateTest, AdmitInstallsOnAllLinks) {
+  NetworkState net(topo_);
+  const auto id = net.admit(src_, bs_, route_to_bs(), small_request(),
+                            qos::MobilityClass::kMobile);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(net.connection_count(), 1u);
+  for (LinkId lid : net.connection(*id).route) {
+    EXPECT_TRUE(net.link(lid).has_connection(*id));
+    EXPECT_DOUBLE_EQ(net.link(lid).sum_b_min(), kbps(16));
+  }
+}
+
+TEST_F(NetworkStateTest, AdmitRejectsWhenFull) {
+  NetworkState net(topo_);
+  // Wireless link is 1.6 Mbps; 100 connections at 16 kbps fill it exactly.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(net.admit(src_, bs_, route_to_bs(), small_request(),
+                          qos::MobilityClass::kMobile))
+        << "i=" << i;
+  }
+  const auto rejected = net.admit(src_, bs_, route_to_bs(), small_request(),
+                                  qos::MobilityClass::kMobile);
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(net.last_result().reason, qos::RejectReason::kBandwidth);
+  EXPECT_EQ(net.connection_count(), 100u);
+}
+
+TEST_F(NetworkStateTest, TeardownFreesCapacity) {
+  NetworkState net(topo_);
+  std::vector<ConnectionId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(*net.admit(src_, bs_, route_to_bs(), small_request(),
+                             qos::MobilityClass::kMobile));
+  }
+  net.teardown(ids.front());
+  EXPECT_TRUE(net.admit(src_, bs_, route_to_bs(), small_request(),
+                        qos::MobilityClass::kMobile));
+}
+
+TEST_F(NetworkStateTest, HandoffConsumesAdvanceReservation) {
+  NetworkState net(topo_);
+  // Fill the wireless link to 99 connections and advance-reserve the rest.
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_TRUE(net.admit(src_, bs_, route_to_bs(), small_request(),
+                          qos::MobilityClass::kMobile));
+  }
+  const Route route = route_to_bs();
+  const LinkId wireless = route.back();
+  net.link(wireless).reserve_advance(kbps(16));
+
+  // A new connection must fail (reservation blocks it) ...
+  EXPECT_FALSE(net.admit(src_, bs_, route, small_request(), qos::MobilityClass::kMobile));
+  // ... but the handoff the reservation was made for succeeds and consumes it.
+  EXPECT_TRUE(net.admit(src_, bs_, route, small_request(), qos::MobilityClass::kMobile,
+                        qos::Scheduler::kWfq, 0.0, qos::ConnectionKind::kHandoff));
+  EXPECT_DOUBLE_EQ(net.link(wireless).advance_reserved(), 0.0);
+}
+
+TEST_F(NetworkStateTest, BufferSpaceIsDepletedByAdmissions) {
+  // Shrink the wireless link's buffer so that a handful of connections
+  // exhaust it long before bandwidth runs out.
+  Topology topo;
+  const NodeId src = topo.add_node(NodeKind::kHost);
+  const NodeId bs = topo.add_node(NodeKind::kBaseStation);
+  // Each WFQ connection reserves sigma + L = 16000 bits of buffer.
+  topo.add_duplex(src, bs, mbps(10), /*buffer=*/40000.0);
+  NetworkState net(topo);
+  const Router router(topo);
+  const Route route = *router.shortest_path(src, bs);
+
+  int admitted = 0;
+  while (net.admit(src, bs, route, small_request(), qos::MobilityClass::kMobile)) {
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, 2);  // 2 * 16000 = 32000 <= 40000, the third needs 48000
+  EXPECT_EQ(net.last_result().reason, qos::RejectReason::kBuffer);
+
+  // Releasing one connection frees its buffer share again.
+  net.teardown(net.connection_ids().front());
+  EXPECT_TRUE(net.admit(src, bs, route, small_request(), qos::MobilityClass::kMobile));
+}
+
+TEST_F(NetworkStateTest, BufferAccountingTracksShares) {
+  NetworkState net(topo_);
+  const auto id = net.admit(src_, bs_, route_to_bs(), small_request(),
+                            qos::MobilityClass::kMobile);
+  ASSERT_TRUE(id);
+  for (std::size_t l = 0; l < net.connection(*id).route.size(); ++l) {
+    const auto& link = net.link(net.connection(*id).route[l]);
+    EXPECT_GT(link.buffer_reserved(), 0.0);
+    EXPECT_DOUBLE_EQ(link.buffer_reserved(), link.share(*id).buffer);
+  }
+  net.teardown(*id);
+  for (const auto& l : topo_.links()) {
+    EXPECT_DOUBLE_EQ(net.link(l.id).buffer_reserved(), 0.0);
+  }
+}
+
+TEST_F(NetworkStateTest, SetAllocatedAppliesEverywhere) {
+  NetworkState net(topo_);
+  const auto id = net.admit(src_, bs_, route_to_bs(), small_request(),
+                            qos::MobilityClass::kStatic);
+  ASSERT_TRUE(id);
+  net.set_allocated(*id, kbps(48));
+  EXPECT_DOUBLE_EQ(net.connection(*id).allocated, kbps(48));
+  for (LinkId lid : net.connection(*id).route) {
+    EXPECT_DOUBLE_EQ(net.link(lid).share(*id).allocated, kbps(48));
+  }
+}
+
+TEST_F(NetworkStateTest, MulticastBranchesAdmitIndependently) {
+  // Two neighbor base stations, one reachable with capacity, one starved.
+  const NodeId bs2 = topo_.add_node(NodeKind::kBaseStation, "bs2");
+  const NodeId bs3 = topo_.add_node(NodeKind::kBaseStation, "bs3");
+  topo_.add_duplex(sw_, bs2, mbps(10), 1e7);
+  topo_.add_duplex(sw_, bs3, kbps(8), 1e7);  // too small for b_min = 16 kbps
+
+  NetworkState net(topo_);
+  const Router router(topo_);
+  auto tree = setup_neighbor_multicast(net, router, src_, {bs2, bs3}, small_request());
+  ASSERT_EQ(tree.branches.size(), 2u);
+  EXPECT_TRUE(tree.branches[0].admitted);
+  EXPECT_FALSE(tree.branches[1].admitted);
+  EXPECT_EQ(tree.admitted_count(), 1u);
+
+  teardown_multicast(net, tree);
+  EXPECT_EQ(tree.admitted_count(), 0u);
+  EXPECT_EQ(net.connection_count(), 0u);
+}
+
+TEST_F(NetworkStateTest, MulticastSharedLinksDetected) {
+  const NodeId bs2 = topo_.add_node(NodeKind::kBaseStation);
+  const NodeId bs3 = topo_.add_node(NodeKind::kBaseStation);
+  topo_.add_duplex(sw_, bs2, mbps(10), 1e7);
+  topo_.add_duplex(sw_, bs3, mbps(10), 1e7);
+
+  NetworkState net(topo_);
+  const Router router(topo_);
+  const auto tree = setup_neighbor_multicast(net, router, src_, {bs2, bs3}, small_request());
+  // Both branches share the src->sw link.
+  ASSERT_EQ(tree.shared_links.size(), 1u);
+  EXPECT_EQ(topo_.link(tree.shared_links[0]).from, src_);
+}
+
+}  // namespace
+}  // namespace imrm::net

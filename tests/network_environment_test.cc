@@ -1,0 +1,282 @@
+// Integration tests for the full wired/wireless environment of Section 4:
+// end-to-end Table 2 admission over the backbone, multicast warm-up,
+// advance reservation on wireless links, handoff re-routing, max-min
+// adaptation across the network, and renegotiation.
+#include <gtest/gtest.h>
+
+#include "core/network_environment.h"
+#include "mobility/floorplan.h"
+
+namespace imrm::core {
+namespace {
+
+using mobility::Fig4Cells;
+using qos::kbps;
+using sim::Duration;
+using sim::SimTime;
+
+qos::QosRequest stream_request(qos::BitsPerSecond b_min, qos::BitsPerSecond b_max) {
+  qos::QosRequest r;
+  r.bandwidth = {b_min, b_max};
+  r.delay_bound = 10.0;
+  r.jitter_bound = 10.0;
+  r.loss_bound = 0.05;
+  r.traffic = {8000.0, 8000.0};
+  return r;
+}
+
+class NetworkEnvironmentTest : public ::testing::Test {
+ protected:
+  NetworkEnvironmentTest() { rebuild({}); }
+
+  void rebuild(BackboneConfig config) {
+    config_ = config;
+    env_ = std::make_unique<NetworkEnvironment>(mobility::fig4_environment(), simulator_,
+                                                config);
+    cells_ = mobility::fig4_cells(env_->map());
+  }
+
+  sim::Simulator simulator_;
+  BackboneConfig config_;
+  std::unique_ptr<NetworkEnvironment> env_;
+  Fig4Cells cells_;
+};
+
+TEST_F(NetworkEnvironmentTest, TopologyWiresEveryCell) {
+  // server + core + areas + (bs + air) per cell.
+  EXPECT_GE(env_->topology().node_count(), 2 + 2 * env_->map().size());
+  for (const auto& cell : env_->map().cells()) {
+    const auto link = env_->wireless_link(cell.id);
+    EXPECT_TRUE(env_->topology().link(link).wireless);
+    EXPECT_DOUBLE_EQ(env_->topology().link(link).capacity, qos::mbps(1.6));
+  }
+}
+
+TEST_F(NetworkEnvironmentTest, OpenConnectionRunsEndToEndAdmission) {
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  EXPECT_EQ(env_->stats().connections_opened, 1u);
+  EXPECT_DOUBLE_EQ(env_->allocated(p), kbps(64));  // mobile: pinned at b_min
+  // The route crosses the wireless link of D.
+  const auto& link = env_->network().link(env_->wireless_link(cells_.d));
+  EXPECT_DOUBLE_EQ(link.sum_b_min(), kbps(64));
+}
+
+TEST_F(NetworkEnvironmentTest, MulticastBranchesWarmNeighbors) {
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  // D has 5 neighbors (C, A, E, F, G); all branches fit on the wired side.
+  EXPECT_EQ(env_->stats().multicast_branches_admitted, 5u);
+  EXPECT_EQ(env_->stats().multicast_branches_rejected, 0u);
+}
+
+TEST_F(NetworkEnvironmentTest, MulticastCanBeDisabled) {
+  BackboneConfig config;
+  config.enable_multicast = false;
+  rebuild(config);
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  EXPECT_EQ(env_->stats().multicast_branches_admitted, 0u);
+}
+
+TEST_F(NetworkEnvironmentTest, HandoffIntoWarmCellCounts) {
+  const auto p = env_->add_portable(cells_.c);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  ASSERT_TRUE(env_->handoff(p, cells_.d));
+  EXPECT_EQ(env_->stats().warm_handoffs, 1u);  // D's branch was set up from C
+  EXPECT_EQ(env_->stats().handoff_drops, 0u);
+  EXPECT_TRUE(env_->has_connection(p));
+}
+
+TEST_F(NetworkEnvironmentTest, AdvanceReservationFollowsPrediction) {
+  const auto p = env_->add_portable(cells_.c, /*home_office=*/cells_.a);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  ASSERT_TRUE(env_->handoff(p, cells_.d));
+  // Occupancy prediction: reservation sits on A's wireless link.
+  EXPECT_DOUBLE_EQ(env_->network().link(env_->wireless_link(cells_.a)).advance_reserved(),
+                   kbps(64));
+  ASSERT_TRUE(env_->handoff(p, cells_.a));
+  EXPECT_EQ(env_->stats().reservations_consumed, 1u);
+  EXPECT_DOUBLE_EQ(env_->network().link(env_->wireless_link(cells_.a)).advance_reserved(),
+                   0.0);
+}
+
+TEST_F(NetworkEnvironmentTest, StaticPortableUpgradedByAdaptation) {
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(1024))));
+  simulator_.run_until(SimTime::minutes(10));  // past T_th
+  env_->adapt();
+  // Alone on a 1.6 Mbps cell: upgraded to b_max (wired links are ample).
+  EXPECT_DOUBLE_EQ(env_->allocated(p), kbps(1024));
+}
+
+TEST_F(NetworkEnvironmentTest, AdaptationSplitsExcessMaxMin) {
+  const auto p1 = env_->add_portable(cells_.d);
+  const auto p2 = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p1, stream_request(kbps(100), kbps(10000))));
+  ASSERT_TRUE(env_->open_connection(p2, stream_request(kbps(100), kbps(400))));
+  simulator_.run_until(SimTime::minutes(10));
+  env_->adapt();
+  // Wireless excess = 1600 - 200 = 1400 kbps. p2 demand-limited at +300;
+  // p1 takes the remaining 1100: 100 + 1100 = 1200.
+  EXPECT_NEAR(env_->allocated(p2), kbps(400), 1.0);
+  EXPECT_NEAR(env_->allocated(p1), kbps(1200), 1.0);
+}
+
+TEST_F(NetworkEnvironmentTest, HandoffDropsWhenTargetSaturated) {
+  // Saturate D's wireless link with static occupants at fixed bounds.
+  std::vector<PortableId> squatters;
+  for (int i = 0; i < 25; ++i) {
+    const auto q = env_->add_portable(cells_.d);
+    ASSERT_TRUE(env_->open_connection(q, stream_request(kbps(64), kbps(64))));
+    squatters.push_back(q);
+  }
+  const auto p = env_->add_portable(cells_.c);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(64))));
+  EXPECT_FALSE(env_->handoff(p, cells_.d));
+  EXPECT_EQ(env_->stats().handoff_drops, 1u);
+  EXPECT_FALSE(env_->has_connection(p));
+}
+
+TEST_F(NetworkEnvironmentTest, ReservationBlocksNewButAdmitsPredictedHandoff) {
+  // Fill D to one slot short; a foreign reservation then blocks newcomers
+  // but the predicted portable still gets in.
+  for (int i = 0; i < 24; ++i) {
+    const auto q = env_->add_portable(cells_.d);
+    ASSERT_TRUE(env_->open_connection(q, stream_request(kbps(64), kbps(64))));
+  }
+  // Predicted mover: home office is... D is a corridor, so use profile
+  // learning instead: teach C->D movement history.
+  const auto p = env_->add_portable(cells_.c);
+  for (int i = 0; i < 3; ++i) env_->profiles().record_handoff(p, cells_.c, cells_.c, cells_.d);
+  // (prev=C, cur=C) is this portable's live state after add; the recorded
+  // triplets make the predictor nominate D.
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(64))));
+  EXPECT_DOUBLE_EQ(env_->network().link(env_->wireless_link(cells_.d)).advance_reserved(),
+                   kbps(64));
+
+  // A newcomer cannot squeeze in past the reservation...
+  const auto late = env_->add_portable(cells_.d);
+  EXPECT_FALSE(env_->open_connection(late, stream_request(kbps(64), kbps(64))));
+  // ...but the predicted handoff succeeds by consuming it.
+  EXPECT_TRUE(env_->handoff(p, cells_.d));
+  EXPECT_EQ(env_->stats().reservations_consumed, 1u);
+}
+
+TEST_F(NetworkEnvironmentTest, RenegotiationUpAndDown) {
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(128))));
+  // Application asks for a bigger envelope: fits, so granted.
+  EXPECT_TRUE(env_->renegotiate(p, stream_request(kbps(128), kbps(512))));
+  simulator_.run_until(SimTime::minutes(10));
+  env_->adapt();
+  EXPECT_DOUBLE_EQ(env_->allocated(p), kbps(512));
+
+  // An impossible request is refused and the old connection survives.
+  EXPECT_FALSE(env_->renegotiate(p, stream_request(qos::mbps(50), qos::mbps(60))));
+  EXPECT_TRUE(env_->has_connection(p));
+  env_->adapt();
+  EXPECT_DOUBLE_EQ(env_->allocated(p), kbps(512));
+}
+
+TEST_F(NetworkEnvironmentTest, CloseReleasesEverything) {
+  const auto p = env_->add_portable(cells_.c, cells_.a);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  ASSERT_TRUE(env_->handoff(p, cells_.d));
+  env_->close_connection(p);
+  EXPECT_FALSE(env_->has_connection(p));
+  EXPECT_EQ(env_->network().connection_count(), 0u);
+  for (const auto& cell : env_->map().cells()) {
+    EXPECT_DOUBLE_EQ(env_->network().link(env_->wireless_link(cell.id)).advance_reserved(),
+                     0.0);
+  }
+}
+
+TEST_F(NetworkEnvironmentTest, ConnectionlessPortablesJustMove) {
+  const auto p = env_->add_portable(cells_.c);
+  EXPECT_TRUE(env_->handoff(p, cells_.d));
+  EXPECT_EQ(env_->stats().handoffs, 1u);
+  EXPECT_EQ(env_->network().connection_count(), 0u);
+}
+
+TEST_F(NetworkEnvironmentTest, PredictedHandoffsAreFasterThanColdOnes) {
+  // Occupant of A: the D -> A handoff is predicted (local signaling only);
+  // the C -> D handoff is not (end-to-end round trip).
+  const auto p = env_->add_portable(cells_.c, /*home_office=*/cells_.a);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  ASSERT_TRUE(env_->handoff(p, cells_.d));  // cold
+  EXPECT_EQ(env_->stats().e2e_handoffs, 1u);
+  const double after_cold = env_->stats().total_handoff_latency_s;
+  ASSERT_TRUE(env_->handoff(p, cells_.a));  // warm: reservation in A
+  EXPECT_EQ(env_->stats().local_handoffs, 1u);
+  const double warm_latency = env_->stats().total_handoff_latency_s - after_cold;
+  EXPECT_LT(warm_latency, after_cold);  // local exchange beats the round trip
+  // Cold = 2 * hop * path_len (4 hops); warm = 2 * hop.
+  EXPECT_NEAR(after_cold, 2.0 * 0.002 * 4.0, 1e-12);
+  EXPECT_NEAR(warm_latency, 2.0 * 0.002, 1e-12);
+}
+
+TEST_F(NetworkEnvironmentTest, UplinkRoutesReverseDirection) {
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256)),
+                                    Direction::kUplink));
+  // The uplink consumes the air -> BS direction: the downlink's wireless
+  // link (BS -> air) stays empty while its reverse twin carries b_min.
+  const auto down = env_->wireless_link(cells_.d);
+  const net::LinkId up{down.value() + 1};  // add_duplex allocates the pair
+  EXPECT_DOUBLE_EQ(env_->network().link(down).sum_b_min(), 0.0);
+  EXPECT_DOUBLE_EQ(env_->network().link(up).sum_b_min(), kbps(64));
+
+  // Handoffs keep the direction.
+  ASSERT_TRUE(env_->handoff(p, cells_.e));
+  const auto down_e = env_->wireless_link(cells_.e);
+  EXPECT_DOUBLE_EQ(env_->network().link(net::LinkId{down_e.value() + 1}).sum_b_min(),
+                   kbps(64));
+  EXPECT_DOUBLE_EQ(env_->network().link(down_e).sum_b_min(), 0.0);
+}
+
+TEST_F(NetworkEnvironmentTest, UplinkAndDownlinkShareNothing) {
+  const auto a = env_->add_portable(cells_.d);
+  const auto b = env_->add_portable(cells_.d);
+  // Both directions can carry a full-capacity minimum simultaneously.
+  ASSERT_TRUE(env_->open_connection(a, stream_request(kbps(1500), kbps(1500)),
+                                    Direction::kDownlink));
+  EXPECT_TRUE(env_->open_connection(b, stream_request(kbps(1500), kbps(1500)),
+                                    Direction::kUplink));
+}
+
+TEST_F(NetworkEnvironmentTest, MultiZoneProfilesMigrateWithPortables) {
+  BackboneConfig config;
+  config.zones = 3;
+  rebuild(config);
+  EXPECT_EQ(env_->universe().zone_count(), 3u);
+
+  // Walk a portable across the whole map: zone crossings migrate its
+  // profile, and prediction still works afterwards.
+  const auto p = env_->add_portable(cells_.c, cells_.a);
+  ASSERT_TRUE(env_->open_connection(p, stream_request(kbps(64), kbps(256))));
+  ASSERT_TRUE(env_->handoff(p, cells_.d));
+  ASSERT_TRUE(env_->handoff(p, cells_.e));
+  ASSERT_TRUE(env_->handoff(p, cells_.b));
+  ASSERT_TRUE(env_->handoff(p, cells_.e));
+  ASSERT_TRUE(env_->handoff(p, cells_.d));
+  EXPECT_GT(env_->universe().migrations(), 0u);
+  EXPECT_EQ(env_->stats().profile_migrations, env_->universe().migrations());
+  // Wherever the profile resides, it is reachable and remembers the walk.
+  ASSERT_NE(env_->universe().portable_profile(p), nullptr);
+  EXPECT_EQ(env_->universe().portable_profile(p)->predict(cells_.d, cells_.e), cells_.b);
+}
+
+TEST_F(NetworkEnvironmentTest, WiredBottleneckAlsoChecked) {
+  // Shrink the wired capacity below the request: admission must reject on
+  // the backbone, not only on the air.
+  BackboneConfig config;
+  config.wired_capacity = kbps(32);
+  rebuild(config);
+  const auto p = env_->add_portable(cells_.d);
+  EXPECT_FALSE(env_->open_connection(p, stream_request(kbps(64), kbps(128))));
+  EXPECT_EQ(env_->stats().connections_blocked, 1u);
+}
+
+}  // namespace
+}  // namespace imrm::core

@@ -1,0 +1,126 @@
+// Tests for the three-level next-cell predictor (Section 6).
+#include <gtest/gtest.h>
+
+#include "mobility/floorplan.h"
+#include "prediction/predictor.h"
+#include "profiles/profile_server.h"
+
+namespace imrm::prediction {
+namespace {
+
+using mobility::CellClass;
+using mobility::CellMap;
+using mobility::Fig4Cells;
+using net::PortableId;
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  PredictorTest()
+      : map_(mobility::fig4_environment()), cells_(mobility::fig4_cells(map_)),
+        server_(net::ZoneId{0}) {}
+
+  CellMap map_;
+  Fig4Cells cells_;
+  profiles::ProfileServer server_;
+};
+
+TEST_F(PredictorTest, Level1PortableProfileWins) {
+  // The portable's own history says C->D leads to B's corridor (E), even
+  // though it is also an occupant of office A.
+  map_.add_occupant(cells_.a, PortableId{1});
+  server_.record_handoff(PortableId{1}, cells_.c, cells_.d, cells_.e);
+  server_.record_handoff(PortableId{1}, cells_.c, cells_.d, cells_.e);
+
+  const ThreeLevelPredictor predictor(map_, server_);
+  const Prediction p = predictor.predict(PortableId{1}, cells_.c, cells_.d);
+  EXPECT_EQ(p.level, PredictionLevel::kPortableProfile);
+  EXPECT_EQ(p.next_cell, cells_.e);
+}
+
+TEST_F(PredictorTest, Level2OfficeOccupancy) {
+  // No portable profile for this state, but the user is a regular occupant
+  // of neighboring office A.
+  map_.add_occupant(cells_.a, PortableId{2});
+  const ThreeLevelPredictor predictor(map_, server_);
+  const Prediction p = predictor.predict(PortableId{2}, cells_.c, cells_.d);
+  EXPECT_EQ(p.level, PredictionLevel::kOfficeOccupancy);
+  EXPECT_EQ(p.next_cell, cells_.a);
+}
+
+TEST_F(PredictorTest, Level2CellAggregate) {
+  // Anonymous users only have the cell's aggregate history to go on.
+  for (int i = 0; i < 10; ++i) {
+    server_.record_handoff(PortableId{net::PortableId::underlying(100 + i)}, cells_.c,
+                           cells_.d, cells_.f);
+  }
+  const ThreeLevelPredictor predictor(map_, server_);
+  const Prediction p = predictor.predict(PortableId{2}, cells_.c, cells_.d);
+  EXPECT_EQ(p.level, PredictionLevel::kCellAggregate);
+  EXPECT_EQ(p.next_cell, cells_.f);
+}
+
+TEST_F(PredictorTest, Level2AggregateFallbackIgnoresPrevious) {
+  // History exists for the cell but not for this previous-cell state: the
+  // overall aggregate is used.
+  server_.record_handoff(PortableId{50}, cells_.e, cells_.d, cells_.g);
+  const ThreeLevelPredictor predictor(map_, server_);
+  const Prediction p = predictor.predict(PortableId{2}, cells_.c, cells_.d);
+  EXPECT_EQ(p.level, PredictionLevel::kCellAggregate);
+  EXPECT_EQ(p.next_cell, cells_.g);
+}
+
+TEST_F(PredictorTest, Level3NothingKnown) {
+  const ThreeLevelPredictor predictor(map_, server_);
+  const Prediction p = predictor.predict(PortableId{2}, cells_.c, cells_.d);
+  EXPECT_EQ(p.level, PredictionLevel::kNone);
+  EXPECT_FALSE(p.next_cell.has_value());
+}
+
+TEST_F(PredictorTest, PortableOverloadReadsState) {
+  map_.add_occupant(cells_.a, PortableId{3});
+  const ThreeLevelPredictor predictor(map_, server_);
+  mobility::Portable p;
+  p.id = PortableId{3};
+  p.previous_cell = cells_.c;
+  p.current_cell = cells_.d;
+  EXPECT_EQ(predictor.predict(p).next_cell, cells_.a);
+}
+
+TEST_F(PredictorTest, OccupancyOnlyNominatesNeighboringOffices) {
+  // Occupant of A, but currently at E (A is not E's neighbor): no occupancy
+  // prediction; falls through to level 3.
+  map_.add_occupant(cells_.a, PortableId{4});
+  const ThreeLevelPredictor predictor(map_, server_);
+  const Prediction p = predictor.predict(PortableId{4}, cells_.d, cells_.e);
+  EXPECT_EQ(p.level, PredictionLevel::kNone);
+}
+
+TEST(PredictionLevelNames, ToString) {
+  EXPECT_EQ(to_string(PredictionLevel::kPortableProfile), "portable-profile");
+  EXPECT_EQ(to_string(PredictionLevel::kOfficeOccupancy), "office-occupancy");
+  EXPECT_EQ(to_string(PredictionLevel::kCellAggregate), "cell-aggregate");
+  EXPECT_EQ(to_string(PredictionLevel::kNone), "none");
+}
+
+// Accuracy property: with consistent movement, level-1 prediction becomes
+// near-perfect after the profile warms up.
+TEST_F(PredictorTest, WarmProfileBeatsAggregate) {
+  const ThreeLevelPredictor predictor(map_, server_);
+  // A creature of habit: always C -> D -> A.
+  for (int i = 0; i < 8; ++i) {
+    server_.record_handoff(PortableId{1}, cells_.c, cells_.d, cells_.a);
+  }
+  // The crowd mostly goes elsewhere.
+  for (int i = 0; i < 80; ++i) {
+    server_.record_handoff(PortableId{net::PortableId::underlying(200 + i)}, cells_.c,
+                           cells_.d, cells_.f);
+  }
+  const Prediction personal = predictor.predict(PortableId{1}, cells_.c, cells_.d);
+  const Prediction anonymous_user = predictor.predict(PortableId{999}, cells_.c, cells_.d);
+  EXPECT_EQ(personal.next_cell, cells_.a);
+  EXPECT_EQ(personal.level, PredictionLevel::kPortableProfile);
+  EXPECT_EQ(anonymous_user.next_cell, cells_.f);
+}
+
+}  // namespace
+}  // namespace imrm::prediction

@@ -1,0 +1,67 @@
+// Monte-Carlo cross-validation of the probabilistic reservation model
+// (Section 6.3): the exact convolution P_nb of eq. 5 must agree with a
+// direct simulation of the binomial stay/handoff experiment, across the
+// paper's parameter ranges.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "reservation/probabilistic.h"
+
+namespace imrm::reservation {
+namespace {
+
+struct Scenario {
+  double window;
+  int n1, n2;  // type counts in this cell
+  int s1, s2;  // type counts in the neighbor
+};
+
+class MonteCarlo : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(MonteCarlo, ConvolutionMatchesSimulation) {
+  const Scenario sc = GetParam();
+  ProbabilisticReservation::Config config;
+  config.capacity_units = 40;
+  config.window = sc.window;
+  config.p_qos = 0.01;
+  config.handoff_prob = 0.7;
+  const ProbabilisticReservation model(config, {{1, 0.2}, {4, 0.25}});
+
+  const std::vector<int> here{sc.n1, sc.n2};
+  const std::vector<int> neighbor{sc.s1, sc.s2};
+  const double exact = model.nonblocking_probability(here, neighbor);
+
+  // Direct simulation of eq. 5: draw stayers and arrivals, check the sum.
+  std::mt19937_64 rng{12345};
+  std::bernoulli_distribution stay1(model.p_stay(0)), stay2(model.p_stay(1));
+  std::bernoulli_distribution move1(model.p_move(0)), move2(model.p_move(1));
+  const int trials = 200000;
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    int units = 0;
+    for (int i = 0; i < sc.n1; ++i) units += stay1(rng) ? 1 : 0;
+    for (int i = 0; i < sc.n2; ++i) units += stay2(rng) ? 4 : 0;
+    for (int i = 0; i < sc.s1; ++i) units += move1(rng) ? 1 : 0;
+    for (int i = 0; i < sc.s2; ++i) units += move2(rng) ? 4 : 0;
+    if (units <= config.capacity_units) ++ok;
+  }
+  const double simulated = double(ok) / double(trials);
+  // 200k trials: 3-sigma of a Bernoulli proportion is < 0.0034.
+  EXPECT_NEAR(exact, simulated, 0.005)
+      << "T=" << sc.window << " here={" << sc.n1 << "," << sc.n2 << "} neighbor={"
+      << sc.s1 << "," << sc.s2 << "}";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, MonteCarlo,
+    ::testing::Values(Scenario{0.05, 30, 2, 30, 2},   // paper's regime
+                      Scenario{0.05, 40, 0, 40, 0},   // single type, near capacity
+                      Scenario{0.02, 36, 1, 36, 1},   // tight window
+                      Scenario{0.20, 30, 2, 30, 2},   // wide window
+                      Scenario{0.50, 20, 5, 20, 5},   // heavy type-2 mix
+                      Scenario{0.05, 0, 0, 80, 10},   // arrivals only
+                      Scenario{1.00, 60, 0, 60, 0})); // overload
+
+}  // namespace
+}  // namespace imrm::reservation

@@ -1,0 +1,167 @@
+// Tests for portable/cell profiles, the zone profile server, and the
+// booking calendar (Table 1 / Section 3.4.3).
+#include <gtest/gtest.h>
+
+#include "mobility/floorplan.h"
+#include "profiles/booking.h"
+#include "profiles/cell_profile.h"
+#include "profiles/portable_profile.h"
+#include "profiles/profile_server.h"
+
+namespace imrm::profiles {
+namespace {
+
+using net::PortableId;
+using sim::Duration;
+using sim::SimTime;
+
+constexpr CellId kA{0}, kB{1}, kC{2}, kD{3};
+
+TEST(PortableProfile, PredictsMajorityNext) {
+  PortableProfile profile(PortableId{1});
+  profile.record(kC, kD, kA);
+  profile.record(kC, kD, kA);
+  profile.record(kC, kD, kB);
+  EXPECT_EQ(profile.predict(kC, kD), kA);
+}
+
+TEST(PortableProfile, UnknownStateYieldsNothing) {
+  PortableProfile profile(PortableId{1});
+  profile.record(kC, kD, kA);
+  EXPECT_FALSE(profile.predict(kD, kC).has_value());
+  EXPECT_FALSE(profile.predict(kA, kB).has_value());
+}
+
+TEST(PortableProfile, WindowEvictsOldObservations) {
+  PortableProfile profile(PortableId{1}, /*window=*/4);
+  for (int i = 0; i < 4; ++i) profile.record(kC, kD, kA);
+  // Four newer observations push the old majority out entirely.
+  for (int i = 0; i < 4; ++i) profile.record(kC, kD, kB);
+  EXPECT_EQ(profile.observations(kC, kD), 4u);
+  EXPECT_EQ(profile.predict(kC, kD), kB);
+}
+
+TEST(PortableProfile, TieBreaksTowardRecency) {
+  PortableProfile profile(PortableId{1});
+  profile.record(kC, kD, kA);
+  profile.record(kC, kD, kB);
+  EXPECT_EQ(profile.predict(kC, kD), kB);  // most recent wins the 1-1 tie
+}
+
+TEST(CellProfile, DistributionPerPreviousCell) {
+  CellProfile profile(kD);
+  profile.record(kC, kA);
+  profile.record(kC, kA);
+  profile.record(kC, kB);
+  profile.record(kA, kC);  // different previous cell
+
+  const auto dist = profile.distribution(kC);
+  ASSERT_EQ(dist.size(), 2u);
+  double pa = 0.0, pb = 0.0;
+  for (const auto& share : dist) {
+    if (share.neighbor == kA) pa = share.probability;
+    if (share.neighbor == kB) pb = share.probability;
+  }
+  EXPECT_NEAR(pa, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pb, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CellProfile, AggregateSpansAllPrevious) {
+  CellProfile profile(kD);
+  profile.record(kC, kA);
+  profile.record(kA, kB);
+  const auto agg = profile.aggregate_distribution();
+  ASSERT_EQ(agg.size(), 2u);
+  for (const auto& share : agg) EXPECT_NEAR(share.probability, 0.5, 1e-12);
+  EXPECT_EQ(profile.total_observations(), 2u);
+}
+
+TEST(CellProfile, PredictPicksMostLikely) {
+  CellProfile profile(kD);
+  for (int i = 0; i < 9; ++i) profile.record(kC, kA);
+  profile.record(kC, kB);
+  EXPECT_EQ(profile.predict(kC), kA);
+  EXPECT_FALSE(profile.predict(kB).has_value());
+}
+
+TEST(CellProfile, WindowBounded) {
+  CellProfile profile(kD, /*window=*/8);
+  for (int i = 0; i < 20; ++i) profile.record(kC, kA);
+  EXPECT_EQ(profile.observations(kC), 8u);
+}
+
+TEST(ProfileServer, RecordUpdatesBothProfiles) {
+  ProfileServer server(net::ZoneId{0});
+  server.record_handoff(PortableId{1}, kC, kD, kA);
+  ASSERT_NE(server.portable_profile(PortableId{1}), nullptr);
+  EXPECT_EQ(server.portable_profile(PortableId{1})->predict(kC, kD), kA);
+  ASSERT_NE(server.cell_profile(kD), nullptr);
+  EXPECT_EQ(server.cell_profile(kD)->predict(kC), kA);
+}
+
+TEST(ProfileServer, UnknownEntitiesReturnNull) {
+  ProfileServer server(net::ZoneId{0});
+  EXPECT_EQ(server.portable_profile(PortableId{9}), nullptr);
+  EXPECT_EQ(server.cell_profile(kD), nullptr);
+}
+
+TEST(ProfileServer, TracksCacheTraffic) {
+  ProfileServer server(net::ZoneId{0});
+  server.record_handoff(PortableId{1}, kC, kD, kA);
+  server.record_handoff(PortableId{1}, kD, kA, kD);
+  server.refresh_on_static(PortableId{1});
+  EXPECT_EQ(server.traffic().handoff_updates, 2u);
+  EXPECT_EQ(server.traffic().profile_transfers, 2u);
+  EXPECT_EQ(server.traffic().refreshes, 1u);
+}
+
+TEST(ProfileServer, HandoffEventOverload) {
+  ProfileServer server(net::ZoneId{0});
+  mobility::HandoffEvent event;
+  event.portable = PortableId{3};
+  event.prev_of_from = kC;
+  event.from = kD;
+  event.to = kB;
+  server.record_handoff(event);
+  EXPECT_EQ(server.portable_profile(PortableId{3})->predict(kC, kD), kB);
+}
+
+TEST(ProfileServer, ConfigurableWindows) {
+  ProfileServer server(net::ZoneId{0}, ProfileServer::Config{2, 4});
+  for (int i = 0; i < 10; ++i) server.record_handoff(PortableId{1}, kC, kD, kA);
+  EXPECT_EQ(server.portable_profile(PortableId{1})->observations(kC, kD), 2u);
+  EXPECT_EQ(server.cell_profile(kD)->observations(kC), 4u);
+}
+
+TEST(BookingCalendar, ActiveAndNextQueries) {
+  BookingCalendar calendar;
+  calendar.book({SimTime::minutes(60), SimTime::minutes(110), 35});
+  calendar.book({SimTime::minutes(120), SimTime::minutes(170), 55});
+
+  EXPECT_FALSE(calendar.active_at(SimTime::minutes(50)).has_value());
+  ASSERT_TRUE(calendar.active_at(SimTime::minutes(70)).has_value());
+  EXPECT_EQ(calendar.active_at(SimTime::minutes(70))->attendees, 35u);
+  EXPECT_FALSE(calendar.active_at(SimTime::minutes(115)).has_value());
+
+  ASSERT_TRUE(calendar.next_after(SimTime::minutes(115)).has_value());
+  EXPECT_EQ(calendar.next_after(SimTime::minutes(115))->attendees, 55u);
+  EXPECT_FALSE(calendar.next_after(SimTime::minutes(180)).has_value());
+}
+
+TEST(BookingCalendar, KeepsMeetingsSortedByStart) {
+  BookingCalendar calendar;
+  calendar.book({SimTime::minutes(120), SimTime::minutes(170), 2});
+  calendar.book({SimTime::minutes(60), SimTime::minutes(110), 1});
+  ASSERT_EQ(calendar.size(), 2u);
+  EXPECT_EQ(calendar.meetings()[0].attendees, 1u);
+  EXPECT_EQ(calendar.meetings()[1].attendees, 2u);
+}
+
+TEST(BookingCalendar, MeetingValidity) {
+  EXPECT_TRUE((Meeting{SimTime::minutes(0), SimTime::minutes(10), 5}.valid()));
+  EXPECT_FALSE((Meeting{SimTime::minutes(10), SimTime::minutes(10), 5}.valid()));
+  EXPECT_FALSE((Meeting{SimTime::minutes(0), SimTime::minutes(10), 0}.valid()));
+}
+
+}  // namespace
+}  // namespace imrm::profiles

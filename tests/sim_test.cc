@@ -1,0 +1,217 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// periodic events, deterministic randomness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace imrm::sim {
+namespace {
+
+TEST(SimTime, UnitConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimTime::minutes(10).to_seconds(), 600.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(2).to_minutes(), 120.0);
+  EXPECT_DOUBLE_EQ(SimTime::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(90).to_minutes(), 1.5);
+}
+
+TEST(SimTime, ComparisonAndArithmetic) {
+  const SimTime a = SimTime::seconds(1);
+  const SimTime b = SimTime::seconds(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a + a, b);
+  EXPECT_EQ(b - a, a);
+  EXPECT_LT(a, SimTime::infinity());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.schedule(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), SimTime::infinity());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::seconds(1), [] {});
+  q.pop().callback();
+  q.cancel(id);  // must not crash or corrupt
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::seconds(1), [] {});
+  q.schedule(SimTime::seconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time().to_seconds(), 2.0);
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = SimTime::zero();
+  sim.at(SimTime::seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen.to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);
+}
+
+TEST(Simulator, RunUntilHonorsHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::seconds(1), [&] { ++fired; });
+  sim.at(SimTime::seconds(10), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime::seconds(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);  // clock advances to horizon
+  EXPECT_EQ(sim.run_until(SimTime::seconds(20)), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(SimTime::seconds(1), [&] {
+    times.push_back(sim.now().to_seconds());
+    sim.after(Duration::seconds(2), [&] { times.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, EveryRepeatsUntilHorizon) {
+  Simulator sim;
+  int ticks = 0;
+  sim.every(Duration::seconds(1), SimTime::seconds(5.5), [&] { ++ticks; });
+  sim.run();
+  EXPECT_EQ(ticks, 5);  // t = 1..5
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::seconds(1), [&] { ++fired; });
+  sim.at(SimTime::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The fork must not replay the parent's sequence.
+  Rng reference(42);
+  (void)reference.engine()();  // fork consumed one draw
+  bool all_equal = true;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform() != reference.uniform()) all_equal = false;
+  }
+  // Not asserting exact relationship — only that child is a valid stream
+  // distinct from a fresh seed-42 stream's first draws.
+  Rng fresh(42);
+  bool same_as_fresh = true;
+  Rng child2 = Rng(42).fork();
+  for (int i = 0; i < 50; ++i) {
+    if (child2.uniform() != fresh.uniform()) same_as_fresh = false;
+  }
+  EXPECT_FALSE(same_as_fresh);
+  (void)all_equal;
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialRateMatches) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_rate(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(99);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.015);
+}
+
+TEST(Rng, DiscreteAllZeroWeightsFallsBackToFirst) {
+  Rng rng(1);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.discrete(weights), 0u);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.truncated_normal(0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 2;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace imrm::sim

@@ -1,0 +1,133 @@
+// Unit tests for statistics helpers: binning, summaries, estimators, tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table.h"
+#include "stats/timeseries.h"
+
+namespace imrm::stats {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(BinnedSeries, BinsByTime) {
+  BinnedSeries s(SimTime::zero(), Duration::minutes(1));
+  s.add(SimTime::seconds(10));
+  s.add(SimTime::seconds(50));
+  s.add(SimTime::seconds(70));
+  ASSERT_EQ(s.bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.bin_value(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.bin_value(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.total(), 3.0);
+}
+
+TEST(BinnedSeries, NonUnitValuesAccumulate) {
+  BinnedSeries s(SimTime::zero(), Duration::seconds(10));
+  s.add(SimTime::seconds(1), 2.5);
+  s.add(SimTime::seconds(2), 1.5);
+  EXPECT_DOUBLE_EQ(s.bin_value(0), 4.0);
+}
+
+TEST(BinnedSeries, TimesBeforeOriginClampToBinZero) {
+  BinnedSeries s(SimTime::minutes(10), Duration::minutes(1));
+  s.add(SimTime::minutes(5));
+  EXPECT_DOUBLE_EQ(s.bin_value(0), 1.0);
+}
+
+TEST(BinnedSeries, BinStartReflectsOrigin) {
+  BinnedSeries s(SimTime::minutes(10), Duration::minutes(2));
+  s.add(SimTime::minutes(13));
+  EXPECT_DOUBLE_EQ(s.bin_start(1).to_minutes(), 12.0);
+}
+
+TEST(BinnedSeries, MaxBin) {
+  BinnedSeries s(SimTime::zero(), Duration::seconds(1));
+  s.add(SimTime::seconds(0), 1.0);
+  s.add(SimTime::seconds(1), 5.0);
+  s.add(SimTime::seconds(2), 3.0);
+  EXPECT_DOUBLE_EQ(s.max_bin(), 5.0);
+}
+
+TEST(Summary, WelfordMatchesClosedForm) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RatioEstimator, ComputesRatio) {
+  RatioEstimator r;
+  r.record(true);
+  r.record(false);
+  r.record(false);
+  r.record(true);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.5);
+  EXPECT_EQ(r.hits(), 2u);
+  EXPECT_EQ(r.trials(), 4u);
+}
+
+TEST(RatioEstimator, ZeroTrialsYieldsZero) {
+  RatioEstimator r;
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+TEST(RatioEstimator, BulkRecord) {
+  RatioEstimator r;
+  r.record_hits(3, 10);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.3);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row_numeric({1.5, 2.25}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.50,2.25\n");
+}
+
+TEST(Table, RowAccess) {
+  Table t({"x"});
+  t.add_row({"v"});
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "v");
+}
+
+TEST(AsciiBars, ScalesToMax) {
+  std::ostringstream os;
+  print_ascii_bars(os, {1.0, 2.0}, {"a", "b"}, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a | ##### 1.0"), std::string::npos);
+  EXPECT_NE(out.find("b | ########## 2.0"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace imrm::stats

@@ -1,0 +1,153 @@
+// Randomized stress campaigns over the full backbone environment: random
+// opens, closes, handoffs and renegotiations, with per-step invariant
+// checks. Failure injection included: wireless capacity collapses mid-run.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/network_environment.h"
+#include "mobility/floorplan.h"
+
+namespace imrm::core {
+namespace {
+
+using qos::kbps;
+
+qos::QosRequest random_request(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> lo(16.0, 128.0);
+  std::uniform_real_distribution<double> factor(1.0, 6.0);
+  qos::QosRequest r;
+  const double b_min = lo(rng);
+  r.bandwidth = {kbps(b_min), kbps(b_min * factor(rng))};
+  r.delay_bound = 30.0;
+  r.jitter_bound = 30.0;
+  r.loss_bound = 0.1;
+  r.traffic = {8000.0, 8000.0};
+  return r;
+}
+
+class StressCampaign : public ::testing::TestWithParam<int> {
+ protected:
+  void check_invariants(const NetworkEnvironment& env) {
+    const net::NetworkState& net = env.network();
+    for (const auto& cell : env.map().cells()) {
+      const auto& link = net.link(env.wireless_link(cell.id));
+      // Reservations never go negative and guaranteed minima never exceed
+      // what admission could have allowed.
+      EXPECT_GE(link.advance_reserved(), -1e-6);
+      EXPECT_LE(link.sum_b_min(), link.capacity() + 1e-6) << cell.name;
+      // Every allocation sits within its connection's bounds and the link's
+      // allocations are feasible.
+      double allocated = 0.0;
+      for (const auto& [id, share] : link.shares()) {
+        EXPECT_GE(share.allocated, share.bounds.b_min - 1e-6);
+        EXPECT_LE(share.allocated, share.bounds.b_max + 1e-6);
+        allocated += share.allocated;
+      }
+      EXPECT_LE(allocated, link.capacity() + 1e-6) << cell.name;
+    }
+  }
+};
+
+TEST_P(StressCampaign, RandomOperationsPreserveInvariants) {
+  std::mt19937_64 rng{std::uint64_t(GetParam())};
+  sim::Simulator simulator;
+  BackboneConfig config;
+  NetworkEnvironment env(mobility::fig4_environment(), simulator, config);
+
+  std::vector<PortableId> portables;
+  std::vector<mobility::CellId> all_cells;
+  for (const auto& cell : env.map().cells()) all_cells.push_back(cell.id);
+  for (int i = 0; i < 12; ++i) {
+    portables.push_back(
+        env.add_portable(all_cells[std::size_t(rng() % all_cells.size())]));
+  }
+
+  std::size_t ops = 0;
+  for (int step = 0; step < 300; ++step) {
+    simulator.run_until(simulator.now() + sim::Duration::seconds(30));
+    const PortableId p = portables[std::size_t(rng() % portables.size())];
+    switch (rng() % 5) {
+      case 0:
+        if (!env.has_connection(p)) {
+          env.open_connection(p, random_request(rng),
+                              rng() % 2 ? Direction::kDownlink : Direction::kUplink);
+          ++ops;
+        }
+        break;
+      case 1:
+        if (env.has_connection(p)) {
+          env.close_connection(p);
+          ++ops;
+        }
+        break;
+      case 2: {  // handoff to a random neighbor
+        const auto& cell = env.map().cell(env.mobility().portable(p).current_cell);
+        const auto next = cell.neighbors[std::size_t(rng() % cell.neighbors.size())];
+        env.handoff(p, next);
+        ++ops;
+        break;
+      }
+      case 3:
+        if (env.has_connection(p)) {
+          env.renegotiate(p, random_request(rng));
+          ++ops;
+        }
+        break;
+      case 4:
+        env.adapt();
+        break;
+    }
+    check_invariants(env);
+    if (HasFailure()) {
+      ADD_FAILURE() << "invariant broke at step " << step << " (seed " << GetParam()
+                    << ")";
+      return;
+    }
+  }
+  EXPECT_GT(ops, 50u);  // the campaign actually did things
+}
+
+TEST_P(StressCampaign, WirelessCapacityCollapseIsSurvivable) {
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 99};
+  sim::Simulator simulator;
+  BackboneConfig config;
+  NetworkEnvironment env(mobility::fig4_environment(), simulator, config);
+  const auto cells = mobility::fig4_cells(env.map());
+
+  std::vector<PortableId> users;
+  for (int i = 0; i < 8; ++i) {
+    const auto p = env.add_portable(cells.d);
+    if (env.open_connection(p, random_request(rng))) users.push_back(p);
+  }
+  ASSERT_GE(users.size(), 4u);
+
+  // Failure injection: the wireless link collapses to a quarter capacity,
+  // then recovers. Adaptation must keep allocations feasible throughout.
+  auto& link = env.network_mut().link(env.wireless_link(cells.d));
+  link.set_capacity(qos::mbps(0.4));
+  env.adapt();
+  double allocated = 0.0;
+  for (const auto& [id, share] : link.shares()) allocated += share.allocated;
+  // The guaranteed minima may exceed a collapsed link (that is what
+  // renegotiation is for), but adaptation must not allocate *excess* beyond
+  // the collapsed capacity.
+  const double sum_min = link.sum_b_min();
+  EXPECT_LE(allocated, std::max(qos::mbps(0.4), sum_min) + 1e-6);
+
+  link.set_capacity(qos::mbps(1.6));
+  env.adapt();
+  check_invariants(env);
+
+  // Life goes on: handoffs and closes still work.
+  EXPECT_TRUE(env.handoff(users[0], cells.c) || !env.has_connection(users[0]));
+  for (const PortableId p : users) {
+    if (env.has_connection(p)) env.close_connection(p);
+  }
+  EXPECT_EQ(env.network().connection_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressCampaign, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace imrm::core

@@ -1,0 +1,81 @@
+// Tests for the trace recorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mobility/floorplan.h"
+#include "trace/trace.h"
+
+namespace imrm::trace {
+namespace {
+
+using net::CellId;
+using net::PortableId;
+using sim::Duration;
+using sim::SimTime;
+
+TEST(Trace, RecordsAndCounts) {
+  TraceRecorder recorder;
+  recorder.handoff(SimTime::seconds(1), PortableId{1}, CellId{0}, CellId{1});
+  recorder.drop(SimTime::seconds(2), PortableId{1}, CellId{1});
+  recorder.record({SimTime::seconds(3), EventKind::kAdmission, PortableId{2},
+                   CellId::invalid(), CellId{0}, 16000.0, "quickstart"});
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.count(EventKind::kHandoff), 1u);
+  EXPECT_EQ(recorder.count(EventKind::kDrop), 1u);
+  EXPECT_EQ(recorder.count(EventKind::kBlock), 0u);
+}
+
+TEST(Trace, WindowQuery) {
+  TraceRecorder recorder;
+  for (int s = 0; s < 10; ++s) {
+    recorder.handoff(SimTime::seconds(s), PortableId{1}, CellId{0}, CellId{1});
+  }
+  const auto window = recorder.between(SimTime::seconds(3), SimTime::seconds(6));
+  EXPECT_EQ(window.size(), 3u);  // t = 3, 4, 5 (half-open)
+}
+
+TEST(Trace, CsvOutput) {
+  TraceRecorder recorder;
+  recorder.record({SimTime::seconds(1.5), EventKind::kDrop, PortableId{7}, CellId{2},
+                   CellId{3}, 64000.0, "note, with comma"});
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_s,kind,portable,from,to,value,note"), std::string::npos);
+  EXPECT_NE(out.find("1.5,drop,7,2,3,64000,\"note, with comma\""), std::string::npos);
+}
+
+TEST(Trace, InvalidIdsPrintedAsDash) {
+  TraceRecorder recorder;
+  recorder.drop(SimTime::seconds(1), PortableId{1}, CellId{4});
+  std::ostringstream os;
+  recorder.write_csv(os);
+  EXPECT_NE(os.str().find("1,drop,1,-,4,0,"), std::string::npos);
+}
+
+TEST(Trace, AttachCapturesHandoffs) {
+  const auto map = mobility::fig4_environment();
+  const auto cells = mobility::fig4_cells(map);
+  sim::Simulator simulator;
+  mobility::MobilityManager manager(map, simulator, Duration::minutes(3));
+  TraceRecorder recorder;
+  attach(recorder, manager);
+
+  const auto p = manager.add_portable(cells.c);
+  manager.move(p, cells.d);
+  manager.move(p, cells.a);
+  EXPECT_EQ(recorder.count(EventKind::kHandoff), 2u);
+  EXPECT_EQ(recorder.events()[1].from, cells.d);
+  EXPECT_EQ(recorder.events()[1].to, cells.a);
+}
+
+TEST(Trace, ClearEmpties) {
+  TraceRecorder recorder;
+  recorder.drop(SimTime::seconds(1), PortableId{1}, CellId{0});
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+}  // namespace
+}  // namespace imrm::trace

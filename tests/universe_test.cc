@@ -1,0 +1,123 @@
+// Tests for the zone hierarchy (Section 3.4.1): per-zone profile servers
+// and portable-profile migration across zone boundaries.
+#include <gtest/gtest.h>
+
+#include "mobility/floorplan.h"
+#include "profiles/universe.h"
+
+namespace imrm::profiles {
+namespace {
+
+using mobility::CellClass;
+using mobility::CellMap;
+using net::PortableId;
+using net::ZoneId;
+
+/// A 4-cell chain split into two zones: [c0, c1 | c2, c3].
+struct TwoZoneMap {
+  CellMap map;
+  CellId c0, c1, c2, c3;
+
+  TwoZoneMap() {
+    c0 = map.add_cell(CellClass::kCorridor, "c0", ZoneId{0});
+    c1 = map.add_cell(CellClass::kCorridor, "c1", ZoneId{0});
+    c2 = map.add_cell(CellClass::kCorridor, "c2", ZoneId{1});
+    c3 = map.add_cell(CellClass::kCorridor, "c3", ZoneId{1});
+    map.connect(c0, c1);
+    map.connect(c1, c2);
+    map.connect(c2, c3);
+  }
+};
+
+mobility::HandoffEvent handoff(PortableId p, CellId prev, CellId from, CellId to) {
+  mobility::HandoffEvent e;
+  e.portable = p;
+  e.prev_of_from = prev;
+  e.from = from;
+  e.to = to;
+  return e;
+}
+
+TEST(Universe, IntraZoneHandoffStaysPut) {
+  TwoZoneMap z;
+  Universe universe(z.map, 2);
+  universe.record_handoff(handoff(PortableId{1}, CellId::invalid(), z.c0, z.c1));
+  EXPECT_EQ(universe.migrations(), 0u);
+  EXPECT_EQ(universe.residence(PortableId{1}), ZoneId{0});
+  EXPECT_NE(universe.server(ZoneId{0}).portable_profile(PortableId{1}), nullptr);
+  EXPECT_EQ(universe.server(ZoneId{1}).portable_profile(PortableId{1}), nullptr);
+}
+
+TEST(Universe, CrossZoneHandoffMigratesProfile) {
+  TwoZoneMap z;
+  Universe universe(z.map, 2);
+  universe.record_handoff(handoff(PortableId{1}, CellId::invalid(), z.c0, z.c1));
+  universe.record_handoff(handoff(PortableId{1}, z.c0, z.c1, z.c2));  // zone 0 -> 1
+  EXPECT_EQ(universe.migrations(), 1u);
+  EXPECT_EQ(universe.residence(PortableId{1}), ZoneId{1});
+  // The profile moved wholesale: history recorded in zone 0 is queryable
+  // from zone 1's server.
+  const PortableProfile* profile = universe.server(ZoneId{1}).portable_profile(PortableId{1});
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->predict(z.c0, z.c1), z.c2);
+  EXPECT_EQ(universe.server(ZoneId{0}).portable_profile(PortableId{1}), nullptr);
+}
+
+TEST(Universe, LookupFollowsResidence) {
+  TwoZoneMap z;
+  Universe universe(z.map, 2);
+  EXPECT_EQ(universe.portable_profile(PortableId{9}), nullptr);
+  universe.record_handoff(handoff(PortableId{9}, CellId::invalid(), z.c1, z.c2));
+  ASSERT_NE(universe.portable_profile(PortableId{9}), nullptr);
+  universe.record_handoff(handoff(PortableId{9}, z.c1, z.c2, z.c3));
+  EXPECT_EQ(universe.residence(PortableId{9}), ZoneId{1});
+  ASSERT_NE(universe.portable_profile(PortableId{9}), nullptr);
+}
+
+TEST(Universe, CellProfilesStayWithTheirZone) {
+  TwoZoneMap z;
+  Universe universe(z.map, 2);
+  universe.record_handoff(handoff(PortableId{1}, CellId::invalid(), z.c1, z.c2));
+  universe.record_handoff(handoff(PortableId{1}, z.c1, z.c2, z.c3));
+  // c1's profile lives in zone 0, c2's in zone 1 — regardless of who moved.
+  EXPECT_NE(universe.server(ZoneId{0}).cell_profile(z.c1), nullptr);
+  EXPECT_EQ(universe.server(ZoneId{1}).cell_profile(z.c1), nullptr);
+  EXPECT_NE(universe.server(ZoneId{1}).cell_profile(z.c2), nullptr);
+}
+
+TEST(Universe, RoundTripKeepsHistory) {
+  TwoZoneMap z;
+  Universe universe(z.map, 2);
+  const PortableId p{5};
+  // Walk 0 -> 3 and back twice; the profile accumulates across migrations.
+  for (int round = 0; round < 2; ++round) {
+    universe.record_handoff(handoff(p, CellId::invalid(), z.c0, z.c1));
+    universe.record_handoff(handoff(p, z.c0, z.c1, z.c2));
+    universe.record_handoff(handoff(p, z.c1, z.c2, z.c3));
+    universe.record_handoff(handoff(p, z.c2, z.c3, z.c2));
+    universe.record_handoff(handoff(p, z.c3, z.c2, z.c1));
+    universe.record_handoff(handoff(p, z.c2, z.c1, z.c0));
+  }
+  EXPECT_EQ(universe.migrations(), 2u * 2u);  // two crossings per round trip
+  const PortableProfile* profile = universe.portable_profile(p);
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->observations(z.c0, z.c1), 2u);
+  EXPECT_EQ(profile->observations(z.c1, z.c2), 2u);
+}
+
+TEST(Universe, RoundRobinZoneAssignment) {
+  CellMap map = mobility::campus_environment();
+  assign_zones_round_robin(map, 3);
+  std::size_t in_zone[3] = {0, 0, 0};
+  for (const auto& cell : map.cells()) {
+    ASSERT_LT(cell.zone.value(), 3u);
+    ++in_zone[cell.zone.value()];
+  }
+  // Roughly balanced partition.
+  for (std::size_t z = 0; z < 3; ++z) EXPECT_GT(in_zone[z], 0u);
+  Universe universe(map, 3);
+  EXPECT_EQ(universe.zone_count(), 3u);
+}
+
+}  // namespace
+}  // namespace imrm::profiles

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_static_mobile.dir/bench_ablation_static_mobile.cc.o"
+  "CMakeFiles/bench_ablation_static_mobile.dir/bench_ablation_static_mobile.cc.o.d"
+  "bench_ablation_static_mobile"
+  "bench_ablation_static_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_static_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptation_dynamics.dir/bench_adaptation_dynamics.cc.o"
+  "CMakeFiles/bench_adaptation_dynamics.dir/bench_adaptation_dynamics.cc.o.d"
+  "bench_adaptation_dynamics"
+  "bench_adaptation_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptation_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campus_policies.dir/bench_campus_policies.cc.o"
+  "CMakeFiles/bench_campus_policies.dir/bench_campus_policies.cc.o.d"
+  "bench_campus_policies"
+  "bench_campus_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campus_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_bounds.dir/bench_delay_bounds.cc.o"
+  "CMakeFiles/bench_delay_bounds.dir/bench_delay_bounds.cc.o.d"
+  "bench_delay_bounds"
+  "bench_delay_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lounge_activity.dir/bench_fig2_lounge_activity.cc.o"
+  "CMakeFiles/bench_fig2_lounge_activity.dir/bench_fig2_lounge_activity.cc.o.d"
+  "bench_fig2_lounge_activity"
+  "bench_fig2_lounge_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lounge_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

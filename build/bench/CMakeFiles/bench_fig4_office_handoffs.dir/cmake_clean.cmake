@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_office_handoffs.dir/bench_fig4_office_handoffs.cc.o"
+  "CMakeFiles/bench_fig4_office_handoffs.dir/bench_fig4_office_handoffs.cc.o.d"
+  "bench_fig4_office_handoffs"
+  "bench_fig4_office_handoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_office_handoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_meeting_room.dir/bench_fig5_meeting_room.cc.o"
+  "CMakeFiles/bench_fig5_meeting_room.dir/bench_fig5_meeting_room.cc.o.d"
+  "bench_fig5_meeting_room"
+  "bench_fig5_meeting_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_meeting_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

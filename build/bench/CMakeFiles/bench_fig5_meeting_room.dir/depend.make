@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_meeting_room.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_default_algo.dir/bench_fig6_default_algo.cc.o"
+  "CMakeFiles/bench_fig6_default_algo.dir/bench_fig6_default_algo.cc.o.d"
+  "bench_fig6_default_algo"
+  "bench_fig6_default_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_default_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_handoff_latency.dir/bench_handoff_latency.cc.o"
+  "CMakeFiles/bench_handoff_latency.dir/bench_handoff_latency.cc.o.d"
+  "bench_handoff_latency"
+  "bench_handoff_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handoff_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxmin_convergence.dir/bench_maxmin_convergence.cc.o"
+  "CMakeFiles/bench_maxmin_convergence.dir/bench_maxmin_convergence.cc.o.d"
+  "bench_maxmin_convergence"
+  "bench_maxmin_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxmin_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_traffic.dir/bench_profile_traffic.cc.o"
+  "CMakeFiles/bench_profile_traffic.dir/bench_profile_traffic.cc.o.d"
+  "bench_profile_traffic"
+  "bench_profile_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_admission.dir/bench_table2_admission.cc.o"
+  "CMakeFiles/bench_table2_admission.dir/bench_table2_admission.cc.o.d"
+  "bench_table2_admission"
+  "bench_table2_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_tour.dir/backbone_tour.cc.o"
+  "CMakeFiles/backbone_tour.dir/backbone_tour.cc.o.d"
+  "backbone_tour"
+  "backbone_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_sim.dir/campus_sim.cc.o"
+  "CMakeFiles/campus_sim.dir/campus_sim.cc.o.d"
+  "campus_sim"
+  "campus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_room_day.dir/meeting_room_day.cc.o"
+  "CMakeFiles/meeting_room_day.dir/meeting_room_day.cc.o.d"
+  "meeting_room_day"
+  "meeting_room_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_room_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

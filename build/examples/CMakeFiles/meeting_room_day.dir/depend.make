@@ -1,0 +1,2 @@
+# Empty dependencies file for meeting_room_day.
+# This may be replaced when dependencies are built.

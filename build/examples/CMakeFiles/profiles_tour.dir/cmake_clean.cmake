@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiles_tour.dir/profiles_tour.cc.o"
+  "CMakeFiles/profiles_tour.dir/profiles_tour.cc.o.d"
+  "profiles_tour"
+  "profiles_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiles_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

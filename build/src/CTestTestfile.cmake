@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("qos")
+subdirs("net")
+subdirs("maxmin")
+subdirs("mobility")
+subdirs("profiles")
+subdirs("prediction")
+subdirs("reservation")
+subdirs("workload")
+subdirs("experiments")
+subdirs("trace")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_core.dir/environment.cc.o"
+  "CMakeFiles/imrm_core.dir/environment.cc.o.d"
+  "CMakeFiles/imrm_core.dir/network_environment.cc.o"
+  "CMakeFiles/imrm_core.dir/network_environment.cc.o.d"
+  "libimrm_core.a"
+  "libimrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_experiments.dir/campus_day.cc.o"
+  "CMakeFiles/imrm_experiments.dir/campus_day.cc.o.d"
+  "CMakeFiles/imrm_experiments.dir/classroom.cc.o"
+  "CMakeFiles/imrm_experiments.dir/classroom.cc.o.d"
+  "CMakeFiles/imrm_experiments.dir/fig4_mobility.cc.o"
+  "CMakeFiles/imrm_experiments.dir/fig4_mobility.cc.o.d"
+  "CMakeFiles/imrm_experiments.dir/twocell.cc.o"
+  "CMakeFiles/imrm_experiments.dir/twocell.cc.o.d"
+  "libimrm_experiments.a"
+  "libimrm_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maxmin/advertised_rate.cc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/advertised_rate.cc.o" "gcc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/advertised_rate.cc.o.d"
+  "/root/repo/src/maxmin/bridge.cc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/bridge.cc.o" "gcc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/bridge.cc.o.d"
+  "/root/repo/src/maxmin/problem.cc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/problem.cc.o" "gcc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/problem.cc.o.d"
+  "/root/repo/src/maxmin/protocol.cc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/protocol.cc.o" "gcc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/protocol.cc.o.d"
+  "/root/repo/src/maxmin/waterfill.cc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/waterfill.cc.o" "gcc" "src/maxmin/CMakeFiles/imrm_maxmin.dir/waterfill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/imrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/imrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/imrm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/imrm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

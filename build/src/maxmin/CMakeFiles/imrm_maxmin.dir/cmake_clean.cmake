@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_maxmin.dir/advertised_rate.cc.o"
+  "CMakeFiles/imrm_maxmin.dir/advertised_rate.cc.o.d"
+  "CMakeFiles/imrm_maxmin.dir/bridge.cc.o"
+  "CMakeFiles/imrm_maxmin.dir/bridge.cc.o.d"
+  "CMakeFiles/imrm_maxmin.dir/problem.cc.o"
+  "CMakeFiles/imrm_maxmin.dir/problem.cc.o.d"
+  "CMakeFiles/imrm_maxmin.dir/protocol.cc.o"
+  "CMakeFiles/imrm_maxmin.dir/protocol.cc.o.d"
+  "CMakeFiles/imrm_maxmin.dir/waterfill.cc.o"
+  "CMakeFiles/imrm_maxmin.dir/waterfill.cc.o.d"
+  "libimrm_maxmin.a"
+  "libimrm_maxmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_maxmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for imrm_maxmin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_mobility.dir/cell.cc.o"
+  "CMakeFiles/imrm_mobility.dir/cell.cc.o.d"
+  "CMakeFiles/imrm_mobility.dir/floorplan.cc.o"
+  "CMakeFiles/imrm_mobility.dir/floorplan.cc.o.d"
+  "CMakeFiles/imrm_mobility.dir/manager.cc.o"
+  "CMakeFiles/imrm_mobility.dir/manager.cc.o.d"
+  "CMakeFiles/imrm_mobility.dir/movement.cc.o"
+  "CMakeFiles/imrm_mobility.dir/movement.cc.o.d"
+  "libimrm_mobility.a"
+  "libimrm_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link_state.cc" "src/net/CMakeFiles/imrm_net.dir/link_state.cc.o" "gcc" "src/net/CMakeFiles/imrm_net.dir/link_state.cc.o.d"
+  "/root/repo/src/net/multicast.cc" "src/net/CMakeFiles/imrm_net.dir/multicast.cc.o" "gcc" "src/net/CMakeFiles/imrm_net.dir/multicast.cc.o.d"
+  "/root/repo/src/net/network_state.cc" "src/net/CMakeFiles/imrm_net.dir/network_state.cc.o" "gcc" "src/net/CMakeFiles/imrm_net.dir/network_state.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/imrm_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/imrm_net.dir/routing.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/imrm_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/imrm_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qos/CMakeFiles/imrm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/imrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_net.dir/link_state.cc.o"
+  "CMakeFiles/imrm_net.dir/link_state.cc.o.d"
+  "CMakeFiles/imrm_net.dir/multicast.cc.o"
+  "CMakeFiles/imrm_net.dir/multicast.cc.o.d"
+  "CMakeFiles/imrm_net.dir/network_state.cc.o"
+  "CMakeFiles/imrm_net.dir/network_state.cc.o.d"
+  "CMakeFiles/imrm_net.dir/routing.cc.o"
+  "CMakeFiles/imrm_net.dir/routing.cc.o.d"
+  "CMakeFiles/imrm_net.dir/topology.cc.o"
+  "CMakeFiles/imrm_net.dir/topology.cc.o.d"
+  "libimrm_net.a"
+  "libimrm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

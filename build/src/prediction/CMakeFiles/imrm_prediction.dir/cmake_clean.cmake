@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_prediction.dir/cell_classifier.cc.o"
+  "CMakeFiles/imrm_prediction.dir/cell_classifier.cc.o.d"
+  "CMakeFiles/imrm_prediction.dir/predictor.cc.o"
+  "CMakeFiles/imrm_prediction.dir/predictor.cc.o.d"
+  "libimrm_prediction.a"
+  "libimrm_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

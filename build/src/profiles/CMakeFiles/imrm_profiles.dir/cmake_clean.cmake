@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_profiles.dir/booking.cc.o"
+  "CMakeFiles/imrm_profiles.dir/booking.cc.o.d"
+  "CMakeFiles/imrm_profiles.dir/cell_profile.cc.o"
+  "CMakeFiles/imrm_profiles.dir/cell_profile.cc.o.d"
+  "CMakeFiles/imrm_profiles.dir/portable_profile.cc.o"
+  "CMakeFiles/imrm_profiles.dir/portable_profile.cc.o.d"
+  "CMakeFiles/imrm_profiles.dir/profile_server.cc.o"
+  "CMakeFiles/imrm_profiles.dir/profile_server.cc.o.d"
+  "CMakeFiles/imrm_profiles.dir/universe.cc.o"
+  "CMakeFiles/imrm_profiles.dir/universe.cc.o.d"
+  "libimrm_profiles.a"
+  "libimrm_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_qos.dir/admission.cc.o"
+  "CMakeFiles/imrm_qos.dir/admission.cc.o.d"
+  "CMakeFiles/imrm_qos.dir/packet_sim.cc.o"
+  "CMakeFiles/imrm_qos.dir/packet_sim.cc.o.d"
+  "libimrm_qos.a"
+  "libimrm_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reservation/cell_bandwidth.cc" "src/reservation/CMakeFiles/imrm_reservation.dir/cell_bandwidth.cc.o" "gcc" "src/reservation/CMakeFiles/imrm_reservation.dir/cell_bandwidth.cc.o.d"
+  "/root/repo/src/reservation/dispatcher.cc" "src/reservation/CMakeFiles/imrm_reservation.dir/dispatcher.cc.o" "gcc" "src/reservation/CMakeFiles/imrm_reservation.dir/dispatcher.cc.o.d"
+  "/root/repo/src/reservation/handoff_predictor.cc" "src/reservation/CMakeFiles/imrm_reservation.dir/handoff_predictor.cc.o" "gcc" "src/reservation/CMakeFiles/imrm_reservation.dir/handoff_predictor.cc.o.d"
+  "/root/repo/src/reservation/lounge_policy.cc" "src/reservation/CMakeFiles/imrm_reservation.dir/lounge_policy.cc.o" "gcc" "src/reservation/CMakeFiles/imrm_reservation.dir/lounge_policy.cc.o.d"
+  "/root/repo/src/reservation/policy.cc" "src/reservation/CMakeFiles/imrm_reservation.dir/policy.cc.o" "gcc" "src/reservation/CMakeFiles/imrm_reservation.dir/policy.cc.o.d"
+  "/root/repo/src/reservation/probabilistic.cc" "src/reservation/CMakeFiles/imrm_reservation.dir/probabilistic.cc.o" "gcc" "src/reservation/CMakeFiles/imrm_reservation.dir/probabilistic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mobility/CMakeFiles/imrm_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/imrm_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiles/CMakeFiles/imrm_profiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/imrm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/imrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/imrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_reservation.dir/cell_bandwidth.cc.o"
+  "CMakeFiles/imrm_reservation.dir/cell_bandwidth.cc.o.d"
+  "CMakeFiles/imrm_reservation.dir/dispatcher.cc.o"
+  "CMakeFiles/imrm_reservation.dir/dispatcher.cc.o.d"
+  "CMakeFiles/imrm_reservation.dir/handoff_predictor.cc.o"
+  "CMakeFiles/imrm_reservation.dir/handoff_predictor.cc.o.d"
+  "CMakeFiles/imrm_reservation.dir/lounge_policy.cc.o"
+  "CMakeFiles/imrm_reservation.dir/lounge_policy.cc.o.d"
+  "CMakeFiles/imrm_reservation.dir/policy.cc.o"
+  "CMakeFiles/imrm_reservation.dir/policy.cc.o.d"
+  "CMakeFiles/imrm_reservation.dir/probabilistic.cc.o"
+  "CMakeFiles/imrm_reservation.dir/probabilistic.cc.o.d"
+  "libimrm_reservation.a"
+  "libimrm_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

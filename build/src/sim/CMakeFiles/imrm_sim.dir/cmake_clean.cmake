@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/imrm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/imrm_sim.dir/random.cc.o"
+  "CMakeFiles/imrm_sim.dir/random.cc.o.d"
+  "CMakeFiles/imrm_sim.dir/simulator.cc.o"
+  "CMakeFiles/imrm_sim.dir/simulator.cc.o.d"
+  "libimrm_sim.a"
+  "libimrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_stats.dir/table.cc.o"
+  "CMakeFiles/imrm_stats.dir/table.cc.o.d"
+  "CMakeFiles/imrm_stats.dir/timeseries.cc.o"
+  "CMakeFiles/imrm_stats.dir/timeseries.cc.o.d"
+  "libimrm_stats.a"
+  "libimrm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_trace.dir/trace.cc.o"
+  "CMakeFiles/imrm_trace.dir/trace.cc.o.d"
+  "libimrm_trace.a"
+  "libimrm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrm_workload.dir/channel.cc.o"
+  "CMakeFiles/imrm_workload.dir/channel.cc.o.d"
+  "CMakeFiles/imrm_workload.dir/class_schedule.cc.o"
+  "CMakeFiles/imrm_workload.dir/class_schedule.cc.o.d"
+  "libimrm_workload.a"
+  "libimrm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimrm_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_packet_integration_test.dir/admission_packet_integration_test.cc.o"
+  "CMakeFiles/admission_packet_integration_test.dir/admission_packet_integration_test.cc.o.d"
+  "admission_packet_integration_test"
+  "admission_packet_integration_test.pdb"
+  "admission_packet_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_packet_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

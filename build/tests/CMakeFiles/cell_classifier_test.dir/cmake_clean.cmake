@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_classifier_test.dir/cell_classifier_test.cc.o"
+  "CMakeFiles/cell_classifier_test.dir/cell_classifier_test.cc.o.d"
+  "cell_classifier_test"
+  "cell_classifier_test.pdb"
+  "cell_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_bridge_test.dir/maxmin_bridge_test.cc.o"
+  "CMakeFiles/maxmin_bridge_test.dir/maxmin_bridge_test.cc.o.d"
+  "maxmin_bridge_test"
+  "maxmin_bridge_test.pdb"
+  "maxmin_bridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_bridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_protocol_test.dir/maxmin_protocol_test.cc.o"
+  "CMakeFiles/maxmin_protocol_test.dir/maxmin_protocol_test.cc.o.d"
+  "maxmin_protocol_test"
+  "maxmin_protocol_test.pdb"
+  "maxmin_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

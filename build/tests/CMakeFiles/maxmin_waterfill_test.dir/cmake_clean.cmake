@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_waterfill_test.dir/maxmin_waterfill_test.cc.o"
+  "CMakeFiles/maxmin_waterfill_test.dir/maxmin_waterfill_test.cc.o.d"
+  "maxmin_waterfill_test"
+  "maxmin_waterfill_test.pdb"
+  "maxmin_waterfill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_waterfill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/network_environment_test.cc" "tests/CMakeFiles/network_environment_test.dir/network_environment_test.cc.o" "gcc" "tests/CMakeFiles/network_environment_test.dir/network_environment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/imrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxmin/CMakeFiles/imrm_maxmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/reservation/CMakeFiles/imrm_reservation.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/imrm_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiles/CMakeFiles/imrm_profiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/imrm_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/imrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/imrm_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/imrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_environment_test.dir/network_environment_test.cc.o"
+  "CMakeFiles/network_environment_test.dir/network_environment_test.cc.o.d"
+  "network_environment_test"
+  "network_environment_test.pdb"
+  "network_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_montecarlo_test.dir/probabilistic_montecarlo_test.cc.o"
+  "CMakeFiles/probabilistic_montecarlo_test.dir/probabilistic_montecarlo_test.cc.o.d"
+  "probabilistic_montecarlo_test"
+  "probabilistic_montecarlo_test.pdb"
+  "probabilistic_montecarlo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_montecarlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

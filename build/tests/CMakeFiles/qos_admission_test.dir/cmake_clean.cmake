@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_admission_test.dir/qos_admission_test.cc.o"
+  "CMakeFiles/qos_admission_test.dir/qos_admission_test.cc.o.d"
+  "qos_admission_test"
+  "qos_admission_test.pdb"
+  "qos_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

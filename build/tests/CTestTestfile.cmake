@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_admission_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/admission_packet_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/admission_property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/maxmin_waterfill_test[1]_include.cmake")
+include("/root/repo/build/tests/maxmin_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/profiles_test[1]_include.cmake")
+include("/root/repo/build/tests/universe_test[1]_include.cmake")
+include("/root/repo/build/tests/prediction_test[1]_include.cmake")
+include("/root/repo/build/tests/cell_classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/reservation_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/dispatcher_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/network_environment_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/full_system_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/probabilistic_montecarlo_test[1]_include.cmake")
+include("/root/repo/build/tests/maxmin_property_test[1]_include.cmake")
+include("/root/repo/build/tests/maxmin_bridge_test[1]_include.cmake")

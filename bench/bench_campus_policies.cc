@@ -7,30 +7,40 @@
 // dispatcher — trades squatter blocking against attendee drops. The
 // dispatcher (booking calendar + profiles + per-class policies) protects
 // the meeting best.
+#include <cstdlib>
 #include <iostream>
 
 #include "experiments/campus_day.h"
+#include "sim/replication.h"
 #include "stats/table.h"
 
 using namespace imrm;
 using namespace imrm::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional args: [replications] [threads] (threads 0 = hardware).
+  const std::size_t replications = argc > 1 ? std::size_t(std::atoi(argv[1])) : 8;
+  const std::size_t threads = argc > 2 ? std::size_t(std::atoi(argv[2])) : 0;
+
   std::cout << "== Combination experiment: reservation policies on a campus day ==\n";
   std::cout << "40-person meeting at t=[90,140) min; 10 bulk squatters (96 kbps)\n";
-  std::cout << "keep retrying in the room; room capacity 1.6 Mbps\n\n";
+  std::cout << "keep retrying in the room; room capacity 1.6 Mbps\n";
+  std::cout << replications << " independently seeded replications per policy, "
+            << sim::ReplicationRunner(threads).threads() << " threads\n\n";
 
   stats::Table table({"policy", "attendee drops", "squatter blocks",
-                      "squatter admits", "room peak (kbps)"});
+                      "squatter admits", "mean room peak (kbps)"});
   for (CampusPolicy policy :
        {CampusPolicy::kNone, CampusPolicy::kStatic, CampusPolicy::kBruteForce,
         CampusPolicy::kAggregate, CampusPolicy::kDispatcher}) {
-    CampusDayConfig config;
-    config.policy = policy;
-    const CampusDayResult r = run_campus_day(config);
+    CampusSweepConfig config;
+    config.base.policy = policy;
+    config.replications = replications;
+    config.threads = threads;
+    const CampusSweepResult r = run_campus_day_sweep(config);
     table.add_row({r.policy, std::to_string(r.attendee_drops),
                    std::to_string(r.squatter_blocks), std::to_string(r.squatter_admits),
-                   stats::fmt(r.room_peak_allocated / 1e3, 0)});
+                   stats::fmt(r.mean_room_peak_allocated / 1e3, 0)});
   }
   table.print(std::cout);
 

@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "experiments/campus_day.h"
 #include "experiments/classroom.h"
 #include "maxmin/advertised_rate.h"
 #include "maxmin/protocol.h"
@@ -13,6 +14,7 @@
 #include "qos/admission.h"
 #include "qos/packet_sim.h"
 #include "reservation/probabilistic.h"
+#include "sim/replication.h"
 #include "sim/simulator.h"
 
 using namespace imrm;
@@ -31,6 +33,27 @@ void BM_EventQueueScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueScheduleCancelChurn(benchmark::State& state) {
+  // Half of all scheduled events are cancelled before firing — the pattern
+  // of timeout timers. Exercises true in-heap deletion and slot recycling.
+  const int n = int(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::vector<sim::EventId> pending;
+    pending.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+      pending.push_back(
+          simulator.at(sim::SimTime::seconds(double(i % 97) + 1.0), [] {}));
+      if (i % 2 == 1) {
+        simulator.cancel(pending[std::size_t(i - 1)]);
+      }
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleCancelChurn)->Arg(1000)->Arg(10000);
 
 void BM_AdmissionPipeline(benchmark::State& state) {
   qos::QosRequest request;
@@ -154,5 +177,26 @@ void BM_ClassroomExperiment(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ClassroomExperiment)->Arg(35)->Arg(55)->Unit(benchmark::kMillisecond);
+
+void BM_CampusDaySweep(benchmark::State& state) {
+  // The scale-out path: 16 independently seeded campus days across a thread
+  // pool. Arg = thread count; aggregate statistics are identical across
+  // thread counts (replication_test asserts this), only wall-clock changes.
+  experiments::CampusSweepConfig config;
+  config.base.attendees = 20;
+  config.base.squatters = 6;
+  config.replications = 16;
+  config.threads = std::size_t(state.range(0));
+  config.base_seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::run_campus_day_sweep(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_CampusDaySweep)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();  // the work happens on pool threads, not the timing thread
 
 }  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and writes a machine-readable perf trajectory
+# file (default BENCH_1.json at the repo root) so later PRs have a baseline
+# to beat. Schema: { "<benchmark name>": { "items_per_second": <double|null>,
+# "real_time_ns": <double> }, ... }.
+#
+# Usage: bench/run_benchmarks.sh [output.json]
+# Env:   BUILD_DIR   build directory relative to the repo root (default: build)
+#        BENCH_ARGS  extra flags for bench_microperf (e.g. --benchmark_filter=...)
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${BUILD_DIR:-build}
+out=${1:-"$repo_root/BENCH_1.json"}
+
+cmake --build "$repo_root/$build_dir" --target bench_microperf -j >/dev/null
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$repo_root/$build_dir/bench/bench_microperf" \
+  --benchmark_format=json ${BENCH_ARGS:-} >"$raw"
+
+python3 - "$raw" "$out" <<'PYEOF'
+import json
+import sys
+
+NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+
+trajectory = {}
+for bench in raw["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    scale = NS_PER[bench.get("time_unit", "ns")]
+    trajectory[bench["name"]] = {
+        "items_per_second": bench.get("items_per_second"),
+        "real_time_ns": bench["real_time"] * scale,
+    }
+
+with open(sys.argv[2], "w") as f:
+    json.dump(trajectory, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(trajectory)} benchmarks)")
+PYEOF

@@ -1,5 +1,6 @@
 #include "experiments/campus_day.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 
@@ -9,6 +10,7 @@
 #include "profiles/profile_server.h"
 #include "reservation/dispatcher.h"
 #include "sim/random.h"
+#include "sim/replication.h"
 #include "sim/simulator.h"
 #include "workload/connection_mix.h"
 
@@ -228,6 +230,36 @@ class CampusDay {
 
 CampusDayResult run_campus_day(const CampusDayConfig& config) {
   return CampusDay(config).run();
+}
+
+CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config) {
+  const sim::ReplicationRunner runner(config.threads);
+  const std::vector<CampusDayResult> replications =
+      runner.run(config.replications, config.base_seed,
+                 [&](std::uint64_t seed, std::size_t) {
+                   CampusDayConfig day = config.base;
+                   day.seed = seed;
+                   return run_campus_day(day);
+                 });
+
+  // Fold in replication order: byte-identical at any thread count.
+  CampusSweepResult sweep;
+  sweep.policy = to_string(config.base.policy);
+  sweep.replications = replications.size();
+  for (const CampusDayResult& r : replications) {
+    sweep.attendee_drops += r.attendee_drops;
+    sweep.squatter_blocks += r.squatter_blocks;
+    sweep.squatter_admits += r.squatter_admits;
+    sweep.other_drops += r.other_drops;
+    sweep.handoffs += r.handoffs;
+    sweep.mean_room_peak_allocated += r.room_peak_allocated;
+    sweep.max_room_peak_allocated =
+        std::max(sweep.max_room_peak_allocated, r.room_peak_allocated);
+  }
+  if (!replications.empty()) {
+    sweep.mean_room_peak_allocated /= double(replications.size());
+  }
+  return sweep;
 }
 
 }  // namespace imrm::experiments

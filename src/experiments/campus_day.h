@@ -13,6 +13,8 @@
 // reproduced by the full policy stack on a realistic day.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "qos/flow_spec.h"
@@ -47,5 +49,32 @@ struct CampusDayResult {
 };
 
 [[nodiscard]] CampusDayResult run_campus_day(const CampusDayConfig& config);
+
+/// Monte-Carlo sweep: N independently seeded campus days fanned across a
+/// sim::ReplicationRunner thread pool. Replication i runs with
+/// sim::replication_seed(base_seed, i), and aggregation folds results in
+/// replication order, so the aggregate is identical for the same seeds
+/// regardless of thread count (asserted by tests/replication_test.cc).
+struct CampusSweepConfig {
+  CampusDayConfig base;           // base.seed is ignored; seeds are derived
+  std::size_t replications = 16;
+  std::size_t threads = 0;        // 0 = hardware concurrency
+  std::uint64_t base_seed = 5;
+};
+
+struct CampusSweepResult {
+  std::string policy;
+  std::size_t replications = 0;
+  // Sums across replications.
+  std::size_t attendee_drops = 0;
+  std::size_t squatter_blocks = 0;
+  std::size_t squatter_admits = 0;
+  std::size_t other_drops = 0;
+  std::size_t handoffs = 0;
+  double mean_room_peak_allocated = 0.0;  // bps
+  double max_room_peak_allocated = 0.0;   // bps
+};
+
+[[nodiscard]] CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config);
 
 }  // namespace imrm::experiments

@@ -38,23 +38,52 @@ std::vector<bool> AdvertisedRate::marking(const std::vector<double>& recorded_ra
   return restricted;
 }
 
-double AdvertisedRate::recompute(const std::vector<double>& recorded_rates) {
+namespace {
+
+// Evaluates the mu formula with the restricted set {i : rate_i <= threshold}.
+// Single pass, no marking vector; summation runs in index order so results
+// are bit-identical to the materialized-marking evaluation.
+double evaluate_threshold(std::span<const double> rates, double threshold,
+                          double excess_capacity, std::size_t* n_restricted_out) {
+  const std::size_t n_total = rates.size();
+  if (n_total == 0) {
+    *n_restricted_out = 0;
+    return excess_capacity;
+  }
+  double restricted_sum = 0.0;   // b'_R
+  double restricted_max = 0.0;   // max_{i in R} b'_{R,i}
+  std::size_t n_restricted = 0;  // N_R
+  for (const double rate : rates) {
+    if (rate > threshold) continue;
+    restricted_sum += rate;
+    restricted_max = std::max(restricted_max, rate);
+    ++n_restricted;
+  }
+  *n_restricted_out = n_restricted;
+  if (n_restricted == n_total) {
+    return excess_capacity - restricted_sum + restricted_max;
+  }
+  return (excess_capacity - restricted_sum) / double(n_total - n_restricted);
+}
+
+}  // namespace
+
+double AdvertisedRate::recompute(std::span<const double> recorded_rates) {
   // First pass: restricted set relative to the previous advertised rate.
-  std::vector<bool> restricted = marking(recorded_rates, advertised_);
-  double mu = evaluate(recorded_rates, restricted);
+  std::size_t n_first = 0;
+  double mu = evaluate_threshold(recorded_rates, advertised_, excess_capacity_, &n_first);
 
   // Re-mark: previously restricted connections whose recorded rate now
-  // exceeds mu become unrestricted; the paper shows a single re-calculation
-  // suffices after this re-marking.
-  std::vector<bool> remarked = restricted;
-  bool changed = false;
-  for (std::size_t i = 0; i < remarked.size(); ++i) {
-    if (remarked[i] && recorded_rates[i] > mu) {
-      remarked[i] = false;
-      changed = true;
-    }
+  // exceeds mu become unrestricted — the remaining restricted set is
+  // {i : rate_i <= min(previous mu, mu)}; the paper shows a single
+  // re-calculation suffices after this re-marking.
+  const double remark_threshold = std::min(advertised_, mu);
+  if (remark_threshold < advertised_) {
+    std::size_t n_remarked = 0;
+    const double mu2 =
+        evaluate_threshold(recorded_rates, remark_threshold, excess_capacity_, &n_remarked);
+    if (n_remarked != n_first) mu = mu2;  // marking actually changed
   }
-  if (changed) mu = evaluate(recorded_rates, remarked);
 
   advertised_ = mu;
   return mu;

@@ -15,6 +15,8 @@
 // fixed_point() verifies in tests).
 #pragma once
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "maxmin/problem.h"
@@ -29,8 +31,14 @@ class AdvertisedRate {
 
   /// Computes mu given recorded rates, using the restricted set implied by
   /// the *previous* advertised rate and at most one re-marking pass, exactly
-  /// as the paper prescribes.
-  double recompute(const std::vector<double>& recorded_rates);
+  /// as the paper prescribes. Allocation-free (the restricted sets are
+  /// threshold predicates, not materialized markings) — this runs once per
+  /// ADVERTISE hop in the distributed protocol.
+  double recompute(std::span<const double> recorded_rates);
+  double recompute(std::initializer_list<double> recorded_rates) {
+    return recompute(
+        std::span<const double>(recorded_rates.begin(), recorded_rates.size()));
+  }
 
   /// Fully iterated fixed point (re-marks until stable); used to validate the
   /// one-recalculation claim.

@@ -6,6 +6,32 @@
 
 namespace imrm::maxmin {
 
+void DistributedProtocol::LinkNode::add_member(ConnIndex conn) {
+  assert(!has(conn));
+  index.insert(std::uint64_t(conn), std::uint32_t(members.size()));
+  members.push_back(conn);
+  recorded.push_back(0.0);
+  state.emplace_back();
+}
+
+void DistributedProtocol::LinkNode::remove_member(ConnIndex conn) {
+  const std::uint32_t* pos_ptr = index.find(std::uint64_t(conn));
+  if (!pos_ptr) return;
+  const std::uint32_t pos = *pos_ptr;
+  const std::uint32_t last = std::uint32_t(members.size() - 1);
+  if (pos != last) {
+    // Swap-remove; re-point the moved member's index entry first.
+    members[pos] = members[last];
+    recorded[pos] = recorded[last];
+    state[pos] = state[last];
+    *index.find(std::uint64_t(members[pos])) = pos;
+  }
+  members.pop_back();
+  recorded.pop_back();
+  state.pop_back();
+  index.erase(std::uint64_t(conn));
+}
+
 DistributedProtocol::DistributedProtocol(sim::Simulator& simulator, const Problem& problem,
                                          Config config)
     : simulator_(&simulator), config_(config) {
@@ -19,6 +45,16 @@ DistributedProtocol::DistributedProtocol(sim::Simulator& simulator, const Proble
   }
 }
 
+std::vector<ConnIndex> DistributedProtocol::bottleneck_set(LinkIndex link) const {
+  const LinkNode& node = links_.at(link);
+  std::vector<ConnIndex> set;
+  for (std::size_t i = 0; i < node.members.size(); ++i) {
+    if (node.state[i].in_bottleneck) set.push_back(node.members[i]);
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
 ConnIndex DistributedProtocol::add_connection(std::vector<LinkIndex> path, double demand) {
   assert(!path.empty());
   ++generation_;
@@ -30,11 +66,13 @@ ConnIndex DistributedProtocol::add_connection(std::vector<LinkIndex> path, doubl
     path.insert(path.begin(), artificial);
   }
   const ConnIndex conn = paths_.size();
+  assert(conn < (ConnIndex{1} << 32) && links_.size() + path.size() < (std::size_t{1} << 32) &&
+         "indices must fit the packed trigger key");
   paths_.push_back(std::move(path));
   conn_alive_.push_back(true);
   rates_.push_back(0.0);
   for (LinkIndex li : paths_[conn]) {
-    links_[li].recorded[conn] = 0.0;
+    links_[li].add_member(conn);
     recompute_mu(li);
   }
   // The entry switch starts the adaptation for the newcomer.
@@ -55,12 +93,10 @@ void DistributedProtocol::remove_connection(ConnIndex conn) {
   }
   for (LinkIndex li : paths_[conn]) {
     LinkNode& node = links_[li];
-    node.recorded.erase(conn);
-    node.bottleneck_set.erase(conn);
-    node.last_completed.erase(conn);
+    node.remove_member(conn);
     recompute_mu(li);
     if (config_.policy == InitiationPolicy::kFlooding) {
-      for (const auto& [other, rate] : node.recorded) initiate(li, other);
+      for (ConnIndex other : node.members) initiate(li, other);
     } else {
       // Freed capacity: offer it to the connections that could grow here.
       initiate_growers(li, kNoConnection);
@@ -84,11 +120,11 @@ void DistributedProtocol::set_link_excess_capacity(LinkIndex link, double new_ex
 
   if (new_excess < 0.0) {
     // b'_av,l < 0: notify connections to renegotiate (Section 5.3).
-    for (const auto& [conn, rate] : node.recorded) renegotiations_.push_back(conn);
+    for (ConnIndex conn : node.members) renegotiations_.push_back(conn);
   }
 
   if (config_.policy == InitiationPolicy::kFlooding) {
-    for (const auto& [conn, rate] : node.recorded) initiate(link, conn);
+    for (ConnIndex conn : node.members) initiate(link, conn);
     return;
   }
 
@@ -99,23 +135,16 @@ void DistributedProtocol::set_link_excess_capacity(LinkIndex link, double new_ex
     // Eq. (2): upward adaptation when the new excess exceeds the recorded
     // consumption by at least delta.
     double consumed = 0.0;
-    for (const auto& [conn, rate] : node.recorded) consumed += rate;
+    for (const double rate : node.recorded) consumed += rate;
     if (new_excess >= consumed + config_.delta) {
       initiate_growers(link, kNoConnection);
     }
   }
 }
 
-std::vector<double> DistributedProtocol::recorded_vector(LinkIndex link) const {
-  const LinkNode& node = links_.at(link);
-  std::vector<double> rates;
-  rates.reserve(node.recorded.size());
-  for (const auto& [conn, rate] : node.recorded) rates.push_back(rate);
-  return rates;
-}
-
 void DistributedProtocol::recompute_mu(LinkIndex link) {
-  links_[link].mu.recompute(recorded_vector(link));
+  // The recorded rates already sit in one contiguous array — no copy.
+  links_[link].mu.recompute(links_[link].recorded);
 }
 
 // ---- trigger queue ------------------------------------------------------
@@ -124,8 +153,8 @@ bool DistributedProtocol::trigger_valid(LinkIndex link, ConnIndex conn) const {
   if (cap_hit_) return false;
   if (conn >= conn_alive_.size() || !conn_alive_[conn]) return false;
   const LinkNode& node = links_.at(link);
-  const auto rec_it = node.recorded.find(conn);
-  const double recorded = rec_it != node.recorded.end() ? rec_it->second : 0.0;
+  const std::size_t pos = node.position_of(conn);
+  const double recorded = pos < node.members.size() ? node.recorded[pos] : 0.0;
   // A negative advertised rate (capacity below the guaranteed minima) can
   // only offer zero excess; comparing against the clamped offer keeps the
   // squeeze-to-zero case from re-triggering forever.
@@ -138,8 +167,8 @@ bool DistributedProtocol::trigger_valid(LinkIndex link, ConnIndex conn) const {
   // translates to a per-generation guard here. This is exactly the
   // unnecessary traffic the refinement removes.
   if (config_.policy == InitiationPolicy::kFlooding) {
-    const auto gen_it = node.last_flood_generation.find(conn);
-    if (gen_it == node.last_flood_generation.end() || gen_it->second != generation_) {
+    if (pos >= node.members.size() ||
+        node.state[pos].last_flood_generation != generation_) {
       return true;
     }
   }
@@ -150,10 +179,9 @@ bool DistributedProtocol::trigger_valid(LinkIndex link, ConnIndex conn) const {
   // elsewhere, in which case it is futile. Suppress re-running a grower
   // round from an identical (advertised, recorded) state — the previous
   // identical attempt already proved it futile.
-  const auto it = node.last_completed.find(conn);
-  if (it != node.last_completed.end() &&
-      std::fabs(it->second.first - mu) <= config_.epsilon &&
-      std::fabs(it->second.second - recorded) <= config_.epsilon) {
+  if (pos < node.members.size() && node.state[pos].has_last_completed &&
+      std::fabs(node.state[pos].last_completed_mu - mu) <= config_.epsilon &&
+      std::fabs(node.state[pos].last_completed_rate - recorded) <= config_.epsilon) {
     return false;
   }
   return true;
@@ -161,7 +189,7 @@ bool DistributedProtocol::trigger_valid(LinkIndex link, ConnIndex conn) const {
 
 void DistributedProtocol::initiate(LinkIndex link, ConnIndex conn) {
   if (!trigger_valid(link, conn)) return;
-  if (!queued_.insert({link, conn}).second) return;  // already queued
+  if (!queued_.insert(trigger_key(link, conn), true)) return;  // already queued
   trigger_queue_.emplace_back(link, conn);
   pump();
 }
@@ -173,8 +201,10 @@ void DistributedProtocol::initiate_growers(LinkIndex link, ConnIndex except) {
   LinkNode& node = links_[link];
   const double mu = std::max(node.mu.current(), 0.0);
   std::vector<ConnIndex> targets;
-  for (const auto& [other, rate] : node.recorded) {
-    if (other != except && rate < mu - config_.epsilon) targets.push_back(other);
+  for (std::size_t i = 0; i < node.members.size(); ++i) {
+    if (node.members[i] != except && node.recorded[i] < mu - config_.epsilon) {
+      targets.push_back(node.members[i]);
+    }
   }
   std::sort(targets.begin(), targets.end());  // deterministic order
   for (ConnIndex other : targets) initiate(link, other);
@@ -184,8 +214,10 @@ void DistributedProtocol::initiate_over_consumers(LinkIndex link, ConnIndex exce
   LinkNode& node = links_[link];
   const double mu = std::max(node.mu.current(), 0.0);
   std::vector<ConnIndex> targets;
-  for (const auto& [other, rate] : node.recorded) {
-    if (other != except && rate > mu + config_.epsilon) targets.push_back(other);
+  for (std::size_t i = 0; i < node.members.size(); ++i) {
+    if (node.members[i] != except && node.recorded[i] > mu + config_.epsilon) {
+      targets.push_back(node.members[i]);
+    }
   }
   std::sort(targets.begin(), targets.end());
   for (ConnIndex other : targets) initiate(link, other);
@@ -196,10 +228,14 @@ void DistributedProtocol::pump() {
   while (!trigger_queue_.empty()) {
     const auto [link, conn] = trigger_queue_.front();
     trigger_queue_.pop_front();
-    queued_.erase({link, conn});
+    queued_.erase(trigger_key(link, conn));
     if (!trigger_valid(link, conn)) continue;  // state moved on; now moot
     if (config_.policy == InitiationPolicy::kFlooding) {
-      links_[link].last_flood_generation[conn] = generation_;
+      LinkNode& node = links_[link];
+      const std::size_t pos = node.position_of(conn);
+      if (pos < node.members.size()) {
+        node.state[pos].last_flood_generation = generation_;
+      }
     }
     active_ = Adaptation{link, conn, config_.round_trips, std::nullopt, std::nullopt};
     ++active_token_;
@@ -283,8 +319,10 @@ void DistributedProtocol::deliver_advertise(Advertise packet) {
 
 void DistributedProtocol::handle_advertise_at(LinkIndex link, Advertise& packet) {
   LinkNode& node = links_[link];
+  const std::size_t pos = node.position_of(packet.conn);
+  assert(pos < node.members.size() && "ADVERTISE for a non-member connection");
   const double received = packet.stamped;
-  node.recorded[packet.conn] = received;
+  node.recorded[pos] = received;
   recompute_mu(link);
   const double mu = node.mu.current();
 
@@ -294,22 +332,22 @@ void DistributedProtocol::handle_advertise_at(LinkIndex link, Advertise& packet)
   const double offer = std::max(mu, 0.0);
   if (received >= offer) {
     packet.stamped = offer;
-    node.recorded[packet.conn] = offer;
+    node.recorded[pos] = offer;
   }
 
   // Maintain M(l): add if mu < stamped (this link constrains the connection),
   // remove if mu > stamped (bottleneck is elsewhere).
   if (mu < received - config_.epsilon) {
-    node.bottleneck_set.insert(packet.conn);
+    node.state[pos].in_bottleneck = true;
   } else if (mu > received + config_.epsilon) {
-    node.bottleneck_set.erase(packet.conn);
+    node.state[pos].in_bottleneck = false;
   }
 
   // Preliminary algorithm: every switch that receives an ADVERTISE initiates
   // ADVERTISE packets for every other connection traversing the same link.
   if (config_.policy == InitiationPolicy::kFlooding) {
     std::vector<ConnIndex> all;
-    for (const auto& [other, r] : node.recorded) {
+    for (ConnIndex other : node.members) {
       if (other != packet.conn) all.push_back(other);
     }
     std::sort(all.begin(), all.end());
@@ -351,11 +389,11 @@ void DistributedProtocol::finish_adaptation(double final_rate) {
 
   // Apply the UPDATE at every link, then evaluate the refinement cascades
   // from the now-consistent state.
-  std::vector<double> mu_before(paths_[conn].size());
-  for (std::size_t i = 0; i < paths_[conn].size(); ++i) {
-    const LinkIndex li = paths_[conn][i];
-    mu_before[i] = links_[li].mu.current();
-    links_[li].recorded[conn] = final_rate;
+  for (LinkIndex li : paths_[conn]) {
+    LinkNode& node = links_[li];
+    const std::size_t pos = node.position_of(conn);
+    assert(pos < node.members.size());
+    node.recorded[pos] = final_rate;
     recompute_mu(li);
   }
 
@@ -363,34 +401,33 @@ void DistributedProtocol::finish_adaptation(double final_rate) {
   // re-triggers are suppressed.
   {
     LinkNode& trigger_node = links_[a.trigger_link];
-    trigger_node.last_completed[conn] = {trigger_node.mu.current(), final_rate};
+    const std::size_t pos = trigger_node.position_of(conn);
+    assert(pos < trigger_node.members.size());
+    ConnState& state = trigger_node.state[pos];
+    state.has_last_completed = true;
+    state.last_completed_mu = trigger_node.mu.current();
+    state.last_completed_rate = final_rate;
     // The connection considers the trigger link its bottleneck iff no other
     // link clamped the rate below our advertised rate (M(l) upkeep, done
     // "only after it completes the current adaptation process").
-    if (final_rate >= trigger_node.mu.current() - config_.epsilon) {
-      trigger_node.bottleneck_set.insert(conn);
-    } else {
-      trigger_node.bottleneck_set.erase(conn);
-    }
+    state.in_bottleneck = final_rate >= trigger_node.mu.current() - config_.epsilon;
   }
 
   active_.reset();
   ++active_token_;
 
-  for (std::size_t i = 0; i < paths_[conn].size(); ++i) {
-    const LinkIndex li = paths_[conn][i];
+  for (LinkIndex li : paths_[conn]) {
     if (config_.policy == InitiationPolicy::kFlooding) {
       // Preliminary algorithm: re-advertise for every connection sharing the
       // link, regardless of what changed.
       std::vector<ConnIndex> all;
-      for (const auto& [other, r] : links_[li].recorded) {
+      for (ConnIndex other : links_[li].members) {
         if (other != conn) all.push_back(other);
       }
       std::sort(all.begin(), all.end());
       for (ConnIndex other : all) initiate(li, other);
       continue;
     }
-    (void)mu_before[i];
     // Refinement rules: squeeze over-consumers; offer slack to growers.
     initiate_over_consumers(li, conn);
     initiate_growers(li, conn);

@@ -29,19 +29,22 @@
 // Finite demands are modelled exactly as footnote 11 prescribes: an
 // artificial entry link of capacity b_max - b_min is synthesized per
 // finite-demand connection.
+//
+// Per-link connection bookkeeping lives in parallel arrays (member list,
+// recorded rates, per-connection flags) indexed through an open-addressing
+// table, so the per-ADVERTISE hot path does no tree walks and feeds the
+// advertised-rate recomputation a contiguous span without copying.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "maxmin/advertised_rate.h"
 #include "maxmin/problem.h"
+#include "sim/flat_map.h"
 #include "sim/simulator.h"
 
 namespace imrm::maxmin {
@@ -91,9 +94,8 @@ class DistributedProtocol {
   [[nodiscard]] double advertised_rate(LinkIndex link) const {
     return links_.at(link).mu.current();
   }
-  [[nodiscard]] const std::unordered_set<ConnIndex>& bottleneck_set(LinkIndex link) const {
-    return links_.at(link).bottleneck_set;
-  }
+  /// M(l), sorted by connection index.
+  [[nodiscard]] std::vector<ConnIndex> bottleneck_set(LinkIndex link) const;
 
   /// Drains the simulator's event queue (the protocol schedules all its
   /// message deliveries there) and returns the number of events processed.
@@ -111,18 +113,37 @@ class DistributedProtocol {
     std::size_t position;   // index into the connection's path
   };
 
-  struct LinkNode {
-    AdvertisedRate mu{0.0};
-    std::unordered_map<ConnIndex, double> recorded;
-    std::unordered_set<ConnIndex> bottleneck_set;  // M(l)
+  // Per-(link, connection) bookkeeping beyond the recorded rate.
+  struct ConnState {
+    bool in_bottleneck = false;       // membership in M(l)
+    bool has_last_completed = false;
     // Post-completion (advertised, recorded) state of the last adaptation
-    // this link triggered per connection. Re-triggering in an identical
+    // this link triggered for the connection. Re-triggering in an identical
     // state cannot change the outcome and is suppressed — this is what makes
     // the event-driven cascade terminate.
-    std::unordered_map<ConnIndex, std::pair<double, double>> last_completed;
-    // Flooding policy: generation of the last flood-initiated round per
-    // connection (the paper's "global ID and sequence number" loop guard).
-    std::unordered_map<ConnIndex, std::uint64_t> last_flood_generation;
+    double last_completed_mu = 0.0;
+    double last_completed_rate = 0.0;
+    // Flooding policy: generation of the last flood-initiated round (the
+    // paper's "global ID and sequence number" loop guard).
+    std::uint64_t last_flood_generation = ~std::uint64_t{0};
+  };
+
+  struct LinkNode {
+    AdvertisedRate mu{0.0};
+    // Parallel arrays over the link's member connections; `recorded` is the
+    // contiguous rate span handed to AdvertisedRate::recompute.
+    std::vector<ConnIndex> members;
+    std::vector<double> recorded;
+    std::vector<ConnState> state;
+    sim::FlatMap<std::uint64_t, std::uint32_t> index;  // conn -> position
+
+    [[nodiscard]] std::size_t position_of(ConnIndex conn) const {
+      const std::uint32_t* pos = index.find(std::uint64_t(conn));
+      return pos ? *pos : members.size();
+    }
+    [[nodiscard]] bool has(ConnIndex conn) const { return position_of(conn) < members.size(); }
+    void add_member(ConnIndex conn);
+    void remove_member(ConnIndex conn);
   };
 
   struct Adaptation {
@@ -135,6 +156,10 @@ class DistributedProtocol {
 
   // Sentinel "exclude nobody" argument for the cascade helpers.
   static constexpr ConnIndex kNoConnection = static_cast<ConnIndex>(-1);
+
+  static std::uint64_t trigger_key(LinkIndex link, ConnIndex conn) {
+    return (std::uint64_t(link) << 32) | std::uint64_t(conn);
+  }
 
   // --- trigger queue (serialized rounds) --------------------------------
   void initiate(LinkIndex link, ConnIndex conn);
@@ -151,7 +176,6 @@ class DistributedProtocol {
   void send_update(ConnIndex conn, double rate);
   void finish_adaptation(double final_rate);
   void recompute_mu(LinkIndex link);
-  [[nodiscard]] std::vector<double> recorded_vector(LinkIndex link) const;
 
   sim::Simulator* simulator_;
   Config config_;
@@ -163,7 +187,7 @@ class DistributedProtocol {
   std::vector<ConnIndex> renegotiations_;
 
   std::deque<std::pair<LinkIndex, ConnIndex>> trigger_queue_;
-  std::set<std::pair<LinkIndex, ConnIndex>> queued_;
+  sim::FlatMap<std::uint64_t, bool> queued_;  // membership for trigger_queue_
   std::optional<Adaptation> active_;
   std::uint64_t active_token_ = 0;  // invalidates stale packets
 

@@ -2,29 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace imrm::qos {
 
 void ScheduledLink::add_flow(FlowId flow, BitsPerSecond reserved_rate) {
   assert(reserved_rate > 0.0);
-  rates_[flow] = reserved_rate;
-  virtual_clock_[flow] = 0.0;
-}
-
-BitsPerSecond ScheduledLink::reserved_total() const {
-  BitsPerSecond total = 0.0;
-  for (const auto& [flow, rate] : rates_) total += rate;
-  return total;
+  if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
+  reserved_total_ += reserved_rate - flows_[flow].rate;
+  flows_[flow] = FlowEntry{reserved_rate, 0.0};
 }
 
 void ScheduledLink::enqueue(Packet packet) {
-  assert(rates_.contains(packet.flow) && "flow must be registered");
+  assert(packet.flow < flows_.size() && flows_[packet.flow].rate > 0.0 &&
+         "flow must be registered");
   packet.entered_link = simulator_->now();
   // Virtual Clock stamp: auxVC = max(now, auxVC) + L / rho.
-  double& vc = virtual_clock_[packet.flow];
-  vc = std::max(simulator_->now().to_seconds(), vc) +
-       packet.size / rates_[packet.flow];
-  queue_.push(QueuedPacket{vc, next_seq_++, packet});
+  FlowEntry& entry = flows_[packet.flow];
+  entry.virtual_clock = std::max(simulator_->now().to_seconds(), entry.virtual_clock) +
+                        packet.size / entry.rate;
+  queue_.push(QueuedPacket{entry.virtual_clock, next_seq_++, packet});
   if (!busy_) serve_next();
 }
 
@@ -37,42 +34,55 @@ void ScheduledLink::serve_next() {
   const QueuedPacket next = queue_.top();
   queue_.pop();
   const double transmission = next.packet.size / capacity_;
-  simulator_->after(sim::Duration::seconds(transmission), [this, next] {
-    ++served_;
-    if (forward_) forward_(next.packet);
-    serve_next();
-  });
+  simulator_->after(sim::Duration::seconds(transmission),
+                    [this, packet = next.packet]() mutable {
+                      ++served_;
+                      if (forward_) forward_(std::move(packet));
+                      serve_next();
+                    });
 }
 
 void RcspLink::add_flow(FlowId flow, BitsPerSecond reserved_rate, int priority) {
   assert(reserved_rate > 0.0);
+  if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
+  // Find (or insert, keeping the array sorted) the static-priority level.
+  auto level_it = std::find_if(levels_.begin(), levels_.end(),
+                               [&](const PriorityLevel& l) { return l.priority >= priority; });
+  if (level_it == levels_.end() || level_it->priority != priority) {
+    const std::uint32_t inserted = std::uint32_t(level_it - levels_.begin());
+    level_it = levels_.insert(level_it, PriorityLevel{priority, {}});
+    // Inserting shifts every level at or after the insertion point.
+    for (FlowState& state : flows_) {
+      if (state.rate > 0.0 && state.level >= inserted) ++state.level;
+    }
+  }
   // last_eligible starts far in the past so the first packet is never held.
-  flows_[flow] = FlowState{reserved_rate, priority,
+  flows_[flow] = FlowState{reserved_rate, std::uint32_t(level_it - levels_.begin()),
                            -std::numeric_limits<double>::infinity()};
 }
 
 void RcspLink::enqueue(Packet packet) {
-  const auto it = flows_.find(packet.flow);
-  assert(it != flows_.end() && "flow must be registered");
+  assert(packet.flow < flows_.size() && flows_[packet.flow].rate > 0.0 &&
+         "flow must be registered");
   packet.entered_link = simulator_->now();
-  FlowState& state = it->second;
+  FlowState& state = flows_[packet.flow];
   // Rate-jitter regulator: eligible at max(now, last_eligible + L/rho).
   const double eligible = std::max(simulator_->now().to_seconds(),
                                    state.last_eligible + packet.size / state.rate);
   state.last_eligible = eligible;
   const double wait = eligible - simulator_->now().to_seconds();
-  const int priority = state.priority;
+  const std::uint32_t level = state.level;
   if (wait <= 0.0) {
-    on_eligible(packet, priority);
+    on_eligible(std::move(packet), level);
   } else {
-    simulator_->after(sim::Duration::seconds(wait), [this, packet, priority] {
-      on_eligible(packet, priority);
+    simulator_->after(sim::Duration::seconds(wait), [this, packet, level]() mutable {
+      on_eligible(std::move(packet), level);
     });
   }
 }
 
-void RcspLink::on_eligible(Packet packet, int priority) {
-  eligible_[priority].push(packet);
+void RcspLink::on_eligible(Packet packet, std::uint32_t level) {
+  levels_[level].fifo.push_back(std::move(packet));
   ++eligible_count_;
   if (!busy_) serve_next();
 }
@@ -83,16 +93,16 @@ void RcspLink::serve_next() {
     return;
   }
   busy_ = true;
-  // Highest priority (lowest key) non-empty level, FIFO within.
-  for (auto& [priority, fifo] : eligible_) {
-    if (fifo.empty()) continue;
-    const Packet packet = fifo.front();
-    fifo.pop();
+  // Highest priority (lowest value) non-empty level, FIFO within.
+  for (PriorityLevel& level : levels_) {
+    if (level.fifo.empty()) continue;
+    Packet packet = std::move(level.fifo.front());
+    level.fifo.pop_front();
     --eligible_count_;
     simulator_->after(sim::Duration::seconds(packet.size / capacity_),
-                      [this, packet] {
+                      [this, packet]() mutable {
                         ++served_;
-                        if (forward_) forward_(packet);
+                        if (forward_) forward_(std::move(packet));
                         serve_next();
                       });
     return;
@@ -121,7 +131,7 @@ void TokenBucketSource::send_conforming(sim::SimTime now) {
     packet.size = config_.packet_size;
     packet.created = now;
     ++sent_;
-    emit_(packet);
+    emit_(std::move(packet));
   }
 }
 

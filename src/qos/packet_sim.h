@@ -17,12 +17,16 @@
 // Links chain via a forwarding callback, so multi-hop paths are built by
 // plugging links together; per-flow delay statistics accumulate at the
 // final sink.
+//
+// Per-flow state is kept in dense FlowId-indexed vectors (flows in the
+// experiments are numbered from a small dense range), so the per-packet
+// path performs no associative lookups and no allocations.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
-#include <map>
 #include <queue>
 #include <vector>
 
@@ -59,10 +63,15 @@ class ScheduledLink {
   [[nodiscard]] std::size_t packets_served() const { return served_; }
   [[nodiscard]] BitsPerSecond capacity() const { return capacity_; }
   /// Sum of reserved rates (admission sanity: must stay <= capacity for the
-  /// bounds to hold).
-  [[nodiscard]] BitsPerSecond reserved_total() const;
+  /// bounds to hold). Maintained incrementally — O(1).
+  [[nodiscard]] BitsPerSecond reserved_total() const { return reserved_total_; }
 
  private:
+  struct FlowEntry {
+    BitsPerSecond rate = 0.0;   // 0 = unregistered
+    double virtual_clock = 0.0;  // auxVC
+  };
+
   struct QueuedPacket {
     double stamp;        // Virtual Clock service tag
     std::uint64_t seq;   // FIFO tie-break
@@ -78,8 +87,8 @@ class ScheduledLink {
   sim::Simulator* simulator_;
   BitsPerSecond capacity_;
   Forward forward_;
-  std::map<FlowId, BitsPerSecond> rates_;
-  std::map<FlowId, double> virtual_clock_;  // auxVC per flow
+  std::vector<FlowEntry> flows_;  // dense, indexed by FlowId
+  BitsPerSecond reserved_total_ = 0.0;
   std::priority_queue<QueuedPacket> queue_;
   bool busy_ = false;
   std::uint64_t next_seq_ = 0;
@@ -110,20 +119,24 @@ class RcspLink {
 
  private:
   struct FlowState {
-    BitsPerSecond rate = 0.0;
-    int priority = 0;
+    BitsPerSecond rate = 0.0;   // 0 = unregistered
+    std::uint32_t level = 0;    // index into levels_
     double last_eligible = 0.0;
   };
 
-  void on_eligible(Packet packet, int priority);
+  struct PriorityLevel {
+    int priority = 0;
+    std::deque<Packet> fifo;
+  };
+
+  void on_eligible(Packet packet, std::uint32_t level);
   void serve_next();
 
   sim::Simulator* simulator_;
   BitsPerSecond capacity_;
   Forward forward_;
-  std::map<FlowId, FlowState> flows_;
-  // Static priority levels; FIFO within each level.
-  std::map<int, std::queue<Packet>> eligible_;
+  std::vector<FlowState> flows_;       // dense, indexed by FlowId
+  std::vector<PriorityLevel> levels_;  // sorted by priority; FIFO within
   std::size_t eligible_count_ = 0;
   bool busy_ = false;
   std::size_t served_ = 0;
@@ -143,7 +156,7 @@ class TokenBucketSource {
     bool greedy = true;
   };
 
-  TokenBucketSource(sim::Simulator& simulator, Config config, sim::Rng rng,
+  TokenBucketSource(sim::Simulator& simulator, const Config& config, sim::Rng rng,
                     std::function<void(Packet)> emit)
       : simulator_(&simulator), config_(config), rng_(std::move(rng)),
         emit_(std::move(emit)), tokens_(config.sigma) {}
@@ -170,15 +183,18 @@ class TokenBucketSource {
 class DelaySink {
  public:
   void operator()(const Packet& packet, sim::SimTime now) {
+    if (packet.flow >= delays_.size()) delays_.resize(std::size_t(packet.flow) + 1);
     delays_[packet.flow].add((now - packet.created).to_seconds());
   }
   [[nodiscard]] const stats::Summary& delays(FlowId flow) const {
     return delays_.at(flow);
   }
-  [[nodiscard]] bool has(FlowId flow) const { return delays_.contains(flow); }
+  [[nodiscard]] bool has(FlowId flow) const {
+    return flow < delays_.size() && delays_[flow].count() > 0;
+  }
 
  private:
-  std::map<FlowId, stats::Summary> delays_;
+  std::vector<stats::Summary> delays_;  // dense, indexed by FlowId
 };
 
 }  // namespace imrm::qos

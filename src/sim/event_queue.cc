@@ -5,41 +5,114 @@
 
 namespace imrm::sim {
 
+void EventQueue::release_slot(std::uint32_t slot) {
+  slots_[slot].reset();       // release captured state eagerly
+  SlotMeta& m = meta_[slot];
+  ++m.generation;             // invalidate outstanding EventIds for this slot
+  m.link = free_head_;
+  free_head_ = slot;
+}
+
 EventId EventQueue::schedule(SimTime at, Callback cb) {
-  const EventId id = callbacks_.size();
-  callbacks_.push_back(std::move(cb));
-  cancelled_.push_back(false);
-  heap_.push(Entry{at, next_seq_++, id});
-  ++live_count_;
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot] = std::move(cb);
+  return push_entry(at, slot);
+}
+
+EventId EventQueue::push_entry(SimTime at, std::uint32_t slot) {
+  assert(slot <= kSlotMask && "slot index space exhausted");
+  assert(next_seq_ < (1ull << 40) && "sequence space exhausted");
+  heap_.push_back(make_key(encode_time(at), next_seq_++, slot));
+  sift_up(heap_.size() - 1);  // also records the slot's heap position
+  return (EventId(meta_[slot].generation) << 32) | slot;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id] || !callbacks_[id]) return;
-  cancelled_[id] = true;
-  callbacks_[id] = nullptr;  // release captured state eagerly
-  --live_count_;
-}
-
-void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
-}
-
-SimTime EventQueue::next_time() const {
-  skip_cancelled();
-  return heap_.empty() ? SimTime::infinity() : heap_.top().time;
+  const std::uint32_t slot = std::uint32_t(id) & kSlotMask;
+  const std::uint32_t generation = std::uint32_t(id >> 32);
+  if (slot >= slots_.size() || meta_[slot].generation != generation ||
+      (std::uint32_t(id) & ~kSlotMask) != 0) {
+    return;
+  }
+  const std::size_t pos = meta_[slot].link;
+  assert(pos < heap_.size() && key_slot(heap_[pos]) == slot);
+  remove_heap_entry(pos);
+  release_slot(slot);
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skip_cancelled();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  Fired fired{top.time, std::move(callbacks_[top.id])};
-  callbacks_[top.id] = nullptr;
-  cancelled_[top.id] = true;  // mark consumed so cancel() after fire is a no-op
-  --live_count_;
+  const HeapKey top = heap_.front();
+  const std::uint32_t slot = key_slot(top);
+  Fired fired{key_time(top), std::move(slots_[slot])};
+  release_slot(slot);
+  // Remove the root: move the last entry in and sift it down (never up).
+  const HeapKey last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    meta_[key_slot(last)].link = 0;
+    sift_down(0);
+  }
   return fired;
+}
+
+void EventQueue::remove_heap_entry(std::size_t pos) {
+  const HeapKey last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;
+  heap_[pos] = last;
+  meta_[key_slot(last)].link = std::uint32_t(pos);
+  // The moved-in entry may belong above or below its new position.
+  sift_up(pos);
+  sift_down(pos);
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const HeapKey key = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    const HeapKey pk = heap_[parent];
+    if (!(key < pk)) break;
+    heap_[pos] = pk;
+    meta_[key_slot(pk)].link = std::uint32_t(pos);
+    pos = parent;
+  }
+  heap_[pos] = key;
+  meta_[key_slot(key)].link = std::uint32_t(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const HeapKey key = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    HeapKey bk = heap_[first];
+    if (first + 4 <= n) {
+      // Interior node: all four children exist; branchless min scan.
+      for (std::size_t c = first + 1; c < first + 4; ++c) {
+        const HeapKey ck = heap_[c];
+        const bool better = ck < bk;
+        best = better ? c : best;
+        bk = better ? ck : bk;
+      }
+    } else {
+      for (std::size_t c = first + 1; c < n; ++c) {
+        const HeapKey ck = heap_[c];
+        const bool better = ck < bk;
+        best = better ? c : best;
+        bk = better ? ck : bk;
+      }
+    }
+    if (!(bk < key)) break;
+    heap_[pos] = bk;
+    meta_[key_slot(bk)].link = std::uint32_t(pos);
+    pos = best;
+  }
+  heap_[pos] = key;
+  meta_[key_slot(key)].link = std::uint32_t(pos);
 }
 
 }  // namespace imrm::sim

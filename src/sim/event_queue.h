@@ -3,13 +3,28 @@
 // Events at equal timestamps fire in insertion order (a monotonically
 // increasing sequence number breaks ties), which keeps runs deterministic —
 // a property every experiment in EXPERIMENTS.md relies on.
+//
+// Implementation: an indexed 4-ary min-heap with true in-heap deletion.
+// Each heap entry is a single 128-bit key — an order-preserving bit
+// transform of the timestamp in the high 64 bits, (seq << 24) | slot in the
+// low 64 — so the heap comparison is one branchless unsigned compare and an
+// entry move is one 16-byte store. Callbacks live in a slot array recycled
+// through a free-list, so storage is bounded by the peak number of *pending*
+// events, not by the total number ever scheduled (the previous lazy-deletion
+// design grew its callback vector monotonically over long runs). EventIds
+// carry a per-slot generation so a stale handle (fired, cancelled, or
+// recycled) can never cancel an unrelated later event. Callbacks are
+// small-buffer optimized (48-byte inline capture), so schedule() performs
+// zero heap allocations in the common case.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/inplace_function.h"
 #include "sim/time.h"
 
 namespace imrm::sim {
@@ -19,21 +34,35 @@ using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void(), 48>;
 
-  /// Schedules `cb` to fire at absolute time `at`. Returns a handle usable
-  /// with cancel().
+  /// Schedules `f` to fire at absolute time `at`. Returns a handle usable
+  /// with cancel(). Allocation-free when the capture fits inline and a
+  /// recycled slot is available: the callable is constructed exactly once,
+  /// directly in its slot (no intermediate Callback temporaries).
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback>>>
+  EventId schedule(SimTime at, F&& f) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].emplace(std::forward<F>(f));
+    return push_entry(at, slot);
+  }
+
+  /// Overload for a pre-built Callback (moved into the slot).
   EventId schedule(SimTime at, Callback cb);
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event is
-  /// a no-op (lazy deletion: the entry stays queued but is skipped).
+  /// Cancels a pending event, removing it from the heap immediately.
+  /// Cancelling an already-fired, already-cancelled, or unknown event is a
+  /// no-op (the handle's generation no longer matches).
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return live_count_ == 0; }
-  [[nodiscard]] std::size_t size() const { return live_count_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event; SimTime::infinity() when empty.
-  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? SimTime::infinity() : key_time(heap_.front());
+  }
 
   /// Pops and returns the earliest event. Precondition: !empty().
   struct Fired {
@@ -42,26 +71,90 @@ class EventQueue {
   };
   Fired pop();
 
- private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    EventId id;
-    // Ordering for std::priority_queue (max-heap): invert so earliest first.
-    bool operator<(const Entry& rhs) const {
-      if (time != rhs.time) return time > rhs.time;
-      return seq > rhs.seq;
+  /// Pops the earliest event into `out` iff one exists and its time is
+  /// <= `horizon`. The simulator's drain loop uses this fused form: one
+  /// integer comparison against the encoded horizon instead of an empty()
+  /// check plus a decoded-time comparison per event.
+  bool pop_at_or_before(SimTime horizon, Fired& out) {
+    if (heap_.empty() ||
+        std::uint64_t(heap_.front() >> 64) > encode_time(horizon)) {
+      return false;
     }
+    out = pop();
+    return true;
+  }
+
+  /// Number of callback slots ever allocated. Bounded by the peak number of
+  /// simultaneously pending events (slots are recycled), which the
+  /// regression tests assert.
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
+
+ private:
+  // One heap entry: | encoded time (64) | seq (40) | slot (24) |.
+  // seq increments per schedule, so FIFO ties are broken before the slot
+  // bits can ever matter. 2^24 simultaneous events and 2^40 total schedules
+  // are asserted, far beyond any simulation here.
+  using HeapKey = unsigned __int128;
+
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;  // free-list sentinel
+
+  // Standard order-preserving double <-> uint64 transform (flip all bits of
+  // negatives, set the sign bit of non-negatives): unsigned comparison of
+  // the transformed bits matches operator< on the doubles.
+  static std::uint64_t encode_time(SimTime t) {
+    const auto u = std::bit_cast<std::uint64_t>(t.to_seconds());
+    constexpr std::uint64_t kMsb = 1ull << 63;
+    return (u & kMsb) ? ~u : (u | kMsb);
+  }
+  static SimTime decode_time(std::uint64_t u) {
+    constexpr std::uint64_t kMsb = 1ull << 63;
+    u = (u & kMsb) ? (u & ~kMsb) : ~u;
+    return SimTime::seconds(std::bit_cast<double>(u));
+  }
+
+  static HeapKey make_key(std::uint64_t time_bits, std::uint64_t seq,
+                          std::uint32_t slot) {
+    return (HeapKey(time_bits) << 64) | (seq << kSlotBits) | slot;
+  }
+  static std::uint32_t key_slot(HeapKey k) {
+    return std::uint32_t(std::uint64_t(k)) & kSlotMask;
+  }
+  static SimTime key_time(HeapKey k) {
+    return decode_time(std::uint64_t(k >> 64));
+  }
+
+  // Slot metadata lives apart from the (64-byte) callbacks so the sift
+  // back-pointer updates touch a dense 8-byte-stride array.
+  struct SlotMeta {
+    std::uint32_t generation = 0;
+    // Position in heap_ while pending; next free slot index while free.
+    std::uint32_t link = 0;
   };
 
-  void skip_cancelled() const;
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = meta_[slot].link;
+      return slot;
+    }
+    slots_.emplace_back();
+    meta_.emplace_back();
+    return std::uint32_t(slots_.size() - 1);
+  }
 
-  mutable std::priority_queue<Entry> heap_;
-  // Callbacks stored out-of-band keyed by id so cancel() is O(1).
-  std::vector<Callback> callbacks_;
-  std::vector<bool> cancelled_;
+  void release_slot(std::uint32_t slot);
+  EventId push_entry(SimTime at, std::uint32_t slot);
+  void remove_heap_entry(std::size_t pos);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+
+  std::vector<HeapKey> heap_;   // 4-ary min-heap of packed keys
+  std::vector<Callback> slots_;
+  std::vector<SlotMeta> meta_;  // parallel to slots_
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
-  std::size_t live_count_ = 0;
 };
 
 }  // namespace imrm::sim

@@ -1,0 +1,160 @@
+// Small-buffer-optimized, move-only callable — the event-queue callback type.
+//
+// std::function heap-allocates once a capture outgrows its (implementation
+// defined, typically 16-byte) inline buffer, which puts an allocation on the
+// schedule() hot path for almost every simulation callback (they capture a
+// `this` pointer plus a packet or a couple of ids). InplaceFunction stores
+// captures up to `Capacity` bytes inline and only falls back to the heap for
+// oversized or throwing-move callables. Unlike std::function it is move-only,
+// so it can also hold move-only captures (e.g. a unique_ptr).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace imrm::sim {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &InlineOps<D>::kTable;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &HeapOps<D>::kTable;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_) {
+      relocate_from(other);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_) {
+        relocate_from(other);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  /// Destroys the current target (if any) and constructs `f` directly in the
+  /// inline storage — the zero-copy path EventQueue::schedule uses so a
+  /// capture is materialized exactly once, in its final resting place.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &InlineOps<D>::kTable;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &HeapOps<D>::kTable;
+    }
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  void reset() noexcept {
+    if (vtable_) {
+      if (vtable_->destroy) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  // relocate/destroy are null for trivially relocatable/destructible
+  // callables; the move path then degrades to a fixed-size memcpy with no
+  // indirect call — the common case for sim callbacks (a `this` pointer plus
+  // POD ids/packets), and the reason schedule()/pop() stay branch-cheap.
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to) noexcept;  // move-construct + destroy source
+    void (*destroy)(void*) noexcept;
+  };
+
+  void relocate_from(InplaceFunction& other) noexcept {
+    if (vtable_->relocate) {
+      vtable_->relocate(other.storage_, storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, Capacity);
+    }
+  }
+
+  // Inline storage additionally requires a nothrow move so that relocation
+  // (and thus our move constructor) never throws.
+  template <typename D>
+  static constexpr bool kFitsInline = sizeof(D) <= Capacity &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  struct InlineOps {
+    static D* self(void* s) noexcept { return std::launder(reinterpret_cast<D*>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*self(s))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* from, void* to) noexcept {
+      ::new (to) D(std::move(*self(from)));
+      self(from)->~D();
+    }
+    static void destroy(void* s) noexcept { self(s)->~D(); }
+    static constexpr bool kTrivial =
+        std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>;
+    static constexpr VTable kTable{&invoke, kTrivial ? nullptr : &relocate,
+                                   std::is_trivially_destructible_v<D> ? nullptr
+                                                                       : &destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* self(void* s) noexcept { return *std::launder(reinterpret_cast<D**>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*self(s))(std::forward<Args>(args)...);
+    }
+    // Ownership moves with the pointer, so relocation is trivial (null).
+    static void destroy(void* s) noexcept { delete self(s); }
+    static constexpr VTable kTable{&invoke, nullptr, &destroy};
+  };
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace imrm::sim

@@ -1,0 +1,59 @@
+#include "sim/replication.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace imrm::sim {
+
+std::uint64_t replication_seed(std::uint64_t base, std::size_t index) {
+  // splitmix64 over the (base, index) pair; the golden-ratio stride keeps
+  // sequential indices far apart in the state space.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (std::uint64_t(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+ReplicationRunner::ReplicationRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : hw;
+  }
+}
+
+void ReplicationRunner::run_indexed(std::size_t n,
+                                    const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min(threads_, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= n) return;
+      try {
+        body(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace imrm::sim

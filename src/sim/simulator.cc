@@ -6,15 +6,6 @@
 
 namespace imrm::sim {
 
-EventId Simulator::at(SimTime t, EventQueue::Callback cb) {
-  assert(t >= now_ && "cannot schedule in the past");
-  return queue_.schedule(t, std::move(cb));
-}
-
-EventId Simulator::after(Duration delay, EventQueue::Callback cb) {
-  return at(now_ + delay, std::move(cb));
-}
-
 EventId Simulator::every(Duration period, SimTime horizon, EventQueue::Callback cb) {
   assert(period > Duration::zero());
   // Shared callback that reschedules itself until the horizon.
@@ -35,13 +26,14 @@ EventId Simulator::every(Duration period, SimTime horizon, EventQueue::Callback 
 
 std::uint64_t Simulator::run_until(SimTime horizon) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.next_time() <= horizon) {
-    auto [time, callback] = queue_.pop();
-    now_ = time;
-    callback();
+  EventQueue::Fired fired;
+  while (queue_.pop_at_or_before(horizon, fired)) {
+    now_ = fired.time;
+    fired.callback();
+    fired.callback.reset();  // destroy the capture before the next pop
     ++count;
-    ++fired_;
   }
+  fired_ += count;
   // Advance the clock to the horizon so successive run_until calls with
   // increasing horizons behave like continuous time, but never rewind and
   // never jump to infinity on a drained queue.

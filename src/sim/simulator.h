@@ -4,7 +4,9 @@
 // callbacks, run until a horizon (or until the queue drains), observe state.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -18,11 +20,20 @@ class Simulator {
   /// Current simulation time. Starts at zero and only moves forward.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `at` (must be >= now()).
-  EventId at(SimTime t, EventQueue::Callback cb);
+  /// Schedules `f` at absolute time `at` (must be >= now()). Forwards the
+  /// callable straight into the event queue's slot storage — no intermediate
+  /// Callback temporaries on the hot path.
+  template <typename F>
+  EventId at(SimTime t, F&& f) {
+    assert(t >= now_ && "cannot schedule in the past");
+    return queue_.schedule(t, std::forward<F>(f));
+  }
 
-  /// Schedules `cb` after a relative delay.
-  EventId after(Duration delay, EventQueue::Callback cb);
+  /// Schedules `f` after a relative delay.
+  template <typename F>
+  EventId after(Duration delay, F&& f) {
+    return at(now_ + delay, std::forward<F>(f));
+  }
 
   /// Schedules `cb` every `period`, starting at now() + period, until
   /// `horizon`. Returns the id of the *first* occurrence (each firing

@@ -1,0 +1,91 @@
+// Tests for the parallel replication runner: deterministic seed derivation,
+// order-independent aggregation (byte-identical results at 1, 4, and 8
+// threads), full index coverage, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "experiments/campus_day.h"
+#include "sim/replication.h"
+
+namespace imrm {
+namespace {
+
+TEST(ReplicationSeed, DeterministicAndDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::uint64_t seed = sim::replication_seed(42, i);
+    EXPECT_EQ(seed, sim::replication_seed(42, i));  // stable
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across indices
+  // Nearby bases must not alias each other's streams.
+  EXPECT_NE(sim::replication_seed(42, 0), sim::replication_seed(43, 0));
+}
+
+TEST(ReplicationRunner, CoversEveryIndexExactlyOnce) {
+  const sim::ReplicationRunner runner(4);
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  runner.run_indexed(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ReplicationRunner, ResultsIndependentOfThreadCount) {
+  auto body = [](std::uint64_t seed, std::size_t index) {
+    return seed ^ (std::uint64_t(index) << 17);
+  };
+  const auto at1 = sim::ReplicationRunner(1).run(64, 9, body);
+  const auto at4 = sim::ReplicationRunner(4).run(64, 9, body);
+  const auto at8 = sim::ReplicationRunner(8).run(64, 9, body);
+  EXPECT_EQ(at1, at4);
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(ReplicationRunner, PropagatesBodyException) {
+  const sim::ReplicationRunner runner(4);
+  EXPECT_THROW(runner.run_indexed(16,
+                                  [](std::size_t i) {
+                                    if (i == 7) throw std::runtime_error("boom");
+                                  }),
+               std::runtime_error);
+}
+
+// The acceptance property for the scale-out layer: a campus-day sweep must
+// produce byte-identical aggregate statistics for the same seeds at 1, 4,
+// and 8 threads.
+TEST(CampusDaySweep, AggregatesAreThreadCountInvariant) {
+  experiments::CampusSweepConfig config;
+  config.base.attendees = 12;      // trimmed day so the test stays fast
+  config.base.squatters = 4;
+  config.replications = 8;
+  config.base_seed = 77;
+
+  experiments::CampusSweepResult results[3];
+  const std::size_t threads[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.threads = threads[i];
+    results[i] = experiments::run_campus_day_sweep(config);
+  }
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(results[0].replications, results[i].replications);
+    EXPECT_EQ(results[0].attendee_drops, results[i].attendee_drops);
+    EXPECT_EQ(results[0].squatter_blocks, results[i].squatter_blocks);
+    EXPECT_EQ(results[0].squatter_admits, results[i].squatter_admits);
+    EXPECT_EQ(results[0].other_drops, results[i].other_drops);
+    EXPECT_EQ(results[0].handoffs, results[i].handoffs);
+    // Bit-exact, not approximate: the fold order is fixed by replication
+    // index, so even floating-point aggregates must match exactly.
+    EXPECT_EQ(results[0].mean_room_peak_allocated, results[i].mean_room_peak_allocated);
+    EXPECT_EQ(results[0].max_room_peak_allocated, results[i].max_room_peak_allocated);
+  }
+  EXPECT_EQ(results[0].replications, 8u);
+}
+
+}  // namespace
+}  // namespace imrm

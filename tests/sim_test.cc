@@ -2,9 +2,13 @@
 // periodic events, deterministic randomness.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <tuple>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/flat_map.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -74,6 +78,163 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
   EXPECT_DOUBLE_EQ(q.next_time().to_seconds(), 2.0);
+}
+
+TEST(EventQueue, CancelTwiceIsNoOp) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  q.schedule(SimTime::seconds(2), [] {});
+  q.cancel(id);
+  q.cancel(id);  // second cancel must not touch any other event
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time().to_seconds(), 2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId stale = q.schedule(SimTime::seconds(1), [] {});
+  q.pop().callback();  // fires; the slot returns to the free-list
+  bool fired = false;
+  // The next schedule recycles the slot; the stale handle must not reach it.
+  q.schedule(SimTime::seconds(2), [&] { fired = true; });
+  q.cancel(stale);
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().callback();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, EqualTimesFifoSurvivesInterleavedCancellations) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.schedule(SimTime::seconds(1), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event; the survivors must still fire in FIFO order.
+  for (int i = 0; i < 64; i += 3) q.cancel(ids[std::size_t(i)]);
+  while (!q.empty()) q.pop().callback();
+  std::vector<int> expected;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, MatchesReferenceModelUnderRandomChurn) {
+  // Differential test of the indexed 4-ary heap against a sorted reference.
+  EventQueue q;
+  std::map<std::tuple<double, std::uint64_t>, int> reference;
+  std::vector<std::pair<EventId, std::tuple<double, std::uint64_t>>> live;
+  std::vector<int> fired;
+  std::uint64_t seq = 0;
+  Rng rng(2024);
+  int tag = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.5 || q.empty()) {
+      const double at = double(rng.uniform_int(0, 50));
+      const int t = tag++;
+      const EventId id = q.schedule(SimTime::seconds(at), [&fired, t] { fired.push_back(t); });
+      reference[{at, seq}] = t;
+      live.emplace_back(id, std::tuple<double, std::uint64_t>{at, seq});
+      ++seq;
+    } else if (action < 0.75 && !live.empty()) {
+      const std::size_t victim = std::size_t(rng.uniform_int(0, int(live.size()) - 1));
+      q.cancel(live[victim].first);
+      reference.erase(live[victim].second);
+      live.erase(live.begin() + long(victim));
+    } else {
+      ASSERT_FALSE(reference.empty());
+      const auto expected = reference.begin();
+      auto [time, callback] = q.pop();
+      EXPECT_DOUBLE_EQ(time.to_seconds(), std::get<0>(expected->first));
+      callback();
+      ASSERT_FALSE(fired.empty());
+      EXPECT_EQ(fired.back(), expected->second);
+      std::erase_if(live, [&](const auto& e) { return e.second == expected->first; });
+      reference.erase(expected);
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+}
+
+TEST(EventQueue, SlotStorageBoundedOverLongRuns) {
+  // Regression for the lazy-deletion design whose callbacks_/cancelled_
+  // vectors grew by one entry per scheduled event forever: a million events
+  // through a queue with bounded pendings must not grow slot storage beyond
+  // the peak pending count.
+  EventQueue q;
+  constexpr int kTotal = 1'000'000;
+  constexpr std::size_t kMaxPending = 64;
+  int fired = 0;
+  double now = 0.0;
+  for (int i = 0; i < kTotal; ++i) {
+    q.schedule(SimTime::seconds(now + 1.0 + double(i % 7)), [&fired] { ++fired; });
+    if (q.size() >= kMaxPending) {
+      auto event = q.pop();
+      now = event.time.to_seconds();
+      event.callback();
+    }
+  }
+  while (!q.empty()) {
+    auto event = q.pop();
+    event.callback();
+  }
+  EXPECT_EQ(fired, kTotal);
+  EXPECT_LE(q.slot_capacity(), kMaxPending);
+}
+
+TEST(EventQueue, CancelReleasesCapturedState) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventId id = q.schedule(SimTime::seconds(1), [held = std::move(token)] { (void)held; });
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  EXPECT_TRUE(watch.expired());  // capture destroyed eagerly on cancel
+}
+
+TEST(EventQueue, HoldsMoveOnlyCaptures) {
+  // std::function rejects move-only captures; the SBO callback must not.
+  EventQueue q;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  q.schedule(SimTime::seconds(1),
+             [p = std::move(payload), &seen]() mutable { seen = *p + 1; });
+  q.pop().callback();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(FlatMap, InsertFindEraseChurn) {
+  sim::FlatMap<std::uint64_t, int> map;
+  std::map<std::uint64_t, int> reference;
+  Rng rng(11);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = std::uint64_t(rng.uniform_int(0, 300));
+    const double action = rng.uniform();
+    if (action < 0.5) {
+      map[key] = step;
+      reference[key] = step;
+    } else if (action < 0.8) {
+      EXPECT_EQ(map.erase(key), reference.erase(key) == 1);
+    } else {
+      const int* found = map.find(key);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end());
+      if (found) EXPECT_EQ(*found, it->second);
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  std::size_t visited = 0;
+  map.for_each([&](std::uint64_t key, int value) {
+    ++visited;
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, reference.size());
 }
 
 TEST(Simulator, NowAdvancesWithEvents) {

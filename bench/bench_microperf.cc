@@ -9,6 +9,8 @@
 #include "experiments/campus_day.h"
 #include "experiments/classroom.h"
 #include "maxmin/advertised_rate.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "maxmin/protocol.h"
 #include "maxmin/waterfill.h"
 #include "qos/admission.h"
@@ -198,5 +200,63 @@ BENCHMARK(BM_CampusDaySweep)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();  // the work happens on pool threads, not the timing thread
+
+void BM_MetricsHotPath(benchmark::State& state) {
+  // One counter bump + one gauge set + one histogram record per iteration,
+  // through cached instrument pointers — the per-event cost every
+  // instrumented module pays once its bind_metrics() has run.
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("events");
+  obs::Gauge& gauge = registry.gauge("depth");
+  obs::Histogram& histogram =
+      registry.histogram("lat", obs::HistogramSpec::log2(0.001, 1000.0, 4));
+  double v = 0.0;
+  for (auto _ : state) {
+    counter.add();
+    gauge.set(v);
+    histogram.record(v);
+    v = v < 900.0 ? v + 0.37 : 0.0;
+  }
+  benchmark::DoNotOptimize(registry.snapshot());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHotPath);
+
+void BM_TracerInstant(benchmark::State& state) {
+  // Arg 0: tracer disabled (the always-paid guard branch). Arg 1: enabled
+  // (ring-buffer append). With IMRM_TRACING=OFF both compile to the guard.
+  obs::Tracer tracer(1 << 16);
+  tracer.set_enabled(state.range(0) != 0);
+  const obs::NameId name = tracer.intern("e", "bench");
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.instant(sim::SimTime::seconds(t), name, 1, t);
+    t += 1e-3;
+  }
+  benchmark::DoNotOptimize(tracer.records().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerInstant)->Arg(0)->Arg(1);
+
+void BM_CampusDayTraced(benchmark::State& state) {
+  // Overhead guardrail: one campus day untraced (arg 0) vs with an enabled
+  // tracer + bound metrics registry (arg 1). The gap is the full
+  // observability cost on a real workload; the issue budget is <5%.
+  const bool observed = state.range(0) != 0;
+  experiments::CampusDayConfig config;
+  config.attendees = 20;
+  config.squatters = 6;
+  config.seed = 5;
+  for (auto _ : state) {
+    obs::Registry registry;
+    obs::Tracer tracer;
+    tracer.set_enabled(true);
+    config.metrics = observed ? &registry : nullptr;
+    config.tracer = observed ? &tracer : nullptr;
+    benchmark::DoNotOptimize(experiments::run_campus_day(config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CampusDayTraced)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Runs the microbenchmark suite and writes a machine-readable perf trajectory
-# file (default BENCH_1.json at the repo root) so later PRs have a baseline
-# to beat. Schema: { "<benchmark name>": { "items_per_second": <double|null>,
-# "real_time_ns": <double> }, ... }.
+# Runs the microbenchmark suite plus an instrumented scenario_cli campus run
+# and writes a machine-readable perf trajectory file (default BENCH_2.json at
+# the repo root) so later PRs have a baseline to beat. Schema:
+# { "<benchmark name>": { "items_per_second": <double|null>,
+#   "real_time_ns": <double> }, ...,
+#   "scenario_cli/campus": { "events_per_second": <double>,
+#     "handoff_wall_us_p50": <double|null>,
+#     "handoff_wall_us_p99": <double|null> } }.
 #
 # Usage: bench/run_benchmarks.sh [output.json]
 # Env:   BUILD_DIR   build directory relative to the repo root (default: build)
@@ -11,16 +15,22 @@ set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-build}
-out=${1:-"$repo_root/BENCH_1.json"}
+out=${1:-"$repo_root/BENCH_2.json"}
 
-cmake --build "$repo_root/$build_dir" --target bench_microperf -j >/dev/null
+cmake --build "$repo_root/$build_dir" --target bench_microperf scenario_cli -j >/dev/null
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+report=$(mktemp)
+trap 'rm -f "$raw" "$report"' EXIT
 "$repo_root/$build_dir/bench/bench_microperf" \
   --benchmark_format=json ${BENCH_ARGS:-} >"$raw"
 
-python3 - "$raw" "$out" <<'PYEOF'
+# One instrumented campus day: the run report carries sim throughput and the
+# wall-clock handoff latency histogram (mobility.handoff_wall_us).
+"$repo_root/$build_dir/examples/scenario_cli" campus \
+  --attendees 20 --squatters 6 --seed 5 --metrics-json "$report" >/dev/null
+
+python3 - "$raw" "$report" "$out" <<'PYEOF'
 import json
 import sys
 
@@ -39,8 +49,17 @@ for bench in raw["benchmarks"]:
         "real_time_ns": bench["real_time"] * scale,
     }
 
-with open(sys.argv[2], "w") as f:
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+handoff = report["metrics"]["histograms"].get("mobility.handoff_wall_us", {})
+trajectory["scenario_cli/campus"] = {
+    "events_per_second": report["events_per_second"],
+    "handoff_wall_us_p50": handoff.get("p50"),
+    "handoff_wall_us_p99": handoff.get("p99"),
+}
+
+with open(sys.argv[3], "w") as f:
     json.dump(trajectory, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {sys.argv[2]} ({len(trajectory)} benchmarks)")
+print(f"wrote {sys.argv[3]} ({len(trajectory)} entries)")
 PYEOF

@@ -5,16 +5,31 @@
 //   $ ./scenario_cli twocell --window 0.05 --pqos 0.01 --rule probabilistic
 //   $ ./scenario_cli fig4 --hours 100 --users 12
 //   $ ./scenario_cli maxmin --links 8 --conns 24 --seed 3
+//   $ ./scenario_cli campus --policy dispatcher --attendees 40 --seed 5
+//
+// Every subcommand also accepts the observability flags:
+//   --metrics-json <path>   write a versioned obs::RunReport JSON document
+//   --trace-out <path>      write a Chrome trace_event JSON (Perfetto-loadable)
+// Leading flags with no subcommand default to the campus scenario, so
+//   $ ./scenario_cli --metrics-json out.json --trace-out trace.json
+// runs a campus day and emits both artifacts.
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <random>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "experiments/campus_day.h"
 #include "experiments/classroom.h"
 #include "experiments/fig4_mobility.h"
 #include "experiments/twocell.h"
 #include "maxmin/protocol.h"
 #include "maxmin/waterfill.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
 #include "stats/table.h"
 
 using namespace imrm;
@@ -43,7 +58,77 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-int run_classroom_cmd(const Flags& flags) {
+/// Shared observability state for one CLI run: the registry/tracer handed to
+/// the experiment, the output paths, and the report skeleton.
+struct ObsSession {
+  explicit ObsSession(const Flags& flags)
+      : metrics_path(flags.text("metrics-json", "")),
+        trace_path(flags.text("trace-out", "")) {
+    tracer.set_enabled(want_trace());
+    start = std::chrono::steady_clock::now();
+  }
+
+  [[nodiscard]] bool want_metrics() const { return !metrics_path.empty(); }
+  [[nodiscard]] bool want_trace() const { return !trace_path.empty(); }
+  [[nodiscard]] obs::Registry* registry_or_null() {
+    return want_metrics() ? &registry : nullptr;
+  }
+  [[nodiscard]] obs::Tracer* tracer_or_null() {
+    return want_trace() ? &tracer : nullptr;
+  }
+
+  void config_echo(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Writes whichever artifacts were requested. `sim_seconds`/`events_fired`
+  /// come from the experiment's own metric export when present.
+  int finish(const std::string& scenario, const obs::Snapshot& snapshot) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (want_metrics()) {
+      obs::RunReport report;
+      report.tool = "scenario_cli";
+      report.scenario = scenario;
+      report.config = config;
+      report.wall_seconds = std::chrono::duration<double>(elapsed).count();
+      if (const obs::GaugeSample* g = snapshot.gauge("sim.time_seconds")) {
+        report.sim_seconds = g->value;
+      }
+      if (const obs::CounterSample* c = snapshot.counter("sim.events_fired")) {
+        report.events_fired = c->value;
+      }
+      report.metrics = snapshot;
+      std::ofstream os(metrics_path);
+      if (!os) {
+        std::cerr << "cannot write " << metrics_path << '\n';
+        return 1;
+      }
+      report.write_json(os);
+      os << '\n';
+    }
+    if (want_trace()) {
+      std::ofstream os(trace_path);
+      if (!os) {
+        std::cerr << "cannot write " << trace_path << '\n';
+        return 1;
+      }
+      tracer.write_chrome_trace(os);
+      os << '\n';
+    }
+    return 0;
+  }
+
+  std::string metrics_path;
+  std::string trace_path;
+  obs::Registry registry;
+  obs::Tracer tracer;
+  std::vector<std::pair<std::string, std::string>> config;
+  std::chrono::steady_clock::time_point start;
+};
+
+std::string fmt_count(double v) { return stats::fmt(v, 0); }
+
+int run_classroom_cmd(const Flags& flags, ObsSession& obs) {
   ClassroomConfig config;
   config.class_size = std::size_t(flags.number("size", 35));
   config.meeting = {sim::SimTime::minutes(60), sim::SimTime::minutes(110),
@@ -56,16 +141,21 @@ int run_classroom_cmd(const Flags& flags) {
   else if (policy == "static") config.policy = PolicyKind::kStatic;
   else if (policy == "none") config.policy = PolicyKind::kNone;
   else config.policy = PolicyKind::kMeetingRoom;
+  config.metrics = obs.registry_or_null();
+  config.tracer = obs.tracer_or_null();
+  obs.config_echo("size", fmt_count(double(config.class_size)));
+  obs.config_echo("policy", policy);
+  obs.config_echo("seed", fmt_count(double(config.seed)));
 
   const ClassroomResult result = run_classroom(config);
   std::cout << "policy=" << result.policy << " size=" << result.attendees
             << " load=" << stats::fmt(result.offered_load * 100, 0) << "%"
             << " drops=" << result.connection_drops << " walkers=" << result.walkers
             << '\n';
-  return 0;
+  return obs.finish("classroom", obs.registry.snapshot());
 }
 
-int run_twocell_cmd(const Flags& flags) {
+int run_twocell_cmd(const Flags& flags, ObsSession& obs) {
   TwoCellConfig config;
   config.window = flags.number("window", 0.05);
   config.p_qos = flags.number("pqos", 0.01);
@@ -76,20 +166,32 @@ int run_twocell_cmd(const Flags& flags) {
   if (rule == "static") config.rule = AdmissionRule::kStaticGuard;
   else if (rule == "none") config.rule = AdmissionRule::kNoReservation;
   else config.rule = AdmissionRule::kProbabilistic;
+  config.metrics = obs.registry_or_null();
+  config.tracer = obs.tracer_or_null();
+  obs.config_echo("rule", rule);
+  obs.config_echo("window", stats::fmt(config.window, 4));
+  obs.config_echo("pqos", stats::fmt(config.p_qos, 4));
+  obs.config_echo("seed", fmt_count(double(config.seed)));
 
   const TwoCellResult r = run_twocell(config);
   std::cout << "rule=" << rule << " T=" << config.window << " Pqos=" << config.p_qos
             << "  Pb=" << stats::fmt(r.p_block(), 5) << " Pd=" << stats::fmt(r.p_drop(), 5)
             << " (" << r.new_attempts << " arrivals, " << r.handoff_attempts
             << " handoffs)\n";
-  return 0;
+  return obs.finish("twocell", obs.registry.snapshot());
 }
 
-int run_fig4_cmd(const Flags& flags) {
+int run_fig4_cmd(const Flags& flags, ObsSession& obs) {
   Fig4Config config;
   config.hours = flags.number("hours", 100.0);
   config.background_users = int(flags.number("users", 12));
   config.seed = std::uint64_t(flags.number("seed", 1));
+  config.metrics = obs.registry_or_null();
+  config.tracer = obs.tracer_or_null();
+  obs.config_echo("hours", stats::fmt(config.hours, 1));
+  obs.config_echo("users", fmt_count(double(config.background_users)));
+  obs.config_echo("seed", fmt_count(double(config.seed)));
+
   const Fig4Result r = run_fig4(config);
   auto pct = [](std::size_t a, std::size_t b) {
     return b ? stats::fmt(100.0 * double(a) / double(b), 1) : std::string("-");
@@ -101,14 +203,16 @@ int run_fig4_cmd(const Flags& flags) {
             << pct(r.predictive_hits, r.predictive_reservations) << "% over "
             << r.predictive_reservations << " reservations ("
             << r.total_handoffs << " handoffs)\n";
-  return 0;
+  return obs.finish("fig4", obs.registry.snapshot());
 }
 
-int run_maxmin_cmd(const Flags& flags) {
+int run_maxmin_cmd(const Flags& flags, ObsSession& obs) {
   const int n_links = int(flags.number("links", 6));
   const int n_conns = int(flags.number("conns", 12));
   std::mt19937_64 rng{std::uint64_t(flags.number("seed", 1))};
   std::uniform_real_distribution<double> cap(5.0, 50.0);
+  obs.config_echo("links", fmt_count(double(n_links)));
+  obs.config_echo("conns", fmt_count(double(n_conns)));
 
   maxmin::Problem problem;
   for (int i = 0; i < n_links; ++i) problem.links.push_back({cap(rng)});
@@ -123,9 +227,14 @@ int run_maxmin_cmd(const Flags& flags) {
   }
 
   sim::Simulator simulator;
+  if (obs.want_trace()) simulator.set_tracer(&obs.tracer);
   maxmin::DistributedProtocol protocol(simulator, problem, {});
   protocol.start_all();
   protocol.run_to_quiescence();
+  if (obs.want_metrics()) {
+    simulator.collect_metrics(obs.registry);
+    protocol.export_metrics(obs.registry);
+  }
   const auto optimum = maxmin::waterfill(problem);
   double dev = 0.0;
   for (std::size_t i = 0; i < optimum.rates.size(); ++i) {
@@ -134,18 +243,72 @@ int run_maxmin_cmd(const Flags& flags) {
   std::cout << "links=" << n_links << " conns=" << n_conns << " messages="
             << protocol.messages_sent() << " rounds=" << protocol.rounds_run()
             << " max-dev-from-optimal=" << stats::fmt(dev, 9) << '\n';
-  return 0;
+  return obs.finish("maxmin", obs.registry.snapshot());
+}
+
+int run_campus_cmd(const Flags& flags, ObsSession& obs) {
+  CampusDayConfig config;
+  config.attendees = std::size_t(flags.number("attendees", 40));
+  config.squatters = std::size_t(flags.number("squatters", 10));
+  config.seed = std::uint64_t(flags.number("seed", 5));
+  const std::string policy = flags.text("policy", "dispatcher");
+  if (policy == "none") config.policy = CampusPolicy::kNone;
+  else if (policy == "static") config.policy = CampusPolicy::kStatic;
+  else if (policy == "brute-force") config.policy = CampusPolicy::kBruteForce;
+  else if (policy == "aggregate") config.policy = CampusPolicy::kAggregate;
+  else config.policy = CampusPolicy::kDispatcher;
+  const std::size_t replications = std::size_t(flags.number("replications", 1));
+  obs.config_echo("policy", policy);
+  obs.config_echo("attendees", fmt_count(double(config.attendees)));
+  obs.config_echo("squatters", fmt_count(double(config.squatters)));
+  obs.config_echo("seed", fmt_count(double(config.seed)));
+  obs.config_echo("replications", fmt_count(double(replications)));
+
+  if (replications > 1) {
+    // Monte-Carlo sweep: per-replication snapshots merged deterministically;
+    // tracing and wall metrics stay off inside the sweep.
+    CampusSweepConfig sweep;
+    sweep.base = config;
+    sweep.replications = replications;
+    sweep.threads = std::size_t(flags.number("threads", 0));
+    sweep.base_seed = config.seed;
+    const CampusSweepResult r = run_campus_day_sweep(sweep);
+    std::cout << "policy=" << r.policy << " replications=" << r.replications
+              << " attendee-drops=" << r.attendee_drops
+              << " squatter-blocks=" << r.squatter_blocks
+              << " handoffs=" << r.handoffs << '\n';
+    return obs.finish("campus-sweep", r.metrics);
+  }
+
+  config.metrics = obs.registry_or_null();
+  config.tracer = obs.tracer_or_null();
+  // A single interactive run may record the (nondeterministic) wall-clock
+  // handoff latency histogram; sweeps never do.
+  config.wall_metrics = obs.want_metrics();
+  const CampusDayResult r = run_campus_day(config);
+  std::cout << "policy=" << r.policy << " attendee-drops=" << r.attendee_drops
+            << " squatter-blocks=" << r.squatter_blocks << " squatter-admits="
+            << r.squatter_admits << " handoffs=" << r.handoffs
+            << " room-peak=" << stats::fmt(r.room_peak_allocated / 1000.0, 0)
+            << "kbps\n";
+  return obs.finish("campus", obs.registry.snapshot());
 }
 
 void usage() {
   std::cout <<
-      "usage: scenario_cli <command> [--flag value ...]\n"
+      "usage: scenario_cli [<command>] [--flag value ...]\n"
       "  classroom  --size N --policy meeting-room|brute-force|aggregate|static|none\n"
       "             --passby R --seed S\n"
       "  twocell    --window T --pqos P --rule probabilistic|static|none\n"
       "             --guard G --duration D --seed S\n"
       "  fig4       --hours H --users N --seed S\n"
-      "  maxmin     --links L --conns C --seed S\n";
+      "  maxmin     --links L --conns C --seed S\n"
+      "  campus     --policy dispatcher|aggregate|brute-force|static|none\n"
+      "             --attendees N --squatters M --replications R --seed S\n"
+      "             (default command when only flags are given)\n"
+      "observability (any command):\n"
+      "  --metrics-json PATH   versioned run report with the metrics snapshot\n"
+      "  --trace-out PATH      Chrome trace_event JSON (chrome://tracing, Perfetto)\n";
 }
 
 }  // namespace
@@ -155,12 +318,16 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
-  if (command == "classroom") return run_classroom_cmd(flags);
-  if (command == "twocell") return run_twocell_cmd(flags);
-  if (command == "fig4") return run_fig4_cmd(flags);
-  if (command == "maxmin") return run_maxmin_cmd(flags);
+  // Leading flags with no subcommand: default to the campus scenario.
+  const bool bare_flags = std::strncmp(argv[1], "--", 2) == 0;
+  const std::string command = bare_flags ? "campus" : argv[1];
+  const Flags flags(argc, argv, bare_flags ? 1 : 2);
+  ObsSession obs(flags);
+  if (command == "classroom") return run_classroom_cmd(flags, obs);
+  if (command == "twocell") return run_twocell_cmd(flags, obs);
+  if (command == "fig4") return run_fig4_cmd(flags, obs);
+  if (command == "maxmin") return run_maxmin_cmd(flags, obs);
+  if (command == "campus") return run_campus_cmd(flags, obs);
   usage();
   return 2;
 }

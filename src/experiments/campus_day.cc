@@ -55,6 +55,13 @@ class CampusDay {
       if (policy_) policy_->on_handoff(e);
     });
     build_policy();
+
+    if (config_.tracer) simulator_.set_tracer(config_.tracer);
+    if (config_.metrics) {
+      directory_.bind_metrics(*config_.metrics);
+      manager_.bind_metrics(*config_.metrics);
+      if (config_.wall_metrics) manager_.bind_latency_metrics(*config_.metrics);
+    }
   }
 
   CampusDayResult run() {
@@ -70,6 +77,7 @@ class CampusDay {
     });
     simulator_.run();
     result_.policy = to_string(config_.policy);
+    if (config_.metrics) export_metrics(*config_.metrics);
     return result_;
   }
 
@@ -111,6 +119,15 @@ class CampusDay {
   }
 
   void refresh() { policy_->refresh(simulator_.now()); }
+
+  void export_metrics(obs::Registry& m) const {
+    simulator_.collect_metrics(m);
+    m.counter("campus.attendee_drops").add(result_.attendee_drops);
+    m.counter("campus.squatter_blocks").add(result_.squatter_blocks);
+    m.counter("campus.squatter_admits").add(result_.squatter_admits);
+    m.counter("campus.other_drops").add(result_.other_drops);
+    m.gauge("campus.room_peak_allocated_bps").set(result_.room_peak_allocated);
+  }
 
   void do_handoff(PortableId p, CellId to, bool is_attendee) {
     const CellId from = manager_.portable(p).current_cell;
@@ -233,20 +250,35 @@ CampusDayResult run_campus_day(const CampusDayConfig& config) {
 }
 
 CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config) {
+  struct Replication {
+    CampusDayResult day;
+    obs::Snapshot metrics;
+  };
   const sim::ReplicationRunner runner(config.threads);
-  const std::vector<CampusDayResult> replications =
+  const std::vector<Replication> replications =
       runner.run(config.replications, config.base_seed,
                  [&](std::uint64_t seed, std::size_t) {
+                   // Each replication collects into its own registry; wall
+                   // metrics and tracing stay off so every snapshot is a
+                   // pure function of the seed.
+                   obs::Registry registry;
                    CampusDayConfig day = config.base;
                    day.seed = seed;
-                   return run_campus_day(day);
+                   day.metrics = &registry;
+                   day.tracer = nullptr;
+                   day.wall_metrics = false;
+                   Replication r;
+                   r.day = run_campus_day(day);
+                   r.metrics = registry.snapshot();
+                   return r;
                  });
 
   // Fold in replication order: byte-identical at any thread count.
   CampusSweepResult sweep;
   sweep.policy = to_string(config.base.policy);
   sweep.replications = replications.size();
-  for (const CampusDayResult& r : replications) {
+  for (const Replication& rep : replications) {
+    const CampusDayResult& r = rep.day;
     sweep.attendee_drops += r.attendee_drops;
     sweep.squatter_blocks += r.squatter_blocks;
     sweep.squatter_admits += r.squatter_admits;
@@ -255,6 +287,7 @@ CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config) {
     sweep.mean_room_peak_allocated += r.room_peak_allocated;
     sweep.max_room_peak_allocated =
         std::max(sweep.max_room_peak_allocated, r.room_peak_allocated);
+    sweep.metrics.merge(rep.metrics);
   }
   if (!replications.empty()) {
     sweep.mean_room_peak_allocated /= double(replications.size());

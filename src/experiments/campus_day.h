@@ -17,8 +17,13 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "qos/flow_spec.h"
 #include "sim/time.h"
+
+namespace imrm::obs {
+class Tracer;
+}  // namespace imrm::obs
 
 namespace imrm::experiments {
 
@@ -36,6 +41,18 @@ struct CampusDayConfig {
   /// Meeting runs [start, stop); attendees walk in through the corridor.
   sim::SimTime meeting_start = sim::SimTime::minutes(90);
   sim::SimTime meeting_stop = sim::SimTime::minutes(140);
+
+  // ---- observability (all optional) ------------------------------------
+  /// Registry for end-of-run metric export (sim.* driver totals, resv.* and
+  /// mobility.* admission/handoff telemetry, campus.* outcome counters).
+  obs::Registry* metrics = nullptr;
+  /// Tracer to attach to the day's simulator (spans/instants/counters from
+  /// every instrumented module).
+  obs::Tracer* tracer = nullptr;
+  /// Also bind the wall-clock handoff-latency histogram. Wall time is not
+  /// deterministic — leave false whenever snapshots must be byte-comparable
+  /// across runs or thread counts (the sweep always leaves it false).
+  bool wall_metrics = false;
 };
 
 struct CampusDayResult {
@@ -73,6 +90,9 @@ struct CampusSweepResult {
   std::size_t handoffs = 0;
   double mean_room_peak_allocated = 0.0;  // bps
   double max_room_peak_allocated = 0.0;   // bps
+  /// Per-replication metric snapshots merged in replication order —
+  /// byte-identical for the same seeds at any thread count.
+  obs::Snapshot metrics;
 };
 
 [[nodiscard]] CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config);

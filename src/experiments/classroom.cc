@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "mobility/manager.h"
+#include "obs/metrics.h"
 #include "reservation/policy.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -93,6 +94,14 @@ struct Pass {
       directory.add_cell(cell.id, config->cell_capacity);
     }
     build_policy();
+
+    // Observability applies to the measured pass only (the warmup rehearsal
+    // runs with a nulled-out config either way).
+    if (result != nullptr && config->tracer) simulator.set_tracer(config->tracer);
+    if (result != nullptr && config->metrics) {
+      directory.bind_metrics(*config->metrics);
+      manager->bind_metrics(*config->metrics);
+    }
 
     manager->on_handoff([this](const mobility::HandoffEvent& event) {
       server->record_handoff(event);
@@ -272,6 +281,8 @@ ClassroomResult run_classroom(const ClassroomConfig& config) {
     auto bw = attendee_bandwidths(config.class_size, warm_rng);
     ClassroomConfig warm_config = config;
     warm_config.policy = PolicyKind::kNone;
+    warm_config.metrics = nullptr;
+    warm_config.tracer = nullptr;
     Pass pass(warm_config, map, cells, server, nullptr);
     pass.run(work, bw, warm_rng.fork());
   }
@@ -291,6 +302,13 @@ ClassroomResult run_classroom(const ClassroomConfig& config) {
   Pass pass(config, map, cells, server, &result);
   pass.run(work, bw, measured_rng.fork());
   result.connection_drops = pass.drops;
+  if (config.metrics) {
+    obs::Registry& m = *config.metrics;
+    pass.simulator.collect_metrics(m);
+    m.counter("classroom.connection_drops").add(pass.drops);
+    m.counter("classroom.new_blocked").add(pass.blocked);
+    m.gauge("classroom.offered_load").set(result.offered_load);
+  }
   return result;
 }
 

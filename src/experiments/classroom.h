@@ -22,6 +22,11 @@
 #include "stats/timeseries.h"
 #include "workload/class_schedule.h"
 
+namespace imrm::obs {
+class Registry;
+class Tracer;
+}  // namespace imrm::obs
+
 namespace imrm::experiments {
 
 enum class PolicyKind { kNone, kBruteForce, kAggregate, kMeetingRoom, kStatic };
@@ -45,6 +50,11 @@ struct ClassroomConfig {
   /// Warm the profile server with one unmeasured rehearsal of the same
   /// workload (the aggregate policy needs handoff statistics).
   bool warmup_pass = true;
+  /// Optional observability, applied to the *measured* pass only: end-of-run
+  /// metric export (sim.* totals, resv.*/mobility.* telemetry, classroom.*
+  /// outcome counters) and simulator tracing.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ClassroomResult {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "mobility/movement.h"
+#include "obs/metrics.h"
 #include "profiles/profile_server.h"
 #include "sim/simulator.h"
 
@@ -19,6 +20,9 @@ Fig4Result run_fig4(const Fig4Config& config) {
   sim::Simulator simulator;
   mobility::MobilityManager manager(map, simulator, sim::Duration::minutes(3));
   profiles::ProfileServer server{net::ZoneId{0}};
+
+  if (config.tracer) simulator.set_tracer(config.tracer);
+  if (config.metrics) manager.bind_metrics(*config.metrics);
 
   sim::Rng rng(config.seed);
 
@@ -112,6 +116,18 @@ Fig4Result run_fig4(const Fig4Config& config) {
   for (PortableId o : others) add_mover(o, mobility::fig4_other_weights());
 
   simulator.run();
+  if (config.metrics) {
+    obs::Registry& m = *config.metrics;
+    simulator.collect_metrics(m);
+    m.counter("fig4.predictions").add(result.portable_profile.predictions +
+                                      result.office_occupancy.predictions +
+                                      result.cell_aggregate.predictions);
+    m.counter("fig4.predictions_correct").add(result.portable_profile.correct +
+                                              result.office_occupancy.correct +
+                                              result.cell_aggregate.correct);
+    m.counter("fig4.unpredicted").add(result.unpredicted);
+    m.counter("fig4.total_handoffs").add(result.total_handoffs);
+  }
   return result;
 }
 

@@ -15,6 +15,11 @@
 
 #include "prediction/predictor.h"
 
+namespace imrm::obs {
+class Registry;
+class Tracer;
+}  // namespace imrm::obs
+
 namespace imrm::experiments {
 
 enum class PredictionMode {
@@ -28,6 +33,10 @@ struct Fig4Config {
   double mean_dwell_minutes = 4.0;
   PredictionMode prediction = PredictionMode::kThreeLevel;
   std::uint64_t seed = 1;
+  /// Optional observability: end-of-run metric export (sim.* totals,
+  /// mobility.handoffs, fig4.* prediction counters) and simulator tracing.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct Fanout {

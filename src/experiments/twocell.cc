@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -30,6 +31,7 @@ class TwoCellSim {
   }
 
   TwoCellResult run() {
+    if (config_.tracer) simulator_.set_tracer(config_.tracer);
     const auto horizon = sim::SimTime::seconds(config_.duration);
     for (int cell = 0; cell < 2; ++cell) {
       for (std::size_t type = 0; type < config_.types.size(); ++type) {
@@ -37,6 +39,14 @@ class TwoCellSim {
       }
     }
     simulator_.run_until(horizon);
+    if (config_.metrics) {
+      obs::Registry& m = *config_.metrics;
+      simulator_.collect_metrics(m);
+      m.counter("twocell.new_attempts").add(result_.new_attempts);
+      m.counter("twocell.new_blocked").add(result_.new_blocked);
+      m.counter("twocell.handoff_attempts").add(result_.handoff_attempts);
+      m.counter("twocell.handoff_dropped").add(result_.handoff_dropped);
+    }
     return result_;
   }
 

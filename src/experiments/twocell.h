@@ -17,6 +17,11 @@
 
 #include "reservation/probabilistic.h"
 
+namespace imrm::obs {
+class Registry;
+class Tracer;
+}  // namespace imrm::obs
+
 namespace imrm::experiments {
 
 enum class AdmissionRule { kProbabilistic, kStaticGuard, kNoReservation };
@@ -38,6 +43,10 @@ struct TwoCellConfig {
   double duration = 400.0;     // simulated time units
   double warmup = 20.0;        // stats ignored before this time
   std::uint64_t seed = 1;
+  /// Optional observability: end-of-run metric export (sim.* totals plus
+  /// twocell.* attempt/block/drop counters) and simulator tracing.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct TwoCellResult {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace imrm::maxmin {
 
@@ -145,6 +148,7 @@ void DistributedProtocol::set_link_excess_capacity(LinkIndex link, double new_ex
 void DistributedProtocol::recompute_mu(LinkIndex link) {
   // The recorded rates already sit in one contiguous array — no copy.
   links_[link].mu.recompute(links_[link].recorded);
+  trace_mu(link, links_[link].mu.current());
 }
 
 // ---- trigger queue ------------------------------------------------------
@@ -240,6 +244,7 @@ void DistributedProtocol::pump() {
     active_ = Adaptation{link, conn, config_.round_trips, std::nullopt, std::nullopt};
     ++active_token_;
     ++rounds_run_;
+    round_started_ = simulator_->now();
     launch_round();
     return;
   }
@@ -370,6 +375,7 @@ void DistributedProtocol::on_round_trip_complete() {
 
 void DistributedProtocol::send_update(ConnIndex conn, double rate) {
   assert(active_ && active_->conn == conn);
+  trace_update(conn, rate);
   const auto path = paths_[conn];
   messages_sent_ += path.size();
   if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
@@ -413,6 +419,7 @@ void DistributedProtocol::finish_adaptation(double final_rate) {
     state.in_bottleneck = final_rate >= trigger_node.mu.current() - config_.epsilon;
   }
 
+  trace_round_complete(conn, final_rate);
   active_.reset();
   ++active_token_;
 
@@ -433,6 +440,54 @@ void DistributedProtocol::finish_adaptation(double final_rate) {
     initiate_growers(li, conn);
   }
   pump();
+}
+
+// ---- observability ------------------------------------------------------
+
+void DistributedProtocol::trace_round_complete(ConnIndex conn, double final_rate) {
+  obs::Tracer* tracer = simulator_->tracer();
+  if (!tracer || !tracer->enabled()) return;
+  if (trace_round_name_ == obs::kInvalidName) {
+    trace_round_name_ = tracer->intern("adaptation-round", "maxmin");
+  }
+  tracer->complete(round_started_, simulator_->now(), trace_round_name_,
+                   std::uint32_t(conn), final_rate);
+}
+
+void DistributedProtocol::trace_update(ConnIndex conn, double rate) {
+  obs::Tracer* tracer = simulator_->tracer();
+  if (!tracer || !tracer->enabled()) return;
+  if (trace_update_name_ == obs::kInvalidName) {
+    trace_update_name_ = tracer->intern("update", "maxmin");
+  }
+  tracer->instant(simulator_->now(), trace_update_name_, std::uint32_t(conn), rate);
+}
+
+void DistributedProtocol::trace_mu(LinkIndex link, double mu) {
+  obs::Tracer* tracer = simulator_->tracer();
+  if (!tracer || !tracer->enabled()) return;
+  if (trace_link_names_.size() <= link) {
+    trace_link_names_.resize(links_.size(), obs::kInvalidName);
+  }
+  if (trace_link_names_[link] == obs::kInvalidName) {
+    trace_link_names_[link] =
+        tracer->intern("link" + std::to_string(link) + ".advertised_rate", "maxmin");
+  }
+  tracer->counter(simulator_->now(), trace_link_names_[link], mu);
+}
+
+void DistributedProtocol::export_metrics(obs::Registry& registry) const {
+  registry.counter("maxmin.messages_sent").add(messages_sent_);
+  registry.counter("maxmin.rounds_run").add(rounds_run_);
+  registry.counter("maxmin.renegotiation_requests").add(renegotiations_.size());
+  registry.gauge("maxmin.message_cap_hit").set(cap_hit_ ? 1.0 : 0.0);
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const std::string prefix = "maxmin.link." + std::to_string(li);
+    registry.gauge(prefix + ".advertised_rate").set(links_[li].mu.current());
+    std::size_t bottlenecked = 0;
+    for (const ConnState& s : links_[li].state) bottlenecked += s.in_bottleneck ? 1 : 0;
+    registry.gauge(prefix + ".bottleneck_set_size").set(double(bottlenecked));
+  }
 }
 
 }  // namespace imrm::maxmin

@@ -47,6 +47,10 @@
 #include "sim/flat_map.h"
 #include "sim/simulator.h"
 
+namespace imrm::obs {
+class Registry;
+}  // namespace imrm::obs
+
 namespace imrm::maxmin {
 
 enum class InitiationPolicy { kFlooding, kBottleneckSets };
@@ -100,6 +104,14 @@ class DistributedProtocol {
   /// Drains the simulator's event queue (the protocol schedules all its
   /// message deliveries there) and returns the number of events processed.
   std::uint64_t run_to_quiescence() { return simulator_->run(); }
+
+  /// Exports protocol telemetry: message/round/renegotiation counters and a
+  /// per-link advertised-rate + bottleneck-set-size gauge pair. Adds the
+  /// current totals — call once, after the run. Adaptation rounds and
+  /// UPDATEs are additionally traced live through the simulator's attached
+  /// obs::Tracer (spans per round, instants per UPDATE, a counter track per
+  /// link's advertised rate) whenever tracing is enabled.
+  void export_metrics(obs::Registry& registry) const;
 
  private:
   enum class Direction { kUpstream, kDownstream };
@@ -177,6 +189,11 @@ class DistributedProtocol {
   void finish_adaptation(double final_rate);
   void recompute_mu(LinkIndex link);
 
+  // --- tracing (no-ops unless a tracer is attached and enabled) ----------
+  void trace_round_complete(ConnIndex conn, double final_rate);
+  void trace_update(ConnIndex conn, double rate);
+  void trace_mu(LinkIndex link, double mu);
+
   sim::Simulator* simulator_;
   Config config_;
 
@@ -190,6 +207,13 @@ class DistributedProtocol {
   sim::FlatMap<std::uint64_t, bool> queued_;  // membership for trigger_queue_
   std::optional<Adaptation> active_;
   std::uint64_t active_token_ = 0;  // invalidates stale packets
+
+  // Interned trace names, filled lazily on first use (per-link counter
+  // tracks are interned on each link's first mu change).
+  obs::NameId trace_round_name_ = obs::kInvalidName;
+  obs::NameId trace_update_name_ = obs::kInvalidName;
+  std::vector<obs::NameId> trace_link_names_;
+  sim::SimTime round_started_ = sim::SimTime::zero();
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t rounds_run_ = 0;

@@ -1,8 +1,20 @@
 #include "mobility/manager.h"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace imrm::mobility {
+
+void MobilityManager::bind_metrics(obs::Registry& registry) {
+  handoff_counter_ = &registry.counter("mobility.handoffs");
+}
+
+void MobilityManager::bind_latency_metrics(obs::Registry& registry) {
+  handoff_wall_us_ = &registry.histogram(
+      "mobility.handoff_wall_us", obs::HistogramSpec::log2(0.01, 1e5, 4));
+}
 
 PortableId MobilityManager::add_portable(CellId start) {
   const PortableId id{static_cast<PortableId::underlying>(portables_.size())};
@@ -30,7 +42,24 @@ void MobilityManager::move(PortableId id, CellId to) {
   p.current_cell = to;
   p.entered_cell = simulator_->now();
 
-  for (const HandoffListener& listener : listeners_) listener(event);
+  if (handoff_counter_) handoff_counter_->add();
+  if (obs::Tracer* tracer = simulator_->tracer(); tracer && tracer->enabled()) {
+    if (trace_handoff_name_ == obs::kInvalidName) {
+      trace_handoff_name_ = tracer->intern("handoff", "mobility");
+    }
+    tracer->instant(event.time, trace_handoff_name_, std::uint32_t(id.value()),
+                    double(to.value()));
+  }
+
+  if (handoff_wall_us_) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (const HandoffListener& listener : listeners_) listener(event);
+    const auto wall_end = std::chrono::steady_clock::now();
+    handoff_wall_us_->record(
+        std::chrono::duration<double, std::micro>(wall_end - wall_start).count());
+  } else {
+    for (const HandoffListener& listener : listeners_) listener(event);
+  }
 }
 
 std::vector<PortableId> MobilityManager::portables_in(CellId cell) const {

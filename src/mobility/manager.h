@@ -11,6 +11,12 @@
 #include "mobility/portable.h"
 #include "sim/simulator.h"
 
+namespace imrm::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace imrm::obs
+
 namespace imrm::mobility {
 
 struct HandoffEvent {
@@ -55,6 +61,18 @@ class MobilityManager {
 
   void on_handoff(HandoffListener listener) { listeners_.push_back(std::move(listener)); }
 
+  /// Registers the mobility.handoffs counter; every move() increments it.
+  /// Also lights up per-handoff trace instants when the simulator has a
+  /// tracer attached. Deterministic across replications.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Registers mobility.handoff_wall_us — a wall-clock histogram of the
+  /// listener fan-out latency per handoff, measured with steady_clock. Wall
+  /// time is NOT deterministic, so sweeps that compare snapshots across
+  /// thread counts must leave this unbound (see experiments::CampusDayConfig
+  /// ::wall_metrics).
+  void bind_latency_metrics(obs::Registry& registry);
+
   [[nodiscard]] const CellMap& map() const { return *map_; }
   [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
 
@@ -64,6 +82,9 @@ class MobilityManager {
   StaticMobileClassifier classifier_;
   std::vector<Portable> portables_;
   std::vector<HandoffListener> listeners_;
+  obs::Counter* handoff_counter_ = nullptr;
+  obs::Histogram* handoff_wall_us_ = nullptr;
+  obs::NameId trace_handoff_name_ = obs::kInvalidName;
 };
 
 }  // namespace imrm::mobility

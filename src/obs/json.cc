@@ -1,0 +1,49 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace imrm::obs::json {
+
+void write_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;  // shortest form always fits in 32 chars
+  os.write(buf, end - buf);
+}
+
+void write_number(std::ostream& os, std::uint64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  os.write(buf, end - buf);
+}
+
+}  // namespace imrm::obs::json

@@ -1,0 +1,37 @@
+// Minimal deterministic JSON emission helpers shared by the metrics
+// snapshot, the Chrome trace exporter, and the run report.
+//
+// There is deliberately no JSON *parsing* here (tools/validate_report.py
+// does that offline); emission only needs escaping and a number format that
+// round-trips doubles byte-identically across runs, which std::to_chars
+// (shortest round-trip form) guarantees.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace imrm::obs::json {
+
+/// Writes `s` as a quoted JSON string with the mandatory escapes.
+void write_string(std::ostream& os, std::string_view s);
+
+/// Writes a double in shortest round-trip form. Non-finite values (not
+/// representable in JSON) are written as null.
+void write_number(std::ostream& os, double value);
+
+void write_number(std::ostream& os, std::uint64_t value);
+
+/// Comma-separating helper: writes nothing on the first call, "," after.
+class Separator {
+ public:
+  void write(std::ostream& os) {
+    if (!first_) os << ',';
+    first_ = false;
+  }
+
+ private:
+  bool first_ = true;
+};
+
+}  // namespace imrm::obs::json

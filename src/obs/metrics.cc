@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace imrm::obs {
+
+// ---- HistogramSpec ------------------------------------------------------
+
+HistogramSpec HistogramSpec::linear(double lo, double hi, std::uint32_t buckets) {
+  assert(hi > lo && buckets > 0);
+  return {Scale::kLinear, lo, hi, buckets};
+}
+
+HistogramSpec HistogramSpec::log2(double lo, double hi, std::uint32_t sub_buckets) {
+  assert(lo > 0.0 && hi > lo && sub_buckets > 0);
+  return {Scale::kLog2, lo, hi, sub_buckets};
+}
+
+std::size_t HistogramSpec::bucket_count() const {
+  if (scale == Scale::kLinear) return divisions;
+  const double octaves = std::ceil(std::log2(hi / lo));
+  return std::size_t(octaves) * divisions;
+}
+
+std::size_t HistogramSpec::index_of(double v) const {
+  if (scale == Scale::kLinear) {
+    const auto idx =
+        std::size_t((v - lo) / (hi - lo) * double(divisions));
+    return std::min(idx, std::size_t(divisions - 1));
+  }
+  // Log-linear: octave via log2, then a linear sub-bucket inside it.
+  const double ratio = v / lo;
+  const auto octave = std::size_t(std::log2(ratio));
+  const double octave_lo = lo * double(1ull << octave);
+  const auto sub = std::size_t((v - octave_lo) / octave_lo * double(divisions));
+  const std::size_t idx = octave * divisions + std::min(sub, std::size_t(divisions - 1));
+  return std::min(idx, bucket_count() - 1);
+}
+
+double HistogramSpec::lower_bound(std::size_t bucket) const {
+  if (scale == Scale::kLinear) {
+    return lo + (hi - lo) * double(bucket) / double(divisions);
+  }
+  const std::size_t octave = bucket / divisions;
+  const std::size_t sub = bucket % divisions;
+  const double octave_lo = lo * double(1ull << octave);
+  return octave_lo * (1.0 + double(sub) / double(divisions));
+}
+
+// ---- HistogramSample ----------------------------------------------------
+
+double HistogramSample::percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * double(count);
+  double cumulative = double(underflow);
+  if (target <= cumulative) return spec.lo;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = double(buckets[i]);
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      const double fraction = (target - cumulative) / in_bucket;
+      const double lo = spec.lower_bound(i);
+      return lo + fraction * (spec.upper_bound(i) - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return spec.hi;
+}
+
+// ---- Snapshot -----------------------------------------------------------
+
+namespace {
+
+template <typename Sample>
+const Sample* find_sample(const std::vector<Sample>& samples, std::string_view name) {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const Sample& s, std::string_view n) { return s.name < n; });
+  return (it != samples.end() && it->name == name) ? &*it : nullptr;
+}
+
+/// Name-wise merge of two sorted sample vectors via `fold`; names only in
+/// `from` are copied over. Both vectors stay sorted.
+template <typename Sample, typename Fold>
+void merge_samples(std::vector<Sample>& into, const std::vector<Sample>& from,
+                   Fold&& fold) {
+  std::vector<Sample> merged;
+  merged.reserve(into.size() + from.size());
+  auto a = into.begin();
+  auto b = from.begin();
+  while (a != into.end() || b != from.end()) {
+    if (b == from.end() || (a != into.end() && a->name < b->name)) {
+      merged.push_back(std::move(*a++));
+    } else if (a == into.end() || b->name < a->name) {
+      merged.push_back(*b++);
+    } else {
+      fold(*a, *b);
+      merged.push_back(std::move(*a++));
+      ++b;
+    }
+  }
+  into = std::move(merged);
+}
+
+}  // namespace
+
+const CounterSample* Snapshot::counter(std::string_view name) const {
+  return find_sample(counters_, name);
+}
+const GaugeSample* Snapshot::gauge(std::string_view name) const {
+  return find_sample(gauges_, name);
+}
+const HistogramSample* Snapshot::histogram(std::string_view name) const {
+  return find_sample(histograms_, name);
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  merge_samples(counters_, other.counters_,
+                [](CounterSample& a, const CounterSample& b) { a.value += b.value; });
+  merge_samples(gauges_, other.gauges_, [](GaugeSample& a, const GaugeSample& b) {
+    a.value += b.value;
+    a.max = std::max(a.max, b.max);
+  });
+  merge_samples(histograms_, other.histograms_,
+                [](HistogramSample& a, const HistogramSample& b) {
+                  assert(a.spec == b.spec && "merging histograms with different specs");
+                  if (b.count > 0) {
+                    a.min = a.count == 0 ? b.min : std::min(a.min, b.min);
+                    a.max = a.count == 0 ? b.max : std::max(a.max, b.max);
+                  }
+                  a.count += b.count;
+                  a.underflow += b.underflow;
+                  a.overflow += b.overflow;
+                  a.sum += b.sum;
+                  for (std::size_t i = 0; i < a.buckets.size(); ++i) {
+                    a.buckets[i] += b.buckets[i];
+                  }
+                });
+}
+
+Snapshot merge_snapshots(const std::vector<Snapshot>& snapshots) {
+  Snapshot merged;
+  for (const Snapshot& s : snapshots) merged.merge(s);
+  return merged;
+}
+
+void Snapshot::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  json::Separator sep;
+  for (const CounterSample& c : counters_) {
+    sep.write(os);
+    json::write_string(os, c.name);
+    os << ':';
+    json::write_number(os, c.value);
+  }
+  os << "},\"gauges\":{";
+  sep = {};
+  for (const GaugeSample& g : gauges_) {
+    sep.write(os);
+    json::write_string(os, g.name);
+    os << ":{\"value\":";
+    json::write_number(os, g.value);
+    os << ",\"max\":";
+    json::write_number(os, g.max);
+    os << '}';
+  }
+  os << "},\"histograms\":{";
+  sep = {};
+  for (const HistogramSample& h : histograms_) {
+    sep.write(os);
+    json::write_string(os, h.name);
+    os << ":{\"scale\":\""
+       << (h.spec.scale == HistogramSpec::Scale::kLinear ? "linear" : "log2")
+       << "\",\"lo\":";
+    json::write_number(os, h.spec.lo);
+    os << ",\"hi\":";
+    json::write_number(os, h.spec.hi);
+    os << ",\"divisions\":";
+    json::write_number(os, std::uint64_t(h.spec.divisions));
+    os << ",\"count\":";
+    json::write_number(os, h.count);
+    os << ",\"underflow\":";
+    json::write_number(os, h.underflow);
+    os << ",\"overflow\":";
+    json::write_number(os, h.overflow);
+    os << ",\"sum\":";
+    json::write_number(os, h.sum);
+    os << ",\"min\":";
+    json::write_number(os, h.min);
+    os << ",\"max\":";
+    json::write_number(os, h.max);
+    os << ",\"p50\":";
+    json::write_number(os, h.percentile(0.50));
+    os << ",\"p90\":";
+    json::write_number(os, h.percentile(0.90));
+    os << ",\"p99\":";
+    json::write_number(os, h.percentile(0.99));
+    os << ",\"buckets\":[";
+    json::Separator bsep;
+    for (const std::uint64_t b : h.buckets) {
+      bsep.write(os);
+      json::write_number(os, b);
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+// ---- Registry -----------------------------------------------------------
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.counters_.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters_.push_back({name, c.value()});
+  }
+  snap.gauges_.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges_.push_back({name, g.value(), g.max()});
+  }
+  snap.histograms_.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms_.push_back({name, h.spec(), h.count(), h.underflow(), h.overflow(),
+                                h.sum(), h.min(), h.max(), h.buckets()});
+  }
+  return snap;
+}
+
+}  // namespace imrm::obs

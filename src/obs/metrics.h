@@ -1,0 +1,230 @@
+// Metrics registry: counters, gauges, and fixed-bucket / HDR-style
+// histograms.
+//
+// Design constraints (ISSUE 2):
+//  * allocation-free on the hot path — instruments are registered once at
+//    setup (name lookup, allocation) and recorded through raw references;
+//    Counter::add, Gauge::set and Histogram::record touch only
+//    pre-allocated storage;
+//  * snapshot-on-demand — Registry::snapshot() copies the current values
+//    into an immutable Snapshot, so exporters never race the simulation and
+//    later mutation cannot alter an already-taken snapshot;
+//  * deterministic merge — snapshots merge name-wise in call order
+//    (counters and histogram buckets sum in u64, gauges sum their values
+//    and max their maxima), so folding per-replication snapshots in
+//    replication-index order is byte-identical regardless of how many
+//    threads the sim::ReplicationRunner used.
+//
+// Instruments hold plain (non-atomic) values: a Registry belongs to one
+// replication / one thread, and cross-replication aggregation goes through
+// snapshot merging, never through shared instruments.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace imrm::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A last-value instrument that also tracks the maximum it was ever set to
+/// (useful for depth/level style measurements such as queue occupancy).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(double v) { set(value_ + v); }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bucket layout of a histogram. Two shapes:
+///  * linear(lo, hi, n)      — n equal-width buckets over [lo, hi);
+///  * log2(lo, hi, sub)      — HDR-style log-linear: octaves of [lo*2^k,
+///    lo*2^(k+1)) each split into `sub` equal sub-buckets, covering
+///    [lo, hi). Relative error is bounded by 1/sub at every scale.
+/// Samples below lo / at or above hi are counted as underflow / overflow.
+struct HistogramSpec {
+  enum class Scale { kLinear, kLog2 };
+
+  Scale scale = Scale::kLinear;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::uint32_t divisions = 1;  // linear: total buckets; log2: per octave
+
+  [[nodiscard]] static HistogramSpec linear(double lo, double hi, std::uint32_t buckets);
+  [[nodiscard]] static HistogramSpec log2(double lo, double hi, std::uint32_t sub_buckets);
+
+  [[nodiscard]] std::size_t bucket_count() const;
+  /// Bucket index for an in-range value; precondition lo <= v < hi.
+  [[nodiscard]] std::size_t index_of(double v) const;
+  [[nodiscard]] double lower_bound(std::size_t bucket) const;
+  [[nodiscard]] double upper_bound(std::size_t bucket) const {
+    return bucket + 1 >= bucket_count() ? hi : lower_bound(bucket + 1);
+  }
+
+  bool operator==(const HistogramSpec&) const = default;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec)
+      : spec_(spec), buckets_(spec.bucket_count(), 0) {}
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    if (v < spec_.lo) {
+      ++underflow_;
+    } else if (v >= spec_.hi) {
+      ++overflow_;
+    } else {
+      ++buckets_[spec_.index_of(v)];
+    }
+  }
+
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  HistogramSpec spec_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// ---- snapshots ----------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+  double max = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  HistogramSpec spec;
+  std::uint64_t count = 0;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;
+
+  /// Quantile estimate (q in [0, 1]): linear interpolation inside the
+  /// containing bucket; underflow mass sits at spec.lo, overflow at spec.hi.
+  [[nodiscard]] double percentile(double q) const;
+};
+
+/// Immutable copy of a registry's state, ordered by instrument name. The
+/// unit of aggregation: per-replication snapshots merge deterministically.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  [[nodiscard]] const std::vector<CounterSample>& counters() const { return counters_; }
+  [[nodiscard]] const std::vector<GaugeSample>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::vector<HistogramSample>& histograms() const {
+    return histograms_;
+  }
+
+  /// Lookup helpers (nullptr when absent).
+  [[nodiscard]] const CounterSample* counter(std::string_view name) const;
+  [[nodiscard]] const GaugeSample* gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSample* histogram(std::string_view name) const;
+
+  /// Name-wise merge: counters and histogram buckets sum; gauge values sum
+  /// and maxima take the max; instruments present only in `other` are
+  /// adopted. Histogram specs must match (asserted).
+  void merge(const Snapshot& other);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted; doubles in shortest round-trip form, so equal states serialize
+  /// byte-identically.
+  void write_json(std::ostream& os) const;
+
+ private:
+  friend class Registry;
+
+  std::vector<CounterSample> counters_;
+  std::vector<GaugeSample> gauges_;
+  std::vector<HistogramSample> histograms_;
+};
+
+/// Folds snapshots in index order (replication order); the result is
+/// independent of which threads produced the inputs.
+[[nodiscard]] Snapshot merge_snapshots(const std::vector<Snapshot>& snapshots);
+
+// ---- registry -----------------------------------------------------------
+
+class Registry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name, const HistogramSpec& spec) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram(spec)).first;
+    }
+    assert(it->second.spec() == spec && "histogram re-registered with a different spec");
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t instrument_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  // std::map: stable addresses for registered instruments and name-sorted
+  // iteration, which makes snapshots canonically ordered for free.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace imrm::obs

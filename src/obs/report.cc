@@ -1,0 +1,33 @@
+#include "obs/report.h"
+
+#include "obs/json.h"
+
+namespace imrm::obs {
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"tool\":";
+  json::write_string(os, tool);
+  os << ",\"scenario\":";
+  json::write_string(os, scenario);
+  os << ",\"config\":{";
+  json::Separator sep;
+  for (const auto& [key, value] : config) {
+    sep.write(os);
+    json::write_string(os, key);
+    os << ':';
+    json::write_string(os, value);
+  }
+  os << "},\"wall_seconds\":";
+  json::write_number(os, wall_seconds);
+  os << ",\"sim_time_seconds\":";
+  json::write_number(os, sim_seconds);
+  os << ",\"events_fired\":";
+  json::write_number(os, events_fired);
+  os << ",\"events_per_second\":";
+  json::write_number(os, events_per_second());
+  os << ",\"metrics\":";
+  metrics.write_json(os);
+  os << "}\n";
+}
+
+}  // namespace imrm::obs

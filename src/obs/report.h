@@ -1,0 +1,41 @@
+// Machine-readable run report.
+//
+// The versioned JSON document that every experiment front end (notably
+// examples/scenario_cli --metrics-json) emits after a run: which scenario
+// ran with which configuration, how long it took in wall and simulated
+// time, the event throughput, and the full metrics snapshot. Downstream
+// tooling (bench/run_benchmarks.sh, tools/validate_report.py) keys on
+// schema_version, so bump it on any breaking layout change.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace imrm::obs {
+
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;      // producing binary, e.g. "scenario_cli"
+  std::string scenario;  // subcommand / experiment name
+  /// Configuration echo: flag name -> value, in insertion order.
+  std::vector<std::pair<std::string, std::string>> config;
+
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t events_fired = 0;
+  Snapshot metrics;
+
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0.0 ? double(events_fired) / wall_seconds : 0.0;
+  }
+
+  void write_json(std::ostream& os) const;
+};
+
+}  // namespace imrm::obs

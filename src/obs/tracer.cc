@@ -1,0 +1,68 @@
+#include "obs/tracer.h"
+
+#include "obs/json.h"
+
+namespace imrm::obs {
+
+NameId Tracer::intern(std::string_view name, std::string_view category) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i].name == name && names_[i].category == category) {
+      return NameId(i);
+    }
+  }
+  names_.push_back({std::string(name), std::string(category)});
+  return NameId(names_.size() - 1);
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  json::Separator sep;
+
+  // Process metadata so the timeline is labelled in the viewer.
+  sep.write(os);
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"imrm-sim\"}}";
+
+  records_.for_each([&](const TraceRecord& r) {
+    sep.write(os);
+    os << "{\"name\":";
+    json::write_string(os, names_[r.name].name);
+    os << ",\"cat\":";
+    json::write_string(os, names_[r.name].category);
+    os << ",\"ph\":\"" << r.phase << "\",\"ts\":";
+    json::write_number(os, r.ts_us);
+    os << ",\"pid\":1,\"tid\":";
+    json::write_number(os, std::uint64_t(r.track));
+    switch (r.phase) {
+      case 'X':
+        os << ",\"dur\":";
+        json::write_number(os, r.dur_us);
+        os << ",\"args\":{\"value\":";
+        json::write_number(os, r.value);
+        os << '}';
+        break;
+      case 'C':
+        os << ",\"args\":{";
+        json::write_string(os, names_[r.name].name);
+        os << ':';
+        json::write_number(os, r.value);
+        os << '}';
+        break;
+      default:  // instant
+        os << ",\"s\":\"t\",\"args\":{\"value\":";
+        json::write_number(os, r.value);
+        os << '}';
+    }
+    os << '}';
+  });
+
+  os << "],\"displayTimeUnit\":\"ms\"";
+  if (records_.dropped() > 0) {
+    os << ",\"metadata\":{\"dropped_records\":";
+    json::write_number(os, records_.dropped());
+    os << '}';
+  }
+  os << "}\n";
+}
+
+}  // namespace imrm::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace imrm::qos {
 
 std::string to_string(RejectReason r) {
@@ -64,9 +66,45 @@ Bits AdmissionPipeline::reverse_buffer(const QosRequest& request, std::size_t ho
   return t.sigma + allocated * (d_prev_relaxed + d_cur);
 }
 
+void AdmissionPipeline::bind_metrics(obs::Registry* registry) {
+  if (!registry) {
+    attempts_counter_ = nullptr;
+    accepted_counter_ = nullptr;
+    reject_counters_.fill(nullptr);
+    return;
+  }
+  attempts_counter_ = &registry->counter("qos.admission.attempts");
+  accepted_counter_ = &registry->counter("qos.admission.accepted");
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+    const RejectReason reason = static_cast<RejectReason>(i);
+    reject_counters_[i] =
+        reason == RejectReason::kNone
+            ? nullptr
+            : &registry->counter("qos.admission.rejected." + to_string(reason));
+  }
+}
+
+void AdmissionPipeline::record(const AdmissionResult& result) const {
+  if (!attempts_counter_) return;
+  attempts_counter_->add();
+  if (result.accepted) {
+    accepted_counter_->add();
+  } else if (obs::Counter* c = reject_counters_[std::size_t(result.reason)]) {
+    c->add();
+  }
+}
+
 AdmissionResult AdmissionPipeline::admit(const QosRequest& request,
                                          const std::vector<LinkSnapshot>& route,
                                          BitsPerSecond b_stamp, ConnectionKind kind) const {
+  AdmissionResult result = evaluate(request, route, b_stamp, kind);
+  record(result);
+  return result;
+}
+
+AdmissionResult AdmissionPipeline::evaluate(const QosRequest& request,
+                                            const std::vector<LinkSnapshot>& route,
+                                            BitsPerSecond b_stamp, ConnectionKind kind) const {
   AdmissionResult result;
   if (!request.valid() || route.empty()) {
     result.reason = RejectReason::kInvalidRequest;

@@ -10,11 +10,17 @@
 // b_min + b_stamp, mobile portables b_min).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "qos/flow_spec.h"
+
+namespace imrm::obs {
+class Counter;
+class Registry;
+}  // namespace imrm::obs
 
 namespace imrm::qos {
 
@@ -42,6 +48,8 @@ enum class RejectReason {
   kDelay,       // end-to-end minimum delay exceeds the bound
   kLoss,        // accumulated loss probability exceeds the bound
 };
+
+inline constexpr std::size_t kRejectReasonCount = 7;
 
 [[nodiscard]] std::string to_string(RejectReason r);
 
@@ -85,6 +93,13 @@ class AdmissionPipeline {
                                       BitsPerSecond b_stamp = 0.0,
                                       ConnectionKind kind = ConnectionKind::kNew) const;
 
+  /// Pre-registers accept/reject counters (`qos.admission.accepted`,
+  /// `qos.admission.attempts` and `qos.admission.rejected.<test>`) in
+  /// `registry`; every subsequent admit() increments them through cached
+  /// pointers so the hot path never touches the registry maps. Pass nullptr
+  /// to detach. The registry must outlive the pipeline (or the next bind).
+  void bind_metrics(obs::Registry* registry);
+
   /// Forward-pass per-hop delay under WFQ: d_{l,j} = L_max/b_min + L_max/C_l.
   [[nodiscard]] static Seconds hop_delay(const QosRequest& request, const LinkSnapshot& link);
 
@@ -109,8 +124,17 @@ class AdmissionPipeline {
   [[nodiscard]] MobilityClass mobility() const { return mobility_; }
 
  private:
+  [[nodiscard]] AdmissionResult evaluate(const QosRequest& request,
+                                         const std::vector<LinkSnapshot>& route,
+                                         BitsPerSecond b_stamp, ConnectionKind kind) const;
+  void record(const AdmissionResult& result) const;
+
   Scheduler scheduler_;
   MobilityClass mobility_;
+  // Cached instrument pointers (bind_metrics). Indexed by RejectReason.
+  obs::Counter* attempts_counter_ = nullptr;
+  obs::Counter* accepted_counter_ = nullptr;
+  std::array<obs::Counter*, kRejectReasonCount> reject_counters_{};
 };
 
 }  // namespace imrm::qos

@@ -3,14 +3,28 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
+namespace {
+
+void bump(imrm::obs::Counter* c) {
+  if (c) c->add();
+}
+
+}  // namespace
+
 namespace imrm::reservation {
 
 bool CellBandwidth::admit_new(PortableId portable, qos::BitsPerSecond b) {
   assert(b > 0.0);
   assert(!connections_.contains(portable));
-  if (b > free_for_new() + 1e-9) return false;
+  if (b > free_for_new() + 1e-9) {
+    if (telemetry_) bump(telemetry_->new_blocked);
+    return false;
+  }
   connections_.emplace(portable, b);
   allocated_ += b;
+  if (telemetry_) bump(telemetry_->new_admitted);
   return true;
 }
 
@@ -20,19 +34,29 @@ bool CellBandwidth::admit_handoff(PortableId portable, qos::BitsPerSecond b) {
   // The portable's own reservation is consumed by its arrival either way.
   const qos::BitsPerSecond own = reservation_for(portable);
   cancel_reservation(portable);
+  if (telemetry_) {
+    bump(own > 0.0 ? telemetry_->reservation_hits : telemetry_->reservation_misses);
+    if (telemetry_->reservation_coverage) {
+      telemetry_->reservation_coverage->record(std::min(own / b, 1.0));
+    }
+  }
 
   // Others' specific reservations stay untouchable; the anonymous pool is
   // exactly the instrument meant to absorb handoffs (Section 4.3).
   const qos::BitsPerSecond blocked = reserved_specific_total_;
   const qos::BitsPerSecond free = capacity_ - allocated_ - blocked;
   (void)own;  // own reservation already excluded from reserved_specific_total_
-  if (b > free + 1e-9) return false;
+  if (b > free + 1e-9) {
+    if (telemetry_) bump(telemetry_->handoff_dropped);
+    return false;
+  }
   // Consume anonymous pool before bare capacity so the pool reflects how
   // much "unforeseen event" headroom remains.
   const qos::BitsPerSecond from_pool = std::min(anonymous_reserved_, b);
   anonymous_reserved_ -= from_pool;
   connections_.emplace(portable, b);
   allocated_ += b;
+  if (telemetry_) bump(telemetry_->handoff_admitted);
   return true;
 }
 

@@ -18,6 +18,11 @@
 #include "net/ids.h"
 #include "qos/flow_spec.h"
 
+namespace imrm::obs {
+class Counter;
+class Histogram;
+}  // namespace imrm::obs
+
 namespace imrm::reservation {
 
 using net::CellId;
@@ -25,8 +30,26 @@ using net::PortableId;
 
 class CellBandwidth {
  public:
+  /// Shared instrument set for admission telemetry. One Telemetry is
+  /// typically owned by the ReservationDirectory and shared by every cell,
+  /// so the counters aggregate across the whole coverage area. All pointers
+  /// optional; a default-constructed Telemetry records nothing.
+  struct Telemetry {
+    obs::Counter* new_admitted = nullptr;
+    obs::Counter* new_blocked = nullptr;
+    obs::Counter* handoff_admitted = nullptr;
+    obs::Counter* handoff_dropped = nullptr;
+    obs::Counter* reservation_hits = nullptr;    // handoff found own reservation
+    obs::Counter* reservation_misses = nullptr;  // handoff arrived unreserved
+    obs::Histogram* reservation_coverage = nullptr;  // min(own / b, 1) per handoff
+  };
+
   CellBandwidth() = default;
   explicit CellBandwidth(qos::BitsPerSecond capacity) : capacity_(capacity) {}
+
+  /// Attaches admission telemetry; `t` must outlive this cell (or the next
+  /// set_telemetry call). Pass nullptr to detach.
+  void set_telemetry(const Telemetry* t) { telemetry_ = t; }
 
   // ---- admission -------------------------------------------------------
   /// Admits a new connection of `b` for `portable` if it fits under the
@@ -95,6 +118,7 @@ class CellBandwidth {
   qos::BitsPerSecond reserved_specific_total_ = 0.0;
   std::unordered_map<PortableId, qos::BitsPerSecond> reserved_for_;
   std::unordered_map<PortableId, qos::BitsPerSecond> connections_;
+  const Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace imrm::reservation

@@ -4,6 +4,7 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "reservation/cell_bandwidth.h"
 
 namespace imrm::reservation {
@@ -11,7 +12,25 @@ namespace imrm::reservation {
 class ReservationDirectory {
  public:
   void add_cell(CellId id, qos::BitsPerSecond capacity) {
-    cells_.emplace(id, CellBandwidth(capacity));
+    auto [it, inserted] = cells_.emplace(id, CellBandwidth(capacity));
+    if (inserted && bound_) it->second.set_telemetry(&telemetry_);
+  }
+
+  /// Registers the aggregate admission instruments (resv.new.*, resv.handoff.*,
+  /// resv.reservation.{hit,miss} counters and the resv.reservation.coverage
+  /// histogram) in `registry` and wires them into every current and future
+  /// cell. The registry must outlive the directory (or the next bind).
+  void bind_metrics(obs::Registry& registry) {
+    telemetry_.new_admitted = &registry.counter("resv.new.admitted");
+    telemetry_.new_blocked = &registry.counter("resv.new.blocked");
+    telemetry_.handoff_admitted = &registry.counter("resv.handoff.admitted");
+    telemetry_.handoff_dropped = &registry.counter("resv.handoff.dropped");
+    telemetry_.reservation_hits = &registry.counter("resv.reservation.hit");
+    telemetry_.reservation_misses = &registry.counter("resv.reservation.miss");
+    telemetry_.reservation_coverage = &registry.histogram(
+        "resv.reservation.coverage", obs::HistogramSpec::linear(0.0, 1.0, 20));
+    bound_ = true;
+    for (auto& [id, cell] : cells_) cell.set_telemetry(&telemetry_);
   }
 
   [[nodiscard]] CellBandwidth& at(CellId id) { return cells_.at(id); }
@@ -33,6 +52,8 @@ class ReservationDirectory {
 
  private:
   std::unordered_map<CellId, CellBandwidth> cells_;
+  CellBandwidth::Telemetry telemetry_;
+  bool bound_ = false;
 };
 
 }  // namespace imrm::reservation

@@ -24,6 +24,8 @@ EventId EventQueue::push_entry(SimTime at, std::uint32_t slot) {
   assert(next_seq_ < (1ull << 40) && "sequence space exhausted");
   heap_.push_back(make_key(encode_time(at), next_seq_++, slot));
   sift_up(heap_.size() - 1);  // also records the slot's heap position
+  ++stats_.scheduled;
+  if (heap_.size() > stats_.peak_pending) stats_.peak_pending = heap_.size();
   return (EventId(meta_[slot].generation) << 32) | slot;
 }
 
@@ -38,6 +40,7 @@ void EventQueue::cancel(EventId id) {
   assert(pos < heap_.size() && key_slot(heap_[pos]) == slot);
   remove_heap_entry(pos);
   release_slot(slot);
+  ++stats_.cancelled;
 }
 
 EventQueue::Fired EventQueue::pop() {

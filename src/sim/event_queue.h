@@ -89,6 +89,16 @@ class EventQueue {
   /// regression tests assert.
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
+  /// Lifetime churn/depth statistics; maintained unconditionally (the
+  /// increments ride on heap operations that already touch the same cache
+  /// lines) and exported by Simulator::collect_metrics.
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+    std::size_t peak_pending = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   // One heap entry: | encoded time (64) | seq (40) | slot (24) |.
   // seq increments per schedule, so FIFO ties are broken before the slot
@@ -155,6 +165,7 @@ class EventQueue {
   std::vector<SlotMeta> meta_;  // parallel to slots_
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
 };
 
 }  // namespace imrm::sim

@@ -4,7 +4,19 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace imrm::sim {
+
+void Simulator::collect_metrics(obs::Registry& registry) const {
+  const EventQueue::Stats& qs = queue_.stats();
+  registry.counter("sim.events_fired").add(fired_);
+  registry.counter("sim.events_scheduled").add(qs.scheduled);
+  registry.counter("sim.events_cancelled").add(qs.cancelled);
+  registry.gauge("sim.queue_peak_pending").set(double(qs.peak_pending));
+  registry.gauge("sim.queue_pending").set(double(queue_.size()));
+  registry.gauge("sim.time_seconds").set(now_.to_seconds());
+}
 
 EventId Simulator::every(Duration period, SimTime horizon, EventQueue::Callback cb) {
   assert(period > Duration::zero());

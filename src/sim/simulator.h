@@ -8,8 +8,13 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
+
+namespace imrm::obs {
+class Registry;
+}  // namespace imrm::obs
 
 namespace imrm::sim {
 
@@ -54,11 +59,23 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
+  /// Attaches the run's structured tracer; modules driven by this simulator
+  /// pick it up via tracer() so one attach point instruments the stack.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Exports driver/queue totals (events fired, schedule/cancel churn, peak
+  /// queue depth) into `registry`. Adds the current totals: call once per
+  /// run, when the simulation is done.
+  void collect_metrics(obs::Registry& registry) const;
 
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t fired_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace imrm::sim

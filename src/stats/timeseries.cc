@@ -7,8 +7,12 @@
 namespace imrm::stats {
 
 void BinnedSeries::add(sim::SimTime t, double value) {
-  double offset = (t - origin_).to_seconds() / width_.to_seconds();
-  if (offset < 0.0) offset = 0.0;
+  const double offset = (t - origin_).to_seconds() / width_.to_seconds();
+  if (offset < 0.0) {
+    underflow_ += value;
+    ++underflow_count_;
+    return;
+  }
   const auto idx = static_cast<std::size_t>(offset);
   if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
   bins_[idx] += value;

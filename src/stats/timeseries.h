@@ -18,8 +18,10 @@ class BinnedSeries {
   BinnedSeries(sim::SimTime origin, sim::Duration bin_width)
       : origin_(origin), width_(bin_width) {}
 
-  /// Adds `value` to the bin containing `t`. Times before the origin are
-  /// clamped into bin 0.
+  /// Adds `value` to the bin containing `t`. Times before the origin belong
+  /// to no bin: they accumulate in underflow() instead of silently inflating
+  /// bin 0 (which used to distort the first plotted point of Figures 2/5
+  /// whenever warmup activity preceded the series origin).
   void add(sim::SimTime t, double value = 1.0);
 
   [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
@@ -28,6 +30,12 @@ class BinnedSeries {
   /// Start time of bin i.
   [[nodiscard]] sim::SimTime bin_start(std::size_t i) const;
 
+  /// Sum of values recorded before the origin (excluded from the bins,
+  /// total() and max_bin()).
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t underflow_count() const { return underflow_count_; }
+
+  /// Sum over the bins; underflow is excluded.
   [[nodiscard]] double total() const;
   [[nodiscard]] double max_bin() const;
 
@@ -37,6 +45,8 @@ class BinnedSeries {
   sim::SimTime origin_;
   sim::Duration width_;
   std::vector<double> bins_;
+  double underflow_ = 0.0;
+  std::size_t underflow_count_ = 0;
 };
 
 /// Streaming mean/variance/min/max (Welford).

@@ -1,7 +1,5 @@
 #include "trace/trace.h"
 
-#include <algorithm>
-
 namespace imrm::trace {
 
 std::string to_string(EventKind kind) {
@@ -18,15 +16,16 @@ std::string to_string(EventKind kind) {
 }
 
 std::size_t TraceRecorder::count(EventKind kind) const {
-  return std::size_t(std::count_if(events_.begin(), events_.end(),
-                                   [kind](const TraceEvent& e) { return e.kind == kind; }));
+  std::size_t n = 0;
+  events_.for_each([kind, &n](const TraceEvent& e) { n += e.kind == kind ? 1 : 0; });
+  return n;
 }
 
 std::vector<TraceEvent> TraceRecorder::between(sim::SimTime from, sim::SimTime to) const {
   std::vector<TraceEvent> out;
-  for (const TraceEvent& e : events_) {
+  events_.for_each([&](const TraceEvent& e) {
     if (e.time >= from && e.time < to) out.push_back(e);
-  }
+  });
   return out;
 }
 
@@ -51,12 +50,12 @@ std::string escape_csv(const std::string& s) {
 
 void TraceRecorder::write_csv(std::ostream& os) const {
   os << "time_s,kind,portable,from,to,value,note\n";
-  for (const TraceEvent& e : events_) {
+  events_.for_each([&os](const TraceEvent& e) {
     os << e.time.to_seconds() << ',' << to_string(e.kind) << ','
        << (e.portable.is_valid() ? std::to_string(e.portable.value()) : "-") << ','
        << id_or_dash(e.from) << ',' << id_or_dash(e.to) << ',' << e.value << ','
        << escape_csv(e.note) << '\n';
-  }
+  });
 }
 
 void attach(TraceRecorder& recorder, mobility::MobilityManager& manager) {

@@ -2,17 +2,22 @@
 //
 // Experiments often need more than aggregate counters: per-event records of
 // handoffs, admissions, drops, adaptations and reservations, written as CSV
-// for offline analysis. The recorder is deliberately dumb — a flat,
-// append-only event log with typed kinds — and attaches to the mobility
-// manager for automatic handoff capture; other subsystems record manually.
+// for offline analysis. The recorder is deliberately dumb — a flat event log
+// with typed kinds — and attaches to the mobility manager for automatic
+// handoff capture; other subsystems record manually. Storage sits on
+// obs::RingBuffer: unbounded by default, or a fixed-capacity window of the
+// most recent events (oldest evicted, evictions counted) for long runs.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "mobility/manager.h"
 #include "net/ids.h"
+#include "obs/ring_buffer.h"
 #include "sim/time.h"
 
 namespace imrm::trace {
@@ -41,7 +46,13 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
-  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  /// Unbounded recorder (every event retained).
+  TraceRecorder() = default;
+  /// Bounded recorder: keeps the `capacity` most recent events; older ones
+  /// are evicted ring-style and tallied in dropped().
+  explicit TraceRecorder(std::size_t capacity) : events_(capacity) {}
+
+  void record(TraceEvent event) { events_.push(std::move(event)); }
 
   /// Convenience for the common cases.
   void handoff(sim::SimTime t, net::PortableId p, net::CellId from, net::CellId to) {
@@ -51,11 +62,16 @@ class TraceRecorder {
     record({t, EventKind::kDrop, p, net::CellId::invalid(), at, 0.0, {}});
   }
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  /// Retained events in chronological order (copied out of the ring).
+  [[nodiscard]] std::vector<TraceEvent> events() const { return events_.to_vector(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
+  /// Events evicted by the capacity bound (always 0 when unbounded).
+  [[nodiscard]] std::uint64_t dropped() const { return events_.dropped(); }
+  /// Configured capacity; 0 = unbounded.
+  [[nodiscard]] std::size_t capacity() const { return events_.capacity(); }
   [[nodiscard]] std::size_t count(EventKind kind) const;
 
-  /// Events within a half-open time window [from, to).
+  /// Retained events within a half-open time window [from, to).
   [[nodiscard]] std::vector<TraceEvent> between(sim::SimTime from, sim::SimTime to) const;
 
   /// CSV with a header row: time_s,kind,portable,from,to,value,note.
@@ -64,7 +80,7 @@ class TraceRecorder {
   void clear() { events_.clear(); }
 
  private:
-  std::vector<TraceEvent> events_;
+  obs::RingBuffer<TraceEvent> events_;
 };
 
 /// Auto-records every handoff the mobility manager processes.

@@ -30,10 +30,17 @@ TEST(BinnedSeries, NonUnitValuesAccumulate) {
   EXPECT_DOUBLE_EQ(s.bin_value(0), 4.0);
 }
 
-TEST(BinnedSeries, TimesBeforeOriginClampToBinZero) {
+TEST(BinnedSeries, TimesBeforeOriginCountAsUnderflow) {
   BinnedSeries s(SimTime::minutes(10), Duration::minutes(1));
   s.add(SimTime::minutes(5));
+  s.add(SimTime::minutes(9), 2.5);
+  s.add(SimTime::minutes(10));
+  EXPECT_DOUBLE_EQ(s.underflow(), 3.5);
+  EXPECT_EQ(s.underflow_count(), 2u);
+  // Pre-origin samples no longer pollute bin 0 or the totals.
   EXPECT_DOUBLE_EQ(s.bin_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.total(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max_bin(), 1.0);
 }
 
 TEST(BinnedSeries, BinStartReflectsOrigin) {

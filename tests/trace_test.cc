@@ -1,6 +1,7 @@
 // Tests for the trace recorder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "mobility/floorplan.h"
@@ -75,6 +76,53 @@ TEST(Trace, ClearEmpties) {
   recorder.drop(SimTime::seconds(1), PortableId{1}, CellId{0});
   recorder.clear();
   EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(Trace, UnboundedByDefault) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.capacity(), 0u);
+  for (int s = 0; s < 1000; ++s) {
+    recorder.handoff(SimTime::seconds(s), PortableId{1}, CellId{0}, CellId{1});
+  }
+  EXPECT_EQ(recorder.size(), 1000u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Trace, BoundedCapacityEvictsOldest) {
+  TraceRecorder recorder(3);
+  EXPECT_EQ(recorder.capacity(), 3u);
+  for (int s = 0; s < 5; ++s) {
+    recorder.handoff(SimTime::seconds(s), PortableId{s}, CellId{0}, CellId{1});
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest two (t = 0, 1) were evicted; survivors stay chronological.
+  EXPECT_DOUBLE_EQ(events[0].time.to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(events[2].time.to_seconds(), 4.0);
+  // Queries and counts see only the retained window.
+  EXPECT_EQ(recorder.count(EventKind::kHandoff), 3u);
+  EXPECT_EQ(recorder.between(SimTime::zero(), SimTime::seconds(2)).size(), 0u);
+}
+
+TEST(Trace, BoundedCsvRoundTripsRetainedWindow) {
+  TraceRecorder recorder(2);
+  for (int s = 0; s < 4; ++s) {
+    recorder.record({SimTime::seconds(s), EventKind::kAdmission, PortableId{s},
+                     CellId::invalid(), CellId{0}, 1000.0 * s, {}});
+  }
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string out = os.str();
+  // Header plus exactly the two retained rows, in time order.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("0,admission"), std::string::npos);
+  const auto row2 = out.find("2,admission,2,-,0,2000,");
+  const auto row3 = out.find("3,admission,3,-,0,3000,");
+  EXPECT_NE(row2, std::string::npos);
+  EXPECT_NE(row3, std::string::npos);
+  EXPECT_LT(row2, row3);
 }
 
 }  // namespace

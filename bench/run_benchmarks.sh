@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Runs the microbenchmark suite plus an instrumented scenario_cli campus run
-# and writes a machine-readable perf trajectory file (default BENCH_2.json at
-# the repo root) so later PRs have a baseline to beat. Schema:
+# Runs the microbenchmark suite plus instrumented scenario_cli campus runs
+# (clean and with admission-signaling faults) and writes a machine-readable
+# perf trajectory file (default BENCH_3.json at the repo root) so later PRs
+# have a baseline to beat. Schema:
 # { "<benchmark name>": { "items_per_second": <double|null>,
 #   "real_time_ns": <double> }, ...,
 #   "scenario_cli/campus": { "events_per_second": <double>,
 #     "handoff_wall_us_p50": <double|null>,
-#     "handoff_wall_us_p99": <double|null> } }.
+#     "handoff_wall_us_p99": <double|null> },
+#   "scenario_cli/campus_faulted": { "events_per_second": <double>,
+#     "faulted_vs_clean_ratio": <double> } }.
+# The ratio tracks the overhead of the fault-injection path: the faulted run
+# probes every admission over an UnreliableCall, so a ratio far below 1.0
+# means the fault plumbing leaked onto the clean hot path.
 #
 # Usage: bench/run_benchmarks.sh [output.json]
 # Env:   BUILD_DIR   build directory relative to the repo root (default: build)
@@ -15,13 +21,14 @@ set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-build}
-out=${1:-"$repo_root/BENCH_2.json"}
+out=${1:-"$repo_root/BENCH_3.json"}
 
 cmake --build "$repo_root/$build_dir" --target bench_microperf scenario_cli -j >/dev/null
 
 raw=$(mktemp)
 report=$(mktemp)
-trap 'rm -f "$raw" "$report"' EXIT
+faulted_report=$(mktemp)
+trap 'rm -f "$raw" "$report" "$faulted_report"' EXIT
 "$repo_root/$build_dir/bench/bench_microperf" \
   --benchmark_format=json ${BENCH_ARGS:-} >"$raw"
 
@@ -30,7 +37,14 @@ trap 'rm -f "$raw" "$report"' EXIT
 "$repo_root/$build_dir/examples/scenario_cli" campus \
   --attendees 20 --squatters 6 --seed 5 --metrics-json "$report" >/dev/null
 
-python3 - "$raw" "$report" "$out" <<'PYEOF'
+# The same day with a lossy admission-control plane: every admit probe rides
+# an UnreliableCall (20% per-direction drop, 3 tries). Throughput relative to
+# the clean run is the cost of the fault path.
+"$repo_root/$build_dir/examples/scenario_cli" campus \
+  --attendees 20 --squatters 6 --seed 5 --faults 0.2 \
+  --metrics-json "$faulted_report" >/dev/null
+
+python3 - "$raw" "$report" "$faulted_report" "$out" <<'PYEOF'
 import json
 import sys
 
@@ -58,8 +72,16 @@ trajectory["scenario_cli/campus"] = {
     "handoff_wall_us_p99": handoff.get("p99"),
 }
 
-with open(sys.argv[3], "w") as f:
+with open(sys.argv[3]) as f:
+    faulted = json.load(f)
+trajectory["scenario_cli/campus_faulted"] = {
+    "events_per_second": faulted["events_per_second"],
+    "faulted_vs_clean_ratio":
+        faulted["events_per_second"] / report["events_per_second"],
+}
+
+with open(sys.argv[4], "w") as f:
     json.dump(trajectory, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {sys.argv[3]} ({len(trajectory)} entries)")
+print(f"wrote {sys.argv[4]} ({len(trajectory)} entries)")
 PYEOF

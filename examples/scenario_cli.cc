@@ -6,6 +6,8 @@
 //   $ ./scenario_cli fig4 --hours 100 --users 12
 //   $ ./scenario_cli maxmin --links 8 --conns 24 --seed 3
 //   $ ./scenario_cli campus --policy dispatcher --attendees 40 --seed 5
+//   $ ./scenario_cli campus --attendees 40 --faults 0.2 --seed 5
+//   $ ./scenario_cli faults --topology campus --drop 0.1 --crashes 1
 //
 // Every subcommand also accepts the observability flags:
 //   --metrics-json <path>   write a versioned obs::RunReport JSON document
@@ -13,7 +15,9 @@
 // Leading flags with no subcommand default to the campus scenario, so
 //   $ ./scenario_cli --metrics-json out.json --trace-out trace.json
 // runs a campus day and emits both artifacts.
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,6 +30,9 @@
 #include "experiments/classroom.h"
 #include "experiments/fig4_mobility.h"
 #include "experiments/twocell.h"
+#include "fault/convergence.h"
+#include "fault/fault_model.h"
+#include "fault/schedule.h"
 #include "maxmin/protocol.h"
 #include "maxmin/waterfill.h"
 #include "obs/report.h"
@@ -128,6 +135,42 @@ struct ObsSession {
 
 std::string fmt_count(double v) { return stats::fmt(v, 0); }
 
+/// Strict parse for count-valued flags (--replications, --threads, ...): the
+/// value must be a plain non-negative decimal integer. Malformed values get a
+/// diagnostic and a false return so sweeps fail loudly with a non-zero exit
+/// instead of crashing in std::stod or silently truncating "4x" to 4.
+bool parse_count(const Flags& flags, const std::string& name, std::size_t fallback,
+                 std::size_t& out) {
+  const std::string raw = flags.text(name, "");
+  if (raw.empty()) {
+    out = fallback;
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE || raw.front() == '-') {
+    std::cerr << "scenario_cli: invalid --" << name << " value '" << raw
+              << "' (expected a non-negative integer)\n";
+    return false;
+  }
+  out = std::size_t(value);
+  return true;
+}
+
+/// Shared --faults / --fault-retries handling for the experiment commands:
+/// a positive drop probability turns every admission probe into an
+/// UnreliableCall over a Bernoulli-loss channel.
+void apply_signaling_faults(const Flags& flags, fault::SignalingFaults& faults,
+                            ObsSession& obs) {
+  const double drop = flags.number("faults", 0.0);
+  if (drop <= 0.0) return;
+  faults.model = fault::LinkFaultModel::bernoulli_loss(drop);
+  faults.max_attempts = int(flags.number("fault-retries", 3));
+  obs.config_echo("faults", stats::fmt(drop, 4));
+  obs.config_echo("fault-retries", fmt_count(double(faults.max_attempts)));
+}
+
 int run_classroom_cmd(const Flags& flags, ObsSession& obs) {
   ClassroomConfig config;
   config.class_size = std::size_t(flags.number("size", 35));
@@ -168,6 +211,7 @@ int run_twocell_cmd(const Flags& flags, ObsSession& obs) {
   else config.rule = AdmissionRule::kProbabilistic;
   config.metrics = obs.registry_or_null();
   config.tracer = obs.tracer_or_null();
+  apply_signaling_faults(flags, config.faults, obs);
   obs.config_echo("rule", rule);
   obs.config_echo("window", stats::fmt(config.window, 4));
   obs.config_echo("pqos", stats::fmt(config.p_qos, 4));
@@ -257,7 +301,11 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   else if (policy == "brute-force") config.policy = CampusPolicy::kBruteForce;
   else if (policy == "aggregate") config.policy = CampusPolicy::kAggregate;
   else config.policy = CampusPolicy::kDispatcher;
-  const std::size_t replications = std::size_t(flags.number("replications", 1));
+  std::size_t replications = 0;
+  std::size_t threads = 0;
+  if (!parse_count(flags, "replications", 1, replications)) return 2;
+  if (!parse_count(flags, "threads", 0, threads)) return 2;
+  apply_signaling_faults(flags, config.faults, obs);
   obs.config_echo("policy", policy);
   obs.config_echo("attendees", fmt_count(double(config.attendees)));
   obs.config_echo("squatters", fmt_count(double(config.squatters)));
@@ -270,7 +318,7 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
     CampusSweepConfig sweep;
     sweep.base = config;
     sweep.replications = replications;
-    sweep.threads = std::size_t(flags.number("threads", 0));
+    sweep.threads = threads;
     sweep.base_seed = config.seed;
     const CampusSweepResult r = run_campus_day_sweep(sweep);
     std::cout << "policy=" << r.policy << " replications=" << r.replications
@@ -294,6 +342,75 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   return obs.finish("campus", obs.registry.snapshot());
 }
 
+int run_faults_cmd(const Flags& flags, ObsSession& obs) {
+  std::size_t replications = 0, threads = 0, flaps = 0, crashes = 0;
+  if (!parse_count(flags, "replications", 8, replications)) return 2;
+  if (!parse_count(flags, "threads", 0, threads)) return 2;
+  if (!parse_count(flags, "flaps", 2, flaps)) return 2;
+  if (!parse_count(flags, "crashes", 1, crashes)) return 2;
+  const double drop = flags.number("drop", 0.1);
+  const std::uint64_t seed = std::uint64_t(flags.number("seed", 1));
+  const std::string topology = flags.text("topology", "twocell");
+
+  fault::ConvergenceConfig base;
+  if (topology == "campus") {
+    base.problem = fault::campus_problem(std::size_t(flags.number("cells", 8)),
+                                         std::size_t(flags.number("conns", 24)), seed);
+  } else if (topology == "twocell") {
+    base.problem = fault::two_cell_problem();
+  } else {
+    std::cerr << "scenario_cli: unknown --topology '" << topology
+              << "' (expected twocell or campus)\n";
+    return 2;
+  }
+  base.faults = fault::LinkFaultModel::bernoulli_loss(drop);
+  base.faults_stop = sim::SimTime::seconds(flags.number("stop", 0.5));
+  base.horizon = sim::SimTime::seconds(flags.number("horizon", 30.0));
+  base.seed = seed;
+
+  fault::FaultSchedule::RandomConfig timeline;
+  timeline.stop = base.faults_stop;
+  timeline.links = std::uint32_t(base.problem.links.size());
+  timeline.flaps = flaps;
+  timeline.crashes = crashes;
+  sim::Rng schedule_rng(seed);
+  base.schedule = fault::FaultSchedule::random(timeline, schedule_rng);
+
+  obs.config_echo("topology", topology);
+  obs.config_echo("drop", stats::fmt(drop, 4));
+  obs.config_echo("flaps", fmt_count(double(flaps)));
+  obs.config_echo("crashes", fmt_count(double(crashes)));
+  obs.config_echo("seed", fmt_count(double(seed)));
+  obs.config_echo("replications", fmt_count(double(replications)));
+
+  if (replications <= 1) {
+    base.metrics = obs.registry_or_null();
+    base.tracer = obs.tracer_or_null();
+    const fault::ConvergenceResult r = fault::run_convergence(base);
+    std::cout << "topology=" << topology << " drop=" << stats::fmt(drop, 3)
+              << " safety=" << (r.safety_held ? "held" : "VIOLATED")
+              << " reconverged=" << (r.reconverged ? "yes" : "NO")
+              << " t-reconverge=" << stats::fmt(r.reconverge_seconds, 4) << "s"
+              << " overshoot=" << stats::fmt(r.worst_overshoot, 9)
+              << " final-dev=" << stats::fmt(r.final_deviation, 9) << '\n';
+    return obs.finish("faults", obs.registry.snapshot());
+  }
+
+  fault::ConvergenceSweepConfig sweep;
+  sweep.base = base;
+  sweep.replications = replications;
+  sweep.threads = threads;
+  const fault::ConvergenceSweepResult r = fault::run_convergence_sweep(sweep);
+  std::cout << "topology=" << topology << " drop=" << stats::fmt(drop, 3)
+            << " replications=" << r.replications
+            << " safety-failures=" << r.safety_failures
+            << " reconverge-failures=" << r.reconverge_failures
+            << " t-reconverge p50=" << stats::fmt(r.reconverge_p50, 3)
+            << "s p90=" << stats::fmt(r.reconverge_p90, 3)
+            << "s p99=" << stats::fmt(r.reconverge_p99, 3) << "s\n";
+  return obs.finish("faults-sweep", r.metrics);
+}
+
 void usage() {
   std::cout <<
       "usage: scenario_cli [<command>] [--flag value ...]\n"
@@ -306,6 +423,13 @@ void usage() {
       "  campus     --policy dispatcher|aggregate|brute-force|static|none\n"
       "             --attendees N --squatters M --replications R --seed S\n"
       "             (default command when only flags are given)\n"
+      "  faults     --topology twocell|campus --drop P --flaps F --crashes C\n"
+      "             --stop T --horizon H --replications R --threads W --seed S\n"
+      "             (convergence-under-faults harness: lossy control plane +\n"
+      "              random outage/crash timeline, safety + reconvergence check)\n"
+      "fault injection (twocell, campus):\n"
+      "  --faults P            drop each admission probe with probability P\n"
+      "  --fault-retries N     probe attempts before degrading to rejection\n"
       "observability (any command):\n"
       "  --metrics-json PATH   versioned run report with the metrics snapshot\n"
       "  --trace-out PATH      Chrome trace_event JSON (chrome://tracing, Perfetto)\n";
@@ -328,6 +452,7 @@ int main(int argc, char** argv) {
   if (command == "fig4") return run_fig4_cmd(flags, obs);
   if (command == "maxmin") return run_maxmin_cmd(flags, obs);
   if (command == "campus") return run_campus_cmd(flags, obs);
+  if (command == "faults") return run_faults_cmd(flags, obs);
   usage();
   return 2;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "mobility/floorplan.h"
@@ -56,11 +57,16 @@ class CampusDay {
     });
     build_policy();
 
+    // Only fork a probe stream when faults are on, so fault-free days keep
+    // drawing exactly the pre-fault sequence from rng_.
+    if (config_.faults.enabled()) probe_.emplace(config_.faults, rng_.fork());
+
     if (config_.tracer) simulator_.set_tracer(config_.tracer);
     if (config_.metrics) {
       directory_.bind_metrics(*config_.metrics);
       manager_.bind_metrics(*config_.metrics);
       if (config_.wall_metrics) manager_.bind_latency_metrics(*config_.metrics);
+      if (probe_) probe_->bind_metrics(config_.metrics);
     }
   }
 
@@ -137,7 +143,8 @@ class CampusDay {
     if (connected) directory_.at(from).release(p);
     manager_.move(p, to);
     ++result_.handoffs;
-    if (connected && !directory_.at(to).admit_handoff(p, it->second)) {
+    if (connected &&
+        !(probe_signaling() && directory_.at(to).admit_handoff(p, it->second))) {
       if (is_attendee) {
         ++result_.attendee_drops;
       } else {
@@ -161,7 +168,9 @@ class CampusDay {
       // leave after.
       const double appear = rng_.uniform(5.0, 30.0);
       simulator_.at(SimTime::minutes(appear), [this, p, b] {
-        if (directory_.at(far_corridor_).admit_new(p, b)) demand_[p] = b;
+        if (probe_signaling() && directory_.at(far_corridor_).admit_new(p, b)) {
+          demand_[p] = b;
+        }
         refresh();
       });
       const double arrive =
@@ -192,7 +201,8 @@ class CampusDay {
   void retry_squat(PortableId p, double at_minutes) {
     simulator_.at(SimTime::minutes(at_minutes), [this, p] {
       if (demand_.contains(p)) return;
-      if (directory_.at(room_).admit_new(p, config_.squatter_bandwidth)) {
+      if (probe_signaling() &&
+          directory_.at(room_).admit_new(p, config_.squatter_bandwidth)) {
         demand_[p] = config_.squatter_bandwidth;
         ++result_.squatter_admits;
       } else {
@@ -229,9 +239,14 @@ class CampusDay {
     }
   }
 
+  /// True when the admission probe got through (or faults are off). A false
+  /// return is a timed-out probe: the caller must treat it as a rejection.
+  [[nodiscard]] bool probe_signaling() { return !probe_ || probe_->attempt(); }
+
   CampusDayConfig config_;
   mobility::CellMap map_;
   sim::Simulator simulator_;
+  std::optional<fault::UnreliableCall> probe_;
   mobility::MobilityManager manager_;
   profiles::ProfileServer server_;
   prediction::ThreeLevelPredictor predictor_;

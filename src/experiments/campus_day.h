@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/signaling.h"
 #include "obs/metrics.h"
 #include "qos/flow_spec.h"
 #include "sim/time.h"
@@ -41,6 +42,13 @@ struct CampusDayConfig {
   /// Meeting runs [start, stop); attendees walk in through the corridor.
   sim::SimTime meeting_start = sim::SimTime::minutes(90);
   sim::SimTime meeting_stop = sim::SimTime::minutes(140);
+
+  /// Admission-signaling faults (ISSUE 3): every admit_new / admit_handoff
+  /// first probes over an UnreliableCall; a timed-out probe degrades to a
+  /// block (new connections, squatters retry later) or a drop (handoffs).
+  /// Disabled by default; a disabled config draws no random numbers, so
+  /// fault-free days stay byte-identical to pre-fault builds.
+  fault::SignalingFaults faults{};
 
   // ---- observability (all optional) ------------------------------------
   /// Registry for end-of-run metric export (sim.* driver totals, resv.* and

@@ -28,10 +28,14 @@ class TwoCellSim {
     model_.emplace(pc, std::move(types));
     counts_[0].assign(config_.types.size(), 0);
     counts_[1].assign(config_.types.size(), 0);
+    // Only fork a probe stream when faults are on: an untouched rng_ keeps
+    // fault-free runs byte-identical to pre-fault builds.
+    if (config_.faults.enabled()) probe_.emplace(config_.faults, rng_.fork());
   }
 
   TwoCellResult run() {
     if (config_.tracer) simulator_.set_tracer(config_.tracer);
+    if (probe_ && config_.metrics) probe_->bind_metrics(config_.metrics);
     const auto horizon = sim::SimTime::seconds(config_.duration);
     for (int cell = 0; cell < 2; ++cell) {
       for (std::size_t type = 0; type < config_.types.size(); ++type) {
@@ -88,7 +92,8 @@ class TwoCellSim {
     const double gap = rng_.exponential_rate(config_.types[type].arrival_rate);
     simulator_.after(sim::Duration::seconds(gap), [this, cell, type] {
       if (measuring()) ++result_.new_attempts;
-      if (admit_new(cell, type)) {
+      // A lost admission probe degrades to a rejection (never a hang).
+      if (probe_signaling() && admit_new(cell, type)) {
         ++counts_[cell][type];
         schedule_departure(cell, type);
       } else if (measuring()) {
@@ -108,7 +113,7 @@ class TwoCellSim {
       if (!rng_.bernoulli(config_.handoff_prob)) return;
       const int other = 1 - cell;
       if (measuring()) ++result_.handoff_attempts;
-      if (admit_handoff(other, type)) {
+      if (probe_signaling() && admit_handoff(other, type)) {
         ++counts_[other][type];
         schedule_departure(other, type);
       } else if (measuring()) {
@@ -117,9 +122,12 @@ class TwoCellSim {
     });
   }
 
+  [[nodiscard]] bool probe_signaling() { return !probe_ || probe_->attempt(); }
+
   TwoCellConfig config_;
   sim::Rng rng_;
   sim::Simulator simulator_;
+  std::optional<fault::UnreliableCall> probe_;
   std::optional<reservation::ProbabilisticReservation> model_;
   std::array<std::vector<int>, 2> counts_;
   TwoCellResult result_;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/signaling.h"
 #include "reservation/probabilistic.h"
 
 namespace imrm::obs {
@@ -43,6 +44,13 @@ struct TwoCellConfig {
   double duration = 400.0;     // simulated time units
   double warmup = 20.0;        // stats ignored before this time
   std::uint64_t seed = 1;
+  /// Admission-signaling faults (ISSUE 3): every new-connection and handoff
+  /// admission first probes the base station through an UnreliableCall; a
+  /// probe that times out after its retry budget degrades to a rejection
+  /// (blocked / dropped), never to a hang or a grant. Disabled (trivial
+  /// model) by default — a disabled config draws no random numbers, so
+  /// fault-free runs are byte-identical to pre-fault builds.
+  fault::SignalingFaults faults{};
   /// Optional observability: end-of-run metric export (sim.* totals plus
   /// twocell.* attempt/block/drop counters) and simulator tracing.
   obs::Registry* metrics = nullptr;

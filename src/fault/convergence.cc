@@ -1,0 +1,209 @@
+#include "fault/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "fault/faulty_channel.h"
+#include "maxmin/waterfill.h"
+#include "obs/tracer.h"
+#include "sim/random.h"
+#include "sim/replication.h"
+#include "sim/simulator.h"
+
+namespace imrm::fault {
+
+namespace {
+
+// Reconvergence times span hop-latencies (ms) to long resync storms; the
+// log2 spec keeps relative error bounded at every scale. lo * 2^16 = hi.
+const obs::HistogramSpec kReconvergeSpec =
+    obs::HistogramSpec::log2(1e-3, 65.536, 4);
+
+double max_deviation(const std::vector<double>& rates, const std::vector<double>& target) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rates.size() && i < target.size(); ++i) {
+    worst = std::max(worst, std::fabs(rates[i] - target[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+ConvergenceResult run_convergence(const ConvergenceConfig& config) {
+  sim::Simulator simulator;
+  if (config.tracer) simulator.set_tracer(config.tracer);
+
+  sim::Rng rng(config.seed);
+  FaultyChannel channel(simulator, rng.fork(), config.faults);
+  if (config.metrics) channel.bind_metrics(config.metrics);
+
+  maxmin::DistributedProtocol::Config protocol_config = config.protocol;
+  protocol_config.transport = &channel;
+  protocol_config.harden = true;
+  maxmin::DistributedProtocol protocol(simulator, config.problem, protocol_config);
+
+  FaultSchedule::Hooks hooks;
+  hooks.link_down = [&channel](std::uint32_t link) { channel.set_channel_up(link, false); };
+  hooks.link_up = [&channel](std::uint32_t link) { channel.set_channel_up(link, true); };
+  hooks.cell_crash = [&protocol](std::uint32_t link) {
+    protocol.crash_restart_link(maxmin::LinkIndex(link));
+  };
+  config.schedule.arm(simulator, hooks, config.metrics, config.tracer);
+
+  // The fault window closes at faults_stop: message faults heal, every
+  // downed channel comes back, and the protocol runs an epoch resync sweep.
+  const sim::SimTime faults_stop =
+      std::max(config.faults_stop, config.schedule.end_time());
+  simulator.at(faults_stop, [&channel, &protocol, &config] {
+    channel.set_default_model(LinkFaultModel{});
+    for (Channel c = 0; c < Channel(config.problem.links.size()); ++c) {
+      channel.set_channel_up(c, true);
+    }
+    protocol.resynchronize();
+  });
+
+  const std::vector<double> target = maxmin::waterfill(config.problem).rates;
+
+  protocol.start_all();
+
+  ConvergenceResult result;
+  double reconverged_at = -1.0;
+  while (simulator.now() <= config.horizon && simulator.step()) {
+    ++result.events;
+    // Safety: at *every* event, no link may plan to allocate more than its
+    // excess capacity (artificial demand links included). planned_sum clamps
+    // each member at the advertised rate — an over-recorded connection is
+    // already revoked down to mu locally; its shrinking UPDATE is in flight.
+    // The unclamped granted_sum transiently exceeds capacity during any
+    // rebalance even fault-free (Sec. 5.3.1 over-consumers shrink one
+    // serialized round at a time), so it is tracked as telemetry only.
+    for (maxmin::LinkIndex li = 0; li < protocol.link_count(); ++li) {
+      const double capacity = std::max(protocol.link_excess_capacity(li), 0.0);
+      const double overshoot = protocol.planned_sum(li) - capacity;
+      if (overshoot > result.worst_overshoot) result.worst_overshoot = overshoot;
+      if (overshoot > config.safety_slack) result.safety_held = false;
+      result.worst_transient_overshoot = std::max(
+          result.worst_transient_overshoot, protocol.granted_sum(li) - capacity);
+    }
+    if (reconverged_at < 0.0 && simulator.now() >= faults_stop &&
+        max_deviation(protocol.rates(), target) <= config.tolerance) {
+      reconverged_at = simulator.now().to_seconds();
+    }
+  }
+
+  result.final_rates = protocol.rates();
+  result.final_deviation = max_deviation(result.final_rates, target);
+  // The queue may drain before faults_stop checks ran; the final state still
+  // counts as reconverged if it matches the fixed point.
+  if (reconverged_at < 0.0 && result.final_deviation <= config.tolerance) {
+    reconverged_at = std::max(faults_stop, simulator.now()).to_seconds();
+  }
+  if (reconverged_at >= 0.0) {
+    result.reconverged = true;
+    result.reconverge_seconds = std::max(0.0, reconverged_at - faults_stop.to_seconds());
+  }
+
+  if (config.metrics) {
+    obs::Registry& registry = *config.metrics;
+    registry.counter("fault.convergence.runs").add();
+    if (result.reconverged) {
+      registry.counter("fault.convergence.reconverged").add();
+      registry.histogram("fault.reconverge_seconds", kReconvergeSpec)
+          .record(result.reconverge_seconds);
+    }
+    if (!result.safety_held) registry.counter("fault.convergence.safety_violations").add();
+    protocol.export_metrics(registry);
+    simulator.collect_metrics(registry);
+  }
+  return result;
+}
+
+ConvergenceSweepResult run_convergence_sweep(const ConvergenceSweepConfig& config) {
+  struct PerRep {
+    ConvergenceResult result;
+    obs::Snapshot snapshot;
+  };
+  const sim::ReplicationRunner runner(config.threads);
+  const auto reps =
+      runner.run(config.replications, config.base.seed,
+                 [&config](std::uint64_t seed, std::size_t) -> PerRep {
+                   obs::Registry registry;
+                   ConvergenceConfig one = config.base;
+                   one.seed = seed;
+                   one.metrics = &registry;
+                   one.tracer = nullptr;  // tracing is per-run, not per-sweep
+                   PerRep rep;
+                   rep.result = run_convergence(one);
+                   rep.snapshot = registry.snapshot();
+                   return rep;
+                 });
+
+  ConvergenceSweepResult sweep;
+  sweep.replications = reps.size();
+  std::vector<obs::Snapshot> snapshots;
+  snapshots.reserve(reps.size());
+  for (const PerRep& rep : reps) {
+    if (!rep.result.safety_held) ++sweep.safety_failures;
+    if (!rep.result.reconverged) ++sweep.reconverge_failures;
+    sweep.worst_overshoot = std::max(sweep.worst_overshoot, rep.result.worst_overshoot);
+    sweep.worst_final_deviation =
+        std::max(sweep.worst_final_deviation, rep.result.final_deviation);
+    snapshots.push_back(rep.snapshot);
+  }
+  sweep.metrics = obs::merge_snapshots(snapshots);
+  if (const obs::HistogramSample* h = sweep.metrics.histogram("fault.reconverge_seconds");
+      h && h->count > 0) {
+    sweep.reconverge_p50 = h->percentile(0.50);
+    sweep.reconverge_p90 = h->percentile(0.90);
+    sweep.reconverge_p99 = h->percentile(0.99);
+  }
+  return sweep;
+}
+
+maxmin::Problem two_cell_problem(std::size_t conns_per_cell, double cell_excess,
+                                 double backbone_excess) {
+  maxmin::Problem problem;
+  problem.links.resize(3);
+  problem.links[0].excess_capacity = cell_excess;       // cell A wireless
+  problem.links[1].excess_capacity = cell_excess;       // cell B wireless
+  problem.links[2].excess_capacity = backbone_excess;   // wired backbone
+  for (std::size_t i = 0; i < conns_per_cell; ++i) {
+    problem.connections.push_back({{0}, maxmin::kInfiniteDemand});          // local in A
+    problem.connections.push_back({{1}, maxmin::kInfiniteDemand});          // local in B
+    problem.connections.push_back({{0, 2, 1}, maxmin::kInfiniteDemand});    // crossing
+  }
+  return problem;
+}
+
+maxmin::Problem campus_problem(std::size_t cells, std::size_t conns, std::uint64_t seed) {
+  maxmin::Problem problem;
+  // Per-cell wireless links 0..cells-1, then corridor backbone segments
+  // cells..2*cells-2 (segment j joins cell j and j+1).
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<double> wireless(8.0, 14.0);
+  problem.links.resize(cells + (cells - 1));
+  for (std::size_t c = 0; c < cells; ++c) {
+    problem.links[c].excess_capacity = wireless(engine);
+  }
+  for (std::size_t s = 0; s + 1 < cells; ++s) {
+    problem.links[cells + s].excess_capacity = 40.0;
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, cells - 1);
+  for (std::size_t i = 0; i < conns; ++i) {
+    std::size_t a = pick(engine);
+    std::size_t b = pick(engine);
+    maxmin::ProblemConnection conn;
+    conn.path.push_back(a);
+    if (a != b) {
+      const std::size_t lo = std::min(a, b);
+      const std::size_t hi = std::max(a, b);
+      for (std::size_t s = lo; s < hi; ++s) conn.path.push_back(cells + s);
+      conn.path.push_back(b);
+    }
+    problem.connections.push_back(std::move(conn));
+  }
+  return problem;
+}
+
+}  // namespace imrm::fault

@@ -1,0 +1,110 @@
+// Convergence-under-faults harness (ISSUE 3 tentpole, part 4).
+//
+// Runs the hardened distributed max-min protocol over a FaultyChannel while
+// a FaultSchedule injects outages and base-station crashes, and checks the
+// two properties Theorem 1 owes us under churn:
+//  * safety   — at every simulator event, each link's planned allocation
+//               (members clamped at the advertised rate mu) sums to at most
+//               its excess capacity: no switch ever plans past capacity,
+//               faults or not;
+//  * liveness — once faults cease, the allocation reconverges to the
+//               fault-free fixed point computed by waterfill().
+//
+// Time-to-reconvergence (measured from the end of the fault window) is
+// recorded into a `fault.reconverge_seconds` log2 histogram so sweeps report
+// percentiles through the obs layer; run_convergence_sweep replays the same
+// scenario across seeded replications on a sim::ReplicationRunner and merges
+// the per-replication snapshots deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "fault/schedule.h"
+#include "maxmin/problem.h"
+#include "maxmin/protocol.h"
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace imrm::obs {
+class Tracer;
+}  // namespace imrm::obs
+
+namespace imrm::fault {
+
+struct ConvergenceConfig {
+  maxmin::Problem problem;
+  // Message-level faults applied to every control channel until
+  // `faults_stop`, at which point the channel heals.
+  LinkFaultModel faults;
+  // Discrete failures (flaps, crashes, partitions) on top of message faults.
+  FaultSchedule schedule;
+  sim::SimTime faults_stop = sim::SimTime::seconds(0.5);
+  // Wall on the whole run: reconvergence must happen before this horizon.
+  sim::SimTime horizon = sim::SimTime::seconds(30.0);
+  maxmin::DistributedProtocol::Config protocol;  // harden/transport are set by the harness
+  std::uint64_t seed = 1;
+  double tolerance = 1e-6;   // max |rate - fixed point| for reconvergence
+  double safety_slack = 1e-6;
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+struct ConvergenceResult {
+  bool safety_held = true;          // planned_sum <= capacity at every event
+  bool reconverged = false;         // matched the fixed point after faults
+  double reconverge_seconds = 0.0;  // time from faults_stop to convergence
+  /// Max planned_sum(l) - capacity(l) over all events/links: the safety
+  /// margin. Positive beyond the slack means a switch planned to hand out
+  /// more than its capacity — the bug class faults are meant to expose.
+  double worst_overshoot = 0.0;
+  /// Max granted_sum(l) - capacity(l): the inherent Sec. 5.3.1 rebalancing
+  /// transient (over-consumers keep their old rate until their serialized
+  /// shrink round lands). Nonzero even fault-free; telemetry, not safety.
+  double worst_transient_overshoot = 0.0;
+  double final_deviation = 0.0;     // max |rate - fixed point| at the end
+  std::uint64_t events = 0;
+  std::vector<double> final_rates;
+};
+
+/// One seeded run of the harness. Deterministic in (config, seed).
+[[nodiscard]] ConvergenceResult run_convergence(const ConvergenceConfig& config);
+
+struct ConvergenceSweepConfig {
+  ConvergenceConfig base;       // per-replication seed/metrics are overridden
+  std::size_t replications = 8;
+  std::size_t threads = 0;      // 0 = hardware concurrency
+};
+
+struct ConvergenceSweepResult {
+  std::size_t replications = 0;
+  std::size_t safety_failures = 0;
+  std::size_t reconverge_failures = 0;
+  double worst_overshoot = 0.0;
+  double worst_final_deviation = 0.0;
+  double reconverge_p50 = 0.0;
+  double reconverge_p90 = 0.0;
+  double reconverge_p99 = 0.0;
+  obs::Snapshot metrics;  // merged fault.* counters + reconvergence histogram
+};
+
+/// Replays run_convergence across seeded replications (seed = base.seed + i)
+/// in parallel and folds the per-replication metric snapshots in replication
+/// order — byte-identical output for any thread count.
+[[nodiscard]] ConvergenceSweepResult run_convergence_sweep(const ConvergenceSweepConfig& config);
+
+/// Two wireless cells bridged by a wired backbone (the Figure 6 shape):
+/// local connections in each cell plus cell-crossing connections competing
+/// for the wireless excess.
+[[nodiscard]] maxmin::Problem two_cell_problem(std::size_t conns_per_cell = 4,
+                                               double cell_excess = 40.0,
+                                               double backbone_excess = 120.0);
+
+/// Campus-shaped problem: a corridor backbone chain with per-cell wireless
+/// links hanging off it (mirrors the campus mobility environment); random
+/// connection endpoints routed over the chain. Deterministic in `seed`.
+[[nodiscard]] maxmin::Problem campus_problem(std::size_t cells = 8, std::size_t conns = 24,
+                                             std::uint64_t seed = 1);
+
+}  // namespace imrm::fault

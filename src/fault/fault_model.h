@@ -1,0 +1,72 @@
+// Per-channel message fault parameters shared by the fault-injection
+// components (FaultyChannel for asynchronous control messages, UnreliableCall
+// for synchronous admission probes).
+#pragma once
+
+#include "sim/random.h"
+
+namespace imrm::fault {
+
+/// Message-level fault model for one control channel. All probabilities are
+/// per message. Loss follows a two-state Gilbert-Elliott chain evaluated once
+/// per send (`loss_good == loss_bad`, or zero transition probabilities,
+/// degenerates to a Bernoulli channel); `jitter` stretches delivery by a
+/// uniform fraction of the hop latency, `reorder` pushes a message far enough
+/// behind that later sends overtake it, `duplicate` delivers an extra copy.
+struct LinkFaultModel {
+  double loss_good = 0.0;      // drop probability in the good state
+  double loss_bad = 0.0;       // drop probability in the bad (burst) state
+  double p_good_to_bad = 0.0;  // per-message transition into the burst state
+  double p_bad_to_good = 1.0;  // per-message transition out of it
+  double duplicate = 0.0;      // probability a message is delivered twice
+  double reorder = 0.0;        // probability a message falls behind later ones
+  double jitter = 0.0;         // max extra delay as a fraction of hop latency
+
+  /// True when the model cannot perturb anything; a trivial channel consumes
+  /// no random draws, so zero-probability runs stay byte-identical to the
+  /// fault-free configuration.
+  [[nodiscard]] bool trivial() const {
+    return loss_good == 0.0 && loss_bad == 0.0 && p_good_to_bad == 0.0 &&
+           duplicate == 0.0 && reorder == 0.0 && jitter == 0.0;
+  }
+
+  /// Memoryless loss with probability `p` per message.
+  [[nodiscard]] static LinkFaultModel bernoulli_loss(double p) {
+    LinkFaultModel m;
+    m.loss_good = m.loss_bad = p;
+    return m;
+  }
+
+  /// Bursty loss: rare (`p_enter`) transitions into a bad state that drops
+  /// `loss_in_burst` of messages and lasts `mean_burst_messages` on average.
+  [[nodiscard]] static LinkFaultModel gilbert_elliott(double p_enter, double loss_in_burst,
+                                                      double mean_burst_messages) {
+    LinkFaultModel m;
+    m.p_good_to_bad = p_enter;
+    m.loss_bad = loss_in_burst;
+    m.p_bad_to_good = mean_burst_messages > 1.0 ? 1.0 / mean_burst_messages : 1.0;
+    return m;
+  }
+};
+
+/// The Gilbert-Elliott state machine behind LinkFaultModel, kept separate so
+/// FaultyChannel (one per channel) and UnreliableCall (one per direction)
+/// share the exact same dynamics.
+struct LossProcess {
+  bool good = true;
+
+  /// Advances the chain one message and returns whether that message is lost.
+  [[nodiscard]] bool lost(const LinkFaultModel& m, sim::Rng& rng) {
+    if (m.p_good_to_bad > 0.0) {
+      if (good) {
+        if (rng.bernoulli(m.p_good_to_bad)) good = false;
+      } else if (rng.bernoulli(m.p_bad_to_good)) {
+        good = true;
+      }
+    }
+    const double p = good ? m.loss_good : m.loss_bad;
+    return p > 0.0 && rng.bernoulli(p);
+  }
+};
+
+}  // namespace imrm::fault

@@ -1,0 +1,81 @@
+#include "fault/faulty_channel.h"
+
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace imrm::fault {
+
+void FaultyChannel::bind_metrics(obs::Registry* registry) {
+  if (!registry) {
+    sent_counter_ = dropped_counter_ = dropped_down_counter_ = nullptr;
+    duplicated_counter_ = reordered_counter_ = delayed_counter_ = nullptr;
+    return;
+  }
+  sent_counter_ = &registry->counter("fault.channel.sent");
+  dropped_counter_ = &registry->counter("fault.channel.dropped");
+  dropped_down_counter_ = &registry->counter("fault.channel.dropped_down");
+  duplicated_counter_ = &registry->counter("fault.channel.duplicated");
+  reordered_counter_ = &registry->counter("fault.channel.reordered");
+  delayed_counter_ = &registry->counter("fault.channel.delayed");
+}
+
+void FaultyChannel::send(Channel channel, sim::Duration latency,
+                         sim::EventQueue::Callback deliver) {
+  ChannelState& ch = state(channel);
+  ++sent_;
+  if (sent_counter_) sent_counter_->add();
+
+  if (!ch.up) {
+    ++dropped_down_;
+    if (dropped_down_counter_) dropped_down_counter_->add();
+    return;
+  }
+
+  const LinkFaultModel& model = ch.has_model ? ch.model : default_model_;
+  if (model.trivial()) {
+    // Fast path: no random draws, so a zero-probability channel is
+    // byte-identical to DirectTransport.
+    simulator_->after(latency, std::move(deliver));
+    return;
+  }
+
+  if (ch.loss.lost(model, rng_)) {
+    ++dropped_;
+    if (dropped_counter_) dropped_counter_->add();
+    return;
+  }
+
+  sim::Duration delay = latency;
+  if (model.jitter > 0.0) {
+    delay += sim::Duration::seconds(latency.to_seconds() *
+                                    rng_.uniform(0.0, model.jitter));
+    ++delayed_;
+    if (delayed_counter_) delayed_counter_->add();
+  }
+  if (model.reorder > 0.0 && rng_.bernoulli(model.reorder)) {
+    // Held back ~2.5 hops: anything sent within the next hop or two on the
+    // same path overtakes this message — a genuine reordering, not just lag.
+    delay += sim::Duration::seconds(latency.to_seconds() * 2.5);
+    ++reordered_;
+    if (reordered_counter_) reordered_counter_->add();
+  }
+
+  if (model.duplicate > 0.0 && rng_.bernoulli(model.duplicate)) {
+    // The callback is move-only; share one copy between both deliveries.
+    // Receivers must be duplicate-tolerant (the max-min protocol discards
+    // the second copy via its round token).
+    auto shared = std::make_shared<sim::EventQueue::Callback>(std::move(deliver));
+    const sim::Duration echo =
+        delay + sim::Duration::seconds(latency.to_seconds() * rng_.uniform(0.5, 1.5));
+    simulator_->after(delay, [shared] { (*shared)(); });
+    simulator_->after(echo, [shared] { (*shared)(); });
+    ++duplicated_;
+    if (duplicated_counter_) duplicated_counter_->add();
+    return;
+  }
+
+  simulator_->after(delay, std::move(deliver));
+}
+
+}  // namespace imrm::fault

@@ -1,0 +1,107 @@
+// Lossy control-plane transport (ISSUE 3 tentpole, part 1).
+//
+// FaultyChannel sits between a distributed protocol and the simulator and
+// perturbs every control message according to a per-channel LinkFaultModel:
+// Bernoulli or Gilbert-Elliott drop, bounded uniform extra delay, forced
+// reordering (the message is held long enough for later sends to overtake
+// it), and duplication. A FaultSchedule can additionally take whole channels
+// down, in which case everything sent over them is dropped until the channel
+// heals.
+//
+// Determinism: the channel owns a forked sim::Rng and draws from it only for
+// messages whose effective model is non-trivial. With every probability at
+// zero the send path short-circuits to a direct simulator schedule — no
+// draws, no extra events — so a zero-fault run is byte-identical to using
+// DirectTransport (acceptance criterion of ISSUE 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "fault/transport.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace imrm::obs {
+class Registry;
+class Counter;
+}  // namespace imrm::obs
+
+namespace imrm::fault {
+
+class FaultyChannel final : public Transport {
+ public:
+  FaultyChannel(sim::Simulator& simulator, sim::Rng rng, LinkFaultModel default_model = {})
+      : simulator_(&simulator), rng_(std::move(rng)), default_model_(default_model) {}
+
+  /// Replaces the model applied to channels without a per-channel override.
+  /// Setting a trivial model mid-run "heals" the control plane: subsequent
+  /// sends flow through untouched (per-channel overrides are cleared too).
+  void set_default_model(const LinkFaultModel& model) {
+    default_model_ = model;
+    for (ChannelState& ch : channels_) ch.has_model = false;
+  }
+
+  void set_model(Channel channel, const LinkFaultModel& model) {
+    ChannelState& ch = state(channel);
+    ch.model = model;
+    ch.has_model = true;
+  }
+
+  /// FaultSchedule hook: a down channel drops every message outright.
+  void set_channel_up(Channel channel, bool up) { state(channel).up = up; }
+  [[nodiscard]] bool channel_up(Channel channel) const {
+    return channel >= channels_.size() || channels_[channel].up;
+  }
+
+  /// Caches `fault.channel.*` counters from `registry` (nullptr detaches).
+  /// Instruments are only registered while bound, so unfaulted runs never
+  /// grow their RunReport.
+  void bind_metrics(obs::Registry* registry);
+
+  void send(Channel channel, sim::Duration latency,
+            sim::EventQueue::Callback deliver) override;
+
+  // Totals, independent of metric binding (used by tests).
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped_down() const { return dropped_down_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+ private:
+  struct ChannelState {
+    LinkFaultModel model;
+    LossProcess loss;
+    bool has_model = false;
+    bool up = true;
+  };
+
+  ChannelState& state(Channel channel) {
+    if (channel >= channels_.size()) channels_.resize(channel + 1);
+    return channels_[channel];
+  }
+
+  sim::Simulator* simulator_;
+  sim::Rng rng_;
+  LinkFaultModel default_model_;
+  std::vector<ChannelState> channels_;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_down_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t delayed_ = 0;
+
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* dropped_down_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
+  obs::Counter* reordered_counter_ = nullptr;
+  obs::Counter* delayed_counter_ = nullptr;
+};
+
+}  // namespace imrm::fault

@@ -1,0 +1,36 @@
+#include "fault/signaling.h"
+
+#include "obs/metrics.h"
+
+namespace imrm::fault {
+
+void UnreliableCall::bind_metrics(obs::Registry* registry) {
+  if (!registry) {
+    probes_counter_ = retries_counter_ = timeouts_counter_ = nullptr;
+    return;
+  }
+  probes_counter_ = &registry->counter("fault.probe.attempts");
+  retries_counter_ = &registry->counter("fault.probe.retries");
+  timeouts_counter_ = &registry->counter("fault.probe.timeouts");
+}
+
+bool UnreliableCall::attempt() {
+  ++probes_;
+  if (probes_counter_) probes_counter_->add();
+  if (!config_.enabled()) return true;
+  const int budget = config_.max_attempts > 0 ? config_.max_attempts : 1;
+  for (int i = 0; i < budget; ++i) {
+    if (i > 0) {
+      ++retries_;
+      if (retries_counter_) retries_counter_->add();
+    }
+    const bool request_lost = request_loss_.lost(config_.model, rng_);
+    const bool response_lost = response_loss_.lost(config_.model, rng_);
+    if (!request_lost && !response_lost) return true;
+  }
+  ++timeouts_;
+  if (timeouts_counter_) timeouts_counter_->add();
+  return false;
+}
+
+}  // namespace imrm::fault

@@ -1,0 +1,71 @@
+// Unreliable synchronous signaling (ISSUE 3 tentpole, part 3 — the
+// admission-control side).
+//
+// The experiment harnesses perform admission as a synchronous call into the
+// reservation layer (a probe of the admission test plus the reply). Under
+// faults, both the probe and its response cross the lossy wireless control
+// channel; a mobile whose probe times out must degrade gracefully to a
+// rejection rather than hang — exactly the "stay safe without knowledge"
+// posture of distributed admission control (Jaramillo & Ying).
+//
+// UnreliableCall models that exchange: each attempt draws a request-loss and
+// a response-loss from the same Gilbert-Elliott process the FaultyChannel
+// uses, retrying up to a bounded budget. attempt() returning false means the
+// probe timed out every time — the caller must treat the admission as
+// rejected (blocked/dropped), never as granted.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "fault/fault_model.h"
+#include "sim/random.h"
+
+namespace imrm::obs {
+class Registry;
+class Counter;
+}  // namespace imrm::obs
+
+namespace imrm::fault {
+
+/// Fault parameters for synchronous admission/reservation signaling.
+struct SignalingFaults {
+  LinkFaultModel model;
+  int max_attempts = 3;  // probe tries before degrading to rejection
+
+  [[nodiscard]] bool enabled() const { return !model.trivial(); }
+};
+
+class UnreliableCall {
+ public:
+  UnreliableCall(SignalingFaults config, sim::Rng rng)
+      : config_(config), rng_(std::move(rng)) {}
+
+  /// Caches `fault.probe.*` counters from `registry` (nullptr detaches).
+  void bind_metrics(obs::Registry* registry);
+
+  /// One admission probe. True = the request/response pair eventually got
+  /// through (possibly after retries); false = every attempt was lost and
+  /// the caller must degrade to rejection.
+  [[nodiscard]] bool attempt();
+
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  SignalingFaults config_;
+  sim::Rng rng_;
+  LossProcess request_loss_;
+  LossProcess response_loss_;
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+};
+
+}  // namespace imrm::fault

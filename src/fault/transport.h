@@ -1,0 +1,57 @@
+// Control-plane transport abstraction (ISSUE 3).
+//
+// The distributed protocols of this reproduction (max-min ADVERTISE/UPDATE,
+// admission and reservation signaling) originally scheduled their message
+// deliveries straight on the simulator, which models a perfectly reliable,
+// constant-latency control plane. Transport makes the delivery model an
+// explicit seam: DirectTransport reproduces the old behavior bit-for-bit,
+// while fault::FaultyChannel implements the same interface with seeded loss,
+// delay, duplication, reordering and link outages.
+//
+// This header is deliberately header-only so that protocol code (imrm_maxmin)
+// can accept a Transport* without linking imrm_fault — only the harnesses and
+// experiments that actually inject faults pull in the library.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace imrm::fault {
+
+/// Identifies the (directed) control channel a message travels over. The
+/// max-min protocol uses the receiving link's index; cell-level admission
+/// signaling uses the cell id. Channel state (loss process, up/down) is kept
+/// per channel so a FaultSchedule can fail links independently.
+using Channel = std::uint32_t;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Schedules `deliver` to run after `latency` (one control-message hop on
+  /// `channel`). Implementations may drop the message (deliver never runs),
+  /// delay it beyond `latency`, or run it more than once (duplication) —
+  /// receivers must tolerate all three.
+  virtual void send(Channel channel, sim::Duration latency,
+                    sim::EventQueue::Callback deliver) = 0;
+};
+
+/// The fault-free transport: every message arrives exactly once, exactly
+/// `latency` later — byte-identical to scheduling on the simulator directly.
+class DirectTransport final : public Transport {
+ public:
+  explicit DirectTransport(sim::Simulator& simulator) : simulator_(&simulator) {}
+
+  void send(Channel /*channel*/, sim::Duration latency,
+            sim::EventQueue::Callback deliver) override {
+    simulator_->after(latency, std::move(deliver));
+  }
+
+ private:
+  sim::Simulator* simulator_;
+};
+
+}  // namespace imrm::fault

@@ -17,7 +17,21 @@ void DistributedProtocol::LinkNode::add_member(ConnIndex conn) {
   state.emplace_back();
 }
 
+bool DistributedProtocol::LinkNode::resync_pending_for(ConnIndex conn) const {
+  return std::find(resync_pending.begin(), resync_pending.end(), conn) !=
+         resync_pending.end();
+}
+
 void DistributedProtocol::LinkNode::remove_member(ConnIndex conn) {
+  // A departing connection has nothing left to resync.
+  if (auto it = std::find(resync_pending.begin(), resync_pending.end(), conn);
+      it != resync_pending.end()) {
+    const std::size_t i = std::size_t(it - resync_pending.begin());
+    resync_pending[i] = resync_pending.back();
+    resync_tries[i] = resync_tries.back();
+    resync_pending.pop_back();
+    resync_tries.pop_back();
+  }
   const std::uint32_t* pos_ptr = index.find(std::uint64_t(conn));
   if (!pos_ptr) return;
   const std::uint32_t pos = *pos_ptr;
@@ -46,6 +60,23 @@ DistributedProtocol::DistributedProtocol(sim::Simulator& simulator, const Proble
   for (const ProblemConnection& conn : problem.connections) {
     add_connection(conn.path, conn.demand);
   }
+}
+
+double DistributedProtocol::granted_sum(LinkIndex link) const {
+  const LinkNode& node = links_.at(link);
+  double sum = 0.0;
+  for (ConnIndex conn : node.members) sum += std::max(rates_[conn], 0.0);
+  return sum;
+}
+
+double DistributedProtocol::planned_sum(LinkIndex link) const {
+  const LinkNode& node = links_.at(link);
+  const double mu = std::max(node.mu.current(), 0.0);
+  double sum = 0.0;
+  for (const double recorded : node.recorded) {
+    sum += std::min(std::max(recorded, 0.0), mu);
+  }
+  return sum;
 }
 
 std::vector<ConnIndex> DistributedProtocol::bottleneck_set(LinkIndex link) const {
@@ -91,6 +122,7 @@ void DistributedProtocol::remove_connection(ConnIndex conn) {
   // Abort an in-flight adaptation for this connection; stale packets are
   // invalidated by bumping the token.
   if (active_ && active_->conn == conn) {
+    disarm_watchdog();
     active_.reset();
     ++active_token_;
   }
@@ -157,6 +189,9 @@ bool DistributedProtocol::trigger_valid(LinkIndex link, ConnIndex conn) const {
   if (cap_hit_) return false;
   if (conn >= conn_alive_.size() || !conn_alive_[conn]) return false;
   const LinkNode& node = links_.at(link);
+  // A restarted switch defers new adaptations until its member rates have
+  // been re-synced; finish_resync() re-seeds the cascades afterwards.
+  if (node.resyncing()) return false;
   const std::size_t pos = node.position_of(conn);
   const double recorded = pos < node.members.size() ? node.recorded[pos] : 0.0;
   // A negative advertised rate (capacity below the guaranteed minima) can
@@ -244,8 +279,10 @@ void DistributedProtocol::pump() {
     active_ = Adaptation{link, conn, config_.round_trips, std::nullopt, std::nullopt};
     ++active_token_;
     ++rounds_run_;
+    ++round_serial_;
     round_started_ = simulator_->now();
     launch_round();
+    arm_watchdog();
     return;
   }
 }
@@ -280,8 +317,10 @@ void DistributedProtocol::launch_round() {
     } else {
       packet.position = dir == Direction::kUpstream ? pos - 1 : pos + 1;
     }
-    simulator_->after(config_.hop_latency,
-                      [this, packet]() mutable { deliver_advertise(packet); });
+    // The channel is the link the packet arrives at (its own link for the
+    // immediate endpoint reflection).
+    transmit(path[packet.position], config_.hop_latency,
+             [this, packet]() mutable { deliver_advertise(packet); });
     ++messages_sent_;
   };
   send(Direction::kUpstream);
@@ -290,7 +329,12 @@ void DistributedProtocol::launch_round() {
 }
 
 void DistributedProtocol::deliver_advertise(Advertise packet) {
-  if (!active_ || packet.token != active_token_) return;  // stale round
+  if (!active_ || packet.token != active_token_) {
+    // Stale round: a retransmission, crash, or completed trip retired this
+    // token — sequence-number rejection of late/duplicated packets.
+    ++stale_ignored_;
+    return;
+  }
   if (!conn_alive_[packet.conn]) return;
 
   if (packet.returning) {
@@ -316,8 +360,8 @@ void DistributedProtocol::deliver_advertise(Advertise packet) {
   } else {
     packet.position += packet.direction == Direction::kUpstream ? std::size_t(-1) : 1;
   }
-  simulator_->after(config_.hop_latency,
-                    [this, packet]() mutable { deliver_advertise(packet); });
+  transmit(path[packet.position], config_.hop_latency,
+           [this, packet]() mutable { deliver_advertise(packet); });
   ++messages_sent_;
   if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
 }
@@ -334,7 +378,18 @@ void DistributedProtocol::handle_advertise_at(LinkIndex link, Advertise& packet)
   // Clamp: "if the stamped rate is higher or equal to the advertised rate,
   // the stamped rate is reduced to the advertised rate" (never below zero:
   // excess shares cannot be negative).
-  const double offer = std::max(mu, 0.0);
+  double offer = std::max(mu, 0.0);
+  // A resyncing switch must stay safe without knowledge: until a member has
+  // re-reported its applied rate, the switch cannot tell how much of the
+  // capacity is already spoken for, so it never offers a connection more
+  // than what it knows that connection to hold (growth waits, keep/shrink
+  // passes through).
+  if (node.resyncing()) {
+    const double known = node.resync_pending_for(packet.conn)
+                             ? 0.0
+                             : std::max(rates_[packet.conn], 0.0);
+    offer = std::min(offer, known);
+  }
   if (received >= offer) {
     packet.stamped = offer;
     node.recorded[pos] = offer;
@@ -367,10 +422,16 @@ void DistributedProtocol::on_round_trip_complete() {
   if (a.trips_left > 0 && !cap_hit_) {
     ++active_token_;  // retire packets of the finished trip
     launch_round();
+    disarm_watchdog();
+    arm_watchdog();  // progress was made; restart the round's loss timer
     return;
   }
   const double final_rate = std::min(*a.returned_upstream, *a.returned_downstream);
+  a.updating = true;
+  a.final_rate = final_rate;
   send_update(a.conn, final_rate);
+  disarm_watchdog();
+  arm_watchdog();
 }
 
 void DistributedProtocol::send_update(ConnIndex conn, double rate) {
@@ -381,14 +442,19 @@ void DistributedProtocol::send_update(ConnIndex conn, double rate) {
   if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
   const sim::Duration travel =
       sim::Duration::seconds(config_.hop_latency.to_seconds() * double(path.size()));
+  // Retire any still-circulating ADVERTISE copies (duplication/reordering)
+  // before fixing the token the UPDATE rides on; in a fault-free run nothing
+  // is in flight here, so the bump is unobservable.
+  ++active_token_;
   const std::uint64_t token = active_token_;
-  simulator_->after(travel, [this, conn, rate, token]() {
+  transmit(path.front(), travel, [this, conn, rate, token]() {
     if (!active_ || token != active_token_ || !conn_alive_[conn]) return;
     finish_adaptation(rate);
   });
 }
 
 void DistributedProtocol::finish_adaptation(double final_rate) {
+  disarm_watchdog();
   const Adaptation a = *active_;
   const ConnIndex conn = a.conn;
   rates_[conn] = final_rate;
@@ -442,6 +508,203 @@ void DistributedProtocol::finish_adaptation(double final_rate) {
   pump();
 }
 
+// ---- fault tolerance (Config::harden) -----------------------------------
+
+sim::Duration DistributedProtocol::round_rto() const {
+  assert(active_);
+  const Adaptation& a = *active_;
+  const double hops = double(paths_[a.conn].size());
+  // One trip runs both legs in parallel; the worst leg spans the path plus
+  // the endpoint reflection, and the UPDATE travels the full path as one
+  // hop-scaled event. Factor 6 absorbs channel jitter (<= 1 hop) and forced
+  // reordering (+2.5 hops) without firing on healthy-but-slow trips.
+  double rto = config_.hop_latency.to_seconds() * (hops + 2.0) * 6.0;
+  rto = std::max(rto, config_.retransmit_timeout.to_seconds());
+  for (int i = 0; i < a.retransmits; ++i) rto *= config_.retransmit_backoff;
+  return sim::Duration::seconds(rto);
+}
+
+void DistributedProtocol::arm_watchdog() {
+  if (!config_.harden || !active_) return;
+  const std::uint64_t serial = round_serial_;
+  // Timers are local to the initiating switch, never subject to the faulty
+  // transport, so they schedule directly on the simulator.
+  watchdog_ = simulator_->after(round_rto(), [this, serial] { on_watchdog(serial); });
+  watchdog_armed_ = true;
+}
+
+void DistributedProtocol::disarm_watchdog() {
+  if (!watchdog_armed_) return;
+  simulator_->cancel(watchdog_);
+  watchdog_armed_ = false;
+}
+
+void DistributedProtocol::on_watchdog(std::uint64_t serial) {
+  watchdog_armed_ = false;
+  if (!active_ || round_serial_ != serial || cap_hit_) return;
+  Adaptation& a = *active_;
+  if (a.retransmits >= config_.retransmit_budget) {
+    abandon_round();
+    return;
+  }
+  ++a.retransmits;
+  ++retransmissions_;
+  ++active_token_;  // retire whatever is left of the lost trip
+  if (a.updating) {
+    send_update(a.conn, a.final_rate);
+  } else {
+    launch_round();
+  }
+  arm_watchdog();
+}
+
+void DistributedProtocol::abandon_round() {
+  assert(active_);
+  const Adaptation a = *active_;
+  ++rounds_abandoned_;
+  const sim::Duration retry_delay = round_rto();  // maximally backed-off RTO
+  // Roll the links' view of this connection back to its last applied rate:
+  // half-propagated stamps from the dead round must not linger (a squeezed
+  // stamp with no matching UPDATE would free capacity the endpoint still
+  // uses; an inflated one would double-book it).
+  for (LinkIndex li : paths_[a.conn]) {
+    LinkNode& node = links_[li];
+    const std::size_t pos = node.position_of(a.conn);
+    if (pos >= node.members.size()) continue;
+    if (node.resync_pending_for(a.conn)) continue;  // resync will restore it
+    node.recorded[pos] = std::max(rates_[a.conn], 0.0);
+    recompute_mu(li);
+  }
+  active_.reset();
+  ++active_token_;
+  // Back off and re-trigger: liveness once faults cease, without hot-looping
+  // while they persist.
+  const LinkIndex link = a.trigger_link;
+  const ConnIndex conn = a.conn;
+  simulator_->after(retry_delay, [this, link, conn] { initiate(link, conn); });
+  pump();
+}
+
+void DistributedProtocol::crash_restart_link(LinkIndex link) {
+  assert(config_.harden && "crash/restart modeling requires Config::harden");
+  LinkNode& node = links_.at(link);
+  ++generation_;
+  ++crashes_;
+  ++node.epoch;
+  // The restart loses all soft state: recorded rates, bottleneck
+  // membership, completion memory.
+  for (std::size_t i = 0; i < node.members.size(); ++i) {
+    node.recorded[i] = 0.0;
+    node.state[i] = ConnState{};
+  }
+  recompute_mu(link);
+  if (node.members.empty()) return;
+  const bool abort_active =
+      active_ && std::find(paths_[active_->conn].begin(), paths_[active_->conn].end(),
+                           link) != paths_[active_->conn].end();
+  // Ask every member endpoint to re-report its applied rate, epoch-tagged so
+  // replies to an older incarnation are rejected.
+  node.resync_pending = node.members;
+  node.resync_tries.assign(node.members.size(), 0);
+  if (abort_active) {
+    // An in-flight round crossing the crashed link would mix pre- and
+    // post-crash stamps; kill it (its links are restored except this one,
+    // whose truth arrives with the resync replies).
+    disarm_watchdog();
+    abandon_round();
+  }
+  send_resync_requests(link);
+  const std::uint32_t epoch = node.epoch;
+  simulator_->after(resync_rto(), [this, link, epoch] { on_resync_watchdog(link, epoch); });
+  pump();
+}
+
+sim::Duration DistributedProtocol::resync_rto() const {
+  return sim::Duration::seconds(std::max(config_.retransmit_timeout.to_seconds(),
+                                         config_.hop_latency.to_seconds() * 12.0));
+}
+
+void DistributedProtocol::send_resync_requests(LinkIndex link) {
+  LinkNode& node = links_[link];
+  const std::uint32_t epoch = node.epoch;
+  // Request + reply modeled as one transport delivery over the link's own
+  // channel, two hops end to end.
+  const sim::Duration rtt =
+      sim::Duration::seconds(config_.hop_latency.to_seconds() * 2.0);
+  for (ConnIndex conn : node.resync_pending) {
+    transmit(link, rtt, [this, link, epoch, conn] { on_resync_reply(link, epoch, conn); });
+    ++messages_sent_;
+  }
+  if (messages_sent_ >= config_.message_cap) cap_hit_ = true;
+}
+
+void DistributedProtocol::on_resync_reply(LinkIndex link, std::uint32_t epoch,
+                                          ConnIndex conn) {
+  LinkNode& node = links_.at(link);
+  if (node.epoch != epoch) return;  // reply to an older incarnation
+  auto it = std::find(node.resync_pending.begin(), node.resync_pending.end(), conn);
+  if (it == node.resync_pending.end()) return;  // duplicate reply
+  const std::size_t i = std::size_t(it - node.resync_pending.begin());
+  node.resync_pending[i] = node.resync_pending.back();
+  node.resync_tries[i] = node.resync_tries.back();
+  node.resync_pending.pop_back();
+  node.resync_tries.pop_back();
+  if (conn < conn_alive_.size() && conn_alive_[conn]) {
+    const std::size_t pos = node.position_of(conn);
+    if (pos < node.members.size()) {
+      node.recorded[pos] = std::max(rates_[conn], 0.0);
+      recompute_mu(link);
+    }
+  }
+  if (!node.resyncing()) finish_resync(link);
+}
+
+void DistributedProtocol::on_resync_watchdog(LinkIndex link, std::uint32_t epoch) {
+  LinkNode& node = links_.at(link);
+  if (node.epoch != epoch || !node.resyncing()) return;
+  // Members that exhausted their budget are treated as silent: their share
+  // here stays zero and they are told to renegotiate when they reappear.
+  for (std::size_t i = node.resync_pending.size(); i-- > 0;) {
+    if (node.resync_tries[i] >= config_.resync_retry_budget) {
+      ++resync_expired_;
+      renegotiations_.push_back(node.resync_pending[i]);
+      node.resync_pending[i] = node.resync_pending.back();
+      node.resync_tries[i] = node.resync_tries.back();
+      node.resync_pending.pop_back();
+      node.resync_tries.pop_back();
+    } else {
+      ++node.resync_tries[i];
+    }
+  }
+  if (!node.resyncing()) {
+    finish_resync(link);
+    return;
+  }
+  retransmissions_ += node.resync_pending.size();
+  send_resync_requests(link);
+  simulator_->after(resync_rto(), [this, link, epoch] { on_resync_watchdog(link, epoch); });
+}
+
+void DistributedProtocol::finish_resync(LinkIndex link) {
+  ++resyncs_completed_;
+  // The rebuilt picture may leave capacity idle or oversubscribed; rerun the
+  // refinement cascades from the restored state.
+  initiate_over_consumers(link, kNoConnection);
+  initiate_growers(link, kNoConnection);
+  pump();
+}
+
+void DistributedProtocol::resynchronize() {
+  ++generation_;
+  // Drop the completion memory that suppresses re-triggers: it may encode
+  // futility proven against state that no longer exists.
+  for (LinkNode& node : links_) {
+    for (ConnState& state : node.state) state.has_last_completed = false;
+  }
+  start_all();
+  pump();
+}
+
 // ---- observability ------------------------------------------------------
 
 void DistributedProtocol::trace_round_complete(ConnIndex conn, double final_rate) {
@@ -481,6 +744,16 @@ void DistributedProtocol::export_metrics(obs::Registry& registry) const {
   registry.counter("maxmin.rounds_run").add(rounds_run_);
   registry.counter("maxmin.renegotiation_requests").add(renegotiations_.size());
   registry.gauge("maxmin.message_cap_hit").set(cap_hit_ ? 1.0 : 0.0);
+  if (config_.harden) {
+    // Hardened-mode telemetry; registered only when the machinery is on so
+    // fault-free reports keep their exact shape.
+    registry.counter("fault.protocol.retransmissions").add(retransmissions_);
+    registry.counter("fault.protocol.rounds_abandoned").add(rounds_abandoned_);
+    registry.counter("fault.protocol.stale_ignored").add(stale_ignored_);
+    registry.counter("fault.protocol.crashes").add(crashes_);
+    registry.counter("fault.protocol.resyncs_completed").add(resyncs_completed_);
+    registry.counter("fault.protocol.resync_expired").add(resync_expired_);
+  }
   for (std::size_t li = 0; li < links_.size(); ++li) {
     const std::string prefix = "maxmin.link." + std::to_string(li);
     registry.gauge(prefix + ".advertised_rate").set(links_[li].mu.current());

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/transport.h"
 #include "maxmin/advertised_rate.h"
 #include "maxmin/problem.h"
 #include "sim/flat_map.h"
@@ -64,6 +65,23 @@ class DistributedProtocol {
     InitiationPolicy policy = InitiationPolicy::kBottleneckSets;
     int round_trips = 4;          // paper: four round trips ensure convergence
     std::uint64_t message_cap = 2'000'000;  // runaway guard
+
+    // --- fault tolerance (ISSUE 3) --------------------------------------
+    // Control-plane transport for ADVERTISE/UPDATE delivery. nullptr means
+    // direct in-simulator scheduling — exactly the fault-free behavior, with
+    // no virtual call on the hot path.
+    fault::Transport* transport = nullptr;
+    // Enables the loss-hardening machinery: a per-round retransmission
+    // watchdog with exponential backoff and a bounded retry budget, plus
+    // epoch-tagged crash/resync support. Off by default so fault-free runs
+    // schedule exactly the same events as before.
+    bool harden = false;
+    // Minimum retransmission timeout; zero derives it from the path length
+    // (one trip's worth of hops with generous jitter margin).
+    sim::Duration retransmit_timeout = sim::Duration::millis(0.0);
+    double retransmit_backoff = 2.0;  // RTO multiplier per retransmission
+    int retransmit_budget = 6;        // retransmissions before abandoning
+    int resync_retry_budget = 8;      // resync request retries per member
   };
 
   DistributedProtocol(sim::Simulator& simulator, const Problem& problem, Config config);
@@ -83,6 +101,22 @@ class DistributedProtocol {
   /// Removes a connection; its former links re-advertise the freed capacity.
   void remove_connection(ConnIndex conn);
 
+  /// Base-station crash/restart at `link` (requires Config::harden): the
+  /// switch loses its soft per-connection state (recorded rates, bottleneck
+  /// membership, completion memory), bumps the link's epoch, and asks every
+  /// member endpoint to re-report its applied rate over the (possibly still
+  /// faulty) transport. Until every member has answered, the link refuses to
+  /// offer any connection more than its re-synced recorded rate — the
+  /// safety-without-knowledge rule — and defers initiating new adaptations.
+  void crash_restart_link(LinkIndex link);
+
+  /// Epoch-style recovery sweep: clears the per-(link, connection)
+  /// completion memory that suppresses futile re-triggers and re-initiates
+  /// every live connection from its entry switch. Called by harnesses once
+  /// a fault epoch ends, mirroring a controller broadcasting a new epoch
+  /// after an outage.
+  void resynchronize();
+
   /// Current per-connection excess rates (set by UPDATE messages).
   [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
 
@@ -98,6 +132,33 @@ class DistributedProtocol {
   [[nodiscard]] double advertised_rate(LinkIndex link) const {
     return links_.at(link).mu.current();
   }
+  /// Number of links including the artificial finite-demand entry links.
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] double link_excess_capacity(LinkIndex link) const {
+    return links_.at(link).mu.excess_capacity();
+  }
+  /// Sum of the applied (UPDATE-fixed) rates of the link's members. During
+  /// any rebalance this transiently exceeds the excess capacity — Sec. 5.3.1
+  /// over-consumers keep their old rate until their shrink round completes —
+  /// so it measures the transient magnitude, not a per-event invariant.
+  [[nodiscard]] double granted_sum(LinkIndex link) const;
+  /// Sum of what the switch actually allocates its members at this instant:
+  /// min(recorded_i, mu). A connection recorded above the advertised rate is
+  /// only honored up to mu (the excess is already revoked locally; the
+  /// shrinking UPDATE just hasn't landed). This is the per-event
+  /// capacity-safety invariant: planned_sum(l) <= excess capacity always.
+  [[nodiscard]] double planned_sum(LinkIndex link) const;
+  [[nodiscard]] bool link_resyncing(LinkIndex link) const {
+    return links_.at(link).resyncing();
+  }
+
+  // Fault-tolerance telemetry (all zero unless Config::harden).
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t rounds_abandoned() const { return rounds_abandoned_; }
+  [[nodiscard]] std::uint64_t stale_ignored() const { return stale_ignored_; }
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t resyncs_completed() const { return resyncs_completed_; }
+  [[nodiscard]] std::uint64_t resync_expired() const { return resync_expired_; }
   /// M(l), sorted by connection index.
   [[nodiscard]] std::vector<ConnIndex> bottleneck_set(LinkIndex link) const;
 
@@ -148,12 +209,20 @@ class DistributedProtocol {
     std::vector<double> recorded;
     std::vector<ConnState> state;
     sim::FlatMap<std::uint64_t, std::uint32_t> index;  // conn -> position
+    // Crash/restart bookkeeping (Config::harden): the link's state epoch and
+    // the members whose rates are still unknown after a restart, with per-
+    // member resend counts (parallel to resync_pending).
+    std::uint32_t epoch = 0;
+    std::vector<ConnIndex> resync_pending;
+    std::vector<int> resync_tries;
 
     [[nodiscard]] std::size_t position_of(ConnIndex conn) const {
       const std::uint32_t* pos = index.find(std::uint64_t(conn));
       return pos ? *pos : members.size();
     }
     [[nodiscard]] bool has(ConnIndex conn) const { return position_of(conn) < members.size(); }
+    [[nodiscard]] bool resyncing() const { return !resync_pending.empty(); }
+    [[nodiscard]] bool resync_pending_for(ConnIndex conn) const;
     void add_member(ConnIndex conn);
     void remove_member(ConnIndex conn);
   };
@@ -164,6 +233,11 @@ class DistributedProtocol {
     int trips_left = 0;
     std::optional<double> returned_upstream;
     std::optional<double> returned_downstream;
+    // Hardened mode: retransmissions consumed so far and whether the round
+    // has already fixed its final rate (UPDATE in flight).
+    int retransmits = 0;
+    bool updating = false;
+    double final_rate = 0.0;
   };
 
   // Sentinel "exclude nobody" argument for the cascade helpers.
@@ -188,6 +262,29 @@ class DistributedProtocol {
   void send_update(ConnIndex conn, double rate);
   void finish_adaptation(double final_rate);
   void recompute_mu(LinkIndex link);
+
+  // --- fault tolerance (Config::harden) -----------------------------------
+  // Routes one control-message hop through the configured transport (or the
+  // simulator directly when none is set).
+  template <typename F>
+  void transmit(LinkIndex channel, sim::Duration latency, F&& f) {
+    if (config_.transport) {
+      config_.transport->send(fault::Channel(channel), latency,
+                              sim::EventQueue::Callback(std::forward<F>(f)));
+    } else {
+      simulator_->after(latency, std::forward<F>(f));
+    }
+  }
+  [[nodiscard]] sim::Duration round_rto() const;
+  [[nodiscard]] sim::Duration resync_rto() const;
+  void arm_watchdog();
+  void disarm_watchdog();
+  void on_watchdog(std::uint64_t serial);
+  void abandon_round();
+  void send_resync_requests(LinkIndex link);
+  void on_resync_reply(LinkIndex link, std::uint32_t epoch, ConnIndex conn);
+  void on_resync_watchdog(LinkIndex link, std::uint32_t epoch);
+  void finish_resync(LinkIndex link);
 
   // --- tracing (no-ops unless a tracer is attached and enabled) ----------
   void trace_round_complete(ConnIndex conn, double final_rate);
@@ -214,6 +311,19 @@ class DistributedProtocol {
   obs::NameId trace_update_name_ = obs::kInvalidName;
   std::vector<obs::NameId> trace_link_names_;
   sim::SimTime round_started_ = sim::SimTime::zero();
+
+  // Hardened-mode state: the retransmission watchdog of the active round
+  // (round_serial_ identifies the round across its trips/retransmissions,
+  // unlike active_token_ which advances per trip) and fault counters.
+  std::uint64_t round_serial_ = 0;
+  sim::EventId watchdog_ = 0;
+  bool watchdog_armed_ = false;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t rounds_abandoned_ = 0;
+  std::uint64_t stale_ignored_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t resyncs_completed_ = 0;
+  std::uint64_t resync_expired_ = 0;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t rounds_run_ = 0;

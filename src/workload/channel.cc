@@ -1,9 +1,22 @@
 #include "workload/channel.h"
 
+#include "obs/metrics.h"
+
 namespace imrm::workload {
 
 void GilbertElliottChannel::start(sim::SimTime horizon) {
   schedule_transition(horizon);
+}
+
+void GilbertElliottChannel::bind_metrics(obs::Registry* registry) {
+  if (!registry) {
+    transitions_counter_ = nullptr;
+    capacity_gauge_ = nullptr;
+    return;
+  }
+  transitions_counter_ = &registry->counter("channel.transitions");
+  capacity_gauge_ = &registry->gauge("channel.capacity_bps");
+  capacity_gauge_->set(current_capacity());
 }
 
 void GilbertElliottChannel::schedule_transition(sim::SimTime horizon) {
@@ -15,6 +28,8 @@ void GilbertElliottChannel::schedule_transition(sim::SimTime horizon) {
   simulator_->at(at, [this, horizon] {
     good_ = !good_;
     ++transitions_;
+    if (transitions_counter_) transitions_counter_->add();
+    if (capacity_gauge_) capacity_gauge_->set(current_capacity());
     if (on_change_) on_change_(current_capacity());
     schedule_transition(horizon);
   });

@@ -8,11 +8,16 @@
 // for real wireless channel error documented in DESIGN.md.
 #pragma once
 
-#include <functional>
-
 #include "qos/flow_spec.h"
+#include "sim/inplace_function.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+
+namespace imrm::obs {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace imrm::obs
 
 namespace imrm::workload {
 
@@ -25,7 +30,10 @@ class GilbertElliottChannel {
     sim::Duration mean_bad = sim::Duration::seconds(30);
   };
 
-  using CapacityCallback = std::function<void(qos::BitsPerSecond)>;
+  /// Same inline-storage callback the event queue uses: a channel observer
+  /// is a `this` pointer plus a little state, so no per-transition
+  /// std::function heap traffic on the hot path.
+  using CapacityCallback = sim::InplaceFunction<void(qos::BitsPerSecond), 48>;
 
   GilbertElliottChannel(sim::Simulator& simulator, Config config, sim::Rng rng,
                         CapacityCallback on_change)
@@ -34,6 +42,12 @@ class GilbertElliottChannel {
 
   /// Starts in the good state and schedules transitions until `horizon`.
   void start(sim::SimTime horizon);
+
+  /// Caches a `channel.transitions` counter and `channel.capacity_bps` gauge
+  /// from `registry` (nullptr detaches); the gauge tracks the current
+  /// effective capacity through every transition, and its max() recovers the
+  /// good-state capacity for reports.
+  void bind_metrics(obs::Registry* registry);
 
   [[nodiscard]] bool in_good_state() const { return good_; }
   [[nodiscard]] qos::BitsPerSecond current_capacity() const {
@@ -57,6 +71,8 @@ class GilbertElliottChannel {
   CapacityCallback on_change_;
   bool good_ = true;
   std::size_t transitions_ = 0;
+  obs::Counter* transitions_counter_ = nullptr;
+  obs::Gauge* capacity_gauge_ = nullptr;
 };
 
 }  // namespace imrm::workload

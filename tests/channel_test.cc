@@ -1,6 +1,9 @@
 // Tests for the Gilbert-Elliott wireless channel model.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "obs/metrics.h"
 #include "workload/channel.h"
 
 namespace imrm::workload {
@@ -63,6 +66,38 @@ TEST(Channel, HorizonStopsTransitions) {
   channel.start(SimTime::seconds(30));
   simulator.run();
   EXPECT_LE(simulator.now().to_seconds(), 30.0 + 1e-9);
+}
+
+TEST(Channel, ExportsTransitionAndCapacityMetrics) {
+  sim::Simulator simulator;
+  obs::Registry registry;
+  GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(6), nullptr);
+  channel.bind_metrics(&registry);
+  // Bound before any transition: the gauge already reads the good capacity.
+  EXPECT_DOUBLE_EQ(registry.gauge("channel.capacity_bps").value(), qos::mbps(1.6));
+  channel.start(SimTime::hours(1));
+  simulator.run();
+  EXPECT_EQ(registry.counter("channel.transitions").value(), channel.transitions());
+  EXPECT_GT(channel.transitions(), 0u);
+  // The gauge tracks the live capacity and its max is the good-state rate.
+  EXPECT_DOUBLE_EQ(registry.gauge("channel.capacity_bps").value(),
+                   channel.current_capacity());
+  EXPECT_DOUBLE_EQ(registry.gauge("channel.capacity_bps").max(), qos::mbps(1.6));
+  // Detaching stops the export without disturbing the channel.
+  channel.bind_metrics(nullptr);
+}
+
+TEST(Channel, MoveOnlyCallbackState) {
+  // The InplaceFunction callback accepts move-only capture state, which a
+  // std::function never could — the reason for the swap.
+  sim::Simulator simulator;
+  auto hits = std::make_unique<int>(0);
+  int* raw = hits.get();
+  GilbertElliottChannel channel(simulator, fast_config(), sim::Rng(7),
+                                [hits = std::move(hits)](double) { ++*hits; });
+  channel.start(SimTime::hours(1));
+  simulator.run();
+  EXPECT_EQ(std::size_t(*raw), channel.transitions());
 }
 
 TEST(Channel, Deterministic) {

@@ -1,0 +1,116 @@
+// Convergence-under-faults acceptance tests (ISSUE 3): the hardened
+// distributed protocol must reconverge to the fault-free waterfill fixed
+// point after ADVERTISE loss and a mid-run base-station restart, while the
+// planned-allocation capacity invariant holds at every simulator event.
+#include <gtest/gtest.h>
+
+#include "fault/convergence.h"
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace imrm::fault {
+namespace {
+
+using sim::SimTime;
+
+ConvergenceConfig lossy_restart_config() {
+  ConvergenceConfig config;
+  config.problem = two_cell_problem();
+  config.faults = LinkFaultModel::bernoulli_loss(0.1);  // 10% ADVERTISE loss
+  config.schedule.crash(0, SimTime::seconds(0.2));      // mid-run cell restart
+  config.faults_stop = SimTime::seconds(0.5);
+  config.seed = 11;
+  return config;
+}
+
+TEST(ConvergenceUnderFaults, ReconvergesAfterLossAndCellRestartAcrossReplications) {
+  ConvergenceSweepConfig sweep;
+  sweep.base = lossy_restart_config();
+  sweep.replications = 8;
+  const ConvergenceSweepResult r = run_convergence_sweep(sweep);
+  ASSERT_EQ(r.replications, 8u);
+  EXPECT_EQ(r.safety_failures, 0u) << "planned allocation exceeded capacity, "
+                                   << "worst overshoot " << r.worst_overshoot;
+  EXPECT_EQ(r.reconverge_failures, 0u)
+      << "worst final deviation " << r.worst_final_deviation;
+  // Percentiles come from the merged reconvergence histogram and are ordered.
+  EXPECT_GT(r.reconverge_p50, 0.0);
+  EXPECT_LE(r.reconverge_p50, r.reconverge_p90);
+  EXPECT_LE(r.reconverge_p90, r.reconverge_p99);
+  // The merged snapshot carries the fault.* observability contract.
+  const obs::CounterSample* runs = r.metrics.counter("fault.convergence.runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(runs->value, 8u);
+  const obs::CounterSample* reconverged = r.metrics.counter("fault.convergence.reconverged");
+  ASSERT_NE(reconverged, nullptr);
+  EXPECT_EQ(reconverged->value, 8u);
+  EXPECT_NE(r.metrics.histogram("fault.reconverge_seconds"), nullptr);
+  const obs::CounterSample* crashes = r.metrics.counter("fault.protocol.crashes");
+  ASSERT_NE(crashes, nullptr);
+  EXPECT_EQ(crashes->value, 8u);  // one injected restart per replication
+}
+
+TEST(ConvergenceUnderFaults, SweepIsIndependentOfThreadCount) {
+  ConvergenceSweepConfig sweep;
+  sweep.base = lossy_restart_config();
+  sweep.replications = 8;
+  sweep.threads = 1;
+  const ConvergenceSweepResult serial = run_convergence_sweep(sweep);
+  sweep.threads = 4;
+  const ConvergenceSweepResult parallel = run_convergence_sweep(sweep);
+  EXPECT_EQ(serial.safety_failures, parallel.safety_failures);
+  EXPECT_EQ(serial.reconverge_failures, parallel.reconverge_failures);
+  EXPECT_EQ(serial.reconverge_p50, parallel.reconverge_p50);
+  EXPECT_EQ(serial.reconverge_p99, parallel.reconverge_p99);
+  EXPECT_EQ(serial.worst_overshoot, parallel.worst_overshoot);
+}
+
+TEST(ConvergenceUnderFaults, SingleRunIsDeterministicInSeed) {
+  const ConvergenceConfig config = lossy_restart_config();
+  const ConvergenceResult a = run_convergence(config);
+  const ConvergenceResult b = run_convergence(config);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.reconverge_seconds, b.reconverge_seconds);
+  EXPECT_EQ(a.final_rates, b.final_rates);
+  EXPECT_TRUE(a.safety_held);
+  EXPECT_TRUE(a.reconverged);
+  // The rebalancing transient is real and reported separately from safety.
+  EXPECT_GE(a.worst_transient_overshoot, 0.0);
+}
+
+TEST(ConvergenceUnderFaults, CampusTopologySurvivesFlapsAndCrashes) {
+  ConvergenceConfig base;
+  base.problem = campus_problem(6, 18, 4);
+  base.faults = LinkFaultModel::bernoulli_loss(0.15);
+  sim::Rng schedule_rng(4);
+  FaultSchedule::RandomConfig timeline;
+  timeline.stop = SimTime::seconds(0.4);
+  timeline.links = std::uint32_t(base.problem.links.size());
+  timeline.flaps = 3;
+  timeline.crashes = 2;
+  base.schedule = FaultSchedule::random(timeline, schedule_rng);
+  base.faults_stop = SimTime::seconds(0.5);
+  base.seed = 21;
+
+  ConvergenceSweepConfig sweep;
+  sweep.base = base;
+  sweep.replications = 8;
+  const ConvergenceSweepResult r = run_convergence_sweep(sweep);
+  EXPECT_EQ(r.safety_failures, 0u) << "worst overshoot " << r.worst_overshoot;
+  EXPECT_EQ(r.reconverge_failures, 0u)
+      << "worst final deviation " << r.worst_final_deviation;
+}
+
+TEST(ConvergenceUnderFaults, FaultFreeRunConvergesImmediatelyAndSafely) {
+  ConvergenceConfig config;
+  config.problem = two_cell_problem();
+  config.seed = 3;  // trivial faults, empty schedule
+  const ConvergenceResult r = run_convergence(config);
+  EXPECT_TRUE(r.safety_held);
+  EXPECT_TRUE(r.reconverged);
+  EXPECT_LE(r.worst_overshoot, 1e-9);
+  EXPECT_LE(r.final_deviation, 1e-9);
+}
+
+}  // namespace
+}  // namespace imrm::fault

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite under AddressSanitizer(+UBSan) and
+# ThreadSanitizer, using the IMRM_SANITIZE cache option the root CMakeLists
+# already exposes. Each sanitizer gets its own build tree so the
+# instrumented objects never mix with the regular build (or each other).
+#
+# Usage: tools/run_sanitizers.sh [asan|tsan|all]     (default: all)
+# Env:   CMAKE_ARGS  extra configure flags (e.g. -DCMAKE_CXX_COMPILER=clang++)
+#        CTEST_ARGS  extra ctest flags (e.g. -R fault)
+#
+# Opt-in ctest wiring: configure with -DIMRM_SANITIZER_TESTS=ON and this
+# script runs as the label-gated test `run_sanitizers` (ctest -L sanitize).
+# It is OFF by default because each sanitizer implies a full extra build.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+which=${1:-all}
+
+run_one() {
+  local name=$1 sanitizers=$2
+  local build_dir="$repo_root/build-$name"
+  echo "==> $name: configuring $build_dir (IMRM_SANITIZE=$sanitizers)"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DIMRM_SANITIZE="$sanitizers" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    ${CMAKE_ARGS:-} >/dev/null
+  echo "==> $name: building"
+  cmake --build "$build_dir" -j >/dev/null
+  echo "==> $name: running tier-1 tests"
+  # Exclude this wrapper's own label to keep a sanitized tree from recursing.
+  (cd "$build_dir" && ctest --output-on-failure -LE sanitize ${CTEST_ARGS:-})
+}
+
+case "$which" in
+  asan) run_one asan "address;undefined" ;;
+  tsan) run_one tsan "thread" ;;
+  all)
+    run_one asan "address;undefined"
+    run_one tsan "thread"
+    ;;
+  *)
+    echo "usage: tools/run_sanitizers.sh [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "==> sanitizer suites passed"

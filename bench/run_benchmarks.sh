@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite plus instrumented scenario_cli campus runs
 # (clean and with admission-signaling faults) and writes a machine-readable
-# perf trajectory file (default BENCH_3.json at the repo root) so later PRs
+# perf trajectory file (default BENCH_4.json at the repo root) so later PRs
 # have a baseline to beat. Schema:
 # { "<benchmark name>": { "items_per_second": <double|null>,
 #   "real_time_ns": <double> }, ...,
@@ -9,10 +9,16 @@
 #     "handoff_wall_us_p50": <double|null>,
 #     "handoff_wall_us_p99": <double|null> },
 #   "scenario_cli/campus_faulted": { "events_per_second": <double>,
-#     "faulted_vs_clean_ratio": <double> } }.
-# The ratio tracks the overhead of the fault-injection path: the faulted run
-# probes every admission over an UnreliableCall, so a ratio far below 1.0
-# means the fault plumbing leaked onto the clean hot path.
+#     "faulted_vs_clean_ratio": <double> },
+#   "scenario_cli/faults_sweep_fork": { "cold_wall_seconds": <double>,
+#     "forked_wall_seconds": <double>, "fork_speedup": <double> } }.
+# The faulted/clean ratio tracks the overhead of the fault-injection path: a
+# ratio far below 1.0 means the fault plumbing leaked onto the clean hot
+# path. fork_speedup is the win from checkpoint forking: an 8-variant faults
+# sweep on a slow-converging campus topology, cold (every replication replays
+# the 60s warm phase) vs forked from one shared warm checkpoint. Expected
+# well above 2x; the byte-identity of the two sweeps' metrics is asserted by
+# tests/fault_checkpoint_test.cc, here we only time them.
 #
 # Usage: bench/run_benchmarks.sh [output.json]
 # Env:   BUILD_DIR   build directory relative to the repo root (default: build)
@@ -21,14 +27,16 @@ set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-build}
-out=${1:-"$repo_root/BENCH_3.json"}
+out=${1:-"$repo_root/BENCH_4.json"}
 
 cmake --build "$repo_root/$build_dir" --target bench_microperf scenario_cli -j >/dev/null
 
 raw=$(mktemp)
 report=$(mktemp)
 faulted_report=$(mktemp)
-trap 'rm -f "$raw" "$report" "$faulted_report"' EXIT
+sweep_cold=$(mktemp)
+sweep_forked=$(mktemp)
+trap 'rm -f "$raw" "$report" "$faulted_report" "$sweep_cold" "$sweep_forked"' EXIT
 "$repo_root/$build_dir/bench/bench_microperf" \
   --benchmark_format=json ${BENCH_ARGS:-} >"$raw"
 
@@ -44,7 +52,20 @@ trap 'rm -f "$raw" "$report" "$faulted_report"' EXIT
   --attendees 20 --squatters 6 --seed 5 --faults 0.2 \
   --metrics-json "$faulted_report" >/dev/null
 
-python3 - "$raw" "$report" "$faulted_report" "$out" <<'PYEOF'
+# Warm-checkpoint forking (ISSUE 4): the same 8-variant faults sweep, cold
+# vs forked from one shared warm image. The campus problem below takes tens
+# of simulated seconds to converge, so replaying the warm phase per
+# replication dominates the cold sweep; single-threaded so the timing
+# measures work, not scheduling.
+sweep_flags=(faults --topology campus --cells 12 --conns 48
+             --faults-start 60 --stop 0.5 --drop 0.2 --flaps 2 --crashes 1
+             --replications 8 --threads 1 --seed 3)
+"$repo_root/$build_dir/examples/scenario_cli" "${sweep_flags[@]}" \
+  --metrics-json "$sweep_cold" >/dev/null
+"$repo_root/$build_dir/examples/scenario_cli" "${sweep_flags[@]}" --fork 1 \
+  --metrics-json "$sweep_forked" >/dev/null
+
+python3 - "$raw" "$report" "$faulted_report" "$sweep_cold" "$sweep_forked" "$out" <<'PYEOF'
 import json
 import sys
 
@@ -80,7 +101,19 @@ trajectory["scenario_cli/campus_faulted"] = {
         faulted["events_per_second"] / report["events_per_second"],
 }
 
-with open(sys.argv[4], "w") as f:
+with open(sys.argv[4]) as f:
+    sweep_cold = json.load(f)
+with open(sys.argv[5]) as f:
+    sweep_forked = json.load(f)
+if sweep_cold["metrics"] != sweep_forked["metrics"]:
+    sys.exit("faults sweep: forked metrics differ from cold metrics")
+trajectory["scenario_cli/faults_sweep_fork"] = {
+    "cold_wall_seconds": sweep_cold["wall_seconds"],
+    "forked_wall_seconds": sweep_forked["wall_seconds"],
+    "fork_speedup": sweep_cold["wall_seconds"] / sweep_forked["wall_seconds"],
+}
+
+with open(sys.argv[6], "w") as f:
     json.dump(trajectory, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {sys.argv[4]} ({len(trajectory)} entries)")

@@ -17,10 +17,12 @@
 // runs a campus day and emits both artifacts.
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <random>
 #include <string>
 #include <utility>
@@ -52,10 +54,9 @@ class Flags {
       if (std::strncmp(argv[i], "--", 2) == 0) values_[argv[i] + 2] = argv[i + 1];
     }
   }
-  [[nodiscard]] double number(const std::string& name, double fallback) const {
-    const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stod(it->second);
-  }
+  // Numeric flags go through parse_count / parse_number below — strict,
+  // full-token parses that exit 2 on garbage. There is deliberately no lax
+  // std::stod accessor here.
   [[nodiscard]] std::string text(const std::string& name, std::string fallback) const {
     const auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
@@ -158,26 +159,64 @@ bool parse_count(const Flags& flags, const std::string& name, std::size_t fallba
   return true;
 }
 
+/// Strict parse for real-valued flags (--drop, --pqos, --hours, ...). The
+/// whole token must parse as a finite double; NaN, infinities, trailing
+/// garbage ("0.1x"), and negative values are rejected with a diagnostic so a
+/// typo'd sweep exits 2 instead of feeding std::stod wreckage (or a negative
+/// probability) into the simulation. Flags marked `probability` must also be
+/// <= 1.
+bool parse_number(const Flags& flags, const std::string& name, double fallback,
+                  double& out, bool probability = false) {
+  const std::string raw = flags.text(name, "");
+  if (raw.empty()) {
+    out = fallback;
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  const bool malformed = end == raw.c_str() || *end != '\0' || errno == ERANGE ||
+                         !std::isfinite(value);
+  if (malformed || value < 0.0 || (probability && value > 1.0)) {
+    std::cerr << "scenario_cli: invalid --" << name << " value '" << raw << "' (expected a "
+              << (probability ? "probability in [0, 1]" : "finite non-negative number")
+              << ")\n";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
 /// Shared --faults / --fault-retries handling for the experiment commands:
 /// a positive drop probability turns every admission probe into an
-/// UnreliableCall over a Bernoulli-loss channel.
-void apply_signaling_faults(const Flags& flags, fault::SignalingFaults& faults,
+/// UnreliableCall over a Bernoulli-loss channel. False = malformed flag
+/// (already diagnosed); the caller must exit 2.
+bool apply_signaling_faults(const Flags& flags, fault::SignalingFaults& faults,
                             ObsSession& obs) {
-  const double drop = flags.number("faults", 0.0);
-  if (drop <= 0.0) return;
+  double drop = 0.0;
+  std::size_t retries = 0;
+  if (!parse_number(flags, "faults", 0.0, drop, /*probability=*/true)) return false;
+  if (!parse_count(flags, "fault-retries", 3, retries)) return false;
+  if (drop <= 0.0) return true;
   faults.model = fault::LinkFaultModel::bernoulli_loss(drop);
-  faults.max_attempts = int(flags.number("fault-retries", 3));
+  faults.max_attempts = int(retries);
   obs.config_echo("faults", stats::fmt(drop, 4));
   obs.config_echo("fault-retries", fmt_count(double(faults.max_attempts)));
+  return true;
 }
 
 int run_classroom_cmd(const Flags& flags, ObsSession& obs) {
   ClassroomConfig config;
-  config.class_size = std::size_t(flags.number("size", 35));
+  std::size_t size = 0, seed = 0;
+  double passby = 0.0;
+  if (!parse_count(flags, "size", 35, size)) return 2;
+  if (!parse_count(flags, "seed", 7, seed)) return 2;
+  if (!parse_number(flags, "passby", 18.0, passby)) return 2;
+  config.class_size = size;
   config.meeting = {sim::SimTime::minutes(60), sim::SimTime::minutes(110),
                     config.class_size};
-  config.seed = std::uint64_t(flags.number("seed", 7));
-  config.passby_per_minute = flags.number("passby", 18.0);
+  config.seed = std::uint64_t(seed);
+  config.passby_per_minute = passby;
   const std::string policy = flags.text("policy", "meeting-room");
   if (policy == "brute-force") config.policy = PolicyKind::kBruteForce;
   else if (policy == "aggregate") config.policy = PolicyKind::kAggregate;
@@ -200,18 +239,22 @@ int run_classroom_cmd(const Flags& flags, ObsSession& obs) {
 
 int run_twocell_cmd(const Flags& flags, ObsSession& obs) {
   TwoCellConfig config;
-  config.window = flags.number("window", 0.05);
-  config.p_qos = flags.number("pqos", 0.01);
-  config.duration = flags.number("duration", 1000.0);
-  config.guard_fraction = flags.number("guard", 0.1);
-  config.seed = std::uint64_t(flags.number("seed", 3));
+  std::size_t seed = 0;
+  if (!parse_number(flags, "window", 0.05, config.window)) return 2;
+  if (!parse_number(flags, "pqos", 0.01, config.p_qos, /*probability=*/true)) return 2;
+  if (!parse_number(flags, "duration", 1000.0, config.duration)) return 2;
+  if (!parse_number(flags, "guard", 0.1, config.guard_fraction, /*probability=*/true)) {
+    return 2;
+  }
+  if (!parse_count(flags, "seed", 3, seed)) return 2;
+  config.seed = std::uint64_t(seed);
   const std::string rule = flags.text("rule", "probabilistic");
   if (rule == "static") config.rule = AdmissionRule::kStaticGuard;
   else if (rule == "none") config.rule = AdmissionRule::kNoReservation;
   else config.rule = AdmissionRule::kProbabilistic;
   config.metrics = obs.registry_or_null();
   config.tracer = obs.tracer_or_null();
-  apply_signaling_faults(flags, config.faults, obs);
+  if (!apply_signaling_faults(flags, config.faults, obs)) return 2;
   obs.config_echo("rule", rule);
   obs.config_echo("window", stats::fmt(config.window, 4));
   obs.config_echo("pqos", stats::fmt(config.p_qos, 4));
@@ -227,9 +270,12 @@ int run_twocell_cmd(const Flags& flags, ObsSession& obs) {
 
 int run_fig4_cmd(const Flags& flags, ObsSession& obs) {
   Fig4Config config;
-  config.hours = flags.number("hours", 100.0);
-  config.background_users = int(flags.number("users", 12));
-  config.seed = std::uint64_t(flags.number("seed", 1));
+  std::size_t users = 0, seed = 0;
+  if (!parse_number(flags, "hours", 100.0, config.hours)) return 2;
+  if (!parse_count(flags, "users", 12, users)) return 2;
+  if (!parse_count(flags, "seed", 1, seed)) return 2;
+  config.background_users = int(users);
+  config.seed = std::uint64_t(seed);
   config.metrics = obs.registry_or_null();
   config.tracer = obs.tracer_or_null();
   obs.config_echo("hours", stats::fmt(config.hours, 1));
@@ -251,9 +297,17 @@ int run_fig4_cmd(const Flags& flags, ObsSession& obs) {
 }
 
 int run_maxmin_cmd(const Flags& flags, ObsSession& obs) {
-  const int n_links = int(flags.number("links", 6));
-  const int n_conns = int(flags.number("conns", 12));
-  std::mt19937_64 rng{std::uint64_t(flags.number("seed", 1))};
+  std::size_t links = 0, conns = 0, seed = 0;
+  if (!parse_count(flags, "links", 6, links)) return 2;
+  if (!parse_count(flags, "conns", 12, conns)) return 2;
+  if (!parse_count(flags, "seed", 1, seed)) return 2;
+  if (links == 0) {
+    std::cerr << "scenario_cli: --links must be at least 1\n";
+    return 2;
+  }
+  const int n_links = int(links);
+  const int n_conns = int(conns);
+  std::mt19937_64 rng{std::uint64_t(seed)};
   std::uniform_real_distribution<double> cap(5.0, 50.0);
   obs.config_echo("links", fmt_count(double(n_links)));
   obs.config_echo("conns", fmt_count(double(n_conns)));
@@ -292,9 +346,13 @@ int run_maxmin_cmd(const Flags& flags, ObsSession& obs) {
 
 int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   CampusDayConfig config;
-  config.attendees = std::size_t(flags.number("attendees", 40));
-  config.squatters = std::size_t(flags.number("squatters", 10));
-  config.seed = std::uint64_t(flags.number("seed", 5));
+  std::size_t attendees = 0, squatters = 0, seed = 0;
+  if (!parse_count(flags, "attendees", 40, attendees)) return 2;
+  if (!parse_count(flags, "squatters", 10, squatters)) return 2;
+  if (!parse_count(flags, "seed", 5, seed)) return 2;
+  config.attendees = attendees;
+  config.squatters = squatters;
+  config.seed = std::uint64_t(seed);
   const std::string policy = flags.text("policy", "dispatcher");
   if (policy == "none") config.policy = CampusPolicy::kNone;
   else if (policy == "static") config.policy = CampusPolicy::kStatic;
@@ -303,9 +361,21 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   else config.policy = CampusPolicy::kDispatcher;
   std::size_t replications = 0;
   std::size_t threads = 0;
+  double checkpoint_at = 0.0;
   if (!parse_count(flags, "replications", 1, replications)) return 2;
   if (!parse_count(flags, "threads", 0, threads)) return 2;
-  apply_signaling_faults(flags, config.faults, obs);
+  if (!parse_number(flags, "checkpoint-at", 60.0, checkpoint_at)) return 2;
+  const std::string ckpt_out = flags.text("checkpoint-out", "");
+  const std::string ckpt_in = flags.text("checkpoint-in", "");
+  if (!ckpt_out.empty() && !ckpt_in.empty()) {
+    std::cerr << "scenario_cli: --checkpoint-out and --checkpoint-in are exclusive\n";
+    return 2;
+  }
+  if ((!ckpt_out.empty() || !ckpt_in.empty()) && replications > 1) {
+    std::cerr << "scenario_cli: checkpoints apply to single runs, not --replications\n";
+    return 2;
+  }
+  if (!apply_signaling_faults(flags, config.faults, obs)) return 2;
   obs.config_echo("policy", policy);
   obs.config_echo("attendees", fmt_count(double(config.attendees)));
   obs.config_echo("squatters", fmt_count(double(config.squatters)));
@@ -331,9 +401,42 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   config.metrics = obs.registry_or_null();
   config.tracer = obs.tracer_or_null();
   // A single interactive run may record the (nondeterministic) wall-clock
-  // handoff latency histogram; sweeps never do.
-  config.wall_metrics = obs.want_metrics();
-  const CampusDayResult r = run_campus_day(config);
+  // handoff latency histogram; sweeps never do. Checkpointed runs also keep
+  // it off so the restored run's metrics JSON is byte-identical to an
+  // uninterrupted one.
+  config.wall_metrics = obs.want_metrics() && ckpt_out.empty() && ckpt_in.empty();
+
+  if (!ckpt_out.empty()) {
+    // Run the day up to the barrier and freeze it; a later --checkpoint-in
+    // run with the same flags finishes it.
+    config.tracer = nullptr;  // traces hold wall timestamps — not resumable
+    // Always carry the instrument totals: the resuming side may ask for a
+    // metrics report even if this invocation did not.
+    config.metrics = &obs.registry;
+    try {
+      const sim::Checkpoint ckpt =
+          checkpoint_campus_day(config, sim::SimTime::minutes(checkpoint_at));
+      ckpt.save_file(ckpt_out);
+    } catch (const sim::CheckpointError& e) {
+      std::cerr << "scenario_cli: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "checkpoint policy=" << policy << " t=" << stats::fmt(checkpoint_at, 1)
+              << "min written to " << ckpt_out << '\n';
+    return 0;
+  }
+
+  CampusDayResult r;
+  if (!ckpt_in.empty()) {
+    try {
+      r = resume_campus_day(config, sim::Checkpoint::load_file(ckpt_in));
+    } catch (const sim::CheckpointError& e) {
+      std::cerr << "scenario_cli: " << e.what() << '\n';
+      return 1;
+    }
+  } else {
+    r = run_campus_day(config);
+  }
   std::cout << "policy=" << r.policy << " attendee-drops=" << r.attendee_drops
             << " squatter-blocks=" << r.squatter_blocks << " squatter-admits="
             << r.squatter_admits << " handoffs=" << r.handoffs
@@ -344,18 +447,26 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
 
 int run_faults_cmd(const Flags& flags, ObsSession& obs) {
   std::size_t replications = 0, threads = 0, flaps = 0, crashes = 0;
+  std::size_t cells = 0, conns = 0, seed_count = 0, fork = 0;
+  double drop = 0.0, stop = 0.0, horizon = 0.0, faults_start = 0.0;
   if (!parse_count(flags, "replications", 8, replications)) return 2;
   if (!parse_count(flags, "threads", 0, threads)) return 2;
   if (!parse_count(flags, "flaps", 2, flaps)) return 2;
   if (!parse_count(flags, "crashes", 1, crashes)) return 2;
-  const double drop = flags.number("drop", 0.1);
-  const std::uint64_t seed = std::uint64_t(flags.number("seed", 1));
+  if (!parse_count(flags, "cells", 8, cells)) return 2;
+  if (!parse_count(flags, "conns", 24, conns)) return 2;
+  if (!parse_count(flags, "seed", 1, seed_count)) return 2;
+  if (!parse_count(flags, "fork", 0, fork)) return 2;
+  if (!parse_number(flags, "drop", 0.1, drop, /*probability=*/true)) return 2;
+  if (!parse_number(flags, "stop", 0.5, stop)) return 2;
+  if (!parse_number(flags, "horizon", 30.0, horizon)) return 2;
+  if (!parse_number(flags, "faults-start", 0.0, faults_start)) return 2;
+  const std::uint64_t seed = std::uint64_t(seed_count);
   const std::string topology = flags.text("topology", "twocell");
 
   fault::ConvergenceConfig base;
   if (topology == "campus") {
-    base.problem = fault::campus_problem(std::size_t(flags.number("cells", 8)),
-                                         std::size_t(flags.number("conns", 24)), seed);
+    base.problem = fault::campus_problem(cells, conns, seed);
   } else if (topology == "twocell") {
     base.problem = fault::two_cell_problem();
   } else {
@@ -364,11 +475,24 @@ int run_faults_cmd(const Flags& flags, ObsSession& obs) {
     return 2;
   }
   base.faults = fault::LinkFaultModel::bernoulli_loss(drop);
-  base.faults_stop = sim::SimTime::seconds(flags.number("stop", 0.5));
-  base.horizon = sim::SimTime::seconds(flags.number("horizon", 30.0));
+  base.faults_start = sim::SimTime::seconds(faults_start);
+  base.faults_stop = sim::SimTime::seconds(faults_start + stop);
+  base.horizon = sim::SimTime::seconds(faults_start + horizon);
   base.seed = seed;
+  const std::string ckpt_out = flags.text("checkpoint-out", "");
+  const std::string ckpt_in = flags.text("checkpoint-in", "");
+  if ((!ckpt_out.empty() || !ckpt_in.empty() || fork != 0) && faults_start <= 0.0) {
+    std::cerr << "scenario_cli: --checkpoint-out/--checkpoint-in/--fork need a "
+                 "positive --faults-start barrier (the warm, fault-free phase)\n";
+    return 2;
+  }
+  if (!ckpt_out.empty() && !ckpt_in.empty()) {
+    std::cerr << "scenario_cli: --checkpoint-out and --checkpoint-in are exclusive\n";
+    return 2;
+  }
 
   fault::FaultSchedule::RandomConfig timeline;
+  timeline.start = base.faults_start;
   timeline.stop = base.faults_stop;
   timeline.links = std::uint32_t(base.problem.links.size());
   timeline.flaps = flaps;
@@ -382,11 +506,37 @@ int run_faults_cmd(const Flags& flags, ObsSession& obs) {
   obs.config_echo("crashes", fmt_count(double(crashes)));
   obs.config_echo("seed", fmt_count(double(seed)));
   obs.config_echo("replications", fmt_count(double(replications)));
+  if (faults_start > 0.0) obs.config_echo("faults-start", stats::fmt(faults_start, 3));
+
+  if (!ckpt_out.empty()) {
+    // Freeze the warm, fault-free phase: the protocol converges, the queue
+    // drains, and the image (seed-independent — no RNG was drawn) serves as
+    // the shared starting point for every fault variant.
+    try {
+      fault::make_warm_checkpoint(base).save_file(ckpt_out);
+    } catch (const sim::CheckpointError& e) {
+      std::cerr << "scenario_cli: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "warm checkpoint topology=" << topology << " t="
+              << stats::fmt(faults_start, 3) << "s written to " << ckpt_out << '\n';
+    return 0;
+  }
 
   if (replications <= 1) {
     base.metrics = obs.registry_or_null();
     base.tracer = obs.tracer_or_null();
-    const fault::ConvergenceResult r = fault::run_convergence(base);
+    fault::ConvergenceResult r;
+    if (!ckpt_in.empty()) {
+      try {
+        r = fault::run_convergence_from(base, sim::Checkpoint::load_file(ckpt_in));
+      } catch (const sim::CheckpointError& e) {
+        std::cerr << "scenario_cli: " << e.what() << '\n';
+        return 1;
+      }
+    } else {
+      r = fault::run_convergence(base);
+    }
     std::cout << "topology=" << topology << " drop=" << stats::fmt(drop, 3)
               << " safety=" << (r.safety_held ? "held" : "VIOLATED")
               << " reconverged=" << (r.reconverged ? "yes" : "NO")
@@ -396,11 +546,23 @@ int run_faults_cmd(const Flags& flags, ObsSession& obs) {
     return obs.finish("faults", obs.registry.snapshot());
   }
 
+  if (!ckpt_in.empty()) {
+    std::cerr << "scenario_cli: --checkpoint-in applies to single runs; use --fork 1 "
+                 "to share one warm checkpoint across a sweep\n";
+    return 2;
+  }
   fault::ConvergenceSweepConfig sweep;
   sweep.base = base;
   sweep.replications = replications;
   sweep.threads = threads;
-  const fault::ConvergenceSweepResult r = fault::run_convergence_sweep(sweep);
+  sweep.fork_from_warm = fork != 0;
+  fault::ConvergenceSweepResult r;
+  try {
+    r = fault::run_convergence_sweep(sweep);
+  } catch (const sim::CheckpointError& e) {
+    std::cerr << "scenario_cli: " << e.what() << '\n';
+    return 1;
+  }
   std::cout << "topology=" << topology << " drop=" << stats::fmt(drop, 3)
             << " replications=" << r.replications
             << " safety-failures=" << r.safety_failures
@@ -430,6 +592,15 @@ void usage() {
       "fault injection (twocell, campus):\n"
       "  --faults P            drop each admission probe with probability P\n"
       "  --fault-retries N     probe attempts before degrading to rejection\n"
+      "checkpoint/restore (campus):\n"
+      "  --checkpoint-out PATH freeze the day at --checkpoint-at MIN (default 60)\n"
+      "  --checkpoint-in PATH  resume a frozen day; same flags -> identical output\n"
+      "checkpoint/restore (faults, needs --faults-start T > 0):\n"
+      "  --faults-start T      fault-free warm phase until T seconds (--stop and\n"
+      "                        --horizon then count from the barrier)\n"
+      "  --checkpoint-out PATH write the warm, seed-independent image\n"
+      "  --checkpoint-in PATH  run one fault variant from a warm image\n"
+      "  --fork 1              sweep replications fork from one shared warm image\n"
       "observability (any command):\n"
       "  --metrics-json PATH   versioned run report with the metrics snapshot\n"
       "  --trace-out PATH      Chrome trace_event JSON (chrome://tracing, Perfetto)\n";

@@ -1,9 +1,12 @@
 #include "experiments/campus_day.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "mobility/floorplan.h"
 #include "mobility/manager.h"
@@ -41,7 +44,8 @@ class CampusDay {
   explicit CampusDay(const CampusDayConfig& config)
       : config_(config), map_(mobility::campus_environment()),
         manager_(map_, simulator_, Duration::minutes(3)), server_(net::ZoneId{0}),
-        predictor_(map_, server_), rng_(config.seed) {
+        predictor_(map_, server_), rng_(config.seed),
+        horizon_(config.meeting_stop + Duration::minutes(40)) {
     for (const auto& cell : map_.cells()) {
       directory_.add_cell(cell.id, config_.cell_capacity);
     }
@@ -71,23 +75,163 @@ class CampusDay {
   }
 
   CampusDayResult run() {
+    start();
+    simulator_.run();
+    return finish();
+  }
+
+  /// Runs up to (not including) the first event at or after `at`, then
+  /// snapshots everything a resume needs. The quiescence rule holds by
+  /// construction: every pending event is a tagged record in pending_.
+  sim::Checkpoint checkpoint(SimTime at) {
+    start();
+    while (simulator_.next_event_time() < at && simulator_.step()) {
+    }
+    sim::Checkpoint ckpt;
+    {
+      sim::CheckpointWriter w;
+      sim::save_simulator_core(w, simulator_);
+      ckpt.set("sim.core", std::move(w));
+    }
+    {
+      sim::CheckpointWriter w;
+      save_harness(w);
+      ckpt.set("experiment.campus", std::move(w));
+    }
+    if (config_.metrics) {
+      sim::CheckpointWriter w;
+      sim::save_registry(w, *config_.metrics);
+      ckpt.set("obs.registry", std::move(w));
+    }
+    return ckpt;
+  }
+
+  CampusDayResult resume(const sim::Checkpoint& ckpt) {
+    sim::CheckpointReader h = ckpt.reader("experiment.campus");
+    restore_harness(h);
+    if (!h.done()) {
+      throw sim::CheckpointError("campus: trailing bytes in experiment section");
+    }
+    // Driver core last: re-arming above inflated the queue counters; the
+    // saved totals already account for every live event.
+    sim::CheckpointReader core = ckpt.reader("sim.core");
+    sim::restore_simulator_core(core, simulator_);
+    if (config_.metrics) {
+      // A metered resume needs the warm-phase instrument totals; silently
+      // continuing from zeros would report a day missing its first half.
+      if (!ckpt.has("obs.registry")) {
+        throw sim::CheckpointError(
+            "campus: resume wants metrics but the checkpoint has no "
+            "obs.registry section (re-take it with metrics enabled)");
+      }
+      sim::CheckpointReader reg = ckpt.reader("obs.registry");
+      sim::restore_registry(reg, *config_.metrics);
+    }
+    simulator_.run();
+    return finish();
+  }
+
+ private:
+  // Every scheduled occurrence is one of these tags plus plain data — no
+  // captured lambdas — so a checkpoint can re-arm the exact schedule.
+  enum class EventKind : std::uint8_t {
+    kAttendeeAppear = 0,  // portable, bandwidth
+    kHandoff = 1,         // portable, cell (target), attendee flag
+    kSquatterTry = 2,     // portable
+    kRoamerStep = 3,      // portable
+    kRefresh = 4,         // self-re-arming 30 s periodic
+    kRoomSample = 5,      // self-re-arming 1 min periodic
+  };
+
+  struct PendingEvent {
+    std::uint64_t serial = 0;  // global scheduling order, FIFO-tie preserving
+    SimTime at = SimTime::zero();
+    EventKind kind = EventKind::kRefresh;
+    PortableId portable = PortableId::invalid();
+    CellId cell = CellId::invalid();
+    qos::BitsPerSecond bandwidth = 0.0;
+    bool attendee = false;
+  };
+
+  void start() {
     schedule_attendees();
     schedule_squatters();
     schedule_roamers();
+    PendingEvent refresh_tick;
+    refresh_tick.at = simulator_.now() + Duration::seconds(30);
+    refresh_tick.kind = EventKind::kRefresh;
+    schedule_event(refresh_tick);
+    PendingEvent sample_tick;
+    sample_tick.at = simulator_.now() + Duration::minutes(1);
+    sample_tick.kind = EventKind::kRoomSample;
+    schedule_event(sample_tick);
+  }
 
-    const SimTime horizon = config_.meeting_stop + Duration::minutes(40);
-    simulator_.every(Duration::seconds(30), horizon, [this] { refresh(); });
-    simulator_.every(Duration::minutes(1), horizon, [this] {
-      result_.room_peak_allocated =
-          std::max(result_.room_peak_allocated, directory_.at(room_).allocated());
-    });
-    simulator_.run();
+  CampusDayResult finish() {
     result_.policy = to_string(config_.policy);
     if (config_.metrics) export_metrics(*config_.metrics);
     return result_;
   }
 
- private:
+  void schedule_event(PendingEvent e) {
+    e.serial = next_serial_++;
+    pending_.push_back(e);
+    arm(e);
+  }
+
+  void arm(const PendingEvent& e) {
+    simulator_.at(e.at, [this, serial = e.serial] { fire(serial); });
+  }
+
+  void fire(std::uint64_t serial) {
+    const auto it =
+        std::find_if(pending_.begin(), pending_.end(),
+                     [serial](const PendingEvent& e) { return e.serial == serial; });
+    assert(it != pending_.end() && "fired event missing from pending list");
+    const PendingEvent e = *it;
+    pending_.erase(it);
+    dispatch(e);
+  }
+
+  void dispatch(const PendingEvent& e) {
+    switch (e.kind) {
+      case EventKind::kAttendeeAppear:
+        if (probe_signaling() &&
+            directory_.at(far_corridor_).admit_new(e.portable, e.bandwidth)) {
+          demand_[e.portable] = e.bandwidth;
+        }
+        refresh();
+        break;
+      case EventKind::kHandoff:
+        do_handoff(e.portable, e.cell, e.attendee);
+        break;
+      case EventKind::kSquatterTry:
+        squat(e.portable);
+        break;
+      case EventKind::kRoamerStep:
+        roam_step(e.portable);
+        break;
+      case EventKind::kRefresh:
+        refresh();
+        rearm_periodic(e, Duration::seconds(30));
+        break;
+      case EventKind::kRoomSample:
+        result_.room_peak_allocated =
+            std::max(result_.room_peak_allocated, directory_.at(room_).allocated());
+        rearm_periodic(e, Duration::minutes(1));
+        break;
+    }
+  }
+
+  void rearm_periodic(const PendingEvent& e, Duration period) {
+    const SimTime next = simulator_.now() + period;
+    if (next > horizon_) return;
+    PendingEvent tick;
+    tick.at = next;
+    tick.kind = e.kind;
+    schedule_event(tick);
+  }
+
   reservation::PolicyEnv env() {
     reservation::PolicyEnv e;
     e.map = &map_;
@@ -155,6 +299,16 @@ class CampusDay {
     refresh();
   }
 
+  void schedule_attendee_handoff(SimTime at, PortableId p, CellId to) {
+    PendingEvent e;
+    e.at = at;
+    e.kind = EventKind::kHandoff;
+    e.portable = p;
+    e.cell = to;
+    e.attendee = true;
+    schedule_event(e);
+  }
+
   void schedule_attendees() {
     const workload::ConnectionMix mix = workload::paper_fig5_mix();
     // The corridor chain from the far end to the room's corridor.
@@ -167,22 +321,21 @@ class CampusDay {
       // meeting, walk the corridor chain to the room around the start,
       // leave after.
       const double appear = rng_.uniform(5.0, 30.0);
-      simulator_.at(SimTime::minutes(appear), [this, p, b] {
-        if (probe_signaling() && directory_.at(far_corridor_).admit_new(p, b)) {
-          demand_[p] = b;
-        }
-        refresh();
-      });
+      PendingEvent appear_event;
+      appear_event.at = SimTime::minutes(appear);
+      appear_event.kind = EventKind::kAttendeeAppear;
+      appear_event.portable = p;
+      appear_event.bandwidth = b;
+      schedule_event(appear_event);
       const double arrive =
           config_.meeting_start.to_minutes() + rng_.truncated_normal(-2.0, 3.0, -8.0, 2.0);
       for (std::size_t hop = 1; hop < chain.size(); ++hop) {
         const double at = arrive - double(chain.size() - hop) * 0.7;
-        simulator_.at(SimTime::minutes(at),
-                      [this, p, to = chain[hop]] { do_handoff(p, to, true); });
+        schedule_attendee_handoff(SimTime::minutes(at), p, chain[hop]);
       }
-      simulator_.at(SimTime::minutes(arrive), [this, p] { do_handoff(p, room_, true); });
+      schedule_attendee_handoff(SimTime::minutes(arrive), p, room_);
       const double leave = config_.meeting_stop.to_minutes() + rng_.uniform(0.0, 5.0);
-      simulator_.at(SimTime::minutes(leave), [this, p] { do_handoff(p, corridor_, true); });
+      schedule_attendee_handoff(SimTime::minutes(leave), p, corridor_);
     }
   }
 
@@ -196,21 +349,27 @@ class CampusDay {
     }
   }
 
+  void retry_squat(PortableId p, double at_minutes) {
+    PendingEvent e;
+    e.at = SimTime::minutes(at_minutes);
+    e.kind = EventKind::kSquatterTry;
+    e.portable = p;
+    schedule_event(e);
+  }
+
   /// A squatter repeatedly tries to open a bulk connection; once admitted it
   /// holds it for the rest of the day (the adversarial case for the meeting).
-  void retry_squat(PortableId p, double at_minutes) {
-    simulator_.at(SimTime::minutes(at_minutes), [this, p] {
-      if (demand_.contains(p)) return;
-      if (probe_signaling() &&
-          directory_.at(room_).admit_new(p, config_.squatter_bandwidth)) {
-        demand_[p] = config_.squatter_bandwidth;
-        ++result_.squatter_admits;
-      } else {
-        ++result_.squatter_blocks;
-        retry_squat(p, simulator_.now().to_minutes() + 5.0);
-      }
-      refresh();
-    });
+  void squat(PortableId p) {
+    if (demand_.contains(p)) return;
+    if (probe_signaling() &&
+        directory_.at(room_).admit_new(p, config_.squatter_bandwidth)) {
+      demand_[p] = config_.squatter_bandwidth;
+      ++result_.squatter_admits;
+    } else {
+      ++result_.squatter_blocks;
+      retry_squat(p, simulator_.now().to_minutes() + 5.0);
+    }
+    refresh();
   }
 
   void schedule_roamers() {
@@ -218,24 +377,133 @@ class CampusDay {
     for (int i = 0; i < 6; ++i) {
       const PortableId p = manager_.add_portable(corridor_);
       double t = rng_.uniform(1.0, 10.0);
-      CellId a = corridor_, b = far_corridor_;
       for (int hop = 0; hop < 30; ++hop) {
         // Ping-pong along the corridor chain.
-        const auto path_cells = map_.cell(a).neighbors;
         t += rng_.exponential_mean(6.0);
-        const CellId target = b;
-        simulator_.at(SimTime::minutes(t), [this, p, target] {
-          // Walk one step toward the target along the corridor backbone.
-          const auto& me = manager_.portable(p);
-          for (CellId n : map_.cell(me.current_cell).neighbors) {
-            if (map_.cell(n).cell_class == mobility::CellClass::kCorridor) {
-              do_handoff(p, n, false);
-              break;
-            }
-          }
-        });
-        std::swap(a, b);
+        PendingEvent e;
+        e.at = SimTime::minutes(t);
+        e.kind = EventKind::kRoamerStep;
+        e.portable = p;
+        schedule_event(e);
       }
+    }
+  }
+
+  void roam_step(PortableId p) {
+    // Walk one step along the corridor backbone.
+    const auto& me = manager_.portable(p);
+    for (CellId n : map_.cell(me.current_cell).neighbors) {
+      if (map_.cell(n).cell_class == mobility::CellClass::kCorridor) {
+        do_handoff(p, n, false);
+        break;
+      }
+    }
+  }
+
+  // ---- checkpoint plumbing ----------------------------------------------
+
+  void save_harness(sim::CheckpointWriter& w) const {
+    // Config fingerprint: resume must be given the same day.
+    w.u8(std::uint8_t(config_.policy));
+    w.f64(config_.cell_capacity);
+    w.u64(config_.attendees);
+    w.u64(config_.squatters);
+    w.f64(config_.squatter_bandwidth);
+    w.u64(config_.seed);
+    w.time(config_.meeting_start);
+    w.time(config_.meeting_stop);
+    w.boolean(config_.faults.enabled());
+
+    w.rng(rng_.engine());
+    w.boolean(probe_.has_value());
+    if (probe_) probe_->save_state(w);
+
+    std::vector<PortableId> demand_ids;
+    demand_ids.reserve(demand_.size());
+    for (const auto& [p, b] : demand_) demand_ids.push_back(p);
+    std::sort(demand_ids.begin(), demand_ids.end());
+    w.u64(demand_ids.size());
+    for (const PortableId p : demand_ids) {
+      w.u32(p.value());
+      w.f64(demand_.at(p));
+    }
+
+    w.u64(result_.attendee_drops);
+    w.u64(result_.squatter_blocks);
+    w.u64(result_.squatter_admits);
+    w.u64(result_.other_drops);
+    w.u64(result_.handoffs);
+    w.f64(result_.room_peak_allocated);
+
+    manager_.save_state(w);
+    server_.save_state(w);
+    directory_.save_state(w);
+    policy_->save_state(w);
+
+    w.u64(next_serial_);
+    w.u64(pending_.size());
+    for (const PendingEvent& e : pending_) {
+      w.u64(e.serial);
+      w.time(e.at);
+      w.u8(std::uint8_t(e.kind));
+      w.u32(e.portable.value());
+      w.u32(e.cell.value());
+      w.f64(e.bandwidth);
+      w.boolean(e.attendee);
+    }
+  }
+
+  void restore_harness(sim::CheckpointReader& r) {
+    const bool config_matches =
+        r.u8() == std::uint8_t(config_.policy) && r.f64() == config_.cell_capacity &&
+        r.u64() == config_.attendees && r.u64() == config_.squatters &&
+        r.f64() == config_.squatter_bandwidth && r.u64() == config_.seed &&
+        r.time() == config_.meeting_start && r.time() == config_.meeting_stop &&
+        r.boolean() == config_.faults.enabled();
+    if (!config_matches) {
+      throw sim::CheckpointError("campus: checkpoint was taken with a different config");
+    }
+
+    r.rng(rng_.engine());
+    if (r.boolean() != probe_.has_value()) {
+      throw sim::CheckpointError("campus: checkpoint probe state mismatch");
+    }
+    if (probe_) probe_->restore_state(r);
+
+    demand_.clear();
+    for (std::uint64_t n = r.u64(); n-- > 0;) {
+      const PortableId p{r.u32()};
+      demand_[p] = r.f64();
+    }
+
+    result_.attendee_drops = std::size_t(r.u64());
+    result_.squatter_blocks = std::size_t(r.u64());
+    result_.squatter_admits = std::size_t(r.u64());
+    result_.other_drops = std::size_t(r.u64());
+    result_.handoffs = std::size_t(r.u64());
+    result_.room_peak_allocated = r.f64();
+
+    manager_.restore_state(r);
+    server_.restore_state(r);
+    directory_.restore_state(r);
+    policy_->restore_state(r);
+
+    next_serial_ = r.u64();
+    // Re-arm in saved (= original scheduling) order: fresh queue sequence
+    // numbers then rise in the same relative order as the originals, so
+    // equal-timestamp ties keep breaking identically.
+    pending_.clear();
+    for (std::uint64_t n = r.u64(); n-- > 0;) {
+      PendingEvent e;
+      e.serial = r.u64();
+      e.at = r.time();
+      e.kind = EventKind(r.u8());
+      e.portable = PortableId{r.u32()};
+      e.cell = CellId{r.u32()};
+      e.bandwidth = r.f64();
+      e.attendee = r.boolean();
+      pending_.push_back(e);
+      arm(e);
     }
   }
 
@@ -256,12 +524,24 @@ class CampusDay {
   sim::Rng rng_;
   CellId room_, corridor_, far_corridor_;
   CampusDayResult result_;
+  SimTime horizon_;
+  std::vector<PendingEvent> pending_;  // scheduling (= serial) order
+  std::uint64_t next_serial_ = 0;
 };
 
 }  // namespace
 
 CampusDayResult run_campus_day(const CampusDayConfig& config) {
   return CampusDay(config).run();
+}
+
+sim::Checkpoint checkpoint_campus_day(const CampusDayConfig& config, sim::SimTime at) {
+  return CampusDay(config).checkpoint(at);
+}
+
+CampusDayResult resume_campus_day(const CampusDayConfig& config,
+                                  const sim::Checkpoint& checkpoint) {
+  return CampusDay(config).resume(checkpoint);
 }
 
 CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config) {

@@ -20,6 +20,7 @@
 #include "fault/signaling.h"
 #include "obs/metrics.h"
 #include "qos/flow_spec.h"
+#include "sim/checkpoint.h"
 #include "sim/time.h"
 
 namespace imrm::obs {
@@ -74,6 +75,25 @@ struct CampusDayResult {
 };
 
 [[nodiscard]] CampusDayResult run_campus_day(const CampusDayConfig& config);
+
+/// Runs the day up to (but not including) the first event at or after `at`
+/// and captures the full campus state: simulator core, the tagged pending
+/// events (every scheduled appearance/handoff/squat/roam/periodic is a
+/// plain-data record, re-armable on the other side), the RNG engine, probe
+/// state, demand table, result accumulators, mobility roster, profile
+/// histories, reservation accounts, policy soft state, and — when
+/// config.metrics is set — the registry contents. The checkpoint embeds a
+/// config fingerprint; resume validates it.
+[[nodiscard]] sim::Checkpoint checkpoint_campus_day(const CampusDayConfig& config,
+                                                    sim::SimTime at);
+
+/// Continues a day from a checkpoint_campus_day image taken with the SAME
+/// config. The resumed day is indistinguishable from an uninterrupted
+/// run_campus_day(config): identical CampusDayResult and byte-identical
+/// metrics JSON. Throws sim::CheckpointError on config mismatch or a
+/// malformed image.
+[[nodiscard]] CampusDayResult resume_campus_day(const CampusDayConfig& config,
+                                                const sim::Checkpoint& checkpoint);
 
 /// Monte-Carlo sweep: N independently seeded campus days fanned across a
 /// sim::ReplicationRunner thread pool. Replication i runs with

@@ -28,21 +28,25 @@ double max_deviation(const std::vector<double>& rates, const std::vector<double>
   return worst;
 }
 
-}  // namespace
-
-ConvergenceResult run_convergence(const ConvergenceConfig& config) {
-  sim::Simulator simulator;
-  if (config.tracer) simulator.set_tracer(config.tracer);
-
-  sim::Rng rng(config.seed);
-  FaultyChannel channel(simulator, rng.fork(), config.faults);
-  if (config.metrics) channel.bind_metrics(config.metrics);
-
+maxmin::DistributedProtocol::Config harden_config(const ConvergenceConfig& config,
+                                                  FaultyChannel& channel,
+                                                  bool defer_start) {
   maxmin::DistributedProtocol::Config protocol_config = config.protocol;
   protocol_config.transport = &channel;
   protocol_config.harden = true;
-  maxmin::DistributedProtocol protocol(simulator, config.problem, protocol_config);
+  protocol_config.defer_start = defer_start;
+  return protocol_config;
+}
 
+// Arms the faulted phase: message-fault model (phased runs start clean),
+// the discrete fault schedule, and the heal/resync event closing the fault
+// window at `faults_stop`. Cold phased runs and checkpoint-forked runs call
+// this at the same point with the same queue sequence counter, so both
+// schedule identical events.
+void arm_faults(sim::Simulator& simulator, FaultyChannel& channel,
+                maxmin::DistributedProtocol& protocol, const ConvergenceConfig& config,
+                sim::SimTime faults_stop, bool apply_model) {
+  if (apply_model) channel.set_default_model(config.faults);
   FaultSchedule::Hooks hooks;
   hooks.link_down = [&channel](std::uint32_t link) { channel.set_channel_up(link, false); };
   hooks.link_up = [&channel](std::uint32_t link) { channel.set_channel_up(link, true); };
@@ -53,45 +57,48 @@ ConvergenceResult run_convergence(const ConvergenceConfig& config) {
 
   // The fault window closes at faults_stop: message faults heal, every
   // downed channel comes back, and the protocol runs an epoch resync sweep.
-  const sim::SimTime faults_stop =
-      std::max(config.faults_stop, config.schedule.end_time());
-  simulator.at(faults_stop, [&channel, &protocol, &config] {
+  const std::size_t links = config.problem.links.size();
+  simulator.at(faults_stop, [&channel, &protocol, links] {
     channel.set_default_model(LinkFaultModel{});
-    for (Channel c = 0; c < Channel(config.problem.links.size()); ++c) {
+    for (Channel c = 0; c < Channel(links); ++c) {
       channel.set_channel_up(c, true);
     }
     protocol.resynchronize();
   });
+}
 
-  const std::vector<double> target = maxmin::waterfill(config.problem).rates;
-
-  protocol.start_all();
-
-  ConvergenceResult result;
-  double reconverged_at = -1.0;
-  while (simulator.now() <= config.horizon && simulator.step()) {
-    ++result.events;
-    // Safety: at *every* event, no link may plan to allocate more than its
-    // excess capacity (artificial demand links included). planned_sum clamps
-    // each member at the advertised rate — an over-recorded connection is
-    // already revoked down to mu locally; its shrinking UPDATE is in flight.
-    // The unclamped granted_sum transiently exceeds capacity during any
-    // rebalance even fault-free (Sec. 5.3.1 over-consumers shrink one
-    // serialized round at a time), so it is tracked as telemetry only.
-    for (maxmin::LinkIndex li = 0; li < protocol.link_count(); ++li) {
-      const double capacity = std::max(protocol.link_excess_capacity(li), 0.0);
-      const double overshoot = protocol.planned_sum(li) - capacity;
-      if (overshoot > result.worst_overshoot) result.worst_overshoot = overshoot;
-      if (overshoot > config.safety_slack) result.safety_held = false;
-      result.worst_transient_overshoot = std::max(
-          result.worst_transient_overshoot, protocol.granted_sum(li) - capacity);
-    }
-    if (reconverged_at < 0.0 && simulator.now() >= faults_stop &&
-        max_deviation(protocol.rates(), target) <= config.tolerance) {
-      reconverged_at = simulator.now().to_seconds();
-    }
+// Per-event bookkeeping shared by every drive loop.
+// Safety: at *every* event, no link may plan to allocate more than its
+// excess capacity (artificial demand links included). planned_sum clamps
+// each member at the advertised rate — an over-recorded connection is
+// already revoked down to mu locally; its shrinking UPDATE is in flight.
+// The unclamped granted_sum transiently exceeds capacity during any
+// rebalance even fault-free (Sec. 5.3.1 over-consumers shrink one
+// serialized round at a time), so it is tracked as telemetry only.
+void observe_event(const ConvergenceConfig& config, const sim::Simulator& simulator,
+                   const maxmin::DistributedProtocol& protocol,
+                   const std::vector<double>& target, sim::SimTime faults_stop,
+                   ConvergenceResult& result, double& reconverged_at) {
+  for (maxmin::LinkIndex li = 0; li < protocol.link_count(); ++li) {
+    const double capacity = std::max(protocol.link_excess_capacity(li), 0.0);
+    const double overshoot = protocol.planned_sum(li) - capacity;
+    if (overshoot > result.worst_overshoot) result.worst_overshoot = overshoot;
+    if (overshoot > config.safety_slack) result.safety_held = false;
+    result.worst_transient_overshoot = std::max(
+        result.worst_transient_overshoot, protocol.granted_sum(li) - capacity);
   }
+  if (reconverged_at < 0.0 && simulator.now() >= faults_stop &&
+      max_deviation(protocol.rates(), target) <= config.tolerance) {
+    reconverged_at = simulator.now().to_seconds();
+  }
+}
 
+// Post-run classification + metrics export shared by cold and forked runs.
+void finish_run(const ConvergenceConfig& config, const sim::Simulator& simulator,
+                const maxmin::DistributedProtocol& protocol,
+                const std::vector<double>& target, sim::SimTime faults_stop,
+                double reconverged_at, ConvergenceResult& result) {
+  result.events = simulator.events_fired();
   result.final_rates = protocol.rates();
   result.final_deviation = max_deviation(result.final_rates, target);
   // The queue may drain before faults_stop checks ran; the final state still
@@ -116,6 +123,172 @@ ConvergenceResult run_convergence(const ConvergenceConfig& config) {
     protocol.export_metrics(registry);
     simulator.collect_metrics(registry);
   }
+}
+
+}  // namespace
+
+ConvergenceResult run_convergence(const ConvergenceConfig& config) {
+  sim::Simulator simulator;
+  if (config.tracer) simulator.set_tracer(config.tracer);
+
+  // A phased run (faults_start > 0) starts with a trivial channel model so
+  // the warm phase draws zero RNG — exactly the state a forked variant
+  // reconstructs from its own seed.
+  const bool phased = config.faults_start > sim::SimTime::zero();
+  sim::Rng rng(config.seed);
+  FaultyChannel channel(simulator, rng.fork(),
+                        phased ? LinkFaultModel{} : config.faults);
+  if (config.metrics) channel.bind_metrics(config.metrics);
+
+  maxmin::DistributedProtocol protocol(simulator, config.problem,
+                                       harden_config(config, channel, false));
+
+  const sim::SimTime faults_stop =
+      std::max(config.faults_stop, config.schedule.end_time());
+  if (!phased) {
+    arm_faults(simulator, channel, protocol, config, faults_stop, false);
+  }
+
+  const std::vector<double> target = maxmin::waterfill(config.problem).rates;
+
+  protocol.start_all();
+
+  ConvergenceResult result;
+  double reconverged_at = -1.0;
+  if (phased) {
+    // Clean warm phase: drive events strictly before the barrier, then arm
+    // the faults — the same arming a forked run performs after restoring the
+    // warm checkpoint, at the same sequence-counter position.
+    while (simulator.now() <= config.horizon &&
+           simulator.next_event_time() < config.faults_start && simulator.step()) {
+      observe_event(config, simulator, protocol, target, faults_stop, result,
+                    reconverged_at);
+    }
+    arm_faults(simulator, channel, protocol, config, faults_stop, true);
+  }
+  while (simulator.now() <= config.horizon && simulator.step()) {
+    observe_event(config, simulator, protocol, target, faults_stop, result,
+                  reconverged_at);
+  }
+
+  finish_run(config, simulator, protocol, target, faults_stop, reconverged_at, result);
+  return result;
+}
+
+sim::Checkpoint make_warm_checkpoint(const ConvergenceConfig& config) {
+  if (!(config.faults_start > sim::SimTime::zero())) {
+    throw sim::CheckpointError("warm checkpoint: config.faults_start must be > 0");
+  }
+  sim::Simulator simulator;
+  sim::Rng rng(config.seed);  // never drawn in the warm phase; kept for symmetry
+  FaultyChannel channel(simulator, rng.fork(), LinkFaultModel{});
+  obs::Registry registry;  // warm-phase instrument values, restored per variant
+  channel.bind_metrics(&registry);
+
+  maxmin::DistributedProtocol protocol(simulator, config.problem,
+                                       harden_config(config, channel, false));
+  const sim::SimTime faults_stop =
+      std::max(config.faults_stop, config.schedule.end_time());
+  const std::vector<double> target = maxmin::waterfill(config.problem).rates;
+
+  protocol.start_all();
+
+  ConvergenceResult warm_result;
+  double reconverged_at = -1.0;
+  while (simulator.now() <= config.horizon &&
+         simulator.next_event_time() < config.faults_start && simulator.step()) {
+    observe_event(config, simulator, protocol, target, faults_stop, warm_result,
+                  reconverged_at);
+  }
+
+  // The quiescence rule: nothing closure-shaped may be pending. The clean
+  // protocol must have converged and drained the queue before the barrier.
+  if (simulator.pending_events() != 0 || !protocol.quiescent()) {
+    throw sim::CheckpointError(
+        "warm checkpoint: simulation not quiescent at faults_start "
+        "(raise faults_start past clean convergence)");
+  }
+
+  sim::Checkpoint ckpt;
+  {
+    sim::CheckpointWriter w;
+    sim::save_simulator_core(w, simulator);
+    ckpt.set("sim.core", std::move(w));
+  }
+  {
+    sim::CheckpointWriter w;
+    protocol.save_state(w);
+    ckpt.set("maxmin.protocol", std::move(w));
+  }
+  {
+    sim::CheckpointWriter w;
+    channel.save_state(w);
+    ckpt.set("fault.channel", std::move(w));
+  }
+  {
+    sim::CheckpointWriter w;
+    sim::save_registry(w, registry);
+    ckpt.set("obs.registry", std::move(w));
+  }
+  {
+    sim::CheckpointWriter w;
+    w.f64(warm_result.worst_overshoot);
+    w.f64(warm_result.worst_transient_overshoot);
+    w.boolean(warm_result.safety_held);
+    ckpt.set("fault.harness", std::move(w));
+  }
+  return ckpt;
+}
+
+ConvergenceResult run_convergence_from(const ConvergenceConfig& config,
+                                       const sim::Checkpoint& warm) {
+  sim::Simulator simulator;
+  if (config.tracer) simulator.set_tracer(config.tracer);
+
+  sim::Rng rng(config.seed);
+  // This variant's channel RNG comes from its own seed — the warm phase drew
+  // nothing, so this equals the cold run's channel RNG state at the barrier.
+  FaultyChannel channel(simulator, rng.fork(), LinkFaultModel{});
+  if (config.metrics) channel.bind_metrics(config.metrics);
+
+  maxmin::DistributedProtocol protocol(simulator, config.problem,
+                                       harden_config(config, channel, true));
+  {
+    sim::CheckpointReader r = warm.reader("sim.core");
+    sim::restore_simulator_core(r, simulator);
+  }
+  {
+    sim::CheckpointReader r = warm.reader("maxmin.protocol");
+    protocol.restore_state(r);
+  }
+  {
+    sim::CheckpointReader r = warm.reader("fault.channel");
+    channel.restore_state(r);
+  }
+  if (config.metrics) {
+    sim::CheckpointReader r = warm.reader("obs.registry");
+    sim::restore_registry(r, *config.metrics);
+  }
+  ConvergenceResult result;
+  {
+    sim::CheckpointReader r = warm.reader("fault.harness");
+    result.worst_overshoot = r.f64();
+    result.worst_transient_overshoot = r.f64();
+    result.safety_held = r.boolean();
+  }
+
+  const sim::SimTime faults_stop =
+      std::max(config.faults_stop, config.schedule.end_time());
+  arm_faults(simulator, channel, protocol, config, faults_stop, true);
+
+  const std::vector<double> target = maxmin::waterfill(config.problem).rates;
+  double reconverged_at = -1.0;
+  while (simulator.now() <= config.horizon && simulator.step()) {
+    observe_event(config, simulator, protocol, target, faults_stop, result,
+                  reconverged_at);
+  }
+
+  finish_run(config, simulator, protocol, target, faults_stop, reconverged_at, result);
   return result;
 }
 
@@ -124,17 +297,25 @@ ConvergenceSweepResult run_convergence_sweep(const ConvergenceSweepConfig& confi
     ConvergenceResult result;
     obs::Snapshot snapshot;
   };
+  // One shared warm image for every forked replication: built once, read
+  // concurrently (Checkpoint reads are const).
+  sim::Checkpoint warm;
+  const bool fork = config.fork_from_warm &&
+                    config.base.faults_start > sim::SimTime::zero();
+  if (fork) warm = make_warm_checkpoint(config.base);
+
   const sim::ReplicationRunner runner(config.threads);
   const auto reps =
       runner.run(config.replications, config.base.seed,
-                 [&config](std::uint64_t seed, std::size_t) -> PerRep {
+                 [&config, &warm, fork](std::uint64_t seed, std::size_t) -> PerRep {
                    obs::Registry registry;
                    ConvergenceConfig one = config.base;
                    one.seed = seed;
                    one.metrics = &registry;
                    one.tracer = nullptr;  // tracing is per-run, not per-sweep
                    PerRep rep;
-                   rep.result = run_convergence(one);
+                   rep.result = fork ? run_convergence_from(one, warm)
+                                     : run_convergence(one);
                    rep.snapshot = registry.snapshot();
                    return rep;
                  });

@@ -25,6 +25,7 @@
 #include "maxmin/problem.h"
 #include "maxmin/protocol.h"
 #include "obs/metrics.h"
+#include "sim/checkpoint.h"
 #include "sim/time.h"
 
 namespace imrm::obs {
@@ -40,6 +41,13 @@ struct ConvergenceConfig {
   LinkFaultModel faults;
   // Discrete failures (flaps, crashes, partitions) on top of message faults.
   FaultSchedule schedule;
+  // Barrier before which the run is fault-free (ISSUE 4). Zero keeps the
+  // historical behavior: faults armed at construction. A positive value
+  // splits the run into a clean warm phase (protocol converges, queue
+  // drains) and a faulted phase armed when the clock reaches the barrier —
+  // the structure that lets fault variants fork from one shared warm
+  // checkpoint. Schedule events must not precede the barrier.
+  sim::SimTime faults_start = sim::SimTime::zero();
   sim::SimTime faults_stop = sim::SimTime::seconds(0.5);
   // Wall on the whole run: reconvergence must happen before this horizon.
   sim::SimTime horizon = sim::SimTime::seconds(30.0);
@@ -71,10 +79,32 @@ struct ConvergenceResult {
 /// One seeded run of the harness. Deterministic in (config, seed).
 [[nodiscard]] ConvergenceResult run_convergence(const ConvergenceConfig& config);
 
+/// Runs the clean warm phase of `config` — construction, start_all, events
+/// up to the faults_start barrier — and captures simulator core, protocol
+/// soft state, channel state, the fault.channel.* counters, and the
+/// harness's safety accumulators. The warm phase draws zero RNG (trivial
+/// channel model), so the image is seed-independent: one checkpoint serves
+/// every fault variant. Throws sim::CheckpointError if the system has not
+/// gone quiescent by the barrier (raise faults_start past convergence).
+/// Requires config.faults_start > 0.
+[[nodiscard]] sim::Checkpoint make_warm_checkpoint(const ConvergenceConfig& config);
+
+/// run_convergence resuming from a make_warm_checkpoint image built from the
+/// same problem/protocol config/faults_start: restores the warm state, arms
+/// this variant's faults/schedule at the barrier, and runs the faulted
+/// phase. Byte-identical results (including exported metrics) to
+/// run_convergence(config) simulated cold from t=0.
+[[nodiscard]] ConvergenceResult run_convergence_from(const ConvergenceConfig& config,
+                                                     const sim::Checkpoint& warm);
+
 struct ConvergenceSweepConfig {
   ConvergenceConfig base;       // per-replication seed/metrics are overridden
   std::size_t replications = 8;
   std::size_t threads = 0;      // 0 = hardware concurrency
+  // Fork every replication from one shared warm checkpoint instead of
+  // cold-starting the clean phase N times (requires base.faults_start > 0;
+  // results are byte-identical either way, forking just skips N-1 warmups).
+  bool fork_from_warm = false;
 };
 
 struct ConvergenceSweepResult {

@@ -78,4 +78,64 @@ void FaultyChannel::send(Channel channel, sim::Duration latency,
   simulator_->after(delay, std::move(deliver));
 }
 
+namespace {
+
+void write_model(sim::CheckpointWriter& w, const LinkFaultModel& m) {
+  w.f64(m.loss_good);
+  w.f64(m.loss_bad);
+  w.f64(m.p_good_to_bad);
+  w.f64(m.p_bad_to_good);
+  w.f64(m.duplicate);
+  w.f64(m.reorder);
+  w.f64(m.jitter);
+}
+
+LinkFaultModel read_model(sim::CheckpointReader& r) {
+  LinkFaultModel m;
+  m.loss_good = r.f64();
+  m.loss_bad = r.f64();
+  m.p_good_to_bad = r.f64();
+  m.p_bad_to_good = r.f64();
+  m.duplicate = r.f64();
+  m.reorder = r.f64();
+  m.jitter = r.f64();
+  return m;
+}
+
+}  // namespace
+
+void FaultyChannel::save_state(sim::CheckpointWriter& w) const {
+  write_model(w, default_model_);
+  w.u64(channels_.size());
+  for (const ChannelState& ch : channels_) {
+    write_model(w, ch.model);
+    w.boolean(ch.loss.good);
+    w.boolean(ch.has_model);
+    w.boolean(ch.up);
+  }
+  w.u64(sent_);
+  w.u64(dropped_);
+  w.u64(dropped_down_);
+  w.u64(duplicated_);
+  w.u64(reordered_);
+  w.u64(delayed_);
+}
+
+void FaultyChannel::restore_state(sim::CheckpointReader& r) {
+  default_model_ = read_model(r);
+  channels_.resize(std::size_t(r.u64()));
+  for (ChannelState& ch : channels_) {
+    ch.model = read_model(r);
+    ch.loss.good = r.boolean();
+    ch.has_model = r.boolean();
+    ch.up = r.boolean();
+  }
+  sent_ = r.u64();
+  dropped_ = r.u64();
+  dropped_down_ = r.u64();
+  duplicated_ = r.u64();
+  reordered_ = r.u64();
+  delayed_ = r.u64();
+}
+
 }  // namespace imrm::fault

@@ -20,6 +20,7 @@
 
 #include "fault/fault_model.h"
 #include "fault/transport.h"
+#include "sim/checkpoint.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -70,6 +71,16 @@ class FaultyChannel final : public Transport {
   [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
   [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
   [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  // Saves the default model, per-channel state (override model, loss-chain
+  // state, up/down), and the send/drop totals. The RNG stream is deliberately
+  // NOT saved: the warm-fork scheme checkpoints a phase in which the trivial
+  // model drew nothing, so each forked variant keeps the channel RNG derived
+  // from its OWN seed — the checkpoint stays seed-independent and one warm
+  // image serves every variant.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
 
  private:
   struct ChannelState {

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "fault/fault_model.h"
+#include "sim/checkpoint.h"
 #include "sim/random.h"
 
 namespace imrm::obs {
@@ -52,6 +53,28 @@ class UnreliableCall {
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  // Unlike FaultyChannel's seed-independent warm-fork image, a probe
+  // checkpoint captures a run already drawing from the stream, so the RNG
+  // engine IS serialized along with the two Gilbert-Elliott chain states and
+  // the probe counters.
+  void save_state(sim::CheckpointWriter& w) const {
+    w.rng(rng_.engine());
+    w.boolean(request_loss_.good);
+    w.boolean(response_loss_.good);
+    w.u64(probes_);
+    w.u64(retries_);
+    w.u64(timeouts_);
+  }
+  void restore_state(sim::CheckpointReader& r) {
+    r.rng(rng_.engine());
+    request_loss_.good = r.boolean();
+    response_loss_.good = r.boolean();
+    probes_ = r.u64();
+    retries_ = r.u64();
+    timeouts_ = r.u64();
+  }
 
  private:
   SignalingFaults config_;

@@ -48,6 +48,15 @@ class AdvertisedRate {
   void set_excess_capacity(double c) { excess_capacity_ = c; }
   [[nodiscard]] double excess_capacity() const { return excess_capacity_; }
 
+  /// Checkpoint restore: reinstates a saved (capacity, mu) pair exactly.
+  /// recompute() from scratch need not reproduce the converged mu (it seeds
+  /// the restricted marking from the previous advertised value), so the
+  /// saved rate is restored verbatim.
+  void restore(double excess_capacity, double advertised) {
+    excess_capacity_ = excess_capacity;
+    advertised_ = advertised;
+  }
+
   /// Single evaluation of the mu formula for a given restricted marking.
   [[nodiscard]] double evaluate(const std::vector<double>& recorded_rates,
                                 const std::vector<bool>& restricted) const;

@@ -53,6 +53,7 @@ DistributedProtocol::DistributedProtocol(sim::Simulator& simulator, const Proble
                                          Config config)
     : simulator_(&simulator), config_(config) {
   assert(problem.valid());
+  started_ = !config_.defer_start;
   links_.resize(problem.links.size());
   for (std::size_t li = 0; li < problem.links.size(); ++li) {
     links_[li].mu.set_excess_capacity(problem.links[li].excess_capacity);
@@ -109,8 +110,9 @@ ConnIndex DistributedProtocol::add_connection(std::vector<LinkIndex> path, doubl
     links_[li].add_member(conn);
     recompute_mu(li);
   }
-  // The entry switch starts the adaptation for the newcomer.
-  initiate(paths_[conn].front(), conn);
+  // The entry switch starts the adaptation for the newcomer (suppressed for
+  // a defer_start construction that is about to be restore_state()d).
+  if (started_) initiate(paths_[conn].front(), conn);
   return conn;
 }
 
@@ -141,6 +143,7 @@ void DistributedProtocol::remove_connection(ConnIndex conn) {
 }
 
 void DistributedProtocol::start_all() {
+  started_ = true;
   for (ConnIndex ci = 0; ci < paths_.size(); ++ci) {
     if (conn_alive_[ci]) initiate(paths_[ci].front(), ci);
   }
@@ -703,6 +706,135 @@ void DistributedProtocol::resynchronize() {
   }
   start_all();
   pump();
+}
+
+// ---- checkpoint/restore (ISSUE 4) ---------------------------------------
+
+bool DistributedProtocol::quiescent() const {
+  if (active_ || !trigger_queue_.empty() || watchdog_armed_) return false;
+  for (const LinkNode& node : links_) {
+    if (node.resyncing()) return false;
+  }
+  return true;
+}
+
+void DistributedProtocol::save_state(sim::CheckpointWriter& w) const {
+  w.u64(links_.size());
+  for (const LinkNode& node : links_) {
+    w.f64(node.mu.excess_capacity());
+    w.f64(node.mu.current());
+    w.u32(node.epoch);
+    w.u64(node.members.size());
+    for (std::size_t i = 0; i < node.members.size(); ++i) {
+      w.u64(node.members[i]);
+      w.f64(node.recorded[i]);
+      const ConnState& s = node.state[i];
+      w.boolean(s.in_bottleneck);
+      w.boolean(s.has_last_completed);
+      w.f64(s.last_completed_mu);
+      w.f64(s.last_completed_rate);
+      w.u64(s.last_flood_generation);
+    }
+    w.u64(node.resync_pending.size());
+    for (std::size_t i = 0; i < node.resync_pending.size(); ++i) {
+      w.u64(node.resync_pending[i]);
+      w.u32(std::uint32_t(node.resync_tries[i]));
+    }
+  }
+  w.u64(paths_.size());
+  for (ConnIndex ci = 0; ci < paths_.size(); ++ci) {
+    w.u64(paths_[ci].size());
+    for (LinkIndex li : paths_[ci]) w.u64(li);
+    w.boolean(conn_alive_[ci]);
+    w.f64(rates_[ci]);
+  }
+  w.u64(renegotiations_.size());
+  for (ConnIndex conn : renegotiations_) w.u64(conn);
+  w.u64(messages_sent_);
+  w.u64(rounds_run_);
+  w.u64(generation_);
+  w.u64(active_token_);
+  w.u64(round_serial_);
+  w.u64(retransmissions_);
+  w.u64(rounds_abandoned_);
+  w.u64(stale_ignored_);
+  w.u64(crashes_);
+  w.u64(resyncs_completed_);
+  w.u64(resync_expired_);
+  w.boolean(cap_hit_);
+}
+
+void DistributedProtocol::restore_state(sim::CheckpointReader& r) {
+  if (r.u64() != links_.size()) {
+    throw sim::CheckpointError("maxmin: checkpoint link count mismatch");
+  }
+  for (LinkNode& node : links_) {
+    const double excess = r.f64();
+    const double mu = r.f64();
+    node.mu.restore(excess, mu);
+    node.epoch = r.u32();
+    if (r.u64() != node.members.size()) {
+      throw sim::CheckpointError("maxmin: checkpoint member count mismatch");
+    }
+    for (std::size_t i = 0; i < node.members.size(); ++i) {
+      if (r.u64() != std::uint64_t(node.members[i])) {
+        throw sim::CheckpointError("maxmin: checkpoint member order mismatch");
+      }
+      node.recorded[i] = r.f64();
+      ConnState& s = node.state[i];
+      s.in_bottleneck = r.boolean();
+      s.has_last_completed = r.boolean();
+      s.last_completed_mu = r.f64();
+      s.last_completed_rate = r.f64();
+      s.last_flood_generation = r.u64();
+    }
+    node.resync_pending.resize(std::size_t(r.u64()));
+    node.resync_tries.resize(node.resync_pending.size());
+    for (std::size_t i = 0; i < node.resync_pending.size(); ++i) {
+      node.resync_pending[i] = ConnIndex(r.u64());
+      node.resync_tries[i] = int(r.u32());
+    }
+  }
+  if (r.u64() != paths_.size()) {
+    throw sim::CheckpointError("maxmin: checkpoint connection count mismatch");
+  }
+  for (ConnIndex ci = 0; ci < paths_.size(); ++ci) {
+    if (r.u64() != paths_[ci].size()) {
+      throw sim::CheckpointError("maxmin: checkpoint path mismatch");
+    }
+    for (LinkIndex li : paths_[ci]) {
+      if (r.u64() != std::uint64_t(li)) {
+        throw sim::CheckpointError("maxmin: checkpoint path mismatch");
+      }
+    }
+    conn_alive_[ci] = r.boolean();
+    rates_[ci] = r.f64();
+  }
+  renegotiations_.resize(std::size_t(r.u64()));
+  for (ConnIndex& conn : renegotiations_) conn = ConnIndex(r.u64());
+  messages_sent_ = r.u64();
+  rounds_run_ = r.u64();
+  generation_ = r.u64();
+  active_token_ = r.u64();
+  round_serial_ = r.u64();
+  retransmissions_ = r.u64();
+  rounds_abandoned_ = r.u64();
+  stale_ignored_ = r.u64();
+  crashes_ = r.u64();
+  resyncs_completed_ = r.u64();
+  resync_expired_ = r.u64();
+  cap_hit_ = r.boolean();
+  started_ = true;
+  // A save taken mid-resync (crash-recovery semantics) has unknown members
+  // but no in-flight requests or armed watchdog — both died with the saved
+  // process. Resume the resync for those links: re-request and re-arm. On a
+  // quiescent save this loop is a no-op, preserving byte-identity.
+  for (LinkIndex li = 0; li < links_.size(); ++li) {
+    if (!links_[li].resyncing()) continue;
+    send_resync_requests(li);
+    const std::uint32_t epoch = links_[li].epoch;
+    simulator_->after(resync_rto(), [this, li, epoch] { on_resync_watchdog(li, epoch); });
+  }
 }
 
 // ---- observability ------------------------------------------------------

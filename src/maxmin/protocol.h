@@ -45,6 +45,7 @@
 #include "fault/transport.h"
 #include "maxmin/advertised_rate.h"
 #include "maxmin/problem.h"
+#include "sim/checkpoint.h"
 #include "sim/flat_map.h"
 #include "sim/simulator.h"
 
@@ -82,6 +83,14 @@ class DistributedProtocol {
     double retransmit_backoff = 2.0;  // RTO multiplier per retransmission
     int retransmit_budget = 6;        // retransmissions before abandoning
     int resync_retry_budget = 8;      // resync request retries per member
+
+    // --- checkpoint/restore (ISSUE 4) ------------------------------------
+    // Suppresses the adaptation rounds the constructor would otherwise
+    // initiate per add_connection: a protocol about to be restore_state()d
+    // must come up structurally complete but inert (the checkpoint carries
+    // the converged rates; re-running startup rounds would diverge from the
+    // run being resumed). start_all() or restore_state() arms initiation.
+    bool defer_start = false;
   };
 
   DistributedProtocol(sim::Simulator& simulator, const Problem& problem, Config config);
@@ -173,6 +182,27 @@ class DistributedProtocol {
   /// obs::Tracer (spans per round, instants per UPDATE, a counter track per
   /// link's advertised rate) whenever tracing is enabled.
   void export_metrics(obs::Registry& registry) const;
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  /// True when no adaptation round is in flight, no triggers are queued, no
+  /// watchdog is armed, and no link is resyncing — the state in which a
+  /// checkpoint captures the protocol completely (nothing closure-shaped is
+  /// pending in the simulator on the protocol's behalf).
+  [[nodiscard]] bool quiescent() const;
+
+  /// Serializes the protocol's soft state: per-link advertised rates +
+  /// recorded member rates + bottleneck/completion memory + epochs + resync
+  /// backlog, per-connection applied rates and liveness, renegotiation list,
+  /// and all counters. An in-flight round / queued triggers / the armed
+  /// watchdog are deliberately NOT saved (kill -9 semantics): restoring a
+  /// non-quiescent save and calling resynchronize() recovers through the
+  /// same epoch/resync path a crashed controller would use.
+  void save_state(sim::CheckpointWriter& w) const;
+
+  /// Restores a save_state() image into a protocol constructed from the SAME
+  /// Problem with Config::defer_start set. Throws sim::CheckpointError if the
+  /// topology shape does not match. Marks the protocol started.
+  void restore_state(sim::CheckpointReader& r);
 
  private:
   enum class Direction { kUpstream, kDownstream };
@@ -331,6 +361,9 @@ class DistributedProtocol {
   // at most once per generation.
   std::uint64_t generation_ = 0;
   bool cap_hit_ = false;
+  // False only between a defer_start construction and start_all()/
+  // restore_state(); gates the per-add_connection startup initiation.
+  bool started_ = true;
 };
 
 }  // namespace imrm::maxmin

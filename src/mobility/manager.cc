@@ -62,6 +62,32 @@ void MobilityManager::move(PortableId id, CellId to) {
   }
 }
 
+void MobilityManager::save_state(sim::CheckpointWriter& w) const {
+  w.u64(portables_.size());
+  for (const Portable& p : portables_) {
+    w.u32(p.id.value());
+    w.u32(p.current_cell.value());
+    w.u32(p.previous_cell.value());
+    w.time(p.entered_cell);
+    w.boolean(p.home_office.has_value());
+    w.u32(p.home_office ? p.home_office->value() : CellId::invalid().value());
+  }
+}
+
+void MobilityManager::restore_state(sim::CheckpointReader& r) {
+  portables_.clear();
+  portables_.resize(std::size_t(r.u64()));
+  for (Portable& p : portables_) {
+    p.id = PortableId{r.u32()};
+    p.current_cell = CellId{r.u32()};
+    p.previous_cell = CellId{r.u32()};
+    p.entered_cell = r.time();
+    const bool has_home = r.boolean();
+    const CellId home{r.u32()};
+    p.home_office = has_home ? std::optional<CellId>(home) : std::nullopt;
+  }
+}
+
 std::vector<PortableId> MobilityManager::portables_in(CellId cell) const {
   std::vector<PortableId> out;
   for (const Portable& p : portables_) {

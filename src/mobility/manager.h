@@ -9,6 +9,7 @@
 #include "mobility/cell.h"
 #include "mobility/floorplan.h"
 #include "mobility/portable.h"
+#include "sim/checkpoint.h"
 #include "sim/simulator.h"
 
 namespace imrm::obs {
@@ -75,6 +76,14 @@ class MobilityManager {
 
   [[nodiscard]] const CellMap& map() const { return *map_; }
   [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  // Serializes the portable roster (cells, entry times, home offices).
+  // Listeners and metric bindings are addresses, so the restoring harness
+  // reconstructs them through its own constructor before calling
+  // restore_state.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
 
  private:
   const CellMap* map_;

@@ -53,20 +53,34 @@ double HistogramSpec::lower_bound(std::size_t bucket) const {
 // ---- HistogramSample ----------------------------------------------------
 
 double HistogramSample::percentile(double q) const {
-  if (count == 0) return 0.0;
+  assert(q >= 0.0 && q <= 1.0 && "percentile quantile must be in [0, 1]");
+  if (count == 0) return 0.0;  // no samples: every quantile is the defined 0.0
+  // The extremes are known exactly — return the observed min/max instead of
+  // interpolating (q=0 used to report spec.lo even when all samples sat in a
+  // higher bucket).
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
   const double target = q * double(count);
   double cumulative = double(underflow);
-  if (target <= cumulative) return spec.lo;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    const double in_bucket = double(buckets[i]);
-    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
-      const double fraction = (target - cumulative) / in_bucket;
-      const double lo = spec.lower_bound(i);
-      return lo + fraction * (spec.upper_bound(i) - lo);
+  double estimate = spec.hi;
+  if (target <= cumulative) {
+    estimate = spec.lo;
+  } else {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const double in_bucket = double(buckets[i]);
+      if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+        const double fraction = (target - cumulative) / in_bucket;
+        const double lo = spec.lower_bound(i);
+        estimate = lo + fraction * (spec.upper_bound(i) - lo);
+        break;
+      }
+      cumulative += in_bucket;
     }
-    cumulative += in_bucket;
   }
-  return spec.hi;
+  // Bucket interpolation knows only bucket bounds; the observed extremes are
+  // tighter. Clamping keeps single-bucket saturation (all mass in one bucket)
+  // and under/overflow mass from producing values outside the sampled range.
+  return std::clamp(estimate, min, max);
 }
 
 // ---- Snapshot -----------------------------------------------------------

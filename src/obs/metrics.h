@@ -35,6 +35,8 @@ class Counter {
   void add(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
+  /// Checkpoint restore: overwrite with a saved total.
+  void set(std::uint64_t v) { value_ = v; }
 
  private:
   std::uint64_t value_ = 0;
@@ -51,6 +53,11 @@ class Gauge {
   void add(double v) { set(value_ + v); }
   [[nodiscard]] double value() const { return value_; }
   [[nodiscard]] double max() const { return max_; }
+  /// Checkpoint restore: overwrite value and running maximum.
+  void restore(double value, double max) {
+    value_ = value;
+    max_ = max;
+  }
 
  private:
   double value_ = 0.0;
@@ -116,6 +123,21 @@ class Histogram {
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Checkpoint restore: overwrite the full accumulated state. `min`/`max`
+  /// come from the saved instrument's accessors (0.0 when count == 0, which
+  /// record() overwrites on the first post-restore sample).
+  void restore(std::uint64_t count, std::uint64_t underflow, std::uint64_t overflow,
+               double sum, double min, double max, std::vector<std::uint64_t> buckets) {
+    assert(buckets.size() == buckets_.size());
+    count_ = count;
+    underflow_ = underflow;
+    overflow_ = overflow;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    buckets_ = std::move(buckets);
+  }
 
  private:
   HistogramSpec spec_;

@@ -67,4 +67,26 @@ std::size_t CellProfile::total_observations() const {
   return total;
 }
 
+void CellProfile::save_state(sim::CheckpointWriter& w) const {
+  w.u32(id_.value());
+  w.u64(window_);
+  w.u64(by_previous_.size());
+  for (const auto& [previous, window] : by_previous_) {
+    w.u32(previous.value());
+    w.u64(window.size());
+    for (CellId next : window) w.u32(next.value());
+  }
+}
+
+CellProfile CellProfile::restore_state(sim::CheckpointReader& r) {
+  const CellId id{r.u32()};
+  CellProfile profile(id, std::size_t(r.u64()));
+  for (std::uint64_t states = r.u64(); states-- > 0;) {
+    const CellId previous{r.u32()};
+    auto& window = profile.by_previous_[previous];
+    for (std::uint64_t n = r.u64(); n-- > 0;) window.push_back(CellId{r.u32()});
+  }
+  return profile;
+}
+
 }  // namespace imrm::profiles

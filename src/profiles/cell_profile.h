@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/ids.h"
+#include "sim/checkpoint.h"
 
 namespace imrm::profiles {
 
@@ -45,6 +46,10 @@ class CellProfile {
   [[nodiscard]] std::size_t observations(CellId previous) const;
   [[nodiscard]] std::size_t total_observations() const;
   [[nodiscard]] CellId id() const { return id_; }
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  void save_state(sim::CheckpointWriter& w) const;
+  [[nodiscard]] static CellProfile restore_state(sim::CheckpointReader& r);
 
  private:
   CellId id_;

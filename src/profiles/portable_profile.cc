@@ -32,4 +32,28 @@ std::size_t PortableProfile::observations(CellId previous, CellId current) const
   return it == history_.end() ? 0 : it->second.size();
 }
 
+void PortableProfile::save_state(sim::CheckpointWriter& w) const {
+  w.u32(id_.value());
+  w.u64(window_);
+  w.u64(history_.size());
+  for (const auto& [state, window] : history_) {
+    w.u32(state.first.value());
+    w.u32(state.second.value());
+    w.u64(window.size());
+    for (CellId next : window) w.u32(next.value());
+  }
+}
+
+PortableProfile PortableProfile::restore_state(sim::CheckpointReader& r) {
+  const PortableId id{r.u32()};
+  PortableProfile profile(id, std::size_t(r.u64()));
+  for (std::uint64_t states = r.u64(); states-- > 0;) {
+    const CellId previous{r.u32()};
+    const CellId current{r.u32()};
+    auto& window = profile.history_[{previous, current}];
+    for (std::uint64_t n = r.u64(); n-- > 0;) window.push_back(CellId{r.u32()});
+  }
+  return profile;
+}
+
 }  // namespace imrm::profiles

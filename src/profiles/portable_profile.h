@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "net/ids.h"
+#include "sim/checkpoint.h"
 
 namespace imrm::profiles {
 
@@ -38,6 +39,11 @@ class PortableProfile {
 
   [[nodiscard]] PortableId id() const { return id_; }
   [[nodiscard]] std::size_t window() const { return window_; }
+
+  // --- checkpoint/restore (ISSUE 4): id, window, and the full sliding
+  // history, keyed in std::map order (deterministic on both sides).
+  void save_state(sim::CheckpointWriter& w) const;
+  [[nodiscard]] static PortableProfile restore_state(sim::CheckpointReader& r);
 
  private:
   PortableId id_;

@@ -1,5 +1,8 @@
 #include "profiles/profile_server.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace imrm::profiles {
 
 void ProfileServer::record_handoff(const mobility::HandoffEvent& event) {
@@ -61,6 +64,44 @@ void ProfileServer::adopt_portable(PortableProfile profile) {
 void ProfileServer::refresh_on_static(net::PortableId id) {
   (void)id;
   ++traffic_.refreshes;
+}
+
+void ProfileServer::save_state(sim::CheckpointWriter& w) const {
+  std::vector<net::PortableId> portable_ids;
+  portable_ids.reserve(portables_.size());
+  for (const auto& [id, profile] : portables_) portable_ids.push_back(id);
+  std::sort(portable_ids.begin(), portable_ids.end());
+  w.u64(portable_ids.size());
+  for (const net::PortableId id : portable_ids) portables_.at(id).save_state(w);
+
+  std::vector<CellId> cell_ids;
+  cell_ids.reserve(cells_.size());
+  for (const auto& [id, profile] : cells_) cell_ids.push_back(id);
+  std::sort(cell_ids.begin(), cell_ids.end());
+  w.u64(cell_ids.size());
+  for (const CellId id : cell_ids) cells_.at(id).save_state(w);
+
+  w.u64(traffic_.handoff_updates);
+  w.u64(traffic_.profile_transfers);
+  w.u64(traffic_.refreshes);
+}
+
+void ProfileServer::restore_state(sim::CheckpointReader& r) {
+  portables_.clear();
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    PortableProfile profile = PortableProfile::restore_state(r);
+    const net::PortableId id = profile.id();
+    portables_.emplace(id, std::move(profile));
+  }
+  cells_.clear();
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    CellProfile profile = CellProfile::restore_state(r);
+    const CellId id = profile.id();
+    cells_.emplace(id, std::move(profile));
+  }
+  traffic_.handoff_updates = r.u64();
+  traffic_.profile_transfers = r.u64();
+  traffic_.refreshes = r.u64();
 }
 
 }  // namespace imrm::profiles

@@ -68,6 +68,15 @@ class ProfileServer final : public ProfileSource {
   [[nodiscard]] const CacheTraffic& traffic() const { return traffic_; }
   [[nodiscard]] net::ZoneId zone() const { return zone_; }
 
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  // Serializes portable/cell profile histories and the cache-traffic
+  // counters, each keyed in sorted-id order so the byte stream is
+  // independent of unordered_map iteration order. Booking calendars are NOT
+  // saved: they are configuration (booked by the harness constructor), not
+  // soft state.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
+
  private:
   net::ZoneId zone_;
   Config config_{};

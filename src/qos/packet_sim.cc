@@ -109,6 +109,20 @@ void RcspLink::serve_next() {
   }
 }
 
+void LossyHop::offer(Packet packet) {
+  const FlowId flow = packet.flow;
+  ++offered_;
+  bump(offered_by_flow_, flow);
+  if (loss_.lost(model_, rng_)) {
+    ++dropped_;
+    bump(dropped_by_flow_, flow);
+    return;
+  }
+  ++delivered_;
+  bump(delivered_by_flow_, flow);
+  if (next_) next_(std::move(packet));
+}
+
 void TokenBucketSource::start(sim::SimTime horizon) {
   last_refill_ = simulator_->now();
   if (config_.greedy) {

@@ -30,6 +30,7 @@
 #include <queue>
 #include <vector>
 
+#include "fault/fault_model.h"
 #include "qos/flow_spec.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -177,6 +178,75 @@ class TokenBucketSource {
   double tokens_;
   sim::SimTime last_refill_;
   std::size_t sent_ = 0;
+};
+
+/// A lossy wireless hop: the packet-level face of the same Gilbert-Elliott
+/// loss dynamics the control plane's FaultyChannel and UnreliableCall run
+/// (fault/fault_model.h is header-only, so qos takes no new library edge).
+/// Splice one between a link and its downstream stage to model the air
+/// interface; only the loss chain of the model applies here — delay
+/// perturbations are the scheduler's business, not the hop's.
+///
+/// Accounting is conservation-exact by construction: every packet offered is
+/// counted as exactly one of delivered or dropped, in total and per flow, so
+///   offered() == delivered() + dropped()
+/// holds at every instant — the property the fault tests assert under
+/// adversarial burst losses. Per-flow observed loss feeds back into the
+/// Section 5.1 contract via loss_rate() vs QosRequest::loss_bound.
+class LossyHop {
+ public:
+  using Forward = std::function<void(Packet)>;
+
+  LossyHop(const fault::LinkFaultModel& model, sim::Rng rng, Forward next)
+      : model_(model), rng_(std::move(rng)), next_(std::move(next)) {}
+
+  /// Accepts a packet: advances the loss chain once and either forwards the
+  /// packet downstream or drops it. A trivial model draws no random numbers
+  /// and delivers everything.
+  void offer(Packet packet);
+
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] std::uint64_t offered(FlowId flow) const { return per_flow(offered_by_flow_, flow); }
+  [[nodiscard]] std::uint64_t delivered(FlowId flow) const {
+    return per_flow(delivered_by_flow_, flow);
+  }
+  [[nodiscard]] std::uint64_t dropped(FlowId flow) const {
+    return per_flow(dropped_by_flow_, flow);
+  }
+
+  /// Observed loss fraction for one flow (0 when it has offered nothing).
+  [[nodiscard]] double loss_rate(FlowId flow) const {
+    const std::uint64_t o = offered(flow);
+    return o == 0 ? 0.0 : double(dropped(flow)) / double(o);
+  }
+  /// Whether the flow's observed loss honours its negotiated p_e.
+  [[nodiscard]] bool meets_loss_bound(FlowId flow, const QosRequest& request) const {
+    return loss_rate(flow) <= request.loss_bound;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t per_flow(const std::vector<std::uint64_t>& v,
+                                              FlowId flow) {
+    return flow < v.size() ? v[flow] : 0;
+  }
+  static void bump(std::vector<std::uint64_t>& v, FlowId flow) {
+    if (flow >= v.size()) v.resize(std::size_t(flow) + 1, 0);
+    ++v[flow];
+  }
+
+  fault::LinkFaultModel model_;
+  sim::Rng rng_;
+  fault::LossProcess loss_;
+  Forward next_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::uint64_t> offered_by_flow_;
+  std::vector<std::uint64_t> delivered_by_flow_;
+  std::vector<std::uint64_t> dropped_by_flow_;
 };
 
 /// Terminal sink collecting end-to-end delay statistics per flow.

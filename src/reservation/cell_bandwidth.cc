@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -111,6 +112,50 @@ void CellBandwidth::add_anonymous_reservation(qos::BitsPerSecond b) {
 qos::BitsPerSecond CellBandwidth::reservation_for(PortableId portable) const {
   const auto it = reserved_for_.find(portable);
   return it == reserved_for_.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+void save_portable_map(sim::CheckpointWriter& w,
+                       const std::unordered_map<PortableId, qos::BitsPerSecond>& map) {
+  std::vector<PortableId> ids;
+  ids.reserve(map.size());
+  for (const auto& [id, b] : map) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (const PortableId id : ids) {
+    w.u32(id.value());
+    w.f64(map.at(id));
+  }
+}
+
+void restore_portable_map(sim::CheckpointReader& r,
+                          std::unordered_map<PortableId, qos::BitsPerSecond>& map) {
+  map.clear();
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    const PortableId id{r.u32()};
+    map[id] = r.f64();
+  }
+}
+
+}  // namespace
+
+void CellBandwidth::save_state(sim::CheckpointWriter& w) const {
+  w.f64(capacity_);
+  w.f64(allocated_);
+  w.f64(anonymous_reserved_);
+  w.f64(reserved_specific_total_);
+  save_portable_map(w, reserved_for_);
+  save_portable_map(w, connections_);
+}
+
+void CellBandwidth::restore_state(sim::CheckpointReader& r) {
+  capacity_ = r.f64();
+  allocated_ = r.f64();
+  anonymous_reserved_ = r.f64();
+  reserved_specific_total_ = r.f64();
+  restore_portable_map(r, reserved_for_);
+  restore_portable_map(r, connections_);
 }
 
 }  // namespace imrm::reservation

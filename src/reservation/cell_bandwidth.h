@@ -17,6 +17,7 @@
 
 #include "net/ids.h"
 #include "qos/flow_spec.h"
+#include "sim/checkpoint.h"
 
 namespace imrm::obs {
 class Counter;
@@ -110,6 +111,13 @@ class CellBandwidth {
   [[nodiscard]] qos::BitsPerSecond utilization_fraction() const {
     return capacity_ > 0.0 ? allocated_ / capacity_ : 0.0;
   }
+
+  // --- checkpoint/restore (ISSUE 4): the whole account (capacity, running
+  // totals, per-portable reservation/connection maps, sorted by portable so
+  // the bytes are iteration-order independent). Telemetry pointers are
+  // rebound by the owner.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
 
  private:
   qos::BitsPerSecond capacity_ = 0.0;

@@ -2,7 +2,9 @@
 // reservation policies and the handoff admission path.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "reservation/cell_bandwidth.h"
@@ -49,6 +51,37 @@ class ReservationDirectory {
   }
 
   [[nodiscard]] std::unordered_map<CellId, CellBandwidth>& cells() { return cells_; }
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  // Cells are written in sorted-id order; restore requires the same cell set
+  // to already exist (the harness constructor re-adds them from its config)
+  // and throws sim::CheckpointError on a mismatch. Telemetry bindings are
+  // untouched — instrument values live in the obs registry section.
+  void save_state(sim::CheckpointWriter& w) const {
+    std::vector<CellId> ids;
+    ids.reserve(cells_.size());
+    for (const auto& [id, cell] : cells_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (const CellId id : ids) {
+      w.u32(id.value());
+      cells_.at(id).save_state(w);
+    }
+  }
+
+  void restore_state(sim::CheckpointReader& r) {
+    if (r.u64() != cells_.size()) {
+      throw sim::CheckpointError("reservation: checkpoint cell count mismatch");
+    }
+    for (std::size_t n = cells_.size(); n-- > 0;) {
+      const CellId id{r.u32()};
+      const auto it = cells_.find(id);
+      if (it == cells_.end()) {
+        throw sim::CheckpointError("reservation: checkpoint names unknown cell");
+      }
+      it->second.restore_state(r);
+    }
+  }
 
  private:
   std::unordered_map<CellId, CellBandwidth> cells_;

@@ -1,5 +1,8 @@
 #include "reservation/dispatcher.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace imrm::reservation {
 
 PolicyDispatcher::PolicyDispatcher(PolicyEnv env,
@@ -90,6 +93,38 @@ std::optional<CellId> PolicyDispatcher::reserved_cell(PortableId portable) const
   const auto it = last_reserved_.find(portable);
   if (it == last_reserved_.end()) return std::nullopt;
   return it->second;
+}
+
+void PolicyDispatcher::save_state(sim::CheckpointWriter& w) const {
+  std::vector<PortableId> ids;
+  ids.reserve(last_reserved_.size());
+  for (const auto& [portable, cell] : last_reserved_) ids.push_back(portable);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (const PortableId id : ids) {
+    w.u32(id.value());
+    w.u32(last_reserved_.at(id).value());
+  }
+  w.u64(lounge_policies_.size());
+  for (const auto& policy : lounge_policies_) policy->save_state(w);
+  w.u64(meeting_policies_.size());
+  for (const auto& policy : meeting_policies_) policy->save_state(w);
+}
+
+void PolicyDispatcher::restore_state(sim::CheckpointReader& r) {
+  last_reserved_.clear();
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    const PortableId portable{r.u32()};
+    last_reserved_[portable] = CellId{r.u32()};
+  }
+  if (r.u64() != lounge_policies_.size()) {
+    throw sim::CheckpointError("dispatcher: checkpoint lounge-policy count mismatch");
+  }
+  for (const auto& policy : lounge_policies_) policy->restore_state(r);
+  if (r.u64() != meeting_policies_.size()) {
+    throw sim::CheckpointError("dispatcher: checkpoint meeting-policy count mismatch");
+  }
+  for (const auto& policy : meeting_policies_) policy->restore_state(r);
 }
 
 }  // namespace imrm::reservation

@@ -49,6 +49,12 @@ class PolicyDispatcher final : public AdvanceReservationPolicy {
   /// tests and introspection.
   [[nodiscard]] std::optional<CellId> reserved_cell(PortableId portable) const;
 
+  // Checkpoint (ISSUE 4): the last-reserved bookkeeping plus the hosted
+  // lounge/meeting policies, chained in construction order (deterministic —
+  // both sides instantiate them from the same cell map).
+  void save_state(sim::CheckpointWriter& w) const override;
+  void restore_state(sim::CheckpointReader& r) override;
+
  private:
   /// Per-portable decision (steps 1 and 2 for offices/corridors). Returns
   /// the target cell or nullopt (no portable-specific reservation).

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <utility>
 
 namespace imrm::reservation {
 
@@ -44,6 +45,15 @@ class CafeteriaPredictor {
   [[nodiscard]] double predict_next() const;
 
   [[nodiscard]] std::size_t samples() const { return window_.size(); }
+
+  // Checkpoint accessors (ISSUE 4): the window plus the latest slot index
+  // fully determine the predictor.
+  [[nodiscard]] const std::deque<double>& history() const { return window_; }
+  [[nodiscard]] std::size_t latest_slot() const { return slot_; }
+  void restore(std::deque<double> window, std::size_t slot) {
+    window_ = std::move(window);
+    slot_ = slot;
+  }
 
  private:
   std::deque<double> window_;  // at most 3, oldest first

@@ -1,6 +1,8 @@
 #include "reservation/lounge_policy.h"
 
 #include <cassert>
+#include <deque>
+#include <utility>
 
 namespace imrm::reservation {
 
@@ -74,6 +76,36 @@ void LoungePolicyBase::refresh(sim::SimTime now) {
   // the self-predicted incoming handoffs.
   if (has_default_neighbor() && env_.directory->has(cell_)) {
     env_.directory->at(cell_).add_anonymous_reservation(self_reservation());
+  }
+}
+
+void LoungePolicyBase::save_state(sim::CheckpointWriter& w) const {
+  w.f64(outgoing_this_slot_);
+  w.f64(incoming_this_slot_);
+  w.u64(current_slot_);
+  save_predictors(w);
+}
+
+void LoungePolicyBase::restore_state(sim::CheckpointReader& r) {
+  outgoing_this_slot_ = r.f64();
+  incoming_this_slot_ = r.f64();
+  current_slot_ = std::size_t(r.u64());
+  restore_predictors(r);
+}
+
+void CafeteriaPolicy::save_predictors(sim::CheckpointWriter& w) const {
+  for (const CafeteriaPredictor* p : {&outgoing_, &incoming_}) {
+    w.u64(p->history().size());
+    for (const double count : p->history()) w.f64(count);
+    w.u64(p->latest_slot());
+  }
+}
+
+void CafeteriaPolicy::restore_predictors(sim::CheckpointReader& r) {
+  for (CafeteriaPredictor* p : {&outgoing_, &incoming_}) {
+    std::deque<double> window(std::size_t(r.u64()));
+    for (double& count : window) count = r.f64();
+    p->restore(std::move(window), std::size_t(r.u64()));
   }
 }
 

@@ -31,7 +31,15 @@ class LoungePolicyBase : public AdvanceReservationPolicy {
   [[nodiscard]] CellId cell() const { return cell_; }
   [[nodiscard]] bool has_default_neighbor() const;
 
+  // Checkpoint (ISSUE 4): the open slot's counts, the slot cursor, and the
+  // derived class's predictor windows (via the protected hooks below).
+  void save_state(sim::CheckpointWriter& w) const override;
+  void restore_state(sim::CheckpointReader& r) override;
+
  protected:
+  virtual void save_predictors(sim::CheckpointWriter& w) const = 0;
+  virtual void restore_predictors(sim::CheckpointReader& r) = 0;
+
   /// Predicted outgoing handoffs for the next slot.
   [[nodiscard]] virtual double predict_outgoing() const = 0;
   /// Predicted incoming handoffs for the next slot (for the self-reservation
@@ -72,6 +80,8 @@ class CafeteriaPolicy final : public LoungePolicyBase {
     outgoing_.push(outgoing_count);
     incoming_.push(incoming_count);
   }
+  void save_predictors(sim::CheckpointWriter& w) const override;
+  void restore_predictors(sim::CheckpointReader& r) override;
 
  private:
   CafeteriaPredictor outgoing_;
@@ -97,6 +107,14 @@ class DefaultLoungePolicy final : public LoungePolicyBase {
   void slot_closed(double outgoing_count, double incoming_count) override {
     outgoing_.push(outgoing_count);
     incoming_.push(incoming_count);
+  }
+  void save_predictors(sim::CheckpointWriter& w) const override {
+    w.f64(outgoing_.predict_next());
+    w.f64(incoming_.predict_next());
+  }
+  void restore_predictors(sim::CheckpointReader& r) override {
+    outgoing_.push(r.f64());
+    incoming_.push(r.f64());
   }
 
  private:

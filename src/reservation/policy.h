@@ -26,6 +26,7 @@
 #include "mobility/manager.h"
 #include "profiles/profile_server.h"
 #include "reservation/directory.h"
+#include "sim/checkpoint.h"
 #include "sim/time.h"
 
 namespace imrm::reservation {
@@ -68,6 +69,14 @@ class AdvanceReservationPolicy {
   /// set non-standalone: the dispatcher clears once and the hosted policies
   /// contribute additively.
   void set_standalone(bool standalone) { standalone_ = standalone; }
+
+  // --- checkpoint/restore (ISSUE 4) ---------------------------------------
+  // Policies whose refresh() recomputes everything from the live workload
+  // (none/static/brute-force/aggregate) carry no soft state and inherit
+  // these no-ops; stateful policies (meeting-room arrival counters, lounge
+  // slot machinery, dispatcher bookkeeping) override both.
+  virtual void save_state(sim::CheckpointWriter& w) const { (void)w; }
+  virtual void restore_state(sim::CheckpointReader& r) { (void)r; }
 
  protected:
   PolicyEnv env_;
@@ -125,6 +134,17 @@ class MeetingRoomPolicy final : public AdvanceReservationPolicy {
 
   [[nodiscard]] std::size_t arrived() const { return arrived_; }
   [[nodiscard]] std::size_t left() const { return left_; }
+
+  void save_state(sim::CheckpointWriter& w) const override {
+    w.u64(arrived_);
+    w.u64(left_);
+    w.u64(meeting_epoch_);
+  }
+  void restore_state(sim::CheckpointReader& r) override {
+    arrived_ = std::size_t(r.u64());
+    left_ = std::size_t(r.u64());
+    meeting_epoch_ = std::size_t(r.u64());
+  }
 
  private:
   CellId room_;

@@ -1,0 +1,327 @@
+// Checkpoint/restore serialization seam (ISSUE 4).
+//
+// A Checkpoint is a versioned container of named binary sections, each
+// written by one subsystem (simulator core, protocol, channel, registry,
+// experiment harness). The format is deliberately dumb: little-endian
+// fixed-width integers, doubles as raw IEEE-754 bit patterns (bit-exact
+// round-trip — byte-identical metrics JSON depends on it), strings and
+// blobs length-prefixed. No cross-section references, no pointers.
+//
+// What is snapshotted vs. rebuilt: plain values (clocks, counters, rates,
+// RNG engine state) are serialized; anything holding code or addresses
+// (pending event callbacks, cached instrument pointers, listener
+// registrations) is NOT serialized — the restoring side reconstructs the
+// object graph from its config, re-arms pending events from tagged
+// plain-data records in their original schedule order, and then overwrites
+// the queue statistics so the restored run is indistinguishable from the
+// uninterrupted one. The quiescence rule: a checkpoint is taken at a
+// barrier event, where every pending event is either re-armable from a
+// tagged record (experiment harnesses) or the queue has drained entirely
+// (fault sweeps checkpoint after warm convergence).
+//
+// Header-only so qos/reservation/experiments can serialize through it
+// without adding link-DAG edges.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace imrm::sim {
+
+/// Thrown on malformed checkpoint bytes (truncated section, bad magic,
+/// version mismatch, missing section). Callers treat a checkpoint as
+/// untrusted input: a corrupt file must fail loudly, never half-restore.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CheckpointWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void time(SimTime t) { f64(t.to_seconds()); }
+
+  /// mt19937_64 state via its textual stream representation: exact by the
+  /// standard (unformatted decimal words), portable across libstdc++ builds.
+  void rng(const std::mt19937_64& engine) {
+    std::ostringstream os;
+    os << engine;
+    str(os.str());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes.data()), size_(bytes.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_ + pos_), std::size_t(n));
+    pos_ += std::size_t(n);
+    return s;
+  }
+  SimTime time() { return SimTime::seconds(f64()); }
+
+  void rng(std::mt19937_64& engine) {
+    std::istringstream is(str());
+    is >> engine;
+    if (!is) throw CheckpointError("checkpoint: malformed RNG state");
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (std::uint64_t(size_ - pos_) < n) {
+      throw CheckpointError("checkpoint: truncated section");
+    }
+  }
+
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Versioned container of named sections. Section names are free-form but by
+/// convention dotted ("sim.core", "maxmin.protocol", "obs.registry",
+/// "experiment.campus"); a loader asks for exactly the sections it knows.
+class Checkpoint {
+ public:
+  static constexpr char kMagic[9] = "IMRMCKPT";  // 8 bytes on the wire
+  static constexpr std::uint32_t kVersion = 1;
+
+  void set(const std::string& name, CheckpointWriter writer) {
+    sections_[name] = writer.take();
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+  [[nodiscard]] CheckpointReader reader(const std::string& name) const {
+    const auto it = sections_.find(name);
+    if (it == sections_.end()) {
+      throw CheckpointError("checkpoint: missing section '" + name + "'");
+    }
+    return CheckpointReader(it->second);
+  }
+  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const {
+    CheckpointWriter w;
+    for (int i = 0; i < 8; ++i) w.u8(std::uint8_t(kMagic[i]));
+    w.u32(kVersion);
+    w.u32(std::uint32_t(sections_.size()));
+    for (const auto& [name, bytes] : sections_) {
+      w.str(name);
+      w.u64(bytes.size());
+      for (const std::uint8_t b : bytes) w.u8(b);
+    }
+    return w.take();
+  }
+
+  [[nodiscard]] static Checkpoint deserialize(const std::vector<std::uint8_t>& bytes) {
+    CheckpointReader r(bytes);
+    for (int i = 0; i < 8; ++i) {
+      if (r.u8() != std::uint8_t(kMagic[i])) {
+        throw CheckpointError("checkpoint: bad magic (not an IMRMCKPT file)");
+      }
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kVersion) {
+      throw CheckpointError("checkpoint: unsupported version " + std::to_string(version));
+    }
+    Checkpoint ckpt;
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string name = r.str();
+      const std::uint64_t len = r.u64();
+      std::vector<std::uint8_t> payload;
+      payload.reserve(std::size_t(len));
+      for (std::uint64_t b = 0; b < len; ++b) payload.push_back(r.u8());
+      ckpt.sections_[name] = std::move(payload);
+    }
+    if (!r.done()) throw CheckpointError("checkpoint: trailing bytes after sections");
+    return ckpt;
+  }
+
+  void save_file(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw CheckpointError("checkpoint: cannot open '" + path + "' for writing");
+    const std::vector<std::uint8_t> bytes = serialize();
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+    if (!out) throw CheckpointError("checkpoint: write to '" + path + "' failed");
+  }
+
+  [[nodiscard]] static Checkpoint load_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw CheckpointError("checkpoint: cannot open '" + path + "'");
+    std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>()};
+    return deserialize(bytes);
+  }
+
+ private:
+  std::map<std::string, std::vector<std::uint8_t>> sections_;
+};
+
+// ---- obs::Registry save/restore ----------------------------------------
+//
+// Saved via a Snapshot (exact values: u64 counters, bit-exact doubles);
+// restored by upserting into the live registry, so instrument addresses
+// cached by bind_metrics() callers stay valid and post-restore records
+// accumulate into the restored values in the identical operation sequence
+// an uninterrupted run would have used (merging snapshots at the end
+// instead would reorder double additions and break byte-identity).
+
+inline void save_registry(CheckpointWriter& w, const obs::Registry& registry) {
+  const obs::Snapshot snap = registry.snapshot();
+  w.u64(snap.counters().size());
+  for (const obs::CounterSample& c : snap.counters()) {
+    w.str(c.name);
+    w.u64(c.value);
+  }
+  w.u64(snap.gauges().size());
+  for (const obs::GaugeSample& g : snap.gauges()) {
+    w.str(g.name);
+    w.f64(g.value);
+    w.f64(g.max);
+  }
+  w.u64(snap.histograms().size());
+  for (const obs::HistogramSample& h : snap.histograms()) {
+    w.str(h.name);
+    w.u8(h.spec.scale == obs::HistogramSpec::Scale::kLinear ? 0 : 1);
+    w.f64(h.spec.lo);
+    w.f64(h.spec.hi);
+    w.u32(h.spec.divisions);
+    w.u64(h.count);
+    w.u64(h.underflow);
+    w.u64(h.overflow);
+    w.f64(h.sum);
+    w.f64(h.min);
+    w.f64(h.max);
+    w.u64(h.buckets.size());
+    for (const std::uint64_t b : h.buckets) w.u64(b);
+  }
+}
+
+inline void restore_registry(CheckpointReader& r, obs::Registry& registry) {
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    const std::string name = r.str();
+    registry.counter(name).set(r.u64());
+  }
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    const std::string name = r.str();
+    const double value = r.f64();
+    const double max = r.f64();
+    registry.gauge(name).restore(value, max);
+  }
+  for (std::uint64_t n = r.u64(); n-- > 0;) {
+    const std::string name = r.str();
+    obs::HistogramSpec spec;
+    spec.scale = r.u8() == 0 ? obs::HistogramSpec::Scale::kLinear
+                             : obs::HistogramSpec::Scale::kLog2;
+    spec.lo = r.f64();
+    spec.hi = r.f64();
+    spec.divisions = r.u32();
+    const std::uint64_t count = r.u64();
+    const std::uint64_t underflow = r.u64();
+    const std::uint64_t overflow = r.u64();
+    const double sum = r.f64();
+    const double min = r.f64();
+    const double max = r.f64();
+    std::vector<std::uint64_t> buckets(std::size_t(r.u64()));
+    for (std::uint64_t& b : buckets) b = r.u64();
+    if (buckets.size() != spec.bucket_count()) {
+      throw CheckpointError("checkpoint: histogram '" + name + "' bucket count mismatch");
+    }
+    registry.histogram(name, spec)
+        .restore(count, underflow, overflow, sum, min, max, std::move(buckets));
+  }
+}
+
+// ---- Simulator core save/restore ----------------------------------------
+//
+// The driver core is plain values: clock, fired total, queue churn counters,
+// FIFO sequence counter. Pending callbacks are NOT here — the restoring
+// harness re-arms them from its own tagged records, then calls
+// restore_simulator_core which overwrites the (re-arm-inflated) counters
+// with the saved totals.
+
+inline void save_simulator_core(CheckpointWriter& w, const Simulator& s) {
+  w.time(s.now());
+  w.u64(s.events_fired());
+  w.u64(s.queue_stats().scheduled);
+  w.u64(s.queue_stats().cancelled);
+  w.u64(s.queue_stats().peak_pending);
+  w.u64(s.queue_next_seq());
+}
+
+inline void restore_simulator_core(CheckpointReader& r, Simulator& s) {
+  const SimTime now = r.time();
+  const std::uint64_t fired = r.u64();
+  EventQueue::Stats stats;
+  stats.scheduled = r.u64();
+  stats.cancelled = r.u64();
+  stats.peak_pending = std::size_t(r.u64());
+  const std::uint64_t next_seq = r.u64();
+  s.restore_core(now, fired, stats, next_seq);
+}
+
+}  // namespace imrm::sim

@@ -99,6 +99,19 @@ class EventQueue {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Next FIFO tie-break sequence number (checkpoint save).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Checkpoint restore: overwrite the lifetime statistics and the sequence
+  /// counter. Called AFTER the restoring harness has re-armed its pending
+  /// events (re-arming bumps scheduled/peak/seq; the saved values already
+  /// account for those events, so the overwrite makes the restored queue's
+  /// externally visible totals identical to the uninterrupted run's).
+  void restore_stats(const Stats& stats, std::uint64_t next_seq) {
+    stats_ = stats;
+    next_seq_ = next_seq;
+  }
+
  private:
   // One heap entry: | encoded time (64) | seq (40) | slot (24) |.
   // seq increments per schedule, so FIFO ties are broken before the slot

@@ -68,6 +68,7 @@ class Rng {
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+  [[nodiscard]] const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -58,8 +58,23 @@ class Simulator {
   bool step();
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Time of the earliest pending event; SimTime::infinity() when idle.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
   [[nodiscard]] const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+  [[nodiscard]] std::uint64_t queue_next_seq() const { return queue_.next_seq(); }
+
+  /// Checkpoint restore of the driver core: clock, fired-event total, queue
+  /// statistics and FIFO sequence counter. Call after re-arming any pending
+  /// events (their schedule() calls inflate the queue counters; the saved
+  /// values already include them). The restored clock makes subsequent at()
+  /// assertions and after() offsets behave exactly as in the original run.
+  void restore_core(SimTime now, std::uint64_t fired, const EventQueue::Stats& stats,
+                    std::uint64_t next_seq) {
+    now_ = now;
+    fired_ = fired;
+    queue_.restore_stats(stats, next_seq);
+  }
 
   /// Attaches the run's structured tracer; modules driven by this simulator
   /// pick it up via tracer() so one attach point instruments the stack.

@@ -1,0 +1,124 @@
+// Campus-day checkpoint/restore (ISSUE 4 tentpole): freezing the day at a
+// barrier and resuming must be indistinguishable from never having stopped —
+// identical CampusDayResult and byte-identical metrics JSON, through every
+// policy, with and without signaling faults, at any barrier time.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "experiments/campus_day.h"
+#include "fault/fault_model.h"
+#include "obs/metrics.h"
+#include "sim/checkpoint.h"
+#include "sim/time.h"
+
+namespace imrm::experiments {
+namespace {
+
+std::string metrics_json(const obs::Registry& registry) {
+  std::ostringstream os;
+  registry.snapshot().write_json(os);
+  return os.str();
+}
+
+CampusDayConfig small_config(CampusPolicy policy) {
+  CampusDayConfig config;
+  config.policy = policy;
+  config.attendees = 12;
+  config.squatters = 4;
+  config.seed = 5;
+  return config;
+}
+
+void expect_same_result(const CampusDayResult& a, const CampusDayResult& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.attendee_drops, b.attendee_drops);
+  EXPECT_EQ(a.squatter_blocks, b.squatter_blocks);
+  EXPECT_EQ(a.squatter_admits, b.squatter_admits);
+  EXPECT_EQ(a.other_drops, b.other_drops);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.room_peak_allocated, b.room_peak_allocated);
+}
+
+/// Cold run vs checkpoint-at-T + resume, both with live registries; the
+/// restored day must match in results AND in metrics JSON bytes.
+void check_round_trip(CampusDayConfig config, sim::SimTime at) {
+  obs::Registry cold_registry;
+  CampusDayConfig cold = config;
+  cold.metrics = &cold_registry;
+  const CampusDayResult cold_result = run_campus_day(cold);
+
+  CampusDayConfig warm = config;
+  obs::Registry ckpt_registry;
+  warm.metrics = &ckpt_registry;
+  const sim::Checkpoint ckpt = checkpoint_campus_day(warm, at);
+
+  obs::Registry resume_registry;
+  warm.metrics = &resume_registry;
+  const CampusDayResult resumed = resume_campus_day(warm, ckpt);
+
+  expect_same_result(resumed, cold_result);
+  EXPECT_EQ(metrics_json(resume_registry), metrics_json(cold_registry));
+}
+
+TEST(CampusCheckpoint, ResumeMatchesUninterruptedRunEveryPolicy) {
+  for (const CampusPolicy policy :
+       {CampusPolicy::kNone, CampusPolicy::kStatic, CampusPolicy::kBruteForce,
+        CampusPolicy::kAggregate, CampusPolicy::kDispatcher}) {
+    SCOPED_TRACE(to_string(policy));
+    check_round_trip(small_config(policy), sim::SimTime::minutes(95));
+  }
+}
+
+TEST(CampusCheckpoint, BarrierTimeSweep) {
+  // Before the meeting, at its very start, mid-meeting, and after the last
+  // event (the whole day already ran in phase 1).
+  const CampusDayConfig config = small_config(CampusPolicy::kDispatcher);
+  for (const double minutes : {0.0, 30.0, 90.0, 120.0, 1000.0}) {
+    SCOPED_TRACE(minutes);
+    check_round_trip(config, sim::SimTime::minutes(minutes));
+  }
+}
+
+TEST(CampusCheckpoint, ResumeMatchesUnderSignalingFaults) {
+  CampusDayConfig config = small_config(CampusPolicy::kDispatcher);
+  config.faults.model = fault::LinkFaultModel::gilbert_elliott(0.2, 0.9, 4.0);
+  config.faults.max_attempts = 2;
+  check_round_trip(config, sim::SimTime::minutes(100));
+}
+
+TEST(CampusCheckpoint, ImageSurvivesSerializationToBytes) {
+  const CampusDayConfig config = small_config(CampusPolicy::kDispatcher);
+  const CampusDayResult cold = run_campus_day(config);
+
+  const sim::Checkpoint ckpt = checkpoint_campus_day(config, sim::SimTime::minutes(95));
+  const sim::Checkpoint reloaded = sim::Checkpoint::deserialize(ckpt.serialize());
+  const CampusDayResult resumed = resume_campus_day(config, reloaded);
+  expect_same_result(resumed, cold);
+}
+
+TEST(CampusCheckpoint, ConfigFingerprintMismatchThrows) {
+  const CampusDayConfig config = small_config(CampusPolicy::kDispatcher);
+  const sim::Checkpoint ckpt = checkpoint_campus_day(config, sim::SimTime::minutes(95));
+
+  CampusDayConfig other = config;
+  other.seed = 6;
+  EXPECT_THROW((void)resume_campus_day(other, ckpt), sim::CheckpointError);
+
+  other = config;
+  other.attendees += 1;
+  EXPECT_THROW((void)resume_campus_day(other, ckpt), sim::CheckpointError);
+
+  other = config;
+  other.policy = CampusPolicy::kAggregate;
+  EXPECT_THROW((void)resume_campus_day(other, ckpt), sim::CheckpointError);
+}
+
+TEST(CampusCheckpoint, ResumeFromForeignCheckpointThrows) {
+  const CampusDayConfig config = small_config(CampusPolicy::kDispatcher);
+  EXPECT_THROW((void)resume_campus_day(config, sim::Checkpoint{}), sim::CheckpointError);
+}
+
+}  // namespace
+}  // namespace imrm::experiments

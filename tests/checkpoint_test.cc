@@ -1,0 +1,277 @@
+// Tests for the checkpoint container and primitive codecs (ISSUE 4): writer/
+// reader round-trips must be bit-exact (doubles travel as raw IEEE-754 bits),
+// the container must reject malformed bytes loudly, and registry restore must
+// upsert into live instruments without disturbing cached addresses.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sim/checkpoint.h"
+#include "sim/time.h"
+
+namespace imrm::sim {
+namespace {
+
+std::string to_json(const obs::Snapshot& snapshot) {
+  std::ostringstream os;
+  snapshot.write_json(os);
+  return os.str();
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+TEST(CheckpointCodec, IntegersRoundTrip) {
+  CheckpointWriter w;
+  w.u8(0);
+  w.u8(0xFF);
+  w.u32(0);
+  w.u32(0xDEADBEEF);
+  w.u64(0);
+  w.u64(0xFEEDFACECAFEBEEFull);
+  w.boolean(true);
+  w.boolean(false);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  CheckpointReader r(bytes);
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.u8(), 0xFFu);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), 0xFEEDFACECAFEBEEFull);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CheckpointCodec, DoublesRoundTripBitExactly) {
+  // Byte-identical restored metrics depend on doubles surviving exactly,
+  // including the values textual formatting mangles.
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -5e-324,  // smallest denormal
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  CheckpointWriter w;
+  for (const double v : values) w.f64(v);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  CheckpointReader r(bytes);
+  for (const double v : values) EXPECT_EQ(bits_of(r.f64()), bits_of(v));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CheckpointCodec, StringsAndTimesRoundTrip) {
+  CheckpointWriter w;
+  w.str("");
+  w.str("experiment.campus");
+  w.str(std::string("\0binary\xff", 8));
+  w.time(SimTime::minutes(90.0));
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  CheckpointReader r(bytes);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "experiment.campus");
+  EXPECT_EQ(r.str(), std::string("\0binary\xff", 8));
+  EXPECT_EQ(r.time().to_seconds(), SimTime::minutes(90.0).to_seconds());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CheckpointCodec, RngStateRoundTripContinuesIdentically) {
+  std::mt19937_64 engine(12345);
+  for (int i = 0; i < 1000; ++i) (void)engine();  // advance off the seed state
+
+  CheckpointWriter w;
+  w.rng(engine);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  std::mt19937_64 restored;
+  CheckpointReader r(bytes);
+  r.rng(restored);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(restored(), engine());
+}
+
+TEST(CheckpointCodec, MalformedRngStateThrows) {
+  CheckpointWriter w;
+  w.str("not a generator state");
+  const std::vector<std::uint8_t> bytes = w.take();
+  CheckpointReader r(bytes);
+  std::mt19937_64 engine;
+  EXPECT_THROW(r.rng(engine), CheckpointError);
+}
+
+TEST(CheckpointCodec, TruncatedReadThrows) {
+  CheckpointWriter w;
+  w.u32(7);
+  const std::vector<std::uint8_t> bytes = w.take();
+  CheckpointReader r(bytes);
+  EXPECT_THROW(r.u64(), CheckpointError);  // only 4 bytes available
+}
+
+TEST(CheckpointContainer, SectionsRoundTripThroughBytes) {
+  Checkpoint ckpt;
+  CheckpointWriter core;
+  core.time(SimTime::seconds(42.0));
+  core.u64(1234);
+  ckpt.set("sim.core", std::move(core));
+  CheckpointWriter harness;
+  harness.str("campus");
+  ckpt.set("experiment.campus", std::move(harness));
+  ASSERT_EQ(ckpt.section_count(), 2u);
+
+  const Checkpoint restored = Checkpoint::deserialize(ckpt.serialize());
+  EXPECT_EQ(restored.section_count(), 2u);
+  EXPECT_TRUE(restored.has("sim.core"));
+  EXPECT_TRUE(restored.has("experiment.campus"));
+  EXPECT_FALSE(restored.has("maxmin.protocol"));
+
+  CheckpointReader r = restored.reader("sim.core");
+  EXPECT_EQ(r.time().to_seconds(), 42.0);
+  EXPECT_EQ(r.u64(), 1234u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CheckpointContainer, MissingSectionThrows) {
+  const Checkpoint ckpt;
+  EXPECT_THROW((void)ckpt.reader("sim.core"), CheckpointError);
+}
+
+TEST(CheckpointContainer, BadMagicThrows) {
+  Checkpoint ckpt;
+  std::vector<std::uint8_t> bytes = ckpt.serialize();
+  bytes[0] = 'X';
+  EXPECT_THROW((void)Checkpoint::deserialize(bytes), CheckpointError);
+}
+
+TEST(CheckpointContainer, UnsupportedVersionThrows) {
+  Checkpoint ckpt;
+  std::vector<std::uint8_t> bytes = ckpt.serialize();
+  bytes[8] = 99;  // version word follows the 8-byte magic
+  EXPECT_THROW((void)Checkpoint::deserialize(bytes), CheckpointError);
+}
+
+TEST(CheckpointContainer, TruncatedAndTrailingBytesThrow) {
+  Checkpoint ckpt;
+  CheckpointWriter w;
+  w.u64(7);
+  ckpt.set("s", std::move(w));
+  std::vector<std::uint8_t> bytes = ckpt.serialize();
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_THROW((void)Checkpoint::deserialize(truncated), CheckpointError);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW((void)Checkpoint::deserialize(trailing), CheckpointError);
+}
+
+TEST(CheckpointContainer, FileRoundTrip) {
+  Checkpoint ckpt;
+  CheckpointWriter w;
+  w.f64(1.0 / 7.0);
+  ckpt.set("sim.core", std::move(w));
+  const std::string path = testing::TempDir() + "/checkpoint_test.ckpt";
+  ckpt.save_file(path);
+
+  const Checkpoint loaded = Checkpoint::load_file(path);
+  CheckpointReader r = loaded.reader("sim.core");
+  EXPECT_EQ(bits_of(r.f64()), bits_of(1.0 / 7.0));
+}
+
+TEST(CheckpointContainer, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Checkpoint::load_file("/nonexistent/checkpoint.ckpt"),
+               CheckpointError);
+}
+
+TEST(CheckpointRegistry, RestoredRegistrySnapshotsByteIdentically) {
+  obs::Registry original;
+  original.counter("campus.handoffs").add(17);
+  original.gauge("sim.time_seconds").set(12.5);
+  original.gauge("sim.time_seconds").set(9.0);  // max stays 12.5
+  obs::HistogramSpec spec;
+  spec.lo = 0.0;
+  spec.hi = 10.0;
+  spec.divisions = 10;
+  obs::Histogram& h = original.histogram("resv.latency", spec);
+  h.record(0.25);
+  h.record(3.75);
+  h.record(99.0);  // overflow
+  h.record(-1.0);  // underflow
+
+  CheckpointWriter w;
+  save_registry(w, original);
+  Checkpoint ckpt;
+  ckpt.set("obs.registry", std::move(w));
+
+  obs::Registry restored;
+  CheckpointReader r = ckpt.reader("obs.registry");
+  restore_registry(r, restored);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(to_json(restored.snapshot()), to_json(original.snapshot()));
+}
+
+TEST(CheckpointRegistry, RestorePreservesLiveInstrumentAddresses) {
+  // Harness code caches instrument pointers via bind_metrics before the
+  // restore runs; the upsert must mutate those same objects in place.
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("fault.probe.probes");
+  counter.add(3);
+
+  obs::Registry saved;
+  saved.counter("fault.probe.probes").add(41);
+  CheckpointWriter w;
+  save_registry(w, saved);
+  Checkpoint ckpt;
+  ckpt.set("obs.registry", std::move(w));
+
+  CheckpointReader r = ckpt.reader("obs.registry");
+  restore_registry(r, registry);
+  EXPECT_EQ(counter.value(), 41u);  // the cached reference saw the restore
+  counter.add(1);
+  EXPECT_EQ(registry.counter("fault.probe.probes").value(), 42u);
+}
+
+TEST(CheckpointRegistry, HistogramBucketCountMismatchThrows) {
+  // A corrupted image whose serialized bucket array disagrees with its own
+  // spec must fail loudly, never half-restore.
+  CheckpointWriter w;
+  w.u64(0);  // counters
+  w.u64(0);  // gauges
+  w.u64(1);  // histograms
+  w.str("h");
+  w.u8(0);     // linear
+  w.f64(0.0);  // lo
+  w.f64(8.0);  // hi
+  w.u32(8);    // divisions -> 8 buckets expected
+  w.u64(1);    // count
+  w.u64(0);    // underflow
+  w.u64(0);    // overflow
+  w.f64(1.0);  // sum
+  w.f64(1.0);  // min
+  w.f64(1.0);  // max
+  w.u64(3);    // bucket array length: wrong
+  for (int i = 0; i < 3; ++i) w.u64(0);
+  Checkpoint ckpt;
+  ckpt.set("obs.registry", std::move(w));
+
+  obs::Registry registry;
+  CheckpointReader r = ckpt.reader("obs.registry");
+  EXPECT_THROW(restore_registry(r, registry), CheckpointError);
+}
+
+}  // namespace
+}  // namespace imrm::sim

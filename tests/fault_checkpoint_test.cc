@@ -1,0 +1,150 @@
+// Warm-checkpoint forking for the convergence-under-faults harness (ISSUE 4):
+// a fault sweep's replications all share one clean warm phase, so the harness
+// freezes it once and forks every variant from the image. Equivalence is
+// byte-level — a forked variant must match a cold run in results and metrics
+// JSON — and the crash-recovery path must work when the crash happens after
+// the restore (checkpoint -> restore -> cell restart -> resync -> fixed
+// point).
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/convergence.h"
+#include "obs/metrics.h"
+#include "sim/checkpoint.h"
+#include "sim/time.h"
+
+namespace imrm::fault {
+namespace {
+
+using sim::SimTime;
+
+std::string to_json(const obs::Snapshot& snapshot) {
+  std::ostringstream os;
+  snapshot.write_json(os);
+  return os.str();
+}
+
+/// Lossy run with a warm barrier: fault-free until t=5s (the two-cell system
+/// converges within milliseconds), then ADVERTISE loss plus a cell restart.
+ConvergenceConfig barrier_config() {
+  ConvergenceConfig config;
+  config.problem = two_cell_problem();
+  config.faults = LinkFaultModel::bernoulli_loss(0.1);
+  config.faults_start = SimTime::seconds(5.0);
+  config.faults_stop = SimTime::seconds(5.5);
+  config.schedule.crash(0, SimTime::seconds(5.2));
+  config.horizon = SimTime::seconds(35.0);
+  config.seed = 11;
+  return config;
+}
+
+void expect_same_result(const ConvergenceResult& a, const ConvergenceResult& b) {
+  EXPECT_EQ(a.safety_held, b.safety_held);
+  EXPECT_EQ(a.reconverged, b.reconverged);
+  EXPECT_EQ(a.reconverge_seconds, b.reconverge_seconds);
+  EXPECT_EQ(a.worst_overshoot, b.worst_overshoot);
+  EXPECT_EQ(a.worst_transient_overshoot, b.worst_transient_overshoot);
+  EXPECT_EQ(a.final_deviation, b.final_deviation);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_rates, b.final_rates);
+}
+
+TEST(WarmFork, ForkedVariantMatchesColdRunByteForByte) {
+  ConvergenceConfig config = barrier_config();
+
+  obs::Registry cold_registry;
+  config.metrics = &cold_registry;
+  const ConvergenceResult cold = run_convergence(config);
+
+  config.metrics = nullptr;
+  const sim::Checkpoint warm = make_warm_checkpoint(config);
+  obs::Registry fork_registry;
+  config.metrics = &fork_registry;
+  const ConvergenceResult forked = run_convergence_from(config, warm);
+
+  expect_same_result(forked, cold);
+  EXPECT_TRUE(forked.reconverged);
+  EXPECT_TRUE(forked.safety_held);
+  EXPECT_EQ(to_json(fork_registry.snapshot()), to_json(cold_registry.snapshot()));
+}
+
+TEST(WarmFork, OneImageServesEverySeed) {
+  // The warm phase draws no randomness, so the image is seed-independent:
+  // variants with different seeds (different loss realizations) all fork
+  // from the same bytes and each matches its own cold run.
+  ConvergenceConfig config = barrier_config();
+  const sim::Checkpoint warm = make_warm_checkpoint(config);
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    SCOPED_TRACE(seed);
+    config.seed = seed;
+    const ConvergenceResult cold = run_convergence(config);
+    const ConvergenceResult forked = run_convergence_from(config, warm);
+    expect_same_result(forked, cold);
+  }
+}
+
+TEST(WarmFork, ImageSurvivesSerializationToBytes) {
+  ConvergenceConfig config = barrier_config();
+  const ConvergenceResult cold = run_convergence(config);
+  const sim::Checkpoint warm = make_warm_checkpoint(config);
+  const sim::Checkpoint reloaded = sim::Checkpoint::deserialize(warm.serialize());
+  expect_same_result(run_convergence_from(config, reloaded), cold);
+}
+
+TEST(WarmFork, CrashAfterRestoreRecoversThroughResync) {
+  // The crash-recovery property: restore the warm image, kill a base
+  // station's soft state, and the hardened protocol must still resync back
+  // to the fault-free fixed point — restoring must not lose whatever the
+  // resync path needs.
+  ConvergenceConfig config = barrier_config();
+  config.faults = LinkFaultModel::gilbert_elliott(0.3, 0.95, 5.0);  // bursty loss
+  config.schedule = FaultSchedule{};
+  config.schedule.crash(0, SimTime::seconds(5.1));
+  config.schedule.crash(1, SimTime::seconds(5.3));
+  const sim::Checkpoint warm = make_warm_checkpoint(config);
+  const ConvergenceResult forked = run_convergence_from(config, warm);
+  EXPECT_TRUE(forked.safety_held);
+  EXPECT_TRUE(forked.reconverged) << "final deviation " << forked.final_deviation;
+  expect_same_result(forked, run_convergence(config));
+}
+
+TEST(WarmFork, SweepForkedEqualsColdAtEveryThreadCount) {
+  ConvergenceSweepConfig sweep;
+  sweep.base = barrier_config();
+  sweep.replications = 8;
+  sweep.threads = 1;
+  sweep.fork_from_warm = false;
+  const ConvergenceSweepResult cold = run_convergence_sweep(sweep);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    sweep.threads = threads;
+    sweep.fork_from_warm = true;
+    const ConvergenceSweepResult forked = run_convergence_sweep(sweep);
+    EXPECT_EQ(forked.safety_failures, cold.safety_failures);
+    EXPECT_EQ(forked.reconverge_failures, cold.reconverge_failures);
+    EXPECT_EQ(forked.worst_overshoot, cold.worst_overshoot);
+    EXPECT_EQ(forked.worst_final_deviation, cold.worst_final_deviation);
+    EXPECT_EQ(forked.reconverge_p50, cold.reconverge_p50);
+    EXPECT_EQ(forked.reconverge_p90, cold.reconverge_p90);
+    EXPECT_EQ(forked.reconverge_p99, cold.reconverge_p99);
+    EXPECT_EQ(to_json(forked.metrics), to_json(cold.metrics));
+  }
+}
+
+TEST(WarmFork, CheckpointBeforeQuiescenceThrows) {
+  ConvergenceConfig config = barrier_config();
+  config.faults_start = SimTime::seconds(1e-6);  // protocol still mid-flight
+  EXPECT_THROW((void)make_warm_checkpoint(config), sim::CheckpointError);
+}
+
+TEST(WarmFork, RestoreFromEmptyCheckpointThrows) {
+  const ConvergenceConfig config = barrier_config();
+  EXPECT_THROW((void)run_convergence_from(config, sim::Checkpoint{}),
+               sim::CheckpointError);
+}
+
+}  // namespace
+}  // namespace imrm::fault

@@ -110,6 +110,78 @@ TEST(Histogram, PercentileInterpolates) {
   EXPECT_NEAR(s->percentile(0.99), 99.0, 1.0);
 }
 
+// Percentile edge cases (ISSUE 4): the estimate must stay inside the
+// observed [min, max] range in every degenerate shape — empty, extremes,
+// single saturated bucket, and mass in the under/overflow bins.
+TEST(Histogram, PercentileOfEmptyHistogramIsZero) {
+  Registry registry;
+  registry.histogram("v", HistogramSpec::linear(0.0, 10.0, 10));
+  const obs::HistogramSample* s = registry.snapshot().histogram("v");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->percentile(0.0), 0.0);
+  EXPECT_EQ(s->percentile(0.5), 0.0);
+  EXPECT_EQ(s->percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileExtremesReturnObservedMinAndMax) {
+  Registry registry;
+  obs::Histogram& h = registry.histogram("v", HistogramSpec::linear(0.0, 100.0, 10));
+  h.record(12.5);
+  h.record(34.0);
+  h.record(87.25);
+  const obs::HistogramSample* s = registry.snapshot().histogram("v");
+  ASSERT_NE(s, nullptr);
+  // Exactly the observed extremes — not the containing buckets' bounds.
+  EXPECT_DOUBLE_EQ(s->percentile(0.0), 12.5);
+  EXPECT_DOUBLE_EQ(s->percentile(1.0), 87.25);
+}
+
+TEST(Histogram, PercentileSingleSaturatedBucketStaysInSampleRange) {
+  Registry registry;
+  obs::Histogram& h = registry.histogram("v", HistogramSpec::linear(0.0, 100.0, 10));
+  // All mass in one [30, 40) bucket, samples confined to [33, 34].
+  for (int i = 0; i < 1000; ++i) h.record(33.0 + (i % 2));
+  const obs::HistogramSample* s = registry.snapshot().histogram("v");
+  ASSERT_NE(s, nullptr);
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    SCOPED_TRACE(q);
+    EXPECT_GE(s->percentile(q), 33.0);
+    EXPECT_LE(s->percentile(q), 34.0);
+  }
+}
+
+TEST(Histogram, PercentileWithAllMassOutOfRangeStaysInSampleRange) {
+  Registry registry;
+  obs::Histogram& h = registry.histogram("v", HistogramSpec::linear(10.0, 20.0, 10));
+  h.record(2.0);    // underflow
+  h.record(3.0);    // underflow
+  h.record(150.0);  // overflow
+  const obs::HistogramSample* s = registry.snapshot().histogram("v");
+  ASSERT_NE(s, nullptr);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    SCOPED_TRACE(q);
+    EXPECT_GE(s->percentile(q), 2.0);
+    EXPECT_LE(s->percentile(q), 150.0);
+  }
+  EXPECT_DOUBLE_EQ(s->percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s->percentile(1.0), 150.0);
+}
+
+TEST(Histogram, PercentilesReachJsonInOrder) {
+  // The schema-v1 report derives p50/p90/p99 from percentile(); they must be
+  // present, ordered, and within the observed range even for the saturated
+  // single-bucket shape.
+  Registry registry;
+  obs::Histogram& h = registry.histogram("lat", HistogramSpec::log2(0.001, 1000.0, 4));
+  for (int i = 0; i < 100; ++i) h.record(0.25);
+  std::ostringstream os;
+  registry.snapshot().write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\":0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":0.25"), std::string::npos) << json;
+}
+
 TEST(Snapshot, IsIsolatedFromLaterMutation) {
   Registry registry;
   registry.counter("c").add(1);

@@ -1,0 +1,151 @@
+// Packet-loss accounting for the packet-level substrate (ISSUE 4 satellite):
+// splicing a LossyHop behind a scheduled link must conserve packets exactly —
+// offered == delivered + dropped, in total and per flow — under adversarial
+// Gilbert-Elliott burst losses, and the observed per-flow loss rate must feed
+// the Section 5.1 p_e contract.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.h"
+#include "qos/flow_spec.h"
+#include "qos/packet_sim.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace imrm::qos {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct LossRig {
+  sim::Simulator simulator;
+  DelaySink sink;
+  std::vector<std::uint64_t> sink_count;
+
+  LossyHop hop;
+  ScheduledLink link;
+  std::vector<TokenBucketSource> sources;
+
+  LossRig(const fault::LinkFaultModel& model, std::uint64_t loss_seed)
+      : hop(model, sim::Rng(loss_seed),
+            [this](Packet p) {
+              if (p.flow >= sink_count.size()) sink_count.resize(p.flow + 1, 0);
+              ++sink_count[p.flow];
+              sink(p, simulator.now());
+            }),
+        link(simulator, mbps(2.0), [this](Packet p) { hop.offer(std::move(p)); }) {}
+
+  void add_flow(FlowId flow, bool greedy, std::uint64_t seed) {
+    TokenBucketSource::Config config;
+    config.flow = flow;
+    config.sigma = bytes(4000);
+    config.rho = kbps(200);
+    config.packet_size = bytes(500);
+    config.greedy = greedy;
+    link.add_flow(flow, config.rho);
+    sources.emplace_back(simulator, config, sim::Rng(seed),
+                         [this](Packet p) { link.enqueue(std::move(p)); });
+  }
+
+  void run(double seconds) {
+    for (TokenBucketSource& source : sources) {
+      source.start(SimTime::seconds(seconds));
+    }
+    simulator.run();
+  }
+
+  [[nodiscard]] std::uint64_t sent() const {
+    std::uint64_t total = 0;
+    for (const TokenBucketSource& source : sources) total += source.packets_sent();
+    return total;
+  }
+};
+
+void expect_conservation(const LossRig& rig, FlowId flows) {
+  // Global conservation: every packet the link served was offered to the
+  // hop, and every offered packet is exactly one of delivered/dropped.
+  EXPECT_EQ(rig.hop.offered(), rig.sent());
+  EXPECT_EQ(rig.hop.offered(), rig.hop.delivered() + rig.hop.dropped());
+
+  std::uint64_t per_flow_offered = 0;
+  for (FlowId flow = 0; flow < flows; ++flow) {
+    SCOPED_TRACE(flow);
+    EXPECT_EQ(rig.hop.offered(flow), rig.hop.delivered(flow) + rig.hop.dropped(flow));
+    // The sink saw exactly the delivered packets — none teleport past the hop.
+    const std::uint64_t sunk =
+        flow < rig.sink_count.size() ? rig.sink_count[flow] : 0;
+    EXPECT_EQ(rig.hop.delivered(flow), sunk);
+    per_flow_offered += rig.hop.offered(flow);
+  }
+  EXPECT_EQ(per_flow_offered, rig.hop.offered());
+}
+
+TEST(LossyHop, ConservesPacketsUnderGilbertElliottBursts) {
+  // Bursty regime: frequent transitions into a state that drops 90% — the
+  // adversarial case for any loss bookkeeping keyed off chain state.
+  const auto model = fault::LinkFaultModel::gilbert_elliott(0.05, 0.9, 8.0);
+  LossRig rig(model, /*loss_seed=*/99);
+  const FlowId kFlows = 4;
+  for (FlowId flow = 0; flow < kFlows; ++flow) {
+    rig.add_flow(flow, /*greedy=*/flow % 2 == 0, /*seed=*/100 + flow);
+  }
+  rig.run(20.0);
+
+  ASSERT_GT(rig.sent(), 100u);
+  expect_conservation(rig, kFlows);
+  EXPECT_GT(rig.hop.dropped(), 0u) << "burst model never dropped anything";
+  EXPECT_GT(rig.hop.delivered(), 0u);
+}
+
+TEST(LossyHop, TrivialModelDeliversEverything) {
+  LossRig rig(fault::LinkFaultModel{}, /*loss_seed=*/1);
+  rig.add_flow(0, /*greedy=*/true, /*seed=*/7);
+  rig.run(5.0);
+
+  expect_conservation(rig, 1);
+  EXPECT_EQ(rig.hop.dropped(), 0u);
+  EXPECT_EQ(rig.hop.delivered(), rig.hop.offered());
+  EXPECT_EQ(rig.hop.loss_rate(0), 0.0);
+}
+
+TEST(LossyHop, LossRateFeedsTheQosContract) {
+  LossRig rig(fault::LinkFaultModel::bernoulli_loss(0.5), /*loss_seed=*/3);
+  rig.add_flow(0, /*greedy=*/true, /*seed=*/7);
+  rig.run(20.0);
+
+  expect_conservation(rig, 1);
+  const double observed = rig.hop.loss_rate(0);
+  EXPECT_GT(observed, 0.3);
+  EXPECT_LT(observed, 0.7);
+
+  QosRequest strict;
+  strict.loss_bound = 0.01;
+  QosRequest lax;
+  lax.loss_bound = 0.99;
+  EXPECT_FALSE(rig.hop.meets_loss_bound(0, strict));
+  EXPECT_TRUE(rig.hop.meets_loss_bound(0, lax));
+  // A flow that never offered traffic has zero observed loss by definition.
+  EXPECT_EQ(rig.hop.loss_rate(17), 0.0);
+  EXPECT_TRUE(rig.hop.meets_loss_bound(17, strict));
+}
+
+TEST(LossyHop, DeterministicInSeed) {
+  const auto model = fault::LinkFaultModel::gilbert_elliott(0.1, 0.8, 4.0);
+  auto run_once = [&] {
+    LossRig rig(model, /*loss_seed=*/42);
+    rig.add_flow(0, /*greedy=*/false, /*seed=*/5);
+    rig.add_flow(1, /*greedy=*/true, /*seed=*/6);
+    rig.run(10.0);
+    return std::vector<std::uint64_t>{rig.hop.offered(), rig.hop.delivered(),
+                                      rig.hop.dropped(), rig.hop.dropped(0),
+                                      rig.hop.dropped(1)};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace imrm::qos

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Contract test helper: run a command and require an exact exit status.
+
+Used by ctest to pin scenario_cli's strict-parsing behaviour: a malformed
+flag value must exit with status 2 (not 0, not a crash/abort), and optionally
+print a diagnostic mentioning the offending flag on stderr.
+
+Usage: expect_exit.py --status N [--stderr-contains TEXT] -- cmd [args...]
+"""
+import argparse
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--status", type=int, required=True,
+                        help="required exit status of the command")
+    parser.add_argument("--stderr-contains", default=None,
+                        help="substring that must appear on stderr")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="-- followed by the command to run")
+    args = parser.parse_args()
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("expect_exit.py: no command given", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run(command, capture_output=True, text=True, timeout=120)
+    ok = True
+    if proc.returncode != args.status:
+        print(f"FAIL: exit status {proc.returncode}, wanted {args.status}")
+        ok = False
+    if args.stderr_contains and args.stderr_contains not in proc.stderr:
+        print(f"FAIL: stderr does not contain {args.stderr_contains!r}")
+        ok = False
+    if not ok:
+        print(f"command: {' '.join(command)}")
+        print(f"stdout: {proc.stdout}")
+        print(f"stderr: {proc.stderr}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

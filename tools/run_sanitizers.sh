@@ -4,7 +4,10 @@
 # already exposes. Each sanitizer gets its own build tree so the
 # instrumented objects never mix with the regular build (or each other).
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|all]     (default: all)
+# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|all]   (default: all)
+#        checkpoint = asan+ubsan over the `checkpoint`-labelled tests only —
+#        the serialization/restore code paths (fast: one instrumented tree,
+#        a handful of tests).
 # Env:   CMAKE_ARGS  extra configure flags (e.g. -DCMAKE_CXX_COMPILER=clang++)
 #        CTEST_ARGS  extra ctest flags (e.g. -R fault)
 #
@@ -17,8 +20,10 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 which=${1:-all}
 
 run_one() {
-  local name=$1 sanitizers=$2
-  local build_dir="$repo_root/build-$name"
+  local name=$1 sanitizers=$2 extra_ctest=${3:-}
+  # The checkpoint sweep reuses the asan tree — same instrumentation, smaller
+  # test selection.
+  local build_dir="$repo_root/build-${name%%-*}"
   echo "==> $name: configuring $build_dir (IMRM_SANITIZE=$sanitizers)"
   cmake -B "$build_dir" -S "$repo_root" \
     -DIMRM_SANITIZE="$sanitizers" \
@@ -26,20 +31,21 @@ run_one() {
     ${CMAKE_ARGS:-} >/dev/null
   echo "==> $name: building"
   cmake --build "$build_dir" -j >/dev/null
-  echo "==> $name: running tier-1 tests"
+  echo "==> $name: running tests"
   # Exclude this wrapper's own label to keep a sanitized tree from recursing.
-  (cd "$build_dir" && ctest --output-on-failure -LE sanitize ${CTEST_ARGS:-})
+  (cd "$build_dir" && ctest --output-on-failure -LE sanitize ${extra_ctest} ${CTEST_ARGS:-})
 }
 
 case "$which" in
   asan) run_one asan "address;undefined" ;;
   tsan) run_one tsan "thread" ;;
+  checkpoint) run_one asan-checkpoint "address;undefined" "-L checkpoint" ;;
   all)
     run_one asan "address;undefined"
     run_one tsan "thread"
     ;;
   *)
-    echo "usage: tools/run_sanitizers.sh [asan|tsan|all]" >&2
+    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|all]" >&2
     exit 2
     ;;
 esac

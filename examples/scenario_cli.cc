@@ -30,6 +30,7 @@
 
 #include "experiments/campus_day.h"
 #include "experiments/classroom.h"
+#include "experiments/sharded_campus.h"
 #include "experiments/fig4_mobility.h"
 #include "experiments/twocell.h"
 #include "fault/convergence.h"
@@ -344,7 +345,55 @@ int run_maxmin_cmd(const Flags& flags, ObsSession& obs) {
   return obs.finish("maxmin", obs.registry.snapshot());
 }
 
+/// `campus --shards K`: the sharded multi-cell corridor scenario. K is the
+/// worker count only — cells are the determinism unit, so the metrics block
+/// of --metrics-json is byte-identical for any K (asserted by the
+/// shard-labeled ctests through tools/check_shard_determinism.py).
+int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shards) {
+  ShardedCampusConfig config;
+  std::size_t cells = 0, portables = 0, seed = 0;
+  double hours = 0.0, hop_ms = 0.0;
+  if (!parse_count(flags, "cells", 24, cells)) return 2;
+  if (!parse_count(flags, "portables", 8, portables)) return 2;
+  if (!parse_count(flags, "seed", 5, seed)) return 2;
+  if (!parse_number(flags, "hours", 4.0, hours)) return 2;
+  if (!parse_number(flags, "hop-ms", 5.0, hop_ms)) return 2;
+  if (cells == 0) {
+    std::cerr << "scenario_cli: --cells must be at least 1\n";
+    return 2;
+  }
+  if (hop_ms <= 0.0) {
+    std::cerr << "scenario_cli: --hop-ms must be positive (it is the "
+                 "conservative window width)\n";
+    return 2;
+  }
+  config.cells = cells;
+  config.shards = shards;
+  config.portables_per_cell = portables;
+  config.seed = std::uint64_t(seed);
+  config.horizon = sim::SimTime::hours(hours);
+  config.hop_latency = sim::Duration::millis(hop_ms);
+  obs.config_echo("cells", fmt_count(double(cells)));
+  obs.config_echo("shards", fmt_count(double(shards)));
+  obs.config_echo("portables", fmt_count(double(portables)));
+  obs.config_echo("seed", fmt_count(double(config.seed)));
+  obs.config_echo("hours", stats::fmt(hours, 2));
+
+  const ShardedCampusResult r = run_sharded_campus(config);
+  std::cout << "cells=" << cells << " shards=" << shards
+            << " events=" << r.events_fired << " windows=" << r.windows
+            << " boundary=" << r.boundary_messages << " admits=" << r.admits
+            << " blocks=" << r.blocks << " handoffs=" << r.handoffs
+            << " drops=" << r.handoff_drops << " reclaims=" << r.lease_reclaims
+            << '\n';
+  return obs.finish("campus-sharded", r.metrics);
+}
+
 int run_campus_cmd(const Flags& flags, ObsSession& obs) {
+  std::size_t shards = 0;
+  if (!parse_count(flags, "shards", 0, shards)) return 2;
+  if (shards > 0) return run_campus_sharded_cmd(flags, obs, shards);
+
   CampusDayConfig config;
   std::size_t attendees = 0, squatters = 0, seed = 0;
   if (!parse_count(flags, "attendees", 40, attendees)) return 2;
@@ -365,6 +414,12 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   if (!parse_count(flags, "replications", 1, replications)) return 2;
   if (!parse_count(flags, "threads", 0, threads)) return 2;
   if (!parse_number(flags, "checkpoint-at", 60.0, checkpoint_at)) return 2;
+  if (replications == 0) {
+    // A 0-replication sweep used to fall through to a single run, silently
+    // ignoring the flag; fail loudly instead.
+    std::cerr << "scenario_cli: --replications must be at least 1\n";
+    return 2;
+  }
   const std::string ckpt_out = flags.text("checkpoint-out", "");
   const std::string ckpt_in = flags.text("checkpoint-in", "");
   if (!ckpt_out.empty() && !ckpt_in.empty()) {
@@ -461,6 +516,16 @@ int run_faults_cmd(const Flags& flags, ObsSession& obs) {
   if (!parse_number(flags, "stop", 0.5, stop)) return 2;
   if (!parse_number(flags, "horizon", 30.0, horizon)) return 2;
   if (!parse_number(flags, "faults-start", 0.0, faults_start)) return 2;
+  if (fork != 0 && threads > replications) {
+    // A forked sweep hands each thread a variant to fork from the shared
+    // warm image; more threads than variants means idle workers at best and
+    // a confusing hang-looking stall at worst. 0 (auto) self-clamps.
+    std::cerr << "scenario_cli: --threads (" << threads
+              << ") exceeds --replications (" << replications
+              << ") for a forked sweep; lower --threads or raise "
+                 "--replications\n";
+    return 2;
+  }
   const std::uint64_t seed = std::uint64_t(seed_count);
   const std::string topology = flags.text("topology", "twocell");
 
@@ -585,6 +650,9 @@ void usage() {
       "  campus     --policy dispatcher|aggregate|brute-force|static|none\n"
       "             --attendees N --squatters M --replications R --seed S\n"
       "             (default command when only flags are given)\n"
+      "  campus --shards K   sharded multi-cell corridor (K worker threads;\n"
+      "             --cells N --portables P --hours H --hop-ms T --seed S;\n"
+      "             metrics are byte-identical for any K)\n"
       "  faults     --topology twocell|campus --drop P --flaps F --crashes C\n"
       "             --stop T --horizon H --replications R --threads W --seed S\n"
       "             (convergence-under-faults harness: lossy control plane +\n"

@@ -1,0 +1,285 @@
+#include "fault/sharded_convergence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "fault/convergence.h"
+#include "maxmin/problem.h"
+#include "maxmin/protocol.h"
+#include "maxmin/waterfill.h"
+#include "sim/flat_map.h"
+#include "sim/sharded_runner.h"
+
+namespace imrm::fault {
+namespace {
+
+// Initial demand of a cross-group sub-connection before any peer offer has
+// arrived: effectively unconstrained (the campus problems allocate tens of
+// units), yet finite so the footnote-11 artificial entry link exists for the
+// offers to resize.
+constexpr double kUnconstrained = 1e9;
+// Offer/cap re-send threshold; well below the convergence tolerances in use
+// so gossip significance never masks a meaningful move.
+constexpr double kOfferEpsilon = 1e-9;
+// Rate-below-advertised slack that marks a wedged (stale completion memory)
+// protocol; above floating-point noise, below the convergence tolerances in
+// use so a wedge can never hide inside an accepted deviation.
+constexpr double kUnwedgeEpsilon = 1e-7;
+
+class ShardedMaxMin {
+ public:
+  explicit ShardedMaxMin(const ShardedConvergenceConfig& config)
+      : config_(config),
+        problem_(campus_problem(config.cells, config.conns, config.seed)),
+        groups_(std::min(std::max<std::size_t>(config.groups, 1), config.cells)),
+        runner_(sim::ShardedRunner::Config{groups_.size(), config.workers,
+                                           config.hop_latency}) {
+    partition_links();
+    build_sub_problems();
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      Group& group = groups_[g];
+      maxmin::DistributedProtocol::Config protocol_config;
+      protocol_config.hop_latency = config_.hop_latency;
+      group.protocol = std::make_unique<maxmin::DistributedProtocol>(
+          runner_.domain(g), group.sub, protocol_config);
+      runner_.domain(g).every(
+          config_.gossip_period, config_.horizon,
+          [this, g] { gossip(g); });
+    }
+    if (config_.perturb) {
+      assert(config_.perturb_cell < config_.cells);
+      const std::size_t g = owner_group_[config_.perturb_cell];
+      const maxmin::LinkIndex local = local_index_[config_.perturb_cell];
+      const double excess = config_.perturb_excess;
+      runner_.domain(g).at(config_.perturb_time, [this, g, local, excess] {
+        groups_[g].protocol->set_link_excess_capacity(local, excess);
+      });
+    }
+  }
+
+  ShardedConvergenceResult run() {
+    ShardedConvergenceResult result;
+    result.events = runner_.run_until(config_.horizon);
+    result.windows = runner_.stats().windows;
+    result.boundary_messages = runner_.stats().boundary_messages;
+    for (const Group& group : groups_) result.offers_sent += group.offers_sent;
+
+    maxmin::Problem expected_problem = problem_;
+    if (config_.perturb) {
+      expected_problem.links[config_.perturb_cell].excess_capacity =
+          config_.perturb_excess;
+    }
+    result.expected = maxmin::waterfill(expected_problem).rates;
+
+    result.rates.resize(problem_.connections.size(), 0.0);
+    for (std::size_t c = 0; c < problem_.connections.size(); ++c) {
+      double rate = kUnconstrained;
+      for (const auto& [g, local] : placements_[c]) {
+        rate = std::min(rate, groups_[g].protocol->rates()[local]);
+      }
+      result.rates[c] = rate;
+      result.max_deviation =
+          std::max(result.max_deviation, std::abs(rate - result.expected[c]));
+    }
+    result.converged = result.max_deviation <= config_.tolerance;
+    return result;
+  }
+
+ private:
+  struct SubConn {
+    std::size_t global = 0;             // global connection index
+    std::size_t local = 0;              // protocol connection index
+    maxmin::LinkIndex entry = 0;        // artificial entry link (local id)
+    std::vector<maxmin::LinkIndex> real_links;  // owned path links (local ids)
+    std::vector<std::uint32_t> peers;           // peer groups of this conn
+    std::vector<double> peer_offers;            // parallel to `peers`
+    double last_sent = -1.0;
+    double applied_cap = kUnconstrained;
+  };
+
+  struct Group {
+    maxmin::Problem sub;
+    std::unique_ptr<maxmin::DistributedProtocol> protocol;
+    std::vector<SubConn> cross;
+    sim::FlatMap<std::uint64_t, std::uint32_t> by_global;
+    std::uint64_t offers_sent = 0;  // per-group: gossip runs on its worker
+    std::uint64_t last_messages = 0;  // quiescence detector (see maybe_unwedge)
+  };
+
+  [[nodiscard]] std::size_t group_of_cell(std::size_t cell) const {
+    return cell * groups_.size() / config_.cells;
+  }
+
+  void partition_links() {
+    // campus_problem layout: links [0, cells) are per-cell wireless, links
+    // [cells, 2*cells - 1) are corridor segments (segment s joins cells s
+    // and s+1, owned by cell s's group).
+    owner_group_.resize(problem_.links.size());
+    local_index_.resize(problem_.links.size());
+    std::vector<std::size_t> next_local(groups_.size(), 0);
+    for (std::size_t l = 0; l < problem_.links.size(); ++l) {
+      const std::size_t cell = l < config_.cells ? l : l - config_.cells;
+      const std::size_t g = group_of_cell(cell);
+      owner_group_[l] = g;
+      local_index_[l] = next_local[g]++;
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      groups_[g].sub.links.resize(next_local[g]);
+    }
+    for (std::size_t l = 0; l < problem_.links.size(); ++l) {
+      groups_[owner_group_[l]].sub.links[local_index_[l]].excess_capacity =
+          problem_.links[l].excess_capacity;
+    }
+  }
+
+  void build_sub_problems() {
+    placements_.resize(problem_.connections.size());
+    std::vector<std::size_t> finite_count(groups_.size(), 0);
+    for (std::size_t c = 0; c < problem_.connections.size(); ++c) {
+      const auto& path = problem_.connections[c].path;
+      // Touched groups, in first-touch order (paths run along the corridor,
+      // so the set is contiguous either way).
+      std::vector<std::uint32_t> touched;
+      for (maxmin::LinkIndex l : path) {
+        const auto g = std::uint32_t(owner_group_[l]);
+        if (std::find(touched.begin(), touched.end(), g) == touched.end()) {
+          touched.push_back(g);
+        }
+      }
+      const bool cross = touched.size() > 1;
+      for (std::uint32_t g : touched) {
+        Group& group = groups_[g];
+        maxmin::ProblemConnection sub_conn;
+        for (maxmin::LinkIndex l : path) {
+          if (owner_group_[l] == g) sub_conn.path.push_back(local_index_[l]);
+        }
+        if (cross) sub_conn.demand = kUnconstrained;
+        const std::size_t local = group.sub.connections.size();
+        placements_[c].emplace_back(g, local);
+        if (cross) {
+          SubConn entry;
+          entry.global = c;
+          entry.local = local;
+          // The protocol appends one artificial link per finite-demand
+          // connection, in insertion order, after the problem's own links.
+          entry.entry = group.sub.links.size() + finite_count[g]++;
+          entry.real_links = sub_conn.path;
+          for (std::uint32_t p : touched) {
+            if (p != g) {
+              entry.peers.push_back(p);
+              entry.peer_offers.push_back(kUnconstrained);
+            }
+          }
+          group.by_global.insert(c, std::uint32_t(group.cross.size()));
+          group.cross.push_back(std::move(entry));
+        }
+        group.sub.connections.push_back(std::move(sub_conn));
+      }
+    }
+  }
+
+  [[nodiscard]] sim::Duration offer_latency(std::size_t a, std::size_t b) const {
+    const std::size_t hops = a > b ? a - b : b - a;
+    return sim::Duration::seconds(config_.hop_latency.to_seconds() *
+                                  double(hops == 0 ? 1 : hops));
+  }
+
+  // A capacity INCREASE on a footnote-11 entry link can be swallowed by the
+  // protocol's per-(link, connection) completion memory: the grower round the
+  // increase initiates is judged futile because an earlier attempt from the
+  // identical (advertised, recorded) state at that link really was — but the
+  // actual bottleneck has since moved to another link, whose own state never
+  // changed either, so nothing re-triggers. Within one protocol instance a
+  // bottleneck can only move when some link's state changes (which initiates
+  // from that link), so the memory is safe; cross-group offers break that
+  // assumption by changing entry capacities from outside.
+  //
+  // Detection: the group is quiescent (no control messages since the last
+  // gossip tick — rounds in flight send at least one packet per hop latency,
+  // which is shorter than the gossip period) while some cross-group
+  // connection sits strictly below every advertised rate on its local path,
+  // i.e. every link would let it grow yet no adaptation is pending. That
+  // state is unreachable for a live protocol, so it marks the stale-memory
+  // wedge; resynchronize() is the protocol's documented epoch-recovery hook
+  // that clears completion memory and re-initiates.
+  void maybe_unwedge(Group& group) {
+    const std::uint64_t sent = group.protocol->messages_sent();
+    const bool idle = group.last_messages == sent;
+    group.last_messages = sent;
+    if (!idle) return;
+    for (const SubConn& entry : group.cross) {
+      double bottleneck = group.protocol->advertised_rate(entry.entry);
+      for (maxmin::LinkIndex l : entry.real_links) {
+        bottleneck = std::min(bottleneck, group.protocol->advertised_rate(l));
+      }
+      if (group.protocol->rates()[entry.local] < bottleneck - kUnwedgeEpsilon) {
+        group.protocol->resynchronize();
+        return;
+      }
+    }
+  }
+
+  void gossip(std::size_t g) {
+    Group& group = groups_[g];
+    maybe_unwedge(group);
+    for (SubConn& entry : group.cross) {
+      double offer = kUnconstrained;
+      for (maxmin::LinkIndex l : entry.real_links) {
+        offer = std::min(offer, group.protocol->advertised_rate(l));
+      }
+      if (std::abs(offer - entry.last_sent) <= kOfferEpsilon) continue;
+      entry.last_sent = offer;
+      for (std::uint32_t peer : entry.peers) {
+        ++group.offers_sent;
+        runner_.transport(g).send(
+            fault::Channel(peer), offer_latency(g, peer),
+            [this, peer, conn = std::uint32_t(entry.global),
+             from = std::uint32_t(g), offer] {
+              on_offer(peer, conn, from, offer);
+            });
+      }
+    }
+  }
+
+  void on_offer(std::uint32_t g, std::uint32_t global_conn, std::uint32_t from,
+                double offer) {
+    Group& group = groups_[g];
+    const std::uint32_t* idx = group.by_global.find(global_conn);
+    assert(idx != nullptr);
+    SubConn& entry = group.cross[*idx];
+    for (std::size_t k = 0; k < entry.peers.size(); ++k) {
+      if (entry.peers[k] == from) {
+        entry.peer_offers[k] = offer;
+        break;
+      }
+    }
+    double cap = kUnconstrained;
+    for (double peer_offer : entry.peer_offers) cap = std::min(cap, peer_offer);
+    if (std::abs(cap - entry.applied_cap) <= kOfferEpsilon) return;
+    entry.applied_cap = cap;
+    group.protocol->set_link_excess_capacity(entry.entry, cap);
+  }
+
+  ShardedConvergenceConfig config_;
+  maxmin::Problem problem_;
+  std::vector<Group> groups_;
+  sim::ShardedRunner runner_;
+  std::vector<std::size_t> owner_group_;          // per global link
+  std::vector<maxmin::LinkIndex> local_index_;    // per global link
+  // Per global connection: its (group, local protocol index) placements.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> placements_;
+};
+
+}  // namespace
+
+ShardedConvergenceResult run_sharded_convergence(
+    const ShardedConvergenceConfig& config) {
+  ShardedMaxMin system(config);
+  return system.run();
+}
+
+}  // namespace imrm::fault

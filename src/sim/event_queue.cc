@@ -9,6 +9,15 @@ void EventQueue::release_slot(std::uint32_t slot) {
   slots_[slot].reset();       // release captured state eagerly
   SlotMeta& m = meta_[slot];
   ++m.generation;             // invalidate outstanding EventIds for this slot
+  if (m.generation == kRetiredGeneration) {
+    // Generation space exhausted: retire the slot instead of recycling it.
+    // Recycling once more would eventually wrap the generation to a value a
+    // long-held stale EventId still carries, and cancel() on that handle
+    // would kill whatever live event happened to occupy the slot. The leak
+    // is one 64-byte slot per 2^32 - 1 reuses — bounded and negligible.
+    ++retired_slots_;
+    return;
+  }
   m.link = free_head_;
   free_head_ = slot;
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <type_traits>
 #include <utility>
@@ -102,6 +103,23 @@ class EventQueue {
   /// Next FIFO tie-break sequence number (checkpoint save).
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
+  /// Slots permanently retired because their per-slot generation counter
+  /// saturated (see release_slot): each retired slot is excluded from the
+  /// free list forever so a wrapped generation can never let a stale EventId
+  /// alias a live event. Exposed for the wraparound regression test.
+  [[nodiscard]] std::size_t retired_slots() const { return retired_slots_; }
+
+  /// Test hook: fast-forwards the generation of the slot at the head of the
+  /// free list, as if it had been recycled `generation` times already. The
+  /// wraparound regression test uses this to reach the saturation point in
+  /// a few schedule/cancel cycles instead of 2^32 of them. Requires a free
+  /// slot (schedule + cancel at least once first). Never call from
+  /// production code.
+  void age_free_slot_for_test(std::uint32_t generation) {
+    assert(free_head_ != kNoSlot && "no free slot to age");
+    meta_[free_head_].generation = generation;
+  }
+
   /// Checkpoint restore: overwrite the lifetime statistics and the sequence
   /// counter. Called AFTER the restoring harness has re-armed its pending
   /// events (re-arming bumps scheduled/peak/seq; the saved values already
@@ -156,6 +174,12 @@ class EventQueue {
     std::uint32_t link = 0;
   };
 
+  // A slot whose generation reaches this value is retired, never recycled:
+  // one more reuse would wrap the 32-bit generation back to a value an old
+  // EventId may still carry, letting that stale handle cancel an unrelated
+  // live event. EventIds with the sentinel generation are never issued.
+  static constexpr std::uint32_t kRetiredGeneration = 0xffffffffu;
+
   std::uint32_t acquire_slot() {
     if (free_head_ != kNoSlot) {
       const std::uint32_t slot = free_head_;
@@ -177,6 +201,7 @@ class EventQueue {
   std::vector<Callback> slots_;
   std::vector<SlotMeta> meta_;  // parallel to slots_
   std::uint32_t free_head_ = kNoSlot;
+  std::size_t retired_slots_ = 0;
   std::uint64_t next_seq_ = 0;
   Stats stats_;
 };

@@ -33,18 +33,31 @@ void ReplicationRunner::run_indexed(std::size_t n,
     return;
   }
 
+  // Error protocol: the LOWEST failing replication index wins, regardless of
+  // which thread observes its failure first, and no new indices are claimed
+  // once any failure is recorded. Claims hand out a prefix [0, m) of the
+  // index space in order, so the lowest failing index in that prefix is
+  // always claimed before claiming stops — the reported error is therefore
+  // the same one a sequential run would hit, at any thread count. run()
+  // rethrows before its results vector escapes, so a failed sweep can never
+  // feed partially-filled replications into an aggregation fold.
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
+  std::atomic<std::size_t> error_index{n};  // n = no error yet
+  std::exception_ptr error;
   std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
+      if (error_index.load(std::memory_order_relaxed) != n) return;
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= n) return;
       try {
         body(index);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (index < error_index.load(std::memory_order_relaxed)) {
+          error = std::current_exception();
+          error_index.store(index, std::memory_order_relaxed);
+        }
       }
     }
   };
@@ -53,7 +66,7 @@ void ReplicationRunner::run_indexed(std::size_t n,
   pool.reserve(workers);
   for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace imrm::sim

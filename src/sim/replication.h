@@ -30,8 +30,11 @@ class ReplicationRunner {
   [[nodiscard]] std::size_t threads() const { return threads_; }
 
   /// Invokes body(index) for every index in [0, n), distributing indices
-  /// across the pool. Blocks until all complete. The first exception thrown
-  /// by a body is rethrown in the caller's thread after the pool drains.
+  /// across the pool. Blocks until all complete. On failure the exception of
+  /// the LOWEST failing index is rethrown in the caller's thread after the
+  /// pool drains — deterministically the error a sequential run would hit,
+  /// at any thread count — and workers stop claiming new indices as soon as
+  /// any failure is recorded.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body) const;
 
   /// Runs n replications of body(seed, index), returning results in index

@@ -1,0 +1,162 @@
+#include "sim/sharded_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace imrm::sim {
+
+ShardedRunner::ShardedRunner(const Config& config) : config_(config) {
+  assert(config_.domains >= 1 && "ShardedRunner needs at least one domain");
+  assert(config_.window > Duration::zero() && "window must be positive");
+  sims_.reserve(config_.domains);
+  transports_.reserve(config_.domains);
+  for (std::size_t d = 0; d < config_.domains; ++d) {
+    sims_.push_back(std::make_unique<Simulator>());
+    transports_.push_back(std::make_unique<BoundaryTransport>(*this, d));
+  }
+  outboxes_.resize(config_.domains);
+  inject_.resize(config_.domains);
+
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : hw;
+  }
+  worker_count_ = std::min(workers, config_.domains);
+  if (worker_count_ > 1) {
+    pool_.reserve(worker_count_);
+    for (std::size_t w = 0; w < worker_count_; ++w) {
+      pool_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+ShardedRunner::~ShardedRunner() {
+  if (!pool_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    round_cv_.notify_all();
+    for (std::thread& t : pool_) t.join();
+  }
+}
+
+void ShardedRunner::post(std::size_t from, std::size_t to, Duration latency,
+                         EventQueue::Callback deliver) {
+  assert(from < sims_.size() && to < sims_.size());
+  assert(latency >= config_.window &&
+         "cross-domain latency below the conservative window would let a "
+         "message land inside an already-executed round");
+  outboxes_[from].push_back(
+      Envelope{sims_[from]->now() + latency, to, std::move(deliver)});
+}
+
+std::uint64_t ShardedRunner::run_until(SimTime horizon) {
+  const std::uint64_t before = events_fired();
+  for (;;) {
+    // Inject messages posted during the previous round (or during setup, on
+    // the first iteration) before looking at queue heads: an injected
+    // message may well be the earliest pending event.
+    exchange();
+    SimTime min_next = SimTime::infinity();
+    for (const auto& sim : sims_) {
+      min_next = std::min(min_next, sim->next_event_time());
+    }
+    if (min_next == SimTime::infinity() || min_next > horizon) break;
+    // The earliest event anywhere is at min_next, so every event fired this
+    // round has time >= min_next and every message it posts delivers at
+    // >= min_next + window — strictly after the round. Idle stretches skip
+    // ahead in one hop. The target depends only on event times and the
+    // horizon, never on the worker count, so window boundaries are
+    // K-invariant.
+    SimTime target = min_next + config_.window;
+    if (target > horizon) target = horizon;
+    execute_window(target);
+    ++stats_.windows;
+  }
+  return events_fired() - before;
+}
+
+std::uint64_t ShardedRunner::events_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->events_fired();
+  return total;
+}
+
+void ShardedRunner::execute_window(SimTime target) {
+  if (worker_count_ <= 1) {
+    run_domains(0, target);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    round_target_ = target;
+    running_ = worker_count_;
+    ++round_;
+  }
+  round_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+void ShardedRunner::run_domains(std::size_t worker, SimTime target) {
+  // Contiguous block assignment keeps each worker's domains adjacent in
+  // memory; worker_count_ == 1 degenerates to "worker 0 owns everything".
+  const std::size_t d0 = worker * sims_.size() / worker_count_;
+  const std::size_t d1 = (worker + 1) * sims_.size() / worker_count_;
+  for (std::size_t d = d0; d < d1; ++d) sims_[d]->run_until(target);
+}
+
+void ShardedRunner::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime target;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      round_cv_.wait(lock, [&] { return shutdown_ || round_ != seen; });
+      if (shutdown_) return;
+      seen = round_;
+      target = round_target_;
+    }
+    run_domains(worker, target);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardedRunner::exchange() {
+  // Gather per destination. Visiting source outboxes in domain order means
+  // each destination's list starts out ordered by (source domain, posting
+  // serial); the stable sort by delivery time then yields the canonical
+  // (deliver time, source domain, serial) order. Every component is a
+  // partition-invariant property of the simulation, so the injection
+  // sequence — and with it the destination queue's FIFO tie-breaking — is
+  // identical for any worker count.
+  bool any = false;
+  for (std::size_t src = 0; src < outboxes_.size(); ++src) {
+    for (Envelope& e : outboxes_[src]) {
+      inject_[e.to].push_back(std::move(e));
+      any = true;
+    }
+    outboxes_[src].clear();
+  }
+  if (!any) return;
+  for (std::size_t dest = 0; dest < inject_.size(); ++dest) {
+    auto& pending = inject_[dest];
+    if (pending.empty()) continue;
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.deliver_time < b.deliver_time;
+                     });
+    for (Envelope& e : pending) {
+      sims_[dest]->at(e.deliver_time, std::move(e.callback));
+      ++stats_.boundary_messages;
+    }
+    pending.clear();
+  }
+}
+
+}  // namespace imrm::sim

@@ -1,0 +1,162 @@
+// Sharded conservative-window execution of multi-domain simulations
+// (ISSUE 5).
+//
+// The campus scenarios partition naturally by cell: every intra-cell event
+// (arrivals, departures, local admission) touches one cell's state only,
+// while cross-cell traffic (handoff signaling, max-min ADVERTISE/UPDATE,
+// admission probes) rides the corridor backbone and therefore pays at least
+// one control-plane hop of latency. ShardedRunner exploits that structure:
+// each *domain* (one cell, or one protocol segment) owns a private Simulator,
+// event queue, and whatever per-domain state the experiment hangs off it, and
+// K worker threads execute disjoint domain subsets in lockstep time windows
+// of width `window` — the classic conservative PDES scheme, with the minimum
+// cross-shard hop latency as the lookahead bound.
+//
+// Protocol per round:
+//  1. all domains run run_until(T + window), where T is the earliest pending
+//     event time across every domain (idle domains skip ahead for free);
+//  2. barrier: cross-domain messages posted during the round are gathered
+//     from per-source outboxes and injected into their destination queues.
+// A message posted while a domain executes an event at time t is delivered
+// at t + latency with latency >= window, hence strictly after the round's
+// window end: no domain can ever receive a message into its past, for any
+// worker count.
+//
+// Determinism across worker counts is a contract, not an accident:
+//  * the domain partition is fixed by the scenario (one cell = one domain);
+//    workers are only an execution vehicle, so changing K never changes
+//    which messages are "remote";
+//  * every cross-domain message goes through the outbox/barrier path — even
+//    when source and destination happen to run on the same worker — so the
+//    delivery schedule is identical at K = 1 and K = 8;
+//  * at each barrier, messages are injected per destination in the canonical
+//    order (deliver time, source domain, per-source serial), all of which
+//    are partition-invariant; FIFO sequence numbers in the destination queue
+//    then break equal-time ties identically for any K.
+// tests/sharded_runner_test.cc and the shard-labeled campus determinism
+// suite assert byte-identical metrics at K in {1, 2, 4, 8}.
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/transport.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace imrm::sim {
+
+class ShardedRunner {
+ public:
+  struct Config {
+    /// Number of simulation domains (cells / protocol segments). Fixed by
+    /// the scenario; determinism is per-domain, not per-worker.
+    std::size_t domains = 1;
+    /// Worker threads executing domains. 0 selects hardware concurrency;
+    /// clamped to `domains`. 1 runs inline with no thread pool.
+    std::size_t workers = 1;
+    /// Conservative window width; must be <= the smallest latency ever
+    /// passed to post(). For the campus this is the corridor hop latency.
+    Duration window = Duration::millis(1.0);
+  };
+
+  struct Stats {
+    std::uint64_t windows = 0;            ///< lockstep rounds executed
+    std::uint64_t boundary_messages = 0;  ///< cross-domain messages delivered
+  };
+
+  explicit ShardedRunner(const Config& config);
+  ~ShardedRunner();
+
+  ShardedRunner(const ShardedRunner&) = delete;
+  ShardedRunner& operator=(const ShardedRunner&) = delete;
+
+  [[nodiscard]] std::size_t domain_count() const { return sims_.size(); }
+  [[nodiscard]] Simulator& domain(std::size_t d) { return *sims_[d]; }
+  [[nodiscard]] const Simulator& domain(std::size_t d) const { return *sims_[d]; }
+
+  /// The boundary transport owned by domain `from`: a fault::Transport whose
+  /// Channel operand names the *destination domain*. Protocol code written
+  /// against Transport (max-min, signaling) shards without modification —
+  /// hand each domain's protocol instance its domain's transport.
+  [[nodiscard]] fault::Transport& transport(std::size_t from) {
+    return *transports_[from];
+  }
+
+  /// Posts a cross-domain message: `deliver` runs on domain `to`'s simulator
+  /// `latency` after domain `from`'s current time. `latency` must be >= the
+  /// configured window (asserted) — that bound is what lets whole windows
+  /// run without intermediate synchronization. Always buffered through the
+  /// barrier exchange, never scheduled directly, even for from == to; see
+  /// the determinism contract above.
+  void post(std::size_t from, std::size_t to, Duration latency,
+            EventQueue::Callback deliver);
+
+  /// Runs every domain to `horizon` in lockstep windows. Returns the total
+  /// number of events fired across all domains during this call. May be
+  /// called repeatedly with increasing horizons.
+  std::uint64_t run_until(SimTime horizon);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Sum of events fired across all domains (lifetime).
+  [[nodiscard]] std::uint64_t events_fired() const;
+
+ private:
+  struct Envelope {
+    SimTime deliver_time;
+    std::size_t to = 0;
+    EventQueue::Callback callback;
+  };
+
+  class BoundaryTransport final : public fault::Transport {
+   public:
+    BoundaryTransport(ShardedRunner& runner, std::size_t from)
+        : runner_(&runner), from_(from) {}
+    void send(fault::Channel channel, Duration latency,
+              EventQueue::Callback deliver) override {
+      runner_->post(from_, std::size_t(channel), latency, std::move(deliver));
+    }
+
+   private:
+    ShardedRunner* runner_;
+    std::size_t from_;
+  };
+
+  void execute_window(SimTime target);
+  void run_domains(std::size_t worker, SimTime target);
+  void exchange();
+  void worker_loop(std::size_t worker);
+
+  Config config_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::unique_ptr<BoundaryTransport>> transports_;
+  // Per-source-domain outboxes: while a round runs, outbox[d] is written
+  // only by the worker executing domain d, and the coordinator drains them
+  // only between rounds (under the round barrier), so no per-message lock.
+  std::vector<std::vector<Envelope>> outboxes_;
+  // Barrier-exchange scratch, per destination; reused across rounds.
+  std::vector<std::vector<Envelope>> inject_;
+  Stats stats_;
+
+  // Worker pool (only started when min(workers, domains) > 1). Contiguous
+  // block assignment: worker w owns domains [w * D / W, (w + 1) * D / W).
+  std::size_t worker_count_ = 1;
+  std::vector<std::thread> pool_;
+  std::mutex mutex_;
+  std::condition_variable round_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t round_ = 0;    // round generation; bump wakes workers
+  std::size_t running_ = 0;    // workers still executing the current round
+  SimTime round_target_;       // guarded by mutex_
+  bool shutdown_ = false;
+};
+
+}  // namespace imrm::sim

@@ -1,0 +1,155 @@
+// ShardedRunner: conservative-window correctness and worker-count
+// invariance at the engine level (the campus- and protocol-level suites are
+// sharded_campus_test.cc and sharded_convergence_test.cc).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/sharded_runner.h"
+#include "sim/time.h"
+
+namespace imrm::sim {
+namespace {
+
+TEST(ShardedRunner, DeliversCrossDomainMessagesAtTheRequestedTime) {
+  ShardedRunner::Config config{/*domains=*/2, /*workers=*/1,
+                               /*window=*/Duration::millis(10)};
+  ShardedRunner runner(config);
+  std::vector<double> delivered_at;
+  runner.domain(0).at(SimTime::millis(3), [&] {
+    runner.post(0, 1, Duration::millis(10), [&] {
+      delivered_at.push_back(runner.domain(1).now().to_millis());
+    });
+  });
+  runner.run_until(SimTime::seconds(1.0));
+  ASSERT_EQ(delivered_at.size(), 1u);
+  EXPECT_DOUBLE_EQ(delivered_at[0], 13.0);
+}
+
+TEST(ShardedRunner, SetupTimePostsAreDeliveredBeforeTheFirstWindow) {
+  ShardedRunner::Config config{2, 1, Duration::millis(5)};
+  ShardedRunner runner(config);
+  bool delivered = false;
+  runner.post(0, 1, Duration::millis(5), [&] { delivered = true; });
+  runner.run_until(SimTime::seconds(1.0));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(runner.stats().boundary_messages, 1u);
+}
+
+TEST(ShardedRunner, TransportChannelAddressesTheDestinationDomain) {
+  ShardedRunner::Config config{3, 1, Duration::millis(1)};
+  ShardedRunner runner(config);
+  int hits = 0;
+  runner.domain(0).at(SimTime::millis(1), [&] {
+    runner.transport(0).send(fault::Channel(2), Duration::millis(1),
+                             [&] { ++hits; });
+  });
+  runner.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(hits, 1);
+}
+
+// Ping-pong between two domains: each delivery re-posts to the other side.
+// Checks multi-round exchange, event accounting, and window counting.
+TEST(ShardedRunner, PingPongAcrossWindows) {
+  ShardedRunner::Config config{2, 2, Duration::millis(1)};
+  ShardedRunner runner(config);
+  int bounces = 0;
+  // Self-referential bounce: rebuild the callback each hop.
+  struct Bouncer {
+    ShardedRunner* runner;
+    int* bounces;
+    void bounce(std::size_t at) const {
+      ++*bounces;
+      if (*bounces >= 20) return;
+      const std::size_t to = 1 - at;
+      Bouncer self = *this;
+      runner->post(at, to, Duration::millis(1), [self, to] { self.bounce(to); });
+    }
+  };
+  Bouncer bouncer{&runner, &bounces};
+  runner.post(0, 1, Duration::millis(1), [bouncer] { bouncer.bounce(1); });
+  const std::uint64_t fired = runner.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(bounces, 20);
+  EXPECT_EQ(fired, 20u);
+  EXPECT_EQ(runner.stats().boundary_messages, 20u);
+  EXPECT_GE(runner.stats().windows, 20u);
+}
+
+// The determinism contract: a mesh of domains that exchange messages with
+// equal delivery times must produce an identical global event order at any
+// worker count. Each domain appends (domain, time, payload) to its own log;
+// the concatenated logs are compared across worker counts.
+TEST(ShardedRunner, ExecutionIsInvariantAcrossWorkerCounts) {
+  const auto run = [](std::size_t workers) {
+    ShardedRunner::Config config{/*domains=*/5, workers, Duration::millis(2)};
+    ShardedRunner runner(config);
+    std::vector<std::vector<std::string>> logs(5);
+    struct Node {
+      ShardedRunner* runner;
+      std::vector<std::vector<std::string>>* logs;
+      void receive(std::size_t at, std::size_t from, int hop) const {
+        (*logs)[at].push_back(std::to_string(from) + ">" + std::to_string(at) +
+                              "@" + std::to_string(runner->domain(at).now().to_millis()) +
+                              "#" + std::to_string(hop));
+        if (hop >= 6) return;
+        Node self = *this;
+        // Fan out to every other domain with IDENTICAL delivery times —
+        // worst case for tie-breaking.
+        for (std::size_t to = 0; to < 5; ++to) {
+          if (to == at) continue;
+          runner->post(at, to, Duration::millis(2), [self, to, at, hop] {
+            self.receive(to, at, hop + 1);
+          });
+        }
+      }
+    };
+    Node node{&runner, &logs};
+    for (std::size_t d = 0; d < 5; ++d) {
+      runner.post(d, (d + 1) % 5, Duration::millis(2),
+                  [node, d] { node.receive((d + 1) % 5, d, 0); });
+    }
+    runner.run_until(SimTime::millis(14.5));
+    std::vector<std::string> flat;
+    for (const auto& log : logs) {
+      flat.insert(flat.end(), log.begin(), log.end());
+    }
+    return flat;
+  };
+
+  const std::vector<std::string> at1 = run(1);
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(run(2), at1);
+  EXPECT_EQ(run(4), at1);
+  EXPECT_EQ(run(8), at1);
+}
+
+TEST(ShardedRunner, RepeatedRunUntilCarriesLeftoverMessages) {
+  ShardedRunner::Config config{2, 1, Duration::millis(10)};
+  ShardedRunner runner(config);
+  bool delivered = false;
+  runner.domain(0).at(SimTime::millis(95), [&] {
+    runner.post(0, 1, Duration::millis(10), [&] { delivered = true; });
+  });
+  runner.run_until(SimTime::millis(100));
+  EXPECT_FALSE(delivered) << "delivery at 105ms must not fire by 100ms";
+  runner.run_until(SimTime::millis(200));
+  EXPECT_TRUE(delivered);
+}
+
+TEST(ShardedRunner, IdleDomainsSkipAheadCheaply) {
+  // Two events a minute apart with a 1ms window: the runner must not grind
+  // through 60000 empty windows.
+  ShardedRunner::Config config{2, 1, Duration::millis(1)};
+  ShardedRunner runner(config);
+  int fired = 0;
+  runner.domain(0).at(SimTime::seconds(0.5), [&] { ++fired; });
+  runner.domain(1).at(SimTime::seconds(60.0), [&] { ++fired; });
+  runner.run_until(SimTime::seconds(120.0));
+  EXPECT_EQ(fired, 2);
+  EXPECT_LE(runner.stats().windows, 4u);
+}
+
+}  // namespace
+}  // namespace imrm::sim

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""End-to-end contract for the sharded campus execution (ISSUE 5).
+
+Runs the sharded campus scenario through scenario_cli at shard counts
+1, 2, 4, and 8 with identical scenario flags and requires:
+
+  * identical stdout summary lines (events, windows, boundary messages,
+    and all scenario counts), and
+  * byte-identical md5 over the report's "metrics" object.
+
+Only the "metrics" object is hashed: the surrounding report carries
+wall-clock fields (wall_seconds) that measure the host, not the simulation.
+
+Usage: check_shard_determinism.py <path-to-scenario_cli>
+"""
+import hashlib
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SHARDS = [1, 2, 4, 8]
+FLAGS = ["campus", "--cells", "12", "--portables", "4", "--hours", "1",
+         "--seed", "9"]
+
+
+def run(cli, shards, metrics_path):
+    cmd = [cli] + FLAGS + ["--shards", str(shards),
+                           "--metrics-json", str(metrics_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        print(f"FAIL: --shards {shards} exited {proc.returncode}")
+        print(proc.stderr)
+        sys.exit(1)
+    return proc.stdout
+
+
+def metrics_md5(path):
+    report = json.loads(Path(path).read_text())
+    metrics = report.get("metrics")
+    if metrics is None:
+        print(f"FAIL: {path} has no metrics object")
+        sys.exit(1)
+    canonical = json.dumps(metrics, sort_keys=True)
+    return hashlib.md5(canonical.encode()).hexdigest()
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_shard_determinism.py <scenario_cli>",
+              file=sys.stderr)
+        return 2
+    cli = sys.argv[1]
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        golden_line = golden_md5 = None
+        for shards in SHARDS:
+            metrics_path = tmp / f"shards{shards}.json"
+            line = run(cli, shards, metrics_path)
+            digest = metrics_md5(metrics_path)
+            print(f"shards={shards} md5={digest}")
+            if golden_line is None:
+                golden_line, golden_md5 = line, digest
+                continue
+            # The summary line prints shards=K; compare everything else.
+            strip = lambda s: " ".join(
+                tok for tok in s.split() if not tok.startswith("shards="))
+            if strip(line) != strip(golden_line):
+                print(f"FAIL: stdout at shards={shards} differs from shards=1")
+                print(f"  shards=1: {golden_line.strip()}")
+                print(f"  shards={shards}: {line.strip()}")
+                ok = False
+            if digest != golden_md5:
+                print(f"FAIL: metrics md5 at shards={shards} differs "
+                      f"({digest} != {golden_md5})")
+                ok = False
+    print("OK: metrics byte-identical across shard counts" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,13 @@
 # already exposes. Each sanitizer gets its own build tree so the
 # instrumented objects never mix with the regular build (or each other).
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|all]   (default: all)
+# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|all]   (default: all)
 #        checkpoint = asan+ubsan over the `checkpoint`-labelled tests only —
 #        the serialization/restore code paths (fast: one instrumented tree,
 #        a handful of tests).
+#        shard = tsan over the `shard`-labelled tests only — the ShardedRunner
+#        worker pool and everything that runs on it (the suite whose data
+#        races tsan can actually see).
 # Env:   CMAKE_ARGS  extra configure flags (e.g. -DCMAKE_CXX_COMPILER=clang++)
 #        CTEST_ARGS  extra ctest flags (e.g. -R fault)
 #
@@ -40,12 +43,13 @@ case "$which" in
   asan) run_one asan "address;undefined" ;;
   tsan) run_one tsan "thread" ;;
   checkpoint) run_one asan-checkpoint "address;undefined" "-L checkpoint" ;;
+  shard) run_one tsan-shard "thread" "-L shard" ;;
   all)
     run_one asan "address;undefined"
     run_one tsan "thread"
     ;;
   *)
-    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|all]" >&2
+    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|all]" >&2
     exit 2
     ;;
 esac

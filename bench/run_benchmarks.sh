@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite plus instrumented scenario_cli campus runs
 # (clean and with admission-signaling faults) and writes a machine-readable
-# perf trajectory file (default BENCH_5.json at the repo root) so later PRs
+# perf trajectory file (default BENCH_6.json at the repo root) so later PRs
 # have a baseline to beat. Schema:
 # { "<benchmark name>": { "items_per_second": <double|null>,
 #   "real_time_ns": <double> }, ...,
@@ -33,6 +33,18 @@
 # per-shard metrics is asserted here too (the cheap end-to-end determinism
 # check; the thorough one is ctest -L shard).
 #
+# campus_scale (ISSUE 6) sweeps the grid campus harness over
+# {10,100,1000} cells x {1k,10k,100k} portables and records events/s and
+# bytes-per-portable per point, plus the naive (pre-SoA access pattern)
+# engine at 100x10k for the layout speedup on this host.
+#
+# Comparability across BENCH files (ISSUE 6 S1): earlier trajectories mixed
+# campus configs (e.g. 20 vs 40 attendees), so the events/s series looked
+# like a regression that was actually a workload change. Every scenario_cli/*
+# entry now carries `host_cpus` and the `config` fingerprint echoed by the
+# CLI; the measured workloads below are PINNED — change them only together
+# with a schema note, never silently.
+#
 # Usage: bench/run_benchmarks.sh [output.json]
 # Env:   BUILD_DIR   build directory relative to the repo root (default: build)
 #        BENCH_ARGS  extra flags for bench_microperf (e.g. --benchmark_filter=...)
@@ -40,7 +52,12 @@ set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-build}
-out=${1:-"$repo_root/BENCH_5.json"}
+out=${1:-"$repo_root/BENCH_6.json"}
+
+# The pinned measured workloads (S1). BENCH_4/BENCH_5 measured the campus
+# day at these flags; keep them bit-for-bit stable across bench revisions.
+campus_flags=(--attendees 20 --squatters 6 --seed 5)
+scale_flags=(--duration 3600 --tick 5 --seed 5)
 
 cmake --build "$repo_root/$build_dir" --target bench_microperf scenario_cli -j >/dev/null
 
@@ -56,13 +73,13 @@ trap 'rm -f "$raw" "$report" "$faulted_report" "$sweep_cold" "$sweep_forked"' EX
 # One instrumented campus day: the run report carries sim throughput and the
 # wall-clock handoff latency histogram (mobility.handoff_wall_us).
 "$repo_root/$build_dir/examples/scenario_cli" campus \
-  --attendees 20 --squatters 6 --seed 5 --metrics-json "$report" >/dev/null
+  "${campus_flags[@]}" --metrics-json "$report" >/dev/null
 
 # The same day with a lossy admission-control plane: every admit probe rides
 # an UnreliableCall (20% per-direction drop, 3 tries). Throughput relative to
 # the clean run is the cost of the fault path.
 "$repo_root/$build_dir/examples/scenario_cli" campus \
-  --attendees 20 --squatters 6 --seed 5 --faults 0.2 \
+  "${campus_flags[@]}" --faults 0.2 \
   --metrics-json "$faulted_report" >/dev/null
 
 # Warm-checkpoint forking (ISSUE 4): the same 8-variant faults sweep, cold
@@ -87,6 +104,19 @@ for k in 1 2 4 8; do
     --metrics-json "$shard_dir/shards$k.json" >/dev/null
 done
 
+# Campus-at-scale curve (ISSUE 6): events/s and bytes/portable over the
+# 3x3 grid, plus the naive engine at the 100x10k comparison point.
+for c in 10 100 1000; do
+  for p in 1000 10000 100000; do
+    "$repo_root/$build_dir/examples/scenario_cli" campus-scale \
+      --cells "$c" --portables "$p" "${scale_flags[@]}" \
+      --metrics-json "$shard_dir/scale_${c}x${p}.json" >/dev/null
+  done
+done
+"$repo_root/$build_dir/examples/scenario_cli" campus-scale \
+  --cells 100 --portables 10000 "${scale_flags[@]}" --engine naive \
+  --metrics-json "$shard_dir/scale_naive.json" >/dev/null
+
 python3 - "$raw" "$report" "$faulted_report" "$sweep_cold" "$sweep_forked" "$shard_dir" "$out" <<'PYEOF'
 import json
 import os
@@ -107,22 +137,32 @@ for bench in raw["benchmarks"]:
         "real_time_ns": bench["real_time"] * scale,
     }
 
+def entry(report, **fields):
+    """Every scenario_cli/* entry carries the host size and the exact config
+    the CLI echoed (S1): trajectories across BENCH files are only comparable
+    when both match."""
+    out = {"host_cpus": os.cpu_count(), "config": report["config"]}
+    out.update(fields)
+    return out
+
 with open(sys.argv[2]) as f:
     report = json.load(f)
 handoff = report["metrics"]["histograms"].get("mobility.handoff_wall_us", {})
-trajectory["scenario_cli/campus"] = {
-    "events_per_second": report["events_per_second"],
-    "handoff_wall_us_p50": handoff.get("p50"),
-    "handoff_wall_us_p99": handoff.get("p99"),
-}
+trajectory["scenario_cli/campus"] = entry(
+    report,
+    events_per_second=report["events_per_second"],
+    handoff_wall_us_p50=handoff.get("p50"),
+    handoff_wall_us_p99=handoff.get("p99"),
+)
 
 with open(sys.argv[3]) as f:
     faulted = json.load(f)
-trajectory["scenario_cli/campus_faulted"] = {
-    "events_per_second": faulted["events_per_second"],
-    "faulted_vs_clean_ratio":
-        faulted["events_per_second"] / report["events_per_second"],
-}
+trajectory["scenario_cli/campus_faulted"] = entry(
+    faulted,
+    events_per_second=faulted["events_per_second"],
+    faulted_vs_clean_ratio=(
+        faulted["events_per_second"] / report["events_per_second"]),
+)
 
 with open(sys.argv[4]) as f:
     sweep_cold = json.load(f)
@@ -130,11 +170,12 @@ with open(sys.argv[5]) as f:
     sweep_forked = json.load(f)
 if sweep_cold["metrics"] != sweep_forked["metrics"]:
     sys.exit("faults sweep: forked metrics differ from cold metrics")
-trajectory["scenario_cli/faults_sweep_fork"] = {
-    "cold_wall_seconds": sweep_cold["wall_seconds"],
-    "forked_wall_seconds": sweep_forked["wall_seconds"],
-    "fork_speedup": sweep_cold["wall_seconds"] / sweep_forked["wall_seconds"],
-}
+trajectory["scenario_cli/faults_sweep_fork"] = entry(
+    sweep_cold,
+    cold_wall_seconds=sweep_cold["wall_seconds"],
+    forked_wall_seconds=sweep_forked["wall_seconds"],
+    fork_speedup=sweep_cold["wall_seconds"] / sweep_forked["wall_seconds"],
+)
 
 shard_dir = sys.argv[6]
 sharded = {}
@@ -148,11 +189,38 @@ for k in (1, 2, 4, 8):
 for k in (2, 4, 8):
     if shard_metrics[k] != shard_metrics[1]:
         sys.exit(f"sharded campus: metrics at shards={k} differ from shards=1")
-trajectory["scenario_cli/campus_sharded"] = {
+trajectory["scenario_cli/campus_sharded"] = entry(
+    shard_report,
+    events_fired=events_fired,
+    events_per_second=sharded,
+    speedup_4x=sharded["4"] / sharded["1"],
+)
+
+# Campus-at-scale curve (ISSUE 6): 3x3 grid of events/s and bytes/portable,
+# plus the SoA-vs-naive layout speedup at the 100x10k point.
+grid = {}
+scale_config = None
+for c in (10, 100, 1000):
+    for p in (1000, 10000, 100000):
+        with open(f"{shard_dir}/scale_{c}x{p}.json") as f:
+            scale_report = json.load(f)
+        gauges = scale_report["metrics"]["gauges"]
+        grid[f"{c}x{p}"] = {
+            "events_per_second": scale_report["events_per_second"],
+            "events_fired": scale_report["events_fired"],
+            "bytes_per_portable": gauges["scale.bytes_per_portable"]["value"],
+        }
+        scale_config = scale_report["config"]
+with open(f"{shard_dir}/scale_naive.json") as f:
+    naive_report = json.load(f)
+soa_100x10k = grid["100x10000"]["events_per_second"]
+trajectory["scenario_cli/campus_scale"] = {
     "host_cpus": os.cpu_count(),
-    "events_fired": events_fired,
-    "events_per_second": sharded,
-    "speedup_4x": sharded["4"] / sharded["1"],
+    "config": scale_config,
+    "grid": grid,
+    "naive_events_per_second_100x10000": naive_report["events_per_second"],
+    "soa_vs_naive_speedup_100x10000":
+        soa_100x10k / naive_report["events_per_second"],
 }
 
 with open(sys.argv[7], "w") as f:

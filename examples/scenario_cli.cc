@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "experiments/campus_day.h"
+#include "experiments/campus_scale.h"
 #include "experiments/classroom.h"
 #include "experiments/sharded_campus.h"
 #include "experiments/fig4_mobility.h"
@@ -638,6 +639,53 @@ int run_faults_cmd(const Flags& flags, ObsSession& obs) {
   return obs.finish("faults-sweep", r.metrics);
 }
 
+int run_campus_scale_cmd(const Flags& flags, ObsSession& obs) {
+  CampusScaleConfig config;
+  std::size_t cells = 0, portables = 0, seed = 0;
+  double duration = 0.0, tick = 0.0;
+  if (!parse_count(flags, "cells", 100, cells)) return 2;
+  if (!parse_count(flags, "portables", 1000, portables)) return 2;
+  if (!parse_count(flags, "seed", 5, seed)) return 2;
+  if (!parse_number(flags, "duration", 3600.0, duration)) return 2;
+  if (!parse_number(flags, "tick", 5.0, tick)) return 2;
+  if (cells < 2) {
+    std::cerr << "scenario_cli: --cells must be at least 2\n";
+    return 2;
+  }
+  if (tick <= 0.0 || duration <= 0.0) {
+    std::cerr << "scenario_cli: --duration and --tick must be positive\n";
+    return 2;
+  }
+  const std::string engine = flags.text("engine", "soa");
+  if (engine == "soa") config.engine = ScaleEngine::kSoa;
+  else if (engine == "naive") config.engine = ScaleEngine::kNaive;
+  else {
+    std::cerr << "scenario_cli: invalid --engine value '" << engine
+              << "' (expected soa or naive)\n";
+    return 2;
+  }
+  config.cells = cells;
+  config.portables = portables;
+  config.seed = std::uint64_t(seed);
+  config.duration = sim::Duration::seconds(duration);
+  config.tick = sim::Duration::seconds(tick);
+  config.metrics = obs.registry_or_null();
+  obs.config_echo("cells", fmt_count(double(cells)));
+  obs.config_echo("portables", fmt_count(double(portables)));
+  obs.config_echo("duration", stats::fmt(duration, 1));
+  obs.config_echo("tick", stats::fmt(tick, 2));
+  obs.config_echo("seed", fmt_count(double(seed)));
+  obs.config_echo("engine", engine);
+
+  const CampusScaleResult r = run_campus_scale(config);
+  std::cout << "engine=" << engine << " cells=" << cells << " portables=" << portables
+            << " events=" << r.events << " handoffs=" << r.handoffs
+            << " admits=" << r.handoff_admitted << " drops=" << r.handoff_dropped
+            << " blocked=" << r.new_blocked << " departed=" << r.departures
+            << " bytes/portable=" << stats::fmt(r.bytes_per_portable, 1) << '\n';
+  return obs.finish("campus_scale", obs.registry.snapshot());
+}
+
 void usage() {
   std::cout <<
       "usage: scenario_cli [<command>] [--flag value ...]\n"
@@ -653,6 +701,9 @@ void usage() {
       "  campus --shards K   sharded multi-cell corridor (K worker threads;\n"
       "             --cells N --portables P --hours H --hop-ms T --seed S;\n"
       "             metrics are byte-identical for any K)\n"
+      "  campus-scale --cells N --portables M --duration S --tick T --seed S\n"
+      "             --engine soa|naive   (grid campus scaling harness; reports\n"
+      "             events/s and bytes-per-portable at up to 1000x100k)\n"
       "  faults     --topology twocell|campus --drop P --flaps F --crashes C\n"
       "             --stop T --horizon H --replications R --threads W --seed S\n"
       "             (convergence-under-faults harness: lossy control plane +\n"
@@ -691,6 +742,7 @@ int main(int argc, char** argv) {
   if (command == "fig4") return run_fig4_cmd(flags, obs);
   if (command == "maxmin") return run_maxmin_cmd(flags, obs);
   if (command == "campus") return run_campus_cmd(flags, obs);
+  if (command == "campus-scale") return run_campus_scale_cmd(flags, obs);
   if (command == "faults") return run_faults_cmd(flags, obs);
   usage();
   return 2;

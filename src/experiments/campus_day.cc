@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mobility/floorplan.h"
@@ -13,6 +13,7 @@
 #include "prediction/predictor.h"
 #include "profiles/profile_server.h"
 #include "reservation/dispatcher.h"
+#include "sim/flat_map.h"
 #include "sim/random.h"
 #include "sim/replication.h"
 #include "sim/simulator.h"
@@ -198,7 +199,7 @@ class CampusDay {
       case EventKind::kAttendeeAppear:
         if (probe_signaling() &&
             directory_.at(far_corridor_).admit_new(e.portable, e.bandwidth)) {
-          demand_[e.portable] = e.bandwidth;
+          demand_[e.portable.value()] = e.bandwidth;
         }
         refresh();
         break;
@@ -238,8 +239,8 @@ class CampusDay {
     e.directory = &directory_;
     e.profiles = &server_;
     e.demand = [this](PortableId p) {
-      const auto it = demand_.find(p);
-      return it == demand_.end() ? 0.0 : it->second;
+      const qos::BitsPerSecond* b = demand_.find(p.value());
+      return b == nullptr ? 0.0 : *b;
     };
     e.classify = [this](PortableId p) { return manager_.classify(p); };
     e.portables_in = [this](CellId c) { return manager_.portables_in(c); };
@@ -282,19 +283,20 @@ class CampusDay {
   void do_handoff(PortableId p, CellId to, bool is_attendee) {
     const CellId from = manager_.portable(p).current_cell;
     if (from == to || !map_.cell(from).is_neighbor(to)) return;
-    const auto it = demand_.find(p);
-    const bool connected = it != demand_.end();
+    const qos::BitsPerSecond* d = demand_.find(p.value());
+    const bool connected = d != nullptr;
+    const qos::BitsPerSecond bandwidth = connected ? *d : 0.0;
     if (connected) directory_.at(from).release(p);
     manager_.move(p, to);
     ++result_.handoffs;
     if (connected &&
-        !(probe_signaling() && directory_.at(to).admit_handoff(p, it->second))) {
+        !(probe_signaling() && directory_.at(to).admit_handoff(p, bandwidth))) {
       if (is_attendee) {
         ++result_.attendee_drops;
       } else {
         ++result_.other_drops;
       }
-      demand_.erase(it);
+      demand_.erase(p.value());
     }
     refresh();
   }
@@ -360,10 +362,10 @@ class CampusDay {
   /// A squatter repeatedly tries to open a bulk connection; once admitted it
   /// holds it for the rest of the day (the adversarial case for the meeting).
   void squat(PortableId p) {
-    if (demand_.contains(p)) return;
+    if (demand_.contains(p.value())) return;
     if (probe_signaling() &&
         directory_.at(room_).admit_new(p, config_.squatter_bandwidth)) {
-      demand_[p] = config_.squatter_bandwidth;
+      demand_[p.value()] = config_.squatter_bandwidth;
       ++result_.squatter_admits;
     } else {
       ++result_.squatter_blocks;
@@ -418,14 +420,16 @@ class CampusDay {
     w.boolean(probe_.has_value());
     if (probe_) probe_->save_state(w);
 
-    std::vector<PortableId> demand_ids;
-    demand_ids.reserve(demand_.size());
-    for (const auto& [p, b] : demand_) demand_ids.push_back(p);
-    std::sort(demand_ids.begin(), demand_ids.end());
-    w.u64(demand_ids.size());
-    for (const PortableId p : demand_ids) {
-      w.u32(p.value());
-      w.f64(demand_.at(p));
+    std::vector<std::pair<std::uint32_t, qos::BitsPerSecond>> demand_entries;
+    demand_entries.reserve(demand_.size());
+    demand_.for_each([&demand_entries](std::uint32_t p, qos::BitsPerSecond b) {
+      demand_entries.emplace_back(p, b);
+    });
+    std::sort(demand_entries.begin(), demand_entries.end());
+    w.u64(demand_entries.size());
+    for (const auto& [p, b] : demand_entries) {
+      w.u32(p);
+      w.f64(b);
     }
 
     w.u64(result_.attendee_drops);
@@ -472,7 +476,7 @@ class CampusDay {
 
     demand_.clear();
     for (std::uint64_t n = r.u64(); n-- > 0;) {
-      const PortableId p{r.u32()};
+      const std::uint32_t p = r.u32();
       demand_[p] = r.f64();
     }
 
@@ -519,7 +523,7 @@ class CampusDay {
   profiles::ProfileServer server_;
   prediction::ThreeLevelPredictor predictor_;
   reservation::ReservationDirectory directory_;
-  std::unordered_map<PortableId, qos::BitsPerSecond> demand_;
+  sim::FlatMap<std::uint32_t, qos::BitsPerSecond> demand_;
   std::unique_ptr<reservation::AdvanceReservationPolicy> policy_;
   sim::Rng rng_;
   CellId room_, corridor_, far_corridor_;

@@ -1,0 +1,551 @@
+#include "experiments/campus_scale.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "prediction/cell_classifier.h"
+#include "prediction/predictor.h"
+#include "profiles/profile_server.h"
+#include "reservation/directory.h"
+#include "sim/random.h"
+#include "workload/class_schedule.h"
+#include "workload/connection_mix.h"
+
+namespace imrm::experiments {
+
+namespace {
+
+using net::CellId;
+using net::PortableId;
+
+constexpr std::uint32_t kNoCell = CellId::invalid().value();
+
+std::size_t grid_side(std::size_t cells) {
+  std::size_t side = std::size_t(std::ceil(std::sqrt(double(cells))));
+  return std::max<std::size_t>(side, 1);
+}
+
+/// One attendee's day, laid out as a fixed stride-4 slice of the shared
+/// milestone arena: appear, enter room, leave room, depart.
+struct Milestone {
+  double time = 0.0;
+  enum Kind : std::uint8_t { kAppear, kEnter, kLeave, kDepart } kind = kAppear;
+};
+constexpr std::size_t kMilestonesPerPortable = 4;
+
+struct Mover {
+  std::uint32_t to;
+  std::uint32_t portable;
+  std::uint32_t from;
+  bool operator<(const Mover& o) const {
+    return to != o.to ? to < o.to : portable < o.portable;
+  }
+};
+
+class ScaleSim {
+ public:
+  explicit ScaleSim(const CampusScaleConfig& config)
+      : cfg_(config),
+        map_(scale_grid_floorplan(config.cells)),
+        side_(grid_side(config.cells)),
+        server_(net::ZoneId{0}),
+        predictor_(map_, server_) {
+    for (const mobility::Cell& cell : map_.cells()) {
+      directory_.add_cell(cell.id, cfg_.cell_capacity_bps);
+    }
+    if (cfg_.metrics) directory_.bind_metrics(*cfg_.metrics);
+
+    obs_slot_.assign(map_.size(), -1);
+    for (CellId room : map_.cells_of_class(mobility::CellClass::kMeetingRoom)) {
+      obs_slot_[room.value()] = int(room_obs_.size());
+      room_obs_.emplace_back();
+    }
+
+    const std::size_t n = cfg_.portables;
+    home_.assign(n, kNoCell);
+    room_.assign(n, kNoCell);
+    current_.assign(n, kNoCell);
+    prev_.assign(n, kNoCell);
+    target_.assign(n, kNoCell);
+    demand_.assign(n, 0.0);
+    connected_.assign(n, 0);
+    alive_.assign(n, 0);
+    cursor_.assign(n, 0);
+    last_reserved_.assign(n, kNoCell);
+    arena_.assign(n * kMilestonesPerPortable, Milestone{});
+    occupancy_.assign(map_.size(), 0);
+
+    const double tick_s = std::max(cfg_.tick.to_seconds(), 1e-3);
+    n_ticks_ = std::size_t(cfg_.duration.to_seconds() / tick_s) + 1;
+    buckets_.resize(n_ticks_);
+
+    generate_workload();
+  }
+
+  CampusScaleResult run() {
+    for (std::size_t t = 0; t < n_ticks_; ++t) run_tick(t);
+    // End-of-sim flush: force the remaining milestones (ascending portable
+    // id, deterministic) so every portable departs — connections released,
+    // classifier eviction executed — even when clamped times land on the
+    // final tick.
+    const double end = cfg_.duration.to_seconds();
+    const sim::SimTime end_t = sim::SimTime::seconds(end);
+    for (std::uint32_t p = 0; p < cfg_.portables; ++p) {
+      if (alive_[p] != 2) fire_milestones(p, end, end_t);
+    }
+    return finish();
+  }
+
+ private:
+  // --- workload generation (engine-independent, so kNaive and kSoa see the
+  // --- exact same milestone arena and demands) ----------------------------
+  void generate_workload() {
+    sim::Rng rng(cfg_.seed);
+    const workload::ConnectionMix mix = workload::paper_fig5_mix();
+
+    std::vector<CellId> offices = map_.cells_of_class(mobility::CellClass::kOffice);
+    std::vector<CellId> rooms = map_.cells_of_class(mobility::CellClass::kMeetingRoom);
+    if (offices.empty()) offices = map_.cells_of_class(mobility::CellClass::kCorridor);
+    assert(!offices.empty() && !rooms.empty());
+
+    // Class periods: 25-minute classes every 40 minutes, first at t=10min;
+    // short runs get one period in the middle of the window.
+    const double dur = cfg_.duration.to_seconds();
+    std::vector<std::pair<double, double>> periods;
+    for (double start = 600.0; start + 2100.0 <= dur; start += 2400.0) {
+      periods.emplace_back(start, start + 1500.0);
+    }
+    if (periods.empty()) periods.emplace_back(0.30 * dur, 0.60 * dur);
+
+    // Assign each portable a home office, a meeting room, and one class
+    // period; group attendees per (room, period) so one class workload draw
+    // covers the whole group.
+    const std::size_t groups = rooms.size() * periods.size();
+    std::vector<std::vector<std::uint32_t>> group_members(groups);
+    for (std::uint32_t p = 0; p < cfg_.portables; ++p) {
+      home_[p] = offices[p % offices.size()].value();
+      const std::size_t ri = p % rooms.size();
+      const std::size_t pi = (p / rooms.size()) % periods.size();
+      room_[p] = rooms[ri].value();
+      group_members[ri * periods.size() + pi].push_back(p);
+    }
+
+    for (std::size_t ri = 0; ri < rooms.size(); ++ri) {
+      for (std::size_t pi = 0; pi < periods.size(); ++pi) {
+        const std::vector<std::uint32_t>& members =
+            group_members[ri * periods.size() + pi];
+        if (members.empty()) continue;
+        profiles::Meeting meeting;
+        meeting.start = sim::SimTime::seconds(periods[pi].first);
+        meeting.stop = sim::SimTime::seconds(periods[pi].second);
+        meeting.attendees = members.size();
+        server_.calendar(rooms[ri]).book(meeting);
+
+        workload::ClassScheduleConfig schedule;
+        schedule.meeting = meeting;
+        schedule.passby_per_minute = 0.0;  // pass-by walkers not modeled here
+        const workload::ClassWorkload plan =
+            workload::generate_class_workload(schedule, rng);
+        assert(plan.attendees.size() == members.size());
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          const std::uint32_t p = members[j];
+          const workload::AttendeePlan& a = plan.attendees[j];
+          Milestone* m = &arena_[p * kMilestonesPerPortable];
+          m[0] = {clamp_time(a.arrive_corridor), Milestone::kAppear};
+          m[1] = {clamp_time(a.enter_room), Milestone::kEnter};
+          m[2] = {clamp_time(a.leave_room), Milestone::kLeave};
+          m[3] = {clamp_time(a.depart), Milestone::kDepart};
+          demand_[p] = mix.sample(rng);
+          schedule_at(p, m[0].time, /*after_tick=*/0);
+        }
+      }
+    }
+  }
+
+  double clamp_time(sim::SimTime t) const {
+    return std::clamp(t.to_seconds(), 0.0, cfg_.duration.to_seconds());
+  }
+
+  void schedule_at(std::uint32_t portable, double when, std::size_t after_tick) {
+    if (after_tick >= n_ticks_) return;  // past the horizon; the flush handles it
+    const double tick_s = std::max(cfg_.tick.to_seconds(), 1e-3);
+    // Ceil: the wakeup tick must not precede the milestone it serves.
+    std::size_t idx = std::size_t(std::ceil(when / tick_s));
+    idx = std::clamp(idx, after_tick, n_ticks_ - 1);
+    buckets_[idx].push_back(portable);
+  }
+
+  // --- per-tick processing -------------------------------------------------
+  void run_tick(std::size_t t) {
+    ++r_.ticks;
+    std::vector<std::uint32_t> due = std::move(buckets_[t]);
+    if (due.empty()) return;
+    std::sort(due.begin(), due.end());
+    const double now = double(t) * cfg_.tick.to_seconds();
+    const sim::SimTime now_t = sim::SimTime::seconds(now);
+
+    // Phase A: fire due milestones and collect movement intents. Only the
+    // scheduled portables are touched — O(active movers), never O(M).
+    movers_.clear();
+    for (const std::uint32_t p : due) {
+      fire_milestones(p, now, now_t);
+      if (alive_[p] == 0) {  // not appeared yet; wait for its first milestone
+        schedule_next_milestone(p, t);
+        continue;
+      }
+      if (alive_[p] == 2) continue;  // departed
+      if (current_[p] != target_[p]) {
+        movers_.push_back({route_next(current_[p], target_[p]), p, current_[p]});
+      } else {
+        schedule_next_milestone(p, t);
+      }
+    }
+    if (movers_.empty()) return;
+
+    // Phase B: one dispatcher pass over the movers, grouped per destination
+    // cell — the canonical admission order both engines share.
+    std::sort(movers_.begin(), movers_.end());
+    std::size_t i = 0;
+    while (i < movers_.size()) {
+      std::size_t j = i;
+      while (j < movers_.size() && movers_[j].to == movers_[i].to) ++j;
+      process_destination_group(i, j, t, now_t);
+      i = j;
+    }
+  }
+
+  void fire_milestones(std::uint32_t p, double now, sim::SimTime now_t) {
+    Milestone* m = &arena_[p * kMilestonesPerPortable];
+    while (alive_[p] != 2 && cursor_[p] < kMilestonesPerPortable &&
+           m[cursor_[p]].time <= now) {
+      const Milestone& ms = m[cursor_[p]];
+      ++cursor_[p];
+      ++r_.events;
+      switch (ms.kind) {
+        case Milestone::kAppear: {
+          alive_[p] = 1;
+          current_[p] = home_[p];
+          prev_[p] = kNoCell;
+          target_[p] = gateway_of(room_[p]);
+          ++occupancy_[home_[p]];
+          reservation::CellBandwidth& account = directory_.at(CellId{home_[p]});
+          const bool ok = account.admit_new(PortableId{p}, demand_[p]);
+          connected_[p] = ok ? 1 : 0;
+          if (ok && account.active_connections() == 1) ++busy_cells_;
+          ok ? ++r_.new_admitted : ++r_.new_blocked;
+          mix_outcome(0x11, p, home_[p], ok);
+          break;
+        }
+        case Milestone::kEnter:
+          target_[p] = room_[p];
+          break;
+        case Milestone::kLeave:
+          target_[p] = home_[p];
+          break;
+        case Milestone::kDepart: {
+          const std::uint32_t cur = current_[p];
+          if (connected_[p]) release_connection(p, cur);
+          cancel_stale_reservation(p, kNoCell);
+          if (obs_slot_[cur] >= 0) {
+            room_obs_[obs_slot_[cur]].record_exit(PortableId{p}, now_t,
+                                                  /*pass_through=*/false);
+          }
+          const int slot = obs_slot_[room_[p]];
+          if (slot >= 0) room_obs_[slot].record_final_departure(PortableId{p});
+          --occupancy_[cur];
+          // Clear the position so the naive engine's roster scan agrees
+          // with the maintained occupancy counts.
+          current_[p] = kNoCell;
+          target_[p] = kNoCell;
+          alive_[p] = 2;
+          ++r_.departures;
+          mix_outcome(0x44, p, cur, true);
+          break;
+        }
+      }
+    }
+  }
+
+  void schedule_next_milestone(std::uint32_t p, std::size_t t) {
+    if (cursor_[p] >= kMilestonesPerPortable) return;
+    schedule_at(p, arena_[p * kMilestonesPerPortable + cursor_[p]].time, t + 1);
+  }
+
+  void process_destination_group(std::size_t begin, std::size_t end, std::size_t t,
+                                 sim::SimTime now_t) {
+    const std::uint32_t to = movers_[begin].to;
+    // kSoa fetches the destination account and observation slot once per
+    // group; kNaive re-derives its picture per mover below.
+    reservation::CellBandwidth& dest = directory_.at(CellId{to});
+    const int dest_obs = obs_slot_[to];
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t p = movers_[i].portable;
+      const std::uint32_t from = movers_[i].from;
+
+      // Destination occupancy before admission + busy-cell count: the SoA
+      // engine reads its O(1) bookkeeping; the naive engine rescans the
+      // whole roster and every cell account, the pre-SoA way. Both are the
+      // same integers and both feed the outcome hash.
+      std::uint64_t occ_before;
+      std::uint64_t busy;
+      if (cfg_.engine == ScaleEngine::kSoa) {
+        occ_before = occupancy_[to];
+        busy = busy_cells_;
+      } else {
+        // Literal pre-SoA portables_in: scan the whole roster, materialize
+        // and sort the resident list, then read its size.
+        naive_residents_.clear();
+        for (std::uint32_t q = 0; q < std::uint32_t(current_.size()); ++q) {
+          if (current_[q] == to) naive_residents_.push_back(q);
+        }
+        std::sort(naive_residents_.begin(), naive_residents_.end());
+        occ_before = naive_residents_.size();
+        busy = 0;
+        directory_.for_each_cell([&busy](CellId, const reservation::CellBandwidth& cell) {
+          busy += cell.active_connections() > 0;
+        });
+      }
+
+      bool admitted = false;
+      if (connected_[p]) {
+        release_connection(p, from);
+        admitted = dest.admit_handoff(PortableId{p}, demand_[p]);
+        if (admitted) {
+          connected_[p] = 1;
+          ++r_.handoff_admitted;
+          if (dest.active_connections() == 1) ++busy_cells_;
+        } else {
+          ++r_.handoff_dropped;
+        }
+      }
+      cancel_stale_reservation(p, to);
+
+      --occupancy_[from];
+      ++occupancy_[to];
+      const std::uint32_t prev2 = prev_[p];
+      prev_[p] = from;
+      current_[p] = to;
+      ++r_.handoffs;
+      ++r_.events;
+
+      server_.record_handoff(PortableId{p}, CellId{prev2}, CellId{from}, CellId{to});
+      if (obs_slot_[from] >= 0) {
+        room_obs_[obs_slot_[from]].record_exit(PortableId{p}, now_t,
+                                               /*pass_through=*/prev2 != to);
+      }
+      if (dest_obs >= 0) room_obs_[dest_obs].record_entry(PortableId{p}, now_t);
+
+      // Advance reservation on the admission path: predict the next cell
+      // from the (now cache-resident) profiles and park bandwidth there.
+      if (connected_[p]) {
+        const prediction::Prediction pred =
+            predictor_.predict(PortableId{p}, CellId{from}, CellId{to});
+        if (pred.next_cell && directory_.has(*pred.next_cell)) {
+          directory_.at(*pred.next_cell).reserve_for(PortableId{p}, demand_[p]);
+          last_reserved_[p] = pred.next_cell->value();
+          ++r_.reservations_placed;
+        }
+      }
+
+      mix_outcome(0x22, p, (std::uint64_t(from) << 20) | to, admitted);
+      mix(occ_before);
+      mix(busy);
+
+      if (current_[p] == target_[p]) {
+        schedule_next_milestone(p, t);
+      } else if (t + 1 < n_ticks_) {
+        buckets_[t + 1].push_back(p);  // keep walking next tick
+      }
+    }
+  }
+
+  void release_connection(std::uint32_t p, std::uint32_t cell) {
+    reservation::CellBandwidth& account = directory_.at(CellId{cell});
+    account.release(PortableId{p});
+    connected_[p] = 0;
+    if (account.active_connections() == 0 && busy_cells_ > 0) --busy_cells_;
+  }
+
+  /// Drops the advance reservation left in a cell the portable is no longer
+  /// headed to. A reservation in `arrived` was consumed by admit_handoff.
+  void cancel_stale_reservation(std::uint32_t p, std::uint32_t arrived) {
+    const std::uint32_t held = last_reserved_[p];
+    if (held == kNoCell) return;
+    if (held != arrived) directory_.at(CellId{held}).cancel_reservation(PortableId{p});
+    last_reserved_[p] = kNoCell;
+  }
+
+  // --- routing on the grid -------------------------------------------------
+  // Horizontal movement happens on row 0 (the backbone corridor, always a
+  // complete row); columns are traversed vertically. Every step below is a
+  // valid edge of scale_grid_floorplan by construction.
+  std::uint32_t route_next(std::uint32_t from, std::uint32_t to) const {
+    const std::uint32_t r = from / side_, c = from % side_;
+    const std::uint32_t tc = to % side_;
+    if (c != tc) {
+      if (r != 0) return from - std::uint32_t(side_);  // climb to the backbone
+      return c < tc ? from + 1 : from - 1;
+    }
+    const std::uint32_t tr = to / side_;
+    return r < tr ? from + std::uint32_t(side_) : from - std::uint32_t(side_);
+  }
+
+  /// The cell just outside a room on the walk in — where an attendee waits
+  /// between arrive_corridor and enter_room.
+  std::uint32_t gateway_of(std::uint32_t room) const {
+    return room >= side_ ? room - std::uint32_t(side_) : room;
+  }
+
+  // --- outcome digest ------------------------------------------------------
+  void mix(std::uint64_t v) {
+    hash_ ^= v + 0x9e3779b97f4a7c15ULL + (hash_ << 6) + (hash_ >> 2);
+  }
+  void mix_outcome(std::uint64_t tag, std::uint32_t p, std::uint64_t detail, bool ok) {
+    mix((tag << 56) | (std::uint64_t(p) << 24) | (ok ? 1 : 0));
+    mix(detail);
+  }
+
+  // --- reporting -----------------------------------------------------------
+  std::size_t state_bytes() const {
+    std::size_t total = directory_.memory_bytes() + server_.memory_bytes();
+    for (const prediction::CellObservations& obs : room_obs_) {
+      total += obs.memory_bytes();
+    }
+    total += home_.capacity() * sizeof(std::uint32_t) * 5;  // home/room/current/prev/target
+    total += last_reserved_.capacity() * sizeof(std::uint32_t);
+    total += demand_.capacity() * sizeof(double);
+    total += connected_.capacity() + alive_.capacity() + cursor_.capacity();
+    total += arena_.capacity() * sizeof(Milestone);
+    total += occupancy_.capacity() * sizeof(std::uint32_t);
+    total += buckets_.capacity() * sizeof(std::vector<std::uint32_t>);
+    for (const auto& bucket : buckets_) {
+      total += bucket.capacity() * sizeof(std::uint32_t);
+    }
+    return total;
+  }
+
+  CampusScaleResult finish() {
+    r_.outcome_hash = hash_;
+    r_.state_bytes = state_bytes();
+    r_.bytes_per_portable =
+        cfg_.portables ? double(r_.state_bytes) / double(cfg_.portables) : 0.0;
+    if (obs::Registry* reg = cfg_.metrics) {
+      reg->counter("scale.events").add(r_.events);
+      reg->counter("scale.ticks").add(r_.ticks);
+      reg->counter("scale.handoffs").add(r_.handoffs);
+      reg->counter("scale.new.admitted").add(r_.new_admitted);
+      reg->counter("scale.new.blocked").add(r_.new_blocked);
+      reg->counter("scale.handoff.admitted").add(r_.handoff_admitted);
+      reg->counter("scale.handoff.dropped").add(r_.handoff_dropped);
+      reg->counter("scale.reservations").add(r_.reservations_placed);
+      reg->counter("scale.departures").add(r_.departures);
+      reg->gauge("scale.state_bytes").set(double(r_.state_bytes));
+      reg->gauge("scale.bytes_per_portable").set(r_.bytes_per_portable);
+      reg->gauge("sim.time_seconds").set(cfg_.duration.to_seconds());
+      reg->counter("sim.events_fired").add(r_.events);
+    }
+    return r_;
+  }
+
+  CampusScaleConfig cfg_;
+  mobility::CellMap map_;
+  std::size_t side_;
+  reservation::ReservationDirectory directory_;
+  profiles::ProfileServer server_;
+  prediction::ThreeLevelPredictor predictor_;
+
+  // SoA portable state, indexed by portable id.
+  std::vector<std::uint32_t> home_, room_, current_, prev_, target_;
+  std::vector<double> demand_;
+  std::vector<std::uint8_t> connected_;
+  std::vector<std::uint8_t> alive_;  // 0 unborn, 1 active, 2 departed
+  std::vector<std::uint8_t> cursor_;
+  std::vector<std::uint32_t> last_reserved_;
+  std::vector<Milestone> arena_;  // stride kMilestonesPerPortable per portable
+
+  // O(1) bookkeeping the SoA engine reads; the naive engine recomputes.
+  std::vector<std::uint32_t> occupancy_;
+  std::uint64_t busy_cells_ = 0;
+
+  // Meeting-room observations for the cell classifier (bounded by S2's
+  // final-departure eviction).
+  std::vector<int> obs_slot_;
+  std::vector<prediction::CellObservations> room_obs_;
+
+  // Tick-indexed wakeup calendar; each live portable has exactly one
+  // pending wakeup.
+  std::size_t n_ticks_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::vector<Mover> movers_;
+  std::vector<std::uint32_t> naive_residents_;  // kNaive's scratch roster scan
+
+  std::uint64_t hash_ = 0x6a09e667f3bcc908ULL;
+  CampusScaleResult r_;
+};
+
+}  // namespace
+
+mobility::CellMap scale_grid_floorplan(std::size_t cells) {
+  assert(cells >= 2);
+  const std::size_t side = grid_side(cells);
+
+  // First pass: pick classes. Corridor rows every third row; other cells
+  // cycle offices with meeting rooms and cafeterias sprinkled in. Guarantee
+  // at least one office and one meeting room even on degenerate grids.
+  std::vector<mobility::CellClass> classes(cells);
+  std::size_t offices = 0, rooms = 0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::size_t r = i / side;
+    if (r % 3 == 0) {
+      classes[i] = mobility::CellClass::kCorridor;
+    } else if (i % 5 == 2) {
+      classes[i] = mobility::CellClass::kMeetingRoom;
+      ++rooms;
+    } else if (i % 11 == 4) {
+      classes[i] = mobility::CellClass::kCafeteria;
+    } else {
+      classes[i] = mobility::CellClass::kOffice;
+      ++offices;
+    }
+  }
+  if (rooms == 0) classes[cells - 1] = mobility::CellClass::kMeetingRoom;
+  if (offices == 0 && cells >= 2) {
+    if (classes[cells - 2] != mobility::CellClass::kMeetingRoom || rooms > 0) {
+      classes[cells - 2] = mobility::CellClass::kOffice;
+    } else {
+      classes[cells - 1] = mobility::CellClass::kOffice;
+      classes[cells - 2] = mobility::CellClass::kMeetingRoom;
+    }
+  }
+
+  mobility::CellMap map;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::size_t r = i / side, c = i % side;
+    map.add_cell(classes[i], "g" + std::to_string(r) + "_" + std::to_string(c));
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::size_t r = i / side, c = i % side;
+    // Horizontal edges along corridor rows (row 0 is the routing backbone).
+    if (r % 3 == 0 && c + 1 < side && i + 1 < cells) {
+      map.connect(CellId{std::uint32_t(i)}, CellId{std::uint32_t(i + 1)});
+    }
+    if (i + side < cells) {
+      map.connect(CellId{std::uint32_t(i)}, CellId{std::uint32_t(i + side)});
+    }
+  }
+  assert(map.neighbor_relation_valid());
+  return map;
+}
+
+CampusScaleResult run_campus_scale(const CampusScaleConfig& config) {
+  ScaleSim sim(config);
+  return sim.run();
+}
+
+}  // namespace imrm::experiments

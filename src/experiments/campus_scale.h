@@ -1,0 +1,82 @@
+// Campus-at-scale harness (ISSUE 6 tentpole): a grid campus of N cells and
+// M portables driven through class-schedule workloads, built to measure how
+// the SoA/arena data layout scales — events/s and bytes-per-portable at up
+// to 1000 cells x 100k portables.
+//
+// Two engines run the SAME deterministic workload through the SAME admission
+// order (movers sorted by (destination cell, portable id) each tick):
+//
+//   kSoa   — the shipping layout: dense id-indexed arrays, per-cell resident
+//            counts maintained in O(1), batched per-destination-cell handoff
+//            groups, predictor/profile lookups on the admission path served
+//            from cache-resident flat tables. A mobility tick costs
+//            O(active movers).
+//   kNaive — the pre-SoA access pattern, kept as an honest baseline: every
+//            mover re-derives destination occupancy by scanning the full
+//            portable roster (O(M)) and re-derives the busy-cell picture by
+//            sweeping every cell account (O(N)), the way map-based policy
+//            refresh used to.
+//
+// Both engines fold the same integer observations (occupancy before
+// admission, admission outcome, busy-cell count) into `outcome_hash`, so a
+// test can assert the layouts are behaviorally identical while the clock
+// shows the complexity gap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mobility/floorplan.h"
+#include "sim/time.h"
+
+namespace imrm::obs {
+class Registry;
+}  // namespace imrm::obs
+
+namespace imrm::experiments {
+
+enum class ScaleEngine { kNaive, kSoa };
+
+struct CampusScaleConfig {
+  std::size_t cells = 100;
+  std::size_t portables = 1000;
+  sim::Duration duration = sim::Duration::seconds(3600);
+  /// Scheduler tick; a walking portable advances one cell per tick.
+  sim::Duration tick = sim::Duration::seconds(5);
+  double cell_capacity_bps = 1.6e6;
+  std::uint64_t seed = 5;
+  ScaleEngine engine = ScaleEngine::kSoa;
+  /// Optional metric registry: scale.* counters, resv.* admission telemetry,
+  /// scale.bytes_* gauges, and the sim.time_seconds / sim.events_fired pair
+  /// the CLI report reads.
+  obs::Registry* metrics = nullptr;
+};
+
+struct CampusScaleResult {
+  std::uint64_t events = 0;  // milestones fired + handoffs processed
+  std::uint64_t ticks = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t new_admitted = 0;
+  std::uint64_t new_blocked = 0;
+  std::uint64_t handoff_admitted = 0;
+  std::uint64_t handoff_dropped = 0;
+  std::uint64_t reservations_placed = 0;
+  std::uint64_t departures = 0;
+  /// Heap footprint of all live state (directory, profiles, classifier
+  /// observations, SoA arrays, milestone arena, scheduler buckets).
+  std::size_t state_bytes = 0;
+  double bytes_per_portable = 0.0;
+  /// Order-sensitive digest of every admission decision; equal across
+  /// engines iff they made identical decisions in identical order.
+  std::uint64_t outcome_hash = 0;
+};
+
+/// Builds the grid floorplan the scale harness runs on: side = ceil(sqrt(N))
+/// columns, every third row a corridor (horizontal edges on row 0 only, the
+/// backbone), other rows offices/meeting rooms/cafeterias, vertical edges
+/// everywhere. Deterministic; exposed for tests.
+[[nodiscard]] mobility::CellMap scale_grid_floorplan(std::size_t cells);
+
+[[nodiscard]] CampusScaleResult run_campus_scale(const CampusScaleConfig& config);
+
+}  // namespace imrm::experiments

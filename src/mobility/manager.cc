@@ -1,5 +1,6 @@
 #include "mobility/manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -16,6 +17,29 @@ void MobilityManager::bind_latency_metrics(obs::Registry& registry) {
       "mobility.handoff_wall_us", obs::HistogramSpec::log2(0.01, 1e5, 4));
 }
 
+void MobilityManager::index_insert(PortableId id, CellId cell) {
+  if (cell.value() >= residents_by_cell_.size()) {
+    residents_by_cell_.resize(cell.value() + 1);
+  }
+  if (id.value() >= position_in_cell_.size()) {
+    position_in_cell_.resize(id.value() + 1, 0);
+  }
+  auto& bucket = residents_by_cell_[cell.value()];
+  position_in_cell_[id.value()] = std::uint32_t(bucket.size());
+  bucket.push_back(id);
+}
+
+void MobilityManager::index_remove(PortableId id, CellId cell) {
+  auto& bucket = residents_by_cell_[cell.value()];
+  const std::uint32_t pos = position_in_cell_[id.value()];
+  assert(pos < bucket.size() && bucket[pos] == id);
+  if (pos + 1 != bucket.size()) {
+    bucket[pos] = bucket.back();
+    position_in_cell_[bucket[pos].value()] = pos;
+  }
+  bucket.pop_back();
+}
+
 PortableId MobilityManager::add_portable(CellId start) {
   const PortableId id{static_cast<PortableId::underlying>(portables_.size())};
   Portable p;
@@ -23,6 +47,7 @@ PortableId MobilityManager::add_portable(CellId start) {
   p.current_cell = start;
   p.entered_cell = simulator_->now();
   portables_.push_back(p);
+  index_insert(id, start);
   return id;
 }
 
@@ -38,6 +63,8 @@ void MobilityManager::move(PortableId id, CellId to) {
   event.prev_of_from = p.previous_cell;
   event.time = simulator_->now();
 
+  index_remove(id, p.current_cell);
+  index_insert(id, to);
   p.previous_cell = p.current_cell;
   p.current_cell = to;
   p.entered_cell = simulator_->now();
@@ -77,6 +104,8 @@ void MobilityManager::save_state(sim::CheckpointWriter& w) const {
 void MobilityManager::restore_state(sim::CheckpointReader& r) {
   portables_.clear();
   portables_.resize(std::size_t(r.u64()));
+  residents_by_cell_.clear();
+  position_in_cell_.clear();
   for (Portable& p : portables_) {
     p.id = PortableId{r.u32()};
     p.current_cell = CellId{r.u32()};
@@ -85,15 +114,24 @@ void MobilityManager::restore_state(sim::CheckpointReader& r) {
     const bool has_home = r.boolean();
     const CellId home{r.u32()};
     p.home_office = has_home ? std::optional<CellId>(home) : std::nullopt;
+    index_insert(p.id, p.current_cell);
   }
 }
 
 std::vector<PortableId> MobilityManager::portables_in(CellId cell) const {
-  std::vector<PortableId> out;
-  for (const Portable& p : portables_) {
-    if (p.current_cell == cell) out.push_back(p.id);
-  }
+  std::vector<PortableId> out = residents(cell);
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+std::size_t MobilityManager::memory_bytes() const {
+  std::size_t total = portables_.capacity() * sizeof(Portable) +
+                      position_in_cell_.capacity() * sizeof(std::uint32_t) +
+                      residents_by_cell_.capacity() * sizeof(std::vector<PortableId>);
+  for (const auto& bucket : residents_by_cell_) {
+    total += bucket.capacity() * sizeof(PortableId);
+  }
+  return total;
 }
 
 }  // namespace imrm::mobility

@@ -57,8 +57,28 @@ class MobilityManager {
   }
   [[nodiscard]] const StaticMobileClassifier& classifier() const { return classifier_; }
 
-  /// Portables currently in `cell`.
+  /// Portables currently in `cell`, ascending id. O(k log k) in the cell's
+  /// population — NOT O(total portables); the manager maintains a per-cell
+  /// resident index updated in O(1) per move.
   [[nodiscard]] std::vector<PortableId> portables_in(CellId cell) const;
+
+  /// Number of portables currently in `cell` (O(1)).
+  [[nodiscard]] std::size_t resident_count(CellId cell) const {
+    const std::size_t i = cell.value();
+    return i < residents_by_cell_.size() ? residents_by_cell_[i].size() : 0;
+  }
+
+  /// Unordered view of the portables currently in `cell` (O(1), no copy).
+  /// Order is arbitrary and changes across moves; callers that need
+  /// determinism use portables_in.
+  [[nodiscard]] const std::vector<PortableId>& residents(CellId cell) const {
+    static const std::vector<PortableId> kEmpty;
+    const std::size_t i = cell.value();
+    return i < residents_by_cell_.size() ? residents_by_cell_[i] : kEmpty;
+  }
+
+  /// Estimated heap footprint of the roster and resident index in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   void on_handoff(HandoffListener listener) { listeners_.push_back(std::move(listener)); }
 
@@ -86,10 +106,17 @@ class MobilityManager {
   void restore_state(sim::CheckpointReader& r);
 
  private:
+  void index_insert(PortableId id, CellId cell);
+  void index_remove(PortableId id, CellId cell);
+
   const CellMap* map_;
   sim::Simulator* simulator_;
   StaticMobileClassifier classifier_;
   std::vector<Portable> portables_;
+  // Resident index: which portables sit in each cell (unsorted; swap-remove)
+  // and where each portable sits in its cell's bucket.
+  std::vector<std::vector<PortableId>> residents_by_cell_;
+  std::vector<std::uint32_t> position_in_cell_;
   std::vector<HandoffListener> listeners_;
   obs::Counter* handoff_counter_ = nullptr;
   obs::Histogram* handoff_wall_us_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 
 namespace imrm::prediction {
@@ -15,8 +16,8 @@ void CellObservations::bump(sim::SimTime t) {
 void CellObservations::record_entry(net::PortableId portable, sim::SimTime t) {
   bump(t);
   ++total_visits_;
-  ++visits_by_user_[portable];
-  entered_at_[portable] = t;
+  ++visits_by_user_[portable.value()];
+  entered_at_[portable.value()] = t;
 }
 
 void CellObservations::record_exit(net::PortableId portable, sim::SimTime t,
@@ -24,12 +25,28 @@ void CellObservations::record_exit(net::PortableId portable, sim::SimTime t,
   bump(t);
   ++exits_;
   if (pass_through) ++pass_throughs_;
-  const auto it = entered_at_.find(portable);
-  if (it != entered_at_.end()) {
-    dwell_sum_ += (t - it->second).to_seconds();
+  const sim::SimTime* entered = entered_at_.find(portable.value());
+  if (entered != nullptr) {
+    dwell_sum_ += (t - *entered).to_seconds();
     ++dwell_count_;
-    entered_at_.erase(it);
+    entered_at_.erase(portable.value());
   }
+}
+
+void CellObservations::record_final_departure(net::PortableId portable) {
+  const std::size_t* visits = visits_by_user_.find(portable.value());
+  if (visits == nullptr) return;
+  // Keep the largest kDepartedTopK departed counts: enough to answer
+  // regular_fraction(k <= kDepartedTopK) exactly, O(1) memory regardless of
+  // how many portables pass through over a long run.
+  departed_top_.insert(
+      std::upper_bound(departed_top_.begin(), departed_top_.end(), *visits,
+                       std::greater<>()),
+      *visits);
+  if (departed_top_.size() > kDepartedTopK) departed_top_.pop_back();
+  ++departed_users_;
+  visits_by_user_.erase(portable.value());
+  entered_at_.erase(portable.value());
 }
 
 double CellObservations::mean_dwell_seconds() const {
@@ -43,8 +60,10 @@ double CellObservations::pass_through_fraction() const {
 double CellObservations::regular_fraction(std::size_t k) const {
   if (total_visits_ == 0) return 0.0;
   std::vector<std::size_t> counts;
-  counts.reserve(visits_by_user_.size());
-  for (const auto& [user, visits] : visits_by_user_) counts.push_back(visits);
+  counts.reserve(visits_by_user_.size() + departed_top_.size());
+  visits_by_user_.for_each(
+      [&counts](std::uint32_t, std::size_t visits) { counts.push_back(visits); });
+  counts.insert(counts.end(), departed_top_.begin(), departed_top_.end());
   std::sort(counts.rbegin(), counts.rend());
   std::size_t top = 0;
   for (std::size_t i = 0; i < std::min(k, counts.size()); ++i) top += counts[i];

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "mobility/cell.h"
+#include "sim/flat_map.h"
 #include "sim/time.h"
 
 namespace imrm::prediction {
@@ -39,9 +41,28 @@ class CellObservations {
   /// neighbor than it came from : back where it came from`.
   void record_exit(net::PortableId portable, sim::SimTime t, bool pass_through);
 
+  /// The portable has left the system for good (teardown / end of day):
+  /// folds its visit count into a bounded departed-user summary and drops
+  /// its per-user entries, so classifier memory is O(resident portables)
+  /// rather than O(everyone ever seen). Statistics stay exact except
+  /// regular_fraction with k larger than the summary width (16).
+  void record_final_departure(net::PortableId portable);
+
   [[nodiscard]] const std::vector<double>& activity() const { return activity_; }
   [[nodiscard]] std::size_t total_visits() const { return total_visits_; }
-  [[nodiscard]] std::size_t distinct_users() const { return visits_by_user_.size(); }
+  [[nodiscard]] std::size_t distinct_users() const {
+    return visits_by_user_.size() + departed_users_;
+  }
+  /// Per-user entries currently held (departed users excluded) — the
+  /// quantity the eviction path keeps bounded.
+  [[nodiscard]] std::size_t resident_entries() const {
+    return visits_by_user_.size() + entered_at_.size();
+  }
+  /// Estimated heap footprint in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return activity_.capacity() * sizeof(double) + visits_by_user_.memory_bytes() +
+           entered_at_.memory_bytes() + departed_top_.capacity() * sizeof(std::size_t);
+  }
   [[nodiscard]] double mean_dwell_seconds() const;
   [[nodiscard]] double pass_through_fraction() const;
   /// Fraction of visits made by the top `k` users.
@@ -55,10 +76,16 @@ class CellObservations {
   [[nodiscard]] double duty_cycle() const;
 
  private:
+  /// Departed visit counts kept for regular_fraction; 16 covers the paper's
+  /// top-4 "regulars" question with a wide margin.
+  static constexpr std::size_t kDepartedTopK = 16;
+
   sim::Duration slot_;
   std::vector<double> activity_;  // entries+exits per slot
-  std::map<net::PortableId, std::size_t> visits_by_user_;
-  std::map<net::PortableId, sim::SimTime> entered_at_;
+  sim::FlatMap<std::uint32_t, std::size_t> visits_by_user_;
+  sim::FlatMap<std::uint32_t, sim::SimTime> entered_at_;
+  std::vector<std::size_t> departed_top_;  // descending, at most kDepartedTopK
+  std::size_t departed_users_ = 0;
   std::size_t total_visits_ = 0;
   std::size_t pass_throughs_ = 0;
   std::size_t exits_ = 0;

@@ -1,19 +1,65 @@
 #include "profiles/cell_profile.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace imrm::profiles {
 
+void CellProfile::count_add(Counts& counts, CellId next) {
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), next,
+      [](const auto& entry, CellId id) { return entry.first < id; });
+  if (it != counts.end() && it->first == next) {
+    ++it->second;
+  } else {
+    counts.insert(it, {next, 1});
+  }
+}
+
+void CellProfile::count_remove(Counts& counts, CellId next) {
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), next,
+      [](const auto& entry, CellId id) { return entry.first < id; });
+  assert(it != counts.end() && it->first == next);
+  if (--it->second == 0) counts.erase(it);
+}
+
+const CellProfile::Prev* CellProfile::find(CellId previous) const {
+  const auto it = std::lower_bound(
+      by_previous_.begin(), by_previous_.end(), previous,
+      [](const Prev& p, CellId id) { return p.previous < id; });
+  return it != by_previous_.end() && it->previous == previous ? &*it : nullptr;
+}
+
+CellProfile::Prev& CellProfile::find_or_insert(CellId previous) {
+  auto it = std::lower_bound(
+      by_previous_.begin(), by_previous_.end(), previous,
+      [](const Prev& p, CellId id) { return p.previous < id; });
+  if (it == by_previous_.end() || it->previous != previous) {
+    it = by_previous_.insert(it, Prev{previous, {}, {}});
+  }
+  return *it;
+}
+
 void CellProfile::record(CellId previous, CellId next) {
-  auto& window = by_previous_[previous];
-  window.push_back(next);
-  while (window.size() > window_) window.pop_front();
+  Prev& prev = find_or_insert(previous);
+  prev.window.push_back(next);
+  count_add(prev.counts, next);
+  count_add(aggregate_counts_, next);
+  ++total_;
+  while (prev.window.size() > window_) {
+    const CellId evicted = prev.window.front();
+    prev.window.erase(prev.window.begin());
+    count_remove(prev.counts, evicted);
+    count_remove(aggregate_counts_, evicted);
+    --total_;
+  }
 }
 
 namespace {
 
 std::vector<CellProfile::NeighborShare> shares_from_counts(
-    const std::map<CellId, std::size_t>& counts, std::size_t total) {
+    const std::vector<std::pair<CellId, std::uint32_t>>& counts, std::size_t total) {
   std::vector<CellProfile::NeighborShare> out;
   if (total == 0) return out;
   out.reserve(counts.size());
@@ -26,44 +72,38 @@ std::vector<CellProfile::NeighborShare> shares_from_counts(
 }  // namespace
 
 std::vector<CellProfile::NeighborShare> CellProfile::distribution(CellId previous) const {
-  const auto it = by_previous_.find(previous);
-  if (it == by_previous_.end()) return {};
-  std::map<CellId, std::size_t> counts;
-  for (CellId next : it->second) ++counts[next];
-  return shares_from_counts(counts, it->second.size());
+  const Prev* prev = find(previous);
+  if (prev == nullptr) return {};
+  return shares_from_counts(prev->counts, prev->window.size());
 }
 
 std::vector<CellProfile::NeighborShare> CellProfile::aggregate_distribution() const {
-  std::map<CellId, std::size_t> counts;
-  std::size_t total = 0;
-  for (const auto& [previous, window] : by_previous_) {
-    for (CellId next : window) {
-      ++counts[next];
-      ++total;
-    }
-  }
-  return shares_from_counts(counts, total);
+  return shares_from_counts(aggregate_counts_, total_);
 }
 
 std::optional<CellId> CellProfile::predict(CellId previous) const {
-  const auto dist = distribution(previous);
-  if (dist.empty()) return std::nullopt;
+  const Prev* prev = find(previous);
+  if (prev == nullptr || prev->window.empty()) return std::nullopt;
+  // First maximum in ascending neighbor order (strict-less comparison), as
+  // std::max_element over the distribution produced before the migration.
   const auto best = std::max_element(
-      dist.begin(), dist.end(),
-      [](const NeighborShare& a, const NeighborShare& b) {
-        return a.probability < b.probability;
-      });
-  return best->neighbor;
+      prev->counts.begin(), prev->counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best->first;
 }
 
 std::size_t CellProfile::observations(CellId previous) const {
-  const auto it = by_previous_.find(previous);
-  return it == by_previous_.end() ? 0 : it->second.size();
+  const Prev* prev = find(previous);
+  return prev == nullptr ? 0 : prev->window.size();
 }
 
-std::size_t CellProfile::total_observations() const {
-  std::size_t total = 0;
-  for (const auto& [previous, window] : by_previous_) total += window.size();
+std::size_t CellProfile::memory_bytes() const {
+  std::size_t total = by_previous_.capacity() * sizeof(Prev) +
+                      aggregate_counts_.capacity() * sizeof(Counts::value_type);
+  for (const Prev& prev : by_previous_) {
+    total += prev.window.capacity() * sizeof(CellId) +
+             prev.counts.capacity() * sizeof(Counts::value_type);
+  }
   return total;
 }
 
@@ -71,10 +111,10 @@ void CellProfile::save_state(sim::CheckpointWriter& w) const {
   w.u32(id_.value());
   w.u64(window_);
   w.u64(by_previous_.size());
-  for (const auto& [previous, window] : by_previous_) {
-    w.u32(previous.value());
-    w.u64(window.size());
-    for (CellId next : window) w.u32(next.value());
+  for (const Prev& prev : by_previous_) {
+    w.u32(prev.previous.value());
+    w.u64(prev.window.size());
+    for (CellId next : prev.window) w.u32(next.value());
   }
 }
 
@@ -83,8 +123,9 @@ CellProfile CellProfile::restore_state(sim::CheckpointReader& r) {
   CellProfile profile(id, std::size_t(r.u64()));
   for (std::uint64_t states = r.u64(); states-- > 0;) {
     const CellId previous{r.u32()};
-    auto& window = profile.by_previous_[previous];
-    for (std::uint64_t n = r.u64(); n-- > 0;) window.push_back(CellId{r.u32()});
+    for (std::uint64_t n = r.u64(); n-- > 0;) {
+      profile.record(previous, CellId{r.u32()});
+    }
   }
   return profile;
 }

@@ -4,11 +4,18 @@
 //
 // Unlike the portable profile this is not user-specific: it aggregates the
 // cell's population behaviour and serves as the second prediction level.
+//
+// Storage is a flat sorted vector per previous cell with incrementally
+// maintained neighbor counts (updated on record, not rebuilt per query):
+// distribution() and aggregate_distribution() run on the admission hot path
+// at campus scale, so they must read precomputed counts out of contiguous
+// memory instead of building a std::map per call. Count vectors are kept in
+// ascending neighbor-id order, which is exactly the order the original
+// std::map-based implementation emitted.
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -44,17 +51,38 @@ class CellProfile {
   [[nodiscard]] std::optional<CellId> predict(CellId previous) const;
 
   [[nodiscard]] std::size_t observations(CellId previous) const;
-  [[nodiscard]] std::size_t total_observations() const;
+  [[nodiscard]] std::size_t total_observations() const { return total_; }
   [[nodiscard]] CellId id() const { return id_; }
+
+  /// Estimated heap footprint in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   // --- checkpoint/restore (ISSUE 4) ---------------------------------------
   void save_state(sim::CheckpointWriter& w) const;
   [[nodiscard]] static CellProfile restore_state(sim::CheckpointReader& r);
 
  private:
+  // Ascending-id (neighbor, count) run; shared by the per-previous and the
+  // aggregate tallies.
+  using Counts = std::vector<std::pair<CellId, std::uint32_t>>;
+
+  struct Prev {
+    CellId previous;
+    std::vector<CellId> window;  // oldest first, newest last
+    Counts counts;               // tallies of `window`, ascending neighbor id
+  };
+
+  static void count_add(Counts& counts, CellId next);
+  static void count_remove(Counts& counts, CellId next);
+
+  [[nodiscard]] const Prev* find(CellId previous) const;
+  [[nodiscard]] Prev& find_or_insert(CellId previous);
+
   CellId id_;
   std::size_t window_;
-  std::map<CellId, std::deque<CellId>> by_previous_;
+  std::size_t total_ = 0;       // sum of window sizes
+  std::vector<Prev> by_previous_;  // sorted by previous id
+  Counts aggregate_counts_;     // tallies across every window
 };
 
 }  // namespace imrm::profiles

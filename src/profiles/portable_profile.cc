@@ -4,43 +4,82 @@
 
 namespace imrm::profiles {
 
+const PortableProfile::State* PortableProfile::find(std::uint64_t key) const {
+  const auto it = std::lower_bound(
+      history_.begin(), history_.end(), key,
+      [](const State& s, std::uint64_t k) { return s.key < k; });
+  return it != history_.end() && it->key == key ? &*it : nullptr;
+}
+
+PortableProfile::State& PortableProfile::find_or_insert(std::uint64_t key) {
+  auto it = std::lower_bound(
+      history_.begin(), history_.end(), key,
+      [](const State& s, std::uint64_t k) { return s.key < k; });
+  if (it == history_.end() || it->key != key) {
+    it = history_.insert(it, State{key, {}});
+    it->window.reserve(window_);
+  }
+  return *it;
+}
+
 void PortableProfile::record(CellId previous, CellId current, CellId next) {
-  auto& window = history_[{previous, current}];
-  window.push_back(next);
-  while (window.size() > window_) window.pop_front();
+  State& state = find_or_insert(pack(previous, current));
+  state.window.push_back(next);
+  while (state.window.size() > window_) {
+    state.window.erase(state.window.begin());
+  }
 }
 
 std::optional<CellId> PortableProfile::predict(CellId previous, CellId current) const {
-  const auto it = history_.find({previous, current});
-  if (it == history_.end() || it->second.empty()) return std::nullopt;
-  // Majority vote over the window; ties break toward the most recent.
-  std::map<CellId, std::size_t> counts;
-  for (CellId next : it->second) ++counts[next];
-  CellId best = it->second.back();
-  std::size_t best_count = counts[best];
-  for (const auto& [cell, count] : counts) {
-    if (count > best_count) {
-      best = cell;
-      best_count = count;
+  const State* state = find(pack(previous, current));
+  if (state == nullptr || state->window.empty()) return std::nullopt;
+  // Majority vote over the window; ties break toward the most recent, and
+  // among equally-counted others toward the smallest cell id (the order the
+  // original std::map-based vote scanned candidates in).
+  std::vector<CellId> sorted(state->window);
+  std::sort(sorted.begin(), sorted.end());
+  CellId best = state->window.back();
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (sorted[i] == best) best_count = j - i;
+    i = j;
+  }
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (j - i > best_count) {
+      best = sorted[i];
+      best_count = j - i;
     }
+    i = j;
   }
   return best;
 }
 
 std::size_t PortableProfile::observations(CellId previous, CellId current) const {
-  const auto it = history_.find({previous, current});
-  return it == history_.end() ? 0 : it->second.size();
+  const State* state = find(pack(previous, current));
+  return state == nullptr ? 0 : state->window.size();
+}
+
+std::size_t PortableProfile::memory_bytes() const {
+  std::size_t total = history_.capacity() * sizeof(State);
+  for (const State& state : history_) {
+    total += state.window.capacity() * sizeof(CellId);
+  }
+  return total;
 }
 
 void PortableProfile::save_state(sim::CheckpointWriter& w) const {
   w.u32(id_.value());
   w.u64(window_);
   w.u64(history_.size());
-  for (const auto& [state, window] : history_) {
-    w.u32(state.first.value());
-    w.u32(state.second.value());
-    w.u64(window.size());
-    for (CellId next : window) w.u32(next.value());
+  for (const State& state : history_) {
+    w.u32(std::uint32_t(state.key >> 32));
+    w.u32(std::uint32_t(state.key & 0xffffffffu));
+    w.u64(state.window.size());
+    for (CellId next : state.window) w.u32(next.value());
   }
 }
 
@@ -50,8 +89,10 @@ PortableProfile PortableProfile::restore_state(sim::CheckpointReader& r) {
   for (std::uint64_t states = r.u64(); states-- > 0;) {
     const CellId previous{r.u32()};
     const CellId current{r.u32()};
-    auto& window = profile.history_[{previous, current}];
-    for (std::uint64_t n = r.u64(); n-- > 0;) window.push_back(CellId{r.u32()});
+    State& state = profile.find_or_insert(pack(previous, current));
+    for (std::uint64_t n = r.u64(); n-- > 0;) {
+      state.window.push_back(CellId{r.u32()});
+    }
   }
   return profile;
 }

@@ -5,13 +5,19 @@
 // The aggregate is a sliding window: the profile server records each handoff
 // as <previous, current, next>, keeps the most recent N_pP per (previous,
 // current) state, and predicts the majority next-cell.
+//
+// Storage is a sorted flat vector keyed on the packed (previous << 32) |
+// current state id. A portable visits a handful of states, so binary search
+// over a contiguous array beats the node-per-state std::map this used to be:
+// the predictor probes this structure on every handoff at campus scale.
+// Packed-key ascending order is exactly the old std::map<std::pair<CellId,
+// CellId>, ...> order, so checkpoint bytes are unchanged.
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <map>
+#include <cstdint>
 #include <optional>
-#include <utility>
+#include <vector>
 
 #include "net/ids.h"
 #include "sim/checkpoint.h"
@@ -40,15 +46,31 @@ class PortableProfile {
   [[nodiscard]] PortableId id() const { return id_; }
   [[nodiscard]] std::size_t window() const { return window_; }
 
+  /// Estimated heap footprint in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   // --- checkpoint/restore (ISSUE 4): id, window, and the full sliding
-  // history, keyed in std::map order (deterministic on both sides).
+  // history in ascending packed-state order (deterministic on both sides,
+  // byte-compatible with the original std::map layout).
   void save_state(sim::CheckpointWriter& w) const;
   [[nodiscard]] static PortableProfile restore_state(sim::CheckpointReader& r);
 
  private:
+  struct State {
+    std::uint64_t key;               // (previous << 32) | current
+    std::vector<CellId> window;      // oldest first, newest last
+  };
+
+  static std::uint64_t pack(CellId previous, CellId current) {
+    return (std::uint64_t(previous.value()) << 32) | current.value();
+  }
+
+  [[nodiscard]] const State* find(std::uint64_t key) const;
+  [[nodiscard]] State& find_or_insert(std::uint64_t key);
+
   PortableId id_;
   std::size_t window_;
-  std::map<std::pair<CellId, CellId>, std::deque<CellId>> history_;
+  std::vector<State> history_;  // sorted by key
 };
 
 }  // namespace imrm::profiles

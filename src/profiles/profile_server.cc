@@ -1,9 +1,24 @@
 #include "profiles/profile_server.h"
 
-#include <algorithm>
-#include <vector>
+#include <utility>
 
 namespace imrm::profiles {
+
+namespace {
+
+// Grows `slots` so index `i` is addressable (still disengaged).
+template <typename T>
+void ensure_slot(std::vector<std::optional<T>>& slots, std::size_t i) {
+  if (i >= slots.size()) slots.resize(i + 1);
+}
+
+template <typename T>
+const T* slot_get(const std::vector<std::optional<T>>& slots, std::size_t i) {
+  if (i >= slots.size() || !slots[i].has_value()) return nullptr;
+  return &*slots[i];
+}
+
+}  // namespace
 
 void ProfileServer::record_handoff(const mobility::HandoffEvent& event) {
   record_handoff(event.portable, event.prev_of_from, event.from, event.to);
@@ -21,44 +36,51 @@ void ProfileServer::record_handoff(net::PortableId portable, CellId prev, CellId
 }
 
 const PortableProfile* ProfileServer::portable_profile(net::PortableId id) const {
-  const auto it = portables_.find(id);
-  return it == portables_.end() ? nullptr : &it->second;
+  return slot_get(portables_, id.value());
 }
 
 const CellProfile* ProfileServer::cell_profile(CellId id) const {
-  const auto it = cells_.find(id);
-  return it == cells_.end() ? nullptr : &it->second;
+  return slot_get(cells_, id.value());
 }
 
 PortableProfile& ProfileServer::portable_profile_mut(net::PortableId id) {
-  const auto it = portables_.find(id);
-  if (it != portables_.end()) return it->second;
-  return portables_.emplace(id, PortableProfile(id, config_.portable_window))
-      .first->second;
+  ensure_slot(portables_, id.value());
+  auto& slot = portables_[id.value()];
+  if (!slot.has_value()) slot.emplace(id, config_.portable_window);
+  return *slot;
 }
 
 CellProfile& ProfileServer::cell_profile_mut(CellId id) {
-  const auto it = cells_.find(id);
-  if (it != cells_.end()) return it->second;
-  return cells_.emplace(id, CellProfile(id, config_.cell_window)).first->second;
+  ensure_slot(cells_, id.value());
+  auto& slot = cells_[id.value()];
+  if (!slot.has_value()) slot.emplace(id, config_.cell_window);
+  return *slot;
+}
+
+BookingCalendar& ProfileServer::calendar(CellId id) {
+  ensure_slot(calendars_, id.value());
+  auto& slot = calendars_[id.value()];
+  if (!slot.has_value()) slot.emplace();
+  return *slot;
 }
 
 const BookingCalendar* ProfileServer::calendar_if(CellId id) const {
-  const auto it = calendars_.find(id);
-  return it == calendars_.end() ? nullptr : &it->second;
+  return slot_get(calendars_, id.value());
 }
 
 std::optional<PortableProfile> ProfileServer::extract_portable(net::PortableId id) {
-  const auto it = portables_.find(id);
-  if (it == portables_.end()) return std::nullopt;
-  PortableProfile profile = std::move(it->second);
-  portables_.erase(it);
+  if (id.value() >= portables_.size() || !portables_[id.value()].has_value()) {
+    return std::nullopt;
+  }
+  std::optional<PortableProfile> profile = std::move(portables_[id.value()]);
+  portables_[id.value()].reset();
   return profile;
 }
 
 void ProfileServer::adopt_portable(PortableProfile profile) {
   const net::PortableId id = profile.id();
-  portables_.insert_or_assign(id, std::move(profile));
+  ensure_slot(portables_, id.value());
+  portables_[id.value()] = std::move(profile);
 }
 
 void ProfileServer::refresh_on_static(net::PortableId id) {
@@ -66,20 +88,34 @@ void ProfileServer::refresh_on_static(net::PortableId id) {
   ++traffic_.refreshes;
 }
 
-void ProfileServer::save_state(sim::CheckpointWriter& w) const {
-  std::vector<net::PortableId> portable_ids;
-  portable_ids.reserve(portables_.size());
-  for (const auto& [id, profile] : portables_) portable_ids.push_back(id);
-  std::sort(portable_ids.begin(), portable_ids.end());
-  w.u64(portable_ids.size());
-  for (const net::PortableId id : portable_ids) portables_.at(id).save_state(w);
+std::size_t ProfileServer::memory_bytes() const {
+  std::size_t total =
+      portables_.capacity() * sizeof(std::optional<PortableProfile>) +
+      cells_.capacity() * sizeof(std::optional<CellProfile>) +
+      calendars_.capacity() * sizeof(std::optional<BookingCalendar>);
+  for (const auto& slot : portables_) {
+    if (slot.has_value()) total += slot->memory_bytes();
+  }
+  for (const auto& slot : cells_) {
+    if (slot.has_value()) total += slot->memory_bytes();
+  }
+  return total;
+}
 
-  std::vector<CellId> cell_ids;
-  cell_ids.reserve(cells_.size());
-  for (const auto& [id, profile] : cells_) cell_ids.push_back(id);
-  std::sort(cell_ids.begin(), cell_ids.end());
-  w.u64(cell_ids.size());
-  for (const CellId id : cell_ids) cells_.at(id).save_state(w);
+void ProfileServer::save_state(sim::CheckpointWriter& w) const {
+  std::uint64_t portable_count = 0;
+  for (const auto& slot : portables_) portable_count += slot.has_value();
+  w.u64(portable_count);
+  for (const auto& slot : portables_) {
+    if (slot.has_value()) slot->save_state(w);
+  }
+
+  std::uint64_t cell_count = 0;
+  for (const auto& slot : cells_) cell_count += slot.has_value();
+  w.u64(cell_count);
+  for (const auto& slot : cells_) {
+    if (slot.has_value()) slot->save_state(w);
+  }
 
   w.u64(traffic_.handoff_updates);
   w.u64(traffic_.profile_transfers);
@@ -89,15 +125,14 @@ void ProfileServer::save_state(sim::CheckpointWriter& w) const {
 void ProfileServer::restore_state(sim::CheckpointReader& r) {
   portables_.clear();
   for (std::uint64_t n = r.u64(); n-- > 0;) {
-    PortableProfile profile = PortableProfile::restore_state(r);
-    const net::PortableId id = profile.id();
-    portables_.emplace(id, std::move(profile));
+    adopt_portable(PortableProfile::restore_state(r));
   }
   cells_.clear();
   for (std::uint64_t n = r.u64(); n-- > 0;) {
     CellProfile profile = CellProfile::restore_state(r);
     const CellId id = profile.id();
-    cells_.emplace(id, std::move(profile));
+    ensure_slot(cells_, id.value());
+    cells_[id.value()] = std::move(profile);
   }
   traffic_.handoff_updates = r.u64();
   traffic_.profile_transfers = r.u64();

@@ -8,11 +8,16 @@
 // portable profile to the next cell; when a portable turns static, its
 // profile is refreshed from the server. The cache traffic is tracked so the
 // signalling cost can be reported.
+//
+// Profiles live in dense vectors indexed by PortableId/CellId value: both id
+// spaces are assigned sequentially from zero, so the lookup that the
+// predictor performs on every handoff is one indexed load (no hashing, no
+// tree walk), and ascending-id iteration for serialization needs no sort.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "mobility/manager.h"
 #include "profiles/booking.h"
@@ -53,7 +58,7 @@ class ProfileServer final : public ProfileSource {
   [[nodiscard]] CellProfile& cell_profile_mut(CellId id);
 
   /// Booking calendar for a meeting-room cell.
-  [[nodiscard]] BookingCalendar& calendar(CellId id) { return calendars_[id]; }
+  [[nodiscard]] BookingCalendar& calendar(CellId id);
   [[nodiscard]] const BookingCalendar* calendar_if(CellId id) const;
 
   /// Models the base station refreshing a portable profile once the
@@ -68,21 +73,25 @@ class ProfileServer final : public ProfileSource {
   [[nodiscard]] const CacheTraffic& traffic() const { return traffic_; }
   [[nodiscard]] net::ZoneId zone() const { return zone_; }
 
+  /// Estimated heap footprint of the profile store in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   // --- checkpoint/restore (ISSUE 4) ---------------------------------------
   // Serializes portable/cell profile histories and the cache-traffic
-  // counters, each keyed in sorted-id order so the byte stream is
-  // independent of unordered_map iteration order. Booking calendars are NOT
-  // saved: they are configuration (booked by the harness constructor), not
-  // soft state.
+  // counters in ascending-id order (the dense layout's natural iteration),
+  // matching the sorted order the pre-migration format used. Booking
+  // calendars are NOT saved: they are configuration (booked by the harness
+  // constructor), not soft state.
   void save_state(sim::CheckpointWriter& w) const;
   void restore_state(sim::CheckpointReader& r);
 
  private:
   net::ZoneId zone_;
   Config config_{};
-  std::unordered_map<net::PortableId, PortableProfile> portables_;
-  std::unordered_map<CellId, CellProfile> cells_;
-  std::unordered_map<CellId, BookingCalendar> calendars_;
+  // Dense id-indexed slots; disengaged = not (or no longer) in this zone.
+  std::vector<std::optional<PortableProfile>> portables_;
+  std::vector<std::optional<CellProfile>> cells_;
+  std::vector<std::optional<BookingCalendar>> calendars_;
   CacheTraffic traffic_;
 };
 

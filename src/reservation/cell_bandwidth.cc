@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -18,12 +19,12 @@ namespace imrm::reservation {
 
 bool CellBandwidth::admit_new(PortableId portable, qos::BitsPerSecond b) {
   assert(b > 0.0);
-  assert(!connections_.contains(portable));
+  assert(!connections_.contains(portable.value()));
   if (b > free_for_new() + 1e-9) {
     if (telemetry_) bump(telemetry_->new_blocked);
     return false;
   }
-  connections_.emplace(portable, b);
+  connections_.insert(portable.value(), b);
   allocated_ += b;
   if (telemetry_) bump(telemetry_->new_admitted);
   return true;
@@ -31,7 +32,7 @@ bool CellBandwidth::admit_new(PortableId portable, qos::BitsPerSecond b) {
 
 bool CellBandwidth::admit_handoff(PortableId portable, qos::BitsPerSecond b) {
   assert(b > 0.0);
-  assert(!connections_.contains(portable));
+  assert(!connections_.contains(portable.value()));
   // The portable's own reservation is consumed by its arrival either way.
   const qos::BitsPerSecond own = reservation_for(portable);
   cancel_reservation(portable);
@@ -55,43 +56,43 @@ bool CellBandwidth::admit_handoff(PortableId portable, qos::BitsPerSecond b) {
   // much "unforeseen event" headroom remains.
   const qos::BitsPerSecond from_pool = std::min(anonymous_reserved_, b);
   anonymous_reserved_ -= from_pool;
-  connections_.emplace(portable, b);
+  connections_.insert(portable.value(), b);
   allocated_ += b;
   if (telemetry_) bump(telemetry_->handoff_admitted);
   return true;
 }
 
 void CellBandwidth::release(PortableId portable) {
-  const auto it = connections_.find(portable);
-  assert(it != connections_.end());
-  allocated_ -= it->second;
+  qos::BitsPerSecond* b = connections_.find(portable.value());
+  assert(b != nullptr);
+  allocated_ -= *b;
   if (allocated_ < 0.0) allocated_ = 0.0;
-  connections_.erase(it);
+  connections_.erase(portable.value());
 }
 
 void CellBandwidth::set_allocation(PortableId portable, qos::BitsPerSecond b) {
   assert(b > 0.0);
-  const auto it = connections_.find(portable);
-  assert(it != connections_.end());
-  allocated_ += b - it->second;
+  qos::BitsPerSecond* cur = connections_.find(portable.value());
+  assert(cur != nullptr);
+  allocated_ += b - *cur;
   if (allocated_ < 0.0) allocated_ = 0.0;
-  it->second = b;
+  *cur = b;
 }
 
 void CellBandwidth::reserve_for(PortableId portable, qos::BitsPerSecond b) {
   assert(b >= 0.0);
   cancel_reservation(portable);
   if (b <= 0.0) return;
-  reserved_for_.emplace(portable, b);
+  reserved_for_.insert(portable.value(), b);
   reserved_specific_total_ += b;
 }
 
 void CellBandwidth::cancel_reservation(PortableId portable) {
-  const auto it = reserved_for_.find(portable);
-  if (it == reserved_for_.end()) return;
-  reserved_specific_total_ -= it->second;
+  const qos::BitsPerSecond* b = reserved_for_.find(portable.value());
+  if (b == nullptr) return;
+  reserved_specific_total_ -= *b;
   if (reserved_specific_total_ < 0.0) reserved_specific_total_ = 0.0;
-  reserved_for_.erase(it);
+  reserved_for_.erase(portable.value());
 }
 
 void CellBandwidth::clear_specific_reservations() {
@@ -110,30 +111,34 @@ void CellBandwidth::add_anonymous_reservation(qos::BitsPerSecond b) {
 }
 
 qos::BitsPerSecond CellBandwidth::reservation_for(PortableId portable) const {
-  const auto it = reserved_for_.find(portable);
-  return it == reserved_for_.end() ? 0.0 : it->second;
+  const qos::BitsPerSecond* b = reserved_for_.find(portable.value());
+  return b == nullptr ? 0.0 : *b;
 }
 
 namespace {
 
+// Checkpoint bytes must stay identical to the pre-FlatMap format: count,
+// then (u32 portable id, f64 bits/s) sorted ascending by id.
 void save_portable_map(sim::CheckpointWriter& w,
-                       const std::unordered_map<PortableId, qos::BitsPerSecond>& map) {
-  std::vector<PortableId> ids;
-  ids.reserve(map.size());
-  for (const auto& [id, b] : map) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  w.u64(ids.size());
-  for (const PortableId id : ids) {
-    w.u32(id.value());
-    w.f64(map.at(id));
+                       const sim::FlatMap<std::uint32_t, qos::BitsPerSecond>& map) {
+  std::vector<std::pair<std::uint32_t, qos::BitsPerSecond>> entries;
+  entries.reserve(map.size());
+  map.for_each([&entries](std::uint32_t id, qos::BitsPerSecond b) {
+    entries.emplace_back(id, b);
+  });
+  std::sort(entries.begin(), entries.end());
+  w.u64(entries.size());
+  for (const auto& [id, b] : entries) {
+    w.u32(id);
+    w.f64(b);
   }
 }
 
 void restore_portable_map(sim::CheckpointReader& r,
-                          std::unordered_map<PortableId, qos::BitsPerSecond>& map) {
+                          sim::FlatMap<std::uint32_t, qos::BitsPerSecond>& map) {
   map.clear();
   for (std::uint64_t n = r.u64(); n-- > 0;) {
-    const PortableId id{r.u32()};
+    const std::uint32_t id = r.u32();
     map[id] = r.f64();
   }
 }

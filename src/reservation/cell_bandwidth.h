@@ -13,11 +13,12 @@
 //    other portables.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 
 #include "net/ids.h"
 #include "qos/flow_spec.h"
 #include "sim/checkpoint.h"
+#include "sim/flat_map.h"
 
 namespace imrm::obs {
 class Counter;
@@ -99,7 +100,12 @@ class CellBandwidth {
   [[nodiscard]] qos::BitsPerSecond reservation_for(PortableId portable) const;
   [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
   [[nodiscard]] bool has_connection(PortableId portable) const {
-    return connections_.contains(portable);
+    return connections_.contains(portable.value());
+  }
+
+  /// Estimated heap footprint of the per-portable tables in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return reserved_for_.memory_bytes() + connections_.memory_bytes();
   }
 
   /// Capacity available to a brand-new connection right now.
@@ -120,12 +126,17 @@ class CellBandwidth {
   void restore_state(sim::CheckpointReader& r);
 
  private:
+  // Open-addressing tables keyed on PortableId::value(): the admission path
+  // (admit/release/reserve) is the hot loop at campus scale, and the flat
+  // layout keeps each probe inside one cache line instead of a heap node.
+  using PortableMap = sim::FlatMap<std::uint32_t, qos::BitsPerSecond>;
+
   qos::BitsPerSecond capacity_ = 0.0;
   qos::BitsPerSecond allocated_ = 0.0;
   qos::BitsPerSecond anonymous_reserved_ = 0.0;
   qos::BitsPerSecond reserved_specific_total_ = 0.0;
-  std::unordered_map<PortableId, qos::BitsPerSecond> reserved_for_;
-  std::unordered_map<PortableId, qos::BitsPerSecond> connections_;
+  PortableMap reserved_for_;
+  PortableMap connections_;
   const Telemetry* telemetry_ = nullptr;
 };
 

@@ -1,9 +1,13 @@
 // Directory of per-cell bandwidth accounts, shared by the advance
 // reservation policies and the handoff admission path.
+//
+// Storage is a dense vector indexed by CellId::value(): CellMap assigns cell
+// ids sequentially from zero, so the account for cell `c` lives at
+// `cells_[c]` — one indexed load on the admission path instead of a hash
+// probe, and iteration is ascending-id by construction (deterministic
+// without a sort).
 #pragma once
 
-#include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -14,8 +18,16 @@ namespace imrm::reservation {
 class ReservationDirectory {
  public:
   void add_cell(CellId id, qos::BitsPerSecond capacity) {
-    auto [it, inserted] = cells_.emplace(id, CellBandwidth(capacity));
-    if (inserted && bound_) it->second.set_telemetry(&telemetry_);
+    const std::size_t index = id.value();
+    if (index >= cells_.size()) {
+      cells_.resize(index + 1);
+      present_.resize(index + 1, false);
+    }
+    if (present_[index]) return;
+    cells_[index] = CellBandwidth(capacity);
+    present_[index] = true;
+    ++count_;
+    if (bound_) cells_[index].set_telemetry(&telemetry_);
   }
 
   /// Registers the aggregate admission instruments (resv.new.*, resv.handoff.*,
@@ -32,25 +44,56 @@ class ReservationDirectory {
     telemetry_.reservation_coverage = &registry.histogram(
         "resv.reservation.coverage", obs::HistogramSpec::linear(0.0, 1.0, 20));
     bound_ = true;
-    for (auto& [id, cell] : cells_) cell.set_telemetry(&telemetry_);
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (present_[i]) cells_[i].set_telemetry(&telemetry_);
+    }
   }
 
-  [[nodiscard]] CellBandwidth& at(CellId id) { return cells_.at(id); }
-  [[nodiscard]] const CellBandwidth& at(CellId id) const { return cells_.at(id); }
-  [[nodiscard]] bool has(CellId id) const { return cells_.contains(id); }
-  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] CellBandwidth& at(CellId id) { return cells_.at(id.value()); }
+  [[nodiscard]] const CellBandwidth& at(CellId id) const {
+    return cells_.at(id.value());
+  }
+  [[nodiscard]] bool has(CellId id) const {
+    return id.value() < present_.size() && present_[id.value()];
+  }
+  [[nodiscard]] std::size_t size() const { return count_; }
 
   /// Wipes every reservation (specific and anonymous) in every cell;
   /// policies that recompute their reservations from scratch call this at
   /// the top of each refresh.
   void clear_reservations() {
-    for (auto& [id, cell] : cells_) {
-      cell.set_anonymous_reservation(0.0);
-      cell.clear_specific_reservations();
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (!present_[i]) continue;
+      cells_[i].set_anonymous_reservation(0.0);
+      cells_[i].clear_specific_reservations();
     }
   }
 
-  [[nodiscard]] std::unordered_map<CellId, CellBandwidth>& cells() { return cells_; }
+  /// Visits every (CellId, CellBandwidth&) in ascending-id order.
+  template <typename Fn>
+  void for_each_cell(Fn&& fn) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (present_[i]) fn(CellId{static_cast<std::uint32_t>(i)}, cells_[i]);
+    }
+  }
+
+  template <typename Fn>
+  void for_each_cell(Fn&& fn) const {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (present_[i]) fn(CellId{static_cast<std::uint32_t>(i)}, cells_[i]);
+    }
+  }
+
+  /// Estimated heap footprint in bytes: the cell array plus every cell's
+  /// per-portable tables.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t total = cells_.capacity() * sizeof(CellBandwidth) +
+                        present_.capacity() / 8;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (present_[i]) total += cells_[i].memory_bytes();
+    }
+    return total;
+  }
 
   // --- checkpoint/restore (ISSUE 4) ---------------------------------------
   // Cells are written in sorted-id order; restore requires the same cell set
@@ -58,33 +101,31 @@ class ReservationDirectory {
   // and throws sim::CheckpointError on a mismatch. Telemetry bindings are
   // untouched — instrument values live in the obs registry section.
   void save_state(sim::CheckpointWriter& w) const {
-    std::vector<CellId> ids;
-    ids.reserve(cells_.size());
-    for (const auto& [id, cell] : cells_) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    w.u64(ids.size());
-    for (const CellId id : ids) {
-      w.u32(id.value());
-      cells_.at(id).save_state(w);
+    w.u64(count_);
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (!present_[i]) continue;
+      w.u32(static_cast<std::uint32_t>(i));
+      cells_[i].save_state(w);
     }
   }
 
   void restore_state(sim::CheckpointReader& r) {
-    if (r.u64() != cells_.size()) {
+    if (r.u64() != count_) {
       throw sim::CheckpointError("reservation: checkpoint cell count mismatch");
     }
-    for (std::size_t n = cells_.size(); n-- > 0;) {
+    for (std::size_t n = count_; n-- > 0;) {
       const CellId id{r.u32()};
-      const auto it = cells_.find(id);
-      if (it == cells_.end()) {
+      if (!has(id)) {
         throw sim::CheckpointError("reservation: checkpoint names unknown cell");
       }
-      it->second.restore_state(r);
+      cells_[id.value()].restore_state(r);
     }
   }
 
  private:
-  std::unordered_map<CellId, CellBandwidth> cells_;
+  std::vector<CellBandwidth> cells_;  // indexed by CellId::value()
+  std::vector<bool> present_;
+  std::size_t count_ = 0;
   CellBandwidth::Telemetry telemetry_;
   bool bound_ = false;
 };

@@ -79,7 +79,7 @@ void PolicyDispatcher::refresh(sim::SimTime now) {
       const auto target = decide(portable, cell.id);
       if (target.has_value() && env_.directory->has(*target)) {
         env_.directory->at(*target).reserve_for(portable, b);
-        last_reserved_[portable] = *target;
+        last_reserved_[portable.value()] = target->value();
       }
     }
   }
@@ -90,20 +90,22 @@ void PolicyDispatcher::refresh(sim::SimTime now) {
 }
 
 std::optional<CellId> PolicyDispatcher::reserved_cell(PortableId portable) const {
-  const auto it = last_reserved_.find(portable);
-  if (it == last_reserved_.end()) return std::nullopt;
-  return it->second;
+  const std::uint32_t* cell = last_reserved_.find(portable.value());
+  if (cell == nullptr) return std::nullopt;
+  return CellId{*cell};
 }
 
 void PolicyDispatcher::save_state(sim::CheckpointWriter& w) const {
-  std::vector<PortableId> ids;
-  ids.reserve(last_reserved_.size());
-  for (const auto& [portable, cell] : last_reserved_) ids.push_back(portable);
-  std::sort(ids.begin(), ids.end());
-  w.u64(ids.size());
-  for (const PortableId id : ids) {
-    w.u32(id.value());
-    w.u32(last_reserved_.at(id).value());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  entries.reserve(last_reserved_.size());
+  last_reserved_.for_each([&entries](std::uint32_t portable, std::uint32_t cell) {
+    entries.emplace_back(portable, cell);
+  });
+  std::sort(entries.begin(), entries.end());
+  w.u64(entries.size());
+  for (const auto& [portable, cell] : entries) {
+    w.u32(portable);
+    w.u32(cell);
   }
   w.u64(lounge_policies_.size());
   for (const auto& policy : lounge_policies_) policy->save_state(w);
@@ -114,8 +116,8 @@ void PolicyDispatcher::save_state(sim::CheckpointWriter& w) const {
 void PolicyDispatcher::restore_state(sim::CheckpointReader& r) {
   last_reserved_.clear();
   for (std::uint64_t n = r.u64(); n-- > 0;) {
-    const PortableId portable{r.u32()};
-    last_reserved_[portable] = CellId{r.u32()};
+    const std::uint32_t portable = r.u32();
+    last_reserved_[portable] = r.u32();
   }
   if (r.u64() != lounge_policies_.size()) {
     throw sim::CheckpointError("dispatcher: checkpoint lounge-policy count mismatch");

@@ -19,12 +19,14 @@
 //     (the probabilistic algorithm covered by DefaultLoungePolicy).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "prediction/predictor.h"
 #include "reservation/lounge_policy.h"
 #include "reservation/policy.h"
+#include "sim/flat_map.h"
 
 namespace imrm::reservation {
 
@@ -64,7 +66,9 @@ class PolicyDispatcher final : public AdvanceReservationPolicy {
   Params params_;
   std::vector<std::unique_ptr<LoungePolicyBase>> lounge_policies_;
   std::vector<std::unique_ptr<MeetingRoomPolicy>> meeting_policies_;
-  std::unordered_map<PortableId, CellId> last_reserved_;
+  // Keyed on PortableId::value(); values are CellId::value() (FlatMap wants
+  // default-constructible unsigned values).
+  sim::FlatMap<std::uint32_t, std::uint32_t> last_reserved_;
 };
 
 }  // namespace imrm::reservation

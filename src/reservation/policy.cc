@@ -50,9 +50,9 @@ void AggregatePolicy::refresh(sim::SimTime now) {
 
 void StaticPolicy::refresh(sim::SimTime) {
   env_.directory->clear_reservations();
-  for (auto& [id, cell] : env_.directory->cells()) {
+  env_.directory->for_each_cell([this](CellId, CellBandwidth& cell) {
     cell.set_anonymous_reservation(guard_fraction_ * cell.capacity());
-  }
+  });
 }
 
 MeetingRoomPolicy::MeetingRoomPolicy(PolicyEnv env, CellId room,

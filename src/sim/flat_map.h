@@ -27,6 +27,13 @@ class FlatMap {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// Heap footprint of the backing array in bytes (capacity, not just the
+  /// occupied cells — this is what the allocator actually holds). Used by
+  /// the scale benchmarks' bytes-per-portable accounting.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return cells_.capacity() * sizeof(Cell);
+  }
+
   void clear() {
     cells_.assign(cells_.size(), Cell{});
     size_ = 0;

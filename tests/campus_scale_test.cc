@@ -1,0 +1,102 @@
+// Tests for the campus-at-scale harness (ISSUE 6 tentpole): the SoA and
+// naive engines must make identical decisions in identical order, runs must
+// be deterministic, and the grid floorplan must be a valid walkable map.
+#include <gtest/gtest.h>
+
+#include "experiments/campus_scale.h"
+#include "obs/metrics.h"
+
+namespace imrm::experiments {
+namespace {
+
+CampusScaleConfig small_config(ScaleEngine engine) {
+  CampusScaleConfig config;
+  config.cells = 30;
+  config.portables = 500;
+  config.duration = sim::Duration::seconds(1800);
+  config.tick = sim::Duration::seconds(5);
+  config.seed = 11;
+  config.engine = engine;
+  return config;
+}
+
+TEST(CampusScale, EnginesMakeIdenticalDecisions) {
+  const CampusScaleResult soa = run_campus_scale(small_config(ScaleEngine::kSoa));
+  const CampusScaleResult naive = run_campus_scale(small_config(ScaleEngine::kNaive));
+  EXPECT_EQ(soa.outcome_hash, naive.outcome_hash);
+  EXPECT_EQ(soa.events, naive.events);
+  EXPECT_EQ(soa.handoffs, naive.handoffs);
+  EXPECT_EQ(soa.new_admitted, naive.new_admitted);
+  EXPECT_EQ(soa.new_blocked, naive.new_blocked);
+  EXPECT_EQ(soa.handoff_admitted, naive.handoff_admitted);
+  EXPECT_EQ(soa.handoff_dropped, naive.handoff_dropped);
+  EXPECT_EQ(soa.reservations_placed, naive.reservations_placed);
+  EXPECT_EQ(soa.departures, naive.departures);
+}
+
+TEST(CampusScale, RunsAreDeterministic) {
+  const CampusScaleResult a = run_campus_scale(small_config(ScaleEngine::kSoa));
+  const CampusScaleResult b = run_campus_scale(small_config(ScaleEngine::kSoa));
+  EXPECT_EQ(a.outcome_hash, b.outcome_hash);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.state_bytes, b.state_bytes);
+}
+
+TEST(CampusScale, EveryPortableAppearsAndDeparts) {
+  const CampusScaleResult r = run_campus_scale(small_config(ScaleEngine::kSoa));
+  EXPECT_EQ(r.new_admitted + r.new_blocked, 500u);
+  EXPECT_EQ(r.departures, 500u);
+  EXPECT_GT(r.handoffs, 0u);
+  EXPECT_GT(r.state_bytes, 0u);
+  EXPECT_GT(r.bytes_per_portable, 0.0);
+}
+
+TEST(CampusScale, SeedChangesOutcome) {
+  CampusScaleConfig other = small_config(ScaleEngine::kSoa);
+  other.seed = 12;
+  const CampusScaleResult a = run_campus_scale(small_config(ScaleEngine::kSoa));
+  const CampusScaleResult b = run_campus_scale(other);
+  EXPECT_NE(a.outcome_hash, b.outcome_hash);
+}
+
+TEST(CampusScale, MetricsExportMatchesResult) {
+  obs::Registry registry;
+  CampusScaleConfig config = small_config(ScaleEngine::kSoa);
+  config.metrics = &registry;
+  const CampusScaleResult r = run_campus_scale(config);
+  const obs::Snapshot snap = registry.snapshot();
+  ASSERT_NE(snap.counter("scale.handoffs"), nullptr);
+  EXPECT_EQ(snap.counter("scale.handoffs")->value, r.handoffs);
+  ASSERT_NE(snap.counter("sim.events_fired"), nullptr);
+  EXPECT_EQ(snap.counter("sim.events_fired")->value, r.events);
+  ASSERT_NE(snap.gauge("scale.bytes_per_portable"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.gauge("scale.bytes_per_portable")->value, r.bytes_per_portable);
+  ASSERT_NE(snap.gauge("sim.time_seconds"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.gauge("sim.time_seconds")->value, 1800.0);
+  // The directory's admission telemetry must agree with the engine counters.
+  ASSERT_NE(snap.counter("resv.handoff.dropped"), nullptr);
+  EXPECT_EQ(snap.counter("resv.handoff.dropped")->value, r.handoff_dropped);
+}
+
+TEST(CampusScale, GridFloorplanIsValidAtManySizes) {
+  for (const std::size_t cells : {2u, 3u, 10u, 50u, 100u, 1000u}) {
+    const mobility::CellMap map = scale_grid_floorplan(cells);
+    EXPECT_EQ(map.size(), cells);
+    EXPECT_TRUE(map.neighbor_relation_valid()) << cells << " cells";
+    EXPECT_FALSE(map.cells_of_class(mobility::CellClass::kMeetingRoom).empty())
+        << cells << " cells";
+    // Homes exist: offices, or corridors on degenerate grids.
+    const bool has_home =
+        !map.cells_of_class(mobility::CellClass::kOffice).empty() ||
+        !map.cells_of_class(mobility::CellClass::kCorridor).empty();
+    EXPECT_TRUE(has_home) << cells << " cells";
+    // Every cell has at least one neighbor (the map is connected by
+    // construction: vertical spine per column + row-0 backbone).
+    for (const mobility::Cell& cell : map.cells()) {
+      EXPECT_FALSE(cell.neighbors.empty()) << "cell " << cell.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imrm::experiments

@@ -193,5 +193,64 @@ TEST_P(ClassifierSeeds, StableAcrossDays) {
 
 INSTANTIATE_TEST_SUITE_P(Days, ClassifierSeeds, ::testing::Range(1, 11));
 
+// --- final-departure eviction (ISSUE 6 S2) --------------------------------
+
+TEST(CellObservationsEviction, DepartedUsersAreEvictedButStatisticsSurvive) {
+  CellObservations evicting, retaining;
+  // 60 users with skewed visit counts; both cells see the same traffic, one
+  // evicts on final departure.
+  for (unsigned u = 0; u < 60; ++u) {
+    const unsigned visits = u % 7 + 1;
+    for (unsigned v = 0; v < visits; ++v) {
+      const SimTime in = SimTime::minutes(double(u) * 3.0 + double(v));
+      const SimTime out = in + Duration::seconds(30);
+      evicting.record_entry(user(u), in);
+      evicting.record_exit(user(u), out, false);
+      retaining.record_entry(user(u), in);
+      retaining.record_exit(user(u), out, false);
+    }
+    evicting.record_final_departure(user(u));
+  }
+  // Eviction keeps memory O(resident): no per-user entries remain.
+  EXPECT_EQ(evicting.resident_entries(), 0u);
+  EXPECT_GT(retaining.resident_entries(), 0u);
+  // The classifier inputs are unchanged.
+  EXPECT_EQ(evicting.distinct_users(), retaining.distinct_users());
+  EXPECT_EQ(evicting.total_visits(), retaining.total_visits());
+  EXPECT_DOUBLE_EQ(evicting.mean_dwell_seconds(), retaining.mean_dwell_seconds());
+  for (const std::size_t k : {1u, 4u, 16u}) {
+    EXPECT_DOUBLE_EQ(evicting.regular_fraction(k), retaining.regular_fraction(k))
+        << "k=" << k;
+  }
+  EXPECT_EQ(classify_cell(evicting).cell_class, classify_cell(retaining).cell_class);
+}
+
+TEST(CellObservationsEviction, MemoryIsBoundedByResidents) {
+  CellObservations obs;
+  std::size_t peak_resident = 0;
+  for (unsigned u = 0; u < 20000; ++u) {
+    obs.record_entry(user(u), SimTime::seconds(double(u)));
+    obs.record_exit(user(u), SimTime::seconds(double(u) + 10.0), false);
+    obs.record_final_departure(user(u));
+    peak_resident = std::max(peak_resident, obs.resident_entries());
+  }
+  // 20k users passed through; the per-user tables never grew past the
+  // churn's live set.
+  EXPECT_EQ(obs.resident_entries(), 0u);
+  EXPECT_LE(peak_resident, 2u);
+  EXPECT_EQ(obs.distinct_users(), 20000u);
+  EXPECT_EQ(obs.total_visits(), 20000u);
+}
+
+TEST(CellObservationsEviction, DepartureOfUnknownUserIsIgnored) {
+  CellObservations obs;
+  obs.record_final_departure(user(5));
+  EXPECT_EQ(obs.distinct_users(), 0u);
+  obs.record_entry(user(1), SimTime::seconds(1));
+  obs.record_final_departure(user(1));
+  obs.record_final_departure(user(1));  // double departure is a no-op
+  EXPECT_EQ(obs.distinct_users(), 1u);
+}
+
 }  // namespace
 }  // namespace imrm::prediction

@@ -1,0 +1,243 @@
+// Regression tests for the SoA/flat-layout migration (ISSUE 6): the dense
+// containers behind CellBandwidth, ReservationDirectory, and ProfileServer
+// must behave exactly like the ordered/hashed maps they replaced —
+// bookkeeping totals, per-portable queries, serialization bytes, and handle
+// stability under portable churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "profiles/profile_server.h"
+#include "reservation/directory.h"
+#include "sim/checkpoint.h"
+#include "sim/random.h"
+
+namespace imrm {
+namespace {
+
+using net::CellId;
+using net::PortableId;
+
+// Reference model of one cell's bandwidth account with the pre-migration
+// std::map semantics. Bandwidths are integer-valued in the tests so running
+// sums are exact regardless of accumulation order.
+struct ReferenceCell {
+  double capacity = 0.0;
+  double anonymous = 0.0;
+  std::map<std::uint32_t, double> reserved;
+  std::map<std::uint32_t, double> connections;
+
+  double reserved_specific() const {
+    double total = 0.0;
+    for (const auto& [p, b] : reserved) total += b;
+    return total;
+  }
+  double allocated() const {
+    double total = 0.0;
+    for (const auto& [p, b] : connections) total += b;
+    return total;
+  }
+  bool admit_new(std::uint32_t p, double b) {
+    if (b > capacity - allocated() - reserved_specific() - anonymous) return false;
+    connections[p] = b;
+    return true;
+  }
+  bool admit_handoff(std::uint32_t p, double b) {
+    reserved.erase(p);  // consumed by the arrival either way
+    if (b > capacity - allocated() - reserved_specific()) return false;
+    anonymous -= std::min(anonymous, b);
+    connections[p] = b;
+    return true;
+  }
+  void release(std::uint32_t p) { connections.erase(p); }
+  void reserve_for(std::uint32_t p, double b) { reserved[p] = b; }
+  void cancel(std::uint32_t p) { reserved.erase(p); }
+};
+
+TEST(MigrationDeterminism, CellBandwidthMatchesMapReferenceUnderChurn) {
+  reservation::CellBandwidth cell(1000.0);
+  ReferenceCell ref;
+  ref.capacity = 1000.0;
+  sim::Rng rng(42);
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint32_t p = std::uint32_t(rng.uniform_int(0, 49));
+    const double b = double(rng.uniform_int(1, 40));
+    const bool connected = ref.connections.count(p) > 0;
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        if (connected) break;  // double-admit is a caller bug (asserted)
+        const bool got = cell.admit_new(PortableId{p}, b);
+        const bool want = ref.admit_new(p, b);
+        ASSERT_EQ(got, want) << "admit_new step " << step;
+        break;
+      }
+      case 1: {
+        if (connected) break;
+        const bool got = cell.admit_handoff(PortableId{p}, b);
+        const bool want = ref.admit_handoff(p, b);
+        ASSERT_EQ(got, want) << "admit_handoff step " << step;
+        break;
+      }
+      case 2:
+        if (!connected) break;  // releasing an absent connection is asserted
+        cell.release(PortableId{p});
+        ref.release(p);
+        break;
+      case 3:
+        cell.reserve_for(PortableId{p}, b);
+        ref.reserve_for(p, b);
+        break;
+      case 4:
+        cell.cancel_reservation(PortableId{p});
+        ref.cancel(p);
+        break;
+    }
+    ASSERT_DOUBLE_EQ(cell.allocated(), ref.allocated()) << "step " << step;
+    ASSERT_DOUBLE_EQ(cell.reserved_total(), ref.reserved_specific() + ref.anonymous)
+        << "step " << step;
+    ASSERT_EQ(cell.active_connections(), ref.connections.size()) << "step " << step;
+  }
+  // Per-portable views at the end.
+  for (std::uint32_t p = 0; p < 50; ++p) {
+    const auto it = ref.reserved.find(p);
+    ASSERT_DOUBLE_EQ(cell.reservation_for(PortableId{p}),
+                     it == ref.reserved.end() ? 0.0 : it->second);
+    ASSERT_EQ(cell.has_connection(PortableId{p}), ref.connections.count(p) > 0);
+  }
+}
+
+// Serialization must be insertion-order independent: two accounts that hold
+// the same state via different operation interleavings emit identical bytes
+// (the pre-migration format sorted by portable id).
+TEST(MigrationDeterminism, CellBandwidthSerializationIsOrderIndependent) {
+  reservation::CellBandwidth a(500.0), b(500.0);
+  const std::vector<std::uint32_t> forward = {3, 7, 11, 19, 23};
+  for (const std::uint32_t p : forward) {
+    ASSERT_TRUE(a.admit_new(PortableId{p}, 10.0 + p));
+    a.reserve_for(PortableId{p}, 2.0 + p);
+  }
+  for (auto it = forward.rbegin(); it != forward.rend(); ++it) {
+    ASSERT_TRUE(b.admit_new(PortableId{*it}, 10.0 + *it));
+    b.reserve_for(PortableId{*it}, 2.0 + *it);
+  }
+  sim::CheckpointWriter wa, wb;
+  a.save_state(wa);
+  b.save_state(wb);
+  EXPECT_EQ(wa.take(), wb.take());
+}
+
+std::vector<std::uint8_t> server_bytes(const profiles::ProfileServer& server) {
+  sim::CheckpointWriter w;
+  server.save_state(w);
+  return w.take();
+}
+
+TEST(MigrationDeterminism, ProfileServerSerializationRoundTripsByteIdentical) {
+  profiles::ProfileServer server(net::ZoneId{0});
+  sim::Rng rng(7);
+  // A few hundred random handoffs over a small id space builds non-trivial
+  // portable and cell histories.
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t p = std::uint32_t(rng.uniform_int(0, 9));
+    const std::uint32_t prev = std::uint32_t(rng.uniform_int(0, 5));
+    const std::uint32_t from = std::uint32_t(rng.uniform_int(0, 5));
+    const std::uint32_t to = std::uint32_t(rng.uniform_int(0, 5));
+    server.record_handoff(PortableId{p}, CellId{prev}, CellId{from}, CellId{to});
+  }
+  const std::vector<std::uint8_t> first = server_bytes(server);
+
+  profiles::ProfileServer restored(net::ZoneId{0});
+  sim::CheckpointReader r(first);
+  restored.restore_state(r);
+  EXPECT_EQ(server_bytes(restored), first);
+}
+
+TEST(MigrationDeterminism, ProfileServerSerializationIsReproducible) {
+  auto build = [] {
+    profiles::ProfileServer server(net::ZoneId{0});
+    sim::Rng rng(13);
+    for (int i = 0; i < 300; ++i) {
+      const std::uint32_t p = std::uint32_t(rng.uniform_int(0, 7));
+      const std::uint32_t c = std::uint32_t(rng.uniform_int(0, 4));
+      const std::uint32_t d = std::uint32_t(rng.uniform_int(0, 4));
+      server.record_handoff(PortableId{p}, CellId::invalid(), CellId{c}, CellId{d});
+    }
+    return server_bytes(server);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// Property test: CellId handles into the directory stay valid and correct
+// through heavy portable churn (admissions, handoffs, teardowns, and new
+// cells appearing), because the dense layout never moves an existing
+// account's identity.
+TEST(MigrationDeterminism, DirectoryHandlesSurvivePortableChurn) {
+  reservation::ReservationDirectory directory;
+  std::map<std::uint32_t, std::map<std::uint32_t, double>> ref;  // cell -> conns
+  sim::Rng rng(99);
+  std::uint32_t n_cells = 4;
+  for (std::uint32_t c = 0; c < n_cells; ++c) {
+    directory.add_cell(CellId{c}, 1e6);
+    ref[c];
+  }
+  auto cell_of = [&ref](std::uint32_t p) -> int {
+    for (const auto& [cell, conns] : ref) {
+      if (conns.count(p)) return int(cell);
+    }
+    return -1;
+  };
+
+  for (int step = 0; step < 30000; ++step) {
+    const std::uint32_t p = std::uint32_t(rng.uniform_int(0, 199));
+    const std::uint32_t c = std::uint32_t(rng.uniform_int(0, int(n_cells) - 1));
+    const int at = cell_of(p);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        if (at >= 0) break;  // one connection per portable
+        ASSERT_TRUE(directory.at(CellId{c}).admit_new(PortableId{p}, 16.0));
+        ref[c][p] = 16.0;
+        break;
+      case 1: {  // handoff p from wherever it is into c
+        if (at == int(c)) break;
+        if (at >= 0) {
+          directory.at(CellId{std::uint32_t(at)}).release(PortableId{p});
+          ref[std::uint32_t(at)].erase(p);
+        }
+        ASSERT_TRUE(directory.at(CellId{c}).admit_handoff(PortableId{p}, 16.0));
+        ref[c][p] = 16.0;
+        break;
+      }
+      case 2:
+        if (at < 0) break;
+        directory.at(CellId{std::uint32_t(at)}).release(PortableId{p});
+        ref[std::uint32_t(at)].erase(p);
+        break;
+      case 3:
+        if (n_cells < 16 && rng.bernoulli(0.01)) {
+          directory.add_cell(CellId{n_cells}, 1e6);
+          ref[n_cells];
+          ++n_cells;
+        }
+        break;
+    }
+    if (step % 500 == 0) {
+      for (const auto& [cell, conns] : ref) {
+        ASSERT_TRUE(directory.has(CellId{cell}));
+        ASSERT_EQ(directory.at(CellId{cell}).active_connections(), conns.size())
+            << "cell " << cell << " step " << step;
+      }
+    }
+  }
+  // Final full agreement, including per-portable membership.
+  for (const auto& [cell, conns] : ref) {
+    for (std::uint32_t p = 0; p < 200; ++p) {
+      ASSERT_EQ(directory.at(CellId{cell}).has_connection(PortableId{p}),
+                conns.count(p) > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imrm

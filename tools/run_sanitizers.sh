@@ -4,13 +4,16 @@
 # already exposes. Each sanitizer gets its own build tree so the
 # instrumented objects never mix with the regular build (or each other).
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|all]   (default: all)
+# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|scale|all]   (default: all)
 #        checkpoint = asan+ubsan over the `checkpoint`-labelled tests only —
 #        the serialization/restore code paths (fast: one instrumented tree,
 #        a handful of tests).
 #        shard = tsan over the `shard`-labelled tests only — the ShardedRunner
 #        worker pool and everything that runs on it (the suite whose data
 #        races tsan can actually see).
+#        scale = asan+ubsan over the `scale`-labelled tests only — the
+#        campus-at-scale SoA hot path (flat maps, milestone arena, batched
+#        handoff groups), where an indexing bug would smear silently.
 # Env:   CMAKE_ARGS  extra configure flags (e.g. -DCMAKE_CXX_COMPILER=clang++)
 #        CTEST_ARGS  extra ctest flags (e.g. -R fault)
 #
@@ -44,12 +47,13 @@ case "$which" in
   tsan) run_one tsan "thread" ;;
   checkpoint) run_one asan-checkpoint "address;undefined" "-L checkpoint" ;;
   shard) run_one tsan-shard "thread" "-L shard" ;;
+  scale) run_one asan-scale "address;undefined" "-L scale" ;;
   all)
     run_one asan "address;undefined"
     run_one tsan "thread"
     ;;
   *)
-    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|all]" >&2
+    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|scale|all]" >&2
     exit 2
     ;;
 esac

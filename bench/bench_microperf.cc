@@ -10,6 +10,7 @@
 #include "experiments/classroom.h"
 #include "maxmin/advertised_rate.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "maxmin/protocol.h"
 #include "maxmin/waterfill.h"
@@ -237,6 +238,23 @@ void BM_TracerInstant(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TracerInstant)->Arg(0)->Arg(1);
+
+void BM_ProfilerScope(benchmark::State& state) {
+  // Arg 0: profiler runtime-disabled (the guard branch every instrumented
+  // call site pays). Arg 1: enabled — two steady_clock reads plus the frame
+  // push/pop and phase accounting. With IMRM_PROFILING=OFF both args
+  // measure the compiled-out stub.
+  obs::Profiler profiler;
+  profiler.set_enabled(state.range(0) != 0);
+  const obs::PhaseId phase = profiler.intern("bench.scope");
+  for (auto _ : state) {
+    obs::Profiler::Scope scope(&profiler, phase);
+    benchmark::DoNotOptimize(phase);
+  }
+  benchmark::DoNotOptimize(profiler.snapshot().phases.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScope)->Arg(0)->Arg(1);
 
 void BM_CampusDayTraced(benchmark::State& state) {
   // Overhead guardrail: one campus day untraced (arg 0) vs with an enabled

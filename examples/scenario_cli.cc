@@ -39,6 +39,8 @@
 #include "fault/schedule.h"
 #include "maxmin/protocol.h"
 #include "maxmin/waterfill.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "stats/table.h"
@@ -68,23 +70,49 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-/// Shared observability state for one CLI run: the registry/tracer handed to
-/// the experiment, the output paths, and the report skeleton.
+bool parse_count(const Flags& flags, const std::string& name, std::size_t fallback,
+                 std::size_t& out);
+bool parse_number(const Flags& flags, const std::string& name, double fallback,
+                  double& out, bool probability);
+
+/// Shared observability state for one CLI run: the registry/tracer/profiler
+/// handed to the experiment, the output paths, and the report skeleton.
 struct ObsSession {
   explicit ObsSession(const Flags& flags)
       : metrics_path(flags.text("metrics-json", "")),
         trace_path(flags.text("trace-out", "")) {
+    std::size_t profile_flag = 0;
+    double progress_period = 0.0;
+    if (!parse_count(flags, "profile", 0, profile_flag)) flag_error = true;
+    if (!parse_number(flags, "progress", 0.0, progress_period, false)) {
+      flag_error = true;
+    }
+    want_profile_ = profile_flag != 0;
+    if (want_profile_ && !obs::Profiler::compiled_in()) {
+      std::cerr << "scenario_cli: --profile requested but profiling is "
+                   "compiled out (IMRM_PROFILING=0); running without it\n";
+      want_profile_ = false;
+    }
+    profiler.set_enabled(want_profile_);
+    progress = obs::ProgressMeter(progress_period);
     tracer.set_enabled(want_trace());
     start = std::chrono::steady_clock::now();
   }
 
   [[nodiscard]] bool want_metrics() const { return !metrics_path.empty(); }
   [[nodiscard]] bool want_trace() const { return !trace_path.empty(); }
+  [[nodiscard]] bool want_profile() const { return want_profile_; }
   [[nodiscard]] obs::Registry* registry_or_null() {
     return want_metrics() ? &registry : nullptr;
   }
   [[nodiscard]] obs::Tracer* tracer_or_null() {
     return want_trace() ? &tracer : nullptr;
+  }
+  [[nodiscard]] obs::Profiler* profiler_or_null() {
+    return want_profile_ ? &profiler : nullptr;
+  }
+  [[nodiscard]] obs::ProgressMeter* progress_or_null() {
+    return progress.armed() ? &progress : nullptr;
   }
 
   void config_echo(std::string key, std::string value) {
@@ -92,9 +120,18 @@ struct ObsSession {
   }
 
   /// Writes whichever artifacts were requested. `sim_seconds`/`events_fired`
-  /// come from the experiment's own metric export when present.
-  int finish(const std::string& scenario, const obs::Snapshot& snapshot) {
+  /// come from the experiment's own metric export when present. A non-null
+  /// `profile_override` replaces the session profiler's snapshot — used by
+  /// experiments that augment it with engine-side accounting (shard lanes).
+  int finish(const std::string& scenario, const obs::Snapshot& snapshot,
+             const obs::ProfileSnapshot* profile_override = nullptr) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
+    obs::ProfileSnapshot profile;
+    if (profile_override != nullptr) {
+      profile = *profile_override;
+    } else if (want_profile()) {
+      profile = profiler.snapshot();
+    }
     if (want_metrics()) {
       obs::RunReport report;
       report.tool = "scenario_cli";
@@ -108,6 +145,7 @@ struct ObsSession {
         report.events_fired = c->value;
       }
       report.metrics = snapshot;
+      report.profile = profile;
       std::ofstream os(metrics_path);
       if (!os) {
         std::cerr << "cannot write " << metrics_path << '\n';
@@ -125,6 +163,7 @@ struct ObsSession {
       tracer.write_chrome_trace(os);
       os << '\n';
     }
+    if (want_profile() && !profile.empty()) profile.write_table(std::cout);
     return 0;
   }
 
@@ -132,8 +171,15 @@ struct ObsSession {
   std::string trace_path;
   obs::Registry registry;
   obs::Tracer tracer;
+  obs::Profiler profiler;
+  obs::ProgressMeter progress;
   std::vector<std::pair<std::string, std::string>> config;
   std::chrono::steady_clock::time_point start;
+  /// Malformed --profile/--progress value; main exits 2 before dispatch.
+  bool flag_error = false;
+
+ private:
+  bool want_profile_ = false;
 };
 
 std::string fmt_count(double v) { return stats::fmt(v, 0); }
@@ -330,7 +376,17 @@ int run_maxmin_cmd(const Flags& flags, ObsSession& obs) {
   if (obs.want_trace()) simulator.set_tracer(&obs.tracer);
   maxmin::DistributedProtocol protocol(simulator, problem, {});
   protocol.start_all();
+  const std::uint64_t adapt0 =
+      obs.want_profile() ? obs::Profiler::now_ns() : 0;
   protocol.run_to_quiescence();
+  if (obs.want_profile()) {
+    // Aggregate wall cost of the max-min adaptation: total protocol runtime
+    // attributed across the rounds it took to converge.
+    const std::uint64_t rounds = std::max<std::uint64_t>(
+        1, std::uint64_t(protocol.rounds_run()));
+    obs.profiler.record(obs.profiler.intern("maxmin.adaptation_round"),
+                        obs::Profiler::now_ns() - adapt0, rounds);
+  }
   if (obs.want_metrics()) {
     simulator.collect_metrics(obs.registry);
     protocol.export_metrics(obs.registry);
@@ -374,6 +430,9 @@ int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shar
   config.seed = std::uint64_t(seed);
   config.horizon = sim::SimTime::hours(hours);
   config.hop_latency = sim::Duration::millis(hop_ms);
+  config.profiler = obs.profiler_or_null();
+  config.tracer = obs.tracer_or_null();
+  config.progress = obs.progress_or_null();
   obs.config_echo("cells", fmt_count(double(cells)));
   obs.config_echo("shards", fmt_count(double(shards)));
   obs.config_echo("portables", fmt_count(double(portables)));
@@ -387,7 +446,7 @@ int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shar
             << " blocks=" << r.blocks << " handoffs=" << r.handoffs
             << " drops=" << r.handoff_drops << " reclaims=" << r.lease_reclaims
             << '\n';
-  return obs.finish("campus-sharded", r.metrics);
+  return obs.finish("campus-sharded", r.metrics, &r.profile);
 }
 
 int run_campus_cmd(const Flags& flags, ObsSession& obs) {
@@ -446,6 +505,7 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
     sweep.replications = replications;
     sweep.threads = threads;
     sweep.base_seed = config.seed;
+    sweep.profiler = obs.profiler_or_null();
     const CampusSweepResult r = run_campus_day_sweep(sweep);
     std::cout << "policy=" << r.policy << " replications=" << r.replications
               << " attendee-drops=" << r.attendee_drops
@@ -670,6 +730,8 @@ int run_campus_scale_cmd(const Flags& flags, ObsSession& obs) {
   config.duration = sim::Duration::seconds(duration);
   config.tick = sim::Duration::seconds(tick);
   config.metrics = obs.registry_or_null();
+  config.profiler = obs.profiler_or_null();
+  config.progress = obs.progress_or_null();
   obs.config_echo("cells", fmt_count(double(cells)));
   obs.config_echo("portables", fmt_count(double(portables)));
   obs.config_echo("duration", stats::fmt(duration, 1));
@@ -722,7 +784,12 @@ void usage() {
       "  --fork 1              sweep replications fork from one shared warm image\n"
       "observability (any command):\n"
       "  --metrics-json PATH   versioned run report with the metrics snapshot\n"
-      "  --trace-out PATH      Chrome trace_event JSON (chrome://tracing, Perfetto)\n";
+      "  --trace-out PATH      Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
+      "  --profile 1           wall-clock profile: phase table on stdout, a\n"
+      "                        `profile` block in the v2 report, and (sharded\n"
+      "                        runs) per-shard wall lanes in the trace\n"
+      "  --progress SECS       stderr heartbeat every SECS wall seconds\n"
+      "                        (campus --shards K and campus-scale)\n";
 }
 
 }  // namespace
@@ -737,6 +804,7 @@ int main(int argc, char** argv) {
   const std::string command = bare_flags ? "campus" : argv[1];
   const Flags flags(argc, argv, bare_flags ? 1 : 2);
   ObsSession obs(flags);
+  if (obs.flag_error) return 2;
   if (command == "classroom") return run_classroom_cmd(flags, obs);
   if (command == "twocell") return run_twocell_cmd(flags, obs);
   if (command == "fig4") return run_fig4_cmd(flags, obs);

@@ -10,6 +10,7 @@
 
 #include "mobility/floorplan.h"
 #include "mobility/manager.h"
+#include "obs/profiler.h"
 #include "prediction/predictor.h"
 #include "profiles/profile_server.h"
 #include "reservation/dispatcher.h"
@@ -554,23 +555,35 @@ CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config) {
     obs::Snapshot metrics;
   };
   const sim::ReplicationRunner runner(config.threads);
+  const bool profiled = config.profiler != nullptr && config.profiler->enabled();
+  std::vector<std::uint64_t> replication_ns;
   const std::vector<Replication> replications =
-      runner.run(config.replications, config.base_seed,
-                 [&](std::uint64_t seed, std::size_t) {
-                   // Each replication collects into its own registry; wall
-                   // metrics and tracing stay off so every snapshot is a
-                   // pure function of the seed.
-                   obs::Registry registry;
-                   CampusDayConfig day = config.base;
-                   day.seed = seed;
-                   day.metrics = &registry;
-                   day.tracer = nullptr;
-                   day.wall_metrics = false;
-                   Replication r;
-                   r.day = run_campus_day(day);
-                   r.metrics = registry.snapshot();
-                   return r;
-                 });
+      runner.run(
+          config.replications, config.base_seed,
+          [&](std::uint64_t seed, std::size_t) {
+            // Each replication collects into its own registry; wall
+            // metrics and tracing stay off so every snapshot is a
+            // pure function of the seed.
+            obs::Registry registry;
+            CampusDayConfig day = config.base;
+            day.seed = seed;
+            day.metrics = &registry;
+            day.tracer = nullptr;
+            day.wall_metrics = false;
+            Replication r;
+            r.day = run_campus_day(day);
+            r.metrics = registry.snapshot();
+            return r;
+          },
+          profiled ? &replication_ns : nullptr);
+  if (profiled) {
+    // Fold timings in replication order on the caller's thread — the
+    // Profiler is single-threaded by design.
+    const obs::PhaseId phase = config.profiler->intern("campus.replication");
+    for (const std::uint64_t ns : replication_ns) {
+      config.profiler->record(phase, ns);
+    }
+  }
 
   // Fold in replication order: byte-identical at any thread count.
   CampusSweepResult sweep;

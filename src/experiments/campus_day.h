@@ -25,6 +25,7 @@
 
 namespace imrm::obs {
 class Tracer;
+class Profiler;
 }  // namespace imrm::obs
 
 namespace imrm::experiments {
@@ -105,6 +106,11 @@ struct CampusSweepConfig {
   std::size_t replications = 16;
   std::size_t threads = 0;        // 0 = hardware concurrency
   std::uint64_t base_seed = 5;
+  /// Optional wall-clock attribution (ISSUE 7): when set and enabled, each
+  /// replication's wall cost is recorded as a campus.replication call, folded
+  /// in replication order after the pool drains (the Profiler is
+  /// single-threaded; workers only fill a per-index timing vector).
+  obs::Profiler* profiler = nullptr;
 };
 
 struct CampusSweepResult {

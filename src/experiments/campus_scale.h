@@ -31,6 +31,8 @@
 
 namespace imrm::obs {
 class Registry;
+class Profiler;
+class ProgressMeter;
 }  // namespace imrm::obs
 
 namespace imrm::experiments {
@@ -50,6 +52,13 @@ struct CampusScaleConfig {
   /// scale.bytes_* gauges, and the sim.time_seconds / sim.events_fired pair
   /// the CLI report reads.
   obs::Registry* metrics = nullptr;
+  /// Optional wall-clock attribution (ISSUE 7): the tick loop is split into
+  /// scale.mobility / scale.admission / scale.prediction / scale.reservation
+  /// phases recorded once per run. Observation-only — decisions, the outcome
+  /// hash, and all metrics are identical with profiling on or off.
+  obs::Profiler* profiler = nullptr;
+  /// Optional stderr heartbeat, polled once per tick.
+  obs::ProgressMeter* progress = nullptr;
 };
 
 struct CampusScaleResult {

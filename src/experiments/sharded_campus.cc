@@ -25,7 +25,8 @@ class CampusGrid {
   explicit CampusGrid(const ShardedCampusConfig& config)
       : config_(config),
         runner_(sim::ShardedRunner::Config{
-            config.cells, config.shards, config.hop_latency}) {
+            config.cells, config.shards, config.hop_latency, config.profiler,
+            config.tracer, config.progress}) {
     assert(config_.cells >= 1);
     cells_.reserve(config_.cells);
     for (std::size_t i = 0; i < config_.cells; ++i) {
@@ -76,6 +77,10 @@ class CampusGrid {
     result.probes_sent = count("cell.probe_tx");
     result.probes_rejected = count("cell.probe_reject");
     result.lease_reclaims = count("cell.lease_reclaims");
+    if (config_.profiler != nullptr) {
+      result.profile = config_.profiler->snapshot();
+      runner_.export_profile(result.profile);
+    }
     return result;
   }
 

@@ -31,6 +31,9 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
+#include "obs/tracer.h"
 #include "sim/time.h"
 
 namespace imrm::experiments {
@@ -50,6 +53,12 @@ struct ShardedCampusConfig {
   sim::Duration lease_sweep_period = sim::Duration::seconds(30);
   sim::SimTime horizon = sim::SimTime::hours(4);
   std::uint64_t seed = 5;
+  /// Optional wall-clock profiling / trace lanes / progress heartbeat,
+  /// forwarded to the sim::ShardedRunner (see its Config for semantics).
+  /// All observation-only: metrics bytes are identical with or without.
+  obs::Profiler* profiler = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::ProgressMeter* progress = nullptr;
 };
 
 struct ShardedCampusResult {
@@ -68,6 +77,11 @@ struct ShardedCampusResult {
   /// Per-cell snapshots folded in cell order, plus the runner's shard.*
   /// counters. Byte-identical JSON for any `shards` value.
   obs::Snapshot metrics;
+  /// Wall-clock attribution (empty unless config.profiler was enabled):
+  /// per-shard busy/barrier-wait/idle lanes, barrier count, boundary bytes,
+  /// window histograms. Lives outside `metrics` — wall numbers vary per run
+  /// and per shard count, so determinism checks must never hash them.
+  obs::ProfileSnapshot profile;
 };
 
 [[nodiscard]] ShardedCampusResult run_sharded_campus(const ShardedCampusConfig& config);

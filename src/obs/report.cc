@@ -25,6 +25,10 @@ void RunReport::write_json(std::ostream& os) const {
   json::write_number(os, events_fired);
   os << ",\"events_per_second\":";
   json::write_number(os, events_per_second());
+  if (!profile.empty()) {
+    os << ",\"profile\":";
+    profile.write_json(os);
+  }
   os << ",\"metrics\":";
   metrics.write_json(os);
   os << "}\n";

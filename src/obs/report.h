@@ -15,11 +15,17 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace imrm::obs {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 1;
+  /// v2 (ISSUE 7): adds the optional `profile` block — wall-clock phase and
+  /// shard-lane attribution, present only when profiling was enabled. The
+  /// `metrics` section layout is unchanged from v1, so metrics-section
+  /// hashes (golden campus JSON, shard determinism checks) are comparable
+  /// across the bump.
+  static constexpr int kSchemaVersion = 2;
 
   std::string tool;      // producing binary, e.g. "scenario_cli"
   std::string scenario;  // subcommand / experiment name
@@ -30,6 +36,10 @@ struct RunReport {
   double sim_seconds = 0.0;
   std::uint64_t events_fired = 0;
   Snapshot metrics;
+  /// Wall-clock attribution (schema v2). Written as a `profile` member only
+  /// when non-empty: disabled-profiling reports carry no profile key at all,
+  /// keeping them byte-comparable with profiling compiled out.
+  ProfileSnapshot profile;
 
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0.0 ? double(events_fired) / wall_seconds : 0.0;

@@ -14,6 +14,16 @@ NameId Tracer::intern(std::string_view name, std::string_view category) {
   return NameId(names_.size() - 1);
 }
 
+void Tracer::declare_process(std::uint32_t pid, std::string_view name) {
+  for (auto& [existing, label] : processes_) {
+    if (existing == pid) {
+      label = std::string(name);
+      return;
+    }
+  }
+  processes_.emplace_back(pid, std::string(name));
+}
+
 void Tracer::write_chrome_trace(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   json::Separator sep;
@@ -22,6 +32,14 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   sep.write(os);
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"imrm-sim\"}}";
+  for (const auto& [pid, label] : processes_) {
+    sep.write(os);
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    json::write_number(os, std::uint64_t(pid));
+    os << ",\"tid\":0,\"args\":{\"name\":";
+    json::write_string(os, label);
+    os << "}}";
+  }
 
   records_.for_each([&](const TraceRecord& r) {
     sep.write(os);
@@ -31,7 +49,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     json::write_string(os, names_[r.name].category);
     os << ",\"ph\":\"" << r.phase << "\",\"ts\":";
     json::write_number(os, r.ts_us);
-    os << ",\"pid\":1,\"tid\":";
+    os << ",\"pid\":";
+    json::write_number(os, std::uint64_t(r.pid));
+    os << ",\"tid\":";
     json::write_number(os, std::uint64_t(r.track));
     switch (r.phase) {
       case 'X':

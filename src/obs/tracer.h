@@ -47,6 +47,10 @@ struct TraceRecord {
   NameId name = kInvalidName;
   std::uint32_t track = 0;  // rendered as tid
   char phase = 'i';
+  /// Rendered as pid; pid 1 is the simulated-time "imrm-sim" process. The
+  /// sharded runner claims further pids for its wall-clock shard lanes
+  /// (declare_process), keeping the two time bases on separate tracks.
+  std::uint32_t pid = 1;
 };
 
 class Tracer {
@@ -64,6 +68,11 @@ class Tracer {
   /// Interns a name/category pair (setup-time; allocates). Ids are dense
   /// and stable; interning the same pair again returns the same id.
   NameId intern(std::string_view name, std::string_view category = "sim");
+
+  /// Registers a process lane label for the viewer (setup-time; allocates).
+  /// Emitted as a process_name metadata record alongside pid 1's. Used by
+  /// the sharded runner to label its wall-clock pids ("shard-workers" etc.).
+  void declare_process(std::uint32_t pid, std::string_view name);
 
   void instant(sim::SimTime t, NameId name, std::uint32_t track = 0,
                double value = 0.0) {
@@ -84,6 +93,18 @@ class Tracer {
     }
 #else
     (void)start, (void)end, (void)name, (void)track, (void)value;
+#endif
+  }
+
+  /// A wall-clock span on a declared pid lane: [start_us, start_us + dur_us]
+  /// microseconds since run start on pid/tid. The sharded runner's profile
+  /// lanes go through here; pid 1 stays reserved for simulated time.
+  void complete_wall(double start_us, double dur_us, NameId name,
+                     std::uint32_t pid, std::uint32_t track, double value = 0.0) {
+#if IMRM_TRACING
+    if (enabled_) records_.push({start_us, dur_us, value, name, track, 'X', pid});
+#else
+    (void)start_us, (void)dur_us, (void)name, (void)pid, (void)track, (void)value;
 #endif
   }
 
@@ -116,6 +137,7 @@ class Tracer {
 
   RingBuffer<TraceRecord> records_;
   std::vector<InternedName> names_;
+  std::vector<std::pair<std::uint32_t, std::string>> processes_;
   bool enabled_ = false;
 };
 

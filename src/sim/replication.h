@@ -11,6 +11,7 @@
 //    threads (asserted by tests/replication_test.cc).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <type_traits>
@@ -37,15 +38,42 @@ class ReplicationRunner {
   /// any failure is recorded.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body) const;
 
+  /// As run_indexed, additionally measuring each replication's wall cost
+  /// (steady clock, ns) into per_index_ns[index]. Each slot is written by
+  /// exactly one worker and the pool join publishes them, so the caller may
+  /// fold the vector — e.g. into an obs::Profiler — as soon as this returns.
+  /// A null pointer degrades to the untimed overload.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
+                   std::vector<std::uint64_t>* per_index_ns) const {
+    if (per_index_ns == nullptr) {
+      run_indexed(n, body);
+      return;
+    }
+    per_index_ns->assign(n, 0);
+    run_indexed(n, [&](std::size_t index) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body(index);
+      (*per_index_ns)[index] = std::uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    });
+  }
+
   /// Runs n replications of body(seed, index), returning results in index
-  /// order. Result types must be default-constructible.
+  /// order. Result types must be default-constructible. `per_index_ns`, when
+  /// non-null, receives each replication's wall cost as above.
   template <typename Body>
-  [[nodiscard]] auto run(std::size_t n, std::uint64_t base_seed, Body&& body) const
+  [[nodiscard]] auto run(std::size_t n, std::uint64_t base_seed, Body&& body,
+                         std::vector<std::uint64_t>* per_index_ns = nullptr) const
       -> std::vector<std::invoke_result_t<Body&, std::uint64_t, std::size_t>> {
     std::vector<std::invoke_result_t<Body&, std::uint64_t, std::size_t>> results(n);
-    run_indexed(n, [&](std::size_t index) {
-      results[index] = body(replication_seed(base_seed, index), index);
-    });
+    run_indexed(
+        n,
+        [&](std::size_t index) {
+          results[index] = body(replication_seed(base_seed, index), index);
+        },
+        per_index_ns);
     return results;
   }
 

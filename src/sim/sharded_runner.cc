@@ -52,9 +52,36 @@ void ShardedRunner::post(std::size_t from, std::size_t to, Duration latency,
       Envelope{sims_[from]->now() + latency, to, std::move(deliver)});
 }
 
+void ShardedRunner::arm_profiling() {
+  profile_active_ = config_.profiler != nullptr && config_.profiler->enabled();
+  if (!profile_active_) return;
+  if (wall_epoch_ns_ == 0) wall_epoch_ns_ = obs::Profiler::now_ns();
+  if (ph_exchange_ == obs::kInvalidPhase) {
+    ph_exchange_ = config_.profiler->intern("shard.exchange");
+    ph_window_ = config_.profiler->intern("shard.window");
+  }
+  if (lanes_.empty()) {
+    lanes_.resize(worker_count_);
+    busy_scratch_.assign(worker_count_, BusySlot{});
+  }
+  if (config_.tracer != nullptr && config_.tracer->enabled() && !lanes_declared_) {
+    lanes_declared_ = true;
+    config_.tracer->declare_process(kShardLanePid, "imrm-shard-lanes (wall clock)");
+    tr_busy_ = config_.tracer->intern("shard.busy", "wall");
+    tr_barrier_ = config_.tracer->intern("shard.barrier", "wall");
+  }
+}
+
 std::uint64_t ShardedRunner::run_until(SimTime horizon) {
   const std::uint64_t before = events_fired();
+  // Latched once per call, before any round dispatch: workers pick it up
+  // through the round barrier. Clock reads below happen only when active.
+  arm_profiling();
+  // Rounds run back to back, so the previous round's end timestamp doubles
+  // as the next round's exchange start — one clock read per round, not two.
+  std::uint64_t t0 = profile_active_ ? obs::Profiler::now_ns() : 0;
   for (;;) {
+    const std::uint64_t msgs_before = stats_.boundary_messages;
     // Inject messages posted during the previous round (or during setup, on
     // the first iteration) before looking at queue heads: an injected
     // message may well be the earliest pending event.
@@ -72,10 +99,77 @@ std::uint64_t ShardedRunner::run_until(SimTime horizon) {
     // K-invariant.
     SimTime target = min_next + config_.window;
     if (target > horizon) target = horizon;
+    const std::uint64_t t1 = profile_active_ ? obs::Profiler::now_ns() : 0;
     execute_window(target);
     ++stats_.windows;
+    if (profile_active_) {
+      const std::uint64_t t2 = obs::Profiler::now_ns();
+      account_round(t0, t1, t2, stats_.boundary_messages - msgs_before);
+      t0 = t2;
+    }
+    if (config_.progress != nullptr && config_.progress->armed()) {
+      const double h = horizon.to_seconds();
+      const double frac =
+          h > 0.0 ? std::min(1.0, target.to_seconds() / h) : 1.0;
+      config_.progress->maybe_emit(frac, events_fired(), last_straggler_);
+    }
   }
   return events_fired() - before;
+}
+
+void ShardedRunner::account_round(std::uint64_t exchange_start_ns,
+                                  std::uint64_t window_start_ns,
+                                  std::uint64_t window_end_ns,
+                                  std::uint64_t injected) {
+  // Idle: the inter-round stretch (boundary exchange + next-window scan)
+  // during which no lane executes events. Charged to every lane — all of
+  // them are stalled behind the coordinator.
+  const std::uint64_t idle = window_start_ns - exchange_start_ns;
+  const std::uint64_t window_wall = window_end_ns - window_start_ns;
+  window_hist_.record(double(window_wall));
+  messages_hist_.record(double(injected));
+  std::size_t straggler = 0;
+  for (std::size_t w = 0; w < lanes_.size(); ++w) {
+    // A worker's measured span nests inside the coordinator's; clamp anyway
+    // so barrier_wait can never underflow on clock jitter.
+    const std::uint64_t busy = std::min(busy_scratch_[w].ns, window_wall);
+    lanes_[w].busy_ns += busy;
+    lanes_[w].barrier_wait_ns += window_wall - busy;
+    lanes_[w].idle_ns += idle;
+    if (busy_scratch_[w].ns > busy_scratch_[straggler].ns) straggler = w;
+  }
+  ++lanes_[straggler].straggler_windows;
+  ++profiled_windows_;
+  last_straggler_ = int(straggler);
+  config_.profiler->record(ph_exchange_, idle);
+  config_.profiler->record(ph_window_, window_wall);
+  if (lanes_declared_ && config_.tracer->enabled()) {
+    const double exchange_us = double(exchange_start_ns - wall_epoch_ns_) / 1000.0;
+    const double window_us = double(window_start_ns - wall_epoch_ns_) / 1000.0;
+    config_.tracer->complete_wall(exchange_us, double(idle) / 1000.0, tr_barrier_,
+                                  kShardLanePid, std::uint32_t(lanes_.size()),
+                                  double(injected));
+    for (std::size_t w = 0; w < lanes_.size(); ++w) {
+      config_.tracer->complete_wall(window_us, double(busy_scratch_[w].ns) / 1000.0,
+                                    tr_busy_, kShardLanePid, std::uint32_t(w),
+                                    w == straggler ? 1.0 : 0.0);
+    }
+  }
+}
+
+void ShardedRunner::export_profile(obs::ProfileSnapshot& out) const {
+  if (lanes_.empty()) return;  // never ran with profiling enabled
+  const auto sample_of = [](const char* name, const obs::Histogram& h) {
+    return obs::HistogramSample{name,    h.spec(), h.count(),  h.underflow(),
+                                h.overflow(), h.sum(),  h.min(), h.max(),
+                                h.buckets()};
+  };
+  out.shards = lanes_;
+  out.barriers = profiled_windows_;
+  out.boundary_messages = stats_.boundary_messages;
+  out.boundary_bytes = stats_.boundary_messages * sizeof(Envelope);
+  out.window_ns = sample_of("window_ns", window_hist_);
+  out.messages_per_barrier = sample_of("messages_per_barrier", messages_hist_);
 }
 
 std::uint64_t ShardedRunner::events_fired() const {
@@ -105,6 +199,12 @@ void ShardedRunner::run_domains(std::size_t worker, SimTime target) {
   // memory; worker_count_ == 1 degenerates to "worker 0 owns everything".
   const std::size_t d0 = worker * sims_.size() / worker_count_;
   const std::size_t d1 = (worker + 1) * sims_.size() / worker_count_;
+  if (profile_active_) {
+    const std::uint64_t t0 = obs::Profiler::now_ns();
+    for (std::size_t d = d0; d < d1; ++d) sims_[d]->run_until(target);
+    busy_scratch_[worker].ns = obs::Profiler::now_ns() - t0;
+    return;
+  }
   for (std::size_t d = d0; d < d1; ++d) sims_[d]->run_until(target);
 }
 

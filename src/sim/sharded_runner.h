@@ -47,6 +47,9 @@
 #include <vector>
 
 #include "fault/transport.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -55,6 +58,10 @@ namespace imrm::sim {
 
 class ShardedRunner {
  public:
+  /// Chrome-trace pid claimed for the wall-clock shard lanes; pid 1 stays
+  /// the simulated-time process (see obs::TraceRecord::pid).
+  static constexpr std::uint32_t kShardLanePid = 2;
+
   struct Config {
     /// Number of simulation domains (cells / protocol segments). Fixed by
     /// the scenario; determinism is per-domain, not per-worker.
@@ -65,6 +72,20 @@ class ShardedRunner {
     /// Conservative window width; must be <= the smallest latency ever
     /// passed to post(). For the campus this is the corridor hop latency.
     Duration window = Duration::millis(1.0);
+    /// Optional wall-clock attribution (ISSUE 7). When set and enabled, the
+    /// runner keeps per-worker busy/barrier-wait/idle lanes, straggler
+    /// counts, and window/messages-per-barrier histograms; collect them with
+    /// export_profile(). Profiling only reads clocks — event execution and
+    /// the injection schedule are untouched, so metrics stay byte-identical.
+    obs::Profiler* profiler = nullptr;
+    /// Optional wall-clock trace lanes: per-worker busy spans plus barrier
+    /// exchange spans on pid kShardLanePid (tid = worker; tid = worker count
+    /// is the coordinator's barrier lane). Records are coordinator-emitted
+    /// between rounds, honoring the tracer's single-writer discipline.
+    /// Requires `profiler` to be set and enabled.
+    obs::Tracer* tracer = nullptr;
+    /// Optional stderr heartbeat, polled once per lockstep round.
+    obs::ProgressMeter* progress = nullptr;
   };
 
   struct Stats {
@@ -109,6 +130,12 @@ class ShardedRunner {
   /// Sum of events fired across all domains (lifetime).
   [[nodiscard]] std::uint64_t events_fired() const;
 
+  /// Copies the sharded-execution accounting (per-lane busy/barrier/idle,
+  /// straggler counts, barrier totals, window histograms) into `out`. A
+  /// no-op when the runner never ran with profiling enabled, so `out`
+  /// stays empty and the run report carries no profile block.
+  void export_profile(obs::ProfileSnapshot& out) const;
+
  private:
   struct Envelope {
     SimTime deliver_time;
@@ -134,6 +161,9 @@ class ShardedRunner {
   void run_domains(std::size_t worker, SimTime target);
   void exchange();
   void worker_loop(std::size_t worker);
+  void arm_profiling();
+  void account_round(std::uint64_t exchange_start_ns, std::uint64_t window_start_ns,
+                     std::uint64_t window_end_ns, std::uint64_t injected);
 
   Config config_;
   std::vector<std::unique_ptr<Simulator>> sims_;
@@ -157,6 +187,36 @@ class ShardedRunner {
   std::size_t running_ = 0;    // workers still executing the current round
   SimTime round_target_;       // guarded by mutex_
   bool shutdown_ = false;
+
+  // ---- wall-clock profiling (ISSUE 7) -----------------------------------
+  // profile_active_ is latched at the top of run_until, before any round is
+  // dispatched; workers observe it through the round barrier's mutex, so no
+  // extra synchronization is needed. busy_scratch_[w] is written only by
+  // worker w during a round and read by the coordinator after the done_cv_
+  // wait — same single-writer discipline as the outboxes.
+  bool profile_active_ = false;
+  std::uint64_t wall_epoch_ns_ = 0;  // first profiled run_until; trace time base
+  std::vector<obs::ShardLaneSample> lanes_;
+  // One busy-time slot per worker, padded to a cache line: adjacent workers
+  // write their slots every window, and packed u64s would false-share.
+  struct alignas(64) BusySlot {
+    std::uint64_t ns = 0;
+  };
+  std::vector<BusySlot> busy_scratch_;
+  // Window wall lengths: 1 us .. ~18 min (2^40 ns), 2 sub-buckets/octave.
+  obs::Histogram window_hist_{obs::HistogramSpec::log2(1024.0, 1024.0 * 1073741824.0, 2)};
+  // Messages injected per barrier; zero-message barriers land in underflow.
+  obs::Histogram messages_hist_{obs::HistogramSpec::log2(1.0, 1048576.0, 2)};
+  obs::PhaseId ph_exchange_ = obs::kInvalidPhase;
+  obs::PhaseId ph_window_ = obs::kInvalidPhase;
+  obs::NameId tr_busy_ = obs::kInvalidName;
+  obs::NameId tr_barrier_ = obs::kInvalidName;
+  bool lanes_declared_ = false;
+  int last_straggler_ = -1;
+  /// Windows executed while profiling was active (== stats_.windows when
+  /// profiling covered the whole run); the profile's barrier count, so the
+  /// straggler tally always sums to it.
+  std::uint64_t profiled_windows_ = 0;
 };
 
 }  // namespace imrm::sim

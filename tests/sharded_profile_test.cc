@@ -1,0 +1,190 @@
+// Sharded wall-clock attribution (ISSUE 7): the profiler's shard lanes,
+// barrier accounting, and Chrome-trace wall lanes must observe the run
+// without perturbing it — metrics stay byte-identical with profiling off,
+// runtime-disabled, or fully enabled, and the wall data lands only in the
+// quarantined profile block / pid-2 trace lanes.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "experiments/sharded_campus.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
+#include "obs/tracer.h"
+#include "sim/sharded_runner.h"
+
+namespace imrm::experiments {
+namespace {
+
+ShardedCampusConfig small_config(std::size_t shards) {
+  ShardedCampusConfig config;
+  config.cells = 10;
+  config.shards = shards;
+  config.portables_per_cell = 5;
+  config.horizon = sim::SimTime::minutes(20);
+  config.seed = 42;
+  return config;
+}
+
+std::string metrics_json(const ShardedCampusResult& result) {
+  std::ostringstream os;
+  result.metrics.write_json(os);
+  return os.str();
+}
+
+TEST(ShardedProfile, MetricsByteIdenticalAcrossProfilingModes) {
+  const ShardedCampusResult clean = run_sharded_campus(small_config(2));
+  EXPECT_TRUE(clean.profile.empty());
+  const std::string golden = metrics_json(clean);
+
+  // Runtime-disabled profiler: config carries the pointer, but nothing is
+  // armed — no profile block, identical metrics.
+  obs::Profiler off;
+  ShardedCampusConfig off_config = small_config(2);
+  off_config.profiler = &off;
+  const ShardedCampusResult disabled = run_sharded_campus(off_config);
+  EXPECT_TRUE(disabled.profile.empty());
+  EXPECT_EQ(metrics_json(disabled), golden);
+
+  obs::Profiler on;
+  on.set_enabled(true);
+  ShardedCampusConfig on_config = small_config(2);
+  on_config.profiler = &on;
+  const ShardedCampusResult profiled = run_sharded_campus(on_config);
+  EXPECT_EQ(metrics_json(profiled), golden);
+  if (obs::Profiler::compiled_in()) {
+    EXPECT_FALSE(profiled.profile.empty());
+  } else {
+    EXPECT_TRUE(profiled.profile.empty());
+  }
+}
+
+#if IMRM_PROFILING
+
+TEST(ShardedProfile, LaneAccountingIsConsistent) {
+  obs::Profiler profiler;
+  profiler.set_enabled(true);
+  ShardedCampusConfig config = small_config(2);
+  config.profiler = &profiler;
+  const ShardedCampusResult r = run_sharded_campus(config);
+  const obs::ProfileSnapshot& p = r.profile;
+
+  // One lane per worker; profiling covered the whole run, so the barrier
+  // count equals the runner's window count and the straggler tally
+  // partitions it.
+  ASSERT_EQ(p.shards.size(), 2u);
+  EXPECT_EQ(p.barriers, r.windows);
+  EXPECT_EQ(p.boundary_messages, r.boundary_messages);
+  EXPECT_GT(p.boundary_bytes, p.boundary_messages);  // sizeof(Envelope) > 1
+  std::uint64_t stragglers = 0;
+  for (const obs::ShardLaneSample& lane : p.shards) {
+    stragglers += lane.straggler_windows;
+    EXPECT_GT(lane.busy_ns + lane.barrier_wait_ns + lane.idle_ns, 0u);
+  }
+  EXPECT_EQ(stragglers, p.barriers);
+  // Every lane spans the same wall interval per window: busy + barrier_wait
+  // always sums to the window wall length, identically across lanes.
+  EXPECT_EQ(p.shards[0].busy_ns + p.shards[0].barrier_wait_ns,
+            p.shards[1].busy_ns + p.shards[1].barrier_wait_ns);
+  EXPECT_EQ(p.shards[0].idle_ns, p.shards[1].idle_ns);
+  // Window histogram saw every barrier; the exchange/window phases were
+  // recorded once per round.
+  EXPECT_EQ(p.window_ns.count, p.barriers);
+  EXPECT_EQ(p.messages_per_barrier.count, p.barriers);
+  bool saw_window_phase = false;
+  for (const obs::PhaseSample& phase : p.phases) {
+    if (phase.name == "shard.window") {
+      saw_window_phase = true;
+      EXPECT_EQ(phase.calls, p.barriers);
+    }
+  }
+  EXPECT_TRUE(saw_window_phase);
+}
+
+TEST(ShardedProfile, WallLanesLandOnShardPidOnly) {
+  obs::Profiler profiler;
+  profiler.set_enabled(true);
+  obs::Tracer tracer(1 << 20);
+  tracer.set_enabled(true);
+  ShardedCampusConfig config = small_config(2);
+  config.profiler = &profiler;
+  config.tracer = &tracer;
+  const ShardedCampusResult r = run_sharded_campus(config);
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  const std::size_t workers = 2;
+  std::uint64_t busy_spans = 0;
+  std::uint64_t barrier_spans = 0;
+  tracer.records().for_each([&](const obs::TraceRecord& rec) {
+    // The harness emits no simulated-time records, so everything here is a
+    // coordinator-written wall span on the shard-lane pid.
+    EXPECT_EQ(rec.pid, sim::ShardedRunner::kShardLanePid);
+    EXPECT_EQ(rec.phase, 'X');
+    EXPECT_LE(rec.track, workers);
+    if (rec.track == workers) {
+      EXPECT_EQ(tracer.name_of(rec.name), "shard.barrier");
+      ++barrier_spans;
+    } else {
+      EXPECT_EQ(tracer.name_of(rec.name), "shard.busy");
+      ++busy_spans;
+    }
+  });
+  EXPECT_EQ(barrier_spans, r.windows);
+  EXPECT_EQ(busy_spans, r.windows * workers);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("imrm-shard-lanes"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(ShardedProfile, TracerWithoutProfilerRecordsNothing) {
+  // Wall lanes require the profiler: --trace-out without --profile must
+  // yield byte-identical trace output to an untraced-by-the-runner run.
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  ShardedCampusConfig config = small_config(2);
+  config.tracer = &tracer;
+  const ShardedCampusResult r = run_sharded_campus(config);
+  EXPECT_GT(r.events_fired, 0u);
+  EXPECT_EQ(tracer.records().size(), 0u);
+
+  std::ostringstream with_runner, fresh;
+  tracer.write_chrome_trace(with_runner);
+  obs::Tracer untouched;
+  untouched.write_chrome_trace(fresh);
+  EXPECT_EQ(with_runner.str(), fresh.str());
+}
+
+TEST(ShardedProfile, ProgressHeartbeatReportsStraggler) {
+  obs::Profiler profiler;
+  profiler.set_enabled(true);
+  std::ostringstream heartbeat;
+  obs::ProgressMeter progress(1e-9, &heartbeat);  // emit on every poll
+  ShardedCampusConfig config = small_config(2);
+  config.profiler = &profiler;
+  config.progress = &progress;
+  (void)run_sharded_campus(config);
+  const std::string lines = heartbeat.str();
+  EXPECT_NE(lines.find("progress:"), std::string::npos);
+  EXPECT_NE(lines.find("% sim-time"), std::string::npos);
+  EXPECT_NE(lines.find("straggler shard"), std::string::npos);
+}
+
+TEST(ShardedProfile, SingleShardStillProfiles) {
+  obs::Profiler profiler;
+  profiler.set_enabled(true);
+  ShardedCampusConfig config = small_config(1);
+  config.profiler = &profiler;
+  const ShardedCampusResult r = run_sharded_campus(config);
+  ASSERT_EQ(r.profile.shards.size(), 1u);
+  EXPECT_EQ(r.profile.shards[0].straggler_windows, r.profile.barriers);
+  EXPECT_GT(r.profile.shards[0].busy_ns, 0u);
+}
+
+#endif  // IMRM_PROFILING
+
+}  // namespace
+}  // namespace imrm::experiments

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Regression gate between two BENCH_N.json perf trajectories (stdlib only).
+
+Usage:
+  tools/bench_compare.py OLD.json NEW.json [options]
+  tools/bench_compare.py --self-test
+
+Compares every numeric metric the two trajectories share, classifying each
+key by name into a direction + noise threshold (see THRESHOLDS below), and
+fails loudly on the two mistakes perf trajectories historically invite:
+
+ * Workload drift. If the pinned campus flags change between trajectories,
+   the numbers measure different work and any delta is meaningless. Every
+   scenario_cli/* entry carries the `config` fingerprint the CLI echoed;
+   any mismatch is a hard refusal (exit 2) unless --allow-config-change is
+   given. Deterministic outputs
+   (events_fired, bytes_per_portable) must be bit-identical for the same
+   config — drift there is a behavior change, not noise (exit 1).
+
+ * Cross-host comparison. Wall-clock numbers from different machines are
+   not comparable; entries (and the optional top-level `_meta` header)
+   carry host_cpus, and a mismatch refuses with exit 2 unless
+   --allow-cross-host.
+
+Noise thresholds are deliberately generous: these trajectories are measured
+on shared single-socket CI boxes where 20-30% run-to-run swing on a
+microbenchmark is routine. The gate is meant to catch step changes (2x
+slowdowns, vanished benchmarks, behavior drift), not to police single-digit
+percent. Tighten per key with --threshold when a stabler host warrants it.
+
+Exit codes:
+  0  clean — every shared metric within threshold
+  1  regression: a metric beyond its threshold, a deterministic value that
+     drifted, or a previously-present metric that vanished
+  2  refusal or usage error: cross-host / config mismatch / unreadable input
+
+Keys never gated: the `profile` block (wall-clock attribution varies per
+run and per shard count by design), `config` and `host_cpus` (handled by
+the refusal checks above), and the `_meta` header.
+"""
+
+import argparse
+import json
+import re
+import signal
+import sys
+
+if hasattr(signal, "SIGPIPE"):  # `bench_compare ... | head` should not traceback
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# (pattern, direction, relative tolerance). First match wins; direction is
+# "higher" (bigger is better), "lower" (smaller is better) or "exact"
+# (deterministic — any drift fails). Keys matching nothing are reported as
+# informational only.
+THRESHOLDS = [
+    (r"events_fired$", "exact", 0.0),
+    (r"bytes_per_portable$", "exact", 0.0),
+    (r"real_time_ns$", "lower", 0.50),
+    (r"items_per_second$", "higher", 0.40),
+    (r"events_per_second", "higher", 0.40),
+    (r"handoff_wall_us", "lower", 1.50),
+    (r"wall_seconds$", "lower", 1.00),
+    (r"speedup", "higher", 0.50),
+    (r"ratio$", "higher", 0.30),
+]
+
+SKIP_SUBTREES = {"config", "profile"}
+SKIP_KEYS = {"host_cpus"}
+
+
+def classify(path):
+    for pattern, direction, tol in THRESHOLDS:
+        if re.search(pattern, path):
+            return direction, tol
+    return None, None
+
+
+def flatten(node, prefix="", out=None):
+    """Numeric leaves, keyed by /-joined path; config/profile subtrees and
+    the _meta header never participate in the metric diff."""
+    if out is None:
+        out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in SKIP_SUBTREES or key in SKIP_KEYS:
+                continue
+            if not prefix and key == "_meta":
+                continue
+            flatten(value, f"{prefix}/{key}" if prefix else key, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+    return out
+
+
+def host_of(trajectory):
+    """host_cpus from the _meta header, else the per-entry consensus."""
+    meta = trajectory.get("_meta", {})
+    if isinstance(meta.get("host_cpus"), int):
+        return meta["host_cpus"]
+    seen = {
+        entry["host_cpus"]
+        for entry in trajectory.values()
+        if isinstance(entry, dict) and isinstance(entry.get("host_cpus"), int)
+    }
+    return seen.pop() if len(seen) == 1 else None
+
+
+def config_fingerprints(trajectory):
+    return {
+        name: entry["config"]
+        for name, entry in trajectory.items()
+        if isinstance(entry, dict) and isinstance(entry.get("config"), dict)
+    }
+
+
+def apply_overrides(overrides):
+    for spec in overrides:
+        pattern, _, tol = spec.partition("=")
+        if not tol:
+            sys.exit(f"bench_compare: bad --threshold {spec!r} "
+                     "(expected PATTERN=FRACTION)")
+        direction, _ = classify(pattern)
+        THRESHOLDS.insert(0, (pattern, direction or "lower", float(tol)))
+
+
+def compare(old, new, args, out=sys.stdout):
+    """Returns the exit code; prints one line per finding."""
+    refusals = []
+    old_host, new_host = host_of(old), host_of(new)
+    if old_host is not None and new_host is not None and old_host != new_host:
+        message = (f"host mismatch: old measured on {old_host} cpus, new on "
+                   f"{new_host} — wall-clock trajectories are not comparable "
+                   "across machines")
+        if args.allow_cross_host:
+            print(f"note (allowed): {message}", file=out)
+        else:
+            refusals.append(message)
+
+    old_configs, new_configs = config_fingerprints(old), config_fingerprints(new)
+    for name in sorted(set(old_configs) & set(new_configs)):
+        if old_configs[name] != new_configs[name]:
+            changed = sorted(
+                k for k in set(old_configs[name]) | set(new_configs[name])
+                if old_configs[name].get(k) != new_configs[name].get(k))
+            message = (f"{name}: workload change — config keys {changed} "
+                       "differ; the numbers measure different work")
+            if args.allow_config_change:
+                print(f"note (allowed): {message}", file=out)
+            else:
+                refusals.append(message)
+    if refusals:
+        for message in refusals:
+            print(f"REFUSED: {message}", file=out)
+        return 2
+
+    old_metrics, new_metrics = flatten(old), flatten(new)
+    regressions = []
+    improvements = 0
+    compared = 0
+    for path in sorted(set(old_metrics) - set(new_metrics)):
+        if classify(path)[0] is not None:
+            regressions.append(f"{path}: metric vanished from the new "
+                               "trajectory (was {:g})".format(old_metrics[path]))
+    for path in sorted(set(new_metrics) - set(old_metrics)):
+        if args.list:
+            print(f"added: {path} = {new_metrics[path]:g}", file=out)
+
+    for path in sorted(set(old_metrics) & set(new_metrics)):
+        direction, tol = classify(path)
+        a, b = old_metrics[path], new_metrics[path]
+        if direction is None:
+            if args.list:
+                print(f"info: {path}: {a:g} -> {b:g}", file=out)
+            continue
+        compared += 1
+        if direction == "exact":
+            if a != b:
+                regressions.append(
+                    f"{path}: deterministic value drifted {a:g} -> {b:g} "
+                    "(same config must reproduce identical output)")
+            elif args.list:
+                print(f"ok: {path}: {a:g} (exact)", file=out)
+            continue
+        if a == 0:
+            continue
+        change = b / a - 1.0
+        regressed = (change < -tol) if direction == "higher" else (change > tol)
+        if regressed:
+            regressions.append(
+                f"{path}: {a:g} -> {b:g} ({change:+.1%}, tolerance "
+                f"{'-' if direction == 'higher' else '+'}{tol:.0%} for "
+                f"{direction}-is-better)")
+        else:
+            if (change > tol) if direction == "higher" else (change < -tol):
+                improvements += 1
+            if args.list:
+                print(f"ok: {path}: {a:g} -> {b:g} ({change:+.1%})", file=out)
+
+    for message in regressions:
+        print(f"REGRESSION: {message}", file=out)
+    print(f"bench_compare: {compared} gated metrics, "
+          f"{len(regressions)} regression(s), "
+          f"{improvements} improvement(s) beyond noise", file=out)
+    return 1 if regressions else 0
+
+
+# --------------------------------------------------------------------------
+# --self-test: synthesized fixtures exercising every exit path.
+
+def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
+             host_cpus=1, attendees="20"):
+    return {
+        "_meta": {"host_cpus": host_cpus},
+        "BM_Sample/8": {"items_per_second": 4.0e6, "real_time_ns": real_time_ns},
+        "scenario_cli/campus": {
+            "host_cpus": host_cpus,
+            "config": {"attendees": attendees, "seed": "5"},
+            "events_per_second": events_per_second,
+            "events_fired": events_fired,
+            "profile": {"shards": [{"busy_frac": 0.5}]},
+        },
+    }
+
+
+def self_test():
+    import copy
+    import io
+
+    class A:
+        allow_cross_host = False
+        allow_config_change = False
+        list = False
+
+    def run(old, new, allow_host=False, allow_config=False):
+        args = A()
+        args.allow_cross_host = allow_host
+        args.allow_config_change = allow_config
+        return compare(old, new, args, out=io.StringIO())
+
+    base = _fixture()
+    checks = []
+    checks.append(("identical trajectories pass", run(base, base) == 0))
+    checks.append(("small throughput wiggle passes",
+                   run(base, _fixture(events_per_second=900.0)) == 0))
+    checks.append(("large throughput drop fails",
+                   run(base, _fixture(events_per_second=400.0)) == 1))
+    checks.append(("large latency growth fails",
+                   run(base, _fixture(real_time_ns=200.0)) == 1))
+    checks.append(("deterministic drift fails",
+                   run(base, _fixture(events_fired=778)) == 1))
+    checks.append(("cross-host refused",
+                   run(base, _fixture(host_cpus=8)) == 2))
+    checks.append(("cross-host allowed with flag",
+                   run(base, _fixture(host_cpus=8), allow_host=True) == 0))
+    checks.append(("workload change refused",
+                   run(base, _fixture(attendees="40", events_fired=999)) == 2))
+    checks.append(("workload change allowed (but determinism then fails)",
+                   run(base, _fixture(attendees="40", events_fired=999),
+                       allow_config=True) == 1))
+    vanished = copy.deepcopy(base)
+    del vanished["BM_Sample/8"]
+    checks.append(("vanished benchmark fails", run(base, vanished) == 1))
+    grew = copy.deepcopy(base)
+    grew["scenario_cli/campus"]["profile"] = {"shards": [{"busy_frac": 0.01}]}
+    checks.append(("profile block never gated", run(base, grew) == 0))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test: {len(failed)} of {len(checks)} checks failed",
+              file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Perf-trajectory regression gate; see module docstring.")
+    parser.add_argument("old", nargs="?", help="baseline BENCH_N.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_M.json")
+    parser.add_argument("--allow-cross-host", action="store_true",
+                        help="compare despite differing host_cpus")
+    parser.add_argument("--allow-config-change", action="store_true",
+                        help="compare despite workload-config drift")
+    parser.add_argument("--list", action="store_true",
+                        help="print every comparison, not just findings")
+    parser.add_argument("--threshold", action="append", default=[],
+                        metavar="PATTERN=FRACTION",
+                        help="override the tolerance for keys matching the "
+                             "regex PATTERN (prepended, so it wins)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.old or not args.new:
+        parser.error("need OLD.json and NEW.json (or --self-test)")
+    apply_overrides(args.threshold)
+    try:
+        with open(args.old) as f:
+            old = json.load(f)
+        with open(args.new) as f:
+            new = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: {err}")
+    sys.exit(compare(old, new, args))
+
+
+if __name__ == "__main__":
+    main()

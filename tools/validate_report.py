@@ -2,10 +2,16 @@
 """Validate imrm run reports and Chrome traces (stdlib only).
 
 A run report is the JSON written by ``scenario_cli --metrics-json`` (schema
-version 1, produced by obs::RunReport::write_json); a trace is the Chrome
+version 2, produced by obs::RunReport::write_json); a trace is the Chrome
 trace_event JSON written by ``--trace-out`` (loadable in Perfetto / about
 chrome://tracing). This script is the machine-checkable contract for both
 formats and runs under ctest (see examples/CMakeLists.txt).
+
+Schema v2 delta (ISSUE 7): an optional top-level ``profile`` object carries
+wall-clock attribution — interned phase totals plus, for sharded runs,
+per-shard busy/barrier_wait/idle lanes and window histograms. The block is
+present exactly when the run was profiled (``--profile 1`` on a build with
+IMRM_PROFILING on); everything else is unchanged from v1.
 
 Usage:
   tools/validate_report.py report.json [trace.json]
@@ -22,7 +28,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 TRACE_PHASES = {"i", "X", "C", "M"}
 
 
@@ -93,6 +99,57 @@ def validate_metrics(metrics):
         validate_histogram(name, h)
 
 
+def _validate_profile_histogram(name, h):
+    where = f"profile.{name}"
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+        _expect(key in h, f"{where}: missing key {key!r}")
+    _expect(_is_count(h["count"]), f"{where}: count must be a non-negative int")
+    for key in ("sum", "min", "max", "p50", "p90", "p99"):
+        _expect(_is_number(h[key]), f"{where}: {key} must be a number")
+
+
+def validate_profile(profile):
+    """The schema-v2 `profile` block: wall-clock phases, optional shard lanes."""
+    _expect(isinstance(profile, dict), "profile must be an object")
+    _expect(profile.get("clock") == "steady", "profile.clock must be 'steady'")
+    phases = profile.get("phases")
+    _expect(isinstance(phases, dict), "profile.phases must be an object")
+    for name, p in phases.items():
+        where = f"profile phase {name!r}"
+        _expect(isinstance(p, dict), f"{where} must be an object")
+        for key in ("calls", "total_ns", "self_ns", "min_ns", "max_ns"):
+            _expect(_is_count(p.get(key)),
+                    f"{where}: {key} must be a non-negative int")
+        _expect(p["calls"] > 0, f"{where}: zero-call phases must be omitted")
+        _expect(p["self_ns"] <= p["total_ns"], f"{where}: self_ns > total_ns")
+    if "shards" not in profile:
+        return
+    for key in ("barriers", "boundary_messages", "boundary_bytes"):
+        _expect(_is_count(profile.get(key)),
+                f"profile.{key} must be a non-negative int")
+    shards = profile["shards"]
+    _expect(isinstance(shards, list) and shards,
+            "profile.shards must be a non-empty list")
+    for i, lane in enumerate(shards):
+        where = f"profile.shards[{i}]"
+        _expect(isinstance(lane, dict), f"{where} must be an object")
+        for key in ("busy_ns", "barrier_wait_ns", "idle_ns", "straggler_windows"):
+            _expect(_is_count(lane.get(key)),
+                    f"{where}: {key} must be a non-negative int")
+        fracs = [lane.get(k) for k in ("busy_frac", "barrier_wait_frac",
+                                       "idle_frac")]
+        _expect(all(_is_number(f) and 0.0 <= f <= 1.0 for f in fracs),
+                f"{where}: lane fractions must be numbers in [0, 1]")
+        _expect(abs(sum(fracs) - 1.0) < 1e-6 or sum(fracs) == 0.0,
+                f"{where}: lane fractions must sum to 1 (or all be 0)")
+    _expect(sum(l["straggler_windows"] for l in shards) == profile["barriers"],
+            "profile: straggler_windows must sum to the barrier count")
+    for key in ("window_ns", "messages_per_barrier"):
+        _expect(isinstance(profile.get(key), dict),
+                f"profile.{key} must be an object")
+        _validate_profile_histogram(key, profile[key])
+
+
 def validate_report(report):
     _expect(isinstance(report, dict), "report must be a JSON object")
     _expect(report.get("schema_version") == SCHEMA_VERSION,
@@ -110,6 +167,8 @@ def validate_report(report):
                 f"{key} must be a non-negative number")
     _expect(_is_count(report.get("events_fired")),
             "events_fired must be a non-negative int")
+    if "profile" in report:
+        validate_profile(report["profile"])
     validate_metrics(report.get("metrics"))
 
 

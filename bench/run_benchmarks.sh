@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite plus instrumented scenario_cli campus runs
 # (clean and with admission-signaling faults) and writes a machine-readable
-# perf trajectory file (default BENCH_7.json at the repo root) so later PRs
+# perf trajectory file (default BENCH_8.json at the repo root) so later PRs
 # have a baseline to beat. Schema:
 # { "_meta": { "host_cpus": <int>, "git_commit": <str>,
 #     "build": { "type": <str>, "IMRM_PROFILING": <str>,
@@ -20,7 +20,12 @@
 #     "events_per_second": { "1": <double>, "2": ..., "4": ..., "8": ... },
 #     "speedup_4x": <double>, "profiled_vs_clean_ratio": <double>,
 #     "profile": { "1": { "barriers": <int>, "shards": [lanes...] },
-#                  "2": ..., "4": ... } } }.
+#                  "2": ..., "4": ... } },
+#   "scenario_cli/service": { "virtual": { <deterministic drive counters +
+#     virtual-time latency percentiles — gated exact> },
+#     "saturation_rps": <double>, "overload": { "offered_rps": <double>,
+#       "sustained_rps": <double>, "latency_p99_us": <double>,
+#       "shed_fraction": <double> } } }.
 # The faulted/clean ratio tracks the overhead of the fault-injection path: a
 # ratio far below 1.0 means the fault plumbing leaked onto the clean hot
 # path. fork_speedup is the win from checkpoint forking: an 8-variant faults
@@ -76,16 +81,26 @@
 # (BENCH_6.json unless BENCH_BASELINE overrides it) and fails on any
 # regression beyond the documented noise thresholds.
 #
+# Service mode (ISSUE 8): three drive runs against the in-process admission
+# service. The `virtual` entry is the deterministic co-simulation (ring
+# transport, virtual pacing, pinned flags) — its counters and virtual-time
+# latency percentiles must reproduce bit-exactly, so bench_compare gates
+# them as `exact`. The wall side first probes saturation (open-loop at an
+# unreachable offered rate; sustained_rps is then the service's real
+# capacity on this host) and then drives at 1.5x that measured saturation,
+# recording sustained req/s, accepted-latency p99, and the shed fraction —
+# the overload numbers the run-report SLO story is judged by.
+#
 # Usage: bench/run_benchmarks.sh [output.json]
 # Env:   BUILD_DIR       build directory relative to the repo root (default: build)
 #        BENCH_ARGS      extra flags for bench_microperf (e.g. --benchmark_filter=...)
 #        BENCH_BASELINE  baseline trajectory for the regression gate
-#                        (default: BENCH_6.json; skipped when absent)
+#                        (default: BENCH_7.json; skipped when absent)
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-build}
-out=${1:-"$repo_root/BENCH_7.json"}
+out=${1:-"$repo_root/BENCH_8.json"}
 
 # The pinned measured workloads (S1). BENCH_4/BENCH_5 measured the campus
 # day at these flags; keep them bit-for-bit stable across bench revisions.
@@ -175,6 +190,30 @@ done
 "$repo_root/$build_dir/examples/scenario_cli" campus-scale \
   --cells 100 --portables 10000 "${scale_flags[@]}" --engine naive \
   --metrics-json "$shard_dir/scale_naive.json" >/dev/null
+
+# Service mode (ISSUE 8). Deterministic virtual run first: pinned flags,
+# past-saturation so the shed path is exercised; every number in it is gated
+# bit-exact by bench_compare.
+service_flags=(--portables 64 --cells 16 --seed 11)
+"$repo_root/$build_dir/examples/scenario_cli" drive \
+  --transport ring --pacing virtual --rate 7500 --duration 5 \
+  "${service_flags[@]}" --queue-cap 16 \
+  --metrics-json "$shard_dir/service_virtual.json" >/dev/null
+
+# Wall saturation probe: offer far more than the service can take; the
+# governor sheds the surplus and sustained_rps converges on real capacity.
+"$repo_root/$build_dir/examples/scenario_cli" drive \
+  --transport ring --pacing wall --rate 200000 --duration 2 \
+  "${service_flags[@]}" --queue-cap 64 \
+  --metrics-json "$shard_dir/service_probe.json" >/dev/null
+
+# 1.5x the measured saturation: the overload point the ISSUE names.
+overload_rate=$(python3 -c "import json; print(1.5 * json.load(open(
+    '$shard_dir/service_probe.json'))['service']['sustained_rps'])")
+"$repo_root/$build_dir/examples/scenario_cli" drive \
+  --transport ring --pacing wall --rate "$overload_rate" --duration 3 \
+  "${service_flags[@]}" --queue-cap 64 \
+  --metrics-json "$shard_dir/service_overload.json" >/dev/null
 
 python3 - "$raw" "$report" "$faulted_report" "$sweep_cold" "$sweep_forked" "$shard_dir" "$out" <<'PYEOF'
 import json
@@ -332,6 +371,31 @@ trajectory["scenario_cli/campus_scale"] = {
         soa_100x10k / naive_report["events_per_second"],
 }
 
+# Service mode (ISSUE 8). The virtual entry is deterministic end to end
+# (gated exact); the wall entries measure this host's service capacity and
+# its behaviour at 1.5x that capacity.
+with open(f"{shard_dir}/service_virtual.json") as f:
+    virt = json.load(f)
+with open(f"{shard_dir}/service_probe.json") as f:
+    probe = json.load(f)
+with open(f"{shard_dir}/service_overload.json") as f:
+    overload = json.load(f)
+vs = virt["service"]
+if vs["offered"] != vs["processed"] + vs["shed"] + vs["unanswered"]:
+    sys.exit("service virtual: offered != processed + shed + unanswered")
+if overload["service"]["shed"] == 0:
+    sys.exit("service overload: driving at 1.5x saturation never shed — "
+             "the governor did not engage")
+trajectory["scenario_cli/service"] = entry(
+    virt,
+    virtual={key: vs[key] for key in (
+        "offered", "processed", "shed", "errors", "admit_accepted",
+        "admit_rejected", "handoffs", "latency_p50_us", "latency_p99_us")},
+    saturation_rps=probe["service"]["sustained_rps"],
+    overload={key: overload["service"][key] for key in (
+        "offered_rps", "sustained_rps", "latency_p99_us", "shed_fraction")},
+)
+
 with open(sys.argv[7], "w") as f:
     json.dump(trajectory, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -340,7 +404,7 @@ PYEOF
 
 # Regression gate: the new trajectory must not regress past the previous
 # baseline beyond the noise thresholds documented in bench_compare.py.
-baseline=${BENCH_BASELINE:-"$repo_root/BENCH_6.json"}
+baseline=${BENCH_BASELINE:-"$repo_root/BENCH_7.json"}
 if [[ -f "$baseline" && "$baseline" != "$out" ]]; then
   python3 "$repo_root/tools/bench_compare.py" "$baseline" "$out"
 else

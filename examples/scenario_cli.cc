@@ -23,6 +23,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <utility>
@@ -43,7 +44,11 @@
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
+#include "serve/load_driver.h"
+#include "serve/socket_transport.h"
 #include "stats/table.h"
+
+#include <thread>
 
 using namespace imrm;
 using namespace imrm::experiments;
@@ -123,8 +128,10 @@ struct ObsSession {
   /// come from the experiment's own metric export when present. A non-null
   /// `profile_override` replaces the session profiler's snapshot — used by
   /// experiments that augment it with engine-side accounting (shard lanes).
+  /// A non-null `service` attaches the schema-v3 service block (serve/drive).
   int finish(const std::string& scenario, const obs::Snapshot& snapshot,
-             const obs::ProfileSnapshot* profile_override = nullptr) {
+             const obs::ProfileSnapshot* profile_override = nullptr,
+             const obs::ServiceBlock* service = nullptr) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
     obs::ProfileSnapshot profile;
     if (profile_override != nullptr) {
@@ -146,6 +153,7 @@ struct ObsSession {
       }
       report.metrics = snapshot;
       report.profile = profile;
+      if (service != nullptr) report.service = *service;
       std::ofstream os(metrics_path);
       if (!os) {
         std::cerr << "cannot write " << metrics_path << '\n';
@@ -748,6 +756,281 @@ int run_campus_scale_cmd(const Flags& flags, ObsSession& obs) {
   return obs.finish("campus_scale", obs.registry.snapshot());
 }
 
+/// Shared serve/drive service-shape flags -> ServiceConfig. False = a flag
+/// was malformed (already diagnosed); the caller exits 2.
+bool parse_service_config(const Flags& flags, ObsSession& obs,
+                          serve::ServiceConfig& config) {
+  std::size_t cells = 0, queue_cap = 0, adapt_every = 0;
+  double slo_p99 = 0.0, retry_after = 0.0, cost = 0.0;
+  if (!parse_count(flags, "cells", 16, cells)) return false;
+  if (!parse_count(flags, "queue-cap", 512, queue_cap)) return false;
+  if (!parse_count(flags, "adapt-every", 0, adapt_every)) return false;
+  if (!parse_number(flags, "slo-p99-us", 5000.0, slo_p99)) return false;
+  if (!parse_number(flags, "retry-after-us", 5000.0, retry_after)) return false;
+  if (!parse_number(flags, "service-cost-us", 200.0, cost)) return false;
+  if (cells < 2) {
+    std::cerr << "scenario_cli: --cells must be at least 2\n";
+    return false;
+  }
+  if (queue_cap == 0 || slo_p99 <= 0.0 || cost <= 0.0) {
+    std::cerr << "scenario_cli: --queue-cap, --slo-p99-us and "
+                 "--service-cost-us must be positive\n";
+    return false;
+  }
+  config.cells = cells;
+  config.slo.queue_capacity = queue_cap;
+  config.slo.p99_target_us = slo_p99;
+  config.slo.retry_after_us = retry_after;
+  config.virtual_service_cost_us = cost;
+  config.adapt_every = adapt_every;
+  // serve/drive always record into the session registry: the latency
+  // percentiles in the service block come from the serve.latency_us /
+  // drive.latency_us histograms whether or not --metrics-json was given.
+  config.metrics = &obs.registry;
+  config.profiler = obs.profiler_or_null();
+  obs.config_echo("cells", fmt_count(double(cells)));
+  obs.config_echo("slo-p99-us", stats::fmt(slo_p99, 1));
+  obs.config_echo("queue-cap", fmt_count(double(queue_cap)));
+  return true;
+}
+
+/// Service-side block: exact offered == processed + shed conservation from
+/// the service's own counters, latency from serve.latency_us.
+obs::ServiceBlock make_service_block(const serve::AdmissionService& service,
+                                     const obs::Snapshot& snapshot,
+                                     const std::string& transport,
+                                     const std::string& pacing, double duration_s) {
+  const serve::ServiceStats& s = service.stats();
+  obs::ServiceBlock block;
+  block.present = true;
+  block.transport = transport;
+  block.pacing = pacing;
+  block.duration_s = duration_s;
+  block.offered = s.offered;
+  block.processed = s.processed;
+  block.shed = s.shed;
+  block.errors = s.errors;
+  block.admit_accepted = s.admit_accepted;
+  block.admit_rejected = s.admit_rejected;
+  block.teardowns = s.teardowns;
+  block.handoffs = s.handoffs;
+  block.handoff_drops = s.handoff_drops;
+  block.probes = s.probes;
+  block.unanswered = 0;
+  block.peak_queue_depth = s.peak_queue_depth;
+  if (duration_s > 0.0) {
+    block.offered_rps = double(s.offered) / duration_s;
+    block.sustained_rps = double(s.processed) / duration_s;
+  }
+  if (s.offered > 0) block.shed_fraction = double(s.shed) / double(s.offered);
+  if (const obs::HistogramSample* h = snapshot.histogram("serve.latency_us")) {
+    block.latency_p50_us = h->percentile(0.50);
+    block.latency_p90_us = h->percentile(0.90);
+    block.latency_p99_us = h->percentile(0.99);
+  }
+  block.slo_p99_us = service.config().slo.p99_target_us;
+  block.slo_met = block.latency_p99_us <= block.slo_p99_us;
+  return block;
+}
+
+void print_service_summary(const obs::ServiceBlock& b) {
+  std::cout << "transport=" << b.transport << " pacing=" << b.pacing
+            << " offered=" << b.offered << " processed=" << b.processed
+            << " shed=" << b.shed << " errors=" << b.errors
+            << " sustained=" << stats::fmt(b.sustained_rps, 0) << "req/s"
+            << " p50=" << stats::fmt(b.latency_p50_us, 0) << "us"
+            << " p99=" << stats::fmt(b.latency_p99_us, 0) << "us"
+            << " slo=" << (b.slo_met ? "met" : "MISSED") << '\n';
+}
+
+/// `scenario_cli serve --socket PATH`: the always-on service. Runs until a
+/// Shutdown request has been processed (or --deadline wall seconds elapse),
+/// then reports what it served.
+int run_serve_cmd(const Flags& flags, ObsSession& obs) {
+  const std::string path = flags.text("socket", "");
+  if (path.empty()) {
+    std::cerr << "scenario_cli: serve requires --socket PATH (the AF_UNIX "
+                 "listening address)\n";
+    return 2;
+  }
+  double deadline = 0.0;
+  if (!parse_number(flags, "deadline", 0.0, deadline)) return 2;
+  serve::ServiceConfig config;
+  if (!parse_service_config(flags, obs, config)) return 2;
+  obs.config_echo("socket", path);
+
+  sim::Simulator simulator;
+  serve::AdmissionService service(config, simulator);
+  std::unique_ptr<serve::SocketServerTransport> server;
+  try {
+    server = std::make_unique<serve::SocketServerTransport>(path);
+  } catch (const serve::TransportError& e) {
+    std::cerr << "scenario_cli: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "serving on " << path << " (cells=" << service.cells()
+            << " slo-p99=" << stats::fmt(config.slo.p99_target_us, 0)
+            << "us queue-cap=" << config.slo.queue_capacity << ")" << std::endl;
+  const auto t0 = std::chrono::steady_clock::now();
+  service.run_wall(*server, deadline);
+  const double duration_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const obs::Snapshot snapshot = obs.registry.snapshot();
+  const obs::ServiceBlock block =
+      make_service_block(service, snapshot, "socket", "wall", duration_s);
+  print_service_summary(block);
+  return obs.finish("serve", snapshot, nullptr, &block);
+}
+
+/// `scenario_cli drive`: the open-loop load driver. With --transport ring it
+/// hosts the service in-process (deterministic with --pacing virtual); with
+/// --transport socket it drives a separately started `serve`.
+int run_drive_cmd(const Flags& flags, ObsSession& obs) {
+  const std::string transport = flags.text("transport", "ring");
+  if (transport != "ring" && transport != "socket") {
+    std::cerr << "scenario_cli: invalid --transport '" << transport
+              << "' (expected ring or socket)\n";
+    return 2;
+  }
+  const std::string pacing =
+      flags.text("pacing", transport == "ring" ? "virtual" : "wall");
+  if (pacing != "virtual" && pacing != "wall") {
+    std::cerr << "scenario_cli: invalid --pacing '" << pacing
+              << "' (expected virtual or wall)\n";
+    return 2;
+  }
+  if (transport == "socket" && pacing == "virtual") {
+    std::cerr << "scenario_cli: --pacing virtual needs the in-process ring "
+                 "(a socket peer has its own clock); use --transport ring\n";
+    return 2;
+  }
+  const std::string arrivals = flags.text("arrivals", "poisson");
+  if (arrivals != "poisson" && arrivals != "trace") {
+    std::cerr << "scenario_cli: invalid --arrivals '" << arrivals
+              << "' (expected poisson or trace)\n";
+    return 2;
+  }
+
+  serve::ServiceConfig service_config;
+  if (!parse_service_config(flags, obs, service_config)) return 2;
+
+  serve::DriveConfig drive;
+  std::size_t seed = 0, portables = 0, shutdown = 0;
+  if (!parse_number(flags, "rate", 1000.0, drive.rate)) return 2;
+  if (!parse_number(flags, "duration", 10.0, drive.duration_s)) return 2;
+  if (!parse_count(flags, "seed", 1, seed)) return 2;
+  if (!parse_count(flags, "portables", 64, portables)) return 2;
+  if (!parse_count(flags, "shutdown", 0, shutdown)) return 2;
+  if (arrivals == "poisson" && (drive.rate <= 0.0 || drive.duration_s <= 0.0)) {
+    std::cerr << "scenario_cli: --rate and --duration must be positive\n";
+    return 2;
+  }
+  if (portables == 0) {
+    std::cerr << "scenario_cli: --portables must be at least 1\n";
+    return 2;
+  }
+  drive.seed = std::uint64_t(seed);
+  drive.portables = std::uint32_t(portables);
+  drive.cells = std::uint32_t(service_config.cells);
+  drive.shutdown_after = shutdown != 0;
+  drive.metrics = &obs.registry;
+  if (arrivals == "trace") {
+    const std::string trace_path = flags.text("trace-in", "");
+    if (trace_path.empty()) {
+      std::cerr << "scenario_cli: --arrivals trace requires --trace-in PATH\n";
+      return 2;
+    }
+    try {
+      drive.trace = serve::parse_trace(trace_path);
+    } catch (const std::runtime_error& e) {
+      std::cerr << "scenario_cli: " << e.what() << '\n';
+      return 2;
+    }
+    if (drive.trace.empty()) {
+      std::cerr << "scenario_cli: trace '" << trace_path << "' has no events\n";
+      return 2;
+    }
+    obs.config_echo("trace-in", trace_path);
+  }
+  obs.config_echo("transport", transport);
+  obs.config_echo("pacing", pacing);
+  obs.config_echo("arrivals", arrivals);
+  obs.config_echo("rate", stats::fmt(drive.rate, 1));
+  obs.config_echo("duration", stats::fmt(drive.duration_s, 2));
+  obs.config_echo("seed", fmt_count(double(drive.seed)));
+  obs.config_echo("portables", fmt_count(double(drive.portables)));
+
+  if (transport == "socket") {
+    const std::string path = flags.text("socket", "");
+    if (path.empty()) {
+      std::cerr << "scenario_cli: --transport socket requires --socket PATH\n";
+      return 2;
+    }
+    obs.config_echo("socket", path);
+    std::unique_ptr<serve::SocketClientTransport> client;
+    try {
+      client = std::make_unique<serve::SocketClientTransport>(path);
+    } catch (const serve::TransportError& e) {
+      std::cerr << "scenario_cli: " << e.what() << '\n';
+      return 1;
+    }
+    serve::LoadDriver driver(drive);
+    const serve::DriveStats ds = driver.run_wall(*client);
+    // Driver-side view: the service's own conservation lives in its report;
+    // here offered = sent, processed = substantively answered.
+    obs::ServiceBlock block;
+    block.present = true;
+    block.transport = "socket";
+    block.pacing = "wall";
+    block.duration_s = ds.duration_s;
+    block.offered = ds.sent;
+    block.processed = ds.accepted + ds.rejected + ds.errors;
+    block.shed = ds.shed;
+    block.errors = ds.errors;
+    block.unanswered = ds.unanswered;
+    if (ds.duration_s > 0.0) {
+      block.offered_rps = double(ds.sent) / ds.duration_s;
+      block.sustained_rps = double(block.processed) / ds.duration_s;
+    }
+    if (ds.sent > 0) block.shed_fraction = double(ds.shed) / double(ds.sent);
+    const obs::Snapshot snapshot = obs.registry.snapshot();
+    if (const obs::HistogramSample* h = snapshot.histogram("drive.latency_us")) {
+      block.latency_p50_us = h->percentile(0.50);
+      block.latency_p90_us = h->percentile(0.90);
+      block.latency_p99_us = h->percentile(0.99);
+    }
+    block.slo_p99_us = service_config.slo.p99_target_us;
+    block.slo_met = block.latency_p99_us <= block.slo_p99_us;
+    print_service_summary(block);
+    return obs.finish("drive", snapshot, nullptr, &block);
+  }
+
+  // In-process ring: the service lives here too.
+  sim::Simulator simulator;
+  serve::AdmissionService service(service_config, simulator);
+  serve::RingTransport ring;
+  serve::LoadDriver driver(drive);
+  serve::DriveStats ds;
+  if (pacing == "virtual") {
+    ds = driver.run_virtual(simulator, ring, service);
+  } else {
+    // Wall pacing over the ring: service on its own thread, open-loop driver
+    // here. The service exits once the driver closes its end and the queue
+    // drains; the deadline is a hang backstop only.
+    const double backstop_s = drive.duration_s + 30.0;
+    std::thread server_thread(
+        [&] { service.run_wall(ring.server(), backstop_s); });
+    ds = driver.run_wall(ring.client());
+    server_thread.join();
+  }
+  const obs::Snapshot snapshot = obs.registry.snapshot();
+  obs::ServiceBlock block =
+      make_service_block(service, snapshot, "ring", pacing, ds.duration_s);
+  print_service_summary(block);
+  return obs.finish("drive", snapshot, nullptr, &block);
+}
+
 void usage() {
   std::cout <<
       "usage: scenario_cli [<command>] [--flag value ...]\n"
@@ -770,6 +1053,16 @@ void usage() {
       "             --stop T --horizon H --replications R --threads W --seed S\n"
       "             (convergence-under-faults harness: lossy control plane +\n"
       "              random outage/crash timeline, safety + reconvergence check)\n"
+      "  serve      --socket PATH [--cells N --slo-p99-us T --queue-cap Q\n"
+      "             --retry-after-us T --adapt-every N --deadline S]\n"
+      "             (always-on admission service on an AF_UNIX socket; runs\n"
+      "              until a Shutdown request or the --deadline backstop)\n"
+      "  drive      --transport ring|socket --pacing virtual|wall\n"
+      "             --arrivals poisson|trace --rate R --duration S --seed S\n"
+      "             --portables N [--socket PATH --trace-in PATH --shutdown 1]\n"
+      "             (open-loop load driver; ring+virtual is deterministic,\n"
+      "              socket drives a separately started `serve`; the report\n"
+      "              gains a schema-v3 `service` block)\n"
       "fault injection (twocell, campus):\n"
       "  --faults P            drop each admission probe with probability P\n"
       "  --fault-retries N     probe attempts before degrading to rejection\n"
@@ -812,6 +1105,8 @@ int main(int argc, char** argv) {
   if (command == "campus") return run_campus_cmd(flags, obs);
   if (command == "campus-scale") return run_campus_scale_cmd(flags, obs);
   if (command == "faults") return run_faults_cmd(flags, obs);
+  if (command == "serve") return run_serve_cmd(flags, obs);
+  if (command == "drive") return run_drive_cmd(flags, obs);
   usage();
   return 2;
 }

@@ -4,6 +4,54 @@
 
 namespace imrm::obs {
 
+void ServiceBlock::write_json(std::ostream& os) const {
+  os << "{\"transport\":";
+  json::write_string(os, transport);
+  os << ",\"pacing\":";
+  json::write_string(os, pacing);
+  os << ",\"duration_seconds\":";
+  json::write_number(os, duration_s);
+  os << ",\"offered\":";
+  json::write_number(os, offered);
+  os << ",\"processed\":";
+  json::write_number(os, processed);
+  os << ",\"shed\":";
+  json::write_number(os, shed);
+  os << ",\"errors\":";
+  json::write_number(os, errors);
+  os << ",\"admit_accepted\":";
+  json::write_number(os, admit_accepted);
+  os << ",\"admit_rejected\":";
+  json::write_number(os, admit_rejected);
+  os << ",\"teardowns\":";
+  json::write_number(os, teardowns);
+  os << ",\"handoffs\":";
+  json::write_number(os, handoffs);
+  os << ",\"handoff_drops\":";
+  json::write_number(os, handoff_drops);
+  os << ",\"probes\":";
+  json::write_number(os, probes);
+  os << ",\"unanswered\":";
+  json::write_number(os, unanswered);
+  os << ",\"peak_queue_depth\":";
+  json::write_number(os, peak_queue_depth);
+  os << ",\"offered_rps\":";
+  json::write_number(os, offered_rps);
+  os << ",\"sustained_rps\":";
+  json::write_number(os, sustained_rps);
+  os << ",\"shed_fraction\":";
+  json::write_number(os, shed_fraction);
+  os << ",\"latency_p50_us\":";
+  json::write_number(os, latency_p50_us);
+  os << ",\"latency_p90_us\":";
+  json::write_number(os, latency_p90_us);
+  os << ",\"latency_p99_us\":";
+  json::write_number(os, latency_p99_us);
+  os << ",\"slo_p99_us\":";
+  json::write_number(os, slo_p99_us);
+  os << ",\"slo_met\":" << (slo_met ? "true" : "false") << '}';
+}
+
 void RunReport::write_json(std::ostream& os) const {
   os << "{\"schema_version\":" << kSchemaVersion << ",\"tool\":";
   json::write_string(os, tool);
@@ -28,6 +76,10 @@ void RunReport::write_json(std::ostream& os) const {
   if (!profile.empty()) {
     os << ",\"profile\":";
     profile.write_json(os);
+  }
+  if (service.present) {
+    os << ",\"service\":";
+    service.write_json(os);
   }
   os << ",\"metrics\":";
   metrics.write_json(os);

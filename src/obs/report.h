@@ -19,13 +19,51 @@
 
 namespace imrm::obs {
 
+/// Service-mode summary (schema v3): what the admission-control service did
+/// under a driven load — offered/processed/shed conservation, rates, the
+/// latency percentiles, and the SLO verdict. Written as a `service` member
+/// only when `present` (batch scenario reports carry no service key).
+struct ServiceBlock {
+  bool present = false;
+  std::string transport;  // "ring" | "socket"
+  std::string pacing;     // "virtual" | "wall"
+  double duration_s = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t admit_accepted = 0;
+  std::uint64_t admit_rejected = 0;
+  std::uint64_t teardowns = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t handoff_drops = 0;
+  std::uint64_t probes = 0;
+  /// Requests with no reply by the end of the drain window. Always 0 in a
+  /// service-side report; a driver-side (socket drive) report may record
+  /// stragglers. offered == processed + shed + unanswered.
+  std::uint64_t unanswered = 0;
+  std::uint64_t peak_queue_depth = 0;
+  double offered_rps = 0.0;
+  double sustained_rps = 0.0;  // processed / duration
+  double shed_fraction = 0.0;  // shed / offered
+  double latency_p50_us = 0.0;
+  double latency_p90_us = 0.0;
+  double latency_p99_us = 0.0;
+  double slo_p99_us = 0.0;  // the configured target
+  bool slo_met = false;     // latency_p99_us <= slo_p99_us
+
+  void write_json(std::ostream& os) const;
+};
+
 struct RunReport {
+  /// v3 (ISSUE 8): adds the optional `service` block — admission-control
+  /// service-mode accounting, present only for `serve`/`drive` runs.
   /// v2 (ISSUE 7): adds the optional `profile` block — wall-clock phase and
   /// shard-lane attribution, present only when profiling was enabled. The
   /// `metrics` section layout is unchanged from v1, so metrics-section
   /// hashes (golden campus JSON, shard determinism checks) are comparable
-  /// across the bump.
-  static constexpr int kSchemaVersion = 2;
+  /// across the bumps.
+  static constexpr int kSchemaVersion = 3;
 
   std::string tool;      // producing binary, e.g. "scenario_cli"
   std::string scenario;  // subcommand / experiment name
@@ -40,6 +78,8 @@ struct RunReport {
   /// when non-empty: disabled-profiling reports carry no profile key at all,
   /// keeping them byte-comparable with profiling compiled out.
   ProfileSnapshot profile;
+  /// Service-mode accounting (schema v3); written only when service.present.
+  ServiceBlock service;
 
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0.0 ? double(events_fired) / wall_seconds : 0.0;

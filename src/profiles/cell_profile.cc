@@ -36,22 +36,21 @@ CellProfile::Prev& CellProfile::find_or_insert(CellId previous) {
       by_previous_.begin(), by_previous_.end(), previous,
       [](const Prev& p, CellId id) { return p.previous < id; });
   if (it == by_previous_.end() || it->previous != previous) {
-    it = by_previous_.insert(it, Prev{previous, {}, {}});
+    it = by_previous_.insert(it, Prev{previous, HistoryWindow(window_), {}});
   }
   return *it;
 }
 
 void CellProfile::record(CellId previous, CellId next) {
   Prev& prev = find_or_insert(previous);
-  prev.window.push_back(next);
+  // Same tally order as the vector-window version: add the newcomer to both
+  // count sets first, then retire whatever the ring evicted.
   count_add(prev.counts, next);
   count_add(aggregate_counts_, next);
   ++total_;
-  while (prev.window.size() > window_) {
-    const CellId evicted = prev.window.front();
-    prev.window.erase(prev.window.begin());
-    count_remove(prev.counts, evicted);
-    count_remove(aggregate_counts_, evicted);
+  if (const std::optional<CellId> evicted = prev.window.push(next)) {
+    count_remove(prev.counts, *evicted);
+    count_remove(aggregate_counts_, *evicted);
     --total_;
   }
 }
@@ -101,7 +100,7 @@ std::size_t CellProfile::memory_bytes() const {
   std::size_t total = by_previous_.capacity() * sizeof(Prev) +
                       aggregate_counts_.capacity() * sizeof(Counts::value_type);
   for (const Prev& prev : by_previous_) {
-    total += prev.window.capacity() * sizeof(CellId) +
+    total += prev.window.memory_bytes() +
              prev.counts.capacity() * sizeof(Counts::value_type);
   }
   return total;
@@ -114,7 +113,9 @@ void CellProfile::save_state(sim::CheckpointWriter& w) const {
   for (const Prev& prev : by_previous_) {
     w.u32(prev.previous.value());
     w.u64(prev.window.size());
-    for (CellId next : prev.window) w.u32(next.value());
+    for (std::size_t i = 0; i < prev.window.size(); ++i) {
+      w.u32(prev.window[i].value());
+    }
   }
 }
 

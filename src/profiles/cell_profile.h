@@ -11,7 +11,9 @@
 // at campus scale, so they must read precomputed counts out of contiguous
 // memory instead of building a std::map per call. Count vectors are kept in
 // ascending neighbor-id order, which is exactly the order the original
-// std::map-based implementation emitted.
+// std::map-based implementation emitted. Each previous-cell window is a
+// fixed-capacity HistoryWindow ring, so a cell's footprint stays pinned
+// however many handoffs churn through it.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "net/ids.h"
+#include "profiles/history_window.h"
 #include "sim/checkpoint.h"
 
 namespace imrm::profiles {
@@ -68,8 +71,8 @@ class CellProfile {
 
   struct Prev {
     CellId previous;
-    std::vector<CellId> window;  // oldest first, newest last
-    Counts counts;               // tallies of `window`, ascending neighbor id
+    HistoryWindow window;  // oldest first, newest last; capacity = window_
+    Counts counts;         // tallies of `window`, ascending neighbor id
   };
 
   static void count_add(Counts& counts, CellId next);

@@ -16,18 +16,14 @@ PortableProfile::State& PortableProfile::find_or_insert(std::uint64_t key) {
       history_.begin(), history_.end(), key,
       [](const State& s, std::uint64_t k) { return s.key < k; });
   if (it == history_.end() || it->key != key) {
-    it = history_.insert(it, State{key, {}});
-    it->window.reserve(window_);
+    it = history_.insert(it, State{key, HistoryWindow(window_)});
   }
   return *it;
 }
 
 void PortableProfile::record(CellId previous, CellId current, CellId next) {
   State& state = find_or_insert(pack(previous, current));
-  state.window.push_back(next);
-  while (state.window.size() > window_) {
-    state.window.erase(state.window.begin());
-  }
+  (void)state.window.push(next);  // ring overwrites the oldest when full
 }
 
 std::optional<CellId> PortableProfile::predict(CellId previous, CellId current) const {
@@ -36,9 +32,13 @@ std::optional<CellId> PortableProfile::predict(CellId previous, CellId current) 
   // Majority vote over the window; ties break toward the most recent, and
   // among equally-counted others toward the smallest cell id (the order the
   // original std::map-based vote scanned candidates in).
-  std::vector<CellId> sorted(state->window);
+  std::vector<CellId> sorted;
+  sorted.reserve(state->window.size());
+  for (std::size_t i = 0; i < state->window.size(); ++i) {
+    sorted.push_back(state->window[i]);
+  }
   std::sort(sorted.begin(), sorted.end());
-  CellId best = state->window.back();
+  CellId best = state->window.newest();
   std::size_t best_count = 0;
   for (std::size_t i = 0; i < sorted.size();) {
     std::size_t j = i;
@@ -66,7 +66,7 @@ std::size_t PortableProfile::observations(CellId previous, CellId current) const
 std::size_t PortableProfile::memory_bytes() const {
   std::size_t total = history_.capacity() * sizeof(State);
   for (const State& state : history_) {
-    total += state.window.capacity() * sizeof(CellId);
+    total += state.window.memory_bytes();
   }
   return total;
 }
@@ -79,7 +79,9 @@ void PortableProfile::save_state(sim::CheckpointWriter& w) const {
     w.u32(std::uint32_t(state.key >> 32));
     w.u32(std::uint32_t(state.key & 0xffffffffu));
     w.u64(state.window.size());
-    for (CellId next : state.window) w.u32(next.value());
+    for (std::size_t i = 0; i < state.window.size(); ++i) {
+      w.u32(state.window[i].value());
+    }
   }
 }
 
@@ -91,7 +93,7 @@ PortableProfile PortableProfile::restore_state(sim::CheckpointReader& r) {
     const CellId current{r.u32()};
     State& state = profile.find_or_insert(pack(previous, current));
     for (std::uint64_t n = r.u64(); n-- > 0;) {
-      state.window.push_back(CellId{r.u32()});
+      (void)state.window.push(CellId{r.u32()});
     }
   }
   return profile;

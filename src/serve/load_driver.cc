@@ -1,0 +1,389 @@
+#include "serve/load_driver.h"
+
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/ring_transport.h"
+
+namespace imrm::serve {
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+[[noreturn]] void trace_error(const std::string& path, std::size_t line,
+                              const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::vector<TraceEvent> parse_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file '" + path + "'");
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    double at = 0.0;
+    std::string kind;
+    if (!(fields >> at)) continue;  // blank / comment-only line
+    if (!(fields >> kind)) trace_error(path, lineno, "missing event kind");
+    TraceEvent event;
+    event.at_seconds = at;
+    if (at < 0.0) trace_error(path, lineno, "negative timestamp");
+    if (!events.empty() && at < events.back().at_seconds) {
+      trace_error(path, lineno, "events not sorted by time");
+    }
+    bool wants_cell = false;
+    if (kind == "admit") {
+      event.kind = MsgType::kAdmit;
+      wants_cell = true;
+    } else if (kind == "teardown") {
+      event.kind = MsgType::kTeardown;
+    } else if (kind == "handoff") {
+      event.kind = MsgType::kHandoff;
+      wants_cell = true;
+    } else if (kind == "probe") {
+      event.kind = MsgType::kProbe;
+    } else {
+      trace_error(path, lineno, "unknown event kind '" + kind +
+                                    "' (want admit|teardown|handoff|probe)");
+    }
+    if (event.kind != MsgType::kProbe) {
+      if (!(fields >> event.portable)) {
+        trace_error(path, lineno, "missing portable id");
+      }
+    }
+    if (wants_cell && !(fields >> event.cell)) {
+      trace_error(path, lineno, "missing cell for '" + kind + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      trace_error(path, lineno, "trailing token '" + extra + "'");
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+LoadDriver::LoadDriver(const DriveConfig& config)
+    : config_(config),
+      cell_of_(config.portables, 0),
+      admitted_(config.portables, false),
+      seen_(config.portables, false) {
+  if (config_.portables == 0) config_.portables = 1;
+  if (config_.cells < 2) config_.cells = 2;
+  cell_of_.resize(config_.portables);
+  admitted_.resize(config_.portables, false);
+  seen_.resize(config_.portables, false);
+  for (std::uint32_t p = 0; p < config_.portables; ++p) {
+    cell_of_[p] = p % config_.cells;
+  }
+  if (config_.metrics != nullptr) {
+    h_latency_us_ =
+        &config_.metrics->histogram("drive.latency_us", latency_histogram_spec());
+    c_sent_ = &config_.metrics->counter("drive.sent");
+    c_shed_ = &config_.metrics->counter("drive.shed");
+  }
+}
+
+void LoadDriver::record_latency(double us) {
+  if (h_latency_us_ != nullptr) h_latency_us_->record(std::max(0.0, us));
+}
+
+Request LoadDriver::next_request(sim::Rng& rng) {
+  const auto p =
+      std::uint32_t(rng.uniform_int(0, int(config_.portables) - 1));
+  const std::array<double, 4> weights{config_.admit_weight, config_.teardown_weight,
+                                      config_.handoff_weight, config_.probe_weight};
+  std::size_t kind = rng.discrete(weights);
+  // Keep the mix well-formed per portable: an admit for a portable the
+  // driver believes holds a session becomes a teardown; a teardown/handoff
+  // for a portable the service has never met becomes an admit.
+  if (kind == 0 && admitted_[p]) kind = 1;
+  if ((kind == 1 || kind == 2) && !seen_[p]) kind = 0;
+  last_intent_ = Intent{};
+  switch (kind) {
+    case 0: {
+      AdmitRequest req;
+      req.portable = p;
+      req.cell = cell_of_[p];
+      req.uplink = rng.bernoulli(0.5);
+      req.qos = config_.qos;
+      seen_[p] = true;
+      admitted_[p] = true;  // optimistic; rolled back if shed
+      last_intent_ = Intent{1, p, 0, 0};
+      return req;
+    }
+    case 1: {
+      admitted_[p] = false;
+      last_intent_ = Intent{2, p, 0, 0};
+      return TeardownRequest{p};
+    }
+    case 2: {
+      // Corridor-chain neighbor: one step left or right, clamped at ends.
+      const std::uint32_t cur = cell_of_[p];
+      std::uint32_t to;
+      if (cur == 0) {
+        to = 1;
+      } else if (cur == config_.cells - 1) {
+        to = cur - 1;
+      } else {
+        to = rng.bernoulli(0.5) ? cur + 1 : cur - 1;
+      }
+      cell_of_[p] = to;
+      last_intent_ = Intent{3, p, cur, to};
+      return HandoffRequest{p, to};
+    }
+    default:
+      return ProbeRequest{};
+  }
+}
+
+void LoadDriver::note_sent(std::uint64_t request_id) {
+  if (last_intent_.kind != 0) inflight_.emplace(request_id, last_intent_);
+  last_intent_ = Intent{};
+}
+
+void LoadDriver::account_reply(const ReplyFrame& frame, DriveStats& stats) {
+  const bool executed = !std::holds_alternative<ShedReply>(frame.body) &&
+                        !std::holds_alternative<ErrorReply>(frame.body);
+  if (const auto it = inflight_.find(frame.request_id); it != inflight_.end()) {
+    if (!executed) {
+      // The service never ran this request: undo the optimistic belief
+      // update unless a later request already moved the same state on.
+      const Intent& intent = it->second;
+      const std::uint32_t p = intent.portable;
+      if (intent.kind == 1) {
+        admitted_[p] = false;
+      } else if (intent.kind == 2) {
+        admitted_[p] = true;
+      } else if (intent.kind == 3 && cell_of_[p] == intent.new_cell) {
+        cell_of_[p] = intent.prev_cell;
+      }
+    }
+    inflight_.erase(it);
+  }
+  std::visit(Overloaded{
+                 [&](const AdmitReply& r) {
+                   if (r.accepted) {
+                     ++stats.accepted;
+                   } else {
+                     ++stats.rejected;
+                   }
+                 },
+                 [&](const TeardownReply&) { ++stats.accepted; },
+                 [&](const HandoffReply& r) {
+                   if (r.completed) {
+                     ++stats.accepted;
+                   } else {
+                     ++stats.rejected;
+                   }
+                 },
+                 [&](const ProbeReply&) { ++stats.accepted; },
+                 [&](const ShutdownReply&) { ++stats.accepted; },
+                 [&](const ShedReply&) {
+                   ++stats.shed;
+                   if (c_shed_ != nullptr) c_shed_->add();
+                 },
+                 [&](const ErrorReply&) { ++stats.errors; },
+             },
+             frame.body);
+}
+
+namespace {
+
+Request trace_to_request(const TraceEvent& event, const DriveConfig& config) {
+  switch (event.kind) {
+    case MsgType::kAdmit: {
+      AdmitRequest req;
+      req.portable = event.portable;
+      req.cell = event.cell;
+      req.qos = config.qos;
+      return req;
+    }
+    case MsgType::kTeardown:
+      return TeardownRequest{event.portable};
+    case MsgType::kHandoff:
+      return HandoffRequest{event.portable, event.cell};
+    default:
+      return ProbeRequest{};
+  }
+}
+
+}  // namespace
+
+DriveStats LoadDriver::run_virtual(sim::Simulator& simulator, RingTransport& transport,
+                                   AdmissionService& service) {
+  DriveStats stats;
+  inflight_.clear();
+  auto rng = std::make_shared<sim::Rng>(config_.seed);
+  auto& client = transport.client();
+  std::unordered_map<std::uint64_t, double> sent_at_us;
+  std::uint64_t next_id = 1;
+  const double t0_s = simulator.now().to_seconds();
+
+  const auto now_us = [&simulator] { return simulator.now().to_seconds() * 1e6; };
+  const auto drain = [&] {
+    std::vector<std::uint8_t> bytes;
+    while (client.next_reply(bytes, std::chrono::microseconds(0))) {
+      try {
+        const ReplyFrame frame = decode_reply(bytes);
+        account_reply(frame, stats);
+        if (const auto it = sent_at_us.find(frame.request_id);
+            it != sent_at_us.end()) {
+          record_latency(now_us() - it->second);
+          sent_at_us.erase(it);
+        }
+      } catch (const CodecError&) {
+        ++stats.errors;
+      }
+    }
+  };
+  const auto send_one = [&](const Request& request) {
+    const std::uint64_t id = next_id++;
+    note_sent(id);
+    sent_at_us.emplace(id, now_us());
+    ++stats.sent;
+    if (c_sent_ != nullptr) c_sent_->add();
+    client.send_request(encode_request(id, request));
+    service.pump_virtual(transport.server());
+    drain();
+  };
+
+  if (!config_.trace.empty()) {
+    for (const TraceEvent& event : config_.trace) {
+      simulator.at(sim::SimTime::seconds(t0_s + event.at_seconds),
+                   [&, event] { send_one(trace_to_request(event, config_)); });
+    }
+  } else {
+    const double t_end_s = t0_s + config_.duration_s;
+    // Self-perpetuating Poisson arrival: each firing schedules the next gap
+    // until the driven window closes. `fire` outlives every scheduled copy
+    // because run() completes before this function returns.
+    auto fire = std::make_shared<std::function<void()>>();
+    *fire = [&, fire_ptr = fire.get()] {
+      if (simulator.now().to_seconds() >= t_end_s) return;
+      send_one(next_request(*rng));
+      simulator.after(sim::Duration::seconds(rng->exponential_rate(config_.rate)),
+                      [fire_ptr] { (*fire_ptr)(); });
+    };
+    simulator.after(sim::Duration::seconds(rng->exponential_rate(config_.rate)),
+                    [fire_ptr = fire.get()] { (*fire_ptr)(); });
+    simulator.run();
+    drain();
+    stats.unanswered = sent_at_us.size();
+    stats.duration_s = simulator.now().to_seconds() - t0_s;
+    return stats;
+  }
+
+  simulator.run();
+  drain();
+  stats.unanswered = sent_at_us.size();
+  stats.duration_s = simulator.now().to_seconds() - t0_s;
+  return stats;
+}
+
+DriveStats LoadDriver::run_wall(ClientTransport& client, double drain_wait_s) {
+  using clock = std::chrono::steady_clock;
+  DriveStats stats;
+  inflight_.clear();
+  sim::Rng rng(config_.seed);
+  std::unordered_map<std::uint64_t, double> sent_at_us;
+  std::uint64_t next_id = 1;
+  const auto start = clock::now();
+  const auto elapsed_us = [&start] {
+    return std::chrono::duration<double, std::micro>(clock::now() - start).count();
+  };
+
+  const auto handle_replies = [&](std::chrono::microseconds wait) {
+    std::vector<std::uint8_t> bytes;
+    while (client.next_reply(bytes, wait)) {
+      try {
+        const ReplyFrame frame = decode_reply(bytes);
+        account_reply(frame, stats);
+        if (const auto it = sent_at_us.find(frame.request_id);
+            it != sent_at_us.end()) {
+          record_latency(elapsed_us() - it->second);
+          sent_at_us.erase(it);
+        }
+      } catch (const CodecError&) {
+        ++stats.errors;
+      }
+      wait = std::chrono::microseconds(0);
+    }
+  };
+  const auto send_one = [&](const Request& request) {
+    const std::uint64_t id = next_id++;
+    note_sent(id);
+    ++stats.sent;
+    if (c_sent_ != nullptr) c_sent_->add();
+    if (client.send_request(encode_request(id, request))) {
+      sent_at_us.emplace(id, elapsed_us());
+    } else {
+      // Transport full or closed. Open loop: count it and keep the pace.
+      ++stats.unanswered;
+      inflight_.erase(id);
+    }
+  };
+
+  const bool use_trace = !config_.trace.empty();
+  std::size_t trace_index = 0;
+  double next_at_us = use_trace ? config_.trace[0].at_seconds * 1e6
+                                : rng.exponential_rate(config_.rate) * 1e6;
+  while (true) {
+    if (use_trace) {
+      if (trace_index >= config_.trace.size()) break;
+    } else if (next_at_us > config_.duration_s * 1e6) {
+      break;
+    }
+    // Hold to the open-loop schedule, draining replies while we wait.
+    while (elapsed_us() < next_at_us) {
+      const double slack_us = next_at_us - elapsed_us();
+      handle_replies(std::chrono::microseconds(
+          std::int64_t(std::min(slack_us, 1000.0))));
+    }
+    if (use_trace) {
+      send_one(trace_to_request(config_.trace[trace_index], config_));
+      ++trace_index;
+      if (trace_index < config_.trace.size()) {
+        next_at_us = config_.trace[trace_index].at_seconds * 1e6;
+      }
+    } else {
+      send_one(next_request(rng));
+      next_at_us += rng.exponential_rate(config_.rate) * 1e6;
+    }
+    handle_replies(std::chrono::microseconds(0));
+  }
+
+  if (config_.shutdown_after) send_one(ShutdownRequest{});
+
+  const auto drain_deadline =
+      clock::now() + std::chrono::microseconds(std::int64_t(drain_wait_s * 1e6));
+  while (!sent_at_us.empty() && clock::now() < drain_deadline) {
+    handle_replies(std::chrono::microseconds(10000));
+  }
+  stats.unanswered += sent_at_us.size();
+  stats.duration_s = elapsed_us() * 1e-6;
+  client.close();
+  return stats;
+}
+
+}  // namespace imrm::serve

@@ -90,6 +90,98 @@ TEST(CellProfile, WindowBounded) {
   EXPECT_EQ(profile.observations(kC), 8u);
 }
 
+// ISSUE 8 satellite: the per-state windows are fixed-capacity rings, so
+// sustained handoff churn must not grow a profile past its warm footprint.
+TEST(PortableProfile, ChurnPinsMemoryFootprint) {
+  constexpr std::uint32_t kCells = 8;
+  PortableProfile profile(PortableId{1}, /*window=*/16);
+  auto churn = [&](int from, int to) {
+    for (int i = from; i < to; ++i) {
+      const CellId prev{std::uint32_t(i * 7 % kCells)};
+      const CellId cur{std::uint32_t(i * 13 % kCells)};
+      const CellId next{std::uint32_t(i * 31 % kCells)};
+      profile.record(prev, cur, next);
+    }
+  };
+  // Warm up far enough to see every (previous, current) state.
+  churn(0, 2000);
+  const std::size_t warm_bytes = profile.memory_bytes();
+  ASSERT_GT(warm_bytes, 0u);
+  // 20k handoffs of further churn: byte-for-byte no growth, not just "small".
+  churn(2000, 20000);
+  EXPECT_EQ(profile.memory_bytes(), warm_bytes);
+  EXPECT_LT(warm_bytes, 64u * 1024u);
+}
+
+TEST(CellProfile, ChurnPinsMemoryFootprint) {
+  constexpr std::uint32_t kCells = 8;
+  CellProfile profile(kD, /*window=*/32);
+  auto churn = [&](int from, int to) {
+    for (int i = from; i < to; ++i) {
+      profile.record(CellId{std::uint32_t(i * 7 % kCells)},
+                     CellId{std::uint32_t(i * 31 % kCells)});
+    }
+  };
+  churn(0, 2000);
+  const std::size_t warm_bytes = profile.memory_bytes();
+  ASSERT_GT(warm_bytes, 0u);
+  churn(2000, 20000);
+  EXPECT_EQ(profile.memory_bytes(), warm_bytes);
+  // Tallies stay consistent with the bounded windows.
+  EXPECT_EQ(profile.total_observations(), 8u * 32u);
+  double sum = 0.0;
+  for (const auto& share : profile.aggregate_distribution()) {
+    sum += share.probability;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// The ring must serialize oldest-first, i.e. exactly the byte stream the
+// vector-backed window produced: a churned profile survives a checkpoint
+// round trip with identical bytes and predictions.
+TEST(PortableProfile, ChurnedCheckpointRoundTrip) {
+  PortableProfile profile(PortableId{4}, /*window=*/4);
+  for (int i = 0; i < 100; ++i) {
+    profile.record(CellId{std::uint32_t(i % 3)}, CellId{std::uint32_t(i % 5)},
+                   CellId{std::uint32_t(i % 7)});
+  }
+  sim::CheckpointWriter w;
+  profile.save_state(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+  sim::CheckpointReader r(bytes);
+  const PortableProfile restored = PortableProfile::restore_state(r);
+
+  sim::CheckpointWriter w2;
+  restored.save_state(w2);
+  EXPECT_EQ(w2.take(), bytes);
+  for (std::uint32_t prev = 0; prev < 3; ++prev) {
+    for (std::uint32_t cur = 0; cur < 5; ++cur) {
+      EXPECT_EQ(restored.predict(CellId{prev}, CellId{cur}),
+                profile.predict(CellId{prev}, CellId{cur}));
+    }
+  }
+}
+
+TEST(CellProfile, ChurnedCheckpointRoundTrip) {
+  CellProfile profile(kA, /*window=*/4);
+  for (int i = 0; i < 100; ++i) {
+    profile.record(CellId{std::uint32_t(i % 3)}, CellId{std::uint32_t(i % 7)});
+  }
+  sim::CheckpointWriter w;
+  profile.save_state(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+  sim::CheckpointReader r(bytes);
+  const CellProfile restored = CellProfile::restore_state(r);
+
+  sim::CheckpointWriter w2;
+  restored.save_state(w2);
+  EXPECT_EQ(w2.take(), bytes);
+  EXPECT_EQ(restored.total_observations(), profile.total_observations());
+  for (std::uint32_t prev = 0; prev < 3; ++prev) {
+    EXPECT_EQ(restored.predict(CellId{prev}), profile.predict(CellId{prev}));
+  }
+}
+
 TEST(ProfileServer, RecordUpdatesBothProfiles) {
   ProfileServer server(net::ZoneId{0});
   server.record_handoff(PortableId{1}, kC, kD, kA);

@@ -53,11 +53,31 @@ if hasattr(signal, "SIGPIPE"):  # `bench_compare ... | head` should not tracebac
 # (deterministic — any drift fails). Keys matching nothing are reported as
 # informational only.
 THRESHOLDS = [
+    # The service's virtual-pacing run is a deterministic co-simulation:
+    # every counter and virtual-time latency percentile under it must
+    # reproduce bit-exactly at the pinned flags (ISSUE 8).
+    (r"/service/virtual/", "exact", 0.0),
     (r"events_fired$", "exact", 0.0),
-    (r"bytes_per_portable$", "exact", 0.0),
+    # Memory per portable is allocation-deterministic (no wall noise) but
+    # moves when a container policy legitimately changes (e.g. the ISSUE 8
+    # lazy-growth history ring); gate the direction tightly instead of
+    # requiring bit-equality so improvements land without ceremony.
+    (r"bytes_per_portable$", "lower", 0.05),
+    # The runtime-disabled profiler/tracer guards run at 1-2 cycles per op;
+    # at that scale relative deltas measure instruction alignment of the
+    # benchmark loop (any unrelated code added to the binary shifts it), not
+    # the guard itself. Gate them loosely on the order of magnitude; the
+    # *enabled* paths (BM_ProfilerScope/1 etc.) keep the normal tolerances.
+    (r"BM_ProfilerScope/0/items_per_second$", "higher", 0.80),
+    (r"BM_ProfilerScope/0/real_time_ns$", "lower", 4.00),
     (r"real_time_ns$", "lower", 0.50),
     (r"items_per_second$", "higher", 0.40),
     (r"events_per_second", "higher", 0.40),
+    # Wall-clock service capacity and its throughput under 1.5x overload.
+    (r"saturation_rps$", "higher", 0.40),
+    (r"sustained_rps$", "higher", 0.40),
+    # Wall latency percentiles swing hard on shared boxes; gate step changes.
+    (r"latency_p\d+_us$", "lower", 1.00),
     (r"handoff_wall_us", "lower", 1.50),
     (r"wall_seconds$", "lower", 1.00),
     (r"speedup", "higher", 0.50),
@@ -208,7 +228,8 @@ def compare(old, new, args, out=sys.stdout):
 # --self-test: synthesized fixtures exercising every exit path.
 
 def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
-             host_cpus=1, attendees="20"):
+             host_cpus=1, attendees="20", virtual_shed=2500,
+             saturation_rps=40000.0, overload_p99=800.0):
     return {
         "_meta": {"host_cpus": host_cpus},
         "BM_Sample/8": {"items_per_second": 4.0e6, "real_time_ns": real_time_ns},
@@ -218,6 +239,17 @@ def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
             "events_per_second": events_per_second,
             "events_fired": events_fired,
             "profile": {"shards": [{"busy_frac": 0.5}]},
+        },
+        "scenario_cli/service": {
+            "host_cpus": host_cpus,
+            "config": {"rate": "7500.0", "seed": "11"},
+            "virtual": {"offered": 37500, "shed": virtual_shed,
+                        "latency_p99_us": 3000.0},
+            "saturation_rps": saturation_rps,
+            "overload": {"offered_rps": saturation_rps * 1.5,
+                         "sustained_rps": saturation_rps * 0.95,
+                         "latency_p99_us": overload_p99,
+                         "shed_fraction": 0.33},
         },
     }
 
@@ -257,6 +289,16 @@ def self_test():
     checks.append(("workload change allowed (but determinism then fails)",
                    run(base, _fixture(attendees="40", events_fired=999),
                        allow_config=True) == 1))
+    checks.append(("service virtual drift fails (exact gate)",
+                   run(base, _fixture(virtual_shed=2501)) == 1))
+    checks.append(("service capacity halving fails",
+                   run(base, _fixture(saturation_rps=18000.0)) == 1))
+    checks.append(("service capacity wiggle passes",
+                   run(base, _fixture(saturation_rps=32000.0)) == 0))
+    checks.append(("overload p99 step change fails",
+                   run(base, _fixture(overload_p99=2500.0)) == 1))
+    checks.append(("overload p99 wiggle passes",
+                   run(base, _fixture(overload_p99=1400.0)) == 0))
     vanished = copy.deepcopy(base)
     del vanished["BM_Sample/8"]
     checks.append(("vanished benchmark fails", run(base, vanished) == 1))

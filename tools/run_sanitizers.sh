@@ -4,13 +4,21 @@
 # already exposes. Each sanitizer gets its own build tree so the
 # instrumented objects never mix with the regular build (or each other).
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|scale|all]   (default: all)
+# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|ubsan-checkpoint|shard|serve|scale|all]
+#        (default: all)
 #        checkpoint = asan+ubsan over the `checkpoint`-labelled tests only —
 #        the serialization/restore code paths (fast: one instrumented tree,
 #        a handful of tests).
+#        ubsan-checkpoint = undefined-behaviour sanitizer alone over the
+#        `checkpoint` label — the strict binary parsers (checkpoint restore
+#        and the serve wire codec share the discipline), where UB would mean
+#        a malformed byte stream escaped the typed-error path.
 #        shard = tsan over the `shard`-labelled tests only — the ShardedRunner
 #        worker pool and everything that runs on it (the suite whose data
 #        races tsan can actually see).
+#        serve = tsan over the `serve`-labelled tests only — the SPSC ring's
+#        acquire/release handshake and the two-thread wall-pacing service
+#        loop (ISSUE 8).
 #        scale = asan+ubsan over the `scale`-labelled tests only — the
 #        campus-at-scale SoA hot path (flat maps, milestone arena, batched
 #        handoff groups), where an indexing bug would smear silently.
@@ -46,14 +54,16 @@ case "$which" in
   asan) run_one asan "address;undefined" ;;
   tsan) run_one tsan "thread" ;;
   checkpoint) run_one asan-checkpoint "address;undefined" "-L checkpoint" ;;
+  ubsan-checkpoint) run_one ubsan-checkpoint "undefined" "-L checkpoint" ;;
   shard) run_one tsan-shard "thread" "-L shard" ;;
+  serve) run_one tsan-serve "thread" "-L serve" ;;
   scale) run_one asan-scale "address;undefined" "-L scale" ;;
   all)
     run_one asan "address;undefined"
     run_one tsan "thread"
     ;;
   *)
-    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|shard|scale|all]" >&2
+    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|ubsan-checkpoint|shard|serve|scale|all]" >&2
     exit 2
     ;;
 esac

@@ -2,10 +2,16 @@
 """Validate imrm run reports and Chrome traces (stdlib only).
 
 A run report is the JSON written by ``scenario_cli --metrics-json`` (schema
-version 2, produced by obs::RunReport::write_json); a trace is the Chrome
+version 3, produced by obs::RunReport::write_json); a trace is the Chrome
 trace_event JSON written by ``--trace-out`` (loadable in Perfetto / about
 chrome://tracing). This script is the machine-checkable contract for both
 formats and runs under ctest (see examples/CMakeLists.txt).
+
+Schema v3 delta (ISSUE 8): an optional top-level ``service`` object carries
+admission-control service-mode accounting — offered/processed/shed/errors
+conservation, offered and sustained request rates, latency percentiles, and
+the SLO verdict. The block is present exactly for ``serve``/``drive`` runs;
+everything else is unchanged from v2.
 
 Schema v2 delta (ISSUE 7): an optional top-level ``profile`` object carries
 wall-clock attribution — interned phase totals plus, for sharded runs,
@@ -28,7 +34,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 TRACE_PHASES = {"i", "X", "C", "M"}
 
 
@@ -150,6 +156,43 @@ def validate_profile(profile):
         _validate_profile_histogram(key, profile[key])
 
 
+SERVICE_COUNTS = ("offered", "processed", "shed", "errors", "admit_accepted",
+                  "admit_rejected", "teardowns", "handoffs", "handoff_drops",
+                  "probes", "unanswered", "peak_queue_depth")
+SERVICE_NUMBERS = ("duration_seconds", "offered_rps", "sustained_rps",
+                   "shed_fraction", "latency_p50_us", "latency_p90_us",
+                   "latency_p99_us", "slo_p99_us")
+
+
+def validate_service(service):
+    """The schema-v3 `service` block: service-mode accounting + SLO verdict."""
+    _expect(isinstance(service, dict), "service must be an object")
+    _expect(service.get("transport") in ("ring", "socket"),
+            f"service.transport must be 'ring' or 'socket', "
+            f"got {service.get('transport')!r}")
+    _expect(service.get("pacing") in ("virtual", "wall"),
+            f"service.pacing must be 'virtual' or 'wall', "
+            f"got {service.get('pacing')!r}")
+    for key in SERVICE_COUNTS:
+        _expect(_is_count(service.get(key)),
+                f"service.{key} must be a non-negative int")
+    for key in SERVICE_NUMBERS:
+        _expect(_is_number(service.get(key)) and service[key] >= 0,
+                f"service.{key} must be a non-negative number")
+    _expect(isinstance(service.get("slo_met"), bool),
+            "service.slo_met must be a boolean")
+    _expect(service["offered"] ==
+            service["processed"] + service["shed"] + service["unanswered"],
+            "service: offered must equal processed + shed + unanswered")
+    _expect(service["errors"] <= service["processed"],
+            "service: errors cannot exceed processed")
+    _expect(0.0 <= service["shed_fraction"] <= 1.0,
+            "service.shed_fraction must be in [0, 1]")
+    _expect(service["slo_met"] ==
+            (service["latency_p99_us"] <= service["slo_p99_us"]),
+            "service.slo_met must match latency_p99_us <= slo_p99_us")
+
+
 def validate_report(report):
     _expect(isinstance(report, dict), "report must be a JSON object")
     _expect(report.get("schema_version") == SCHEMA_VERSION,
@@ -169,6 +212,8 @@ def validate_report(report):
             "events_fired must be a non-negative int")
     if "profile" in report:
         validate_profile(report["profile"])
+    if "service" in report:
+        validate_service(report["service"])
     validate_metrics(report.get("metrics"))
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite plus instrumented scenario_cli campus runs
 # (clean and with admission-signaling faults) and writes a machine-readable
-# perf trajectory file (default BENCH_8.json at the repo root) so later PRs
+# perf trajectory file (default BENCH_9.json at the repo root) so later PRs
 # have a baseline to beat. Schema:
 # { "_meta": { "host_cpus": <int>, "git_commit": <str>,
 #     "build": { "type": <str>, "IMRM_PROFILING": <str>,
@@ -25,7 +25,12 @@
 #     virtual-time latency percentiles — gated exact> },
 #     "saturation_rps": <double>, "overload": { "offered_rps": <double>,
 #       "sustained_rps": <double>, "latency_p99_us": <double>,
-#       "shed_fraction": <double> } } }.
+#       "shed_fraction": <double> } },
+#   "scenario_cli/campus_adapt": { "events_per_second": <double>,
+#     "renegotiations_triggered": <int>, "renegotiations_accepted": <int>,
+#     "windows_breached": <int>, "granted_prefault_bps": <double>,
+#     "granted_min_bps": <double>, "granted_final_bps": <double>,
+#     "offered_bits": <double>, "nonconforming_bits": <double> } }.
 # The faulted/clean ratio tracks the overhead of the fault-injection path: a
 # ratio far below 1.0 means the fault plumbing leaked onto the clean hot
 # path. fork_speedup is the win from checkpoint forking: an 8-variant faults
@@ -78,8 +83,17 @@
 # CLI; the measured workloads below are PINNED — change them only together
 # with a schema note, never silently. After writing the trajectory, this
 # script runs tools/bench_compare.py against the previous baseline
-# (BENCH_6.json unless BENCH_BASELINE overrides it) and fails on any
+# (BENCH_8.json unless BENCH_BASELINE overrides it) and fails on any
 # regression beyond the documented noise thresholds.
+#
+# Closed adaptation loop (ISSUE 9): one quiet campus day with the loop on —
+# four adaptive streams, a Gilbert–Elliott fault window mid-day — pinned
+# flags, no wall pacing anywhere in the loop, so every number except
+# events/s is deterministic and gated bit-exact by bench_compare. The entry
+# records the renegotiation counts, the granted-rate trajectory
+# (prefault / under-fault minimum / final), and the shaper conformance
+# split; this script additionally asserts the conservation identity and
+# that the final grant recovered the pre-fault fixed point exactly.
 #
 # Service mode (ISSUE 8): three drive runs against the in-process admission
 # service. The `virtual` entry is the deterministic co-simulation (ring
@@ -95,18 +109,19 @@
 # Env:   BUILD_DIR       build directory relative to the repo root (default: build)
 #        BENCH_ARGS      extra flags for bench_microperf (e.g. --benchmark_filter=...)
 #        BENCH_BASELINE  baseline trajectory for the regression gate
-#                        (default: BENCH_7.json; skipped when absent)
+#                        (default: BENCH_8.json; skipped when absent)
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-build}
-out=${1:-"$repo_root/BENCH_8.json"}
+out=${1:-"$repo_root/BENCH_9.json"}
 
 # The pinned measured workloads (S1). BENCH_4/BENCH_5 measured the campus
 # day at these flags; keep them bit-for-bit stable across bench revisions.
 campus_flags=(--attendees 20 --squatters 6 --seed 5)
 scale_flags=(--duration 3600 --tick 5 --seed 5)
 shard_flags=(--cells 32 --portables 32 --hours 4 --seed 11)
+adapt_flags=(--adapt-loop 1 --attendees 0 --squatters 0 --seed 5)
 
 cmake --build "$repo_root/$build_dir" --target bench_microperf scenario_cli -j >/dev/null
 
@@ -190,6 +205,11 @@ done
 "$repo_root/$build_dir/examples/scenario_cli" campus-scale \
   --cells 100 --portables 10000 "${scale_flags[@]}" --engine naive \
   --metrics-json "$shard_dir/scale_naive.json" >/dev/null
+
+# Closed adaptation loop (ISSUE 9): the pinned quiet campus day with the
+# loop on; everything but events/s in the resulting entry is deterministic.
+"$repo_root/$build_dir/examples/scenario_cli" campus \
+  "${adapt_flags[@]}" --metrics-json "$shard_dir/campus_adapt.json" >/dev/null
 
 # Service mode (ISSUE 8). Deterministic virtual run first: pinned flags,
 # past-saturation so the shed path is exercised; every number in it is gated
@@ -371,6 +391,32 @@ trajectory["scenario_cli/campus_scale"] = {
         soa_100x10k / naive_report["events_per_second"],
 }
 
+# Closed adaptation loop (ISSUE 9). Deterministic end to end: gate-worthy
+# counters come straight from the report's adaptation block, and the two
+# loop invariants — shaper conservation and bit-exact recovery of the
+# pre-fault grant — are asserted here before the entry is written.
+with open(f"{shard_dir}/campus_adapt.json") as f:
+    adapt = json.load(f)
+ab = adapt["adaptation"]
+if ab["offered_bits"] != ab["bg_bits"] + ab["wc_bits"] + ab["nonconforming_bits"]:
+    sys.exit("campus adapt: shaper conservation broken — offered_bits != "
+             "bg + wc + nonconforming")
+if ab["granted_final_bps"] != ab["granted_prefault_bps"]:
+    sys.exit("campus adapt: the loop did not recover the pre-fault grant "
+             f"({ab['granted_final_bps']:g} != {ab['granted_prefault_bps']:g})")
+trajectory["scenario_cli/campus_adapt"] = entry(
+    adapt,
+    events_per_second=adapt["events_per_second"],
+    renegotiations_triggered=ab["renegotiations_triggered"],
+    renegotiations_accepted=ab["renegotiations_accepted"],
+    windows_breached=ab["windows_breached"],
+    granted_prefault_bps=ab["granted_prefault_bps"],
+    granted_min_bps=ab["granted_min_bps"],
+    granted_final_bps=ab["granted_final_bps"],
+    offered_bits=ab["offered_bits"],
+    nonconforming_bits=ab["nonconforming_bits"],
+)
+
 # Service mode (ISSUE 8). The virtual entry is deterministic end to end
 # (gated exact); the wall entries measure this host's service capacity and
 # its behaviour at 1.5x that capacity.
@@ -404,7 +450,7 @@ PYEOF
 
 # Regression gate: the new trajectory must not regress past the previous
 # baseline beyond the noise thresholds documented in bench_compare.py.
-baseline=${BENCH_BASELINE:-"$repo_root/BENCH_7.json"}
+baseline=${BENCH_BASELINE:-"$repo_root/BENCH_8.json"}
 if [[ -f "$baseline" && "$baseline" != "$out" ]]; then
   python3 "$repo_root/tools/bench_compare.py" "$baseline" "$out"
 else

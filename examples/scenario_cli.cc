@@ -128,10 +128,13 @@ struct ObsSession {
   /// come from the experiment's own metric export when present. A non-null
   /// `profile_override` replaces the session profiler's snapshot — used by
   /// experiments that augment it with engine-side accounting (shard lanes).
-  /// A non-null `service` attaches the schema-v3 service block (serve/drive).
+  /// A non-null `service` attaches the schema-v3 service block (serve/drive);
+  /// a non-null `adaptation` attaches the schema-v4 adaptation block
+  /// (campus --adapt-loop).
   int finish(const std::string& scenario, const obs::Snapshot& snapshot,
              const obs::ProfileSnapshot* profile_override = nullptr,
-             const obs::ServiceBlock* service = nullptr) {
+             const obs::ServiceBlock* service = nullptr,
+             const obs::AdaptationBlock* adaptation = nullptr) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
     obs::ProfileSnapshot profile;
     if (profile_override != nullptr) {
@@ -154,6 +157,7 @@ struct ObsSession {
       report.metrics = snapshot;
       report.profile = profile;
       if (service != nullptr) report.service = *service;
+      if (adaptation != nullptr) report.adaptation = *adaptation;
       std::ofstream os(metrics_path);
       if (!os) {
         std::cerr << "cannot write " << metrics_path << '\n';
@@ -457,10 +461,56 @@ int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shar
   return obs.finish("campus-sharded", r.metrics, &r.profile);
 }
 
+/// Builds the schema-v4 adaptation block from the run's metric snapshot plus
+/// the grant trajectory (single runs only; sweep aggregates leave it zero).
+obs::AdaptationBlock make_adaptation_block(const CampusDayConfig& config,
+                                           const obs::Snapshot& snapshot,
+                                           const CampusDayResult* result) {
+  const auto count = [&snapshot](const char* name) -> std::uint64_t {
+    const obs::CounterSample* c = snapshot.counter(name);
+    return c == nullptr ? 0 : c->value;
+  };
+  const auto level = [&snapshot](const char* name) -> double {
+    const obs::GaugeSample* g = snapshot.gauge(name);
+    return g == nullptr ? 0.0 : g->value;
+  };
+  obs::AdaptationBlock block;
+  block.present = true;
+  block.flows = config.adapt.flows;
+  block.renegotiations_triggered = count("adapt.renegotiations_triggered");
+  block.renegotiations_accepted = count("adapt.renegotiations_accepted");
+  block.windows_breached = count("adapt.windows_breached");
+  block.windows_clean = count("adapt.windows_clean");
+  block.windows_insufficient = count("adapt.windows_insufficient");
+  block.offered_bits = count("adapt.shaper_offered_bits");
+  block.bg_bits = count("adapt.shaper_bg_bits");
+  block.wc_bits = count("adapt.shaper_wc_bits");
+  block.nonconforming_bits = count("adapt.shaper_nonconforming_bits");
+  block.hop_offered_packets = count("adapt.hop_offered_packets");
+  block.hop_delivered_packets = count("adapt.hop_delivered_packets");
+  block.hop_dropped_packets = count("adapt.hop_dropped_packets");
+  block.granted_bps = level("adapt.granted_bps");
+  block.enforced_bps = level("adapt.enforced_bps");
+  if (result != nullptr) {
+    block.granted_prefault_bps = result->adapt_granted_prefault_bps;
+    block.granted_min_bps = result->adapt_granted_min_bps;
+    block.granted_final_bps = result->adapt_granted_final_bps;
+  }
+  return block;
+}
+
 int run_campus_cmd(const Flags& flags, ObsSession& obs) {
-  std::size_t shards = 0;
+  std::size_t shards = 0, adapt_loop = 0;
   if (!parse_count(flags, "shards", 0, shards)) return 2;
-  if (shards > 0) return run_campus_sharded_cmd(flags, obs, shards);
+  if (!parse_count(flags, "adapt-loop", 0, adapt_loop)) return 2;
+  if (shards > 0) {
+    if (adapt_loop != 0) {
+      std::cerr << "scenario_cli: --adapt-loop runs the single-process campus "
+                   "day; it does not support --shards\n";
+      return 2;
+    }
+    return run_campus_sharded_cmd(flags, obs, shards);
+  }
 
   CampusDayConfig config;
   std::size_t attendees = 0, squatters = 0, seed = 0;
@@ -498,12 +548,52 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
     std::cerr << "scenario_cli: checkpoints apply to single runs, not --replications\n";
     return 2;
   }
+  std::size_t adapt_flows = 0;
+  double adapt_fault = 0.0, adapt_fault_start = 0.0, adapt_fault_stop = 0.0;
+  if (!parse_count(flags, "adapt-flows", 4, adapt_flows)) return 2;
+  if (!parse_number(flags, "adapt-fault", 0.8, adapt_fault, /*probability=*/true)) {
+    return 2;
+  }
+  if (!parse_number(flags, "adapt-fault-start", 60.0, adapt_fault_start)) return 2;
+  if (!parse_number(flags, "adapt-fault-stop", 100.0, adapt_fault_stop)) return 2;
+  if (adapt_loop != 0) {
+    if (!ckpt_out.empty() || !ckpt_in.empty()) {
+      std::cerr << "scenario_cli: the adaptation loop does not support "
+                   "checkpoint/resume; drop --adapt-loop or the "
+                   "--checkpoint-out/--checkpoint-in flag\n";
+      return 2;
+    }
+    if (adapt_flows == 0) {
+      std::cerr << "scenario_cli: --adapt-flows must be at least 1\n";
+      return 2;
+    }
+    if (adapt_fault > 0.0 && adapt_fault_start >= adapt_fault_stop) {
+      std::cerr << "scenario_cli: --adapt-fault-start (" << stats::fmt(adapt_fault_start, 1)
+                << ") must be before --adapt-fault-stop ("
+                << stats::fmt(adapt_fault_stop, 1) << ")\n";
+      return 2;
+    }
+    config.adapt.enabled = true;
+    config.adapt.flows = adapt_flows;
+    config.adapt.fault_loss = adapt_fault;
+    config.adapt.fault_start = sim::SimTime::minutes(adapt_fault_start);
+    config.adapt.fault_stop = sim::SimTime::minutes(adapt_fault_stop);
+  }
   if (!apply_signaling_faults(flags, config.faults, obs)) return 2;
   obs.config_echo("policy", policy);
   obs.config_echo("attendees", fmt_count(double(config.attendees)));
   obs.config_echo("squatters", fmt_count(double(config.squatters)));
   obs.config_echo("seed", fmt_count(double(config.seed)));
   obs.config_echo("replications", fmt_count(double(replications)));
+  if (config.adapt.enabled) {
+    // Echoed only when enabled: loop-off config fingerprints (and therefore
+    // golden reports) stay byte-identical to pre-adaptation builds.
+    obs.config_echo("adapt-loop", "1");
+    obs.config_echo("adapt-flows", fmt_count(double(adapt_flows)));
+    obs.config_echo("adapt-fault", stats::fmt(adapt_fault, 4));
+    obs.config_echo("adapt-fault-start", stats::fmt(adapt_fault_start, 1));
+    obs.config_echo("adapt-fault-stop", stats::fmt(adapt_fault_stop, 1));
+  }
 
   if (replications > 1) {
     // Monte-Carlo sweep: per-replication snapshots merged deterministically;
@@ -518,8 +608,15 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
     std::cout << "policy=" << r.policy << " replications=" << r.replications
               << " attendee-drops=" << r.attendee_drops
               << " squatter-blocks=" << r.squatter_blocks
-              << " handoffs=" << r.handoffs << '\n';
-    return obs.finish("campus-sweep", r.metrics);
+              << " handoffs=" << r.handoffs;
+    if (config.adapt.enabled) std::cout << " renegotiations=" << r.renegotiations;
+    std::cout << '\n';
+    obs::AdaptationBlock adapt_block;
+    if (config.adapt.enabled) {
+      adapt_block = make_adaptation_block(config, r.metrics, nullptr);
+    }
+    return obs.finish("campus-sweep", r.metrics, nullptr, nullptr,
+                      config.adapt.enabled ? &adapt_block : nullptr);
   }
 
   config.metrics = obs.registry_or_null();
@@ -565,8 +662,20 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
             << " squatter-blocks=" << r.squatter_blocks << " squatter-admits="
             << r.squatter_admits << " handoffs=" << r.handoffs
             << " room-peak=" << stats::fmt(r.room_peak_allocated / 1000.0, 0)
-            << "kbps\n";
-  return obs.finish("campus", obs.registry.snapshot());
+            << "kbps";
+  if (config.adapt.enabled) {
+    std::cout << " renegotiations=" << r.renegotiations
+              << " adapt-prefault=" << stats::fmt(r.adapt_granted_prefault_bps / 1000.0, 1)
+              << "kbps adapt-min=" << stats::fmt(r.adapt_granted_min_bps / 1000.0, 1)
+              << "kbps adapt-final=" << stats::fmt(r.adapt_granted_final_bps / 1000.0, 1)
+              << "kbps";
+  }
+  std::cout << '\n';
+  const obs::Snapshot snapshot = obs.registry.snapshot();
+  obs::AdaptationBlock adapt_block;
+  if (config.adapt.enabled) adapt_block = make_adaptation_block(config, snapshot, &r);
+  return obs.finish("campus", snapshot, nullptr, nullptr,
+                    config.adapt.enabled ? &adapt_block : nullptr);
 }
 
 int run_faults_cmd(const Flags& flags, ObsSession& obs) {
@@ -1066,6 +1175,17 @@ void usage() {
       "fault injection (twocell, campus):\n"
       "  --faults P            drop each admission probe with probability P\n"
       "  --fault-retries N     probe attempts before degrading to rejection\n"
+      "adaptation loop (campus, not with --shards or checkpoints):\n"
+      "  --adapt-loop 1        run N adaptive packet streams in the meeting room\n"
+      "                        (source -> dual token-bucket shaper -> VC link ->\n"
+      "                        lossy hop); measured loss/delay windows drive\n"
+      "                        renegotiation and max-min re-division; the report\n"
+      "                        gains a schema-v4 `adaptation` block\n"
+      "  --adapt-flows N       adaptive streams (default 4)\n"
+      "  --adapt-fault P       Gilbert-Elliott burst loss probability during the\n"
+      "                        fault window (default 0.8; 0 disables the fault)\n"
+      "  --adapt-fault-start M fault window start, minutes (default 60)\n"
+      "  --adapt-fault-stop M  fault window end, minutes (default 100)\n"
       "checkpoint/restore (campus):\n"
       "  --checkpoint-out PATH freeze the day at --checkpoint-at MIN (default 60)\n"
       "  --checkpoint-in PATH  resume a frozen day; same flags -> identical output\n"

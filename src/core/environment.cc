@@ -189,6 +189,13 @@ std::vector<PortableId> Environment::squeeze_cell(CellId cell) {
 }
 
 void Environment::adapt_cell(CellId cell) {
+  adapt_cell_impl(cell);
+  // Fired on every path, including "nothing to re-divide": grants may have
+  // been squeezed to b_min above, and the data plane must follow.
+  if (on_adapt_) on_adapt_(cell);
+}
+
+void Environment::adapt_cell_impl(CellId cell) {
   reservation::CellBandwidth& account = directory_.at(cell);
   const std::vector<PortableId> holders = squeeze_cell(cell);
   if (holders.empty()) return;
@@ -206,15 +213,15 @@ void Environment::adapt_cell(CellId cell) {
       std::max(account.capacity() - account.allocated() - account.reserved_total(), 0.0);
   if (excess <= 0.0) return;
 
-  maxmin::Problem problem;
-  problem.links.push_back({excess});
+  std::vector<double> headrooms;
+  headrooms.reserve(statics.size());
   for (PortableId p : statics) {
-    problem.connections.push_back({{0}, connections_.at(p).bounds.headroom()});
+    headrooms.push_back(connections_.at(p).bounds.headroom());
   }
-  const auto solved = maxmin::waterfill(problem);
+  const std::vector<double> shares = maxmin::divide_excess(excess, headrooms);
   for (std::size_t i = 0; i < statics.size(); ++i) {
     const PortableId p = statics[i];
-    const qos::BitsPerSecond b = connections_.at(p).bounds.b_min + solved.rates[i];
+    const qos::BitsPerSecond b = connections_.at(p).bounds.b_min + shares[i];
     account.set_allocation(p, b);
     connections_.at(p).allocated = b;
   }

@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "fault/fault_model.h"
+#include "maxmin/waterfill.h"
 #include "mobility/floorplan.h"
 #include "mobility/manager.h"
 #include "obs/profiler.h"
+#include "qos/adaptation.h"
+#include "qos/packet_sim.h"
+#include "qos/shaper.h"
 #include "prediction/predictor.h"
 #include "profiles/profile_server.h"
 #include "reservation/dispatcher.h"
@@ -67,6 +73,10 @@ class CampusDay {
     // drawing exactly the pre-fault sequence from rng_.
     if (config_.faults.enabled()) probe_.emplace(config_.faults, rng_.fork());
 
+    // The adaptation loop is likewise gated: a disabled loop builds no
+    // packet pipeline and forks no RNG, so loop-off days stay byte-identical.
+    if (config_.adapt.enabled) setup_adapt_loop();
+
     if (config_.tracer) simulator_.set_tracer(config_.tracer);
     if (config_.metrics) {
       directory_.bind_metrics(*config_.metrics);
@@ -86,6 +96,14 @@ class CampusDay {
   /// snapshots everything a resume needs. The quiescence rule holds by
   /// construction: every pending event is a tagged record in pending_.
   sim::Checkpoint checkpoint(SimTime at) {
+    if (config_.adapt.enabled) {
+      // The packet pipeline schedules raw lambdas (source ticks, link
+      // serves), not tagged PendingEvent records — there is nothing to
+      // re-arm on the other side, so refuse instead of silently dropping
+      // the in-flight packets.
+      throw sim::CheckpointError(
+          "campus: the adaptation loop does not support checkpoint/resume");
+    }
     start();
     while (simulator_.next_event_time() < at && simulator_.step()) {
     }
@@ -109,6 +127,10 @@ class CampusDay {
   }
 
   CampusDayResult resume(const sim::Checkpoint& ckpt) {
+    if (config_.adapt.enabled) {
+      throw sim::CheckpointError(
+          "campus: the adaptation loop does not support checkpoint/resume");
+    }
     sim::CheckpointReader h = ckpt.reader("experiment.campus");
     restore_harness(h);
     if (!h.done()) {
@@ -159,6 +181,7 @@ class CampusDay {
     schedule_attendees();
     schedule_squatters();
     schedule_roamers();
+    if (adapt_) start_adapt_loop();
     PendingEvent refresh_tick;
     refresh_tick.at = simulator_.now() + Duration::seconds(30);
     refresh_tick.kind = EventKind::kRefresh;
@@ -171,6 +194,16 @@ class CampusDay {
 
   CampusDayResult finish() {
     result_.policy = to_string(config_.policy);
+    if (adapt_) {
+      result_.renegotiations =
+          std::size_t(adapt_->controller->renegotiations_accepted());
+      result_.adapt_granted_prefault_bps = adapt_->prefault_total;
+      result_.adapt_granted_min_bps =
+          adapt_->min_total == std::numeric_limits<double>::infinity()
+              ? total_granted()
+              : adapt_->min_total;
+      result_.adapt_granted_final_bps = total_granted();
+    }
     if (config_.metrics) export_metrics(*config_.metrics);
     return result_;
   }
@@ -215,6 +248,7 @@ class CampusDay {
         break;
       case EventKind::kRefresh:
         refresh();
+        if (adapt_) adapt_tick();
         rearm_periodic(e, Duration::seconds(30));
         break;
       case EventKind::kRoomSample:
@@ -272,6 +306,188 @@ class CampusDay {
 
   void refresh() { policy_->refresh(simulator_.now()); }
 
+  // ---- adaptation loop (ISSUE 9) ----------------------------------------
+  //
+  // A handful of adaptive packet streams live in the meeting room, admitted
+  // into the room's bandwidth account at b_min like any connection. Each
+  // stream is source -> shaper -> Virtual Clock link -> lossy hop -> sink.
+  // Every refresh tick the controller harvests the hop's per-flow loss
+  // window and the sinks' delay-bound violations; sustained breach
+  // renegotiates the requested range down, sustained clean ramps it back,
+  // and every grant change is pushed into the shaper so the delivered rate
+  // IS the granted rate.
+
+  /// Packet payload: large enough to keep the event count tractable over a
+  /// full day, small enough for >= min_samples packets per 30 s window even
+  /// when a flow is throttled to b_min.
+  static constexpr qos::Bits kAdaptPacketBits = 32000.0;  // 4000 bytes
+
+  struct AdaptRuntime {
+    qos::DelaySink sink;
+    std::optional<qos::LossyHop> hop;
+    std::optional<qos::ScheduledLink> link;
+    std::optional<qos::DualTokenBucketShaper> shaper;
+    std::optional<qos::AdaptationController> controller;
+    std::vector<std::unique_ptr<qos::TokenBucketSource>> sources;
+    std::vector<qos::QosRequest> requests;  // current requested ranges
+    std::vector<PortableId> ids;            // room-account identities
+    double prefault_total = 0.0;
+    double min_total = std::numeric_limits<double>::infinity();
+    bool fault_seen = false;
+  };
+
+  [[nodiscard]] PortableId adapt_id(std::size_t i) const {
+    // Outside the mobility roster's id range: the streams are room fixtures
+    // (no mobility, no policy interaction), only their bandwidth is real.
+    return PortableId{std::uint32_t(1000000 + i)};
+  }
+
+  void setup_adapt_loop() {
+    adapt_ = std::make_unique<AdaptRuntime>();
+    adapt_->hop.emplace(fault::LinkFaultModel{}, rng_.fork(),
+                        [this](qos::Packet p) {
+                          const qos::Seconds delay =
+                              (simulator_.now() - p.created).to_seconds();
+                          adapt_->sink(p, simulator_.now());
+                          adapt_->controller->on_delivered(p.flow, delay);
+                        });
+    adapt_->link.emplace(simulator_, config_.cell_capacity,
+                         [this](qos::Packet p) { adapt_->hop->offer(std::move(p)); });
+    adapt_->shaper.emplace(simulator_,
+                           [this](qos::Packet p) { adapt_->link->enqueue(std::move(p)); });
+    adapt_->controller.emplace(
+        qos::AdaptationConfig{}, *adapt_->hop,
+        [this](qos::FlowId flow, qos::BandwidthRange range) {
+          return adapt_renegotiate(flow, range);
+        });
+    if (config_.metrics) {
+      adapt_->controller->set_window_observer(
+          [this](qos::FlowId, const qos::LossyHop::LossWindow& w,
+                 qos::AdaptationController::WindowVerdict v) {
+            if (v == qos::AdaptationController::WindowVerdict::kInsufficient) return;
+            config_.metrics
+                ->histogram("adapt.window_loss_rate",
+                            obs::HistogramSpec::linear(0.0, 1.0, 20))
+                .record(w.loss_rate());
+          });
+    }
+
+    reservation::CellBandwidth& account = directory_.at(room_);
+    for (std::size_t i = 0; i < config_.adapt.flows; ++i) {
+      const qos::FlowId flow = qos::FlowId(i);
+      qos::QosRequest request;
+      request.bandwidth = {config_.adapt.b_min, config_.adapt.b_max};
+      request.delay_bound = 0.25;    // generous: the room link is unloaded
+      request.jitter_bound = 0.25;
+      request.loss_bound = 0.02;     // p_e the fault window must breach
+      request.traffic = {2.0 * kAdaptPacketBits, kAdaptPacketBits};
+      assert(request.valid());
+      adapt_->requests.push_back(request);
+      adapt_->ids.push_back(adapt_id(i));
+      const bool admitted = account.admit_new(adapt_->ids[i], config_.adapt.b_min);
+      assert(admitted && "adaptive streams are admitted into an empty room");
+      (void)admitted;
+      adapt_->link->add_flow(flow, config_.adapt.b_min);
+      adapt_->shaper->add_flow(
+          flow, qos::DualTokenBucketShaper::Shape{
+                    config_.adapt.b_min, 0.0,
+                    /*bg_depth=*/2.0 * kAdaptPacketBits,
+                    /*wc_depth=*/2.0 * kAdaptPacketBits});
+      adapt_->controller->add_flow(flow, request, config_.adapt.b_min);
+      // Greedy at b_max: the stream always wants its ceiling; what it gets
+      // on the wire is whatever the shaper currently enforces.
+      qos::TokenBucketSource::Config source;
+      source.flow = flow;
+      source.sigma = 2.0 * kAdaptPacketBits;
+      source.rho = config_.adapt.b_max;
+      source.packet_size = kAdaptPacketBits;
+      source.greedy = true;
+      adapt_->sources.push_back(std::make_unique<qos::TokenBucketSource>(
+          simulator_, source, rng_.fork(),
+          [this](qos::Packet p) { adapt_->shaper->offer(std::move(p)); }));
+    }
+    redivide_adaptive();
+  }
+
+  void start_adapt_loop() {
+    for (auto& source : adapt_->sources) source->start(horizon_);
+    const auto& cfg = config_.adapt;
+    if (cfg.fault_loss > 0.0 && cfg.fault_start < cfg.fault_stop &&
+        cfg.fault_start < horizon_) {
+      // Raw lambdas, not PendingEvents: fine, the loop refuses checkpoints.
+      simulator_.at(cfg.fault_start, [this] {
+        adapt_->prefault_total = total_granted();
+        adapt_->fault_seen = true;
+        adapt_->hop->set_model(fault::LinkFaultModel::gilbert_elliott(
+            0.2, config_.adapt.fault_loss, 20.0));
+      });
+      simulator_.at(cfg.fault_stop, [this] {
+        adapt_->hop->set_model(fault::LinkFaultModel{});
+      });
+    }
+  }
+
+  /// The controller asks for a new range: record it and re-divide. The
+  /// grant itself comes out of the max-min division, not the request.
+  bool adapt_renegotiate(qos::FlowId flow, qos::BandwidthRange range) {
+    adapt_->requests[flow].bandwidth = range;
+    redivide_adaptive();
+    return true;
+  }
+
+  /// Max-min re-division of the room's excess among the adaptive streams'
+  /// current headrooms (requested - b_min), pushed into the account, the
+  /// link's reserved rates, the shaper and the controller — one shared
+  /// split for control plane and data plane.
+  void redivide_adaptive() {
+    reservation::CellBandwidth& account = directory_.at(room_);
+    for (std::size_t i = 0; i < adapt_->ids.size(); ++i) {
+      account.set_allocation(adapt_->ids[i], adapt_->requests[i].bandwidth.b_min);
+    }
+    const double excess = std::max(
+        account.capacity() - account.allocated() - account.reserved_total(), 0.0);
+    std::vector<double> headrooms;
+    headrooms.reserve(adapt_->ids.size());
+    for (const qos::QosRequest& r : adapt_->requests) {
+      headrooms.push_back(r.bandwidth.headroom());
+    }
+    const std::vector<double> shares = maxmin::divide_excess(excess, headrooms);
+    for (std::size_t i = 0; i < adapt_->ids.size(); ++i) {
+      const qos::FlowId flow = qos::FlowId(i);
+      const qos::BitsPerSecond b_min = adapt_->requests[i].bandwidth.b_min;
+      account.set_allocation(adapt_->ids[i], b_min + shares[i]);
+      adapt_->link->set_rate(flow, b_min + shares[i]);
+      adapt_->shaper->set_shape(flow, b_min, shares[i]);
+      adapt_->controller->on_granted(flow, b_min + shares[i]);
+    }
+  }
+
+  void adapt_tick() {
+    adapt_->controller->tick();
+    // Re-divide unconditionally: reservations and meeting traffic move the
+    // room's excess even between renegotiations.
+    redivide_adaptive();
+    if (adapt_->fault_seen) {
+      adapt_->min_total = std::min(adapt_->min_total, total_granted());
+    }
+  }
+
+  [[nodiscard]] double total_granted() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < adapt_->ids.size(); ++i) {
+      total += adapt_->controller->granted(qos::FlowId(i));
+    }
+    return total;
+  }
+
+  [[nodiscard]] double total_enforced() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < adapt_->ids.size(); ++i) {
+      total += adapt_->shaper->enforced_rate(qos::FlowId(i));
+    }
+    return total;
+  }
+
   void export_metrics(obs::Registry& m) const {
     simulator_.collect_metrics(m);
     m.counter("campus.attendee_drops").add(result_.attendee_drops);
@@ -279,6 +495,29 @@ class CampusDay {
     m.counter("campus.squatter_admits").add(result_.squatter_admits);
     m.counter("campus.other_drops").add(result_.other_drops);
     m.gauge("campus.room_peak_allocated_bps").set(result_.room_peak_allocated);
+    if (adapt_) {
+      const qos::AdaptationController& c = *adapt_->controller;
+      m.counter("adapt.renegotiations_triggered").add(c.renegotiations_triggered());
+      m.counter("adapt.renegotiations_accepted").add(c.renegotiations_accepted());
+      m.counter("adapt.windows_breached").add(c.windows_breached());
+      m.counter("adapt.windows_clean").add(c.windows_clean());
+      m.counter("adapt.windows_insufficient").add(c.windows_insufficient());
+      const qos::DualTokenBucketShaper::Counters& t = adapt_->shaper->totals();
+      m.counter("adapt.shaper_offered_packets").add(t.offered_packets);
+      m.counter("adapt.shaper_bg_packets").add(t.bg_packets);
+      m.counter("adapt.shaper_wc_packets").add(t.wc_packets);
+      m.counter("adapt.shaper_nonconforming_packets").add(t.nonconforming_packets);
+      m.counter("adapt.shaper_offered_bits").add(std::uint64_t(t.offered_bits));
+      m.counter("adapt.shaper_bg_bits").add(std::uint64_t(t.bg_bits));
+      m.counter("adapt.shaper_wc_bits").add(std::uint64_t(t.wc_bits));
+      m.counter("adapt.shaper_nonconforming_bits")
+          .add(std::uint64_t(t.nonconforming_bits));
+      m.counter("adapt.hop_offered_packets").add(adapt_->hop->offered());
+      m.counter("adapt.hop_delivered_packets").add(adapt_->hop->delivered());
+      m.counter("adapt.hop_dropped_packets").add(adapt_->hop->dropped());
+      m.gauge("adapt.granted_bps").set(total_granted());
+      m.gauge("adapt.enforced_bps").set(total_enforced());
+    }
   }
 
   void do_handoff(PortableId p, CellId to, bool is_attendee) {
@@ -528,6 +767,7 @@ class CampusDay {
   std::unique_ptr<reservation::AdvanceReservationPolicy> policy_;
   sim::Rng rng_;
   CellId room_, corridor_, far_corridor_;
+  std::unique_ptr<AdaptRuntime> adapt_;  // null unless config_.adapt.enabled
   CampusDayResult result_;
   SimTime horizon_;
   std::vector<PendingEvent> pending_;  // scheduling (= serial) order
@@ -596,6 +836,7 @@ CampusSweepResult run_campus_day_sweep(const CampusSweepConfig& config) {
     sweep.squatter_admits += r.squatter_admits;
     sweep.other_drops += r.other_drops;
     sweep.handoffs += r.handoffs;
+    sweep.renegotiations += r.renegotiations;
     sweep.mean_room_peak_allocated += r.room_peak_allocated;
     sweep.max_room_peak_allocated =
         std::max(sweep.max_room_peak_allocated, r.room_peak_allocated);

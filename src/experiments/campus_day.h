@@ -52,6 +52,29 @@ struct CampusDayConfig {
   /// fault-free days stay byte-identical to pre-fault builds.
   fault::SignalingFaults faults{};
 
+  /// Closed adaptation loop (ISSUE 9): a set of packet-level adaptive
+  /// streams in the meeting room, each running source -> dual token-bucket
+  /// shaper -> Virtual Clock link -> lossy hop -> delay sink, with an
+  /// AdaptationController harvesting windowed loss/delay estimators every
+  /// refresh tick and renegotiating the streams' requested ranges; grants
+  /// come from the max-min excess division of the room account, and the
+  /// shaper enforces them on the wire. A Gilbert–Elliott fault window
+  /// [fault_start, fault_stop) drives the renegotiate-down / recover-up
+  /// story. Disabled by default; a disabled loop builds nothing, draws no
+  /// random numbers and leaves every metric byte-identical.
+  struct AdaptLoop {
+    bool enabled = false;
+    std::size_t flows = 4;
+    qos::BitsPerSecond b_min = qos::kbps(32);
+    qos::BitsPerSecond b_max = qos::kbps(256);
+    /// Gilbert–Elliott burst-loss probability injected on the air hop
+    /// during the fault window (0 disables the fault, loop still runs).
+    double fault_loss = 0.8;
+    sim::SimTime fault_start = sim::SimTime::minutes(60);
+    sim::SimTime fault_stop = sim::SimTime::minutes(100);
+  };
+  AdaptLoop adapt{};
+
   // ---- observability (all optional) ------------------------------------
   /// Registry for end-of-run metric export (sim.* driver totals, resv.* and
   /// mobility.* admission/handoff telemetry, campus.* outcome counters).
@@ -73,6 +96,12 @@ struct CampusDayResult {
   std::size_t other_drops = 0;       // non-attendee handoff failures
   std::size_t handoffs = 0;
   double room_peak_allocated = 0.0;  // bps, sampled each minute
+
+  // ---- adaptation loop (all zero when config.adapt.enabled is false) ----
+  std::size_t renegotiations = 0;            // accepted renegotiations
+  double adapt_granted_prefault_bps = 0.0;   // total grant at fault_start
+  double adapt_granted_min_bps = 0.0;        // min total grant after fault_start
+  double adapt_granted_final_bps = 0.0;      // total grant at end of day
 };
 
 [[nodiscard]] CampusDayResult run_campus_day(const CampusDayConfig& config);
@@ -122,6 +151,7 @@ struct CampusSweepResult {
   std::size_t squatter_admits = 0;
   std::size_t other_drops = 0;
   std::size_t handoffs = 0;
+  std::size_t renegotiations = 0;         // accepted, summed (adapt loop)
   double mean_room_peak_allocated = 0.0;  // bps
   double max_room_peak_allocated = 0.0;   // bps
   /// Per-replication metric snapshots merged in replication order —

@@ -107,4 +107,18 @@ WaterfillResult waterfill(const Problem& problem) {
   return result;
 }
 
+std::vector<double> divide_excess(double excess,
+                                  const std::vector<double>& headrooms) {
+  if (headrooms.empty()) return {};
+  Problem problem;
+  problem.links.push_back(ProblemLink{std::max(excess, 0.0)});
+  for (double headroom : headrooms) {
+    ProblemConnection connection;
+    connection.path = {0};
+    connection.demand = std::max(headroom, 0.0);
+    problem.connections.push_back(std::move(connection));
+  }
+  return waterfill(problem).rates;
+}
+
 }  // namespace imrm::maxmin

@@ -25,4 +25,13 @@ inline constexpr LinkIndex kDemandLimited = static_cast<LinkIndex>(-1);
 /// Computes the max-min fair allocation. Precondition: problem.valid().
 [[nodiscard]] WaterfillResult waterfill(const Problem& problem);
 
+/// Single-link excess division: the max-min fair split of `excess` among
+/// connections whose demands are capped by `headrooms[i]` (each connection's
+/// b_max - b_min). This is the in-cell query Environment::adapt_cell and the
+/// adaptation loop's re-division both run — one shared implementation so the
+/// control plane and the data-plane shaper agree on the split bit-for-bit.
+/// Returns per-connection excess shares (same order as headrooms).
+[[nodiscard]] std::vector<double> divide_excess(double excess,
+                                                const std::vector<double>& headrooms);
+
 }  // namespace imrm::maxmin

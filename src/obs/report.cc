@@ -52,6 +52,46 @@ void ServiceBlock::write_json(std::ostream& os) const {
   os << ",\"slo_met\":" << (slo_met ? "true" : "false") << '}';
 }
 
+void AdaptationBlock::write_json(std::ostream& os) const {
+  os << "{\"flows\":";
+  json::write_number(os, flows);
+  os << ",\"renegotiations_triggered\":";
+  json::write_number(os, renegotiations_triggered);
+  os << ",\"renegotiations_accepted\":";
+  json::write_number(os, renegotiations_accepted);
+  os << ",\"windows_breached\":";
+  json::write_number(os, windows_breached);
+  os << ",\"windows_clean\":";
+  json::write_number(os, windows_clean);
+  os << ",\"windows_insufficient\":";
+  json::write_number(os, windows_insufficient);
+  os << ",\"offered_bits\":";
+  json::write_number(os, offered_bits);
+  os << ",\"bg_bits\":";
+  json::write_number(os, bg_bits);
+  os << ",\"wc_bits\":";
+  json::write_number(os, wc_bits);
+  os << ",\"nonconforming_bits\":";
+  json::write_number(os, nonconforming_bits);
+  os << ",\"hop_offered_packets\":";
+  json::write_number(os, hop_offered_packets);
+  os << ",\"hop_delivered_packets\":";
+  json::write_number(os, hop_delivered_packets);
+  os << ",\"hop_dropped_packets\":";
+  json::write_number(os, hop_dropped_packets);
+  os << ",\"granted_bps\":";
+  json::write_number(os, granted_bps);
+  os << ",\"enforced_bps\":";
+  json::write_number(os, enforced_bps);
+  os << ",\"granted_prefault_bps\":";
+  json::write_number(os, granted_prefault_bps);
+  os << ",\"granted_min_bps\":";
+  json::write_number(os, granted_min_bps);
+  os << ",\"granted_final_bps\":";
+  json::write_number(os, granted_final_bps);
+  os << '}';
+}
+
 void RunReport::write_json(std::ostream& os) const {
   os << "{\"schema_version\":" << kSchemaVersion << ",\"tool\":";
   json::write_string(os, tool);
@@ -80,6 +120,10 @@ void RunReport::write_json(std::ostream& os) const {
   if (service.present) {
     os << ",\"service\":";
     service.write_json(os);
+  }
+  if (adaptation.present) {
+    os << ",\"adaptation\":";
+    adaptation.write_json(os);
   }
   os << ",\"metrics\":";
   metrics.write_json(os);

@@ -55,7 +55,43 @@ struct ServiceBlock {
   void write_json(std::ostream& os) const;
 };
 
+/// Closed-adaptation-loop summary (schema v4): what the campus adapt loop
+/// did over the day — renegotiation counts, window verdict tallies, the
+/// shaper's conformance conservation (offered == bg + wc + nonconforming,
+/// in bits), the air hop's packet accounting, and the grant trajectory
+/// (pre-fault / minimum-under-fault / final). Written as an `adaptation`
+/// member only when `present` (loop-off reports carry no adaptation key).
+struct AdaptationBlock {
+  bool present = false;
+  std::uint64_t flows = 0;
+  std::uint64_t renegotiations_triggered = 0;
+  std::uint64_t renegotiations_accepted = 0;
+  std::uint64_t windows_breached = 0;
+  std::uint64_t windows_clean = 0;
+  std::uint64_t windows_insufficient = 0;
+  // Dual token-bucket shaper conformance, summed over flows; by
+  // construction offered_bits == bg_bits + wc_bits + nonconforming_bits.
+  std::uint64_t offered_bits = 0;
+  std::uint64_t bg_bits = 0;
+  std::uint64_t wc_bits = 0;
+  std::uint64_t nonconforming_bits = 0;
+  std::uint64_t hop_offered_packets = 0;
+  std::uint64_t hop_delivered_packets = 0;
+  std::uint64_t hop_dropped_packets = 0;
+  double granted_bps = 0.0;   // total granted rate at end of run
+  double enforced_bps = 0.0;  // total shaper-enforced rate at end of run
+  // Grant trajectory across the fault window (0 for sweep aggregates).
+  double granted_prefault_bps = 0.0;
+  double granted_min_bps = 0.0;
+  double granted_final_bps = 0.0;
+
+  void write_json(std::ostream& os) const;
+};
+
 struct RunReport {
+  /// v4 (ISSUE 9): adds the optional `adaptation` block — closed-loop
+  /// renegotiation and shaper-conformance accounting, present only for
+  /// campus runs with --adapt-loop.
   /// v3 (ISSUE 8): adds the optional `service` block — admission-control
   /// service-mode accounting, present only for `serve`/`drive` runs.
   /// v2 (ISSUE 7): adds the optional `profile` block — wall-clock phase and
@@ -63,7 +99,7 @@ struct RunReport {
   /// `metrics` section layout is unchanged from v1, so metrics-section
   /// hashes (golden campus JSON, shard determinism checks) are comparable
   /// across the bumps.
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
 
   std::string tool;      // producing binary, e.g. "scenario_cli"
   std::string scenario;  // subcommand / experiment name
@@ -80,6 +116,9 @@ struct RunReport {
   ProfileSnapshot profile;
   /// Service-mode accounting (schema v3); written only when service.present.
   ServiceBlock service;
+  /// Adaptation-loop accounting (schema v4); written only when
+  /// adaptation.present.
+  AdaptationBlock adaptation;
 
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0.0 ? double(events_fired) / wall_seconds : 0.0;

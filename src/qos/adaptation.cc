@@ -1,0 +1,123 @@
+#include "qos/adaptation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace imrm::qos {
+
+void AdaptationController::add_flow(FlowId flow, const QosRequest& request,
+                                    BitsPerSecond granted) {
+  assert(request.valid());
+  if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
+  FlowState& state = flows_[flow];
+  state = FlowState{};
+  state.controlled = true;
+  state.request = request;
+  state.granted = granted;
+  state.requested = request.bandwidth.b_max;
+  state.target = request.bandwidth.b_max;
+}
+
+void AdaptationController::on_delivered(FlowId flow, Seconds delay) {
+  if (flow >= flows_.size() || !flows_[flow].controlled) return;
+  FlowState& state = flows_[flow];
+  ++state.window_delivered;
+  if (delay > state.request.delay_bound) ++state.window_delay_violations;
+}
+
+void AdaptationController::on_granted(FlowId flow, BitsPerSecond granted) {
+  if (flow >= flows_.size() || !flows_[flow].controlled) return;
+  flows_[flow].granted = granted;
+}
+
+void AdaptationController::tick() {
+  for (FlowId flow = 0; flow < flows_.size(); ++flow) {
+    if (flows_[flow].controlled) step_flow(flow, flows_[flow]);
+  }
+}
+
+void AdaptationController::step_flow(FlowId flow, FlowState& state) {
+  const LossyHop::LossWindow window = hop_->take_window(flow);
+  const std::uint64_t delivered = state.window_delivered;
+  const std::uint64_t delay_violations = state.window_delay_violations;
+  state.window_delivered = 0;
+  state.window_delay_violations = 0;
+
+  WindowVerdict verdict;
+  if (window.offered < config_.min_samples) {
+    // Not enough evidence either way: hold the streaks where they are.
+    verdict = WindowVerdict::kInsufficient;
+    ++windows_insufficient_;
+  } else {
+    // Loss breach: windowed loss above the negotiated p_e. Delay breach:
+    // the fraction of deliveries missing the delay bound exceeds the same
+    // tolerated violation probability.
+    const bool loss_breach = window.loss_rate() > state.request.loss_bound;
+    const bool delay_breach =
+        delivered > 0 &&
+        double(delay_violations) / double(delivered) > state.request.loss_bound;
+    if (loss_breach || delay_breach) {
+      verdict = WindowVerdict::kBreached;
+      ++windows_breached_;
+      ++state.breach_streak;
+      state.clean_streak = 0;
+    } else {
+      verdict = WindowVerdict::kClean;
+      ++windows_clean_;
+      ++state.clean_streak;
+      state.breach_streak = 0;
+    }
+  }
+  if (observer_) observer_(flow, window, verdict);
+
+  const BitsPerSecond floor = state.request.bandwidth.b_min;
+  const BitsPerSecond ceiling = state.request.bandwidth.b_max;
+  if (state.breach_streak >= config_.breach_windows) {
+    // Sustained breach: multiplicative decrease of the span above b_min.
+    // Resetting the streak means a *persistent* fault keeps shrinking the
+    // target every breach_windows windows — depth of breach, not a
+    // one-shot reaction to instantaneous loss.
+    state.target = floor + config_.down_scale * (state.target - floor);
+    state.breach_streak = 0;
+  } else if (state.clean_streak >= config_.clean_windows) {
+    // Sustained clean: head back to the full negotiated ceiling.
+    state.target = ceiling;
+  }
+
+  if (state.requested == state.target) return;
+  // Concave ramp toward the target; snap once within tolerance of the
+  // flow's full span so recovery lands bit-exactly on the original b_max.
+  BitsPerSecond next =
+      state.requested + config_.ramp_gain * (state.target - state.requested);
+  const double span = ceiling - floor;
+  if (std::abs(state.target - next) <= config_.snap_tolerance * span) {
+    next = state.target;
+  }
+  next = std::clamp(next, floor, ceiling);
+  if (next == state.requested) return;
+
+  ++renegotiations_triggered_;
+  const BandwidthRange range{floor, next};
+  if (renegotiate_ && renegotiate_(flow, range)) {
+    ++renegotiations_accepted_;
+    state.requested = next;
+  }
+}
+
+BitsPerSecond AdaptationController::granted(FlowId flow) const {
+  if (flow >= flows_.size() || !flows_[flow].controlled) return 0.0;
+  return flows_[flow].granted;
+}
+
+BitsPerSecond AdaptationController::requested_max(FlowId flow) const {
+  if (flow >= flows_.size() || !flows_[flow].controlled) return 0.0;
+  return flows_[flow].requested;
+}
+
+BitsPerSecond AdaptationController::target_max(FlowId flow) const {
+  if (flow >= flows_.size() || !flows_[flow].controlled) return 0.0;
+  return flows_[flow].target;
+}
+
+}  // namespace imrm::qos

@@ -1,0 +1,152 @@
+// Measurement-driven renegotiation (control plane of the adaptation loop).
+//
+// Section 5.1's contract is that a connection's grant lives in
+// [b_min, b_max] and *adapts*: when the channel degrades the system
+// renegotiates down (never below b_min), and when it heals the grant
+// returns to what the max-min division would give on a clean cell. The
+// AdaptationController closes that loop from measurements:
+//
+//   * Windowed estimators, not all-time averages. Every tick() it harvests
+//     the LossyHop's per-flow window (LossyHop::take_window) and its own
+//     delay-bound violation window from DelaySink deliveries. An all-time
+//     loss rate can never re-trigger after a long clean history; a window
+//     forgets.
+//   * Minimum-sample guard. A window with fewer than min_samples offered
+//     packets is evidence of nothing: it neither breaches nor cleans, and
+//     the streak counters hold.
+//   * Depth of breach, not instantaneous loss. One bad window is noise
+//     (Gilbert–Elliott bursts routinely spike a single window); only
+//     breach_windows consecutive breached windows move the target, and
+//     only clean_windows consecutive clean ones restore it. This is what
+//     keeps the controller from oscillating on a clean channel.
+//   * Concave ramp, no step jumps. The *requested* b_max moves toward the
+//     target geometrically — next = current + gain * (target - current) —
+//     and snaps exactly onto the target once within tolerance, so after a
+//     fault heals the request returns bit-exactly to the original b_max
+//     and the max-min re-division reproduces the pre-fault fixed point.
+//
+// The controller renegotiates the requested *range* (shrinking b_max);
+// actual grants come from the owner re-running the max-min excess
+// division over the surviving headrooms. It draws no random numbers —
+// every decision is a pure function of the measured windows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qos/flow_spec.h"
+#include "qos/packet_sim.h"
+
+namespace imrm::qos {
+
+struct AdaptationConfig {
+  /// Windows of evidence required before acting in either direction.
+  std::uint32_t breach_windows = 2;  // consecutive breached windows -> down
+  std::uint32_t clean_windows = 4;   // consecutive clean windows -> recover
+  /// Fewest offered packets a window needs to count as evidence.
+  std::uint64_t min_samples = LossyHop::kMinLossSamples;
+  /// Per sustained breach, the target span above b_min shrinks to this
+  /// fraction of itself (multiplicative decrease toward b_min).
+  double down_scale = 0.5;
+  /// Per tick, the requested b_max covers this fraction of the distance to
+  /// the target (concave approach; 1.0 would be a step jump).
+  double ramp_gain = 0.5;
+  /// Snap the request exactly onto the target once the remaining distance
+  /// falls below this fraction of the flow's full [b_min, b_max] span —
+  /// required for bit-exact recovery of the pre-fault fixed point.
+  double snap_tolerance = 0.02;
+};
+
+class AdaptationController {
+ public:
+  /// Asks the owner to renegotiate one flow's requested range. Returns
+  /// whether the renegotiation was accepted (the owner then re-divides the
+  /// excess and pushes new grants via on_granted / the shaper).
+  using Renegotiate = std::function<bool(FlowId, BandwidthRange)>;
+
+  /// Per-flow verdict for one harvested window.
+  enum class WindowVerdict { kInsufficient, kClean, kBreached };
+
+  /// Observer invoked once per flow per tick with the harvested window
+  /// (for violation-window histograms and tracing).
+  using WindowObserver =
+      std::function<void(FlowId, const LossyHop::LossWindow&, WindowVerdict)>;
+
+  AdaptationController(const AdaptationConfig& config, LossyHop& hop,
+                       Renegotiate renegotiate)
+      : config_(config), hop_(&hop), renegotiate_(std::move(renegotiate)) {}
+
+  /// Registers a flow under control with its negotiated request and the
+  /// grant the admission/max-min plane issued.
+  void add_flow(FlowId flow, const QosRequest& request, BitsPerSecond granted);
+
+  /// Records one delivered packet's end-to-end delay (wire this next to the
+  /// DelaySink); delays above the flow's delay_bound count as violations in
+  /// the current window.
+  void on_delivered(FlowId flow, Seconds delay);
+
+  /// The owner reports the flow's current grant (after any re-division).
+  void on_granted(FlowId flow, BitsPerSecond granted);
+
+  void set_window_observer(WindowObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Harvests every controlled flow's measurement window and applies the
+  /// breach/clean streak logic and the ramp. Call at a fixed period (the
+  /// window length is whatever cadence the caller chooses).
+  void tick();
+
+  // --- per-flow state, for metrics and tests ---
+  [[nodiscard]] bool has(FlowId flow) const {
+    return flow < flows_.size() && flows_[flow].controlled;
+  }
+  [[nodiscard]] BitsPerSecond granted(FlowId flow) const;
+  /// The currently requested b_max (the ramp's position).
+  [[nodiscard]] BitsPerSecond requested_max(FlowId flow) const;
+  /// Where the ramp is heading (original b_max when healthy).
+  [[nodiscard]] BitsPerSecond target_max(FlowId flow) const;
+
+  // --- loop counters, for obs ---
+  [[nodiscard]] std::uint64_t renegotiations_triggered() const {
+    return renegotiations_triggered_;
+  }
+  [[nodiscard]] std::uint64_t renegotiations_accepted() const {
+    return renegotiations_accepted_;
+  }
+  [[nodiscard]] std::uint64_t windows_breached() const { return windows_breached_; }
+  [[nodiscard]] std::uint64_t windows_clean() const { return windows_clean_; }
+  [[nodiscard]] std::uint64_t windows_insufficient() const {
+    return windows_insufficient_;
+  }
+
+ private:
+  struct FlowState {
+    bool controlled = false;
+    QosRequest request;            // original negotiated request
+    BitsPerSecond granted = 0.0;   // current grant from the owner
+    BitsPerSecond requested = 0.0; // ramped b_max currently requested
+    BitsPerSecond target = 0.0;    // ramp destination
+    std::uint32_t breach_streak = 0;
+    std::uint32_t clean_streak = 0;
+    // Current window's delay evidence (reset each tick).
+    std::uint64_t window_delivered = 0;
+    std::uint64_t window_delay_violations = 0;
+  };
+
+  void step_flow(FlowId flow, FlowState& state);
+
+  AdaptationConfig config_;
+  LossyHop* hop_;
+  Renegotiate renegotiate_;
+  WindowObserver observer_;
+  std::vector<FlowState> flows_;  // dense, indexed by FlowId
+  std::uint64_t renegotiations_triggered_ = 0;
+  std::uint64_t renegotiations_accepted_ = 0;
+  std::uint64_t windows_breached_ = 0;
+  std::uint64_t windows_clean_ = 0;
+  std::uint64_t windows_insufficient_ = 0;
+};
+
+}  // namespace imrm::qos

@@ -8,9 +8,26 @@ namespace imrm::qos {
 
 void ScheduledLink::add_flow(FlowId flow, BitsPerSecond reserved_rate) {
   assert(reserved_rate > 0.0);
+  if (flow < flows_.size() && flows_[flow].rate > 0.0) {
+    // Already registered: this is a rate change, not a fresh flow. Resetting
+    // virtual_clock here (the old behaviour) let the next packet stamp
+    // earlier than the flow's queued packets — intra-flow reordering.
+    set_rate(flow, reserved_rate);
+    return;
+  }
   if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
   reserved_total_ += reserved_rate - flows_[flow].rate;
   flows_[flow] = FlowEntry{reserved_rate, 0.0};
+}
+
+void ScheduledLink::set_rate(FlowId flow, BitsPerSecond reserved_rate) {
+  assert(reserved_rate > 0.0);
+  assert(flow < flows_.size() && flows_[flow].rate > 0.0 &&
+         "flow must be registered");
+  reserved_total_ += reserved_rate - flows_[flow].rate;
+  // Keep auxVC: the stamp sequence stays monotone per flow, only the future
+  // per-packet increment L/rho changes with the new rate.
+  flows_[flow].rate = reserved_rate;
 }
 
 void ScheduledLink::enqueue(Packet packet) {
@@ -42,9 +59,7 @@ void ScheduledLink::serve_next() {
                     });
 }
 
-void RcspLink::add_flow(FlowId flow, BitsPerSecond reserved_rate, int priority) {
-  assert(reserved_rate > 0.0);
-  if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
+std::uint32_t RcspLink::ensure_level(int priority) {
   // Find (or insert, keeping the array sorted) the static-priority level.
   auto level_it = std::find_if(levels_.begin(), levels_.end(),
                                [&](const PriorityLevel& l) { return l.priority >= priority; });
@@ -56,9 +71,42 @@ void RcspLink::add_flow(FlowId flow, BitsPerSecond reserved_rate, int priority) 
       if (state.rate > 0.0 && state.level >= inserted) ++state.level;
     }
   }
+  return std::uint32_t(level_it - levels_.begin());
+}
+
+void RcspLink::add_flow(FlowId flow, BitsPerSecond reserved_rate, int priority) {
+  assert(reserved_rate > 0.0);
+  if (flow < flows_.size() && flows_[flow].rate > 0.0) {
+    // Already registered: a rate (and possibly priority) change. The old
+    // behaviour rebuilt the FlowState with last_eligible = -inf, discarding
+    // the regulator's pacing debt — a renegotiating greedy source could
+    // burst its whole backlog through the rate controller at once.
+    set_rate(flow, reserved_rate, priority);
+    return;
+  }
+  if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
+  const std::uint32_t level = ensure_level(priority);
   // last_eligible starts far in the past so the first packet is never held.
-  flows_[flow] = FlowState{reserved_rate, std::uint32_t(level_it - levels_.begin()),
+  flows_[flow] = FlowState{reserved_rate, level,
                            -std::numeric_limits<double>::infinity()};
+}
+
+void RcspLink::set_rate(FlowId flow, BitsPerSecond reserved_rate) {
+  assert(flow < flows_.size() && flows_[flow].rate > 0.0 &&
+         "flow must be registered");
+  set_rate(flow, reserved_rate, levels_[flows_[flow].level].priority);
+}
+
+void RcspLink::set_rate(FlowId flow, BitsPerSecond reserved_rate, int priority) {
+  assert(reserved_rate > 0.0);
+  assert(flow < flows_.size() && flows_[flow].rate > 0.0 &&
+         "flow must be registered");
+  const std::uint32_t level = ensure_level(priority);
+  FlowState& state = flows_[flow];
+  state.rate = reserved_rate;
+  // Preserve last_eligible: pacing debt accrued at the old rate still gates
+  // the next packet, so a rate change cannot manufacture a burst.
+  state.level = level;
 }
 
 void RcspLink::enqueue(Packet packet) {
@@ -71,18 +119,20 @@ void RcspLink::enqueue(Packet packet) {
                                    state.last_eligible + packet.size / state.rate);
   state.last_eligible = eligible;
   const double wait = eligible - simulator_->now().to_seconds();
-  const std::uint32_t level = state.level;
   if (wait <= 0.0) {
-    on_eligible(std::move(packet), level);
+    on_eligible(std::move(packet));
   } else {
-    simulator_->after(sim::Duration::seconds(wait), [this, packet, level]() mutable {
-      on_eligible(std::move(packet), level);
+    simulator_->after(sim::Duration::seconds(wait), [this, packet]() mutable {
+      on_eligible(std::move(packet));
     });
   }
 }
 
-void RcspLink::on_eligible(Packet packet, std::uint32_t level) {
-  levels_[level].fifo.push_back(std::move(packet));
+void RcspLink::on_eligible(Packet packet) {
+  // Resolve the flow's level *now*, not at arrival: if set_rate() moved the
+  // flow (or inserting another flow's level shifted the indices) while this
+  // packet waited in the regulator, a captured index would be stale.
+  levels_[flows_[packet.flow].level].fifo.push_back(std::move(packet));
   ++eligible_count_;
   if (!busy_) serve_next();
 }
@@ -113,9 +163,11 @@ void LossyHop::offer(Packet packet) {
   const FlowId flow = packet.flow;
   ++offered_;
   bump(offered_by_flow_, flow);
+  bump(window_offered_by_flow_, flow);
   if (loss_.lost(model_, rng_)) {
     ++dropped_;
     bump(dropped_by_flow_, flow);
+    bump(window_dropped_by_flow_, flow);
     return;
   }
   ++delivered_;

@@ -56,7 +56,16 @@ class ScheduledLink {
       : simulator_(&simulator), capacity_(capacity), forward_(std::move(forward)) {}
 
   /// Registers a flow with its reserved rate rho (its guaranteed share).
+  /// Re-registering an existing flow delegates to set_rate(): the flow's
+  /// Virtual Clock stamp survives, so packets stamped after a mid-run rate
+  /// change can never sort ahead of the flow's still-queued packets.
   void add_flow(FlowId flow, BitsPerSecond reserved_rate);
+
+  /// Changes a registered flow's reserved rate in place. The monotone
+  /// auxVC stamp is preserved (only the per-packet increment L/rho changes),
+  /// which keeps per-flow FIFO order across renegotiations; reserved_total_
+  /// stays exact.
+  void set_rate(FlowId flow, BitsPerSecond reserved_rate);
 
   /// Accepts a packet; it departs after queueing + transmission.
   void enqueue(Packet packet);
@@ -111,7 +120,17 @@ class RcspLink {
       : simulator_(&simulator), capacity_(capacity), forward_(std::move(forward)) {}
 
   /// Registers a flow; lower `priority` values are served first.
+  /// Re-registering an existing flow delegates to set_rate(): the
+  /// regulator's pacing debt (last_eligible) survives, so a renegotiating
+  /// flow cannot burst through the rate controller.
   void add_flow(FlowId flow, BitsPerSecond reserved_rate, int priority = 0);
+
+  /// Changes a registered flow's rate (and optionally its priority level)
+  /// in place, preserving the eligibility horizon. Packets already waiting
+  /// in the regulator stay valid even if the flow's level moves: the level
+  /// is resolved when the packet becomes eligible, not when it arrives.
+  void set_rate(FlowId flow, BitsPerSecond reserved_rate);
+  void set_rate(FlowId flow, BitsPerSecond reserved_rate, int priority);
 
   void enqueue(Packet packet);
 
@@ -130,7 +149,8 @@ class RcspLink {
     std::deque<Packet> fifo;
   };
 
-  void on_eligible(Packet packet, std::uint32_t level);
+  std::uint32_t ensure_level(int priority);
+  void on_eligible(Packet packet);
   void serve_next();
 
   sim::Simulator* simulator_;
@@ -197,6 +217,29 @@ class LossyHop {
  public:
   using Forward = std::function<void(Packet)>;
 
+  /// Fewest offered packets a loss estimate may rest on before it counts as
+  /// evidence either way: with < 20 samples a single drop swings the rate by
+  /// 5+ points, so the verdict stays kInsufficient.
+  static constexpr std::uint64_t kMinLossSamples = 20;
+
+  /// Tri-state loss-bound check. The old boolean meets_loss_bound() could
+  /// not tell "no data" from "clean" — zero offered packets vacuously met
+  /// every bound, which is exactly the wrong default for a controller
+  /// deciding whether to renegotiate.
+  enum class LossVerdict { kInsufficient, kWithinBound, kViolated };
+
+  /// One measurement window's worth of per-flow counters, harvested (and
+  /// reset) by take_window(). Windowed, unlike the all-time totals: after a
+  /// long clean history an all-time average dilutes a fresh loss burst below
+  /// any bound and can never re-trigger adaptation.
+  struct LossWindow {
+    std::uint64_t offered = 0;
+    std::uint64_t dropped = 0;
+    [[nodiscard]] double loss_rate() const {
+      return offered == 0 ? 0.0 : double(dropped) / double(offered);
+    }
+  };
+
   LossyHop(const fault::LinkFaultModel& model, sim::Rng rng, Forward next)
       : model_(model), rng_(std::move(rng)), next_(std::move(next)) {}
 
@@ -204,6 +247,12 @@ class LossyHop {
   /// packet downstream or drops it. A trivial model draws no random numbers
   /// and delivers everything.
   void offer(Packet packet);
+
+  /// Swaps the fault model in place (e.g. arming a Gilbert–Elliott burst at
+  /// a fault window's edge and disarming it at heal). The loss chain state
+  /// and all counters persist; a trivial model draws no random numbers, so
+  /// an armed-then-disarmed hop consumes RNG only while the fault is live.
+  void set_model(const fault::LinkFaultModel& model) { model_ = model; }
 
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
@@ -222,9 +271,34 @@ class LossyHop {
     const std::uint64_t o = offered(flow);
     return o == 0 ? 0.0 : double(dropped(flow)) / double(o);
   }
-  /// Whether the flow's observed loss honours its negotiated p_e.
+
+  /// All-time loss verdict with a minimum-sample guard: fewer than
+  /// `min_samples` offered packets is kInsufficient, never a clean bill.
+  [[nodiscard]] LossVerdict loss_verdict(FlowId flow, const QosRequest& request,
+                                         std::uint64_t min_samples = kMinLossSamples) const {
+    if (offered(flow) < min_samples) return LossVerdict::kInsufficient;
+    return loss_rate(flow) <= request.loss_bound ? LossVerdict::kWithinBound
+                                                 : LossVerdict::kViolated;
+  }
+
+  /// Whether the flow's observed loss honours its negotiated p_e. "Meets"
+  /// here means "not shown to violate": an insufficient sample does not
+  /// condemn the flow, but callers that need the distinction (the adaptation
+  /// controller) should use loss_verdict() / take_window() instead.
   [[nodiscard]] bool meets_loss_bound(FlowId flow, const QosRequest& request) const {
-    return loss_rate(flow) <= request.loss_bound;
+    return loss_verdict(flow, request) != LossVerdict::kViolated;
+  }
+
+  /// Harvests and resets the flow's current measurement window. Window
+  /// counters advance with every offer() alongside the all-time totals;
+  /// calling this at a fixed period yields the windowed estimator the
+  /// adaptation controller runs on.
+  [[nodiscard]] LossWindow take_window(FlowId flow) {
+    LossWindow window{per_flow(window_offered_by_flow_, flow),
+                      per_flow(window_dropped_by_flow_, flow)};
+    if (flow < window_offered_by_flow_.size()) window_offered_by_flow_[flow] = 0;
+    if (flow < window_dropped_by_flow_.size()) window_dropped_by_flow_[flow] = 0;
+    return window;
   }
 
  private:
@@ -247,6 +321,8 @@ class LossyHop {
   std::vector<std::uint64_t> offered_by_flow_;
   std::vector<std::uint64_t> delivered_by_flow_;
   std::vector<std::uint64_t> dropped_by_flow_;
+  std::vector<std::uint64_t> window_offered_by_flow_;
+  std::vector<std::uint64_t> window_dropped_by_flow_;
 };
 
 /// Terminal sink collecting end-to-end delay statistics per flow.

@@ -1,0 +1,97 @@
+#include "qos/shaper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace imrm::qos {
+
+void DualTokenBucketShaper::add_flow(FlowId flow, const Shape& shape) {
+  assert(shape.guaranteed >= 0.0 && shape.excess >= 0.0);
+  assert(shape.bg_depth > 0.0 && "BG bucket must admit at least one packet");
+  if (flow >= flows_.size()) flows_.resize(std::size_t(flow) + 1);
+  FlowState& state = flows_[flow];
+  // Re-registration keeps counters (it is a shape change, not a new flow).
+  const Counters kept = state.counters;
+  state = FlowState{};
+  state.registered = true;
+  state.shape = shape;
+  state.bg_tokens = shape.bg_depth;
+  state.wc_tokens = shape.wc_depth;
+  state.last_refill = simulator_->now();
+  state.counters = kept;
+}
+
+void DualTokenBucketShaper::set_shape(FlowId flow, BitsPerSecond guaranteed,
+                                      BitsPerSecond excess) {
+  assert(flow < flows_.size() && flows_[flow].registered &&
+         "flow must be registered");
+  assert(guaranteed >= 0.0 && excess >= 0.0);
+  FlowState& state = flows_[flow];
+  // Settle the buckets at the old rates up to now, then switch rates. The
+  // clamp to depth is what prevents a windfall: credit accrued under the
+  // old (larger) rates is capped at one burst, not carried indefinitely.
+  refill(state, simulator_->now());
+  state.shape.guaranteed = guaranteed;
+  state.shape.excess = excess;
+  state.bg_tokens = std::min(state.bg_tokens, state.shape.bg_depth);
+  state.wc_tokens = std::min(state.wc_tokens, state.shape.wc_depth);
+}
+
+void DualTokenBucketShaper::refill(FlowState& state, sim::SimTime now) {
+  const double elapsed = (now - state.last_refill).to_seconds();
+  state.last_refill = now;
+  if (elapsed <= 0.0) return;
+  state.bg_tokens = std::min(state.shape.bg_depth,
+                             state.bg_tokens + state.shape.guaranteed * elapsed);
+  state.wc_tokens = std::min(state.shape.wc_depth,
+                             state.wc_tokens + state.shape.excess * elapsed);
+}
+
+void DualTokenBucketShaper::offer(Packet packet) {
+  assert(packet.flow < flows_.size() && flows_[packet.flow].registered &&
+         "flow must be registered");
+  FlowState& state = flows_[packet.flow];
+  refill(state, simulator_->now());
+  Counters& c = state.counters;
+  ++c.offered_packets;
+  c.offered_bits += packet.size;
+  ++totals_.offered_packets;
+  totals_.offered_bits += packet.size;
+  if (state.bg_tokens >= packet.size) {
+    state.bg_tokens -= packet.size;
+    ++c.bg_packets;
+    c.bg_bits += packet.size;
+    ++totals_.bg_packets;
+    totals_.bg_bits += packet.size;
+  } else if (state.wc_tokens >= packet.size) {
+    state.wc_tokens -= packet.size;
+    ++c.wc_packets;
+    c.wc_bits += packet.size;
+    ++totals_.wc_packets;
+    totals_.wc_bits += packet.size;
+  } else {
+    // Conforms to neither bucket: policed here, visibly — the controller's
+    // loss plane must see overload, not have a queue absorb it.
+    ++c.nonconforming_packets;
+    c.nonconforming_bits += packet.size;
+    ++totals_.nonconforming_packets;
+    totals_.nonconforming_bits += packet.size;
+    return;
+  }
+  if (next_) next_(std::move(packet));
+}
+
+const DualTokenBucketShaper::Counters& DualTokenBucketShaper::counters(
+    FlowId flow) const {
+  static const Counters kEmpty;
+  if (flow >= flows_.size() || !flows_[flow].registered) return kEmpty;
+  return flows_[flow].counters;
+}
+
+BitsPerSecond DualTokenBucketShaper::enforced_rate(FlowId flow) const {
+  if (flow >= flows_.size() || !flows_[flow].registered) return 0.0;
+  return flows_[flow].shape.guaranteed + flows_[flow].shape.excess;
+}
+
+}  // namespace imrm::qos

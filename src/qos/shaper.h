@@ -1,0 +1,105 @@
+// Dual token-bucket rate enforcement (data plane of the adaptation loop).
+//
+// The paper's admission control grants every connection a rate in
+// [b_min, b_max]: b_min is guaranteed, and the max-min division hands each
+// flow a share of the cell's excess on top. Until this module, that grant
+// was bookkeeping — nothing at the packet level made a flow's delivered
+// rate equal its granted rate. DualTokenBucketShaper is the enforcement
+// point: a policer spliced between a source and its ScheduledLink /
+// RcspLink that classifies every offered packet against two buckets,
+//
+//   * BG (guaranteed) bucket — refills at the flow's b_min. Traffic that
+//     conforms here is the contractual minimum the cell must carry.
+//   * WC (work-conserving) bucket — refills at the flow's max-min excess
+//     share (granted - b_min). Traffic that overflows BG but conforms here
+//     rides the currently-spare capacity; when renegotiation shrinks the
+//     excess, this bucket shrinks with it and the overflow becomes
+//     non-conforming.
+//
+// Packets conforming to neither bucket are dropped at the shaper
+// (policer, not a queue: the upstream token-bucket source already paces,
+// and a queue here would hide the very overload the adaptation controller
+// needs to see). Accounting is conservation-exact by construction: every
+// offered packet (and bit) is exactly one of BG / WC / non-conforming.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qos/packet_sim.h"
+#include "sim/simulator.h"
+
+namespace imrm::qos {
+
+class DualTokenBucketShaper {
+ public:
+  using Forward = std::function<void(Packet)>;
+
+  /// One flow's enforcement state: bucket rates and depths. Depths bound
+  /// the burst each class may inject; rates are the negotiated split.
+  struct Shape {
+    BitsPerSecond guaranteed = 0.0;  // BG refill rate (the flow's b_min)
+    BitsPerSecond excess = 0.0;      // WC refill rate (max-min share above b_min)
+    Bits bg_depth = 0.0;             // BG burst tolerance (>= one packet)
+    Bits wc_depth = 0.0;             // WC burst tolerance
+  };
+
+  /// Per-flow conformance counters; conservation holds per flow and in
+  /// total: offered == bg + wc + nonconforming, in packets and in bits.
+  struct Counters {
+    std::uint64_t offered_packets = 0;
+    std::uint64_t bg_packets = 0;
+    std::uint64_t wc_packets = 0;
+    std::uint64_t nonconforming_packets = 0;
+    Bits offered_bits = 0.0;
+    Bits bg_bits = 0.0;
+    Bits wc_bits = 0.0;
+    Bits nonconforming_bits = 0.0;
+  };
+
+  DualTokenBucketShaper(sim::Simulator& simulator, Forward next)
+      : simulator_(&simulator), next_(std::move(next)) {}
+
+  /// Registers a flow with its initial shape. Buckets start full: a freshly
+  /// admitted flow may immediately use its negotiated burst.
+  void add_flow(FlowId flow, const Shape& shape);
+
+  /// Renegotiation entry point: changes the bucket refill rates in place.
+  /// Accumulated tokens are clamped to the (unchanged) depths, so a rate
+  /// change never manufactures a windfall burst — a flow shrunk from a
+  /// large excess keeps at most wc_depth bits of credit, never the rate
+  /// difference integrated over time.
+  void set_shape(FlowId flow, BitsPerSecond guaranteed, BitsPerSecond excess);
+
+  /// Classifies one packet: BG if the guaranteed bucket covers it, else WC
+  /// if the work-conserving bucket covers it, else dropped non-conforming.
+  void offer(Packet packet);
+
+  [[nodiscard]] const Counters& counters(FlowId flow) const;
+  [[nodiscard]] const Counters& totals() const { return totals_; }
+  /// The rate this flow is currently enforced to (guaranteed + excess).
+  [[nodiscard]] BitsPerSecond enforced_rate(FlowId flow) const;
+  [[nodiscard]] bool has(FlowId flow) const {
+    return flow < flows_.size() && flows_[flow].registered;
+  }
+
+ private:
+  struct FlowState {
+    bool registered = false;
+    Shape shape;
+    double bg_tokens = 0.0;
+    double wc_tokens = 0.0;
+    sim::SimTime last_refill;
+    Counters counters;
+  };
+
+  void refill(FlowState& state, sim::SimTime now);
+
+  sim::Simulator* simulator_;
+  Forward next_;
+  std::vector<FlowState> flows_;  // dense, indexed by FlowId
+  Counters totals_;
+};
+
+}  // namespace imrm::qos

@@ -83,6 +83,31 @@ TEST_F(EnvironmentTest, ExcessSplitMaxMinAmongStatics) {
   EXPECT_DOUBLE_EQ(env_->allocated(p1), kbps(1300));
 }
 
+TEST_F(EnvironmentTest, OnAdaptHookFiresAfterEveryRedivision) {
+  // The adaptation loop's data plane hangs off set_on_adapt: the hook must
+  // fire after grants settle (so a shaper re-shaped inside it reads the new
+  // allocations), on every path — open, renegotiate, refresh, and the
+  // nothing-to-redivide case.
+  std::vector<mobility::CellId> fired;
+  env_->set_on_adapt([&](mobility::CellId cell) { fired.push_back(cell); });
+
+  const auto p = env_->add_portable(cells_.d);
+  ASSERT_TRUE(env_->open_connection(p, {kbps(16), kbps(64)}));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired.back(), cells_.d);
+
+  simulator_.run_until(SimTime::minutes(10));
+  ASSERT_TRUE(env_->renegotiate(p, {kbps(16), kbps(32)}));
+  ASSERT_GE(fired.size(), 2u);
+  // Inside the hook the new grant is already visible.
+  env_->set_on_adapt([&](mobility::CellId cell) {
+    fired.push_back(cell);
+    EXPECT_DOUBLE_EQ(env_->allocated(p), kbps(32));
+  });
+  env_->refresh();  // static + alone: upgraded to the renegotiated b_max
+  EXPECT_GT(fired.size(), 2u);
+}
+
 TEST_F(EnvironmentTest, HandoffKeepsConnectionAlive) {
   const auto p = env_->add_portable(cells_.c);
   ASSERT_TRUE(env_->open_connection(p, {kbps(16), kbps(64)}));

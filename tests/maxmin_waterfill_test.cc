@@ -196,6 +196,31 @@ TEST(AdvertisedRate, OneRecalculationMatchesFixedPoint) {
   }
 }
 
+TEST(DivideExcess, SingleLinkWaterfillSemantics) {
+  // Equal unlimited headrooms split evenly.
+  EXPECT_EQ(divide_excess(9.0, {100.0, 100.0, 100.0}),
+            (std::vector<double>{3.0, 3.0, 3.0}));
+  // A demand-limited connection frees its slack for the others.
+  const std::vector<double> shares = divide_excess(10.0, {2.0, 100.0});
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0], 2.0);
+  EXPECT_DOUBLE_EQ(shares[1], 8.0);
+  // Degenerate inputs: no claimants, no excess, zero headroom.
+  EXPECT_TRUE(divide_excess(5.0, {}).empty());
+  EXPECT_EQ(divide_excess(0.0, {4.0, 4.0}), (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(divide_excess(6.0, {0.0, 3.0}), (std::vector<double>{0.0, 3.0}));
+}
+
+TEST(DivideExcess, MatchesFullWaterfillOnSingleLink) {
+  const std::vector<double> headrooms{1.0, 4.0, 7.5, 2.5};
+  const double excess = 9.0;
+  Problem p;
+  p.links = {{excess}};
+  for (double h : headrooms) p.connections.push_back({{0}, h});
+  const WaterfillResult reference = waterfill(p);
+  EXPECT_EQ(divide_excess(excess, headrooms), reference.rates);
+}
+
 TEST(AdvertisedRate, FixedPointOnKnownCase) {
   AdvertisedRate ar(12.0);
   // rates {2, 7}: fixed point marks 2 restricted -> mu = 10; 7 <= 10 would

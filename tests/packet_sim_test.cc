@@ -3,6 +3,7 @@
 // even under adversarial bursts and cross traffic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "qos/packet_sim.h"
@@ -346,6 +347,115 @@ TEST(PacketSim, RcspDelayBoundForConformingFlow) {
                          2.0 * double(specs.size()) * l / mbps(1.6) + l / mbps(1.6);
     EXPECT_LE(sink.delays(s.flow).max(), bound + 1e-9) << "flow " << s.flow;
   }
+}
+
+// ---- mid-run renegotiation (set_rate) regressions ------------------------
+
+TEST(PacketSim, ScheduledLinkKeepsFifoAcrossRateChange) {
+  // Regression: add_flow() on an already-registered flow used to reset the
+  // Virtual Clock stamp to 0, so packets stamped after a mid-run rate raise
+  // sorted AHEAD of the flow's still-queued packets — a per-flow FIFO
+  // violation no real scheduler exhibits. set_rate() preserves the stamp.
+  sim::Simulator simulator;
+  std::vector<Bits> sizes;
+  ScheduledLink link(simulator, mbps(1.6),
+                     [&](Packet p) { sizes.push_back(p.size); });
+  link.add_flow(1, kbps(100));
+
+  // Four packets queue at t=0 with stamps 0.08, 0.16, 0.24, 0.32.
+  for (int i = 0; i < 4; ++i) {
+    Packet p;
+    p.flow = 1;
+    p.size = 8000.0;
+    p.created = simulator.now();
+    link.enqueue(p);
+  }
+  // Renegotiate up 8x (via the add_flow path, which must delegate), then
+  // two more packets. With the stamp preserved they continue at 0.33, 0.34;
+  // with the old reset they'd stamp 0.01, 0.02 and overtake.
+  link.add_flow(1, kbps(800));
+  for (int i = 0; i < 2; ++i) {
+    Packet p;
+    p.flow = 1;
+    p.size = 4000.0;
+    p.created = simulator.now();
+    link.enqueue(p);
+  }
+  simulator.run();
+  const std::vector<Bits> expected{8000.0, 8000.0, 8000.0, 8000.0, 4000.0, 4000.0};
+  EXPECT_EQ(sizes, expected);
+  EXPECT_NEAR(link.reserved_total(), kbps(800), 1e-9);
+}
+
+TEST(PacketSim, RcspRateChangeCannotBurstThroughRegulator) {
+  // Regression: re-registering a flow used to reset last_eligible, so a
+  // renegotiating flow's next burst sailed through the rate controller at
+  // link speed. set_rate() preserves the pacing debt: departures stay
+  // spaced at (the new) L/rho across the change.
+  sim::Simulator simulator;
+  std::vector<double> departures;
+  const Bits l = 8000.0;
+  const BitsPerSecond rho = kbps(100);
+  RcspLink link(simulator, mbps(1.6),
+                [&](Packet) { departures.push_back(simulator.now().to_seconds()); });
+  link.add_flow(1, rho);
+
+  auto burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Packet p;
+      p.flow = 1;
+      p.size = l;
+      p.created = simulator.now();
+      link.enqueue(p);
+    }
+  };
+  burst(4);
+  link.add_flow(1, rho);  // same-rate renegotiation via the add_flow path
+  burst(4);
+  simulator.run();
+
+  ASSERT_EQ(departures.size(), 8u);
+  // The 8th packet is eligible at 7 L/rho — as if no renegotiation happened.
+  EXPECT_NEAR(departures.back(), 7.0 * l / rho + l / mbps(1.6), 1e-9);
+  for (std::size_t i = 1; i < departures.size(); ++i) {
+    EXPECT_NEAR(departures[i] - departures[i - 1], l / rho, 1e-9) << i;
+  }
+}
+
+TEST(PacketSim, RcspQueuedPacketsSurvivePriorityLevelMove) {
+  // Packets held in the regulator resolve their priority level when they
+  // become ELIGIBLE, not when they arrive: a set_rate() that moves the flow
+  // to another level (or an add_flow() that inserts a level below it and
+  // shifts every index) must not strand or misfile them.
+  sim::Simulator simulator;
+  std::vector<FlowId> order;
+  RcspLink link(simulator, mbps(1.6), [&](Packet p) { order.push_back(p.flow); });
+  link.add_flow(1, kbps(100), /*priority=*/3);
+
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.flow = 1;
+    p.size = 8000.0;
+    p.created = simulator.now();
+    link.enqueue(p);  // paced: the 2nd and 3rd are held in the regulator
+  }
+  // Inserting a higher-priority level shifts flow 1's level index; then the
+  // flow itself moves to a brand-new lowest level.
+  link.add_flow(2, mbps(16.0), /*priority=*/0);
+  link.set_rate(1, kbps(100), /*priority=*/7);
+  {
+    Packet p;
+    p.flow = 2;
+    p.size = 8000.0;
+    p.created = simulator.now();
+    link.enqueue(p);
+  }
+  simulator.run();
+  // Every packet departs exactly once; nothing is stranded in a stale FIFO.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(std::count(order.begin(), order.end(), FlowId{1}), 3);
+  EXPECT_EQ(std::count(order.begin(), order.end(), FlowId{2}), 1);
+  EXPECT_EQ(link.packets_served(), 4u);
 }
 
 TEST(PacketSim, RandomizedSourcesStayWellInsideBound) {

@@ -133,6 +133,88 @@ TEST(LossyHop, LossRateFeedsTheQosContract) {
   EXPECT_TRUE(rig.hop.meets_loss_bound(17, strict));
 }
 
+TEST(LossyHop, VerdictDistinguishesNoDataFromClean) {
+  // Regression (ISSUE 9 satellite): the boolean meets_loss_bound() vacuously
+  // passed flows with zero offered packets. The tri-state verdict makes "no
+  // evidence" explicit, and the minimum-sample guard keeps a handful of
+  // packets from condemning (or clearing) a flow.
+  LossRig rig(fault::LinkFaultModel::bernoulli_loss(1.0), /*loss_seed=*/3);
+  rig.add_flow(0, /*greedy=*/true, /*seed=*/7);
+
+  QosRequest strict;
+  strict.loss_bound = 0.01;
+  // Nothing offered yet: insufficient, not clean.
+  EXPECT_EQ(rig.hop.loss_verdict(0, strict), LossyHop::LossVerdict::kInsufficient);
+  EXPECT_EQ(rig.hop.loss_verdict(17, strict), LossyHop::LossVerdict::kInsufficient);
+
+  rig.run(20.0);
+  ASSERT_GE(rig.hop.offered(0), LossyHop::kMinLossSamples);
+  // Everything dropped: now the evidence suffices and the verdict condemns.
+  EXPECT_EQ(rig.hop.loss_verdict(0, strict), LossyHop::LossVerdict::kViolated);
+  EXPECT_FALSE(rig.hop.meets_loss_bound(0, strict));
+  // At total loss even a lax 0.99 bound is exceeded.
+  QosRequest lax;
+  lax.loss_bound = 0.99;
+  EXPECT_EQ(rig.hop.loss_verdict(0, lax), LossyHop::LossVerdict::kViolated);
+}
+
+TEST(LossyHop, TakeWindowHarvestsAndResets) {
+  LossRig rig(fault::LinkFaultModel::bernoulli_loss(0.5), /*loss_seed=*/11);
+  rig.add_flow(0, /*greedy=*/true, /*seed=*/7);
+  rig.run(10.0);
+
+  const std::uint64_t all_time_offered = rig.hop.offered(0);
+  const std::uint64_t all_time_dropped = rig.hop.dropped(0);
+  ASSERT_GT(all_time_offered, 0u);
+
+  // First harvest sees everything offered so far.
+  const LossyHop::LossWindow w1 = rig.hop.take_window(0);
+  EXPECT_EQ(w1.offered, all_time_offered);
+  EXPECT_EQ(w1.dropped, all_time_dropped);
+  EXPECT_NEAR(w1.loss_rate(),
+              double(all_time_dropped) / double(all_time_offered), 1e-12);
+
+  // The window resets; the all-time totals do not.
+  const LossyHop::LossWindow w2 = rig.hop.take_window(0);
+  EXPECT_EQ(w2.offered, 0u);
+  EXPECT_EQ(w2.dropped, 0u);
+  EXPECT_EQ(w2.loss_rate(), 0.0);
+  EXPECT_EQ(rig.hop.offered(0), all_time_offered);
+  EXPECT_EQ(rig.hop.dropped(0), all_time_dropped);
+}
+
+TEST(LossyHop, SetModelArmsAndDisarmsBursts) {
+  // Arming a Gilbert–Elliott model mid-run makes the hop lossy; disarming
+  // back to the trivial model restores loss-free forwarding, with all
+  // counters (and conservation) persisting across both edges.
+  sim::Simulator simulator;
+  std::uint64_t sunk = 0;
+  LossyHop hop(fault::LinkFaultModel{}, sim::Rng(21), [&](Packet) { ++sunk; });
+  auto offer_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Packet p;
+      p.flow = 0;
+      p.size = 4000.0;
+      p.created = simulator.now();
+      hop.offer(p);
+    }
+  };
+  offer_n(100);
+  EXPECT_EQ(hop.dropped(0), 0u);
+
+  hop.set_model(fault::LinkFaultModel::gilbert_elliott(0.5, 0.9, 10.0));
+  offer_n(500);
+  const std::uint64_t dropped_during_fault = hop.dropped(0);
+  EXPECT_GT(dropped_during_fault, 0u) << "armed burst model never dropped";
+
+  hop.set_model(fault::LinkFaultModel{});
+  offer_n(100);
+  EXPECT_EQ(hop.dropped(0), dropped_during_fault) << "trivial model dropped";
+  EXPECT_EQ(hop.offered(0), 700u);
+  EXPECT_EQ(hop.offered(0), hop.delivered(0) + hop.dropped(0));
+  EXPECT_EQ(hop.delivered(0), sunk);
+}
+
 TEST(LossyHop, DeterministicInSeed) {
   const auto model = fault::LinkFaultModel::gilbert_elliott(0.1, 0.8, 4.0);
   auto run_once = [&] {

@@ -57,6 +57,16 @@ THRESHOLDS = [
     # every counter and virtual-time latency percentile under it must
     # reproduce bit-exactly at the pinned flags (ISSUE 8).
     (r"/service/virtual/", "exact", 0.0),
+    # The closed adaptation loop (ISSUE 9) is a deterministic co-simulation
+    # at the pinned flags: renegotiation counts, breach windows, shaper
+    # conformance bits and the granted-rate trajectory (prefault/min/final)
+    # must reproduce bit-exactly run over run. Only its events/s — the one
+    # wall-dependent number in the entry — falls through to the generic
+    # throughput tolerance below.
+    (r"/campus_adapt/renegotiations_", "exact", 0.0),
+    (r"/campus_adapt/windows_", "exact", 0.0),
+    (r"/campus_adapt/granted_", "exact", 0.0),
+    (r"/campus_adapt/\w*_bits$", "exact", 0.0),
     (r"events_fired$", "exact", 0.0),
     # Memory per portable is allocation-deterministic (no wall noise) but
     # moves when a container policy legitimately changes (e.g. the ISSUE 8
@@ -229,7 +239,8 @@ def compare(old, new, args, out=sys.stdout):
 
 def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
              host_cpus=1, attendees="20", virtual_shed=2500,
-             saturation_rps=40000.0, overload_p99=800.0):
+             saturation_rps=40000.0, overload_p99=800.0,
+             adapt_renegotiations=204, adapt_final_bps=1024000.0):
     return {
         "_meta": {"host_cpus": host_cpus},
         "BM_Sample/8": {"items_per_second": 4.0e6, "real_time_ns": real_time_ns},
@@ -250,6 +261,15 @@ def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
                          "sustained_rps": saturation_rps * 0.95,
                          "latency_p99_us": overload_p99,
                          "shed_fraction": 0.33},
+        },
+        "scenario_cli/campus_adapt": {
+            "host_cpus": host_cpus,
+            "config": {"adapt-loop": "1", "seed": "5"},
+            "events_per_second": 500000.0,
+            "renegotiations_accepted": adapt_renegotiations,
+            "windows_breached": 30,
+            "granted_final_bps": adapt_final_bps,
+            "nonconforming_bits": 8.0e6,
         },
     }
 
@@ -299,6 +319,10 @@ def self_test():
                    run(base, _fixture(overload_p99=2500.0)) == 1))
     checks.append(("overload p99 wiggle passes",
                    run(base, _fixture(overload_p99=1400.0)) == 0))
+    checks.append(("adapt renegotiation drift fails (exact gate)",
+                   run(base, _fixture(adapt_renegotiations=205)) == 1))
+    checks.append(("adapt grant trajectory drift fails (exact gate)",
+                   run(base, _fixture(adapt_final_bps=1023999.0)) == 1))
     vanished = copy.deepcopy(base)
     del vanished["BM_Sample/8"]
     checks.append(("vanished benchmark fails", run(base, vanished) == 1))

@@ -4,7 +4,7 @@
 # already exposes. Each sanitizer gets its own build tree so the
 # instrumented objects never mix with the regular build (or each other).
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|ubsan-checkpoint|shard|serve|scale|all]
+# Usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|ubsan-checkpoint|shard|serve|scale|adapt|all]
 #        (default: all)
 #        checkpoint = asan+ubsan over the `checkpoint`-labelled tests only —
 #        the serialization/restore code paths (fast: one instrumented tree,
@@ -22,6 +22,10 @@
 #        scale = asan+ubsan over the `scale`-labelled tests only — the
 #        campus-at-scale SoA hot path (flat maps, milestone arena, batched
 #        handoff groups), where an indexing bug would smear silently.
+#        adapt = asan+ubsan over the `adapt`-labelled tests only — the
+#        closed adaptation loop (ISSUE 9): the dual token-bucket shaper's
+#        per-flow counter arithmetic, the controller's window harvesting,
+#        and the campus loop's packet lambdas that capture per-stream state.
 # Env:   CMAKE_ARGS  extra configure flags (e.g. -DCMAKE_CXX_COMPILER=clang++)
 #        CTEST_ARGS  extra ctest flags (e.g. -R fault)
 #
@@ -58,12 +62,13 @@ case "$which" in
   shard) run_one tsan-shard "thread" "-L shard" ;;
   serve) run_one tsan-serve "thread" "-L serve" ;;
   scale) run_one asan-scale "address;undefined" "-L scale" ;;
+  adapt) run_one asan-adapt "address;undefined" "-L adapt" ;;
   all)
     run_one asan "address;undefined"
     run_one tsan "thread"
     ;;
   *)
-    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|ubsan-checkpoint|shard|serve|scale|all]" >&2
+    echo "usage: tools/run_sanitizers.sh [asan|tsan|checkpoint|ubsan-checkpoint|shard|serve|scale|adapt|all]" >&2
     exit 2
     ;;
 esac

@@ -2,10 +2,18 @@
 """Validate imrm run reports and Chrome traces (stdlib only).
 
 A run report is the JSON written by ``scenario_cli --metrics-json`` (schema
-version 3, produced by obs::RunReport::write_json); a trace is the Chrome
+version 4, produced by obs::RunReport::write_json); a trace is the Chrome
 trace_event JSON written by ``--trace-out`` (loadable in Perfetto / about
 chrome://tracing). This script is the machine-checkable contract for both
 formats and runs under ctest (see examples/CMakeLists.txt).
+
+Schema v4 delta (ISSUE 9): an optional top-level ``adaptation`` object
+carries closed-adaptation-loop accounting — renegotiation counts, window
+verdict tallies, the dual token-bucket shaper's conformance conservation
+(offered == bg + wc + nonconforming, in bits), air-hop packet conservation,
+and the grant trajectory across the fault window. The block is present
+exactly for ``campus --adapt-loop`` runs; everything else is unchanged
+from v3.
 
 Schema v3 delta (ISSUE 8): an optional top-level ``service`` object carries
 admission-control service-mode accounting — offered/processed/shed/errors
@@ -34,7 +42,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 TRACE_PHASES = {"i", "X", "C", "M"}
 
 
@@ -193,6 +201,39 @@ def validate_service(service):
             "service.slo_met must match latency_p99_us <= slo_p99_us")
 
 
+ADAPTATION_COUNTS = ("flows", "renegotiations_triggered",
+                     "renegotiations_accepted", "windows_breached",
+                     "windows_clean", "windows_insufficient", "offered_bits",
+                     "bg_bits", "wc_bits", "nonconforming_bits",
+                     "hop_offered_packets", "hop_delivered_packets",
+                     "hop_dropped_packets")
+ADAPTATION_NUMBERS = ("granted_bps", "enforced_bps", "granted_prefault_bps",
+                      "granted_min_bps", "granted_final_bps")
+
+
+def validate_adaptation(adaptation):
+    """The schema-v4 `adaptation` block: closed-loop renegotiation accounting."""
+    _expect(isinstance(adaptation, dict), "adaptation must be an object")
+    for key in ADAPTATION_COUNTS:
+        _expect(_is_count(adaptation.get(key)),
+                f"adaptation.{key} must be a non-negative int")
+    for key in ADAPTATION_NUMBERS:
+        _expect(_is_number(adaptation.get(key)) and adaptation[key] >= 0,
+                f"adaptation.{key} must be a non-negative number")
+    _expect(adaptation["flows"] > 0, "adaptation.flows must be positive")
+    _expect(adaptation["offered_bits"] ==
+            adaptation["bg_bits"] + adaptation["wc_bits"]
+            + adaptation["nonconforming_bits"],
+            "adaptation: offered_bits must equal bg + wc + nonconforming bits")
+    _expect(adaptation["hop_offered_packets"] ==
+            adaptation["hop_delivered_packets"]
+            + adaptation["hop_dropped_packets"],
+            "adaptation: hop offered must equal delivered + dropped")
+    _expect(adaptation["renegotiations_accepted"] <=
+            adaptation["renegotiations_triggered"],
+            "adaptation: accepted renegotiations cannot exceed triggered")
+
+
 def validate_report(report):
     _expect(isinstance(report, dict), "report must be a JSON object")
     _expect(report.get("schema_version") == SCHEMA_VERSION,
@@ -214,6 +255,8 @@ def validate_report(report):
         validate_profile(report["profile"])
     if "service" in report:
         validate_service(report["service"])
+    if "adaptation" in report:
+        validate_adaptation(report["adaptation"])
     validate_metrics(report.get("metrics"))
 
 

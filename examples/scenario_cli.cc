@@ -420,11 +420,12 @@ int run_maxmin_cmd(const Flags& flags, ObsSession& obs) {
 /// shard-labeled ctests through tools/check_shard_determinism.py).
 int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shards) {
   ShardedCampusConfig config;
-  std::size_t cells = 0, portables = 0, seed = 0;
+  std::size_t cells = 0, portables = 0, seed = 0, batch = 0;
   double hours = 0.0, hop_ms = 0.0;
   if (!parse_count(flags, "cells", 24, cells)) return 2;
   if (!parse_count(flags, "portables", 8, portables)) return 2;
   if (!parse_count(flags, "seed", 5, seed)) return 2;
+  if (!parse_count(flags, "batch", 0, batch)) return 2;
   if (!parse_number(flags, "hours", 4.0, hours)) return 2;
   if (!parse_number(flags, "hop-ms", 5.0, hop_ms)) return 2;
   if (cells == 0) {
@@ -438,6 +439,7 @@ int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shar
   }
   config.cells = cells;
   config.shards = shards;
+  config.batch = batch;
   config.portables_per_cell = portables;
   config.seed = std::uint64_t(seed);
   config.horizon = sim::SimTime::hours(hours);
@@ -447,6 +449,10 @@ int run_campus_sharded_cmd(const Flags& flags, ObsSession& obs, std::size_t shar
   config.progress = obs.progress_or_null();
   obs.config_echo("cells", fmt_count(double(cells)));
   obs.config_echo("shards", fmt_count(double(shards)));
+  // batch is execution-only; echo it only when explicitly set so default
+  // runs keep their pre-batching config fingerprint (bench_compare.py keys
+  // trajectory entries on the config echo).
+  if (batch > 0) obs.config_echo("batch", fmt_count(double(batch)));
   obs.config_echo("portables", fmt_count(double(portables)));
   obs.config_echo("seed", fmt_count(double(config.seed)));
   obs.config_echo("hours", stats::fmt(hours, 2));
@@ -503,6 +509,11 @@ int run_campus_cmd(const Flags& flags, ObsSession& obs) {
   std::size_t shards = 0, adapt_loop = 0;
   if (!parse_count(flags, "shards", 0, shards)) return 2;
   if (!parse_count(flags, "adapt-loop", 0, adapt_loop)) return 2;
+  if (shards == 0 && !flags.text("batch", "").empty()) {
+    std::cerr << "scenario_cli: --batch tunes the sharded runner's window "
+                 "batching; it requires --shards K\n";
+    return 2;
+  }
   if (shards > 0) {
     if (adapt_loop != 0) {
       std::cerr << "scenario_cli: --adapt-loop runs the single-process campus "
@@ -841,6 +852,25 @@ int run_campus_scale_cmd(const Flags& flags, ObsSession& obs) {
               << "' (expected soa or naive)\n";
     return 2;
   }
+  std::size_t shards = 0, batch = 0;
+  if (!parse_count(flags, "shards", 0, shards)) return 2;
+  if (!parse_count(flags, "batch", 0, batch)) return 2;
+  if (shards > 0 && config.engine == ScaleEngine::kNaive) {
+    std::cerr << "scenario_cli: --engine naive is the monolithic pre-SoA "
+                 "baseline; it cannot run sharded (drop --shards or "
+                 "--engine)\n";
+    return 2;
+  }
+  if (shards > cells) {
+    std::cerr << "scenario_cli: --shards (" << shards << ") exceeds --cells ("
+              << cells << "); cells are the unit of parallelism\n";
+    return 2;
+  }
+  if (shards == 0 && !flags.text("batch", "").empty()) {
+    std::cerr << "scenario_cli: --batch tunes the sharded runner's window "
+                 "batching; it requires --shards K\n";
+    return 2;
+  }
   config.cells = cells;
   config.portables = portables;
   config.seed = std::uint64_t(seed);
@@ -855,6 +885,30 @@ int run_campus_scale_cmd(const Flags& flags, ObsSession& obs) {
   obs.config_echo("tick", stats::fmt(tick, 2));
   obs.config_echo("seed", fmt_count(double(seed)));
   obs.config_echo("engine", engine);
+
+  if (shards > 0) {
+    config.shards = shards;
+    config.batch = batch;
+    config.tracer = obs.tracer_or_null();
+    // shards/batch are execution-only (results byte-identical for any
+    // value); tools/check_shard_determinism.py strips these two echo keys
+    // before comparing reports across the (shards, batch) sweep.
+    obs.config_echo("shards", fmt_count(double(shards)));
+    if (batch > 0) obs.config_echo("batch", fmt_count(double(batch)));
+    const CampusScaleResult r = run_campus_scale_sharded(config);
+    // No dispatch count here: stdout must stay byte-identical across batch
+    // sizes (dispatches vary; windows and boundary messages do not).
+    std::cout << "engine=sharded cells=" << cells << " portables=" << portables
+              << " events=" << r.events << " windows=" << r.windows
+              << " boundary=" << r.boundary_messages
+              << " handoffs=" << r.handoffs << " admits=" << r.handoff_admitted
+              << " drops=" << r.handoff_dropped << " blocked=" << r.new_blocked
+              << " departed=" << r.departures
+              << " bytes/portable=" << stats::fmt(r.bytes_per_portable, 1)
+              << '\n';
+    return obs.finish("campus_scale", obs.registry.snapshot(),
+                      obs.want_profile() ? &r.profile : nullptr);
+  }
 
   const CampusScaleResult r = run_campus_scale(config);
   std::cout << "engine=" << engine << " cells=" << cells << " portables=" << portables
@@ -1153,11 +1207,15 @@ void usage() {
       "             --attendees N --squatters M --replications R --seed S\n"
       "             (default command when only flags are given)\n"
       "  campus --shards K   sharded multi-cell corridor (K worker threads;\n"
-      "             --cells N --portables P --hours H --hop-ms T --seed S;\n"
-      "             metrics are byte-identical for any K)\n"
+      "             --cells N --portables P --hours H --hop-ms T --seed S\n"
+      "             --batch B windows per barrier dispatch, 0=adaptive;\n"
+      "             metrics are byte-identical for any K and B)\n"
       "  campus-scale --cells N --portables M --duration S --tick T --seed S\n"
       "             --engine soa|naive   (grid campus scaling harness; reports\n"
       "             events/s and bytes-per-portable at up to 1000x100k)\n"
+      "  campus-scale --shards K   the same grid campus as one sharded-runner\n"
+      "             domain per cell (K worker threads, --batch B as above;\n"
+      "             soa engine only; byte-identical for any K and B)\n"
       "  faults     --topology twocell|campus --drop P --flaps F --crashes C\n"
       "             --stop T --horizon H --replications R --threads W --seed S\n"
       "             (convergence-under-faults harness: lossy control plane +\n"

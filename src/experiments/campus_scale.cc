@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/scale_workload.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/progress.h"
@@ -27,18 +28,8 @@ using net::PortableId;
 
 constexpr std::uint32_t kNoCell = CellId::invalid().value();
 
-std::size_t grid_side(std::size_t cells) {
-  std::size_t side = std::size_t(std::ceil(std::sqrt(double(cells))));
-  return std::max<std::size_t>(side, 1);
-}
-
-/// One attendee's day, laid out as a fixed stride-4 slice of the shared
-/// milestone arena: appear, enter room, leave room, depart.
-struct Milestone {
-  double time = 0.0;
-  enum Kind : std::uint8_t { kAppear, kEnter, kLeave, kDepart } kind = kAppear;
-};
-constexpr std::size_t kMilestonesPerPortable = 4;
+using Milestone = detail::ScaleMilestone;
+constexpr std::size_t kMilestonesPerPortable = detail::kScaleMilestonesPerPortable;
 
 struct Mover {
   std::uint32_t to;
@@ -54,7 +45,7 @@ class ScaleSim {
   explicit ScaleSim(const CampusScaleConfig& config)
       : cfg_(config),
         map_(scale_grid_floorplan(config.cells)),
-        side_(grid_side(config.cells)),
+        side_(detail::scale_grid_side(config.cells)),
         server_(net::ZoneId{0}),
         predictor_(map_, server_) {
     for (const mobility::Cell& cell : map_.cells()) {
@@ -69,17 +60,13 @@ class ScaleSim {
     }
 
     const std::size_t n = cfg_.portables;
-    home_.assign(n, kNoCell);
-    room_.assign(n, kNoCell);
     current_.assign(n, kNoCell);
     prev_.assign(n, kNoCell);
     target_.assign(n, kNoCell);
-    demand_.assign(n, 0.0);
     connected_.assign(n, 0);
     alive_.assign(n, 0);
     cursor_.assign(n, 0);
     last_reserved_.assign(n, kNoCell);
-    arena_.assign(n * kMilestonesPerPortable, Milestone{});
     occupancy_.assign(map_.size(), 0);
 
     const double tick_s = std::max(cfg_.tick.to_seconds(), 1e-3);
@@ -113,73 +100,21 @@ class ScaleSim {
   }
 
  private:
-  // --- workload generation (engine-independent, so kNaive and kSoa see the
-  // --- exact same milestone arena and demands) ----------------------------
+  // --- workload generation (engine-independent and shared with the sharded
+  // --- engine, so every engine sees the exact same milestone arena and
+  // --- demands; see scale_workload.h) -------------------------------------
   void generate_workload() {
-    sim::Rng rng(cfg_.seed);
-    const workload::ConnectionMix mix = workload::paper_fig5_mix();
-
-    std::vector<CellId> offices = map_.cells_of_class(mobility::CellClass::kOffice);
-    std::vector<CellId> rooms = map_.cells_of_class(mobility::CellClass::kMeetingRoom);
-    if (offices.empty()) offices = map_.cells_of_class(mobility::CellClass::kCorridor);
-    assert(!offices.empty() && !rooms.empty());
-
-    // Class periods: 25-minute classes every 40 minutes, first at t=10min;
-    // short runs get one period in the middle of the window.
-    const double dur = cfg_.duration.to_seconds();
-    std::vector<std::pair<double, double>> periods;
-    for (double start = 600.0; start + 2100.0 <= dur; start += 2400.0) {
-      periods.emplace_back(start, start + 1500.0);
-    }
-    if (periods.empty()) periods.emplace_back(0.30 * dur, 0.60 * dur);
-
-    // Assign each portable a home office, a meeting room, and one class
-    // period; group attendees per (room, period) so one class workload draw
-    // covers the whole group.
-    const std::size_t groups = rooms.size() * periods.size();
-    std::vector<std::vector<std::uint32_t>> group_members(groups);
+    detail::ScaleWorkload w =
+        detail::generate_scale_workload(cfg_, map_, &server_);
+    home_ = std::move(w.home);
+    room_ = std::move(w.room);
+    demand_ = std::move(w.demand);
+    arena_ = std::move(w.arena);
+    // Each portable's first wakeup is its appear milestone; run_tick sorts
+    // the due list, so bucket fill order is immaterial.
     for (std::uint32_t p = 0; p < cfg_.portables; ++p) {
-      home_[p] = offices[p % offices.size()].value();
-      const std::size_t ri = p % rooms.size();
-      const std::size_t pi = (p / rooms.size()) % periods.size();
-      room_[p] = rooms[ri].value();
-      group_members[ri * periods.size() + pi].push_back(p);
+      schedule_at(p, arena_[p * kMilestonesPerPortable].time, /*after_tick=*/0);
     }
-
-    for (std::size_t ri = 0; ri < rooms.size(); ++ri) {
-      for (std::size_t pi = 0; pi < periods.size(); ++pi) {
-        const std::vector<std::uint32_t>& members =
-            group_members[ri * periods.size() + pi];
-        if (members.empty()) continue;
-        profiles::Meeting meeting;
-        meeting.start = sim::SimTime::seconds(periods[pi].first);
-        meeting.stop = sim::SimTime::seconds(periods[pi].second);
-        meeting.attendees = members.size();
-        server_.calendar(rooms[ri]).book(meeting);
-
-        workload::ClassScheduleConfig schedule;
-        schedule.meeting = meeting;
-        schedule.passby_per_minute = 0.0;  // pass-by walkers not modeled here
-        const workload::ClassWorkload plan =
-            workload::generate_class_workload(schedule, rng);
-        assert(plan.attendees.size() == members.size());
-        for (std::size_t j = 0; j < members.size(); ++j) {
-          const std::uint32_t p = members[j];
-          const workload::AttendeePlan& a = plan.attendees[j];
-          Milestone* m = &arena_[p * kMilestonesPerPortable];
-          m[0] = {clamp_time(a.arrive_corridor), Milestone::kAppear};
-          m[1] = {clamp_time(a.enter_room), Milestone::kEnter};
-          m[2] = {clamp_time(a.leave_room), Milestone::kLeave};
-          m[3] = {clamp_time(a.depart), Milestone::kDepart};
-          demand_[p] = mix.sample(rng);
-          schedule_at(p, m[0].time, /*after_tick=*/0);
-        }
-      }
-    }
-  }
-
-  double clamp_time(sim::SimTime t) const {
-    return std::clamp(t.to_seconds(), 0.0, cfg_.duration.to_seconds());
   }
 
   void schedule_at(std::uint32_t portable, double when, std::size_t after_tick) {
@@ -416,25 +351,12 @@ class ScaleSim {
     last_reserved_[p] = kNoCell;
   }
 
-  // --- routing on the grid -------------------------------------------------
-  // Horizontal movement happens on row 0 (the backbone corridor, always a
-  // complete row); columns are traversed vertically. Every step below is a
-  // valid edge of scale_grid_floorplan by construction.
+  // --- routing on the grid (shared with the sharded engine) ----------------
   std::uint32_t route_next(std::uint32_t from, std::uint32_t to) const {
-    const std::uint32_t r = from / side_, c = from % side_;
-    const std::uint32_t tc = to % side_;
-    if (c != tc) {
-      if (r != 0) return from - std::uint32_t(side_);  // climb to the backbone
-      return c < tc ? from + 1 : from - 1;
-    }
-    const std::uint32_t tr = to / side_;
-    return r < tr ? from + std::uint32_t(side_) : from - std::uint32_t(side_);
+    return detail::route_next(side_, from, to);
   }
-
-  /// The cell just outside a room on the walk in — where an attendee waits
-  /// between arrive_corridor and enter_room.
   std::uint32_t gateway_of(std::uint32_t room) const {
-    return room >= side_ ? room - std::uint32_t(side_) : room;
+    return detail::gateway_of(side_, room);
   }
 
   // --- outcome digest ------------------------------------------------------
@@ -548,9 +470,93 @@ class ScaleSim {
 
 }  // namespace
 
+namespace detail {
+
+std::size_t scale_grid_side(std::size_t cells) {
+  std::size_t side = std::size_t(std::ceil(std::sqrt(double(cells))));
+  return std::max<std::size_t>(side, 1);
+}
+
+ScaleWorkload generate_scale_workload(const CampusScaleConfig& cfg,
+                                      const mobility::CellMap& map,
+                                      profiles::ProfileServer* calendar) {
+  ScaleWorkload w;
+  const std::size_t n = cfg.portables;
+  w.home.assign(n, kNoCell);
+  w.room.assign(n, kNoCell);
+  w.demand.assign(n, 0.0);
+  w.arena.assign(n * kScaleMilestonesPerPortable, ScaleMilestone{});
+
+  sim::Rng rng(cfg.seed);
+  const workload::ConnectionMix mix = workload::paper_fig5_mix();
+  const double dur = cfg.duration.to_seconds();
+  const auto clamp_time = [dur](sim::SimTime t) {
+    return std::clamp(t.to_seconds(), 0.0, dur);
+  };
+
+  std::vector<CellId> offices = map.cells_of_class(mobility::CellClass::kOffice);
+  std::vector<CellId> rooms = map.cells_of_class(mobility::CellClass::kMeetingRoom);
+  if (offices.empty()) offices = map.cells_of_class(mobility::CellClass::kCorridor);
+  assert(!offices.empty() && !rooms.empty());
+
+  // Class periods: 25-minute classes every 40 minutes, first at t=10min;
+  // short runs get one period in the middle of the window.
+  std::vector<std::pair<double, double>> periods;
+  for (double start = 600.0; start + 2100.0 <= dur; start += 2400.0) {
+    periods.emplace_back(start, start + 1500.0);
+  }
+  if (periods.empty()) periods.emplace_back(0.30 * dur, 0.60 * dur);
+
+  // Assign each portable a home office, a meeting room, and one class
+  // period; group attendees per (room, period) so one class workload draw
+  // covers the whole group.
+  const std::size_t groups = rooms.size() * periods.size();
+  std::vector<std::vector<std::uint32_t>> group_members(groups);
+  for (std::uint32_t p = 0; p < cfg.portables; ++p) {
+    w.home[p] = offices[p % offices.size()].value();
+    const std::size_t ri = p % rooms.size();
+    const std::size_t pi = (p / rooms.size()) % periods.size();
+    w.room[p] = rooms[ri].value();
+    group_members[ri * periods.size() + pi].push_back(p);
+  }
+
+  for (std::size_t ri = 0; ri < rooms.size(); ++ri) {
+    for (std::size_t pi = 0; pi < periods.size(); ++pi) {
+      const std::vector<std::uint32_t>& members =
+          group_members[ri * periods.size() + pi];
+      if (members.empty()) continue;
+      profiles::Meeting meeting;
+      meeting.start = sim::SimTime::seconds(periods[pi].first);
+      meeting.stop = sim::SimTime::seconds(periods[pi].second);
+      meeting.attendees = members.size();
+      if (calendar != nullptr) calendar->calendar(rooms[ri]).book(meeting);
+
+      workload::ClassScheduleConfig schedule;
+      schedule.meeting = meeting;
+      schedule.passby_per_minute = 0.0;  // pass-by walkers not modeled here
+      const workload::ClassWorkload plan =
+          workload::generate_class_workload(schedule, rng);
+      assert(plan.attendees.size() == members.size());
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const std::uint32_t p = members[j];
+        const workload::AttendeePlan& a = plan.attendees[j];
+        ScaleMilestone* m = &w.arena[p * kScaleMilestonesPerPortable];
+        m[0] = {clamp_time(a.arrive_corridor), ScaleMilestone::kAppear};
+        m[1] = {clamp_time(a.enter_room), ScaleMilestone::kEnter};
+        m[2] = {clamp_time(a.leave_room), ScaleMilestone::kLeave};
+        m[3] = {clamp_time(a.depart), ScaleMilestone::kDepart};
+        w.demand[p] = mix.sample(rng);
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace detail
+
 mobility::CellMap scale_grid_floorplan(std::size_t cells) {
   assert(cells >= 2);
-  const std::size_t side = grid_side(cells);
+  const std::size_t side = detail::scale_grid_side(cells);
 
   // First pass: pick classes. Corridor rows every third row; other cells
   // cycle offices with meeting rooms and cafeterias sprinkled in. Guarantee

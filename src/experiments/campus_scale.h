@@ -21,18 +21,29 @@
 // admission, admission outcome, busy-cell count) into `outcome_hash`, so a
 // test can assert the layouts are behaviorally identical while the clock
 // shows the complexity gap.
+// A third front end, run_campus_scale_sharded (ISSUE 10), executes the same
+// generated workload as one sim::ShardedRunner domain per cell: milestones
+// fire in per-cell tick handlers, walkers travel as boundary messages with
+// one-tick latency, and admission/reservation state is cell-local. It is its
+// own oracle — byte-identical across any shard/batch count (the runner's
+// contract), but deliberately NOT decision-identical with the monolithic
+// engines: global state the monolith consults on the admission path (the
+// ThreeLevelPredictor, the busy-cell census) has no partition-invariant
+// cell-local equivalent, so the sharded engine reserves along the walking
+// route instead of along predicted mobility (see DESIGN.md).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
 #include "mobility/floorplan.h"
+#include "obs/profiler.h"
 #include "sim/time.h"
 
 namespace imrm::obs {
 class Registry;
-class Profiler;
 class ProgressMeter;
+class Tracer;
 }  // namespace imrm::obs
 
 namespace imrm::experiments {
@@ -57,8 +68,17 @@ struct CampusScaleConfig {
   /// phases recorded once per run. Observation-only — decisions, the outcome
   /// hash, and all metrics are identical with profiling on or off.
   obs::Profiler* profiler = nullptr;
-  /// Optional stderr heartbeat, polled once per tick.
+  /// Optional stderr heartbeat, polled once per tick (the sharded engine
+  /// polls once per coordinator dispatch, with straggler attribution).
   obs::ProgressMeter* progress = nullptr;
+  /// Sharded-engine knobs (run_campus_scale_sharded only; the monolithic
+  /// engines ignore all three). `shards` is the worker-thread count —
+  /// execution only, results are byte-identical for any value. `batch` is
+  /// windows per coordinator dispatch (0 = adaptive), equally result-
+  /// invariant. `tracer` receives the runner's wall lanes when profiling.
+  std::size_t shards = 1;
+  std::size_t batch = 0;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct CampusScaleResult {
@@ -76,8 +96,21 @@ struct CampusScaleResult {
   std::size_t state_bytes = 0;
   double bytes_per_portable = 0.0;
   /// Order-sensitive digest of every admission decision; equal across
-  /// engines iff they made identical decisions in identical order.
+  /// engines iff they made identical decisions in identical order. (The
+  /// sharded engine folds per-cell digests in cell order — comparable across
+  /// shard/batch counts, not with the monolithic engines.)
   std::uint64_t outcome_hash = 0;
+  /// Sharded-engine execution totals (zero for the monolithic engines).
+  /// `windows` and `boundary_messages` are batch/shard-invariant;
+  /// `dispatches` is a pure execution statistic (varies with `batch` and the
+  /// adaptive controller) and must never feed golden outputs.
+  std::uint64_t windows = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t boundary_messages = 0;
+  /// Wall-clock attribution (sharded engine, only when config.profiler was
+  /// enabled): shard lanes, dispatch/window histograms. Quarantined from
+  /// `outcome_hash` and the metric counters.
+  obs::ProfileSnapshot profile;
 };
 
 /// Builds the grid floorplan the scale harness runs on: side = ceil(sqrt(N))
@@ -87,5 +120,17 @@ struct CampusScaleResult {
 [[nodiscard]] mobility::CellMap scale_grid_floorplan(std::size_t cells);
 
 [[nodiscard]] CampusScaleResult run_campus_scale(const CampusScaleConfig& config);
+
+/// The grid campus executed through sim::ShardedRunner: one domain per cell
+/// (the runner's contiguous worker-block assignment is the cell→shard
+/// partitioner), window = config.tick, every cross-cell interaction — a
+/// walking portable, an advance reservation, a stale-reservation cancel — a
+/// boundary message with one-tick latency. config.engine must be kSoa
+/// (kNaive's whole-roster rescans are meaningless without global state; the
+/// CLI rejects the combination). Deterministic and byte-identical for any
+/// (shards, batch); config.metrics additionally receives the runner's
+/// shard.windows / shard.boundary_messages counters.
+[[nodiscard]] CampusScaleResult run_campus_scale_sharded(
+    const CampusScaleConfig& config);
 
 }  // namespace imrm::experiments

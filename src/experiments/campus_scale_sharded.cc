@@ -1,0 +1,394 @@
+// Sharded campus-at-scale engine (ISSUE 10): the grid campus of
+// campus_scale.cc executed through sim::ShardedRunner, one domain per cell.
+//
+// Execution model
+//   - Every cell is a runner domain; the conservative window equals the
+//     scheduler tick, and every cross-cell interaction is a boundary message
+//     with exactly one tick of latency, so the lookahead contract holds by
+//     construction.
+//   - A per-cell tick handler (every tick from 0 through the duration) fires
+//     due milestones for the cell's residents and launches walkers: a
+//     portable whose target differs from its cell is sent to the next cell
+//     on the grid route as a message carrying its migrating Row state. The
+//     arrival callback performs handoff admission, fires any milestones that
+//     came due in flight, and either settles the portable as a resident or
+//     forwards it another hop — one hop per tick, as in the monolith.
+//   - Admission state is cell-local: each cell keeps its own
+//     allocated/connections account plus a FlatMap of advance reservations,
+//     instead of the monolith's global ReservationDirectory. Advance
+//     reservations are routed, not predicted: on admitting a handoff the
+//     cell parks bandwidth two hops further along the walking route (far
+//     enough ahead that the reservation message outruns the portable), and
+//     stale reservations are cancelled by message on the next arrival or at
+//     departure.
+//
+// Determinism: all mutable state is per-cell, every cross-cell effect rides
+// the runner's canonically-ordered boundary messages, and the outcome digest
+// folds per-cell hashes in cell-id order — so every output (outcome_hash,
+// counters, metrics JSON) is byte-identical for any shard count and any
+// batch size. The engine is its own oracle; it is NOT decision-identical
+// with the monolithic engines (see campus_scale.h).
+#include "experiments/campus_scale.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "experiments/scale_workload.h"
+#include "obs/metrics.h"
+#include "sim/flat_map.h"
+#include "sim/sharded_runner.h"
+#include "sim/simulator.h"
+
+namespace imrm::experiments {
+namespace {
+
+constexpr std::uint32_t kNoCell = net::CellId::invalid().value();
+constexpr std::uint64_t kHashSeed = 0x6a09e667f3bcc908ULL;  // as the monolith
+constexpr std::size_t kStride = detail::kScaleMilestonesPerPortable;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+void mix_outcome(std::uint64_t& h, std::uint64_t tag, std::uint32_t p,
+                 std::uint64_t detail_v, bool ok) {
+  mix(h, (tag << 56) | (std::uint64_t(p) << 24) | (ok ? 1 : 0));
+  mix(h, detail_v);
+}
+
+/// The migrating per-portable state. Travels by value inside mover messages;
+/// at rest it lives in exactly one cell's resident list. Everything else a
+/// cell needs about a portable (home, room, demand, milestones) is read-only
+/// shared workload, safe to touch from any worker.
+struct Row {
+  std::uint32_t portable = 0;
+  std::uint32_t target = kNoCell;
+  std::uint32_t last_reserved = kNoCell;
+  std::uint8_t cursor = 0;     ///< next milestone index in the arena slice
+  std::uint8_t connected = 0;  ///< holds (or, in flight, seeks) bandwidth
+};
+
+class ShardedScaleSim {
+ public:
+  explicit ShardedScaleSim(const CampusScaleConfig& config)
+      : cfg_(config),
+        map_(scale_grid_floorplan(config.cells)),
+        side_(detail::scale_grid_side(config.cells)),
+        workload_(detail::generate_scale_workload(config, map_, nullptr)),
+        runner_(sim::ShardedRunner::Config{
+            config.cells, config.shards, config.tick, config.batch,
+            config.profiler, config.tracer, config.progress}) {
+    const double tick_s = std::max(cfg_.tick.to_seconds(), 1e-3);
+    n_ticks_ = std::size_t(cfg_.duration.to_seconds() / tick_s) + 1;
+
+    cells_.resize(cfg_.cells);
+    for (std::size_t i = 0; i < cfg_.cells; ++i) {
+      cells_[i].id = std::uint32_t(i);
+      cells_[i].sim = &runner_.domain(i);
+    }
+    // Every portable starts as an unborn resident of its home cell; the
+    // appear milestone activates it in place.
+    for (std::uint32_t p = 0; p < cfg_.portables; ++p) {
+      cells_[workload_.home[p]].residents.push_back(Row{p});
+    }
+    const double dur = cfg_.duration.to_seconds();
+    for (CellState& c : cells_) {
+      CellState* cp = &c;
+      // Tick 0, every tick after, and a final flush at the exact duration
+      // (every() lands there only when the duration is a tick multiple; the
+      // flush is cursor-guarded so a double firing is a no-op).
+      c.sim->at(sim::SimTime::seconds(0.0), [this, cp] { on_tick(*cp); });
+      c.sim->every(cfg_.tick, sim::SimTime::seconds(dur),
+                   [this, cp] { on_tick(*cp); });
+      c.sim->at(sim::SimTime::seconds(dur), [this, cp] { on_tick(*cp); });
+    }
+  }
+
+  CampusScaleResult run() {
+    // Walkers launched on the final tick arrive one tick past the duration
+    // and fire their (all due) remaining milestones on arrival; their
+    // cancel messages land one tick later still.
+    const double dur = cfg_.duration.to_seconds();
+    const double tick_s = std::max(cfg_.tick.to_seconds(), 1e-3);
+    runner_.run_until(sim::SimTime::seconds(dur + 3.0 * tick_s));
+    return finish();
+  }
+
+ private:
+  struct CellState {
+    std::uint32_t id = 0;
+    sim::Simulator* sim = nullptr;
+    std::vector<Row> residents;
+    /// portable -> parked bandwidth (bps), counted inside `allocated`.
+    sim::FlatMap<std::uint32_t, double> reserved;
+    double allocated = 0.0;
+    std::uint32_t connections = 0;
+    std::uint32_t occupancy = 0;
+    std::uint64_t hash = kHashSeed;
+    // Scenario counters, summed in finish().
+    std::uint64_t events = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t new_admitted = 0;
+    std::uint64_t new_blocked = 0;
+    std::uint64_t handoff_admitted = 0;
+    std::uint64_t handoff_dropped = 0;
+    std::uint64_t reservations_placed = 0;
+    std::uint64_t departures = 0;
+  };
+
+  [[nodiscard]] const detail::ScaleMilestone* milestones(std::uint32_t p) const {
+    return &workload_.arena[p * kStride];
+  }
+
+  // --- cell-local bandwidth account ---------------------------------------
+  [[nodiscard]] bool fits(const CellState& c, double bw) const {
+    return c.allocated + bw <= cfg_.cell_capacity_bps + 1e-6;
+  }
+
+  bool admit_new(CellState& c, double bw) {
+    if (!fits(c, bw)) return false;
+    c.allocated += bw;
+    ++c.connections;
+    return true;
+  }
+
+  bool admit_handoff(CellState& c, std::uint32_t p, double bw) {
+    // A reservation parked for this portable is consumed (its bandwidth
+    // returns to the pool and immediately re-fits below).
+    if (const double* parked = c.reserved.find(p)) {
+      c.allocated -= *parked;
+      c.reserved.erase(p);
+    }
+    return admit_new(c, bw);
+  }
+
+  void release(CellState& c, double bw) {
+    c.allocated -= bw;
+    --c.connections;
+  }
+
+  void on_reserve(CellState& c, std::uint32_t p, double bw) {
+    if (c.reserved.contains(p) || !fits(c, bw)) return;
+    c.allocated += bw;
+    c.reserved.insert(p, bw);
+  }
+
+  void on_cancel(CellState& c, std::uint32_t p) {
+    if (const double* parked = c.reserved.find(p)) {
+      c.allocated -= *parked;
+      c.reserved.erase(p);
+    }
+  }
+
+  /// Drops the reservation `row` left in a cell it is no longer headed to —
+  /// locally when that cell is `c`, by boundary message otherwise. A
+  /// reservation in the cell the portable just reached was consumed by
+  /// admit_handoff before this runs.
+  void cancel_stale_reservation(CellState& c, Row& row) {
+    const std::uint32_t held = row.last_reserved;
+    if (held == kNoCell) return;
+    row.last_reserved = kNoCell;
+    if (held == c.id) {
+      on_cancel(c, row.portable);
+      return;
+    }
+    runner_.transport(c.id).send(
+        fault::Channel(held), cfg_.tick,
+        [this, held, p = row.portable] { on_cancel(cells_[held], p); });
+  }
+
+  // --- milestone firing ----------------------------------------------------
+  /// Fires every milestone due at `now` for `row`, resident in `c`. Returns
+  /// true when the portable departed (the caller removes the row).
+  bool fire_milestones(CellState& c, Row& row, double now) {
+    const detail::ScaleMilestone* m = milestones(row.portable);
+    const std::uint32_t p = row.portable;
+    while (row.cursor < kStride && m[row.cursor].time <= now) {
+      const detail::ScaleMilestone& ms = m[row.cursor];
+      ++row.cursor;
+      ++c.events;
+      switch (ms.kind) {
+        case detail::ScaleMilestone::kAppear: {
+          row.target = detail::gateway_of(side_, workload_.room[p]);
+          ++c.occupancy;
+          const bool ok = admit_new(c, workload_.demand[p]);
+          row.connected = ok ? 1 : 0;
+          ok ? ++c.new_admitted : ++c.new_blocked;
+          mix_outcome(c.hash, 0x11, p, c.id, ok);
+          break;
+        }
+        case detail::ScaleMilestone::kEnter:
+          row.target = workload_.room[p];
+          break;
+        case detail::ScaleMilestone::kLeave:
+          row.target = workload_.home[p];
+          break;
+        case detail::ScaleMilestone::kDepart: {
+          if (row.connected) release(c, workload_.demand[p]);
+          cancel_stale_reservation(c, row);
+          --c.occupancy;
+          ++c.departures;
+          mix_outcome(c.hash, 0x44, p, c.id, true);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // --- movement ------------------------------------------------------------
+  /// Sends `row` one hop toward its target. Bandwidth is freed at the source
+  /// as the portable leaves; connected stays set as "seeks a connection" so
+  /// the arrival attempts handoff admission.
+  void emit_hop(CellState& c, const Row& row) {
+    const std::uint32_t next = detail::route_next(side_, c.id, row.target);
+    if (row.connected) release(c, workload_.demand[row.portable]);
+    --c.occupancy;
+    runner_.transport(c.id).send(
+        fault::Channel(next), cfg_.tick,
+        [this, moving = row, next, from = c.id] { on_arrival(next, moving, from); });
+  }
+
+  void on_arrival(std::uint32_t dest, Row row, std::uint32_t from) {
+    CellState& d = cells_[dest];
+    const std::uint32_t p = row.portable;
+    const double bw = workload_.demand[p];
+    ++d.handoffs;
+    ++d.events;
+    const std::uint64_t occ_before = d.occupancy;
+    bool admitted = false;
+    if (row.connected) {
+      admitted = admit_handoff(d, p, bw);
+      row.connected = admitted ? 1 : 0;
+      admitted ? ++d.handoff_admitted : ++d.handoff_dropped;
+    }
+    cancel_stale_reservation(d, row);
+    ++d.occupancy;
+    mix_outcome(d.hash, 0x22, p, (std::uint64_t(from) << 20) | dest, admitted);
+    mix(d.hash, occ_before);
+
+    const bool departed = fire_milestones(d, row, d.sim->now().to_seconds());
+    if (departed) return;
+    if (row.target == dest) {
+      d.residents.push_back(row);
+      return;
+    }
+    // Route-based advance reservation: park bandwidth two hops ahead, so the
+    // reservation message (one tick) outruns the portable (two ticks) and
+    // competing admissions at that cell see the parked bandwidth first.
+    const std::uint32_t next = detail::route_next(side_, dest, row.target);
+    if (row.connected && next != row.target) {
+      const std::uint32_t ahead = detail::route_next(side_, next, row.target);
+      runner_.transport(dest).send(
+          fault::Channel(ahead), cfg_.tick,
+          [this, ahead, p, bw] { on_reserve(cells_[ahead], p, bw); });
+      row.last_reserved = ahead;
+      ++d.reservations_placed;
+    }
+    emit_hop(d, row);
+  }
+
+  // --- per-cell tick -------------------------------------------------------
+  void on_tick(CellState& c) {
+    const double now = c.sim->now().to_seconds();
+    for (std::size_t i = 0; i < c.residents.size();) {
+      Row& row = c.residents[i];
+      if (fire_milestones(c, row, now)) {
+        remove_resident(c, i);
+        continue;
+      }
+      // cursor == 0 means the portable has not appeared yet (its target is
+      // unset); everyone else walks when away from their target.
+      if (row.cursor > 0 && row.target != c.id) {
+        emit_hop(c, row);
+        remove_resident(c, i);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  void remove_resident(CellState& c, std::size_t i) {
+    // Swap-pop: the tail row is unvisited (iteration is front-to-back), so
+    // it gets processed at index i on the next loop step.
+    c.residents[i] = c.residents.back();
+    c.residents.pop_back();
+  }
+
+  // --- reporting -----------------------------------------------------------
+  [[nodiscard]] std::size_t state_bytes() const {
+    std::size_t total = workload_.memory_bytes();
+    total += cells_.capacity() * sizeof(CellState);
+    for (const CellState& c : cells_) {
+      total += c.residents.capacity() * sizeof(Row);
+      total += c.reserved.memory_bytes();
+    }
+    return total;
+  }
+
+  CampusScaleResult finish() {
+    CampusScaleResult r;
+    r.ticks = n_ticks_;
+    std::uint64_t fold = kHashSeed;
+    for (const CellState& c : cells_) {
+      r.events += c.events;
+      r.handoffs += c.handoffs;
+      r.new_admitted += c.new_admitted;
+      r.new_blocked += c.new_blocked;
+      r.handoff_admitted += c.handoff_admitted;
+      r.handoff_dropped += c.handoff_dropped;
+      r.reservations_placed += c.reservations_placed;
+      r.departures += c.departures;
+      mix(fold, c.hash);
+    }
+    r.outcome_hash = fold;
+    r.state_bytes = state_bytes();
+    r.bytes_per_portable =
+        cfg_.portables ? double(r.state_bytes) / double(cfg_.portables) : 0.0;
+    r.windows = runner_.stats().windows;
+    r.dispatches = runner_.stats().dispatches;
+    r.boundary_messages = runner_.stats().boundary_messages;
+    if (obs::Registry* reg = cfg_.metrics) {
+      reg->counter("scale.events").add(r.events);
+      reg->counter("scale.ticks").add(r.ticks);
+      reg->counter("scale.handoffs").add(r.handoffs);
+      reg->counter("scale.new.admitted").add(r.new_admitted);
+      reg->counter("scale.new.blocked").add(r.new_blocked);
+      reg->counter("scale.handoff.admitted").add(r.handoff_admitted);
+      reg->counter("scale.handoff.dropped").add(r.handoff_dropped);
+      reg->counter("scale.reservations").add(r.reservations_placed);
+      reg->counter("scale.departures").add(r.departures);
+      reg->gauge("scale.state_bytes").set(double(r.state_bytes));
+      reg->gauge("scale.bytes_per_portable").set(r.bytes_per_portable);
+      reg->gauge("sim.time_seconds").set(cfg_.duration.to_seconds());
+      reg->counter("sim.events_fired").add(r.events);
+      // Engine totals; both are batch- and shard-invariant (dispatches are
+      // not, and deliberately stay out of the metrics block).
+      reg->counter("shard.windows").add(r.windows);
+      reg->counter("shard.boundary_messages").add(r.boundary_messages);
+    }
+    if (cfg_.profiler != nullptr) {
+      r.profile = cfg_.profiler->snapshot();
+      runner_.export_profile(r.profile);
+    }
+    return r;
+  }
+
+  CampusScaleConfig cfg_;
+  mobility::CellMap map_;
+  std::size_t side_;
+  detail::ScaleWorkload workload_;  // read-only after construction
+  sim::ShardedRunner runner_;
+  std::vector<CellState> cells_;
+  std::size_t n_ticks_ = 0;
+};
+
+}  // namespace
+
+CampusScaleResult run_campus_scale_sharded(const CampusScaleConfig& config) {
+  ShardedScaleSim sim(config);
+  return sim.run();
+}
+
+}  // namespace imrm::experiments

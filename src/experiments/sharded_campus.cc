@@ -25,8 +25,8 @@ class CampusGrid {
   explicit CampusGrid(const ShardedCampusConfig& config)
       : config_(config),
         runner_(sim::ShardedRunner::Config{
-            config.cells, config.shards, config.hop_latency, config.profiler,
-            config.tracer, config.progress}) {
+            config.cells, config.shards, config.hop_latency, config.batch,
+            config.profiler, config.tracer, config.progress}) {
     assert(config_.cells >= 1);
     cells_.reserve(config_.cells);
     for (std::size_t i = 0; i < config_.cells; ++i) {

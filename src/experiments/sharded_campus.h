@@ -53,6 +53,9 @@ struct ShardedCampusConfig {
   sim::Duration lease_sweep_period = sim::Duration::seconds(30);
   sim::SimTime horizon = sim::SimTime::hours(4);
   std::uint64_t seed = 5;
+  /// Windows per coordinator dispatch (0 = adaptive controller). Purely an
+  /// execution knob: results are byte-identical for any value (ISSUE 10).
+  std::size_t batch = 0;
   /// Optional wall-clock profiling / trace lanes / progress heartbeat,
   /// forwarded to the sim::ShardedRunner (see its Config for semantics).
   /// All observation-only: metrics bytes are identical with or without.

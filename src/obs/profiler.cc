@@ -51,10 +51,13 @@ void ProfileSnapshot::merge(const ProfileSnapshot& other) {
   if (shards.empty()) {
     shards = other.shards;
     barriers = other.barriers;
+    windows = other.windows;
     boundary_messages = other.boundary_messages;
     boundary_bytes = other.boundary_bytes;
+    profiled_wall_ns = other.profiled_wall_ns;
     window_ns = other.window_ns;
     messages_per_barrier = other.messages_per_barrier;
+    batch_windows = other.batch_windows;
   }
 }
 
@@ -122,6 +125,10 @@ void ProfileSnapshot::write_json(std::ostream& os) const {
   if (!shards.empty()) {
     os << ",\"barriers\":";
     json::write_number(os, barriers);
+    os << ",\"windows\":";
+    json::write_number(os, windows);
+    os << ",\"profiled_wall_ns\":";
+    json::write_number(os, profiled_wall_ns);
     os << ",\"boundary_messages\":";
     json::write_number(os, boundary_messages);
     os << ",\"boundary_bytes\":";
@@ -152,6 +159,8 @@ void ProfileSnapshot::write_json(std::ostream& os) const {
     write_histogram_json(os, window_ns);
     os << ",\"messages_per_barrier\":";
     write_histogram_json(os, messages_per_barrier);
+    os << ",\"batch_windows\":";
+    write_histogram_json(os, batch_windows);
   }
   os << '}';
 }
@@ -177,8 +186,9 @@ void ProfileSnapshot::write_table(std::ostream& os) const {
     }
   }
   if (!shards.empty()) {
-    os << "  sharded execution: " << barriers << " barriers, " << boundary_messages
-       << " boundary messages (" << boundary_bytes << " envelope bytes)\n";
+    os << "  sharded execution: " << windows << " windows over " << barriers
+       << " dispatches, " << boundary_messages << " boundary messages ("
+       << boundary_bytes << " envelope bytes)\n";
     os << "  " << std::left << std::setw(8) << "shard" << std::right << std::setw(10)
        << "busy" << std::setw(10) << "barrier" << std::setw(10) << "idle" << std::setw(8)
        << "busy%" << std::setw(12) << "straggler\n";
@@ -198,8 +208,12 @@ void ProfileSnapshot::write_table(std::ostream& os) const {
     if (window_ns.count > 0) {
       os << "  window wall: p50=" << fmt_ns(window_ns.percentile(0.5))
          << " p99=" << fmt_ns(window_ns.percentile(0.99))
-         << "  messages/barrier: p50=" << messages_per_barrier.percentile(0.5)
+         << "  messages/exchange: p50=" << messages_per_barrier.percentile(0.5)
          << " p99=" << messages_per_barrier.percentile(0.99) << '\n';
+    }
+    if (batch_windows.count > 0) {
+      os << "  windows/dispatch: p50=" << batch_windows.percentile(0.5)
+         << " p99=" << batch_windows.percentile(0.99) << '\n';
     }
   }
 }

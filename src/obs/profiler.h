@@ -60,16 +60,18 @@ struct PhaseSample {
 };
 
 /// One execution lane of a sharded run (one worker thread). busy is time
-/// executing domain events; barrier_wait is the in-window stall (window wall
-/// length minus this lane's busy share — the cost of waiting for the
-/// straggler); idle is the between-rounds coordination time (boundary
-/// exchange + next-window scan) during which no lane executes events.
+/// executing domain events (accumulated across a burst's sub-windows);
+/// barrier_wait is the in-dispatch stall (dispatch wall minus this lane's
+/// busy share — the cost of waiting for stragglers and the serializer);
+/// idle is the between-dispatch coordination time during which no lane
+/// executes events. The three always sum to ProfileSnapshot::
+/// profiled_wall_ns — the satellite-1 accounting contract of ISSUE 10.
 struct ShardLaneSample {
   std::uint64_t busy_ns = 0;
   std::uint64_t barrier_wait_ns = 0;
   std::uint64_t idle_ns = 0;
-  /// Windows in which this lane was the slowest (the straggler whose busy
-  /// time set the window's wall length).
+  /// Dispatches in which this lane was the slowest (the straggler whose
+  /// busy time set the burst's wall length).
   std::uint64_t straggler_windows = 0;
 };
 
@@ -81,13 +83,24 @@ struct ProfileSnapshot {
   std::vector<PhaseSample> phases;  // name-sorted
   // ---- sharded-execution accounting (empty unless a ShardedRunner ran) ---
   std::vector<ShardLaneSample> shards;
-  std::uint64_t barriers = 0;            ///< lockstep rounds executed
+  /// Coordinator dispatches — full-stop barriers with a condvar round trip.
+  /// Before window batching (ISSUE 10) every window was one; now a dispatch
+  /// covers a burst of up to `batch` windows, and windows / barriers is the
+  /// realized batch factor.
+  std::uint64_t barriers = 0;
+  std::uint64_t windows = 0;             ///< lockstep windows executed
   std::uint64_t boundary_messages = 0;   ///< cross-domain messages delivered
   std::uint64_t boundary_bytes = 0;      ///< envelope bytes exchanged
+  /// Wall covered by dispatch accounting: every shard lane's busy +
+  /// barrier_wait + idle sums to exactly this.
+  std::uint64_t profiled_wall_ns = 0;
   /// Wall length of each conservative window, ns (count 0 when not sharded).
   HistogramSample window_ns;
-  /// Boundary messages injected at each barrier (count 0 when not sharded).
+  /// Boundary messages injected at each exchange (count 0 when not sharded).
   HistogramSample messages_per_barrier;
+  /// Windows executed per coordinator dispatch — the batch-size / burst
+  /// occupancy distribution (count 0 when not sharded).
+  HistogramSample batch_windows;
 
   [[nodiscard]] bool empty() const {
     return phases.empty() && shards.empty() && barriers == 0;

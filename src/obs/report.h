@@ -89,6 +89,10 @@ struct AdaptationBlock {
 };
 
 struct RunReport {
+  /// v5 (ISSUE 10): extends the profile's sharded section for window-batched
+  /// barriers — `barriers` now counts coordinator dispatches (full-stop
+  /// barriers), with new `windows`, `profiled_wall_ns` and a `batch_windows`
+  /// histogram recording the realized burst sizes.
   /// v4 (ISSUE 9): adds the optional `adaptation` block — closed-loop
   /// renegotiation and shaper-conformance accounting, present only for
   /// campus runs with --adapt-loop.
@@ -99,7 +103,7 @@ struct RunReport {
   /// `metrics` section layout is unchanged from v1, so metrics-section
   /// hashes (golden campus JSON, shard determinism checks) are comparable
   /// across the bumps.
-  static constexpr int kSchemaVersion = 4;
+  static constexpr int kSchemaVersion = 5;
 
   std::string tool;      // producing binary, e.g. "scenario_cli"
   std::string scenario;  // subcommand / experiment name

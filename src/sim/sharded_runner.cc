@@ -5,6 +5,13 @@
 
 namespace imrm::sim {
 
+namespace {
+// Spin iterations at the burst barrier before yielding the core. Kept small:
+// on hosts with fewer cores than workers (the CI box has one) a spinning
+// waiter is stealing exactly the cycles the serializer needs.
+constexpr int kBarrierSpinLimit = 64;
+}  // namespace
+
 ShardedRunner::ShardedRunner(const Config& config) : config_(config) {
   assert(config_.domains >= 1 && "ShardedRunner needs at least one domain");
   assert(config_.window > Duration::zero() && "window must be positive");
@@ -72,85 +79,203 @@ void ShardedRunner::arm_profiling() {
   }
 }
 
+std::size_t ShardedRunner::next_batch_budget() const {
+  return config_.batch > 0 ? config_.batch : auto_batch_;
+}
+
+void ShardedRunner::update_batch_controller(std::uint64_t dispatch_wall_ns) {
+  if (config_.batch > 0) return;
+  if (profile_active_) {
+    // Wall-fed steering off the same measurement the profiler records as the
+    // shard.window phase: grow while dispatches come back quickly, back off
+    // once a burst keeps the coordinator (progress meter, caller polling)
+    // dark for tens of milliseconds. Legal to consult the wall clock here —
+    // batch size affects scheduling only, never simulation results.
+    constexpr std::uint64_t kGrowBelowNs = 5'000'000;     // 5 ms
+    constexpr std::uint64_t kShrinkAboveNs = 50'000'000;  // 50 ms
+    if (dispatch_wall_ns < kGrowBelowNs) {
+      auto_batch_ = std::min(auto_batch_ * 2, kAutoBatchMax);
+    } else if (dispatch_wall_ns > kShrinkAboveNs) {
+      auto_batch_ = std::max(auto_batch_ / 2, kAutoBatchMin);
+    }
+  } else if (burst_exhausted_) {
+    // No clocks to consult: exponential ramp while bursts keep filling their
+    // budget with events still pending. Horizon- or quiescence-terminated
+    // bursts leave the budget alone.
+    auto_batch_ = std::min(auto_batch_ * 2, kAutoBatchMax);
+  }
+}
+
 std::uint64_t ShardedRunner::run_until(SimTime horizon) {
   const std::uint64_t before = events_fired();
-  // Latched once per call, before any round dispatch: workers pick it up
-  // through the round barrier. Clock reads below happen only when active.
+  // Latched once per call, before any dispatch: workers pick it up through
+  // the dispatch barrier. Clock reads below happen only when active.
   arm_profiling();
-  // Rounds run back to back, so the previous round's end timestamp doubles
-  // as the next round's exchange start — one clock read per round, not two.
-  std::uint64_t t0 = profile_active_ ? obs::Profiler::now_ns() : 0;
-  for (;;) {
-    const std::uint64_t msgs_before = stats_.boundary_messages;
-    // Inject messages posted during the previous round (or during setup, on
-    // the first iteration) before looking at queue heads: an injected
-    // message may well be the earliest pending event.
-    exchange();
-    SimTime min_next = SimTime::infinity();
-    for (const auto& sim : sims_) {
-      min_next = std::min(min_next, sim->next_event_time());
-    }
-    if (min_next == SimTime::infinity() || min_next > horizon) break;
+  run_horizon_ = horizon;
+  // Dispatches run back to back, so the previous dispatch's end timestamp
+  // doubles as the next dispatch's prep start — one clock read per dispatch.
+  std::uint64_t t_prev = profile_active_ ? obs::Profiler::now_ns() : 0;
+  // Inject messages posted during setup (or left over from a previous
+  // run_until call) before looking at queue heads: an injected message may
+  // well be the earliest pending event. Mid-run, the burst serializer has
+  // always just done this, so only the loop entry needs it.
+  exchange();
+  SimTime min_next = SimTime::infinity();
+  for (const auto& sim : sims_) {
+    min_next = std::min(min_next, sim->next_event_time());
+  }
+  while (min_next != SimTime::infinity() && min_next <= horizon) {
     // The earliest event anywhere is at min_next, so every event fired this
-    // round has time >= min_next and every message it posts delivers at
-    // >= min_next + window — strictly after the round. Idle stretches skip
+    // window has time >= min_next and every message it posts delivers at
+    // >= min_next + window — strictly after the window. Idle stretches skip
     // ahead in one hop. The target depends only on event times and the
-    // horizon, never on the worker count, so window boundaries are
-    // K-invariant.
+    // horizon, never on the worker count or batch size, so window
+    // boundaries are invariant across both.
     SimTime target = min_next + config_.window;
     if (target > horizon) target = horizon;
-    const std::uint64_t t1 = profile_active_ ? obs::Profiler::now_ns() : 0;
-    execute_window(target);
-    ++stats_.windows;
+    std::uint64_t t1 = 0;
+    if (profile_active_) {
+      for (BusySlot& slot : busy_scratch_) slot.ns = 0;
+      t1 = obs::Profiler::now_ns();
+      sub_start_ns_ = t1;
+    }
+    if (worker_count_ <= 1) {
+      sub_target_ = target;
+      burst_budget_ = next_batch_budget();
+      burst_windows_ = 0;
+      burst_done_ = false;
+      burst_exhausted_ = false;
+      arrived_.store(1, std::memory_order_relaxed);
+      run_burst(0);
+    } else {
+      {
+        // Burst inputs written under the mutex so the round_cv_ wakeup
+        // publishes them to every worker.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        sub_target_ = target;
+        burst_budget_ = next_batch_budget();
+        burst_windows_ = 0;
+        burst_done_ = false;
+        burst_exhausted_ = false;
+        arrived_.store(worker_count_, std::memory_order_relaxed);
+        running_ = worker_count_;
+        ++round_;
+      }
+      round_cv_.notify_all();
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return running_ == 0; });
+    }
+    ++stats_.dispatches;
+    std::uint64_t dispatch_wall = 0;
     if (profile_active_) {
       const std::uint64_t t2 = obs::Profiler::now_ns();
-      account_round(t0, t1, t2, stats_.boundary_messages - msgs_before);
-      t0 = t2;
+      dispatch_wall = t2 - t1;
+      account_dispatch(t_prev, t1, t2);
+      t_prev = t2;
     }
+    update_batch_controller(dispatch_wall);
+    min_next = burst_min_next_;
     if (config_.progress != nullptr && config_.progress->armed()) {
       const double h = horizon.to_seconds();
       const double frac =
-          h > 0.0 ? std::min(1.0, target.to_seconds() / h) : 1.0;
+          h > 0.0 ? std::min(1.0, sub_target_.to_seconds() / h) : 1.0;
       config_.progress->maybe_emit(frac, events_fired(), last_straggler_);
     }
   }
   return events_fired() - before;
 }
 
-void ShardedRunner::account_round(std::uint64_t exchange_start_ns,
-                                  std::uint64_t window_start_ns,
-                                  std::uint64_t window_end_ns,
-                                  std::uint64_t injected) {
-  // Idle: the inter-round stretch (boundary exchange + next-window scan)
-  // during which no lane executes events. Charged to every lane — all of
-  // them are stalled behind the coordinator.
-  const std::uint64_t idle = window_start_ns - exchange_start_ns;
-  const std::uint64_t window_wall = window_end_ns - window_start_ns;
-  window_hist_.record(double(window_wall));
-  messages_hist_.record(double(injected));
+void ShardedRunner::run_burst(std::size_t worker) {
+  std::uint64_t phase = sub_phase_.load(std::memory_order_acquire);
+  for (;;) {
+    run_domains(worker, sub_target_);
+    if (arrived_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Serializer: every worker has finished the sub-window (the acq_rel
+      // RMW chain on arrived_ orders their writes before this point). Run
+      // the canonical exchange + scan, publish the next target or the
+      // burst-done verdict, reset the barrier, release.
+      serialize_sub_window();
+      arrived_.store(worker_count_, std::memory_order_relaxed);
+      ++phase;
+      sub_phase_.fetch_add(1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sub_phase_.load(std::memory_order_acquire) == phase) {
+        if (++spins >= kBarrierSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      ++phase;
+    }
+    if (burst_done_) return;
+  }
+}
+
+void ShardedRunner::serialize_sub_window() {
+  ++stats_.windows;
+  ++burst_windows_;
+  const std::uint64_t msgs_before = stats_.boundary_messages;
+  exchange();
+  SimTime min_next = SimTime::infinity();
+  for (const auto& sim : sims_) {
+    min_next = std::min(min_next, sim->next_event_time());
+  }
+  if (profile_active_) {
+    const std::uint64_t now = obs::Profiler::now_ns();
+    window_hist_.record(double(now - sub_start_ns_));
+    messages_hist_.record(double(stats_.boundary_messages - msgs_before));
+    sub_start_ns_ = now;
+    ++profiled_windows_;
+  }
+  const bool drained = min_next == SimTime::infinity() || min_next > run_horizon_;
+  if (drained || burst_windows_ >= burst_budget_) {
+    burst_exhausted_ = !drained;
+    burst_min_next_ = min_next;
+    burst_done_ = true;
+    return;
+  }
+  SimTime target = min_next + config_.window;
+  if (target > run_horizon_) target = run_horizon_;
+  sub_target_ = target;
+}
+
+void ShardedRunner::account_dispatch(std::uint64_t prep_start_ns,
+                                     std::uint64_t dispatch_start_ns,
+                                     std::uint64_t dispatch_end_ns) {
+  // Idle: the inter-dispatch stretch (controller update, progress poll,
+  // stats) during which no lane executes events. Charged to every lane —
+  // all of them are parked behind the coordinator. Inside the dispatch
+  // span, each lane's wall splits into measured busy (accumulated across
+  // the burst's sub-windows) and barrier wait; together the three lanes sum
+  // to the profiled wall exactly, which the satellite-1 regression asserts.
+  const std::uint64_t idle = dispatch_start_ns - prep_start_ns;
+  const std::uint64_t span = dispatch_end_ns - dispatch_start_ns;
+  batch_hist_.record(double(burst_windows_));
   std::size_t straggler = 0;
   for (std::size_t w = 0; w < lanes_.size(); ++w) {
-    // A worker's measured span nests inside the coordinator's; clamp anyway
-    // so barrier_wait can never underflow on clock jitter.
-    const std::uint64_t busy = std::min(busy_scratch_[w].ns, window_wall);
+    // A worker's accumulated span nests inside the coordinator's; clamp
+    // anyway so barrier_wait can never underflow on clock jitter.
+    const std::uint64_t busy = std::min(busy_scratch_[w].ns, span);
     lanes_[w].busy_ns += busy;
-    lanes_[w].barrier_wait_ns += window_wall - busy;
+    lanes_[w].barrier_wait_ns += span - busy;
     lanes_[w].idle_ns += idle;
     if (busy_scratch_[w].ns > busy_scratch_[straggler].ns) straggler = w;
   }
   ++lanes_[straggler].straggler_windows;
-  ++profiled_windows_;
+  ++profiled_dispatches_;
+  profiled_wall_ns_ += idle + span;
   last_straggler_ = int(straggler);
   config_.profiler->record(ph_exchange_, idle);
-  config_.profiler->record(ph_window_, window_wall);
+  config_.profiler->record(ph_window_, span);
   if (lanes_declared_ && config_.tracer->enabled()) {
-    const double exchange_us = double(exchange_start_ns - wall_epoch_ns_) / 1000.0;
-    const double window_us = double(window_start_ns - wall_epoch_ns_) / 1000.0;
-    config_.tracer->complete_wall(exchange_us, double(idle) / 1000.0, tr_barrier_,
+    const double prep_us = double(prep_start_ns - wall_epoch_ns_) / 1000.0;
+    const double dispatch_us = double(dispatch_start_ns - wall_epoch_ns_) / 1000.0;
+    config_.tracer->complete_wall(prep_us, double(idle) / 1000.0, tr_barrier_,
                                   kShardLanePid, std::uint32_t(lanes_.size()),
-                                  double(injected));
+                                  double(burst_windows_));
     for (std::size_t w = 0; w < lanes_.size(); ++w) {
-      config_.tracer->complete_wall(window_us, double(busy_scratch_[w].ns) / 1000.0,
+      config_.tracer->complete_wall(dispatch_us, double(busy_scratch_[w].ns) / 1000.0,
                                     tr_busy_, kShardLanePid, std::uint32_t(w),
                                     w == straggler ? 1.0 : 0.0);
     }
@@ -165,33 +290,20 @@ void ShardedRunner::export_profile(obs::ProfileSnapshot& out) const {
                                 h.buckets()};
   };
   out.shards = lanes_;
-  out.barriers = profiled_windows_;
+  out.barriers = profiled_dispatches_;
+  out.windows = profiled_windows_;
+  out.profiled_wall_ns = profiled_wall_ns_;
   out.boundary_messages = stats_.boundary_messages;
   out.boundary_bytes = stats_.boundary_messages * sizeof(Envelope);
   out.window_ns = sample_of("window_ns", window_hist_);
   out.messages_per_barrier = sample_of("messages_per_barrier", messages_hist_);
+  out.batch_windows = sample_of("batch_windows", batch_hist_);
 }
 
 std::uint64_t ShardedRunner::events_fired() const {
   std::uint64_t total = 0;
   for (const auto& sim : sims_) total += sim->events_fired();
   return total;
-}
-
-void ShardedRunner::execute_window(SimTime target) {
-  if (worker_count_ <= 1) {
-    run_domains(0, target);
-    return;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    round_target_ = target;
-    running_ = worker_count_;
-    ++round_;
-  }
-  round_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
 }
 
 void ShardedRunner::run_domains(std::size_t worker, SimTime target) {
@@ -202,7 +314,11 @@ void ShardedRunner::run_domains(std::size_t worker, SimTime target) {
   if (profile_active_) {
     const std::uint64_t t0 = obs::Profiler::now_ns();
     for (std::size_t d = d0; d < d1; ++d) sims_[d]->run_until(target);
-    busy_scratch_[worker].ns = obs::Profiler::now_ns() - t0;
+    // Accumulate: a burst runs many sub-windows between coordinator reads,
+    // and overwriting here (the ISSUE 10 satellite bug) would credit only
+    // the last sub-window as busy, booking the rest of an otherwise fully
+    // busy burst under barrier_wait.
+    busy_scratch_[worker].ns += obs::Profiler::now_ns() - t0;
     return;
   }
   for (std::size_t d = d0; d < d1; ++d) sims_[d]->run_until(target);
@@ -211,15 +327,13 @@ void ShardedRunner::run_domains(std::size_t worker, SimTime target) {
 void ShardedRunner::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
-    SimTime target;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       round_cv_.wait(lock, [&] { return shutdown_ || round_ != seen; });
       if (shutdown_) return;
       seen = round_;
-      target = round_target_;
     }
-    run_domains(worker, target);
+    run_burst(worker);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--running_ == 0) done_cv_.notify_one();

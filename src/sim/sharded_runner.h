@@ -1,5 +1,5 @@
 // Sharded conservative-window execution of multi-domain simulations
-// (ISSUE 5).
+// (ISSUE 5), with window-batched barriers (ISSUE 10).
 //
 // The campus scenarios partition naturally by cell: every intra-cell event
 // (arrivals, departures, local admission) touches one cell's state only,
@@ -12,31 +12,55 @@
 // of width `window` — the classic conservative PDES scheme, with the minimum
 // cross-shard hop latency as the lookahead bound.
 //
-// Protocol per round:
+// Protocol per window (unchanged since ISSUE 5 — this sequence is the
+// determinism contract):
 //  1. all domains run run_until(T + window), where T is the earliest pending
 //     event time across every domain (idle domains skip ahead for free);
-//  2. barrier: cross-domain messages posted during the round are gathered
+//  2. exchange: cross-domain messages posted during the window are gathered
 //     from per-source outboxes and injected into their destination queues.
 // A message posted while a domain executes an event at time t is delivered
-// at t + latency with latency >= window, hence strictly after the round's
-// window end: no domain can ever receive a message into its past, for any
-// worker count.
+// at t + latency with latency >= window, hence strictly after the window
+// end: no domain can ever receive a message into its past, for any worker
+// count.
 //
-// Determinism across worker counts is a contract, not an accident:
+// What ISSUE 10 changes is *who synchronizes where*, not the window
+// sequence. ISSUE 5 paid a full coordinator round trip (mutex + two condvar
+// hops + a sleeping-thread wakeup) per window — BENCH_5/BENCH_7 measured
+// ~80k such barriers on the campus day with ~1.2 events between them, ~90%
+// of worker wall in `barrier_wait`. Now the coordinator dispatches a *burst*
+// of up to `batch` windows at a time. Inside a burst, workers meet at a
+// lightweight sense-reversing atomic barrier between sub-windows; the last
+// worker to arrive (the serializer) performs the exchange, scans the queue
+// heads for the next window target, and publishes it (or the burst-done
+// flag) before releasing the others with one release-ordered phase bump.
+// Boundary messages thus ship in per-sub-window batches without the
+// coordinator ever waking: condvar round trips drop by the batch factor,
+// which is what the ISSUE 10 acceptance criterion counts (`Stats::
+// dispatches`, exported as the profile's `barriers`).
+//
+// Determinism across worker counts AND batch sizes is a contract, not an
+// accident:
 //  * the domain partition is fixed by the scenario (one cell = one domain);
 //    workers are only an execution vehicle, so changing K never changes
 //    which messages are "remote";
-//  * every cross-domain message goes through the outbox/barrier path — even
+//  * every cross-domain message goes through the outbox/exchange path — even
 //    when source and destination happen to run on the same worker — so the
 //    delivery schedule is identical at K = 1 and K = 8;
-//  * at each barrier, messages are injected per destination in the canonical
-//    order (deliver time, source domain, per-source serial), all of which
-//    are partition-invariant; FIFO sequence numbers in the destination queue
-//    then break equal-time ties identically for any K.
+//  * at each exchange, messages are injected per destination in the
+//    canonical order (deliver time, source domain, per-source serial), all
+//    of which are partition-invariant; FIFO sequence numbers in the
+//    destination queue then break equal-time ties identically for any K;
+//  * burst boundaries only decide when the coordinator thread regains
+//    control — the sub-window targets, exchange contents and exchange order
+//    are computed by the same code from the same simulation state whether a
+//    window is the first of a burst or the hundredth, so `batch` (and the
+//    adaptive controller's choices) can never leak into results.
 // tests/sharded_runner_test.cc and the shard-labeled campus determinism
-// suite assert byte-identical metrics at K in {1, 2, 4, 8}.
+// suite assert byte-identical metrics at K in {1, 2, 4, 8} and batch in
+// {1, 8, 64, auto}.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <cstddef>
@@ -62,6 +86,13 @@ class ShardedRunner {
   /// the simulated-time process (see obs::TraceRecord::pid).
   static constexpr std::uint32_t kShardLanePid = 2;
 
+  /// Adaptive batch controller bounds (Config::batch == 0). The floor keeps
+  /// even pathological runs ahead of the ISSUE 5 one-window dispatches; the
+  /// cap bounds how long the coordinator (and with it the progress meter and
+  /// any caller polling between run_until calls) can go dark.
+  static constexpr std::size_t kAutoBatchMin = 8;
+  static constexpr std::size_t kAutoBatchMax = 4096;
+
   struct Config {
     /// Number of simulation domains (cells / protocol segments). Fixed by
     /// the scenario; determinism is per-domain, not per-worker.
@@ -72,25 +103,40 @@ class ShardedRunner {
     /// Conservative window width; must be <= the smallest latency ever
     /// passed to post(). For the campus this is the corridor hop latency.
     Duration window = Duration::millis(1.0);
+    /// Windows executed per coordinator dispatch. 0 (the default) enables
+    /// the adaptive controller: start at kAutoBatchMin, double whenever a
+    /// burst exhausts its budget while events remain — and, when the
+    /// profiler is armed, steer on the measured dispatch wall instead (grow
+    /// while dispatches stay short, back off past ~50 ms so the coordinator
+    /// never goes dark). Any value >= 1 pins the burst length. Batch size
+    /// affects synchronization cost only, never results: the window
+    /// sequence, exchange contents and injection order are batch-invariant
+    /// by construction (see file header).
+    std::size_t batch = 0;
     /// Optional wall-clock attribution (ISSUE 7). When set and enabled, the
     /// runner keeps per-worker busy/barrier-wait/idle lanes, straggler
-    /// counts, and window/messages-per-barrier histograms; collect them with
+    /// counts, and window/messages/batch histograms; collect them with
     /// export_profile(). Profiling only reads clocks — event execution and
     /// the injection schedule are untouched, so metrics stay byte-identical.
     obs::Profiler* profiler = nullptr;
-    /// Optional wall-clock trace lanes: per-worker busy spans plus barrier
-    /// exchange spans on pid kShardLanePid (tid = worker; tid = worker count
-    /// is the coordinator's barrier lane). Records are coordinator-emitted
-    /// between rounds, honoring the tracer's single-writer discipline.
+    /// Optional wall-clock trace lanes: per-worker busy spans plus a
+    /// coordinator barrier span per dispatch on pid kShardLanePid (tid =
+    /// worker; tid = worker count is the coordinator's lane, its span arg
+    /// the burst's window count). Records are coordinator-emitted between
+    /// dispatches, honoring the tracer's single-writer discipline.
     /// Requires `profiler` to be set and enabled.
     obs::Tracer* tracer = nullptr;
-    /// Optional stderr heartbeat, polled once per lockstep round.
+    /// Optional stderr heartbeat, polled once per coordinator dispatch.
     obs::ProgressMeter* progress = nullptr;
   };
 
   struct Stats {
-    std::uint64_t windows = 0;            ///< lockstep rounds executed
+    std::uint64_t windows = 0;            ///< lockstep windows executed
     std::uint64_t boundary_messages = 0;  ///< cross-domain messages delivered
+    /// Coordinator dispatches (full-stop barriers with a condvar round
+    /// trip). windows / dispatches is the realized batch factor; ISSUE 5
+    /// behavior is dispatches == windows.
+    std::uint64_t dispatches = 0;
   };
 
   explicit ShardedRunner(const Config& config);
@@ -115,8 +161,8 @@ class ShardedRunner {
   /// `latency` after domain `from`'s current time. `latency` must be >= the
   /// configured window (asserted) — that bound is what lets whole windows
   /// run without intermediate synchronization. Always buffered through the
-  /// barrier exchange, never scheduled directly, even for from == to; see
-  /// the determinism contract above.
+  /// exchange, never scheduled directly, even for from == to; see the
+  /// determinism contract above.
   void post(std::size_t from, std::size_t to, Duration latency,
             EventQueue::Callback deliver);
 
@@ -131,8 +177,8 @@ class ShardedRunner {
   [[nodiscard]] std::uint64_t events_fired() const;
 
   /// Copies the sharded-execution accounting (per-lane busy/barrier/idle,
-  /// straggler counts, barrier totals, window histograms) into `out`. A
-  /// no-op when the runner never ran with profiling enabled, so `out`
+  /// straggler counts, dispatch/window totals, batch histograms) into `out`.
+  /// A no-op when the runner never ran with profiling enabled, so `out`
   /// stays empty and the run report carries no profile block.
   void export_profile(obs::ProfileSnapshot& out) const;
 
@@ -157,43 +203,74 @@ class ShardedRunner {
     std::size_t from_;
   };
 
-  void execute_window(SimTime target);
+  void run_burst(std::size_t worker);
+  void serialize_sub_window();
   void run_domains(std::size_t worker, SimTime target);
   void exchange();
   void worker_loop(std::size_t worker);
   void arm_profiling();
-  void account_round(std::uint64_t exchange_start_ns, std::uint64_t window_start_ns,
-                     std::uint64_t window_end_ns, std::uint64_t injected);
+  [[nodiscard]] std::size_t next_batch_budget() const;
+  void update_batch_controller(std::uint64_t dispatch_wall_ns);
+  void account_dispatch(std::uint64_t prep_start_ns,
+                        std::uint64_t dispatch_start_ns,
+                        std::uint64_t dispatch_end_ns);
 
   Config config_;
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<std::unique_ptr<BoundaryTransport>> transports_;
-  // Per-source-domain outboxes: while a round runs, outbox[d] is written
-  // only by the worker executing domain d, and the coordinator drains them
-  // only between rounds (under the round barrier), so no per-message lock.
+  // Per-source-domain outboxes: while a window runs, outbox[d] is written
+  // only by the worker executing domain d, and the serializer drains them
+  // only between sub-windows (inside the burst barrier), so no per-message
+  // lock.
   std::vector<std::vector<Envelope>> outboxes_;
-  // Barrier-exchange scratch, per destination; reused across rounds.
+  // Exchange scratch, per destination; reused across windows.
   std::vector<std::vector<Envelope>> inject_;
   Stats stats_;
 
   // Worker pool (only started when min(workers, domains) > 1). Contiguous
-  // block assignment: worker w owns domains [w * D / W, (w + 1) * D / W).
+  // block assignment — worker w owns domains [w * D / W, (w + 1) * D / W) —
+  // doubles as the cell→shard partitioner for grid scenarios that map one
+  // cell to one domain.
   std::size_t worker_count_ = 1;
   std::vector<std::thread> pool_;
   std::mutex mutex_;
   std::condition_variable round_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t round_ = 0;    // round generation; bump wakes workers
-  std::size_t running_ = 0;    // workers still executing the current round
-  SimTime round_target_;       // guarded by mutex_
+  std::uint64_t round_ = 0;    // dispatch generation; bump wakes workers
+  std::size_t running_ = 0;    // workers still executing the current burst
   bool shutdown_ = false;
 
+  // ---- burst state (ISSUE 10) -------------------------------------------
+  // Plain fields carry the burst protocol; their visibility is sequenced by
+  // exactly two synchronization edges. Coordinator -> workers at dispatch:
+  // written under mutex_ before the round_ bump, read after the round_cv_
+  // wait. Serializer -> everyone between sub-windows: written before the
+  // release-ordered sub_phase_ bump, read after the acquire load (workers)
+  // or after the mutex_-guarded running_ decrement (coordinator).
+  SimTime run_horizon_;        // this run_until's horizon
+  SimTime sub_target_;         // current sub-window target
+  SimTime burst_min_next_;     // min queue head published at burst end
+  std::size_t burst_budget_ = 0;     // windows allowed in this burst
+  std::uint64_t burst_windows_ = 0;  // windows executed in this burst
+  bool burst_done_ = false;
+  bool burst_exhausted_ = false;  // ended on budget, with events remaining
+  // Sense-reversing barrier: arrived_ counts workers still inside the
+  // current sub-window (the fetch_sub that hits 1 elects the serializer);
+  // sub_phase_ is the release gate the others spin on. acq_rel on arrived_
+  // chains every worker's window work into the serializer's view; the
+  // release bump hands the serializer's writes back out.
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> sub_phase_{0};
+  std::size_t auto_batch_ = kAutoBatchMin;  // adaptive controller state
+
   // ---- wall-clock profiling (ISSUE 7) -----------------------------------
-  // profile_active_ is latched at the top of run_until, before any round is
-  // dispatched; workers observe it through the round barrier's mutex, so no
-  // extra synchronization is needed. busy_scratch_[w] is written only by
-  // worker w during a round and read by the coordinator after the done_cv_
-  // wait — same single-writer discipline as the outboxes.
+  // profile_active_ is latched at the top of run_until, before any dispatch;
+  // workers observe it through the dispatch barrier's mutex, so no extra
+  // synchronization is needed. busy_scratch_[w] is *accumulated* by worker w
+  // across a burst's sub-windows (zeroed by the coordinator per dispatch)
+  // and read by the coordinator after the done_cv_ wait — same single-writer
+  // discipline as the outboxes. The histograms and sub_start_ns_ are written
+  // only by the serializer, whose writes the burst barrier already orders.
   bool profile_active_ = false;
   std::uint64_t wall_epoch_ns_ = 0;  // first profiled run_until; trace time base
   std::vector<obs::ShardLaneSample> lanes_;
@@ -205,18 +282,26 @@ class ShardedRunner {
   std::vector<BusySlot> busy_scratch_;
   // Window wall lengths: 1 us .. ~18 min (2^40 ns), 2 sub-buckets/octave.
   obs::Histogram window_hist_{obs::HistogramSpec::log2(1024.0, 1024.0 * 1073741824.0, 2)};
-  // Messages injected per barrier; zero-message barriers land in underflow.
+  // Messages injected per exchange; zero-message exchanges land in underflow.
   obs::Histogram messages_hist_{obs::HistogramSpec::log2(1.0, 1048576.0, 2)};
+  // Windows per coordinator dispatch (the realized batch size / occupancy).
+  obs::Histogram batch_hist_{obs::HistogramSpec::log2(1.0, 8192.0, 1)};
   obs::PhaseId ph_exchange_ = obs::kInvalidPhase;
   obs::PhaseId ph_window_ = obs::kInvalidPhase;
   obs::NameId tr_busy_ = obs::kInvalidName;
   obs::NameId tr_barrier_ = obs::kInvalidName;
   bool lanes_declared_ = false;
   int last_straggler_ = -1;
-  /// Windows executed while profiling was active (== stats_.windows when
-  /// profiling covered the whole run); the profile's barrier count, so the
-  /// straggler tally always sums to it.
+  std::uint64_t sub_start_ns_ = 0;  // serializer-owned sub-window stamp
+  /// Windows / dispatches executed while profiling was active (== the Stats
+  /// counters when profiling covered the whole run). Dispatches are the
+  /// profile's barrier count, so the straggler tally always sums to it.
   std::uint64_t profiled_windows_ = 0;
+  std::uint64_t profiled_dispatches_ = 0;
+  /// Wall nanoseconds covered by dispatch accounting: every lane satisfies
+  /// busy + barrier_wait + idle == profiled_wall_ns (the satellite-1
+  /// regression contract).
+  std::uint64_t profiled_wall_ns_ = 0;
 };
 
 }  // namespace imrm::sim

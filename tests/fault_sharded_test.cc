@@ -1,0 +1,167 @@
+// FaultSchedule::arm_sharded (ISSUE 10 satellite): a fault event landing in
+// the interior of a batched window must take effect at its exact sim time on
+// every shard, for any (workers, batch). Before per-domain arming, a fault
+// armed on one domain could only reach the others as a boundary message at
+// the next burst edge — so *when* a shard saw the fault depended on the
+// batch size, which the byte-identity sweep below would catch.
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/schedule.h"
+#include "obs/metrics.h"
+#include "sim/sharded_runner.h"
+#include "sim/time.h"
+
+namespace imrm::fault {
+namespace {
+
+constexpr std::size_t kDomains = 4;
+constexpr std::uint32_t kLink = 7;
+
+struct Outcome {
+  std::vector<std::string> log;  // per-domain logs, concatenated in order
+  std::uint64_t downs = 0;       // fault.injected.link_down
+  std::uint64_t ups = 0;         // fault.injected.link_up
+  std::uint64_t crashes = 0;     // fault.injected.cell_crash
+};
+
+// Every domain ticks at 1 ms (the interior of the 2 ms window) and records
+// whether it currently sees kLink as down; the schedule flaps the link at
+// 3.7 ms -> 9.3 ms and crashes cell 2 at 5.1 ms — all window-interior times.
+Outcome run(std::size_t workers, std::size_t batch) {
+  sim::ShardedRunner::Config config{kDomains, workers, sim::Duration::millis(2),
+                                    batch};
+  sim::ShardedRunner runner(config);
+
+  std::array<bool, kDomains> down{};
+  std::array<std::vector<std::string>, kDomains> logs;
+
+  FaultSchedule schedule;
+  schedule.flap(kLink, sim::SimTime::millis(3.7), sim::SimTime::millis(9.3));
+  schedule.crash(2, sim::SimTime::millis(5.1));
+
+  FaultSchedule::ShardedHooks hooks;
+  hooks.link_down = [&](std::size_t d, std::uint32_t link) {
+    if (link == kLink) down[d] = true;
+    logs[d].push_back("down:" + std::to_string(link) + "@" +
+                      std::to_string(runner.domain(d).now().to_millis()));
+  };
+  hooks.link_up = [&](std::size_t d, std::uint32_t link) {
+    if (link == kLink) down[d] = false;
+    logs[d].push_back("up:" + std::to_string(link) + "@" +
+                      std::to_string(runner.domain(d).now().to_millis()));
+  };
+  hooks.cell_crash = [&](std::size_t d, std::uint32_t cell) {
+    logs[d].push_back("crash:" + std::to_string(cell) + "@" +
+                      std::to_string(runner.domain(d).now().to_millis()));
+  };
+
+  obs::Registry metrics;
+  schedule.arm_sharded(runner, std::move(hooks), &metrics);
+
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    runner.domain(d).every(
+        sim::Duration::millis(1), sim::SimTime::millis(16), [&, d] {
+          logs[d].push_back(std::to_string(runner.domain(d).now().to_millis()) +
+                            (down[d] ? ":down" : ":up"));
+        });
+  }
+
+  runner.run_until(sim::SimTime::millis(20));
+
+  Outcome out;
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    out.log.insert(out.log.end(), logs[d].begin(), logs[d].end());
+  }
+  out.downs = metrics.counter("fault.injected.link_down").value();
+  out.ups = metrics.counter("fault.injected.link_up").value();
+  out.crashes = metrics.counter("fault.injected.cell_crash").value();
+  return out;
+}
+
+TEST(FaultSharded, WindowInteriorFaultsAreExactOnEveryShard) {
+  const Outcome oracle = run(/*workers=*/1, /*batch=*/1);
+  ASSERT_FALSE(oracle.log.empty());
+
+  // Each domain saw the exact timeline: up through 3 ms, down 4..9 ms, up
+  // again from 10 ms — and the hook instants themselves at 3.7 / 9.3 / 5.1.
+  std::size_t per_domain = oracle.log.size() / kDomains;
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    const auto begin = oracle.log.begin() + std::ptrdiff_t(d * per_domain);
+    const std::vector<std::string> domain_log(begin,
+                                              begin + std::ptrdiff_t(per_domain));
+    EXPECT_NE(std::find(domain_log.begin(), domain_log.end(), "3.000000:up"),
+              domain_log.end()) << "domain " << d;
+    EXPECT_NE(std::find(domain_log.begin(), domain_log.end(), "4.000000:down"),
+              domain_log.end()) << "domain " << d;
+    EXPECT_NE(std::find(domain_log.begin(), domain_log.end(), "9.000000:down"),
+              domain_log.end()) << "domain " << d;
+    EXPECT_NE(std::find(domain_log.begin(), domain_log.end(), "10.000000:up"),
+              domain_log.end()) << "domain " << d;
+    EXPECT_NE(std::find(domain_log.begin(), domain_log.end(),
+                        "down:7@3.700000"),
+              domain_log.end()) << "domain " << d;
+    EXPECT_NE(std::find(domain_log.begin(), domain_log.end(),
+                        "crash:2@5.100000"),
+              domain_log.end()) << "domain " << d;
+  }
+
+  // Byte-identity across every (workers, batch) pair — batched bursts
+  // included. This is the regression the per-domain arming exists for.
+  for (const std::size_t workers : {std::size_t(1), std::size_t(2),
+                                    std::size_t(4), std::size_t(8)}) {
+    for (const std::size_t batch : {std::size_t(1), std::size_t(8),
+                                    std::size_t(64), std::size_t(0)}) {
+      const Outcome got = run(workers, batch);
+      EXPECT_EQ(got.log, oracle.log)
+          << "workers=" << workers << " batch=" << batch;
+      // Counted once, not once per domain.
+      EXPECT_EQ(got.downs, 1u) << "workers=" << workers << " batch=" << batch;
+      EXPECT_EQ(got.ups, 1u) << "workers=" << workers << " batch=" << batch;
+      EXPECT_EQ(got.crashes, 1u) << "workers=" << workers << " batch=" << batch;
+    }
+  }
+}
+
+TEST(FaultSharded, PartitionExpandsOnEveryDomainAndCountsOnce) {
+  sim::ShardedRunner::Config config{2, 2, sim::Duration::millis(2),
+                                    /*batch=*/16};
+  sim::ShardedRunner runner(config);
+
+  FaultSchedule schedule;
+  const std::uint32_t group = schedule.add_group({3, 5});
+  schedule.partition(group, sim::SimTime::millis(2.5), sim::SimTime::millis(6.5));
+
+  std::array<std::vector<std::uint32_t>, 2> downs;
+  FaultSchedule::ShardedHooks hooks;
+  hooks.link_down = [&](std::size_t d, std::uint32_t link) {
+    downs[d].push_back(link);
+  };
+
+  obs::Registry metrics;
+  schedule.arm_sharded(runner, std::move(hooks), &metrics);
+  runner.run_until(sim::SimTime::millis(10));
+
+  const std::vector<std::uint32_t> expected{3, 5};
+  EXPECT_EQ(downs[0], expected);
+  EXPECT_EQ(downs[1], expected);
+  EXPECT_EQ(metrics.counter("fault.injected.partition").value(), 1u);
+  EXPECT_EQ(metrics.counter("fault.injected.link_down").value(), 2u);
+}
+
+TEST(FaultSharded, EmptyScheduleArmsNothing) {
+  sim::ShardedRunner::Config config{2, 1, sim::Duration::millis(2)};
+  sim::ShardedRunner runner(config);
+  FaultSchedule schedule;
+  schedule.arm_sharded(runner, {});
+  EXPECT_EQ(runner.run_until(sim::SimTime::millis(10)), 0u);
+}
+
+}  // namespace
+}  // namespace imrm::fault

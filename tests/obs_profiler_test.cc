@@ -192,7 +192,7 @@ TEST(RunReport, ProfileBlockPresentExactlyWhenNonEmpty) {
   report.wall_seconds = 1.0;
   const std::string without = report_json(report);
   EXPECT_EQ(without.find("\"profile\""), std::string::npos);
-  EXPECT_NE(without.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(without.find("\"schema_version\":5"), std::string::npos);
 
   Profiler profiler;
   profiler.set_enabled(true);

@@ -70,11 +70,14 @@ TEST(ShardedProfile, LaneAccountingIsConsistent) {
   const ShardedCampusResult r = run_sharded_campus(config);
   const obs::ProfileSnapshot& p = r.profile;
 
-  // One lane per worker; profiling covered the whole run, so the barrier
-  // count equals the runner's window count and the straggler tally
-  // partitions it.
+  // One lane per worker; profiling covered the whole run, so the profile's
+  // window count equals the runner's, the dispatch (barrier) count is what
+  // the straggler tally partitions, and batching actually engaged: many
+  // windows rode each coordinator dispatch.
   ASSERT_EQ(p.shards.size(), 2u);
-  EXPECT_EQ(p.barriers, r.windows);
+  EXPECT_EQ(p.windows, r.windows);
+  EXPECT_LT(p.barriers, p.windows);
+  EXPECT_GT(p.barriers, 0u);
   EXPECT_EQ(p.boundary_messages, r.boundary_messages);
   EXPECT_GT(p.boundary_bytes, p.boundary_messages);  // sizeof(Envelope) > 1
   std::uint64_t stragglers = 0;
@@ -83,15 +86,28 @@ TEST(ShardedProfile, LaneAccountingIsConsistent) {
     EXPECT_GT(lane.busy_ns + lane.barrier_wait_ns + lane.idle_ns, 0u);
   }
   EXPECT_EQ(stragglers, p.barriers);
-  // Every lane spans the same wall interval per window: busy + barrier_wait
-  // always sums to the window wall length, identically across lanes.
+  // The ISSUE 10 satellite regression: every lane's busy + barrier_wait +
+  // idle sums to the profiled wall exactly. Before the busy-accumulation
+  // fix, a burst credited only its last sub-window as busy and the equality
+  // failed by the remainder of the burst.
+  ASSERT_GT(p.profiled_wall_ns, 0u);
+  for (const obs::ShardLaneSample& lane : p.shards) {
+    EXPECT_EQ(lane.busy_ns + lane.barrier_wait_ns + lane.idle_ns,
+              p.profiled_wall_ns);
+  }
+  // Every lane spans the same wall interval per dispatch: busy +
+  // barrier_wait always sums to the dispatch wall, identically across
+  // lanes, and idle is charged to all lanes alike.
   EXPECT_EQ(p.shards[0].busy_ns + p.shards[0].barrier_wait_ns,
             p.shards[1].busy_ns + p.shards[1].barrier_wait_ns);
   EXPECT_EQ(p.shards[0].idle_ns, p.shards[1].idle_ns);
-  // Window histogram saw every barrier; the exchange/window phases were
-  // recorded once per round.
-  EXPECT_EQ(p.window_ns.count, p.barriers);
-  EXPECT_EQ(p.messages_per_barrier.count, p.barriers);
+  // The window/messages histograms saw every sub-window; the batch
+  // histogram and the exchange/window phases were recorded once per
+  // dispatch.
+  EXPECT_EQ(p.window_ns.count, p.windows);
+  EXPECT_EQ(p.messages_per_barrier.count, p.windows);
+  EXPECT_EQ(p.batch_windows.count, p.barriers);
+  EXPECT_EQ(std::uint64_t(p.batch_windows.sum), p.windows);
   bool saw_window_phase = false;
   for (const obs::PhaseSample& phase : p.phases) {
     if (phase.name == "shard.window") {
@@ -130,8 +146,11 @@ TEST(ShardedProfile, WallLanesLandOnShardPidOnly) {
       ++busy_spans;
     }
   });
-  EXPECT_EQ(barrier_spans, r.windows);
-  EXPECT_EQ(busy_spans, r.windows * workers);
+  // One coordinator barrier span and one busy span per worker per dispatch
+  // (not per window — a burst's sub-windows share one set of spans).
+  EXPECT_EQ(barrier_spans, r.profile.barriers);
+  EXPECT_EQ(busy_spans, r.profile.barriers * workers);
+  EXPECT_LT(barrier_spans, r.windows);
 
   std::ostringstream os;
   tracer.write_chrome_trace(os);

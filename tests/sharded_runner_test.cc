@@ -125,6 +125,107 @@ TEST(ShardedRunner, ExecutionIsInvariantAcrossWorkerCounts) {
   EXPECT_EQ(run(8), at1);
 }
 
+// The ISSUE 10 contract: batch size (pinned or adaptive) is an execution
+// knob only. The same mesh as above must produce identical logs, window
+// counts and boundary-message counts for every (workers, batch) pair.
+TEST(ShardedRunner, ExecutionIsInvariantAcrossBatchSizes) {
+  struct Outcome {
+    std::vector<std::string> log;
+    std::uint64_t windows = 0;
+    std::uint64_t boundary = 0;
+  };
+  const auto run = [](std::size_t workers, std::size_t batch) {
+    ShardedRunner::Config config{/*domains=*/5, workers, Duration::millis(2),
+                                 batch};
+    ShardedRunner runner(config);
+    std::vector<std::vector<std::string>> logs(5);
+    struct Node {
+      ShardedRunner* runner;
+      std::vector<std::vector<std::string>>* logs;
+      void receive(std::size_t at, std::size_t from, int hop) const {
+        (*logs)[at].push_back(std::to_string(from) + ">" + std::to_string(at) +
+                              "@" + std::to_string(runner->domain(at).now().to_millis()) +
+                              "#" + std::to_string(hop));
+        if (hop >= 6) return;
+        Node self = *this;
+        for (std::size_t to = 0; to < 5; ++to) {
+          if (to == at) continue;
+          runner->post(at, to, Duration::millis(2), [self, to, at, hop] {
+            self.receive(to, at, hop + 1);
+          });
+        }
+      }
+    };
+    Node node{&runner, &logs};
+    for (std::size_t d = 0; d < 5; ++d) {
+      runner.post(d, (d + 1) % 5, Duration::millis(2),
+                  [node, d] { node.receive((d + 1) % 5, d, 0); });
+    }
+    runner.run_until(SimTime::millis(14.5));
+    Outcome out;
+    for (const auto& log : logs) {
+      out.log.insert(out.log.end(), log.begin(), log.end());
+    }
+    out.windows = runner.stats().windows;
+    out.boundary = runner.stats().boundary_messages;
+    return out;
+  };
+
+  const Outcome base = run(1, 1);
+  ASSERT_FALSE(base.log.empty());
+  for (const std::size_t workers : {std::size_t(1), std::size_t(2), std::size_t(4)}) {
+    for (const std::size_t batch : {std::size_t(1), std::size_t(3),
+                                    std::size_t(64), std::size_t(0)}) {
+      const Outcome got = run(workers, batch);
+      EXPECT_EQ(got.log, base.log) << "workers=" << workers << " batch=" << batch;
+      EXPECT_EQ(got.windows, base.windows)
+          << "workers=" << workers << " batch=" << batch;
+      EXPECT_EQ(got.boundary, base.boundary)
+          << "workers=" << workers << " batch=" << batch;
+    }
+  }
+}
+
+// The ISSUE 10 point: bursts collapse coordinator dispatches. A sustained
+// one-event-per-window ping-pong is the BENCH_7 pathology in miniature —
+// batch=1 pays one dispatch per window, batch=64 one per 64, and the
+// adaptive controller must land well under the unbatched count too.
+TEST(ShardedRunner, BatchingCollapsesCoordinatorDispatches) {
+  const auto run = [](std::size_t batch) {
+    ShardedRunner::Config config{2, 2, Duration::millis(1), batch};
+    ShardedRunner runner(config);
+    int bounces = 0;
+    struct Bouncer {
+      ShardedRunner* runner;
+      int* bounces;
+      void bounce(std::size_t at) const {
+        ++*bounces;
+        if (*bounces >= 400) return;
+        const std::size_t to = 1 - at;
+        Bouncer self = *this;
+        runner->post(at, to, Duration::millis(1), [self, to] { self.bounce(to); });
+      }
+    };
+    Bouncer bouncer{&runner, &bounces};
+    runner.post(0, 1, Duration::millis(1), [bouncer] { bouncer.bounce(1); });
+    runner.run_until(SimTime::seconds(1.0));
+    EXPECT_EQ(bounces, 400);
+    return runner.stats();
+  };
+
+  const ShardedRunner::Stats unbatched = run(1);
+  const ShardedRunner::Stats batched = run(64);
+  const ShardedRunner::Stats adaptive = run(0);
+  // batch=1 is the ISSUE 5 regime: every window is its own dispatch.
+  EXPECT_EQ(unbatched.dispatches, unbatched.windows);
+  EXPECT_GE(unbatched.windows, 400u);
+  // Same simulation, same windows — an order of magnitude fewer barriers.
+  EXPECT_EQ(batched.windows, unbatched.windows);
+  EXPECT_LE(batched.dispatches * 10, unbatched.dispatches);
+  EXPECT_EQ(adaptive.windows, unbatched.windows);
+  EXPECT_LT(adaptive.dispatches, unbatched.dispatches);
+}
+
 TEST(ShardedRunner, RepeatedRunUntilCarriesLeftoverMessages) {
   ShardedRunner::Config config{2, 1, Duration::millis(10)};
   ShardedRunner runner(config);

@@ -68,6 +68,13 @@ THRESHOLDS = [
     (r"/campus_adapt/granted_", "exact", 0.0),
     (r"/campus_adapt/\w*_bits$", "exact", 0.0),
     (r"events_fired$", "exact", 0.0),
+    # The window-batched sharded grid campus (ISSUE 10): the window sequence
+    # and boundary-message totals are part of the determinism contract —
+    # invariant across shard and batch counts, so any drift at the pinned
+    # flags is a behavior change. (The dispatch/barrier count lives in the
+    # ungated profile block: it legitimately varies with the adaptive batch
+    # controller and the host.)
+    (r"/campus_scale_sharded/(windows|boundary_messages)$", "exact", 0.0),
     # Memory per portable is allocation-deterministic (no wall noise) but
     # moves when a container policy legitimately changes (e.g. the ISSUE 8
     # lazy-growth history ring); gate the direction tightly instead of
@@ -240,7 +247,8 @@ def compare(old, new, args, out=sys.stdout):
 def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
              host_cpus=1, attendees="20", virtual_shed=2500,
              saturation_rps=40000.0, overload_p99=800.0,
-             adapt_renegotiations=204, adapt_final_bps=1024000.0):
+             adapt_renegotiations=204, adapt_final_bps=1024000.0,
+             scale_windows=2161, scale_barriers=28):
     return {
         "_meta": {"host_cpus": host_cpus},
         "BM_Sample/8": {"items_per_second": 4.0e6, "real_time_ns": real_time_ns},
@@ -270,6 +278,16 @@ def _fixture(events_per_second=1000.0, real_time_ns=50.0, events_fired=777,
             "windows_breached": 30,
             "granted_final_bps": adapt_final_bps,
             "nonconforming_bits": 8.0e6,
+        },
+        "scenario_cli/campus_scale_sharded": {
+            "host_cpus": host_cpus,
+            "config": {"cells": "100", "portables": "10000", "shards": "8"},
+            "events_fired": 283900,
+            "events_per_second": {"1": 2.0e6, "2": 1.8e6},
+            "windows": scale_windows,
+            "boundary_messages": 559480,
+            "profile": {"barriers": scale_barriers, "windows": scale_windows,
+                        "realized_batch": scale_windows / scale_barriers},
         },
     }
 
@@ -323,6 +341,10 @@ def self_test():
                    run(base, _fixture(adapt_renegotiations=205)) == 1))
     checks.append(("adapt grant trajectory drift fails (exact gate)",
                    run(base, _fixture(adapt_final_bps=1023999.0)) == 1))
+    checks.append(("sharded scale window drift fails (exact gate)",
+                   run(base, _fixture(scale_windows=2162)) == 1))
+    checks.append(("sharded scale barrier count never gated",
+                   run(base, _fixture(scale_barriers=2161)) == 0))
     vanished = copy.deepcopy(base)
     del vanished["BM_Sample/8"]
     checks.append(("vanished benchmark fails", run(base, vanished) == 1))

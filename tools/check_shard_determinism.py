@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""End-to-end contract for the sharded campus execution (ISSUE 5).
+"""End-to-end contract for the sharded campus executions (ISSUE 5 + 10).
 
-Runs the sharded campus scenario through scenario_cli at shard counts
-1, 2, 4, and 8 with identical scenario flags and requires:
+Two sweeps through scenario_cli, each with identical scenario flags:
+
+  * the corridor campus ("campus --shards K") at K in {1, 2, 4, 8}, and
+  * the grid campus ("campus-scale --shards K --batch B") over the full
+    batch {1, 8, 64, auto} x K {1, 2, 4, 8} matrix, so window batching is
+    pinned as an execution knob that can never leak into results.
+
+Every run in a sweep must produce:
 
   * identical stdout summary lines (events, windows, boundary messages,
-    and all scenario counts), and
+    and all scenario counts; the shards=/batch= echo tokens are stripped
+    before comparison — they name the execution, not the simulation), and
   * byte-identical md5 over the report's "metrics" object.
 
 Only the "metrics" object is hashed: the surrounding report carries
-wall-clock fields (wall_seconds) that measure the host, not the simulation.
+wall-clock fields (wall_seconds) and the config echo (which includes the
+shards/batch knobs) that describe the host and the execution, not the
+simulation.
 
 Usage: check_shard_determinism.py <path-to-scenario_cli>
 """
@@ -21,16 +30,29 @@ import tempfile
 from pathlib import Path
 
 SHARDS = [1, 2, 4, 8]
-FLAGS = ["campus", "--cells", "12", "--portables", "4", "--hours", "1",
-         "--seed", "9"]
+BATCHES = [1, 8, 64, 0]  # 0 = adaptive controller
+
+SWEEPS = [
+    ("campus",
+     ["campus", "--cells", "12", "--portables", "4", "--hours", "1",
+      "--seed", "9"],
+     [(k, None) for k in SHARDS]),
+    ("campus-scale",
+     ["campus-scale", "--cells", "25", "--portables", "120",
+      "--duration", "900", "--tick", "5", "--seed", "7"],
+     [(k, b) for k in SHARDS for b in BATCHES]),
+]
 
 
-def run(cli, shards, metrics_path):
-    cmd = [cli] + FLAGS + ["--shards", str(shards),
+def run(cli, flags, shards, batch, metrics_path):
+    cmd = [cli] + flags + ["--shards", str(shards),
                            "--metrics-json", str(metrics_path)]
+    if batch is not None:
+        cmd += ["--batch", str(batch)]
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
     if proc.returncode != 0:
-        print(f"FAIL: --shards {shards} exited {proc.returncode}")
+        print(f"FAIL: --shards {shards} --batch {batch} "
+              f"exited {proc.returncode}")
         print(proc.stderr)
         sys.exit(1)
     return proc.stdout
@@ -46,37 +68,48 @@ def metrics_md5(path):
     return hashlib.md5(canonical.encode()).hexdigest()
 
 
+def strip_execution_tokens(line):
+    return " ".join(tok for tok in line.split()
+                    if not tok.startswith(("shards=", "batch=")))
+
+
+def sweep(cli, name, flags, points):
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        golden_line = golden_md5 = None
+        for shards, batch in points:
+            tag = f"shards={shards}" + ("" if batch is None
+                                        else f" batch={batch or 'auto'}")
+            metrics_path = tmp / f"s{shards}b{batch}.json"
+            line = run(cli, flags, shards, batch, metrics_path)
+            digest = metrics_md5(metrics_path)
+            print(f"{name}: {tag} md5={digest}")
+            if golden_line is None:
+                golden_line, golden_md5 = line, digest
+                continue
+            if strip_execution_tokens(line) != strip_execution_tokens(golden_line):
+                print(f"FAIL: {name} stdout at {tag} differs from baseline")
+                print(f"  baseline: {golden_line.strip()}")
+                print(f"  {tag}: {line.strip()}")
+                ok = False
+            if digest != golden_md5:
+                print(f"FAIL: {name} metrics md5 at {tag} differs "
+                      f"({digest} != {golden_md5})")
+                ok = False
+    return ok
+
+
 def main() -> int:
     if len(sys.argv) != 2:
         print("usage: check_shard_determinism.py <scenario_cli>",
               file=sys.stderr)
         return 2
     cli = sys.argv[1]
-    ok = True
-    with tempfile.TemporaryDirectory() as tmp:
-        tmp = Path(tmp)
-        golden_line = golden_md5 = None
-        for shards in SHARDS:
-            metrics_path = tmp / f"shards{shards}.json"
-            line = run(cli, shards, metrics_path)
-            digest = metrics_md5(metrics_path)
-            print(f"shards={shards} md5={digest}")
-            if golden_line is None:
-                golden_line, golden_md5 = line, digest
-                continue
-            # The summary line prints shards=K; compare everything else.
-            strip = lambda s: " ".join(
-                tok for tok in s.split() if not tok.startswith("shards="))
-            if strip(line) != strip(golden_line):
-                print(f"FAIL: stdout at shards={shards} differs from shards=1")
-                print(f"  shards=1: {golden_line.strip()}")
-                print(f"  shards={shards}: {line.strip()}")
-                ok = False
-            if digest != golden_md5:
-                print(f"FAIL: metrics md5 at shards={shards} differs "
-                      f"({digest} != {golden_md5})")
-                ok = False
-    print("OK: metrics byte-identical across shard counts" if ok else "FAILED")
+    ok = all(sweep(cli, name, flags, points)
+             for name, flags, points in SWEEPS)
+    print("OK: metrics byte-identical across shard and batch counts"
+          if ok else "FAILED")
     return 0 if ok else 1
 
 

@@ -2,10 +2,18 @@
 """Validate imrm run reports and Chrome traces (stdlib only).
 
 A run report is the JSON written by ``scenario_cli --metrics-json`` (schema
-version 4, produced by obs::RunReport::write_json); a trace is the Chrome
+version 5, produced by obs::RunReport::write_json); a trace is the Chrome
 trace_event JSON written by ``--trace-out`` (loadable in Perfetto / about
 chrome://tracing). This script is the machine-checkable contract for both
 formats and runs under ctest (see examples/CMakeLists.txt).
+
+Schema v5 delta (ISSUE 10): the profile's sharded section reflects
+window-batched barriers — ``barriers`` now counts coordinator dispatches
+(full-stop barriers with a condvar round trip), with new ``windows``
+(lockstep windows executed, >= barriers), ``profiled_wall_ns`` (the wall
+covered by dispatch accounting; every lane's busy + barrier_wait + idle
+sums to it) and a ``batch_windows`` histogram of realized burst sizes.
+Everything else is unchanged from v4.
 
 Schema v4 delta (ISSUE 9): an optional top-level ``adaptation`` object
 carries closed-adaptation-loop accounting — renegotiation counts, window
@@ -42,7 +50,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 TRACE_PHASES = {"i", "X", "C", "M"}
 
 
@@ -138,9 +146,12 @@ def validate_profile(profile):
         _expect(p["self_ns"] <= p["total_ns"], f"{where}: self_ns > total_ns")
     if "shards" not in profile:
         return
-    for key in ("barriers", "boundary_messages", "boundary_bytes"):
+    for key in ("barriers", "windows", "profiled_wall_ns",
+                "boundary_messages", "boundary_bytes"):
         _expect(_is_count(profile.get(key)),
                 f"profile.{key} must be a non-negative int")
+    _expect(profile["windows"] >= profile["barriers"],
+            "profile: windows cannot be fewer than dispatches (barriers)")
     shards = profile["shards"]
     _expect(isinstance(shards, list) and shards,
             "profile.shards must be a non-empty list")
@@ -158,7 +169,13 @@ def validate_profile(profile):
                 f"{where}: lane fractions must sum to 1 (or all be 0)")
     _expect(sum(l["straggler_windows"] for l in shards) == profile["barriers"],
             "profile: straggler_windows must sum to the barrier count")
-    for key in ("window_ns", "messages_per_barrier"):
+    for lane_i, lane in enumerate(shards):
+        lane_wall = lane["busy_ns"] + lane["barrier_wait_ns"] + lane["idle_ns"]
+        _expect(lane_wall == profile["profiled_wall_ns"],
+                f"profile.shards[{lane_i}]: busy+barrier_wait+idle = "
+                f"{lane_wall} != profiled_wall_ns "
+                f"{profile['profiled_wall_ns']}")
+    for key in ("window_ns", "messages_per_barrier", "batch_windows"):
         _expect(isinstance(profile.get(key), dict),
                 f"profile.{key} must be an object")
         _validate_profile_histogram(key, profile[key])
